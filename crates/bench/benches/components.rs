@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks for the reproduction's hot components:
+//! GEMM, convolution lowering, codec encode/decode, scene rendering,
+//! feature extraction, and per-MC marginal cost.
+//!
+//! These complement the figure binaries: the figures measure end-to-end
+//! trends; these pin the per-component costs those trends are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_core::spec::{McKind, McSpec};
+use ff_core::FeatureExtractor;
+use ff_models::{DcConfig, MobileNetConfig, LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
+use ff_nn::Phase;
+use ff_tensor::Tensor;
+use ff_video::codec::{Decoder, Encoder, EncoderConfig};
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::Resolution;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[32usize, 128] {
+        let a = Tensor::filled(vec![n, n], 0.5);
+        let b = Tensor::filled(vec![n, n], 0.25);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(ff_tensor::matmul(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let res = Resolution::new(160, 90);
+    let frames: Vec<_> = Scene::new(SceneConfig {
+        resolution: res,
+        seed: 1,
+        pedestrian_rate: 0.05,
+        ..Default::default()
+    })
+    .take(4)
+    .map(|(f, _)| f)
+    .collect();
+
+    c.bench_function("codec/encode_4_frames_160x90", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, 24));
+            for f in &frames {
+                std::hint::black_box(enc.encode(f));
+            }
+        });
+    });
+    c.bench_function("codec/roundtrip_4_frames_160x90", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, 24));
+            let mut dec = Decoder::new();
+            for f in &frames {
+                let e = enc.encode(f);
+                std::hint::black_box(dec.decode(&e).unwrap());
+            }
+        });
+    });
+}
+
+fn bench_scene(c: &mut Criterion) {
+    c.bench_function("scene/render_frame_192x108", |b| {
+        let mut scene = Scene::new(SceneConfig {
+            pedestrian_rate: 0.05,
+            car_rate: 0.03,
+            ..Default::default()
+        });
+        b.iter(|| std::hint::black_box(scene.step()));
+    });
+}
+
+fn bench_extraction_and_mcs(c: &mut Criterion) {
+    let res = Resolution::new(120, 67); // scale 16
+    let mut extractor = FeatureExtractor::new(
+        MobileNetConfig::with_width(0.5),
+        vec![LAYER_LOCALIZED_TAP.into(), LAYER_FULL_FRAME_TAP.into()],
+    );
+    let frame = Tensor::filled(vec![res.height, res.width, 3], 0.4);
+    c.bench_function("extractor/base_dnn_120x67_a0.5", |b| {
+        b.iter(|| std::hint::black_box(extractor.extract(&frame)));
+    });
+
+    let maps = extractor.extract(&frame);
+    for (name, kind) in [
+        ("full_frame", McKind::FullFrame),
+        ("localized", McKind::Localized),
+    ] {
+        let spec = match kind {
+            McKind::FullFrame => McSpec::full_frame("m", 1),
+            _ => McSpec::localized("m", None, 1),
+        };
+        let mut rt = spec.build(&extractor, res, ff_core::McId(0));
+        let fm = maps.get(&rt.spec().tap.clone()).clone();
+        c.bench_function(&format!("mc/{name}_marginal"), |b| {
+            b.iter(|| std::hint::black_box(rt.prob_single(&fm)));
+        });
+    }
+
+    let dc_cfg = DcConfig::representative(res.height, res.width, 1);
+    let mut dc = dc_cfg.build();
+    let pixels = Tensor::filled(vec![res.height, res.width, 3], 0.4);
+    c.bench_function("dc/representative_full_cost", |b| {
+        b.iter(|| std::hint::black_box(dc.forward(&pixels, Phase::Inference)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gemm, bench_codec, bench_scene, bench_extraction_and_mcs
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation of the paper's §3.4 design choices for microclassifiers:
+//!
+//! * **Tap layer** — "too late a layer may not be able to observe small
+//!   details … too early a layer could be computationally expensive":
+//!   trains the localized MC against three base-DNN depths and reports
+//!   accuracy and extraction + marginal cost.
+//! * **Spatial crop** — "constraining an MC's spatial scope increases
+//!   accuracy (for certain applications)": trains with and without the
+//!   Figure-3c crop.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin ablation_mc_design
+//!         [--scale 16] [--frames 1500] [--alpha 0.25] [--epochs 5]`
+
+use ff_bench::{arg_f64, arg_usize, write_csv};
+use ff_core::evaluate::{mc_probs, score_probs};
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McSpec};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
+use ff_video::Resolution;
+
+fn main() {
+    let scale = arg_usize("--scale", 16);
+    let frames = arg_usize("--frames", 1500);
+    let alpha = arg_f64("--alpha", 0.25) as f32;
+    let epochs = arg_usize("--epochs", 5);
+
+    let data = DatasetSpec::jackson_like(scale, frames, 42);
+    let cfg = TrainConfig {
+        epochs,
+        max_cached: 1200,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+
+    println!("Tap-layer ablation (localized MC, Pedestrian task, crop on):");
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>7}",
+        "tap", "stride", "extract MAdds", "MC MAdds", "F1"
+    );
+    for tap in ["conv3_2/sep", "conv4_2/sep", "conv5_6/sep"] {
+        let mut spec = McSpec::localized("ablate", data.task.crop, 7);
+        spec.tap = tap.to_string();
+        let (f1, extract_madds, mc_madds) = run(&data, &spec, alpha, &cfg);
+        let mn = MobileNetConfig::with_width(alpha);
+        println!(
+            "{:<14} {:>10} {:>14} {:>14} {:>7.3}",
+            tap,
+            mn.tap_stride(tap),
+            extract_madds,
+            mc_madds,
+            f1
+        );
+        rows.push(format!("tap,{tap},{extract_madds},{mc_madds},{f1:.4}"));
+    }
+
+    println!("\nCrop ablation (localized MC @ conv4_2/sep):");
+    for (name, crop) in [("with_crop", data.task.crop), ("no_crop", None)] {
+        let spec = McSpec::localized("ablate", crop, 7);
+        let (f1, _, mc_madds) = run(&data, &spec, alpha, &cfg);
+        println!("  {name:<10}: F1 {f1:.3}, MC marginal {mc_madds} MAdds");
+        rows.push(format!("crop,{name},0,{mc_madds},{f1:.4}"));
+    }
+
+    let path = write_csv(
+        "ablation_mc_design",
+        "ablation,variant,extract_madds,mc_madds,f1",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}
+
+fn run(data: &DatasetSpec, spec: &McSpec, alpha: f32, cfg: &TrainConfig) -> (f64, u64, u64) {
+    let mut extractor =
+        FeatureExtractor::new(MobileNetConfig::with_width(alpha), vec![spec.tap.clone()]);
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(8)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+    let trained = train_mc(&mut extractor, spec, data, cfg);
+    let mut model = trained.model;
+    let test = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+    let (probs, labels) = mc_probs(&mut extractor, spec, &mut model, test);
+    let score = score_probs(&probs, trained.threshold, spec.smoothing, &labels);
+    let res: Resolution = data.resolution();
+    let extract_madds = extractor.multiply_adds(res);
+    let mc_madds = model.multiply_adds(&spec.input_shape(&extractor, res));
+    (score.f1, extract_madds, mc_madds)
+}

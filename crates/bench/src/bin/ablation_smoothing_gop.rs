@@ -1,0 +1,93 @@
+//! Ablation of the paper's §3.5 smoothing choice (K-of-N voting, default
+//! N = 5, K = 2) and the codec's GOP-length knob.
+//!
+//! * **K/N sweep** — trains one MC, then re-scores the same probability
+//!   stream under different voting configurations, isolating the
+//!   smoother's contribution to event F1.
+//! * **GOP sweep** — encodes the same clip at several GOP lengths and
+//!   reports bitrate and quality, the trade the archive/upload paths make
+//!   between random access and compression.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin ablation_smoothing_gop
+//!         [--scale 16] [--frames 1500] [--alpha 0.25]`
+
+use ff_bench::{arg_f64, arg_usize, write_csv};
+use ff_core::evaluate::{mc_probs, score_probs};
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McSpec, SmoothingConfig};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
+use ff_video::codec::{Decoder, Encoder, EncoderConfig};
+
+fn main() {
+    let scale = arg_usize("--scale", 16);
+    let frames = arg_usize("--frames", 1500);
+    let alpha = arg_f64("--alpha", 0.25) as f32;
+    let mut rows = Vec::new();
+
+    // ---- K/N voting sweep on a fixed probability stream.
+    let data = DatasetSpec::jackson_like(scale, frames, 42);
+    let spec = McSpec::localized("ped", data.task.crop, 7);
+    let mut extractor =
+        FeatureExtractor::new(MobileNetConfig::with_width(alpha), vec![spec.tap.clone()]);
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(8)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+    let trained = train_mc(
+        &mut extractor,
+        &spec,
+        &data,
+        &TrainConfig { epochs: 5, ..Default::default() },
+    );
+    let mut model = trained.model;
+    let test = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+    let (probs, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
+
+    println!("K-voting ablation (same probabilities, Pedestrian task):");
+    println!("{:>3} {:>3} {:>8} {:>8} {:>8}", "N", "K", "F1", "recall", "prec");
+    for (n, k) in [(1, 1), (3, 1), (3, 2), (5, 1), (5, 2), (5, 3), (5, 5), (9, 3)] {
+        let s = score_probs(&probs, trained.threshold, SmoothingConfig { n, k }, &labels);
+        println!("{n:>3} {k:>3} {:>8.3} {:>8.3} {:>8.3}", s.f1, s.recall, s.precision);
+        rows.push(format!("voting,{n},{k},{:.4},{:.4},{:.4}", s.f1, s.recall, s.precision));
+    }
+    println!("(paper default: N=5, K=2 — aggressive false-negative masking)");
+
+    // ---- GOP length vs bitrate/quality.
+    let clip: Vec<_> = data
+        .open(Split::Test)
+        .take(90)
+        .map(|lf| lf.frame)
+        .collect();
+    let res = clip[0].resolution();
+    println!("\nGOP-length ablation (QP 24, {} frames at {res}):", clip.len());
+    println!("{:>5} {:>12} {:>10}", "GOP", "kbit/s", "PSNR dB");
+    for gop in [1usize, 5, 15, 45, 90] {
+        let mut enc_cfg = EncoderConfig::with_qp(res, 15.0, 24);
+        enc_cfg.gop = gop;
+        let mut enc = Encoder::new(enc_cfg);
+        let mut dec = Decoder::new();
+        let mut bits = 0usize;
+        let mut psnr = 0.0;
+        for f in &clip {
+            let e = enc.encode(f);
+            bits += e.bits();
+            psnr += dec.decode(&e).unwrap().psnr(f).min(60.0);
+        }
+        let kbps = bits as f64 * 15.0 / clip.len() as f64 / 1000.0;
+        let psnr = psnr / clip.len() as f64;
+        println!("{gop:>5} {kbps:>12.1} {psnr:>10.1}");
+        rows.push(format!("gop,{gop},0,{kbps:.2},{psnr:.2},0"));
+    }
+    println!("(GOP 1 = all-intra: random access everywhere, most bits;");
+    println!(" long GOPs compress best but coarsen demand-fetch granularity)");
+
+    let path = write_csv(
+        "ablation_smoothing_gop",
+        "ablation,a,b,x,y,z",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

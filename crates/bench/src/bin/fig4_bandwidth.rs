@@ -1,0 +1,253 @@
+//! Regenerates Figure 4: average bandwidth use versus event F1 on the
+//! Roadway dataset's People-with-red task, comparing:
+//!
+//! * **FilterForward** — filter on the edge against the *original* frames,
+//!   re-encode only matched frames at a target bitrate, upload those.
+//!   Sweeping the upload bitrate traces the FF curve (accuracy stays at
+//!   the filter's F1; bandwidth scales with the re-encode quality).
+//! * **Compress everything** — encode the *whole* stream at a low bitrate,
+//!   upload it all, run the same microclassifier in the cloud on the
+//!   *decoded* frames. Sweeping the stream bitrate traces the baseline
+//!   curve (bandwidth is the full stream; accuracy degrades as
+//!   quantization destroys the small red details).
+//!
+//! Prints the §4.3 claims: bandwidth reduction at the filter's operating
+//! point and the F1 advantage at matched bandwidth. Bitrates are at
+//! simulation scale; the paper-scale equivalents multiply by the pixel
+//! ratio (DESIGN.md S6).
+//!
+//! Usage: `cargo run --release -p ff-bench --bin fig4_bandwidth
+//!         [--scale 12] [--frames 3000] [--alpha 0.5] [--epochs 10] [--quick]`
+
+use ff_bench::{arg_f64, arg_flag, arg_usize, claim, write_csv};
+use ff_core::cloud::TranscodedStream;
+use ff_core::evaluate::score_probs;
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McKind, McModel, McSpec, SmoothingConfig};
+use ff_data::{DatasetSpec, Split};
+use ff_models::{MobileNetConfig, LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
+use ff_nn::Phase;
+use ff_tensor::Tensor;
+
+fn main() {
+    let scale = arg_usize("--scale", 12);
+    let frames = arg_usize("--frames", 3000);
+    let alpha = arg_f64("--alpha", 0.5) as f32;
+    let epochs = arg_usize("--epochs", 10);
+    let quick = arg_flag("--quick");
+    let frames = if quick { frames.min(1200) } else { frames };
+
+    let data = DatasetSpec::roadway_like(scale, frames, 42);
+    let res = data.resolution();
+    let fps = data.scene.fps;
+    // Pixel ratio to paper scale, for interpreting bitrates.
+    let px_ratio = data.paper_resolution.pixels() as f64 / res.pixels() as f64;
+    println!(
+        "Roadway {res} @ {fps} fps (paper-scale bitrate multiplier ≈ {px_ratio:.0}x)\n"
+    );
+
+    let cfg = TrainConfig {
+        epochs,
+        lr: 2e-3,
+        max_cached: 1600,
+        augment_shift_w: 6,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for (arch_name, kind) in [("full_frame", McKind::FullFrame), ("localized", McKind::Localized)] {
+        println!("== {arch_name} MC");
+        let mut extractor = FeatureExtractor::new(
+            MobileNetConfig::with_width(alpha),
+            vec![LAYER_LOCALIZED_TAP.into(), LAYER_FULL_FRAME_TAP.into()],
+        );
+        let cal: Vec<Tensor> = data
+            .open(Split::Train)
+            .take(8)
+            .map(|lf| lf.frame.to_tensor())
+            .collect();
+        extractor.calibrate(&cal);
+
+        let spec = match kind {
+            McKind::FullFrame => McSpec::full_frame("red", 7),
+            _ => McSpec::localized("red", data.task.crop, 7),
+        };
+        let trained = train_mc(&mut extractor, &spec, &data, &cfg);
+        println!(
+            "  trained: threshold {:.2}, final loss {:?}",
+            trained.threshold,
+            trained.loss_history.last()
+        );
+        let mut model = trained.model;
+        let threshold = trained.threshold;
+        let smoothing = SmoothingConfig::default();
+
+        // ---- FilterForward series: edge filtering on original frames.
+        // Probabilities on the original stream (edge-side decisions).
+        let mut probs = Vec::new();
+        let mut gt = Vec::new();
+        for lf in data.open(Split::Test) {
+            probs.push(prob_for(&mut extractor, &spec, &mut model, &lf.frame));
+            gt.push(lf.label);
+        }
+        let ff_score = score_probs(&probs, threshold, smoothing, &gt);
+        let decisions = ff_core::evaluate::smooth_decisions(&probs, threshold, smoothing);
+        println!(
+            "  edge filter: F1 {:.3} (recall {:.3}, precision {:.3}), {} of {} frames matched",
+            ff_score.f1,
+            ff_score.recall,
+            ff_score.precision,
+            decisions.iter().filter(|&&d| d).count(),
+            decisions.len()
+        );
+
+        let upload_bitrates: &[f64] = if quick {
+            &[30_000.0, 120_000.0]
+        } else {
+            &[15_000.0, 30_000.0, 60_000.0, 120_000.0, 240_000.0]
+        };
+        for &bps in upload_bitrates {
+            let bw = measure_ff_upload(&data, &decisions, bps);
+            println!("    FF upload target {:>7.0} bps → avg {:>9.0} bps, F1 {:.3}", bps, bw, ff_score.f1);
+            rows.push(format!("{arch_name},filterforward,{bps},{bw:.0},{:.4}", ff_score.f1));
+        }
+
+        // ---- Compress-everything series: decode low-bitrate stream, run
+        // the same MC in the cloud.
+        let stream_bitrates: &[f64] = if quick {
+            &[40_000.0, 400_000.0]
+        } else {
+            &[20_000.0, 40_000.0, 80_000.0, 160_000.0, 320_000.0, 640_000.0]
+        };
+        for &bps in stream_bitrates {
+            let src = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+            let mut ts = TranscodedStream::new(src, res, fps, bps);
+            let mut probs = Vec::new();
+            let mut gt = Vec::new();
+            for (frame, label) in ts.by_ref() {
+                probs.push(prob_for(&mut extractor, &spec, &mut model, &frame));
+                gt.push(label);
+            }
+            let bw = ts.average_bps();
+            let score = score_probs(&probs, threshold, smoothing, &gt);
+            println!(
+                "    CE stream target {:>7.0} bps → avg {:>9.0} bps, F1 {:.3}",
+                bps, bw, score.f1
+            );
+            rows.push(format!("{arch_name},compress_everything,{bps},{bw:.0},{:.4}", score.f1));
+        }
+    }
+
+    let path = write_csv(
+        "fig4_bandwidth",
+        "mc_arch,strategy,target_bps,avg_bandwidth_bps,event_f1",
+        &rows,
+    );
+    print_claims(&rows);
+    println!("\nCSV: {}", path.display());
+}
+
+/// Re-encodes exactly the matched frames at `bitrate` and reports the
+/// achieved average bandwidth over the whole stream duration.
+fn measure_ff_upload(data: &DatasetSpec, decisions: &[bool], bitrate: f64) -> f64 {
+    let res = data.resolution();
+    let fps = data.scene.fps;
+    let mut enc = ff_video::codec::Encoder::new(ff_video::codec::EncoderConfig::with_bitrate(
+        res, fps, bitrate,
+    ));
+    let mut last: Option<usize> = None;
+    let mut bytes = 0u64;
+    for (lf, &matched) in data.open(Split::Test).zip(decisions) {
+        if !matched {
+            continue;
+        }
+        if last != Some(lf.index.wrapping_sub(1)) {
+            enc.force_keyframe();
+        }
+        bytes += enc.encode(&lf.frame).data.len() as u64;
+        last = Some(lf.index);
+    }
+    bytes as f64 * 8.0 * fps / decisions.len() as f64
+}
+
+fn prob_for(
+    extractor: &mut FeatureExtractor,
+    spec: &McSpec,
+    model: &mut McModel,
+    frame: &ff_video::Frame,
+) -> f32 {
+    let t = frame.to_tensor();
+    let maps = extractor.extract(&t);
+    let fm = maps.get(&spec.tap);
+    let input = match &spec.crop {
+        None => fm.clone(),
+        Some(c) => ff_core::extractor::crop_feature_map(fm, c),
+    };
+    match model {
+        McModel::Plain(net) => ff_nn::sigmoid(net.forward(&input, Phase::Inference).data()[0]),
+        McModel::Windowed(_) => unreachable!("figure 4 uses plain MCs"),
+    }
+}
+
+fn print_claims(rows: &[String]) {
+    // Parse back the rows for the §4.3 ratios, per architecture.
+    println!("\n§4.3 claims:");
+    for arch in ["full_frame", "localized"] {
+        let parse = |r: &String| {
+            let f: Vec<&str> = r.split(',').collect();
+            (
+                f[1].to_string(),
+                f[3].parse::<f64>().unwrap_or(0.0),
+                f[4].parse::<f64>().unwrap_or(0.0),
+            )
+        };
+        let ff_points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.starts_with(&format!("{arch},filterforward")))
+            .map(|r| {
+                let (_, bw, f1) = parse(r);
+                (bw, f1)
+            })
+            .collect();
+        let ce_points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.starts_with(&format!("{arch},compress_everything")))
+            .map(|r| {
+                let (_, bw, f1) = parse(r);
+                (bw, f1)
+            })
+            .collect();
+        if ff_points.is_empty() || ce_points.is_empty() {
+            continue;
+        }
+        // Bandwidth reduction: cheapest CE point matching FF's F1 vs the
+        // FF point of comparable F1 (FF F1 is constant across bitrates).
+        let ff_f1 = ff_points[0].1;
+        let ff_bw_mid = ff_points[ff_points.len() / 2].0;
+        let ce_match = ce_points
+            .iter()
+            .filter(|(_, f1)| *f1 >= ff_f1 * 0.95)
+            .map(|(bw, _)| *bw)
+            .fold(f64::INFINITY, f64::min);
+        if ce_match.is_finite() {
+            claim(
+                &format!("{arch}: bandwidth reduction at matched F1"),
+                ce_match / ff_bw_mid,
+                if arch == "full_frame" { "6.3x" } else { "13x" },
+            );
+        } else {
+            println!("  {arch}: compress-everything never reaches the FF F1 ({ff_f1:.3}) in this sweep");
+        }
+        // F1 advantage at matched bandwidth: CE point closest to FF's bw.
+        let ce_at_bw = ce_points
+            .iter()
+            .min_by(|a, b| (a.0 - ff_bw_mid).abs().total_cmp(&(b.0 - ff_bw_mid).abs()));
+        if let Some((_, ce_f1)) = ce_at_bw {
+            claim(
+                &format!("{arch}: F1 gain at comparable bandwidth"),
+                ff_f1 / ce_f1.max(1e-9),
+                if arch == "full_frame" { "1.5x" } else { "1.9x" },
+            );
+        }
+    }
+}

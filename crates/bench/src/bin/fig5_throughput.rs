@@ -1,0 +1,102 @@
+//! Regenerates Figure 5: filtering throughput (fps) vs number of
+//! concurrent classifiers for FilterForward's three MC architectures,
+//! NoScope-style discrete classifiers, and multiple full MobileNets.
+//!
+//! Also prints the §4.4 textual claims: FF relative speed at N = 1, the
+//! FF-vs-DC crossover point, and the speedup at 50 classifiers. Multiple
+//! MobileNets are cut off at the paper-scale OOM limit (32 GB node model).
+//!
+//! Usage: `cargo run --release -p ff-bench --bin fig5_throughput
+//!         [--scale 12] [--frames 9] [--alpha 0.5] [--quick]`
+
+use ff_bench::throughput::{bench_frames, figure5_counts, measure_dcs, measure_ff, measure_mobilenets, single_threaded};
+use ff_bench::{arg_f64, arg_flag, arg_usize, claim, write_csv};
+use ff_core::node::{max_mobilenet_instances, EdgeNodeSpec};
+use ff_core::spec::McKind;
+use ff_models::MobileNetConfig;
+use ff_video::Resolution;
+
+fn main() {
+    single_threaded();
+    let scale = arg_usize("--scale", 12);
+    let n_frames = arg_usize("--frames", 9);
+    let alpha = arg_f64("--alpha", 0.5) as f32;
+    let quick = arg_flag("--quick");
+
+    let frames = bench_frames(scale, n_frames.max(3));
+    let counts = figure5_counts(quick);
+
+    // Paper-scale OOM limit for the multiple-MobileNets strategy.
+    let oom_limit = max_mobilenet_instances(
+        &EdgeNodeSpec::paper_testbed(),
+        &MobileNetConfig::default(),
+        Resolution::new(1920, 1080),
+    );
+    println!("multiple-MobileNets OOM limit (paper-scale memory model): {oom_limit} instances");
+    println!("measuring on {} frames at scale 1/{scale}, alpha {alpha}\n", frames.len());
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>10} {:>12}",
+        "N", "full-frame fps", "localized fps", "windowed fps", "DC fps", "mobilenets"
+    );
+    let mut series: Vec<(usize, [f64; 5])> = Vec::new();
+    for &n in &counts {
+        let ff_full = measure_ff(McKind::FullFrame, n, &frames, alpha);
+        let ff_loc = measure_ff(McKind::Localized, n, &frames, alpha);
+        let ff_win = measure_ff(McKind::Windowed, n, &frames, alpha);
+        let dc = measure_dcs(n, &frames, 9);
+        let mn = if n <= oom_limit {
+            measure_mobilenets(n, &frames, alpha).fps
+        } else {
+            f64::NAN // OOM at paper scale
+        };
+        println!(
+            "{:>4} {:>14.2} {:>14.2} {:>14.2} {:>10.2} {:>12}",
+            n,
+            ff_full.fps,
+            ff_loc.fps,
+            ff_win.fps,
+            dc.fps,
+            if mn.is_nan() { "OOM".to_string() } else { format!("{mn:.2}") }
+        );
+        rows.push(format!(
+            "{n},{:.4},{:.4},{:.4},{:.4},{}",
+            ff_full.fps,
+            ff_loc.fps,
+            ff_win.fps,
+            dc.fps,
+            if mn.is_nan() { "OOM".to_string() } else { format!("{mn:.4}") }
+        ));
+        series.push((n, [ff_full.fps, ff_loc.fps, ff_win.fps, dc.fps, mn]));
+    }
+    let path = write_csv(
+        "fig5_throughput",
+        "n,ff_full_frame_fps,ff_localized_fps,ff_windowed_fps,dc_fps,mobilenets_fps",
+        &rows,
+    );
+
+    // §4.4 textual claims.
+    println!("\n§4.4 claims:");
+    if let Some((_, first)) = series.first() {
+        let best_ff1 = first[0].max(first[1]).min(first[0].min(first[1])); // midline
+        let _ = best_ff1;
+        claim("FF/DC speed at N=1 (localized)", first[1] / first[3], "0.32–0.34x");
+        if !first[4].is_nan() {
+            claim("FF/MobileNet speed at N=1 (localized)", first[1] / first[4], "0.83–0.90x");
+        }
+    }
+    // Crossover: first N where the slowest FF arch beats the DCs.
+    let crossover = series
+        .iter()
+        .find(|(_, s)| s[0].min(s[1]) > s[3])
+        .map(|(n, _)| *n);
+    match crossover {
+        Some(n) => claim("FF-vs-DC crossover (classifiers)", n as f64, "3–4"),
+        None => println!("  FF never crossed the DCs in this sweep"),
+    }
+    if let Some((_, last)) = series.iter().find(|(n, _)| *n == 50) {
+        claim("FF/DC speedup at N=50 (best arch)", last[0].max(last[1]) / last[3], "up to 6.1x");
+    }
+    println!("\nCSV: {}", path.display());
+}

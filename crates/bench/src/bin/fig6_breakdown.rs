@@ -1,0 +1,76 @@
+//! Regenerates Figure 6: per-frame execution time split between the base
+//! DNN and the microclassifiers, for each MC architecture, as the number
+//! of concurrent MCs grows.
+//!
+//! The paper's observation: "the base DNN's CPU time is equivalent to that
+//! of 15–40 MCs" — printed here as the measured equivalence point.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin fig6_breakdown
+//!         [--scale 12] [--frames 9] [--alpha 0.5] [--quick]`
+
+use ff_bench::throughput::{bench_frames, figure5_counts, measure_ff, single_threaded};
+use ff_bench::{arg_f64, arg_flag, arg_usize, write_csv};
+use ff_core::spec::McKind;
+
+fn main() {
+    single_threaded();
+    let scale = arg_usize("--scale", 12);
+    let n_frames = arg_usize("--frames", 9);
+    let alpha = arg_f64("--alpha", 0.5) as f32;
+    let quick = arg_flag("--quick");
+
+    let frames = bench_frames(scale, n_frames.max(3));
+    let counts = figure5_counts(quick);
+
+    let archs = [
+        ("full_frame", McKind::FullFrame),
+        ("localized", McKind::Localized),
+        ("windowed", McKind::Windowed),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, kind) in archs {
+        println!("\nFigure 6 ({name}): seconds per frame");
+        println!("{:>4} {:>12} {:>12} {:>12}", "N", "base DNN", "MCs", "total");
+        let mut base_eq = None;
+        for &n in &counts {
+            let p = measure_ff(kind, n, &frames, alpha);
+            println!(
+                "{:>4} {:>12.4} {:>12.4} {:>12.4}",
+                n,
+                p.base_per_frame,
+                p.classifiers_per_frame,
+                p.base_per_frame + p.classifiers_per_frame
+            );
+            rows.push(format!(
+                "{name},{n},{:.6},{:.6}",
+                p.base_per_frame, p.classifiers_per_frame
+            ));
+            // Equivalence point: N at which total MC time ≈ base time.
+            if base_eq.is_none() && p.classifiers_per_frame >= p.base_per_frame {
+                let per_mc = p.classifiers_per_frame / n as f64;
+                base_eq = Some(p.base_per_frame / per_mc);
+            }
+        }
+        match base_eq {
+            Some(e) => println!("  base DNN ≈ {e:.0} {name} MCs (paper: 15–40 depending on arch)"),
+            None => {
+                // Never crossed: extrapolate from the largest N measured.
+                if let Some(&n) = counts.last() {
+                    let p = measure_ff(kind, n, &frames, alpha);
+                    let per_mc = p.classifiers_per_frame / n as f64;
+                    println!(
+                        "  base DNN ≈ {:.0} {name} MCs (extrapolated; paper: 15–40)",
+                        p.base_per_frame / per_mc
+                    );
+                }
+            }
+        }
+    }
+    let path = write_csv(
+        "fig6_breakdown",
+        "arch,n,base_dnn_s_per_frame,mcs_s_per_frame",
+        &rows,
+    );
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,307 @@
+//! Regenerates Figure 7: marginal compute cost (multiply-adds, projected
+//! to the paper's full input resolution) versus event F1 score, for the
+//! full-frame and localized microclassifiers and a sweep of discrete
+//! classifiers, on both datasets.
+//!
+//! Prints the §4.5 claims: MC-vs-DC accuracy ratio and marginal-cost
+//! ratio per dataset.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin fig7_cost_accuracy
+//!         [--scale 12] [--frames 3000] [--alpha 0.5] [--epochs 10] [--quick]`
+
+use ff_bench::{arg_f64, arg_flag, arg_usize, claim, write_csv};
+use ff_core::evaluate::score_probs;
+use ff_core::train::{train_dc, train_plain_from_features, TrainConfig};
+use ff_core::{FeatureExtractor, McModel, McSpec, SmoothingConfig};
+use ff_data::{DatasetSpec, Split};
+use ff_models::{DcConfig, MobileNetConfig, LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
+use ff_nn::Phase;
+use ff_tensor::Tensor;
+
+struct Row {
+    dataset: &'static str,
+    model: String,
+    paper_madds_m: f64,
+    f1: f64,
+    recall: f64,
+    precision: f64,
+}
+
+fn main() {
+    let scale = arg_usize("--scale", 12);
+    let frames = arg_usize("--frames", 3000);
+    let alpha = arg_f64("--alpha", 0.5) as f32;
+    let epochs = arg_usize("--epochs", 10);
+    let quick = arg_flag("--quick");
+    let frames = if quick { frames.min(1200) } else { frames };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for dataset in ["jackson", "roadway"] {
+        let data = if dataset == "roadway" {
+            DatasetSpec::roadway_like(scale, frames, 42)
+        } else {
+            DatasetSpec::jackson_like(scale, frames, 42)
+        };
+        // Shift augmentation is valid only for the translation-invariant
+        // People-with-red task (see TrainConfig docs).
+        let aug = if dataset == "roadway" { 6 } else { 0 };
+        let cfg = TrainConfig {
+            epochs,
+            lr: 2e-3,
+            max_cached: 1600,
+            augment_shift_w: aug,
+            ..Default::default()
+        };
+        println!("== {dataset}: training MCs and DC sweep ({frames} frames/split)");
+        rows.extend(run_dataset(dataset, &data, alpha, &cfg, quick));
+    }
+
+    println!("\nFigure 7 — millions of multiply-adds (paper scale) vs event F1");
+    println!("{:<10} {:<22} {:>12} {:>7} {:>7} {:>7}", "dataset", "model", "madds (M)", "F1", "recall", "prec");
+    let mut csv = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<10} {:<22} {:>12.1} {:>7.3} {:>7.3} {:>7.3}",
+            r.dataset, r.model, r.paper_madds_m, r.f1, r.recall, r.precision
+        );
+        csv.push(format!(
+            "{},{},{:.2},{:.4},{:.4},{:.4}",
+            r.dataset, r.model, r.paper_madds_m, r.f1, r.recall, r.precision
+        ));
+    }
+    let path = write_csv("fig7_cost_accuracy", "dataset,model,paper_madds_millions,f1,recall,precision", &csv);
+
+    println!("\n§4.5 claims:");
+    for dataset in ["jackson", "roadway"] {
+        let mc_best = rows
+            .iter()
+            .filter(|r| r.dataset == dataset && r.model.starts_with("mc_"))
+            .max_by(|a, b| a.f1.total_cmp(&b.f1));
+        let dc_best = rows
+            .iter()
+            .filter(|r| r.dataset == dataset && r.model.starts_with("dc_"))
+            .max_by(|a, b| a.f1.total_cmp(&b.f1));
+        if let (Some(mc), Some(dc)) = (mc_best, dc_best) {
+            claim(
+                &format!("{dataset}: best-MC F1 / best-DC F1"),
+                mc.f1 / dc.f1.max(1e-9),
+                if dataset == "jackson" { "up to 1.3x" } else { "1.1x" },
+            );
+            claim(
+                &format!("{dataset}: best-DC cost / best-MC cost"),
+                dc.paper_madds_m / mc.paper_madds_m.max(1e-9),
+                if dataset == "jackson" { "23x" } else { "11x" },
+            );
+        }
+    }
+    println!("\nCSV: {}", path.display());
+}
+
+fn run_dataset(
+    dataset: &'static str,
+    data: &DatasetSpec,
+    alpha: f32,
+    cfg: &TrainConfig,
+    quick: bool,
+) -> Vec<Row> {
+    let res = data.resolution();
+    let mn = MobileNetConfig::with_width(alpha);
+    let mut extractor = FeatureExtractor::new(
+        mn,
+        vec![LAYER_LOCALIZED_TAP.into(), LAYER_FULL_FRAME_TAP.into()],
+    );
+    // Calibrate folded batch-norms on unlabeled frames.
+    let cal: Vec<Tensor> = data
+        .open(Split::Train)
+        .take(8)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+
+    let loc_spec = McSpec::localized("loc", data.task.crop, 7);
+    let ff_spec = McSpec::full_frame("ff", 8);
+
+    // One extraction pass over the training video caches both taps.
+    let stride = (data.train_frames).div_ceil(cfg.max_cached).max(1);
+    let mut loc_feats = Vec::new();
+    let mut ff_feats = Vec::new();
+    let mut labels = Vec::new();
+    for lf in data.open(Split::Train) {
+        if lf.index % stride != 0 {
+            continue;
+        }
+        let t = lf.frame.to_tensor();
+        let maps = extractor.extract(&t);
+        let loc_fm = maps.get(&loc_spec.tap);
+        loc_feats.push(match &loc_spec.crop {
+            None => loc_fm.clone(),
+            Some(c) => ff_core::extractor::crop_feature_map(loc_fm, c),
+        });
+        ff_feats.push(maps.get(&ff_spec.tap).clone());
+        labels.push(lf.label);
+    }
+    println!(
+        "  cached {} samples ({} positive)",
+        labels.len(),
+        labels.iter().filter(|&&l| l).count()
+    );
+
+    let loc_model = loc_spec
+        .build(&extractor, res, ff_core::McId(0))
+        .into_model();
+    let ff_model = ff_spec
+        .build(&extractor, res, ff_core::McId(1))
+        .into_model();
+    let mut trained_loc = train_plain_from_features(loc_model, &loc_feats, &labels, cfg);
+    // The full-frame detector sees the whole frame; augmentation-by-shift
+    // is sound for it on either task (its grid-max is shift-invariant).
+    let ff_cfg = TrainConfig { augment_shift_w: 3, ..*cfg };
+    let mut trained_ff = train_plain_from_features(ff_model, &ff_feats, &labels, &ff_cfg);
+    println!(
+        "  localized: thr {:.2} loss {:?}",
+        trained_loc.threshold,
+        trained_loc.loss_history.last()
+    );
+    println!(
+        "  full-frame: thr {:.2} loss {:?}",
+        trained_ff.threshold,
+        trained_ff.loss_history.last()
+    );
+
+    // One extraction pass over the test video evaluates both MCs.
+    let mut loc_probs = Vec::new();
+    let mut ff_probs = Vec::new();
+    let mut gt = Vec::new();
+    for lf in data.open(Split::Test) {
+        let t = lf.frame.to_tensor();
+        let maps = extractor.extract(&t);
+        let loc_fm = maps.get(&loc_spec.tap);
+        let loc_in = match &loc_spec.crop {
+            None => loc_fm.clone(),
+            Some(c) => ff_core::extractor::crop_feature_map(loc_fm, c),
+        };
+        loc_probs.push(plain_prob(&mut trained_loc.model, &loc_in));
+        ff_probs.push(plain_prob(&mut trained_ff.model, maps.get(&ff_spec.tap)));
+        gt.push(lf.label);
+    }
+    let smoothing = SmoothingConfig::default();
+    let loc_score = score_probs(&loc_probs, trained_loc.threshold, smoothing, &gt);
+    let ff_score = score_probs(&ff_probs, trained_ff.threshold, smoothing, &gt);
+
+    // Paper-scale marginal costs: the same MC architectures instantiated
+    // at the paper-resolution tap shapes (α = 1 channels).
+    let paper_extractor_shapes = paper_tap_shapes(data);
+    let loc_madds = loc_cost(&loc_spec, paper_extractor_shapes.0);
+    let ff_shape = paper_extractor_shapes.1;
+    let ff_madds = ff_models::FullFrameConfig::new(ff_shape[2], ff_spec.seed)
+        .build()
+        .multiply_adds(&ff_shape);
+
+    let mut rows = vec![
+        Row {
+            dataset,
+            model: "mc_localized".into(),
+            paper_madds_m: loc_madds as f64 / 1e6,
+            f1: loc_score.f1,
+            recall: loc_score.recall,
+            precision: loc_score.precision,
+        },
+        Row {
+            dataset,
+            model: "mc_full_frame".into(),
+            paper_madds_m: ff_madds as f64 / 1e6,
+            f1: ff_score.f1,
+            recall: ff_score.recall,
+            precision: ff_score.precision,
+        },
+    ];
+
+    // Discrete-classifier sweep: a cost-spread subset of the §4.4 grid.
+    let dc_configs = dc_sweep(res.height, res.width, quick);
+    for (i, dc_cfg) in dc_configs.iter().enumerate() {
+        let mut dc = dc_cfg.build();
+        let (threshold, history) = train_dc(&mut dc, data, cfg);
+        let mut probs = Vec::new();
+        for lf in data.open(Split::Test) {
+            let z = dc.forward(&lf.frame.to_tensor(), Phase::Inference);
+            probs.push(ff_nn::sigmoid(z.data()[0]));
+        }
+        let score = score_probs(&probs, threshold, smoothing, &gt);
+        // Cost at paper resolution for the same architecture.
+        let paper_cfg = DcConfig {
+            in_h: data.paper_resolution.height,
+            in_w: data.paper_resolution.width,
+            ..*dc_cfg
+        };
+        println!(
+            "  dc{i} ({}L k{} s{} {}): thr {threshold:.2} loss {:?} F1 {:.3}",
+            dc_cfg.conv_layers,
+            dc_cfg.kernels,
+            dc_cfg.stride,
+            if dc_cfg.separable { "sep" } else { "std" },
+            history.last(),
+            score.f1
+        );
+        rows.push(Row {
+            dataset,
+            model: format!(
+                "dc_{}l_k{}_s{}{}",
+                dc_cfg.conv_layers,
+                dc_cfg.kernels,
+                dc_cfg.stride,
+                if dc_cfg.separable { "_sep" } else { "" }
+            ),
+            paper_madds_m: paper_cfg.multiply_adds() as f64 / 1e6,
+            f1: score.f1,
+            recall: score.recall,
+            precision: score.precision,
+        });
+    }
+    rows
+}
+
+/// Tap shapes at paper resolution: (localized tap cropped, full-frame tap).
+fn paper_tap_shapes(data: &DatasetSpec) -> (Vec<usize>, Vec<usize>) {
+    let mn = MobileNetConfig::default(); // α = 1 at paper scale
+    let net = mn.build();
+    let pr = data.paper_resolution;
+    let loc = net.shape_at(&[pr.height, pr.width, 3], LAYER_LOCALIZED_TAP);
+    let ff = net.shape_at(&[pr.height, pr.width, 3], LAYER_FULL_FRAME_TAP);
+    let loc = match &data.task.crop {
+        None => loc,
+        Some(c) => {
+            let (h0, h1, w0, w1) = ff_core::extractor::crop_to_grid(c, loc[0], loc[1]);
+            vec![h1 - h0, w1 - w0, loc[2]]
+        }
+    };
+    (loc, ff)
+}
+
+/// Paper-scale cost of a localized MC over the given (cropped) tap shape.
+fn loc_cost(spec: &McSpec, tap_shape: Vec<usize>) -> u64 {
+    // Rebuild the architecture at paper dimensions (α = 1 channels).
+    let cfg = ff_models::LocalizedConfig::new(tap_shape[0], tap_shape[1], tap_shape[2], spec.seed);
+    cfg.build().multiply_adds(&tap_shape)
+}
+
+fn plain_prob(model: &mut McModel, fm: &Tensor) -> f32 {
+    match model {
+        McModel::Plain(net) => ff_nn::sigmoid(net.forward(fm, Phase::Inference).data()[0]),
+        McModel::Windowed(_) => unreachable!("figure 7 uses plain MCs"),
+    }
+}
+
+fn dc_sweep(h: usize, w: usize, quick: bool) -> Vec<DcConfig> {
+    let base = DcConfig::representative(h, w, 31);
+    let mut out = vec![
+        DcConfig { conv_layers: 2, kernels: 16, stride: 2, pooling_layers: 1, separable: false, ..base },
+        DcConfig { conv_layers: 3, kernels: 32, stride: 2, pooling_layers: 1, separable: false, ..base },
+        DcConfig { conv_layers: 4, kernels: 64, stride: 2, pooling_layers: 0, separable: false, ..base },
+    ];
+    if !quick {
+        out.push(DcConfig { conv_layers: 3, kernels: 32, stride: 2, pooling_layers: 1, separable: true, ..base });
+        out.push(DcConfig { conv_layers: 2, kernels: 64, stride: 3, pooling_layers: 0, separable: false, ..base });
+    }
+    out.retain(|c| c.fits());
+    out
+}

@@ -1,0 +1,141 @@
+//! Development probe: verifies the end-to-end accuracy pathway — train a
+//! localized MC on MobileNet taps and measure event F1 on the held-out
+//! video. Not a paper figure; a fast sanity harness.
+
+use ff_bench::{arg_f64, arg_flag, arg_usize};
+use ff_core::evaluate::{mc_probs, score_probs};
+use ff_core::pretrain::{pretrained_mobilenet, PretrainConfig};
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McSpec};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
+
+fn main() {
+    let scale = arg_usize("--scale", 16);
+    let frames = arg_usize("--frames", 1500);
+    let alpha = arg_f64("--alpha", 0.5) as f32;
+    let epochs = arg_usize("--epochs", 3);
+    let lr = arg_f64("--lr", 1e-3) as f32;
+    let pretrain_steps = arg_usize("--pretrain", 0);
+    let tap = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--tap")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "conv4_2/sep".to_string());
+    let t0 = std::time::Instant::now();
+
+    let dataset = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--dataset")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "jackson".to_string());
+    let arch = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--arch")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "localized".to_string());
+    let data = if dataset == "roadway" {
+        DatasetSpec::roadway_like(scale, frames, 42)
+    } else {
+        DatasetSpec::jackson_like(scale, frames, 42)
+    };
+    let mut spec = match arch.as_str() {
+        "fullframe" => McSpec::full_frame("probe", 7),
+        "windowed" => McSpec::windowed("probe", data.task.crop, 7),
+        _ => McSpec::localized("probe", data.task.crop, 7),
+    };
+    if std::env::args().any(|a| a == "--tap") {
+        spec.tap = tap.clone();
+    }
+    println!("dataset={dataset} arch={arch} tap={} scale={scale} frames={frames} alpha={alpha}", spec.tap);
+
+    let mn_cfg = MobileNetConfig::with_width(alpha);
+    let mut extractor = if pretrain_steps > 0 {
+        let net = pretrained_mobilenet(
+            &mn_cfg,
+            &PretrainConfig {
+                steps: pretrain_steps,
+                ..Default::default()
+            },
+        );
+        println!("pretrained {pretrain_steps} steps in {:.1}s", t0.elapsed().as_secs_f64());
+        FeatureExtractor::from_network(net, mn_cfg, vec![spec.tap.clone()])
+    } else {
+        FeatureExtractor::new(mn_cfg, vec![spec.tap.clone()])
+    };
+
+    // Calibrate folded batch-norms on a handful of unlabeled scene frames.
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(8)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+    println!("calibrated in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if arg_flag("--stats") {
+        // Feature statistics: are different frames distinguishable?
+        let mut video = data.open(Split::Train);
+        let a = video.next().unwrap().frame.to_tensor();
+        let b = video.nth(200).unwrap().frame.to_tensor();
+        let fa = extractor.extract(&a);
+        let fb = extractor.extract(&b);
+        let (ta, tb) = (fa.get(&spec.tap), fb.get(&spec.tap));
+        let mean = ta.mean();
+        let max = ta.max();
+        let diff: f32 = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / ta.len() as f32;
+        let rel = diff / (mean.abs() + 1e-9);
+        println!("tap {tap}: mean {mean:.4} max {max:.4} |Δ| {diff:.5} rel-Δ {rel:.4}");
+    }
+
+    let train_cfg = TrainConfig {
+        epochs,
+        lr,
+        augment_shift_w: arg_usize("--aug", 0),
+        max_cached: arg_usize("--cache", 1200),
+        ..Default::default()
+    };
+    let trained = train_mc(&mut extractor, &spec, &data, &train_cfg);
+    println!(
+        "trained in {:.1}s, threshold {:.2}, losses {:?}",
+        t0.elapsed().as_secs_f64(),
+        trained.threshold,
+        trained.loss_history
+    );
+
+    let mut model = trained.model;
+    let eval_split = if arg_flag("--eval-train") { Split::Train } else { Split::Test };
+    let test = data.open(eval_split).map(|lf| (lf.frame, lf.label));
+    let (probs, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
+    if arg_flag("--dump") {
+        let mut pos: Vec<f32> = probs.iter().zip(&labels).filter(|(_, &l)| l).map(|(&p, _)| p).collect();
+        let mut neg: Vec<f32> = probs.iter().zip(&labels).filter(|(_, &l)| !l).map(|(&p, _)| p).collect();
+        pos.sort_by(f32::total_cmp);
+        neg.sort_by(f32::total_cmp);
+        let q = |v: &[f32], f: f64| if v.is_empty() { f32::NAN } else { v[((v.len() - 1) as f64 * f) as usize] };
+        println!(
+            "test probs: pos n={} q10={:.3} q50={:.3} q90={:.3} | neg n={} q50={:.3} q90={:.3} q99={:.3}",
+            pos.len(), q(&pos, 0.1), q(&pos, 0.5), q(&pos, 0.9),
+            neg.len(), q(&neg, 0.5), q(&neg, 0.9), q(&neg, 0.99)
+        );
+    }
+    let score = score_probs(&probs, trained.threshold, spec.smoothing, &labels);
+    println!(
+        "test: events={} predicted_frames={} recall={:.3} precision={:.3} F1={:.3}  ({:.1}s total)",
+        score.gt_events,
+        score.predicted_frames,
+        score.recall,
+        score.precision,
+        score.f1,
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,61 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! FilterForward paper (see `DESIGN.md` §4 for the index) and writes both a
+//! human-readable table to stdout and a CSV under `target/figures/`.
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Returns the directory where figure CSVs are written, creating it.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("figures");
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `target/figures/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = figures_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    path
+}
+
+/// Parses `--key value` style arguments with a default.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    arg_value(key).map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+/// Parses a float argument.
+pub fn arg_f64(key: &str, default: f64) -> f64 {
+    arg_value(key).map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+/// Whether a bare flag (e.g. `--quick`) is present.
+pub fn arg_flag(key: &str) -> bool {
+    std::env::args().any(|a| a == key)
+}
+
+fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pretty-prints a ratio line used by the §4.3–§4.5 textual claims.
+pub fn claim(label: &str, ours: f64, paper: &str) {
+    println!("  {label}: measured {ours:.2} (paper: {paper})");
+}
+
+pub mod throughput;
+

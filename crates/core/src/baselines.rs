@@ -1,0 +1,167 @@
+//! The two baseline filtering strategies of Figure 5 (§4.4):
+//!
+//! * **Discrete classifiers (DCs)** — NoScope-style pixel-level CNNs, one
+//!   full pixels-to-verdict network per application.
+//! * **Multiple MobileNets** — one full base DNN (with a binary head) per
+//!   application.
+//!
+//! Both pay per-classifier pixel processing; FilterForward's point is that
+//! the shared feature extractor amortizes it.
+
+use ff_models::{DcConfig, MobileNetConfig};
+use ff_nn::{Phase, Sequential};
+use ff_tensor::Tensor;
+use ff_video::Resolution;
+
+/// A bank of N independent discrete classifiers on raw pixels.
+pub struct DcBank {
+    dcs: Vec<Sequential>,
+    cfg: DcConfig,
+}
+
+impl std::fmt::Debug for DcBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DcBank({} classifiers)", self.dcs.len())
+    }
+}
+
+impl DcBank {
+    /// Builds `n` classifiers from the same architecture (distinct seeds —
+    /// each application trains its own weights).
+    pub fn new(cfg: DcConfig, n: usize) -> Self {
+        let dcs = (0..n)
+            .map(|i| DcConfig { seed: cfg.seed + 101 * i as u64, ..cfg }.build())
+            .collect();
+        DcBank { dcs, cfg }
+    }
+
+    /// Number of classifiers.
+    pub fn len(&self) -> usize {
+        self.dcs.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dcs.is_empty()
+    }
+
+    /// Runs every classifier on a frame tensor, returning probabilities.
+    pub fn classify_all(&mut self, frame: &Tensor) -> Vec<f32> {
+        self.dcs
+            .iter_mut()
+            .map(|dc| ff_nn::sigmoid(dc.forward(frame, Phase::Inference).data()[0]))
+            .collect()
+    }
+
+    /// Access one classifier (e.g. to train it).
+    pub fn dc_mut(&mut self, i: usize) -> &mut Sequential {
+        &mut self.dcs[i]
+    }
+
+    /// Marginal multiply-adds per classifier per frame.
+    pub fn multiply_adds_each(&self) -> u64 {
+        self.cfg.multiply_adds()
+    }
+}
+
+/// A bank of N full MobileNets, each with a binary classification head —
+/// the naïve multi-tenancy strategy.
+pub struct MobileNetBank {
+    nets: Vec<Sequential>,
+    cfg: MobileNetConfig,
+    resolution: Resolution,
+}
+
+impl std::fmt::Debug for MobileNetBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MobileNetBank({} networks)", self.nets.len())
+    }
+}
+
+impl MobileNetBank {
+    /// Builds `n` full networks with binary heads.
+    pub fn new(base: MobileNetConfig, resolution: Resolution, n: usize) -> Self {
+        let cfg = MobileNetConfig {
+            include_head: true,
+            num_classes: 1,
+            ..base
+        };
+        let nets = (0..n)
+            .map(|i| {
+                MobileNetConfig {
+                    seed: cfg.seed + 31 * i as u64,
+                    ..cfg
+                }
+                .build()
+            })
+            .collect();
+        MobileNetBank { nets, cfg, resolution }
+    }
+
+    /// Number of networks.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Runs every network on a frame tensor, returning probabilities.
+    pub fn classify_all(&mut self, frame: &Tensor) -> Vec<f32> {
+        self.nets
+            .iter_mut()
+            .map(|net| ff_nn::sigmoid(net.forward(frame, Phase::Inference).data()[0]))
+            .collect()
+    }
+
+    /// Per-instance memory at paper scale (drives the Figure 5 OOM model).
+    pub fn instance_bytes_at(&self, res: Resolution) -> u64 {
+        crate::node::mobilenet_instance_bytes(&self.cfg, res)
+    }
+
+    /// Multiply-adds per network per frame at this bank's resolution.
+    pub fn multiply_adds_each(&self) -> u64 {
+        self.nets
+            .first()
+            .map(|n| n.multiply_adds(&[self.resolution.height, self.resolution.width, 3]))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_bank_emits_one_prob_per_classifier() {
+        let cfg = DcConfig::representative(32, 48, 7);
+        let mut bank = DcBank::new(cfg, 3);
+        let frame = Tensor::filled(vec![32, 48, 3], 0.5);
+        let probs = bank.classify_all(&frame);
+        assert_eq!(probs.len(), 3);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Distinct seeds ⇒ distinct outputs.
+        assert!(probs[0] != probs[1] || probs[1] != probs[2]);
+    }
+
+    #[test]
+    fn mobilenet_bank_runs() {
+        let mut bank = MobileNetBank::new(MobileNetConfig::with_width(0.25), Resolution::new(48, 32), 2);
+        let frame = Tensor::filled(vec![32, 48, 3], 0.5);
+        let probs = bank.classify_all(&frame);
+        assert_eq!(probs.len(), 2);
+        assert!(bank.multiply_adds_each() > 0);
+    }
+
+    #[test]
+    fn cost_ordering_matches_figure5_premises() {
+        // Per classifier: MobileNet > DC. This is the premise behind the
+        // DCs beating MobileNets at every N in Figure 5.
+        let res = Resolution::new(192, 108);
+        let bank = MobileNetBank::new(MobileNetConfig::with_width(0.5), res, 1);
+        let dc = DcConfig::representative(res.height, res.width, 0);
+        assert!(bank.multiply_adds_each() > dc.multiply_adds());
+    }
+}

@@ -1,0 +1,114 @@
+//! The "compress everything" baseline of Figure 4: compress the *entire*
+//! stream to a low bitrate, upload it all, and run the filter in the cloud
+//! on the decoded frames.
+//!
+//! Running the same microclassifier on both the original edge stream and
+//! the decoded cloud stream "allows us to simultaneously analyze
+//! [FilterForward's] bandwidth and accuracy benefits" (§4.3): the baseline
+//! pays full-stream bandwidth *and* loses the fine details the quantizer
+//! discards.
+
+use ff_video::codec::{Decoder, Encoder, EncoderConfig};
+use ff_video::{Frame, Resolution};
+
+/// Transcodes a frame stream through the codec at a target bitrate,
+/// yielding decoded frames and counting the bytes that crossed the wire.
+pub struct TranscodedStream<I> {
+    inner: I,
+    encoder: Encoder,
+    decoder: Decoder,
+    bytes: u64,
+    frames: u64,
+    fps: f64,
+}
+
+impl<I> TranscodedStream<I> {
+    /// Wraps a `(Frame, label)` stream with encode→upload→decode at
+    /// `bitrate_bps`.
+    pub fn new(inner: I, resolution: Resolution, fps: f64, bitrate_bps: f64) -> Self {
+        TranscodedStream {
+            inner,
+            encoder: Encoder::new(EncoderConfig::with_bitrate(resolution, fps, bitrate_bps)),
+            decoder: Decoder::new(),
+            bytes: 0,
+            frames: 0,
+            fps,
+        }
+    }
+
+    /// Bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average bandwidth so far in bits/second.
+    pub fn average_bps(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 * self.fps / self.frames as f64
+        }
+    }
+}
+
+impl<I: Iterator<Item = (Frame, bool)>> Iterator for TranscodedStream<I> {
+    type Item = (Frame, bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (frame, label) = self.inner.next()?;
+        let encoded = self.encoder.encode(&frame);
+        self.bytes += encoded.data.len() as u64;
+        self.frames += 1;
+        let decoded = self
+            .decoder
+            .decode(&encoded)
+            .expect("in-process bitstream cannot be corrupt");
+        Some((decoded, label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_video::scene::{Scene, SceneConfig};
+
+    fn frames(n: usize) -> Vec<(Frame, bool)> {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(64, 32),
+            seed: 2,
+            pedestrian_rate: 0.2,
+            ..Default::default()
+        };
+        Scene::new(cfg).take(n).map(|(f, t)| (f, !t.is_empty())).collect()
+    }
+
+    #[test]
+    fn transcoding_preserves_labels_and_counts_bytes() {
+        let src = frames(20);
+        let labels: Vec<bool> = src.iter().map(|(_, l)| *l).collect();
+        let mut ts = TranscodedStream::new(src.into_iter(), Resolution::new(64, 32), 15.0, 80_000.0);
+        let out: Vec<(Frame, bool)> = ts.by_ref().collect();
+        assert_eq!(out.len(), 20);
+        let out_labels: Vec<bool> = out.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, out_labels);
+        assert!(ts.bytes() > 0);
+        assert!(ts.average_bps() > 0.0);
+    }
+
+    #[test]
+    fn lower_bitrate_degrades_decoded_quality() {
+        let src = frames(15);
+        let originals: Vec<Frame> = src.iter().map(|(f, _)| f.clone()).collect();
+        let psnr_at = |bps: f64| {
+            let ts = TranscodedStream::new(src.clone().into_iter(), Resolution::new(64, 32), 15.0, bps);
+            let decoded: Vec<Frame> = ts.map(|(f, _)| f).collect();
+            decoded
+                .iter()
+                .zip(&originals)
+                .map(|(d, o)| d.psnr(o).min(60.0))
+                .sum::<f64>()
+                / originals.len() as f64
+        };
+        assert!(psnr_at(300_000.0) > psnr_at(15_000.0));
+    }
+}

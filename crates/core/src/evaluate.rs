@@ -1,0 +1,135 @@
+//! Offline evaluation helpers: per-frame probabilities over a video,
+//! smoothing, and event scoring — the measurement half of Figures 4 and 7.
+
+use ff_tensor::Tensor;
+use ff_video::Frame;
+
+use crate::extractor::FeatureExtractor;
+use crate::smoothing::{KVotingSmoother, SmoothingConfig};
+use crate::spec::{McModel, McSpec};
+
+/// Raw per-frame probabilities of a microclassifier over a frame stream,
+/// aligned with the stream's labels.
+///
+/// The windowed MC classifies with a symmetric window (edge-clamped), so
+/// its probabilities are also one-per-frame.
+pub fn mc_probs(
+    extractor: &mut FeatureExtractor,
+    spec: &McSpec,
+    model: &mut McModel,
+    frames: impl Iterator<Item = (Frame, bool)>,
+) -> (Vec<f32>, Vec<bool>) {
+    use ff_nn::Phase;
+    let mut probs = Vec::new();
+    let mut labels = Vec::new();
+    match model {
+        McModel::Plain(net) => {
+            for (frame, label) in frames {
+                let fm = extract_cropped(extractor, spec, &frame);
+                probs.push(ff_nn::sigmoid(net.forward(&fm, Phase::Inference).data()[0]));
+                labels.push(label);
+            }
+        }
+        McModel::Windowed(wc) => {
+            let w = wc.window();
+            let d = (w - 1) / 2;
+            let mut ring: std::collections::VecDeque<Tensor> = Default::default();
+            let mut t: i64 = -1;
+            for (frame, label) in frames {
+                t += 1;
+                labels.push(label);
+                let fm = extract_cropped(extractor, spec, &frame);
+                ring.push_back(wc.project(&fm, Phase::Inference));
+                if ring.len() > w {
+                    ring.pop_front();
+                }
+                if t >= d as i64 {
+                    probs.push(classify_ring(wc, &ring, t - d as i64, t));
+                }
+            }
+            // Flush trailing frames with clamped windows.
+            for c in (t - d as i64 + 1).max(0)..=t {
+                if probs.len() < labels.len() {
+                    probs.push(classify_ring(wc, &ring, c, t));
+                }
+            }
+        }
+    }
+    assert_eq!(probs.len(), labels.len(), "probability/label misalignment");
+    (probs, labels)
+}
+
+fn classify_ring(
+    wc: &mut ff_models::WindowedClassifier,
+    ring: &std::collections::VecDeque<Tensor>,
+    c: i64,
+    newest: i64,
+) -> f32 {
+    let w = wc.window();
+    let d = (w - 1) / 2;
+    let first = newest - ring.len() as i64 + 1;
+    let window: Vec<&Tensor> = (0..w)
+        .map(|i| {
+            let want = c - d as i64 + i as i64;
+            let idx = (want.clamp(first, newest) - first) as usize;
+            &ring[idx]
+        })
+        .collect();
+    ff_nn::sigmoid(wc.classify_window(&window, ff_nn::Phase::Inference).data()[0])
+}
+
+fn extract_cropped(extractor: &mut FeatureExtractor, spec: &McSpec, frame: &Frame) -> Tensor {
+    let t = frame.to_tensor();
+    let maps = extractor.extract(&t);
+    let fm = maps.get(&spec.tap);
+    match &spec.crop {
+        None => fm.clone(),
+        Some(c) => crate::extractor::crop_feature_map(fm, c),
+    }
+}
+
+/// Thresholds probabilities and applies K-voting offline, returning
+/// smoothed per-frame decisions.
+pub fn smooth_decisions(probs: &[f32], threshold: f32, cfg: SmoothingConfig) -> Vec<bool> {
+    let mut smoother = KVotingSmoother::new(cfg);
+    let mut out: Vec<(u64, bool)> = Vec::new();
+    for &p in probs {
+        out.extend(smoother.push(p >= threshold));
+    }
+    out.extend(smoother.finish());
+    out.into_iter().map(|(_, d)| d).collect()
+}
+
+/// End-to-end event score for probabilities at a threshold, with the
+/// paper's smoothing and recall weights.
+pub fn score_probs(
+    probs: &[f32],
+    threshold: f32,
+    smoothing: SmoothingConfig,
+    gt_labels: &[bool],
+) -> ff_eval::EventScore {
+    let smoothed = smooth_decisions(probs, threshold, smoothing);
+    ff_eval::score_labels(gt_labels, &smoothed, ff_eval::RecallWeights::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_repairs_holes_in_decisions() {
+        let probs = [0.9f32, 0.9, 0.1, 0.9, 0.9, 0.9, 0.9];
+        let smoothed = smooth_decisions(&probs, 0.5, SmoothingConfig::default());
+        assert_eq!(smoothed.len(), probs.len());
+        assert!(smoothed.iter().all(|&d| d), "{smoothed:?}");
+    }
+
+    #[test]
+    fn score_probs_perfect_case() {
+        let gt = [false, true, true, true, false, false];
+        let probs: Vec<f32> = gt.iter().map(|&l| if l { 0.9 } else { 0.1 }).collect();
+        // With N=1 smoothing (identity) the score is perfect.
+        let s = score_probs(&probs, 0.5, SmoothingConfig { n: 1, k: 1 }, &gt);
+        assert!((s.f1 - 1.0).abs() < 1e-9, "{s:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! From smoothed per-frame classifications to events (paper §3.5).
+//!
+//! "The resulting smoothed, per-frame labels are fed into a transition
+//! detector that considers each contiguous segment of positively-classified
+//! frames to be a unique event. Each event is assigned an MC-specific,
+//! monotonically increasing, unique ID, which is stored in each frame's
+//! metadata."
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a deployed microclassifier within one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct McId(pub usize);
+
+/// MC-specific, monotonically increasing event identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+/// A completed (or still-open) event detected by one MC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// The detecting MC.
+    pub mc: McId,
+    /// The event's ID (unique and increasing per MC).
+    pub id: EventId,
+    /// First frame of the event.
+    pub start: u64,
+    /// One past the last frame (`None` while the event is still open).
+    pub end: Option<u64>,
+}
+
+/// Streaming transition detector for one MC.
+///
+/// Push smoothed `(frame, decision)` pairs in frame order; transitions
+/// open and close [`EventRecord`]s with monotonically increasing IDs.
+#[derive(Debug, Clone)]
+pub struct TransitionDetector {
+    mc: McId,
+    next_id: u64,
+    open: Option<EventRecord>,
+    expected_frame: Option<u64>,
+}
+
+impl TransitionDetector {
+    /// Creates a detector for one MC.
+    pub fn new(mc: McId) -> Self {
+        TransitionDetector {
+            mc,
+            next_id: 0,
+            open: None,
+            expected_frame: None,
+        }
+    }
+
+    /// The event currently in progress, if any.
+    pub fn open_event(&self) -> Option<&EventRecord> {
+        self.open.as_ref()
+    }
+
+    /// Pushes the smoothed decision for `frame`.
+    ///
+    /// Returns `(event the frame belongs to (if positive), event that just
+    /// closed (if any))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames arrive out of order.
+    pub fn push(&mut self, frame: u64, positive: bool) -> (Option<EventRecord>, Option<EventRecord>) {
+        if let Some(expected) = self.expected_frame {
+            assert_eq!(frame, expected, "transition detector: frames out of order");
+        }
+        self.expected_frame = Some(frame + 1);
+        match (positive, self.open.take()) {
+            (true, Some(ev)) => {
+                self.open = Some(ev);
+                (Some(ev), None)
+            }
+            (true, None) => {
+                let ev = EventRecord {
+                    mc: self.mc,
+                    id: EventId(self.next_id),
+                    start: frame,
+                    end: None,
+                };
+                self.next_id += 1;
+                self.open = Some(ev);
+                (Some(ev), None)
+            }
+            (false, Some(mut ev)) => {
+                ev.end = Some(frame);
+                (None, Some(ev))
+            }
+            (false, None) => (None, None),
+        }
+    }
+
+    /// Closes any open event at end of stream.
+    pub fn finish(mut self, stream_len: u64) -> Option<EventRecord> {
+        self.open.take().map(|mut ev| {
+            ev.end = Some(stream_len);
+            ev
+        })
+    }
+}
+
+/// Per-frame metadata: the (MC → event) mapping from §3.5 — "if frame F is
+/// part of event X for MC A and event Y for MC B, then F's internal
+/// metadata will contain the mapping (A → X; B → Y)".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameMetadata {
+    entries: Vec<(McId, EventId)>,
+}
+
+impl FrameMetadata {
+    /// Creates empty metadata.
+    pub fn new() -> Self {
+        FrameMetadata::default()
+    }
+
+    /// Records that this frame belongs to `event` for `mc`.
+    pub fn insert(&mut self, mc: McId, event: EventId) {
+        debug_assert!(!self.entries.iter().any(|(m, _)| *m == mc), "duplicate MC entry");
+        self.entries.push((mc, event));
+        self.entries.sort();
+    }
+
+    /// The event this frame belongs to for `mc`, if any.
+    pub fn event_for(&self, mc: McId) -> Option<EventId> {
+        self.entries.iter().find(|(m, _)| *m == mc).map(|&(_, e)| e)
+    }
+
+    /// All (MC, event) pairs.
+    pub fn entries(&self) -> &[(McId, EventId)] {
+        &self.entries
+    }
+
+    /// Whether any MC matched this frame.
+    pub fn matched(&self) -> bool {
+        !self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_events(decisions: &[bool]) -> Vec<EventRecord> {
+        let mut det = TransitionDetector::new(McId(0));
+        let mut events = Vec::new();
+        for (i, &d) in decisions.iter().enumerate() {
+            let (_, closed) = det.push(i as u64, d);
+            events.extend(closed);
+        }
+        events.extend(det.finish(decisions.len() as u64));
+        events
+    }
+
+    #[test]
+    fn contiguous_runs_become_events() {
+        let events = collect_events(&[false, true, true, false, true, false]);
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].start, events[0].end), (1, Some(3)));
+        assert_eq!((events[1].start, events[1].end), (4, Some(5)));
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_unique() {
+        let events = collect_events(&[true, false, true, false, true]);
+        let ids: Vec<u64> = events.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn open_event_closed_by_finish() {
+        let events = collect_events(&[false, true, true]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].end, Some(3));
+    }
+
+    #[test]
+    fn frame_membership_reported_while_open() {
+        let mut det = TransitionDetector::new(McId(3));
+        let (ev, _) = det.push(0, true);
+        let ev = ev.unwrap();
+        assert_eq!(ev.mc, McId(3));
+        assert_eq!(ev.start, 0);
+        let (ev2, _) = det.push(1, true);
+        assert_eq!(ev2.unwrap().id, ev.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_frames_panic() {
+        let mut det = TransitionDetector::new(McId(0));
+        let _ = det.push(0, true);
+        let _ = det.push(2, true);
+    }
+
+    #[test]
+    fn metadata_multimap() {
+        let mut md = FrameMetadata::new();
+        assert!(!md.matched());
+        md.insert(McId(1), EventId(7));
+        md.insert(McId(0), EventId(3));
+        assert_eq!(md.event_for(McId(1)), Some(EventId(7)));
+        assert_eq!(md.event_for(McId(2)), None);
+        assert_eq!(md.entries(), &[(McId(0), EventId(3)), (McId(1), EventId(7))]);
+        assert!(md.matched());
+    }
+}

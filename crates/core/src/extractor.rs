@@ -1,0 +1,241 @@
+//! The feature extractor (paper §3.1): runs the base DNN once per frame
+//! and exposes named intermediate activations to every microclassifier.
+//!
+//! This is FilterForward's computation-sharing core. The extractor executes
+//! only as deep as the deepest requested tap, and microclassifier crops are
+//! applied to the *feature maps*, never the pixels, so any number of MCs
+//! with different crops share one base-DNN pass (§3.2).
+
+use ff_data::CropRect;
+use ff_models::MobileNetConfig;
+use ff_nn::Sequential;
+use ff_tensor::Tensor;
+use ff_video::Resolution;
+
+/// Activations of the requested tap layers for one frame.
+#[derive(Debug, Clone)]
+pub struct FeatureMaps {
+    maps: Vec<(String, Tensor)>,
+}
+
+impl FeatureMaps {
+    /// The activation of a tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` was not requested at extractor construction.
+    pub fn get(&self, tap: &str) -> &Tensor {
+        self.maps
+            .iter()
+            .find(|(n, _)| n == tap)
+            .map(|(_, t)| t)
+            .unwrap_or_else(|| panic!("tap {tap:?} not extracted"))
+    }
+
+    /// Tap names present.
+    pub fn taps(&self) -> impl Iterator<Item = &str> {
+        self.maps.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// The shared base-DNN feature extractor.
+pub struct FeatureExtractor {
+    net: Sequential,
+    config: MobileNetConfig,
+    taps: Vec<String>,
+}
+
+impl std::fmt::Debug for FeatureExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FeatureExtractor(taps: {:?})", self.taps)
+    }
+}
+
+impl FeatureExtractor {
+    /// Builds a MobileNet-backed extractor serving the given taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or contains an unknown layer name.
+    pub fn new(config: MobileNetConfig, taps: Vec<String>) -> Self {
+        assert!(!taps.is_empty(), "extractor needs at least one tap");
+        let net = config.build();
+        for t in &taps {
+            assert!(net.index_of(t).is_some(), "unknown tap {t:?}");
+        }
+        FeatureExtractor { net, config, taps }
+    }
+
+    /// Wraps an existing (e.g. synthetically pretrained) backbone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or contains an unknown layer name.
+    pub fn from_network(net: Sequential, config: MobileNetConfig, taps: Vec<String>) -> Self {
+        assert!(!taps.is_empty(), "extractor needs at least one tap");
+        for t in &taps {
+            assert!(net.index_of(t).is_some(), "unknown tap {t:?}");
+        }
+        FeatureExtractor { net, config, taps }
+    }
+
+    /// The base-DNN configuration.
+    pub fn config(&self) -> &MobileNetConfig {
+        &self.config
+    }
+
+    /// Registered tap names.
+    pub fn taps(&self) -> &[String] {
+        &self.taps
+    }
+
+    /// Registers an additional tap (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer name is unknown.
+    pub fn ensure_tap(&mut self, tap: &str) {
+        if self.taps.iter().any(|t| t == tap) {
+            return;
+        }
+        assert!(self.net.index_of(tap).is_some(), "unknown tap {tap:?}");
+        self.taps.push(tap.to_string());
+    }
+
+    /// Runs the base DNN on one frame tensor (HWC, `[0,1]`), producing all
+    /// registered taps. Executes only to the deepest tap.
+    pub fn extract(&mut self, frame: &Tensor) -> FeatureMaps {
+        let tap_refs: Vec<&str> = self.taps.iter().map(String::as_str).collect();
+        let outs = self.net.forward_taps(frame, &tap_refs);
+        FeatureMaps {
+            maps: self.taps.iter().cloned().zip(outs).collect(),
+        }
+    }
+
+    /// Shape of a tap's activation for a given input resolution.
+    pub fn tap_shape(&self, res: Resolution, tap: &str) -> Vec<usize> {
+        self.net.shape_at(&[res.height, res.width, 3], tap)
+    }
+
+    /// Multiply-adds per frame, counted to the deepest registered tap.
+    pub fn multiply_adds(&self, res: Resolution) -> u64 {
+        let deepest = self
+            .taps
+            .iter()
+            .max_by_key(|t| self.net.index_of(t).expect("validated"))
+            .expect("non-empty");
+        self.net
+            .multiply_adds_to(&[res.height, res.width, 3], deepest)
+    }
+
+    /// Mutable access to the underlying network (synthetic pretraining).
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Calibrates the backbone's folded batch-norm layers from sample
+    /// frame tensors (DESIGN.md S2): per-channel statistics are fit layer
+    /// by layer, exactly the role BN plays in the original MobileNet. Call
+    /// once, with a handful of representative frames, before training or
+    /// deploying MCs.
+    pub fn calibrate(&mut self, sample_frames: &[Tensor]) {
+        use ff_nn::Layer;
+        let _ = self.net.calibrate(sample_frames.to_vec());
+    }
+}
+
+/// Rescales a fractional pixel-space crop onto a feature-map grid
+/// (paper §4.1: "the coordinates are rescaled based on the dimensions of
+/// the feature maps"), guaranteeing at least one cell.
+pub fn crop_to_grid(crop: &CropRect, grid_h: usize, grid_w: usize) -> (usize, usize, usize, usize) {
+    let h0 = ((crop.y0 * grid_h as f64).floor() as usize).min(grid_h.saturating_sub(1));
+    let w0 = ((crop.x0 * grid_w as f64).floor() as usize).min(grid_w.saturating_sub(1));
+    let h1 = ((crop.y1 * grid_h as f64).ceil() as usize).clamp(h0 + 1, grid_h);
+    let w1 = ((crop.x1 * grid_w as f64).ceil() as usize).clamp(w0 + 1, grid_w);
+    (h0, h1, w0, w1)
+}
+
+/// Applies a fractional crop to a feature map.
+pub fn crop_feature_map(fm: &Tensor, crop: &CropRect) -> Tensor {
+    let (h0, h1, w0, w1) = crop_to_grid(crop, fm.dims()[0], fm.dims()[1]);
+    fm.crop3(h0, h1, w0, w1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_models::{LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
+
+    fn tiny_extractor() -> FeatureExtractor {
+        FeatureExtractor::new(
+            MobileNetConfig::with_width(0.25),
+            vec![LAYER_LOCALIZED_TAP.into(), LAYER_FULL_FRAME_TAP.into()],
+        )
+    }
+
+    #[test]
+    fn extracts_both_taps_with_correct_shapes() {
+        let mut ex = tiny_extractor();
+        let res = Resolution::new(64, 32);
+        let frame = Tensor::filled(vec![32, 64, 3], 0.4);
+        let maps = ex.extract(&frame);
+        assert_eq!(
+            maps.get(LAYER_LOCALIZED_TAP).dims(),
+            ex.tap_shape(res, LAYER_LOCALIZED_TAP).as_slice()
+        );
+        assert_eq!(
+            maps.get(LAYER_FULL_FRAME_TAP).dims(),
+            ex.tap_shape(res, LAYER_FULL_FRAME_TAP).as_slice()
+        );
+    }
+
+    #[test]
+    fn cost_counts_only_to_deepest_tap() {
+        let shallow = FeatureExtractor::new(
+            MobileNetConfig::with_width(0.25),
+            vec![LAYER_LOCALIZED_TAP.into()],
+        );
+        let deep = tiny_extractor();
+        let res = Resolution::new(64, 32);
+        assert!(shallow.multiply_adds(res) < deep.multiply_adds(res));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tap")]
+    fn unknown_tap_rejected() {
+        let _ = FeatureExtractor::new(MobileNetConfig::with_width(0.25), vec!["conv9_9/sep".into()]);
+    }
+
+    #[test]
+    fn ensure_tap_is_idempotent() {
+        let mut ex = tiny_extractor();
+        let n = ex.taps().len();
+        ex.ensure_tap(LAYER_LOCALIZED_TAP);
+        assert_eq!(ex.taps().len(), n);
+        ex.ensure_tap("conv3_1/sep");
+        assert_eq!(ex.taps().len(), n + 1);
+    }
+
+    #[test]
+    fn crop_rescaling_matches_paper_semantics() {
+        // Bottom half of the frame on a 10-row grid → rows 5..10.
+        let crop = CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 };
+        assert_eq!(crop_to_grid(&crop, 10, 12), (5, 10, 0, 12));
+        // Tiny crops still produce at least one cell.
+        let sliver = CropRect { x0: 0.49, y0: 0.49, x1: 0.51, y1: 0.51 };
+        let (h0, h1, w0, w1) = crop_to_grid(&sliver, 4, 4);
+        assert!(h1 > h0 && w1 > w0);
+    }
+
+    #[test]
+    fn cropping_features_not_pixels_shares_extraction() {
+        // Two different crops of the same FeatureMaps: one extract call.
+        let mut ex = tiny_extractor();
+        let frame = Tensor::filled(vec![32, 64, 3], 0.3);
+        let maps = ex.extract(&frame);
+        let fm = maps.get(LAYER_LOCALIZED_TAP);
+        let top = crop_feature_map(fm, &CropRect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 0.5 });
+        let bottom = crop_feature_map(fm, &CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 });
+        assert_eq!(top.dims()[0] + bottom.dims()[0], fm.dims()[0]);
+    }
+}

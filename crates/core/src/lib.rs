@@ -1,0 +1,74 @@
+//! # FilterForward — the core system
+//!
+//! A faithful Rust implementation of the FilterForward architecture
+//! (Canel et al., MLSys 2019): an edge-to-cloud video filtering system in
+//! which one shared base DNN feeds many per-application
+//! **microclassifiers**, per-frame verdicts are smoothed into **events**,
+//! and only matching frames are re-encoded and uploaded over a
+//! bandwidth-constrained link.
+//!
+//! The crate is organized along Figure 1 of the paper:
+//!
+//! * [`extractor`] — the shared feature extractor (base DNN + named taps +
+//!   feature-map crops).
+//! * [`spec`] — microclassifier deployment specs and runtimes (the three
+//!   Figure-2 architectures with temporal buffering).
+//! * [`smoothing`] / [`events`] — K-voting and the transition detector
+//!   that assigns monotonically increasing per-MC event IDs.
+//! * [`pipeline`] — the end-to-end edge node: archive, extract, classify,
+//!   smooth, re-encode, upload.
+//! * [`archive`] — local storage + demand-fetch of context segments.
+//! * [`uplink`] — the constrained link model.
+//! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1
+//!   measurement.
+//! * [`baselines`] — discrete classifiers and multiple-MobileNets banks.
+//! * [`cloud`] — the "compress everything" strategy.
+//! * [`node`] — edge-node memory model (the Figure-5 OOM cliff).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ff_core::pipeline::{FilterForward, PipelineConfig};
+//! use ff_core::spec::McSpec;
+//! use ff_video::scene::{Scene, SceneConfig};
+//!
+//! let scene_cfg = SceneConfig::default();
+//! let mut pipeline = FilterForward::new(PipelineConfig::new(
+//!     scene_cfg.resolution,
+//!     scene_cfg.fps,
+//! ));
+//! pipeline.deploy(McSpec::localized("find-pedestrians", None, 42));
+//! let mut scene = Scene::new(scene_cfg);
+//! for _ in 0..100 {
+//!     let (frame, _truth) = scene.step();
+//!     for verdict in pipeline.process(&frame) {
+//!         if verdict.matched() {
+//!             println!("frame {} uploaded ({} bytes)", verdict.frame, verdict.uploaded_bytes);
+//!         }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod baselines;
+pub mod cloud;
+pub mod events;
+pub mod evaluate;
+pub mod extractor;
+pub mod node;
+pub mod pipeline;
+pub mod pretrain;
+pub mod query;
+pub mod smoothing;
+pub mod spec;
+pub mod train;
+pub mod uplink;
+
+pub use events::{EventId, EventRecord, McId};
+pub use extractor::{FeatureExtractor, FeatureMaps};
+pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};
+pub use smoothing::{KVotingSmoother, SmoothingConfig};
+pub use spec::{McKind, McModel, McRuntime, McSpec};
+pub use train::{train_dc, train_mc, TrainConfig, TrainedMc};

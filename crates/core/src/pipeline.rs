@@ -1,0 +1,526 @@
+//! The FilterForward edge pipeline (Figure 1): decode → shared feature
+//! extraction → N microclassifiers → K-voting → events → re-encode matched
+//! frames for upload, while archiving the original stream for demand-fetch.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use ff_models::MobileNetConfig;
+use ff_tensor::Tensor;
+use ff_video::codec::{EncodedFrame, Encoder, EncoderConfig};
+use ff_video::{Frame, Resolution};
+
+use crate::archive::{ArchiveConfig, EdgeArchive};
+use crate::events::{EventRecord, FrameMetadata, McId};
+use crate::extractor::FeatureExtractor;
+use crate::spec::{McRuntime, McSpec};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Base-DNN configuration.
+    pub mobilenet: MobileNetConfig,
+    /// Input stream resolution.
+    pub resolution: Resolution,
+    /// Frames per second of the input stream.
+    pub fps: f64,
+    /// Target bitrate for re-encoding matched frames (paper §4.3: "matched
+    /// frames are re-encoded to 250 Kb/s and 500 Kb/s" at paper scale).
+    pub upload_bitrate_bps: f64,
+    /// Archive the original stream to local storage (§3.2: "edge nodes
+    /// record the original video stream to disk"). `None` disables.
+    pub archive: Option<ArchiveConfig>,
+}
+
+impl PipelineConfig {
+    /// A config with sensible defaults for the given stream.
+    pub fn new(resolution: Resolution, fps: f64) -> Self {
+        PipelineConfig {
+            mobilenet: MobileNetConfig::with_width(0.5),
+            resolution,
+            fps,
+            upload_bitrate_bps: 50_000.0,
+            archive: Some(ArchiveConfig::default()),
+        }
+    }
+}
+
+/// Final verdict for one frame after all MCs decided.
+#[derive(Debug, Clone)]
+pub struct FrameVerdict {
+    /// Frame index.
+    pub frame: u64,
+    /// Per-MC event membership.
+    pub metadata: FrameMetadata,
+    /// Bytes uploaded for this frame (0 if dropped).
+    pub uploaded_bytes: usize,
+    /// Events that closed at this frame.
+    pub closed_events: Vec<EventRecord>,
+}
+
+impl FrameVerdict {
+    /// Whether any MC matched the frame.
+    pub fn matched(&self) -> bool {
+        self.metadata.matched()
+    }
+}
+
+/// Wall-clock phase accounting for Figure 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimers {
+    /// Total time in the base DNN (decode + feature extraction).
+    pub base_dnn: Duration,
+    /// Total time in microclassifier execution (including crops).
+    pub microclassifiers: Duration,
+    /// Frames processed.
+    pub frames: u64,
+}
+
+impl PhaseTimers {
+    /// Mean seconds per frame spent in the base DNN.
+    pub fn base_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.base_dnn.as_secs_f64() / self.frames as f64
+        }
+    }
+
+    /// Mean seconds per frame spent in MCs (all of them together).
+    pub fn mcs_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.microclassifiers.as_secs_f64() / self.frames as f64
+        }
+    }
+}
+
+/// Aggregate pipeline statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Frames ingested.
+    pub frames_in: u64,
+    /// Frames finalized.
+    pub frames_out: u64,
+    /// Frames uploaded (matched by ≥ 1 MC).
+    pub frames_uploaded: u64,
+    /// Bytes uploaded (re-encoded matched frames).
+    pub bytes_uploaded: u64,
+    /// Bytes written to the local archive.
+    pub bytes_archived: u64,
+    /// Events completed across all MCs.
+    pub events_closed: u64,
+}
+
+impl PipelineStats {
+    /// Average upload bandwidth in bits/second given the stream fps.
+    pub fn upload_bps(&self, fps: f64) -> f64 {
+        if self.frames_out == 0 {
+            0.0
+        } else {
+            self.bytes_uploaded as f64 * 8.0 * fps / self.frames_out as f64
+        }
+    }
+}
+
+struct Pending {
+    frame: Frame,
+    metadata: FrameMetadata,
+    closed: Vec<EventRecord>,
+    decided: usize,
+}
+
+/// The FilterForward pipeline.
+pub struct FilterForward {
+    cfg: PipelineConfig,
+    extractor: FeatureExtractor,
+    mcs: Vec<McRuntime>,
+    pending: BTreeMap<u64, Pending>,
+    next_in: u64,
+    next_out: u64,
+    upload_encoder: Encoder,
+    last_uploaded: Option<u64>,
+    archive: Option<EdgeArchive>,
+    stats: PipelineStats,
+    timers: PhaseTimers,
+}
+
+impl std::fmt::Debug for FilterForward {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FilterForward({} MCs, {} frames in)",
+            self.mcs.len(),
+            self.next_in
+        )
+    }
+}
+
+impl FilterForward {
+    /// Creates a pipeline with no microclassifiers deployed yet.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        // The base DNN always evaluates through the penultimate layer
+        // (`conv5_6/sep`), like the paper's feature extractor: its cost is
+        // a fixed per-frame overhead independent of which taps the
+        // currently-deployed MCs use (§3.1). Deploying an MC with an even
+        // deeper tap extends the run.
+        let extractor = FeatureExtractor::new(
+            cfg.mobilenet,
+            vec![
+                ff_models::LAYER_LOCALIZED_TAP.to_string(),
+                ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+            ],
+        );
+        let upload_encoder = Encoder::new(EncoderConfig::with_bitrate(
+            cfg.resolution,
+            cfg.fps,
+            cfg.upload_bitrate_bps,
+        ));
+        let archive = cfg.archive.map(|a| EdgeArchive::new(a, cfg.resolution, cfg.fps));
+        FilterForward {
+            cfg,
+            extractor,
+            mcs: Vec::new(),
+            pending: BTreeMap::new(),
+            next_in: 0,
+            next_out: 0,
+            upload_encoder,
+            last_uploaded: None,
+            archive,
+            stats: PipelineStats::default(),
+            timers: PhaseTimers::default(),
+        }
+    }
+
+    /// Deploys a microclassifier, returning its id and a mutable handle to
+    /// install trained weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames have already been processed (deploy-then-stream; the
+    /// paper's edge nodes install MCs out of band).
+    pub fn deploy(&mut self, spec: McSpec) -> McId {
+        assert_eq!(self.next_in, 0, "deploy MCs before streaming");
+        self.extractor.ensure_tap(&spec.tap);
+        let id = McId(self.mcs.len());
+        let rt = spec.build(&self.extractor, self.cfg.resolution, id);
+        self.mcs.push(rt);
+        id
+    }
+
+    /// Mutable access to a deployed MC (to install trained weights or tune
+    /// its threshold).
+    pub fn mc_mut(&mut self, id: McId) -> &mut McRuntime {
+        &mut self.mcs[id.0]
+    }
+
+    /// Calibrates the base DNN's folded batch-norms from sample frames
+    /// (DESIGN.md S2). Call before streaming; MCs must be trained against
+    /// a calibrated extractor with the same samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames have already been processed.
+    pub fn calibrate(&mut self, frames: &[Frame]) {
+        assert_eq!(self.next_in, 0, "calibrate before streaming");
+        let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
+        self.extractor.calibrate(&tensors);
+    }
+
+    /// Deployed MC count.
+    pub fn mc_count(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// The shared feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Phase timers (Figure 6).
+    pub fn timers(&self) -> &PhaseTimers {
+        &self.timers
+    }
+
+    /// The local archive, if enabled.
+    pub fn archive(&self) -> Option<&EdgeArchive> {
+        self.archive.as_ref()
+    }
+
+    /// Ingests one frame, returning any frames that became final (in
+    /// order). With temporal smoothing, verdicts trail the input by each
+    /// MC's delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MCs are deployed.
+    pub fn process(&mut self, frame: &Frame) -> Vec<FrameVerdict> {
+        assert!(!self.mcs.is_empty(), "deploy at least one MC before streaming");
+        let idx = self.next_in;
+        self.next_in += 1;
+        self.stats.frames_in += 1;
+
+        if let Some(archive) = &mut self.archive {
+            self.stats.bytes_archived += archive.record(frame) as u64;
+        }
+
+        // Phase 1: shared base-DNN feature extraction (timed).
+        let t0 = Instant::now();
+        let tensor = frame.to_tensor();
+        let maps = self.extractor.extract(&tensor);
+        self.timers.base_dnn += t0.elapsed();
+
+        self.pending.insert(
+            idx,
+            Pending {
+                frame: frame.clone(),
+                metadata: FrameMetadata::new(),
+                closed: Vec::new(),
+                decided: 0,
+            },
+        );
+
+        // Phase 2: every MC consumes the shared maps (timed as one block,
+        // matching the paper's phased execution / end-to-end flow control).
+        let t1 = Instant::now();
+        let mut decisions = Vec::new();
+        for mc in &mut self.mcs {
+            let fm = maps.get(&mc.spec().tap);
+            let cropped = mc.crop(fm);
+            for d in mc.process(&cropped) {
+                decisions.push((mc.id(), d));
+            }
+        }
+        self.timers.microclassifiers += t1.elapsed();
+        self.timers.frames += 1;
+
+        for (mc_id, d) in decisions {
+            self.apply_decision(mc_id, d);
+        }
+        self.drain()
+    }
+
+    fn apply_decision(&mut self, mc: McId, d: crate::spec::McDecision) {
+        let entry = self
+            .pending
+            .get_mut(&d.frame)
+            .expect("decision for unknown frame");
+        if let Some(ev) = d.event {
+            entry.metadata.insert(mc, ev);
+        }
+        if let Some(closed) = d.closed_event {
+            entry.closed.push(closed);
+        }
+        entry.decided += 1;
+    }
+
+    /// Finalizes fully-decided frames in order.
+    fn drain(&mut self) -> Vec<FrameVerdict> {
+        let n_mcs = self.mcs.len();
+        let mut out = Vec::new();
+        while let Some(entry) = self.pending.get(&self.next_out) {
+            if entry.decided < n_mcs {
+                break;
+            }
+            let Pending {
+                frame,
+                metadata,
+                closed,
+                ..
+            } = self.pending.remove(&self.next_out).expect("checked");
+            out.push(self.finalize(self.next_out, frame, metadata, closed));
+            self.next_out += 1;
+        }
+        out
+    }
+
+    fn finalize(
+        &mut self,
+        idx: u64,
+        frame: Frame,
+        metadata: FrameMetadata,
+        closed: Vec<EventRecord>,
+    ) -> FrameVerdict {
+        self.stats.frames_out += 1;
+        self.stats.events_closed += closed.len() as u64;
+        let mut uploaded_bytes = 0;
+        if metadata.matched() {
+            // Re-encode for upload; a gap in uploaded frames breaks the
+            // P-frame chain, so start a fresh GOP.
+            if self.last_uploaded != Some(idx.wrapping_sub(1)) {
+                self.upload_encoder.force_keyframe();
+            }
+            let encoded: EncodedFrame = self.upload_encoder.encode(&frame);
+            uploaded_bytes = encoded.data.len();
+            self.stats.frames_uploaded += 1;
+            self.stats.bytes_uploaded += uploaded_bytes as u64;
+            self.last_uploaded = Some(idx);
+        }
+        FrameVerdict {
+            frame: idx,
+            metadata,
+            uploaded_bytes,
+            closed_events: closed,
+        }
+    }
+
+    /// Flushes all in-flight frames at end of stream.
+    pub fn finish(mut self) -> (Vec<FrameVerdict>, PipelineStats, PhaseTimers) {
+        let mcs = std::mem::take(&mut self.mcs);
+        let n = mcs.len();
+        for mc in mcs {
+            let id = mc.id();
+            for d in mc.finish() {
+                self.apply_decision(id, d);
+            }
+        }
+        // Reinstate count for drain().
+        let mut out = Vec::new();
+        while let Some(entry) = self.pending.get(&self.next_out) {
+            if entry.decided < n {
+                break;
+            }
+            let Pending {
+                frame,
+                metadata,
+                closed,
+                ..
+            } = self.pending.remove(&self.next_out).expect("checked");
+            out.push(self.finalize(self.next_out, frame, metadata, closed));
+            self.next_out += 1;
+        }
+        assert!(
+            self.pending.is_empty(),
+            "frames left undecided at finish: {:?}",
+            self.pending.keys().collect::<Vec<_>>()
+        );
+        (out, self.stats, self.timers)
+    }
+
+    /// Extract features for one frame tensor without running MCs — used by
+    /// training and the throughput harness.
+    pub fn extract_only(&mut self, tensor: &Tensor) -> crate::extractor::FeatureMaps {
+        self.extractor.extract(tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoothing::SmoothingConfig;
+    use ff_video::scene::{Scene, SceneConfig};
+
+    fn tiny_cfg(res: Resolution) -> PipelineConfig {
+        PipelineConfig {
+            mobilenet: MobileNetConfig::with_width(0.25),
+            resolution: res,
+            fps: 15.0,
+            upload_bitrate_bps: 100_000.0,
+            archive: Some(ArchiveConfig::default()),
+        }
+    }
+
+    fn scene_frames(n: usize) -> Vec<Frame> {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(64, 32),
+            seed: 3,
+            pedestrian_rate: 0.2,
+            ..Default::default()
+        };
+        Scene::new(cfg).take(n).map(|(f, _)| f).collect()
+    }
+
+    #[test]
+    fn every_frame_gets_a_verdict() {
+        let res = Resolution::new(64, 32);
+        let mut ff = FilterForward::new(tiny_cfg(res));
+        ff.deploy(McSpec::full_frame("always", 1));
+        ff.deploy(McSpec::windowed("windowed", None, 2));
+        let frames = scene_frames(12);
+        let mut verdicts = Vec::new();
+        for f in &frames {
+            verdicts.extend(ff.process(f));
+        }
+        let (tail, stats, timers) = ff.finish();
+        verdicts.extend(tail);
+        assert_eq!(verdicts.len(), 12);
+        let idx: Vec<u64> = verdicts.iter().map(|v| v.frame).collect();
+        assert_eq!(idx, (0..12).collect::<Vec<_>>());
+        assert_eq!(stats.frames_out, 12);
+        assert_eq!(timers.frames, 12);
+        assert!(timers.base_dnn > Duration::ZERO);
+    }
+
+    #[test]
+    fn threshold_zero_uploads_everything_threshold_one_nothing() {
+        let res = Resolution::new(64, 32);
+        let frames = scene_frames(8);
+        for (threshold, expect_all) in [(0.0f32, true), (1.1f32, false)] {
+            let mut ff = FilterForward::new(tiny_cfg(res));
+            let spec = McSpec {
+                threshold,
+                smoothing: SmoothingConfig { n: 1, k: 1 },
+                ..McSpec::full_frame("t", 7)
+            };
+            ff.deploy(spec);
+            let mut verdicts = Vec::new();
+            for f in &frames {
+                verdicts.extend(ff.process(f));
+            }
+            let (tail, stats, _) = ff.finish();
+            verdicts.extend(tail);
+            if expect_all {
+                assert!(verdicts.iter().all(|v| v.matched()));
+                assert_eq!(stats.frames_uploaded, 8);
+                assert!(stats.bytes_uploaded > 0);
+            } else {
+                assert!(verdicts.iter().all(|v| !v.matched()));
+                assert_eq!(stats.frames_uploaded, 0);
+                assert_eq!(stats.bytes_uploaded, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn archive_records_all_frames_regardless_of_matches() {
+        let res = Resolution::new(64, 32);
+        let mut ff = FilterForward::new(tiny_cfg(res));
+        let spec = McSpec {
+            threshold: 1.1, // match nothing
+            smoothing: SmoothingConfig { n: 1, k: 1 },
+            ..McSpec::full_frame("nothing", 3)
+        };
+        ff.deploy(spec);
+        for f in scene_frames(6) {
+            let _ = ff.process(&f);
+        }
+        assert_eq!(ff.archive().unwrap().frames(), 6);
+        let (_, stats, _) = ff.finish();
+        assert!(stats.bytes_archived > 0);
+        assert_eq!(stats.frames_uploaded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deploy at least one MC")]
+    fn streaming_without_mcs_panics() {
+        let res = Resolution::new(32, 32);
+        let mut ff = FilterForward::new(tiny_cfg(res));
+        let _ = ff.process(&Frame::black(res));
+    }
+
+    #[test]
+    #[should_panic(expected = "deploy MCs before streaming")]
+    fn late_deploy_panics() {
+        let res = Resolution::new(64, 32);
+        let mut ff = FilterForward::new(tiny_cfg(res));
+        ff.deploy(McSpec::full_frame("a", 1));
+        let _ = ff.process(&Frame::black(res));
+        ff.deploy(McSpec::full_frame("b", 2));
+    }
+}

@@ -1,0 +1,201 @@
+//! Composite queries over microclassifier outputs.
+//!
+//! The paper motivates these directly: "combined with a simple traffic
+//! light classifier, a user could craft composite queries to detect
+//! jaywalkers" (§4.1). A [`Query`] is a boolean expression over the
+//! per-frame smoothed decisions of deployed MCs; evaluated per frame, it
+//! yields a derived label stream that segments into events exactly like a
+//! single MC's output — without running any additional network: composite
+//! semantics ride on the same shared computation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::McId;
+use crate::pipeline::FrameVerdict;
+
+/// A boolean expression over MC verdicts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// True when the MC matched the frame.
+    Mc(McId),
+    /// Logical AND.
+    And(Box<Query>, Box<Query>),
+    /// Logical OR.
+    Or(Box<Query>, Box<Query>),
+    /// Logical NOT.
+    Not(Box<Query>),
+}
+
+impl Query {
+    /// Leaf: the MC with this id matched.
+    pub fn mc(id: McId) -> Query {
+        Query::Mc(id)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Query) -> Query {
+        Query::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Query) -> Query {
+        Query::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        Query::Not(Box::new(self))
+    }
+
+    /// Evaluates against one finalized frame.
+    pub fn matches(&self, verdict: &FrameVerdict) -> bool {
+        match self {
+            Query::Mc(id) => verdict.metadata.event_for(*id).is_some(),
+            Query::And(a, b) => a.matches(verdict) && b.matches(verdict),
+            Query::Or(a, b) => a.matches(verdict) || b.matches(verdict),
+            Query::Not(q) => !q.matches(verdict),
+        }
+    }
+
+    /// Every MC the query references (deployment-time validation).
+    pub fn referenced_mcs(&self) -> Vec<McId> {
+        let mut out = Vec::new();
+        self.collect_mcs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_mcs(&self, out: &mut Vec<McId>) {
+        match self {
+            Query::Mc(id) => out.push(*id),
+            Query::And(a, b) | Query::Or(a, b) => {
+                a.collect_mcs(out);
+                b.collect_mcs(out);
+            }
+            Query::Not(q) => q.collect_mcs(out),
+        }
+    }
+}
+
+/// Streams a query over finalized verdicts, segmenting matches into
+/// composite events (monotonically increasing ids, like an MC's own
+/// transition detector).
+#[derive(Debug)]
+pub struct QueryRunner {
+    query: Query,
+    detector: crate::events::TransitionDetector,
+    /// Completed composite events.
+    events: Vec<crate::events::EventRecord>,
+    frames_seen: u64,
+}
+
+impl QueryRunner {
+    /// Creates a runner. The synthetic MC id distinguishes composite
+    /// events from per-MC ones in downstream metadata.
+    pub fn new(query: Query, composite_id: McId) -> Self {
+        QueryRunner {
+            query,
+            detector: crate::events::TransitionDetector::new(composite_id),
+            events: Vec::new(),
+            frames_seen: 0,
+        }
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Feeds one finalized verdict; returns whether the composite matched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if verdicts arrive out of frame order.
+    pub fn push(&mut self, verdict: &FrameVerdict) -> bool {
+        let m = self.query.matches(verdict);
+        let (_, closed) = self.detector.push(verdict.frame, m);
+        self.events.extend(closed);
+        self.frames_seen = verdict.frame + 1;
+        m
+    }
+
+    /// Closes any open composite event and returns all events.
+    pub fn finish(mut self) -> Vec<crate::events::EventRecord> {
+        if let Some(ev) = self.detector.finish(self.frames_seen) {
+            self.events.push(ev);
+        }
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventId, FrameMetadata};
+
+    fn verdict(frame: u64, matched: &[usize]) -> FrameVerdict {
+        let mut metadata = FrameMetadata::new();
+        for &m in matched {
+            metadata.insert(McId(m), EventId(0));
+        }
+        FrameVerdict {
+            frame,
+            metadata,
+            uploaded_bytes: 0,
+            closed_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn boolean_semantics() {
+        let q = Query::mc(McId(0)).and(Query::mc(McId(1)).not());
+        assert!(q.matches(&verdict(0, &[0])));
+        assert!(!q.matches(&verdict(0, &[0, 1])));
+        assert!(!q.matches(&verdict(0, &[1])));
+        assert!(!q.matches(&verdict(0, &[])));
+
+        let q = Query::mc(McId(0)).or(Query::mc(McId(1)));
+        assert!(q.matches(&verdict(0, &[1])));
+        assert!(!q.matches(&verdict(0, &[2])));
+    }
+
+    #[test]
+    fn referenced_mcs_deduped_sorted() {
+        let q = Query::mc(McId(2))
+            .and(Query::mc(McId(0)))
+            .or(Query::mc(McId(2)).not());
+        assert_eq!(q.referenced_mcs(), vec![McId(0), McId(2)]);
+    }
+
+    #[test]
+    fn runner_segments_composite_events() {
+        // "pedestrian AND car" — the hazard query.
+        let q = Query::mc(McId(0)).and(Query::mc(McId(1)));
+        let mut runner = QueryRunner::new(q, McId(100));
+        let pattern: Vec<&[usize]> = vec![
+            &[0],      // ped only
+            &[0, 1],   // both → event 0 opens
+            &[0, 1],   // continues
+            &[1],      // car only → closes
+            &[0, 1],   // event 1
+        ];
+        for (i, mcs) in pattern.iter().enumerate() {
+            runner.push(&verdict(i as u64, mcs));
+        }
+        let events = runner.finish();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].start, events[0].end), (1, Some(3)));
+        assert_eq!((events[1].start, events[1].end), (4, Some(5)));
+        assert_eq!(events[0].mc, McId(100));
+        assert!(events[1].id > events[0].id);
+    }
+
+    #[test]
+    fn query_serializes() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(_: &T) {}
+        let q = Query::mc(McId(0)).and(Query::mc(McId(1)).not());
+        assert_serde(&q);
+    }
+}

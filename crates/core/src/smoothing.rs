@@ -1,0 +1,191 @@
+//! K-Voting smoothing (paper §3.5).
+//!
+//! "Each MC's results for N consecutive frames are accumulated into a
+//! window. Then, to mask spurious misclassifications, we apply K-Voting to
+//! this window, treating the middle frame as a detection if at least K of
+//! the N frames in the window are positive detections. For our evaluation,
+//! we conservatively set N = 5 and K = 2."
+//!
+//! At stream edges the window is clipped: frame `f` is decided over
+//! `[f−(N−1)/2, f+(N−1)/2] ∩ [0, last]`, still requiring `K` votes, so
+//! every frame receives exactly one decision.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Voting parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmoothingConfig {
+    /// Window size `N` (odd; the decision applies to the middle frame).
+    pub n: usize,
+    /// Votes `K` required for a positive decision.
+    pub k: usize,
+}
+
+impl Default for SmoothingConfig {
+    fn default() -> Self {
+        SmoothingConfig { n: 5, k: 2 }
+    }
+}
+
+impl SmoothingConfig {
+    /// Decision latency in frames: `(N−1)/2`.
+    pub fn delay(&self) -> usize {
+        (self.n - 1) / 2
+    }
+}
+
+/// Streaming K-of-N voter. Push raw per-frame decisions; smoothed
+/// decisions emerge `(N−1)/2` frames later, tagged with the frame index
+/// they belong to.
+#[derive(Debug, Clone)]
+pub struct KVotingSmoother {
+    cfg: SmoothingConfig,
+    /// Raw values for frames `first..next_in`.
+    buf: VecDeque<bool>,
+    first: u64,
+    next_in: u64,
+    next_decide: u64,
+}
+
+impl KVotingSmoother {
+    /// Creates a smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero, or `k` is 0 or greater than `n`.
+    pub fn new(cfg: SmoothingConfig) -> Self {
+        assert!(cfg.n % 2 == 1, "window N must be odd, got {}", cfg.n);
+        assert!(cfg.k >= 1 && cfg.k <= cfg.n, "K must be in 1..=N");
+        KVotingSmoother {
+            cfg,
+            buf: VecDeque::with_capacity(cfg.n),
+            first: 0,
+            next_in: 0,
+            next_decide: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SmoothingConfig {
+        self.cfg
+    }
+
+    fn decide(&mut self, f: u64) -> (u64, bool) {
+        // Drop raw values older than the window's left edge.
+        let left = f.saturating_sub(self.cfg.delay() as u64);
+        while self.first < left {
+            self.buf.pop_front();
+            self.first += 1;
+        }
+        let votes = self.buf.iter().filter(|&&v| v).count();
+        (f, votes >= self.cfg.k)
+    }
+
+    /// Pushes the raw decision for the next frame. Once frame
+    /// `f + (N−1)/2` has arrived, returns the smoothed decision for `f`.
+    pub fn push(&mut self, raw: bool) -> Option<(u64, bool)> {
+        self.buf.push_back(raw);
+        let t = self.next_in;
+        self.next_in += 1;
+        if t >= self.cfg.delay() as u64 {
+            let f = self.next_decide;
+            self.next_decide += 1;
+            Some(self.decide(f))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes decisions for the trailing frames whose full window never
+    /// arrived (clipped at the stream end).
+    pub fn finish(mut self) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        while self.next_decide < self.next_in {
+            let f = self.next_decide;
+            self.next_decide += 1;
+            out.push(self.decide(f));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: SmoothingConfig, raw: &[bool]) -> Vec<bool> {
+        let mut s = KVotingSmoother::new(cfg);
+        let mut out = Vec::new();
+        for &r in raw {
+            out.extend(s.push(r));
+        }
+        out.extend(s.finish());
+        // Check indices are exactly 0..len in order, then strip them.
+        for (i, &(f, _)) in out.iter().enumerate() {
+            assert_eq!(f, i as u64);
+        }
+        out.into_iter().map(|(_, d)| d).collect()
+    }
+
+    #[test]
+    fn paper_defaults_mask_isolated_negatives() {
+        // A single false negative inside a positive run is repaired:
+        // 2-of-5 voting fills the hole.
+        let raw = [true, true, false, true, true, true, true];
+        let out = run(SmoothingConfig::default(), &raw);
+        assert!(out.iter().all(|&d| d), "{out:?}");
+    }
+
+    #[test]
+    fn single_positive_never_fires_with_k2() {
+        let raw = [false, false, false, true, false, false, false];
+        let out = run(SmoothingConfig::default(), &raw);
+        assert!(out.iter().all(|&d| !d));
+        // But two nearby positives do fire (false-positive spread is the
+        // documented cost of aggressive false-negative mitigation).
+        let raw2 = [false, false, true, true, false, false, false];
+        let out2 = run(SmoothingConfig::default(), &raw2);
+        assert!(out2.iter().any(|&d| d));
+    }
+
+    #[test]
+    fn decisions_are_delayed_by_half_window() {
+        let mut s = KVotingSmoother::new(SmoothingConfig::default());
+        assert_eq!(s.push(true), None); // frame 0 arrives
+        assert_eq!(s.push(true), None); // frame 1
+        // Frame 2 arrives → frame 0 decided over clipped window [0, 2].
+        assert_eq!(s.push(true), Some((0, true)));
+        assert_eq!(s.push(false), Some((1, true)));
+    }
+
+    #[test]
+    fn every_frame_gets_exactly_one_decision() {
+        for len in [0usize, 1, 2, 4, 5, 9, 23] {
+            let raw: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let out = run(SmoothingConfig::default(), &raw);
+            assert_eq!(out.len(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_logical_and_with_clipped_edges() {
+        let raw = [true, true, true, false, true, true, true];
+        let out = run(SmoothingConfig { n: 3, k: 3 }, &raw);
+        // Clipped edge windows have only 2 frames, so K = 3 can't pass.
+        assert_eq!(out, vec![false, true, false, false, false, true, false]);
+    }
+
+    #[test]
+    fn n1_is_identity() {
+        let raw = [true, false, true, true, false];
+        let out = run(SmoothingConfig { n: 1, k: 1 }, &raw);
+        assert_eq!(out, raw.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "window N must be odd")]
+    fn even_window_rejected() {
+        let _ = KVotingSmoother::new(SmoothingConfig { n: 4, k: 2 });
+    }
+}

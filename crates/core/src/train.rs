@@ -1,0 +1,437 @@
+//! Offline training of microclassifiers and discrete classifiers.
+//!
+//! "Each MC is trained offline by an application developer" (§1); both MCs
+//! and DCs are trained "on 0.5 epochs of data" (§4.5) — i.e. streaming
+//! passes over the training video, never a resident dataset. This module
+//! stride-samples the stream into a bounded in-memory cache (decorrelating
+//! consecutive frames), trains with Adam + class-weighted BCE on a shuffled
+//! 80% of the cache, and calibrates the decision threshold for event F1 on
+//! the held-out 20%.
+
+use ff_data::{DatasetSpec, Split};
+use ff_eval::RecallWeights;
+use ff_nn::{bce_with_logits_grad, Adam, Phase};
+use ff_tensor::Tensor;
+use ff_video::Frame;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::extractor::FeatureExtractor;
+use crate::spec::{McModel, McSpec};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the cached sample set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Maximum cached samples (stride-sampled across the video).
+    pub max_cached: usize,
+    /// Positive-class weight; `None` derives `negatives/positives` from
+    /// the training labels (clamped to `[1, 20]`).
+    pub pos_weight: Option<f32>,
+    /// Decoupled weight decay (AdamW) applied to all parameters.
+    pub weight_decay: f32,
+    /// Horizontal circular-shift augmentation, in feature-grid (or pixel)
+    /// columns. Use for translation-invariant tasks (People-with-red);
+    /// keep 0 for position-specific tasks (Pedestrian-in-crosswalk), whose
+    /// labels are tied to a fixed region. Offsets the scarcity of distinct
+    /// object trajectories in simulation-sized training videos.
+    pub augment_shift_w: usize,
+    /// Stop early once the epoch-mean loss drops below this (prevents the
+    /// memorization that miscalibrates thresholds on small caches).
+    pub early_stop_loss: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            lr: 1e-3,
+            max_cached: 1200,
+            pos_weight: None,
+            weight_decay: 1e-4,
+            augment_shift_w: 0,
+            early_stop_loss: 0.05,
+            seed: 0x7EA4,
+        }
+    }
+}
+
+/// A trained microclassifier with its calibrated threshold.
+pub struct TrainedMc {
+    /// The trained model.
+    pub model: McModel,
+    /// Threshold maximizing event F1 on the held-out calibration slice.
+    pub threshold: f32,
+    /// Mean loss per epoch.
+    pub loss_history: Vec<f32>,
+}
+
+impl std::fmt::Debug for TrainedMc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TrainedMc(threshold {:.2}, losses {:?})",
+            self.threshold, self.loss_history
+        )
+    }
+}
+
+fn auto_pos_weight(labels: &[bool]) -> f32 {
+    let pos = labels.iter().filter(|&&l| l).count().max(1);
+    let neg = labels.len() - pos;
+    ((neg as f32 / pos as f32).max(1.0)).min(20.0)
+}
+
+/// Stride that samples at most `max` items from `len`.
+fn stride_for(len: usize, max: usize) -> usize {
+    len.div_ceil(max.max(1)).max(1)
+}
+
+/// Trains a microclassifier on a dataset's training split.
+pub fn train_mc(
+    extractor: &mut FeatureExtractor,
+    spec: &McSpec,
+    data: &DatasetSpec,
+    cfg: &TrainConfig,
+) -> TrainedMc {
+    let res = data.resolution();
+    let rt = spec.build(extractor, res, crate::events::McId(usize::MAX));
+    let mut model = rt.into_model();
+    match &mut model {
+        McModel::Plain(_) => {
+            let (feats, labels) = cache_plain_features(extractor, spec, data, cfg);
+            train_plain_cached(&mut model, &feats, &labels, cfg, spec)
+        }
+        McModel::Windowed(_) => {
+            let (windows, labels) = cache_windowed_features(extractor, spec, data, cfg);
+            train_windowed_cached(&mut model, &windows, &labels, cfg, spec)
+        }
+    }
+}
+
+fn cache_plain_features(
+    extractor: &mut FeatureExtractor,
+    spec: &McSpec,
+    data: &DatasetSpec,
+    cfg: &TrainConfig,
+) -> (Vec<Tensor>, Vec<bool>) {
+    let video = data.open(Split::Train);
+    let total = video.remaining();
+    let stride = stride_for(total, cfg.max_cached);
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for lf in video {
+        if lf.index % stride != 0 {
+            continue;
+        }
+        let t = lf.frame.to_tensor();
+        let maps = extractor.extract(&t);
+        let fm = maps.get(&spec.tap);
+        let cropped = match &spec.crop {
+            None => fm.clone(),
+            Some(c) => crate::extractor::crop_feature_map(fm, c),
+        };
+        feats.push(cropped);
+        labels.push(lf.label);
+    }
+    (feats, labels)
+}
+
+fn cache_windowed_features(
+    extractor: &mut FeatureExtractor,
+    spec: &McSpec,
+    data: &DatasetSpec,
+    cfg: &TrainConfig,
+) -> (Vec<Vec<Tensor>>, Vec<bool>) {
+    // Windows need consecutive frames: keep a rolling deque of cropped
+    // feature maps and snapshot it at stride boundaries.
+    let video = data.open(Split::Train);
+    let total = video.remaining();
+    let max = (cfg.max_cached / 2).max(64);
+    let stride = stride_for(total, max);
+    let w = 5; // windows use the paper's W = 5
+    let mut ring: std::collections::VecDeque<(Tensor, bool)> = Default::default();
+    let mut windows = Vec::new();
+    let mut labels = Vec::new();
+    for lf in video {
+        let t = lf.frame.to_tensor();
+        let maps = extractor.extract(&t);
+        let fm = maps.get(&spec.tap);
+        let cropped = match &spec.crop {
+            None => fm.clone(),
+            Some(c) => crate::extractor::crop_feature_map(fm, c),
+        };
+        ring.push_back((cropped, lf.label));
+        if ring.len() > w {
+            ring.pop_front();
+        }
+        if ring.len() == w && lf.index % stride == 0 {
+            windows.push(ring.iter().map(|(f, _)| f.clone()).collect());
+            labels.push(ring[w / 2].1);
+        }
+    }
+    (windows, labels)
+}
+
+fn split_train_cal(n: usize) -> usize {
+    (n * 4) / 5
+}
+
+/// Circularly shifts an HWC tensor along its width axis.
+fn shift_w(t: &Tensor, s: isize) -> Tensor {
+    let (h, w, c) = (t.dims()[0], t.dims()[1], t.dims()[2]);
+    if s == 0 || w == 0 {
+        return t.clone();
+    }
+    let s = s.rem_euclid(w as isize) as usize;
+    let mut out = Tensor::zeros(vec![h, w, c]);
+    for y in 0..h {
+        for x in 0..w {
+            let src = (y * w + x) * c;
+            let dst = (y * w + (x + s) % w) * c;
+            out.data_mut()[dst..dst + c].copy_from_slice(&t.data()[src..src + c]);
+        }
+    }
+    out
+}
+
+/// Trains a plain (full-frame or localized) MC from pre-extracted,
+/// pre-cropped feature maps — the fast path when one extraction pass
+/// serves several MCs (Figures 4/7 train two MCs per dataset).
+pub fn train_plain_from_features(
+    mut model: McModel,
+    feats: &[Tensor],
+    labels: &[bool],
+    cfg: &TrainConfig,
+) -> TrainedMc {
+    train_plain_cached_impl(&mut model, feats, labels, cfg)
+}
+
+fn train_plain_cached(
+    model: &mut McModel,
+    feats: &[Tensor],
+    labels: &[bool],
+    cfg: &TrainConfig,
+    spec: &McSpec,
+) -> TrainedMc {
+    let _ = spec;
+    train_plain_cached_impl(model, feats, labels, cfg)
+}
+
+fn train_plain_cached_impl(
+    model: &mut McModel,
+    feats: &[Tensor],
+    labels: &[bool],
+    cfg: &TrainConfig,
+) -> TrainedMc {
+    let McModel::Plain(net) = model else {
+        unreachable!("plain trainer on windowed model")
+    };
+    let cut = split_train_cal(feats.len());
+    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut order: Vec<usize> = (0..cut).collect();
+    let mut history = Vec::new();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0;
+        for &i in &order {
+            use rand::Rng;
+            let x = if cfg.augment_shift_w > 0 {
+                let m = cfg.augment_shift_w as isize;
+                shift_w(&feats[i], rng.gen_range(-m..=m))
+            } else {
+                feats[i].clone()
+            };
+            let z = net.forward(&x, Phase::Train);
+            let y = Tensor::from_vec(vec![1], vec![labels[i] as u8 as f32]);
+            let (l, g) = bce_with_logits_grad(&z, &y, pos_weight);
+            total += l;
+            net.backward(&g);
+            opt.step(&mut net.params_mut());
+        }
+        history.push(total / cut.max(1) as f32);
+        if *history.last().unwrap() < cfg.early_stop_loss {
+            break;
+        }
+    }
+    // Calibrate on the held-out tail.
+    let cal_probs: Vec<f32> = feats[cut..]
+        .iter()
+        .map(|f| ff_nn::sigmoid(net.forward(f, Phase::Inference).data()[0]))
+        .collect();
+    let threshold = calibrate_threshold(&cal_probs, &labels[cut..]);
+    let mut out_model = McModel::Plain(std::mem::take(net));
+    if let McModel::Plain(n) = &mut out_model {
+        n.clear_cache();
+    }
+    TrainedMc {
+        model: out_model,
+        threshold,
+        loss_history: history,
+    }
+}
+
+fn train_windowed_cached(
+    model: &mut McModel,
+    windows: &[Vec<Tensor>],
+    labels: &[bool],
+    cfg: &TrainConfig,
+    spec: &McSpec,
+) -> TrainedMc {
+    let McModel::Windowed(wc) = model else {
+        unreachable!("windowed trainer on plain model")
+    };
+    let cut = split_train_cal(windows.len());
+    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut order: Vec<usize> = (0..cut).collect();
+    let mut history = Vec::new();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0;
+        for &i in &order {
+            use rand::Rng;
+            let shift = if cfg.augment_shift_w > 0 {
+                rng.gen_range(-(cfg.augment_shift_w as isize)..=cfg.augment_shift_w as isize)
+            } else {
+                0
+            };
+            let projected: Vec<Tensor> = windows[i]
+                .iter()
+                .map(|f| {
+                    let f = if shift != 0 { shift_w(f, shift) } else { f.clone() };
+                    wc.project(&f, Phase::Train)
+                })
+                .collect();
+            let refs: Vec<&Tensor> = projected.iter().collect();
+            let z = wc.classify_window(&refs, Phase::Train);
+            let y = Tensor::from_vec(vec![1], vec![labels[i] as u8 as f32]);
+            let (l, g) = bce_with_logits_grad(&z, &y, pos_weight);
+            total += l;
+            wc.backward_window(&g);
+            opt.step(&mut wc.params_mut());
+        }
+        history.push(total / cut.max(1) as f32);
+        if *history.last().unwrap() < cfg.early_stop_loss {
+            break;
+        }
+    }
+    let cal_probs: Vec<f32> = windows[cut..]
+        .iter()
+        .map(|win| {
+            let projected: Vec<Tensor> = win.iter().map(|f| wc.project(f, Phase::Inference)).collect();
+            let refs: Vec<&Tensor> = projected.iter().collect();
+            ff_nn::sigmoid(wc.classify_window(&refs, Phase::Inference).data()[0])
+        })
+        .collect();
+    let threshold = calibrate_threshold(&cal_probs, &labels[cut..]);
+    wc.clear_cache();
+    let cfg2 = *wc.config();
+    let fresh = cfg2.build();
+    let trained = std::mem::replace(wc, fresh);
+    let _ = spec;
+    TrainedMc {
+        model: McModel::Windowed(trained),
+        threshold,
+        loss_history: history,
+    }
+}
+
+/// Trains a discrete classifier (pixels → verdict) on a dataset's training
+/// split. Returns the trained net and calibrated threshold.
+pub fn train_dc(
+    dc: &mut ff_nn::Sequential,
+    data: &DatasetSpec,
+    cfg: &TrainConfig,
+) -> (f32, Vec<f32>) {
+    let video = data.open(Split::Train);
+    let total = video.remaining();
+    let stride = stride_for(total, cfg.max_cached);
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut labels: Vec<bool> = Vec::new();
+    for lf in video {
+        if lf.index % stride == 0 {
+            frames.push(lf.frame);
+            labels.push(lf.label);
+        }
+    }
+    let cut = split_train_cal(frames.len());
+    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut order: Vec<usize> = (0..cut).collect();
+    let mut history = Vec::new();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut totl = 0.0;
+        for &i in &order {
+            use rand::Rng;
+            let mut x = frames[i].to_tensor();
+            if cfg.augment_shift_w > 0 {
+                let m = cfg.augment_shift_w as isize;
+                x = shift_w(&x, rng.gen_range(-m..=m));
+            }
+            let z = dc.forward(&x, Phase::Train);
+            let y = Tensor::from_vec(vec![1], vec![labels[i] as u8 as f32]);
+            let (l, g) = bce_with_logits_grad(&z, &y, pos_weight);
+            totl += l;
+            dc.backward(&g);
+            opt.step(&mut dc.params_mut());
+        }
+        history.push(totl / cut.max(1) as f32);
+        if *history.last().unwrap() < cfg.early_stop_loss {
+            break;
+        }
+    }
+    let cal_probs: Vec<f32> = frames[cut..]
+        .iter()
+        .map(|f| ff_nn::sigmoid(dc.forward(&f.to_tensor(), Phase::Inference).data()[0]))
+        .collect();
+    dc.clear_cache();
+    (calibrate_threshold(&cal_probs, &labels[cut..]), history)
+}
+
+/// Picks the decision threshold from held-out probabilities.
+///
+/// Calibration slices are temporally close to the training data, so a raw
+/// F1-argmax picks overconfident (extreme) thresholds that collapse on
+/// unseen video. Instead the threshold is anchored at the **prevalence
+/// quantile** — the value that predicts exactly as many positives as the
+/// calibration labels contain, which is robust to monotone probability
+/// miscalibration — and then refined by a local F1 sweep around that
+/// anchor (ties resolved toward the lower threshold: the paper prefers
+/// false positives over false negatives, §3.2).
+pub fn calibrate_threshold(probs: &[f32], labels: &[bool]) -> f32 {
+    if probs.is_empty() {
+        return 0.5;
+    }
+    let pos = labels.iter().filter(|&&l| l).count();
+    let mut sorted: Vec<f32> = probs.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let anchor = if pos == 0 {
+        0.9
+    } else {
+        sorted[(pos - 1).min(sorted.len() - 1)].clamp(0.02, 0.95)
+    };
+    let lo = (anchor * 0.5).max(0.02);
+    let hi = (anchor * 1.5).min(0.95);
+    let grid: Vec<f64> = (0..=20)
+        .map(|i| lo as f64 + (hi - lo) as f64 * i as f64 / 20.0)
+        .collect();
+    let points = ff_eval::sweep_thresholds(probs, labels, grid, RecallWeights::default());
+    let best = points.iter().map(|p| p.score.f1).fold(0.0f64, f64::max);
+    points
+        .iter()
+        .find(|p| p.score.f1 >= best - 1e-9)
+        .map(|p| p.threshold as f32)
+        .unwrap_or(anchor)
+}
+

@@ -1,0 +1,136 @@
+//! Uplink model: the bandwidth-constrained edge-to-cloud link (§2.2.1 —
+//! "each camera receives a bandwidth allocation of a few hundred kilobits
+//! per second, or less").
+//!
+//! A token-bucket link: uploads drain at the provisioned rate; bursts queue
+//! (the paper notes "the upload will be throttled to the maximum bandwidth
+//! of the network connection"). The model reports queue depth and delivery
+//! latency so experiments can check an operating point is sustainable.
+
+/// A provisioned uplink.
+#[derive(Debug, Clone)]
+pub struct Uplink {
+    capacity_bps: f64,
+    fps: f64,
+    /// Bits queued but not yet delivered.
+    backlog_bits: f64,
+    /// Peak backlog observed.
+    peak_backlog_bits: f64,
+    total_bits: u64,
+    frames: u64,
+    dropped_overflow: u64,
+    queue_limit_bits: f64,
+}
+
+impl Uplink {
+    /// Creates a link with `capacity_bps` drained once per frame interval
+    /// and an unbounded queue.
+    pub fn new(capacity_bps: f64, fps: f64) -> Self {
+        assert!(capacity_bps > 0.0 && fps > 0.0, "capacity and fps must be positive");
+        Uplink {
+            capacity_bps,
+            fps,
+            backlog_bits: 0.0,
+            peak_backlog_bits: 0.0,
+            total_bits: 0,
+            frames: 0,
+            dropped_overflow: 0,
+            queue_limit_bits: f64::INFINITY,
+        }
+    }
+
+    /// Bounds the send queue; uploads beyond it are dropped (counted).
+    pub fn with_queue_limit_bytes(mut self, bytes: u64) -> Self {
+        self.queue_limit_bits = bytes as f64 * 8.0;
+        self
+    }
+
+    /// Advances one frame interval, offering `bytes` for upload.
+    ///
+    /// Returns the bits delivered during the interval.
+    pub fn offer(&mut self, bytes: usize) -> f64 {
+        let bits = bytes as f64 * 8.0;
+        self.frames += 1;
+        if self.backlog_bits + bits > self.queue_limit_bits {
+            self.dropped_overflow += 1;
+        } else {
+            self.backlog_bits += bits;
+            self.total_bits += bytes as u64 * 8;
+        }
+        let drain = self.capacity_bps / self.fps;
+        let sent = drain.min(self.backlog_bits);
+        self.backlog_bits -= sent;
+        self.peak_backlog_bits = self.peak_backlog_bits.max(self.backlog_bits);
+        sent
+    }
+
+    /// Current queue depth in bits.
+    pub fn backlog_bits(&self) -> f64 {
+        self.backlog_bits
+    }
+
+    /// Worst queueing delay observed, in seconds.
+    pub fn peak_delay_secs(&self) -> f64 {
+        self.peak_backlog_bits / self.capacity_bps
+    }
+
+    /// Offered load as a fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        let offered_bps = self.total_bits as f64 * self.fps / self.frames as f64;
+        offered_bps / self.capacity_bps
+    }
+
+    /// Uploads dropped due to queue overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_never_queues() {
+        let mut link = Uplink::new(100_000.0, 10.0); // 10k bits per tick
+        for _ in 0..50 {
+            link.offer(500); // 4k bits
+        }
+        assert_eq!(link.backlog_bits(), 0.0);
+        assert!(link.utilization() < 0.5);
+    }
+
+    #[test]
+    fn over_capacity_builds_backlog() {
+        let mut link = Uplink::new(100_000.0, 10.0);
+        for _ in 0..50 {
+            link.offer(5_000); // 40k bits vs 10k drain
+        }
+        assert!(link.backlog_bits() > 0.0);
+        assert!(link.utilization() > 1.0);
+        assert!(link.peak_delay_secs() > 0.0);
+    }
+
+    #[test]
+    fn bursts_drain_between_events() {
+        let mut link = Uplink::new(100_000.0, 10.0);
+        link.offer(10_000); // 80k-bit burst
+        assert!(link.backlog_bits() > 0.0);
+        for _ in 0..10 {
+            link.offer(0);
+        }
+        assert_eq!(link.backlog_bits(), 0.0);
+    }
+
+    #[test]
+    fn queue_limit_drops() {
+        let mut link = Uplink::new(1_000.0, 10.0).with_queue_limit_bytes(1_000);
+        for _ in 0..10 {
+            link.offer(2_000);
+        }
+        assert!(link.dropped() > 0);
+    }
+}

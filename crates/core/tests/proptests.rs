@@ -1,0 +1,149 @@
+//! Property-based tests for FilterForward's decision machinery: K-voting,
+//! transition detection, crop algebra, and the evaluate/smoothing glue.
+
+use ff_core::evaluate::smooth_decisions;
+use ff_core::events::{McId, TransitionDetector};
+use ff_core::extractor::crop_to_grid;
+use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
+use ff_data::CropRect;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every input frame gets exactly one smoothed decision, in order, for
+    /// any valid (N, K).
+    #[test]
+    fn smoother_is_a_bijection_on_frames(
+        raw in proptest::collection::vec(any::<bool>(), 0..80),
+        half in 0usize..4,
+        k_off in 0usize..8,
+    ) {
+        let n = 2 * half + 1;
+        let k = 1 + k_off % n;
+        let mut s = KVotingSmoother::new(SmoothingConfig { n, k });
+        let mut out = Vec::new();
+        for &r in &raw {
+            out.extend(s.push(r));
+        }
+        out.extend(s.finish());
+        let idx: Vec<u64> = out.iter().map(|&(f, _)| f).collect();
+        prop_assert_eq!(idx, (0..raw.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// K = 1 never loses positives; K = N never invents them.
+    #[test]
+    fn voting_extremes_bound_the_output(
+        raw in proptest::collection::vec(any::<bool>(), 1..60),
+        half in 0usize..4,
+    ) {
+        let n = 2 * half + 1;
+        let run = |k: usize| -> Vec<bool> {
+            let mut s = KVotingSmoother::new(SmoothingConfig { n, k });
+            let mut out = Vec::new();
+            for &r in &raw {
+                out.extend(s.push(r));
+            }
+            out.extend(s.finish());
+            out.into_iter().map(|(_, d)| d).collect()
+        };
+        let k1 = run(1);
+        let kn = run(n);
+        for (i, &r) in raw.iter().enumerate() {
+            if r {
+                prop_assert!(k1[i], "K=1 must keep positives");
+            }
+            if kn[i] {
+                prop_assert!(r, "K=N must not invent positives");
+            }
+        }
+    }
+
+    /// Smoothed positives with K ≤ votes: monotone in K (higher K ⇒ fewer
+    /// positives).
+    #[test]
+    fn voting_monotone_in_k(
+        raw in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let counts: Vec<usize> = (1..=5)
+            .map(|k| {
+                smooth_decisions(
+                    &raw.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<f32>>(),
+                    0.5,
+                    SmoothingConfig { n: 5, k },
+                )
+                .iter()
+                .filter(|&&d| d)
+                .count()
+            })
+            .collect();
+        for w in counts.windows(2) {
+            prop_assert!(w[0] >= w[1], "{counts:?}");
+        }
+    }
+
+    /// The transition detector: event count equals the number of
+    /// false→true transitions; frames inside events are exactly the
+    /// positive frames.
+    #[test]
+    fn transitions_match_label_runs(labels in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let mut det = TransitionDetector::new(McId(0));
+        let mut events = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            let (_, closed) = det.push(i as u64, l);
+            events.extend(closed);
+        }
+        events.extend(det.finish(labels.len() as u64));
+        let expected = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| l && (i == 0 || !labels[i - 1]))
+            .count();
+        prop_assert_eq!(events.len(), expected);
+        let covered: usize = events
+            .iter()
+            .map(|e| (e.end.unwrap() - e.start) as usize)
+            .sum();
+        prop_assert_eq!(covered, labels.iter().filter(|&&l| l).count());
+    }
+
+    /// Feature-map crop rescaling: always in bounds, never empty, and
+    /// monotone (a larger fractional crop never maps to a smaller grid
+    /// rectangle).
+    #[test]
+    fn crop_rescaling_sane(
+        gh in 1usize..70, gw in 1usize..130,
+        y0 in 0.0f64..0.9, x0 in 0.0f64..0.9,
+        dy in 0.05f64..1.0, dx in 0.05f64..1.0,
+    ) {
+        let small = CropRect { x0, y0, x1: (x0 + dx / 2.0).min(1.0), y1: (y0 + dy / 2.0).min(1.0) };
+        let big = CropRect { x0, y0, x1: (x0 + dx).min(1.0), y1: (y0 + dy).min(1.0) };
+        for c in [&small, &big] {
+            let (h0, h1, w0, w1) = crop_to_grid(c, gh, gw);
+            prop_assert!(h0 < h1 && h1 <= gh);
+            prop_assert!(w0 < w1 && w1 <= gw);
+        }
+        let s = crop_to_grid(&small, gh, gw);
+        let b = crop_to_grid(&big, gh, gw);
+        prop_assert!(b.1 - b.0 >= s.1 - s.0);
+        prop_assert!(b.3 - b.2 >= s.3 - s.2);
+    }
+
+    /// Offline smoothing (evaluate) equals streaming smoothing (runtime).
+    #[test]
+    fn offline_and_streaming_smoothing_agree(
+        probs in proptest::collection::vec(0.0f32..1.0, 1..60),
+        threshold in 0.1f32..0.9,
+    ) {
+        let cfg = SmoothingConfig::default();
+        let offline = smooth_decisions(&probs, threshold, cfg);
+        let mut s = KVotingSmoother::new(cfg);
+        let mut streaming = Vec::new();
+        for &p in &probs {
+            streaming.extend(s.push(p >= threshold));
+        }
+        streaming.extend(s.finish());
+        let streaming: Vec<bool> = streaming.into_iter().map(|(_, d)| d).collect();
+        prop_assert_eq!(offline, streaming);
+    }
+}

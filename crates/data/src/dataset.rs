@@ -1,0 +1,266 @@
+//! Dataset specifications: Jackson-like and Roadway-like synthetic videos.
+//!
+//! The paper uses the first of two same-camera videos for training and the
+//! second for testing (§4.1). Here, "two videos from the same camera on
+//! different days" becomes two simulator runs with the same configuration
+//! but different traffic seeds — identical background and geometry,
+//! different object arrivals.
+
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::{Frame, Resolution};
+use serde::{Deserialize, Serialize};
+
+use crate::tasks::Task;
+
+/// Which of the two videos to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// The first video (training).
+    Train,
+    /// The second video (testing).
+    Test,
+}
+
+/// A dataset: scene configuration + task + split sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name ("jackson" / "roadway").
+    pub name: &'static str,
+    /// Scene configuration (resolution already at simulation scale).
+    pub scene: SceneConfig,
+    /// The dataset's task.
+    pub task: Task,
+    /// Frames in the training video.
+    pub train_frames: usize,
+    /// Frames in the test video.
+    pub test_frames: usize,
+    /// The paper's full resolution for this dataset, used when projecting
+    /// compute costs to paper scale (DESIGN.md S6).
+    pub paper_resolution: Resolution,
+    /// Traffic seed offset distinguishing the two videos.
+    pub test_seed_offset: u64,
+}
+
+impl DatasetSpec {
+    /// The Jackson-like dataset: 16:9 traffic-camera geometry, *Pedestrian*
+    /// task, ≈16 % positive frames, ≈65-frame events.
+    ///
+    /// `scale` is the linear downscale from 1920×1080 (10 ⇒ 192×108).
+    /// `frames` sets both splits' lengths.
+    pub fn jackson_like(scale: usize, frames: usize, seed: u64) -> DatasetSpec {
+        assert!(scale >= 4, "scales below 4 exceed pure-Rust inference budgets");
+        let resolution = Resolution::new(1920 / scale, 1080 / scale);
+        DatasetSpec {
+            name: "jackson",
+            scene: SceneConfig {
+                resolution,
+                fps: 15.0,
+                seed,
+                // rate·crossing ≈ 0.0024 crossers/frame × ~65-frame
+                // crossings ⇒ ≈16 % positive frames (Figure 3b).
+                pedestrian_rate: 0.012,
+                crossing_fraction: 0.20,
+                red_fraction: 0.15,
+                car_rate: 0.010,
+                cyclist_rate: 0.002,
+                dog_rate: 0.001,
+                noise_level: 1.5,
+                speed_multiplier: 2.0,
+            },
+            task: Task::pedestrian(),
+            train_frames: frames,
+            test_frames: frames,
+            paper_resolution: Resolution::new(1920, 1080),
+            test_seed_offset: 0x0DD_DA5,
+        }
+    }
+
+    /// The Roadway-like dataset: 2048×850 urban-street geometry, *People
+    /// with red* task, ≈22 % positive frames.
+    pub fn roadway_like(scale: usize, frames: usize, seed: u64) -> DatasetSpec {
+        assert!(scale >= 4, "scales below 4 exceed pure-Rust inference budgets");
+        let resolution = Resolution::new(2048 / scale, 850 / scale);
+        DatasetSpec {
+            name: "roadway",
+            scene: SceneConfig {
+                resolution,
+                fps: 15.0,
+                seed: seed.wrapping_add(0xB0AD),
+                // red pedestrians ≈ 0.0026/frame × ~90-frame transits
+                // ⇒ ≈22 % positive frames (Figure 3b), with enough
+                // distinct events for event-recall statistics at
+                // simulation-sized videos.
+                pedestrian_rate: 0.022,
+                crossing_fraction: 0.10,
+                red_fraction: 0.12,
+                car_rate: 0.012,
+                cyclist_rate: 0.003,
+                dog_rate: 0.001,
+                noise_level: 1.5,
+                speed_multiplier: 4.0,
+            },
+            task: Task::people_with_red(),
+            train_frames: frames,
+            test_frames: frames,
+            paper_resolution: Resolution::new(2048, 850),
+            test_seed_offset: 0x0DD_DA6,
+        }
+    }
+
+    /// Simulation-scale resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.scene.resolution
+    }
+
+    /// Opens one split as a lazy labeled video stream.
+    pub fn open(&self, split: Split) -> LabeledVideo {
+        let mut scene_cfg = self.scene;
+        let frames = match split {
+            Split::Train => self.train_frames,
+            Split::Test => {
+                scene_cfg.seed = scene_cfg.seed.wrapping_add(self.test_seed_offset);
+                self.test_frames
+            }
+        };
+        LabeledVideo {
+            scene: Scene::new(scene_cfg),
+            task: self.task,
+            remaining: frames,
+        }
+    }
+
+    /// Collects one split's ground-truth labels without keeping frames.
+    pub fn labels(&self, split: Split) -> Vec<bool> {
+        self.open(split).map(|lf| lf.label).collect()
+    }
+}
+
+/// One frame with its ground-truth task label.
+#[derive(Debug, Clone)]
+pub struct LabeledFrame {
+    /// Frame index within the split.
+    pub index: usize,
+    /// The rendered frame.
+    pub frame: Frame,
+    /// Ground-truth task label.
+    pub label: bool,
+    /// Full object annotations (for debugging and richer tasks).
+    pub truth: Vec<ff_video::scene::ObjectState>,
+}
+
+/// A lazily-generated labeled video stream.
+#[derive(Debug)]
+pub struct LabeledVideo {
+    scene: Scene,
+    task: Task,
+    remaining: usize,
+}
+
+impl LabeledVideo {
+    /// Frames left to produce.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The stream's task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The stream's resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.scene.config().resolution
+    }
+}
+
+impl Iterator for LabeledVideo {
+    type Item = LabeledFrame;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let index = self.scene.frame_index() as usize;
+        let (frame, truth) = self.scene.step();
+        let label = self.task.label(&truth, frame.resolution());
+        Some(LabeledFrame {
+            index,
+            frame,
+            label,
+            truth,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LabeledVideo {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events_from_labels;
+
+    #[test]
+    fn splits_share_geometry_but_differ_in_traffic() {
+        let spec = DatasetSpec::jackson_like(20, 50, 1);
+        let train: Vec<_> = spec.open(Split::Train).collect();
+        let test: Vec<_> = spec.open(Split::Test).collect();
+        assert_eq!(train.len(), 50);
+        assert_eq!(test.len(), 50);
+        assert_eq!(train[0].frame.resolution(), test[0].frame.resolution());
+        let any_diff = train
+            .iter()
+            .zip(&test)
+            .any(|(a, b)| a.frame != b.frame);
+        assert!(any_diff, "train and test videos are identical");
+    }
+
+    #[test]
+    fn deterministic_regeneration() {
+        let spec = DatasetSpec::roadway_like(20, 30, 5);
+        let a: Vec<bool> = spec.open(Split::Train).map(|f| f.label).collect();
+        let b = spec.labels(Split::Train);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jackson_positive_fraction_near_paper() {
+        // Figure 3b: 95 238 / 600 000 ≈ 16 % positive frames. Accept a wide
+        // band at small sample sizes.
+        let spec = DatasetSpec::jackson_like(16, 6000, 42);
+        let labels = spec.labels(Split::Train);
+        let frac = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        assert!((0.05..0.35).contains(&frac), "positive fraction {frac}");
+        let events = events_from_labels(&labels);
+        assert!(events.len() >= 5, "too few events: {}", events.len());
+    }
+
+    #[test]
+    fn roadway_positive_fraction_near_paper() {
+        // Figure 3b: 71 296 / 324 009 ≈ 22 % positive frames.
+        let spec = DatasetSpec::roadway_like(16, 6000, 42);
+        let labels = spec.labels(Split::Train);
+        let frac = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        assert!((0.08..0.40).contains(&frac), "positive fraction {frac}");
+    }
+
+    #[test]
+    fn resolutions_match_paper_aspect() {
+        let j = DatasetSpec::jackson_like(10, 10, 0);
+        assert_eq!(j.resolution(), Resolution::new(192, 108));
+        assert_eq!(j.paper_resolution, Resolution::new(1920, 1080));
+        let r = DatasetSpec::roadway_like(10, 10, 0);
+        assert_eq!(r.resolution(), Resolution::new(204, 85));
+    }
+
+    #[test]
+    fn labeled_frames_index_sequentially() {
+        let spec = DatasetSpec::jackson_like(20, 10, 3);
+        let idx: Vec<usize> = spec.open(Split::Train).map(|f| f.index).collect();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,115 @@
+//! Ground-truth events: maximal runs of consecutive positive frames
+//! (paper §3.5: "each contiguous segment of positively-classified frames"
+//! is one event; the same definition applies to ground truth).
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open frame range `[start, end)` during which the task predicate
+/// holds continuously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventRange {
+    /// First frame of the event.
+    pub start: usize,
+    /// One past the last frame.
+    pub end: usize,
+}
+
+impl EventRange {
+    /// Number of frames in the event.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `frame` falls inside the event.
+    pub fn contains(&self, frame: usize) -> bool {
+        (self.start..self.end).contains(&frame)
+    }
+
+    /// Overlap in frames with another range.
+    pub fn intersect_len(&self, other: &EventRange) -> usize {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        e.saturating_sub(s)
+    }
+}
+
+/// Extracts maximal positive runs from a per-frame label stream.
+pub fn events_from_labels(labels: &[bool]) -> Vec<EventRange> {
+    let mut events = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                events.push(EventRange { start: s, end: i });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        events.push(EventRange {
+            start: s,
+            end: labels.len(),
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_runs() {
+        let labels = [false, true, true, false, true, false, false, true];
+        let ev = events_from_labels(&labels);
+        assert_eq!(
+            ev,
+            vec![
+                EventRange { start: 1, end: 3 },
+                EventRange { start: 4, end: 5 },
+                EventRange { start: 7, end: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn all_positive_is_one_event() {
+        assert_eq!(events_from_labels(&[true; 5]), vec![EventRange { start: 0, end: 5 }]);
+    }
+
+    #[test]
+    fn all_negative_is_no_events() {
+        assert!(events_from_labels(&[false; 5]).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(events_from_labels(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersect_len() {
+        let a = EventRange { start: 2, end: 10 };
+        let b = EventRange { start: 8, end: 12 };
+        assert_eq!(a.intersect_len(&b), 2);
+        assert_eq!(b.intersect_len(&a), 2);
+        let c = EventRange { start: 10, end: 11 };
+        assert_eq!(a.intersect_len(&c), 0);
+    }
+
+    #[test]
+    fn frames_in_events_match_positive_count() {
+        // Property: Σ event lengths == # positive labels.
+        let labels: Vec<bool> = (0..200).map(|i| (i / 7) % 3 == 0).collect();
+        let ev = events_from_labels(&labels);
+        let total: usize = ev.iter().map(|e| e.len()).sum();
+        assert_eq!(total, labels.iter().filter(|&&l| l).count());
+    }
+}

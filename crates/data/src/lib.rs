@@ -1,0 +1,26 @@
+//! Synthetic analogues of the paper's two evaluation datasets (Figure 3).
+//!
+//! | | Jackson (paper) | Roadway (paper) |
+//! |---|---|---|
+//! | Resolution | 1920×1080 | 2048×850 |
+//! | Frame rate | 15 fps | 15 fps |
+//! | Task | *Pedestrian* (in crosswalk) | *People with red* |
+//! | Positive frames | ≈16 % | ≈22 % |
+//!
+//! This crate builds deterministic [`ff_video::scene`] configurations whose
+//! geometry, frame rate, event rarity and task semantics mirror those
+//! datasets at a configurable linear scale (default 1/10 — see DESIGN.md
+//! S6), and provides the task predicates, ground-truth event extraction,
+//! spatial crops (Figure 3c) and the dataset statistics table (Figure 3b).
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod events;
+mod stats;
+pub mod tasks;
+
+pub use dataset::{DatasetSpec, LabeledFrame, LabeledVideo, Split};
+pub use events::{events_from_labels, EventRange};
+pub use stats::DatasetStats;
+pub use tasks::{CropRect, Task, TaskKind};

@@ -1,0 +1,94 @@
+//! Dataset statistics — the rows of the paper's Figure 3b.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{events_from_labels, DatasetSpec, Split};
+
+/// The Figure 3b table for one dataset split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Simulation-scale resolution (e.g. "192x108").
+    pub resolution: String,
+    /// Paper-scale resolution this dataset mirrors.
+    pub paper_resolution: String,
+    /// Frames per second.
+    pub fps: f64,
+    /// Total frames.
+    pub frames: usize,
+    /// Task name.
+    pub task: String,
+    /// Frames whose ground-truth label is positive.
+    pub event_frames: usize,
+    /// Number of distinct ground-truth events.
+    pub unique_events: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for one split by running the simulator.
+    pub fn compute(spec: &DatasetSpec, split: Split) -> DatasetStats {
+        let labels = spec.labels(split);
+        let events = events_from_labels(&labels);
+        DatasetStats {
+            name: spec.name.to_string(),
+            resolution: spec.resolution().to_string(),
+            paper_resolution: spec.paper_resolution.to_string(),
+            fps: spec.scene.fps,
+            frames: labels.len(),
+            task: spec.task.name().to_string(),
+            event_frames: labels.iter().filter(|&&l| l).count(),
+            unique_events: events.len(),
+        }
+    }
+
+    /// Positive-frame fraction.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.event_frames as f64 / self.frames as f64
+        }
+    }
+
+    /// Mean event length in frames.
+    pub fn mean_event_len(&self) -> f64 {
+        if self.unique_events == 0 {
+            0.0
+        } else {
+            self.event_frames as f64 / self.unique_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_consistent() {
+        let spec = DatasetSpec::jackson_like(20, 800, 9);
+        let s = DatasetStats::compute(&spec, Split::Test);
+        assert_eq!(s.frames, 800);
+        assert!(s.event_frames <= s.frames);
+        assert!(s.unique_events <= s.event_frames.max(1));
+        assert_eq!(s.task, "Pedestrian");
+        assert!(s.positive_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn mean_event_len_zero_when_no_events() {
+        let s = DatasetStats {
+            name: "x".into(),
+            resolution: "1x1".into(),
+            paper_resolution: "1x1".into(),
+            fps: 15.0,
+            frames: 10,
+            task: "t".into(),
+            event_frames: 0,
+            unique_events: 0,
+        };
+        assert_eq!(s.mean_event_len(), 0.0);
+        assert_eq!(s.positive_fraction(), 0.0);
+    }
+}

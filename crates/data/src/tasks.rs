@@ -1,0 +1,200 @@
+//! Task definitions: the binary predicates applications install MCs for,
+//! and their optional spatial crops (paper Figure 3c).
+
+use ff_video::scene::{ObjectKind, ObjectState, SceneGeometry};
+use ff_video::Resolution;
+use serde::{Deserialize, Serialize};
+
+/// The two evaluation tasks of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Jackson dataset: "when pedestrians appear in the crosswalks".
+    PedestrianInCrosswalk,
+    /// Roadway dataset: "when passing pedestrians are wearing red articles
+    /// of clothing or carrying red parcels".
+    PersonWithRed,
+}
+
+/// A fractional crop rectangle (relative to frame size), matching Figure 3c
+/// after normalizing the paper's pixel coordinates by its resolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CropRect {
+    /// Left edge fraction.
+    pub x0: f64,
+    /// Top edge fraction.
+    pub y0: f64,
+    /// Right edge fraction.
+    pub x1: f64,
+    /// Bottom edge fraction.
+    pub y1: f64,
+}
+
+impl CropRect {
+    /// Converts to pixel coordinates for a resolution, guaranteeing a
+    /// non-empty rectangle.
+    pub fn to_pixels(&self, res: Resolution) -> (usize, usize, usize, usize) {
+        let x0 = (self.x0 * res.width as f64).floor() as usize;
+        let y0 = (self.y0 * res.height as f64).floor() as usize;
+        let x1 = ((self.x1 * res.width as f64).ceil() as usize).min(res.width).max(x0 + 1);
+        let y1 = ((self.y1 * res.height as f64).ceil() as usize).min(res.height).max(y0 + 1);
+        (x0, y0, x1, y1)
+    }
+}
+
+/// A deployed task: predicate kind plus optional spatial crop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Which predicate this task detects.
+    pub kind: TaskKind,
+    /// Optional crop (Figure 3c); `None` disables spatial cropping.
+    pub crop: Option<CropRect>,
+}
+
+impl Task {
+    /// The *Pedestrian* task with its paper crop: the bottom half of the
+    /// frame ("the trees and sky are unnecessary") — (0, 539)–(1919, 1079)
+    /// at 1920×1080.
+    pub fn pedestrian() -> Task {
+        Task {
+            kind: TaskKind::PedestrianInCrosswalk,
+            crop: Some(CropRect {
+                x0: 0.0,
+                y0: 539.0 / 1080.0,
+                x1: 1.0,
+                y1: 1.0,
+            }),
+        }
+    }
+
+    /// The *People with red* task with its paper crop: the street and
+    /// sidewalk area (59 % of the frame) — (0, 315)–(2047, 819) at
+    /// 2048×850.
+    pub fn people_with_red() -> Task {
+        Task {
+            kind: TaskKind::PersonWithRed,
+            crop: Some(CropRect {
+                x0: 0.0,
+                y0: 315.0 / 850.0,
+                x1: 1.0,
+                y1: 819.0 / 850.0,
+            }),
+        }
+    }
+
+    /// Human-readable task name, as used in Figure 3b.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            TaskKind::PedestrianInCrosswalk => "Pedestrian",
+            TaskKind::PersonWithRed => "People with red",
+        }
+    }
+
+    /// Ground-truth label for one frame, from the simulator's annotations.
+    ///
+    /// * `PedestrianInCrosswalk`: some pedestrian is *standing in* the
+    ///   crosswalk — feet (bbox bottom) on the road band, horizontal center
+    ///   inside the crosswalk band. Sidewalk walkers passing behind the
+    ///   crosswalk and vehicles driving over it are negatives.
+    /// * `PersonWithRed`: some red-wearing pedestrian is visible in the
+    ///   task's region of interest (non-red pedestrians and red cars are
+    ///   negatives).
+    pub fn label(&self, truth: &[ObjectState], res: Resolution) -> bool {
+        let geo = SceneGeometry::for_resolution(res);
+        match self.kind {
+            TaskKind::PedestrianInCrosswalk => truth.iter().any(|o| {
+                let (cx, _) = o.bbox.center();
+                o.kind == ObjectKind::Pedestrian
+                    && o.bbox.y1 >= geo.road_top
+                    && o.bbox.y1 <= geo.road_bottom
+                    && cx >= geo.crosswalk_x0
+                    && cx < geo.crosswalk_x1
+            }),
+            TaskKind::PersonWithRed => {
+                // ROI = the street and sidewalk band (the crop region).
+                let crop = self.crop.unwrap_or(CropRect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 });
+                let (x0, y0, x1, y1) = crop.to_pixels(res);
+                let region = ff_video::scene::BBox { x0, y0, x1, y1 };
+                truth.iter().any(|o| {
+                    o.kind == ObjectKind::Pedestrian
+                        && o.wearing_red
+                        && o.bbox.intersect_area(&region) > 0
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_video::scene::BBox;
+
+    fn ped(bbox: BBox, red: bool) -> ObjectState {
+        ObjectState {
+            id: 0,
+            kind: ObjectKind::Pedestrian,
+            bbox,
+            wearing_red: red,
+            crossing: true,
+        }
+    }
+
+    #[test]
+    fn pedestrian_task_requires_crosswalk_overlap() {
+        let res = Resolution::new(192, 108);
+        let geo = SceneGeometry::for_resolution(res);
+        let task = Task::pedestrian();
+        let inside = geo.crosswalk_region();
+        assert!(task.label(&[ped(inside, false)], res));
+        // A pedestrian on the sidewalk band (below road) is a negative.
+        let sidewalk = BBox { x0: 10, y0: geo.road_bottom + 2, x1: 14, y1: geo.sidewalk_bottom };
+        assert!(!task.label(&[ped(sidewalk, false)], res));
+        // A car in the crosswalk is a negative.
+        let car = ObjectState {
+            id: 1,
+            kind: ObjectKind::Car,
+            bbox: inside,
+            wearing_red: false,
+            crossing: false,
+        };
+        assert!(!task.label(&[car], res));
+    }
+
+    #[test]
+    fn red_task_requires_red_attribute() {
+        let res = Resolution::new(204, 85);
+        let task = Task::people_with_red();
+        let (x0, y0, _, _) = task.crop.unwrap().to_pixels(res);
+        let in_roi = BBox { x0: x0 + 5, y0: y0 + 5, x1: x0 + 9, y1: y0 + 15 };
+        assert!(task.label(&[ped(in_roi, true)], res));
+        assert!(!task.label(&[ped(in_roi, false)], res));
+        // Red object above the ROI (e.g. on a facade) is a negative.
+        let above = BBox { x0: 5, y0: 0, x1: 9, y1: y0.max(1) };
+        assert!(!task.label(&[ped(above, true)], res));
+    }
+
+    #[test]
+    fn paper_crop_fractions() {
+        // Pedestrian: bottom half. People-with-red: 59 % of the frame.
+        let p = Task::pedestrian().crop.unwrap();
+        assert!((p.y0 - 0.499).abs() < 0.01);
+        let r = Task::people_with_red().crop.unwrap();
+        let coverage = (r.y1 - r.y0) * (r.x1 - r.x0);
+        assert!((coverage - 0.59).abs() < 0.02, "coverage {coverage}");
+    }
+
+    #[test]
+    fn crop_to_pixels_never_empty() {
+        let tiny = CropRect { x0: 0.999, y0: 0.999, x1: 1.0, y1: 1.0 };
+        let (x0, y0, x1, y1) = tiny.to_pixels(Resolution::new(10, 10));
+        assert!(x1 > x0 && y1 > y0);
+        assert!(x1 <= 10 && y1 <= 10);
+    }
+
+    #[test]
+    fn empty_truth_is_negative() {
+        let res = Resolution::new(192, 108);
+        assert!(!Task::pedestrian().label(&[], res));
+        assert!(!Task::people_with_red().label(&[], res));
+    }
+}

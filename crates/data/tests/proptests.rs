@@ -1,0 +1,74 @@
+//! Property-based tests for dataset generation and event extraction.
+
+use ff_data::{events_from_labels, CropRect, DatasetSpec, Split};
+use ff_video::Resolution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Event extraction partitions the positive frames exactly.
+    #[test]
+    fn events_partition_positives(labels in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let events = events_from_labels(&labels);
+        // Events are disjoint, ordered, non-empty.
+        for w in events.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for e in &events {
+            prop_assert!(!e.is_empty());
+            for f in e.start..e.end {
+                prop_assert!(labels[f]);
+            }
+            // Maximality: the frame before/after is negative or OOB.
+            if e.start > 0 {
+                prop_assert!(!labels[e.start - 1]);
+            }
+            if e.end < labels.len() {
+                prop_assert!(!labels[e.end]);
+            }
+        }
+        let total: usize = events.iter().map(|e| e.len()).sum();
+        prop_assert_eq!(total, labels.iter().filter(|&&l| l).count());
+    }
+
+    /// Crop rectangles are valid at any resolution.
+    #[test]
+    fn crops_valid_at_any_resolution(w in 8usize..512, h in 8usize..512) {
+        for crop in [
+            ff_data::Task::pedestrian().crop.unwrap(),
+            ff_data::Task::people_with_red().crop.unwrap(),
+            CropRect { x0: 0.99, y0: 0.99, x1: 1.0, y1: 1.0 },
+        ] {
+            let (x0, y0, x1, y1) = crop.to_pixels(Resolution::new(w, h));
+            prop_assert!(x0 < x1 && x1 <= w);
+            prop_assert!(y0 < y1 && y1 <= h);
+        }
+    }
+
+    /// Dataset label streams are deterministic and splits are independent
+    /// of how much of the stream is consumed.
+    #[test]
+    fn label_prefix_stability(seed in 0u64..50, take in 10usize..60) {
+        let long = DatasetSpec::jackson_like(20, 80, seed);
+        let short = DatasetSpec::jackson_like(20, take, seed);
+        let full = long.labels(Split::Train);
+        let prefix = short.labels(Split::Train);
+        prop_assert_eq!(&full[..take], prefix.as_slice());
+    }
+}
+
+#[test]
+fn both_datasets_have_positive_and_negative_frames() {
+    for spec in [
+        DatasetSpec::jackson_like(16, 4000, 42),
+        DatasetSpec::roadway_like(16, 4000, 42),
+    ] {
+        for split in [Split::Train, Split::Test] {
+            let labels = spec.labels(split);
+            let pos = labels.iter().filter(|&&l| l).count();
+            assert!(pos > 0, "{} {:?}: no positives", spec.name, split);
+            assert!(pos < labels.len(), "{} {:?}: all positive", spec.name, split);
+        }
+    }
+}

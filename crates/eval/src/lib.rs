@@ -1,0 +1,275 @@
+//! Event-level evaluation metrics from paper §4.2.
+//!
+//! FilterForward is event-centric, so the paper adopts a range-based recall
+//! (after Lee et al., "Precision and recall for range-based anomaly
+//! detection", SysML 2018) combined with standard frame precision:
+//!
+//! * **EventRecallᵢ** `= α·Existenceᵢ + β·Overlapᵢ` with α = 0.9, β = 0.1 —
+//!   detecting *at least one frame* of an event matters far more than
+//!   capturing all of it, because the datacenter can demand-fetch context.
+//! * **Precision** = fraction of predicted-positive frames that are true
+//!   positives — the fraction of upload bandwidth spent on useful frames.
+//! * **Event F1** = harmonic mean of the two: "a measure of end-to-end
+//!   event detection accuracy".
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+mod pr;
+
+pub use pr::{best_f1, sweep_thresholds, PrPoint};
+
+/// A half-open frame range `[start, end)`. Mirrors
+/// `ff_data::EventRange` structurally; redefined here so `ff-eval` stays
+/// dependency-free (both convert via [`From`] tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Range {
+    /// First frame.
+    pub start: usize,
+    /// One past the last frame.
+    pub end: usize,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "inverted range {start}..{end}");
+        Range { start, end }
+    }
+
+    /// Length in frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Overlap length with another range.
+    pub fn intersect_len(&self, other: &Range) -> usize {
+        self.end.min(other.end).saturating_sub(self.start.max(other.start))
+    }
+}
+
+impl From<(usize, usize)> for Range {
+    fn from((start, end): (usize, usize)) -> Self {
+        Range::new(start, end)
+    }
+}
+
+/// Weights for the event recall components. Paper: α = 0.9, β = 0.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecallWeights {
+    /// Weight of detecting ≥ 1 frame of the event.
+    pub alpha: f64,
+    /// Weight of the detected fraction of the event.
+    pub beta: f64,
+}
+
+impl Default for RecallWeights {
+    fn default() -> Self {
+        RecallWeights { alpha: 0.9, beta: 0.1 }
+    }
+}
+
+/// Per-event recall: `α·Existenceᵢ + β·Overlapᵢ`.
+///
+/// `Existenceᵢ` is 1 if any predicted range touches the event;
+/// `Overlapᵢ = Σⱼ |Intersect(Rᵢ, Pⱼ)| / |Rᵢ|`.
+pub fn event_recall(gt: &Range, predicted: &[Range], w: RecallWeights) -> f64 {
+    if gt.is_empty() {
+        return 0.0;
+    }
+    let overlap_frames: usize = predicted.iter().map(|p| gt.intersect_len(p)).sum();
+    let existence = if overlap_frames > 0 { 1.0 } else { 0.0 };
+    let overlap = (overlap_frames as f64 / gt.len() as f64).min(1.0);
+    w.alpha * existence + w.beta * overlap
+}
+
+/// Aggregate evaluation of predicted positive frames against ground-truth
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventScore {
+    /// Mean per-event recall.
+    pub recall: f64,
+    /// Frame-level precision (`TP frames / predicted frames`); 1.0 when
+    /// nothing is predicted (no bandwidth wasted).
+    pub precision: f64,
+    /// Harmonic mean of `recall` and `precision`.
+    pub f1: f64,
+    /// Number of ground-truth events.
+    pub gt_events: usize,
+    /// Number of predicted positive frames.
+    pub predicted_frames: usize,
+    /// Number of true-positive frames.
+    pub true_positive_frames: usize,
+}
+
+/// Scores a prediction given ground-truth event ranges and predicted event
+/// ranges over the same frame axis.
+///
+/// Follows §4.2 exactly: recall is the mean `EventRecallᵢ` over ground
+/// truth events; precision is standard frame precision. With no ground
+/// truth events, recall is defined as 1 (nothing to find).
+pub fn score_events(gt: &[Range], predicted: &[Range], w: RecallWeights) -> EventScore {
+    let recall = if gt.is_empty() {
+        1.0
+    } else {
+        gt.iter().map(|g| event_recall(g, predicted, w)).sum::<f64>() / gt.len() as f64
+    };
+    let predicted_frames: usize = predicted.iter().map(Range::len).sum();
+    let true_positive_frames: usize = predicted
+        .iter()
+        .map(|p| gt.iter().map(|g| g.intersect_len(p)).sum::<usize>())
+        .sum();
+    let precision = if predicted_frames == 0 {
+        1.0
+    } else {
+        true_positive_frames as f64 / predicted_frames as f64
+    };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    EventScore {
+        recall,
+        precision,
+        f1,
+        gt_events: gt.len(),
+        predicted_frames,
+        true_positive_frames,
+    }
+}
+
+/// Convenience: scores per-frame boolean predictions against ground truth
+/// labels by first segmenting both into ranges.
+pub fn score_labels(gt: &[bool], predicted: &[bool], w: RecallWeights) -> EventScore {
+    assert_eq!(gt.len(), predicted.len(), "label stream length mismatch");
+    score_events(&ranges_from_labels(gt), &ranges_from_labels(predicted), w)
+}
+
+/// Segments a boolean stream into maximal positive ranges.
+pub fn ranges_from_labels(labels: &[bool]) -> Vec<Range> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(Range::new(s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Range::new(s, labels.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> RecallWeights {
+        RecallWeights::default()
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gt = vec![Range::new(5, 15), Range::new(30, 40)];
+        let s = score_events(&gt, &gt.clone(), w());
+        assert!((s.recall - 1.0).abs() < 1e-9);
+        assert!((s.precision - 1.0).abs() < 1e-9);
+        assert!((s.f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_frame_detection_earns_alpha() {
+        // Detecting one frame of a 100-frame event: existence (0.9) plus
+        // 0.1 · 1/100.
+        let gt = [Range::new(0, 100)];
+        let pred = [Range::new(50, 51)];
+        let r = event_recall(&gt[0], &pred, w());
+        assert!((r - (0.9 + 0.1 * 0.01)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_scores_zero_recall() {
+        let gt = [Range::new(0, 10)];
+        let pred = [Range::new(20, 30)];
+        assert_eq!(event_recall(&gt[0], &pred, w()), 0.0);
+        let s = score_events(&gt, &pred, w());
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn false_positives_hurt_precision_not_recall() {
+        let gt = [Range::new(0, 10)];
+        let pred = [Range::new(0, 10), Range::new(50, 60)];
+        let s = score_events(&gt, &pred, w());
+        assert!((s.recall - 1.0).abs() < 1e-9);
+        assert!((s.precision - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_predictions_means_full_precision() {
+        let gt = [Range::new(0, 10)];
+        let s = score_events(&gt, &[], w());
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn no_ground_truth_means_full_recall() {
+        let s = score_events(&[], &[Range::new(0, 5)], w());
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 0.0);
+    }
+
+    #[test]
+    fn recall_bounded_in_unit_interval() {
+        // Even with duplicated overlapping predictions, Overlap clamps.
+        let gt = Range::new(0, 10);
+        let pred = vec![Range::new(0, 10); 5];
+        let r = event_recall(&gt, &pred, w());
+        assert!(r <= 1.0 + 1e-9, "{r}");
+    }
+
+    #[test]
+    fn score_labels_matches_manual_segmentation() {
+        let gt = [false, true, true, false, false, true];
+        let pr = [false, true, false, false, true, true];
+        let s1 = score_labels(&gt, &pr, w());
+        let s2 = score_events(
+            &[Range::new(1, 3), Range::new(5, 6)],
+            &[Range::new(1, 2), Range::new(4, 6)],
+            w(),
+        );
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn paper_weights_prioritize_existence() {
+        // An MC that catches 1 frame of every event beats one that catches
+        // 90% of half the events and misses the other half.
+        let gt = vec![Range::new(0, 100), Range::new(200, 300)];
+        let catch_all_barely = [Range::new(0, 1), Range::new(200, 201)];
+        let catch_half_fully = [Range::new(0, 90)];
+        let a = score_events(&gt, &catch_all_barely, w());
+        let b = score_events(&gt, &catch_half_fully, w());
+        assert!(a.recall > b.recall, "{} vs {}", a.recall, b.recall);
+    }
+}

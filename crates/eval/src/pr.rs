@@ -1,0 +1,86 @@
+//! Threshold sweeps: trace the accuracy/bandwidth trade-off by varying the
+//! microclassifier's decision threshold (used by Figures 4 and 7 to pick
+//! operating points).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ranges_from_labels, score_events, EventScore, Range, RecallWeights};
+
+/// One operating point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold on the classifier probability.
+    pub threshold: f64,
+    /// Scores at this threshold.
+    pub score: EventScore,
+}
+
+/// Sweeps thresholds over per-frame probabilities, scoring each operating
+/// point against ground-truth events.
+///
+/// `thresholds` is typically a dense grid like `(1..100).map(|t| t as f64 / 100.0)`.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != gt_labels.len()`.
+pub fn sweep_thresholds(
+    probs: &[f32],
+    gt_labels: &[bool],
+    thresholds: impl IntoIterator<Item = f64>,
+    w: RecallWeights,
+) -> Vec<PrPoint> {
+    assert_eq!(probs.len(), gt_labels.len(), "probability/label length mismatch");
+    let gt: Vec<Range> = ranges_from_labels(gt_labels);
+    thresholds
+        .into_iter()
+        .map(|threshold| {
+            let predicted: Vec<bool> = probs.iter().map(|&p| p as f64 >= threshold).collect();
+            let pred_ranges = ranges_from_labels(&predicted);
+            PrPoint {
+                threshold,
+                score: score_events(&gt, &pred_ranges, w),
+            }
+        })
+        .collect()
+}
+
+/// Picks the sweep point with the best F1.
+pub fn best_f1(points: &[PrPoint]) -> Option<&PrPoint> {
+    points
+        .iter()
+        .max_by(|a, b| a.score.f1.total_cmp(&b.score.f1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_monotone_prediction_counts() {
+        let probs = [0.1f32, 0.9, 0.5, 0.8, 0.2];
+        let gt = [false, true, false, true, false];
+        let pts = sweep_thresholds(&probs, &gt, [0.05, 0.5, 0.95], RecallWeights::default());
+        // Higher thresholds never predict more frames.
+        assert!(pts[0].score.predicted_frames >= pts[1].score.predicted_frames);
+        assert!(pts[1].score.predicted_frames >= pts[2].score.predicted_frames);
+    }
+
+    #[test]
+    fn perfect_separable_probs_reach_f1_one() {
+        let probs = [0.9f32, 0.95, 0.1, 0.05, 0.9];
+        let gt = [true, true, false, false, true];
+        let pts = sweep_thresholds(
+            &probs,
+            &gt,
+            (1..20).map(|t| t as f64 / 20.0),
+            RecallWeights::default(),
+        );
+        let best = best_f1(&pts).unwrap();
+        assert!((best.score.f1 - 1.0).abs() < 1e-9, "{best:?}");
+    }
+
+    #[test]
+    fn best_f1_empty_is_none() {
+        assert!(best_f1(&[]).is_none());
+    }
+}

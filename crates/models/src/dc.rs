@@ -1,0 +1,251 @@
+//! Discrete classifiers (DCs) — the NoScope-style pixel-level baseline.
+//!
+//! §4.4: "We constructed several DCs with between 100 million and 2.5
+//! billion multiply-adds, varying the number of convolutional layers (2−4),
+//! the number of kernels (16−64), the stride length (1−3), the number of
+//! pooling layers (0−2), and the type of convolutions (standard or
+//! separable). We fixed the kernel size to 3."
+//!
+//! A DC is a full pixels-to-decision binary classifier: it pays the whole
+//! translation from raw frames to a verdict, which is exactly the redundant
+//! work FilterForward's shared base DNN amortizes away.
+
+use ff_nn::{Activation, ActivationKind, Conv2d, Dense, Flatten, MaxPool2d, Sequential, SeparableConv2d};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one discrete classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DcConfig {
+    /// Number of convolutional layers (paper sweep: 2–4).
+    pub conv_layers: usize,
+    /// Kernels (output channels) per conv layer (paper sweep: 16–64).
+    pub kernels: usize,
+    /// Stride of each conv layer (paper sweep: 1–3).
+    pub stride: usize,
+    /// Number of trailing 2×2/s2 max-pooling layers (paper sweep: 0–2),
+    /// interleaved after the last convs.
+    pub pooling_layers: usize,
+    /// Separable instead of standard convolutions.
+    pub separable: bool,
+    /// Units in the classification FC layer.
+    pub fc_units: usize,
+    /// Input height in pixels.
+    pub in_h: usize,
+    /// Input width in pixels.
+    pub in_w: usize,
+    /// Weight seed.
+    pub seed: u64,
+}
+
+impl DcConfig {
+    /// A representative example "from the Pareto frontier of accuracy and
+    /// cost" (§4.4), used for the Figure 5/6 throughput comparison: three
+    /// standard convs, 32 kernels, stride 2, one pooling layer.
+    pub fn representative(in_h: usize, in_w: usize, seed: u64) -> Self {
+        DcConfig {
+            conv_layers: 3,
+            kernels: 32,
+            stride: 2,
+            pooling_layers: 1,
+            separable: false,
+            fc_units: 32,
+            in_h,
+            in_w,
+            seed,
+        }
+    }
+
+    /// The full sweep grid of §4.4 for a given input size (used by the
+    /// Figure 7 harness). Kernel size fixed at 3.
+    pub fn grid(in_h: usize, in_w: usize, seed: u64) -> Vec<DcConfig> {
+        let mut out = Vec::new();
+        for conv_layers in 2..=4 {
+            for &kernels in &[16usize, 32, 64] {
+                for stride in 1..=3 {
+                    for pooling_layers in 0..=2 {
+                        for separable in [false, true] {
+                            let cfg = DcConfig {
+                                conv_layers,
+                                kernels,
+                                stride,
+                                pooling_layers,
+                                separable,
+                                fc_units: 32,
+                                in_h,
+                                in_w,
+                                seed,
+                            };
+                            if cfg.fits() {
+                                out.push(cfg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the spatial dimensions survive all stride/pool reductions.
+    pub fn fits(&self) -> bool {
+        let (mut h, mut w) = (self.in_h, self.in_w);
+        for _ in 0..self.conv_layers {
+            h = h.div_ceil(self.stride);
+            w = w.div_ceil(self.stride);
+        }
+        for _ in 0..self.pooling_layers {
+            if h < 2 || w < 2 {
+                return false;
+            }
+            h = (h - 2) / 2 + 1;
+            w = (w - 2) / 2 + 1;
+        }
+        h >= 3 && w >= 3 && h * w * self.kernels <= 1 << 22
+    }
+
+    /// Builds the network: `[in_h,in_w,3] → … → [1]` logit.
+    pub fn build(&self) -> Sequential {
+        let mut net = Sequential::new();
+        let mut in_c = 3;
+        let mut seed = self.seed;
+        for i in 0..self.conv_layers {
+            let name = format!("conv{}", i + 1);
+            if self.separable && in_c > 3 {
+                net.push(name, SeparableConv2d::new(3, self.stride, in_c, self.kernels, seed));
+            } else {
+                // First layer is always standard (3 input channels make
+                // depthwise factoring pointless).
+                net.push(name, Conv2d::new(3, self.stride, in_c, self.kernels, seed));
+            }
+            net.push(format!("relu{}", i + 1), Activation::new(ActivationKind::Relu));
+            in_c = self.kernels;
+            seed += 7;
+        }
+        for i in 0..self.pooling_layers {
+            net.push(format!("pool{}", i + 1), MaxPool2d::new(2, 2));
+        }
+        net.push("flatten", Flatten::new());
+        let (mut h, mut w) = (self.in_h, self.in_w);
+        for _ in 0..self.conv_layers {
+            h = h.div_ceil(self.stride);
+            w = w.div_ceil(self.stride);
+        }
+        for _ in 0..self.pooling_layers {
+            h = (h - 2) / 2 + 1;
+            w = (w - 2) / 2 + 1;
+        }
+        net.push("fc1", Dense::new(h * w * in_c, self.fc_units, seed));
+        net.push("relu_fc", Activation::new(ActivationKind::Relu));
+        net.push("fc2", Dense::new(self.fc_units, 1, seed + 1));
+        net
+    }
+
+    /// Analytic multiply-adds at this config's input size, computed without
+    /// allocating weights (the 1080p sweep would otherwise materialize
+    /// hundred-megabyte FC matrices just to read their shape).
+    pub fn multiply_adds(&self) -> u64 {
+        let (mut h, mut w) = (self.in_h, self.in_w);
+        let mut in_c = 3usize;
+        let mut total = 0u64;
+        for i in 0..self.conv_layers {
+            let (oh, ow) = (h.div_ceil(self.stride), w.div_ceil(self.stride));
+            total += if self.separable && i > 0 {
+                ff_nn::cost::separable_madds(oh, ow, in_c, 3, self.kernels)
+            } else {
+                ff_nn::cost::conv_madds(oh, ow, in_c, 3, self.kernels)
+            };
+            h = oh;
+            w = ow;
+            in_c = self.kernels;
+        }
+        for _ in 0..self.pooling_layers {
+            h = (h - 2) / 2 + 1;
+            w = (w - 2) / 2 + 1;
+        }
+        total += ff_nn::cost::dense_madds(h, w, in_c, self.fc_units);
+        total += self.fc_units as u64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_nn::Phase;
+    use ff_tensor::Tensor;
+
+    #[test]
+    fn representative_runs_and_outputs_logit() {
+        let cfg = DcConfig::representative(96, 160, 1);
+        let mut net = cfg.build();
+        let y = net.forward(&Tensor::filled(vec![96, 160, 3], 0.2), Phase::Inference);
+        assert_eq!(y.dims(), &[1]);
+    }
+
+    #[test]
+    fn paper_scale_cost_range() {
+        // At 1920×1080, the sweep should span roughly the paper's
+        // 100M–2.5B multiply-adds envelope.
+        let grid = DcConfig::grid(1080, 1920, 0);
+        assert!(grid.len() > 20, "grid too small: {}", grid.len());
+        let costs: Vec<u64> = grid.iter().map(|c| c.multiply_adds()).collect();
+        let min = *costs.iter().min().unwrap();
+        let max = *costs.iter().max().unwrap();
+        assert!(min < 150_000_000, "min {min}");
+        assert!(max > 1_000_000_000, "max {max}");
+    }
+
+    #[test]
+    fn analytic_cost_matches_built_network() {
+        for cfg in DcConfig::grid(32, 48, 1) {
+            let built = cfg.build().multiply_adds(&[cfg.in_h, cfg.in_w, 3]);
+            assert_eq!(cfg.multiply_adds(), built, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn separable_is_cheaper_than_standard() {
+        let std_cfg = DcConfig { separable: false, ..DcConfig::representative(64, 64, 0) };
+        let sep_cfg = DcConfig { separable: true, ..std_cfg };
+        assert!(sep_cfg.multiply_adds() < std_cfg.multiply_adds());
+    }
+
+    #[test]
+    fn grid_configs_all_build() {
+        for cfg in DcConfig::grid(48, 80, 3) {
+            let net = cfg.build();
+            assert_eq!(net.out_shape(&[cfg.in_h, cfg.in_w, 3]), vec![1], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn trains_on_brightness_toy_task() {
+        use ff_nn::{bce_with_logits_grad, Adam};
+        let cfg = DcConfig {
+            conv_layers: 2,
+            kernels: 8,
+            stride: 2,
+            pooling_layers: 0,
+            separable: false,
+            fc_units: 8,
+            in_h: 16,
+            in_w: 16,
+            seed: 5,
+        };
+        let mut net = cfg.build();
+        let mut opt = Adam::new(0.01);
+        let bright = Tensor::filled(vec![16, 16, 3], 0.9);
+        let dark = Tensor::filled(vec![16, 16, 3], 0.1);
+        for _ in 0..40 {
+            for (x, y) in [(&bright, 1.0f32), (&dark, 0.0)] {
+                let z = net.forward(x, Phase::Train);
+                let (_, g) = bce_with_logits_grad(&z, &Tensor::from_vec(vec![1], vec![y]), 1.0);
+                net.backward(&g);
+                opt.step(&mut net.params_mut());
+            }
+        }
+        let zb = net.forward(&bright, Phase::Inference).data()[0];
+        let zd = net.forward(&dark, Phase::Inference).data()[0];
+        assert!(zb > 0.0 && zd < 0.0, "zb={zb} zd={zd}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Model zoo for the FilterForward reproduction.
+//!
+//! Three families of networks appear in the paper's evaluation:
+//!
+//! * [`MobileNetV1`](mobilenet::MobileNetConfig) — the shared **base DNN**
+//!   (§3.1), built with the Caffe layer names the paper cites
+//!   (`conv4_2/sep`, `conv5_6/sep`, …) so microclassifier deployment specs
+//!   can reference taps by their published names.
+//! * The three **microclassifier architectures** of Figure 2
+//!   ([`mc`]): full-frame object detector, localized binary classifier, and
+//!   the windowed, localized binary classifier with its buffered per-frame
+//!   1×1 projection.
+//! * The **discrete classifier** family ([`dc`]) — NoScope-style pixel-level
+//!   CNNs spanning 2–4 conv layers, 16–64 kernels, strides 1–3, 0–2 pooling
+//!   layers, and standard vs separable convolutions (§4.4), used as the
+//!   main efficiency/accuracy baseline.
+//!
+//! All builders are deterministic given a seed, and every architecture
+//! reports analytic multiply-adds so costs can be projected to the paper's
+//! full 1920×1080 / 2048×850 input scale without executing a forward pass
+//! (see `DESIGN.md` substitution S6).
+
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod mc;
+pub mod mobilenet;
+
+pub use dc::DcConfig;
+pub use mc::{FullFrameConfig, LocalizedConfig, WindowedClassifier, WindowedConfig};
+pub use mobilenet::{MobileNetConfig, LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};

@@ -1,0 +1,125 @@
+//! Analytic cost model: multiply-adds (paper §4.5 formulas) and memory.
+//!
+//! The paper uses multiply-adds as "a good proxy for the compute cost of a
+//! DNN model" (citing MobileNet) and reports Figure 7's x-axis in millions
+//! of multiply-adds **at full paper-scale input resolution**. Because this
+//! reproduction runs at a reduced simulation scale (DESIGN.md S6), the cost
+//! model is exposed separately from execution so costs can be *projected* to
+//! any resolution without running the network.
+
+use crate::Sequential;
+
+/// Multiply-adds of a standard convolution:
+/// `(H/S)·(W/S)·M·K²·F` with output size `out_h × out_w`, `M` input
+/// channels, kernel `K`, `F` filters.
+pub fn conv_madds(out_h: usize, out_w: usize, in_c: usize, k: usize, f: usize) -> u64 {
+    (out_h * out_w) as u64 * in_c as u64 * (k * k) as u64 * f as u64
+}
+
+/// Multiply-adds of a separable convolution:
+/// `(H/S)·(W/S)·M·(K² + F)`.
+pub fn separable_madds(out_h: usize, out_w: usize, in_c: usize, k: usize, f: usize) -> u64 {
+    (out_h * out_w) as u64 * in_c as u64 * ((k * k) + f) as u64
+}
+
+/// Multiply-adds of a fully-connected layer over an `H×W×M` feature map
+/// with `N` hidden units: `N·H·W·M`.
+pub fn dense_madds(h: usize, w: usize, m: usize, n: usize) -> u64 {
+    (n * h * w * m) as u64
+}
+
+/// A per-layer cost report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Layer type tag.
+    pub layer_type: &'static str,
+    /// Multiply-adds for one forward pass.
+    pub multiply_adds: u64,
+    /// Scalar weight count.
+    pub params: usize,
+    /// Output activation element count.
+    pub activation_elems: usize,
+}
+
+/// Cost profile of a whole network on a given input shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkCost {
+    /// Per-layer breakdown, in execution order.
+    pub layers: Vec<LayerCost>,
+    /// Total multiply-adds.
+    pub total_multiply_adds: u64,
+    /// Total weight bytes (f32).
+    pub weight_bytes: u64,
+    /// Sum of all activation bytes (f32) — the footprint of a framework
+    /// that keeps every intermediate alive, which is how the paper's stack
+    /// behaved (">1 GB of memory" per MobileNet instance at 512×512).
+    pub activation_bytes: u64,
+}
+
+impl NetworkCost {
+    /// Profiles `net` on `in_shape`.
+    pub fn profile(net: &Sequential, in_shape: &[usize]) -> Self {
+        let mut cur = in_shape.to_vec();
+        let mut layers = Vec::new();
+        let mut total = 0u64;
+        let mut act = 0u64;
+        let mut weights = 0u64;
+        for (name, madds, params, out_shape, ty) in net.cost_rows(&mut cur) {
+            total += madds;
+            weights += params as u64 * 4;
+            let elems: usize = out_shape.iter().product();
+            act += elems as u64 * 4;
+            layers.push(LayerCost {
+                name,
+                layer_type: ty,
+                multiply_adds: madds,
+                params,
+                activation_elems: elems,
+            });
+        }
+        NetworkCost {
+            layers,
+            total_multiply_adds: total,
+            weight_bytes: weights,
+            activation_bytes: act,
+        }
+    }
+
+    /// Total resident bytes: weights + activations.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Dense, Flatten, SeparableConv2d};
+
+    #[test]
+    fn paper_formula_examples() {
+        // Sanity-check the exact §4.5 formulas.
+        assert_eq!(conv_madds(33, 60, 1024, 1, 32), 33 * 60 * 1024 * 32);
+        assert_eq!(separable_madds(67, 120, 512, 3, 16), 67 * 120 * 512 * (9 + 16));
+        assert_eq!(dense_madds(4, 6, 32, 200), 200 * 4 * 6 * 32);
+    }
+
+    #[test]
+    fn profile_sums_layers() {
+        let mut net = Sequential::new();
+        net.push("sep", SeparableConv2d::new(3, 1, 4, 8, 0));
+        net.push("conv", Conv2d::new(1, 1, 8, 2, 1));
+        net.push("flat", Flatten::new());
+        net.push("fc", Dense::new(4 * 4 * 2, 1, 2));
+        let cost = NetworkCost::profile(&net, &[4, 4, 4]);
+        assert_eq!(cost.layers.len(), 4);
+        assert_eq!(
+            cost.total_multiply_adds,
+            cost.layers.iter().map(|l| l.multiply_adds).sum::<u64>()
+        );
+        assert_eq!(cost.total_multiply_adds, net.multiply_adds(&[4, 4, 4]));
+        assert!(cost.weight_bytes > 0 && cost.activation_bytes > 0);
+    }
+}

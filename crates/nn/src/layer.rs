@@ -1,0 +1,77 @@
+//! The [`Layer`] trait: forward/backward execution plus the cost model hooks.
+
+use ff_tensor::Tensor;
+
+use crate::Param;
+
+/// Execution phase.
+///
+/// In [`Phase::Train`] every layer pushes whatever it needs for its backward
+/// pass onto an internal stack; [`Layer::backward`] pops in LIFO order. In
+/// [`Phase::Inference`] nothing is cached and `backward` must not be called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Streaming inference: no activation caching.
+    Inference,
+    /// Training: cache activations for backprop.
+    Train,
+}
+
+/// A neural-network layer.
+///
+/// Layers own their parameters and their backward caches; networks are plain
+/// sequences of boxed layers (see [`crate::Sequential`]). All tensors are HWC
+/// (rank 3) for spatial layers or rank 1 for vector layers — streaming video
+/// is batch-1 throughout, matching the paper's per-frame pipeline.
+pub trait Layer: Send {
+    /// Short human-readable type tag, e.g. `"conv2d"`.
+    fn layer_type(&self) -> &'static str;
+
+    /// Runs the layer. In [`Phase::Train`] caches state for [`Self::backward`].
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor;
+
+    /// Pops the most recent cached forward state and back-propagates.
+    ///
+    /// Returns the gradient with respect to that forward call's input and
+    /// accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached forward state exists (i.e. forward was not run in
+    /// [`Phase::Train`], or backward was called more times than forward).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable references to this layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Output shape for a given input shape.
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+
+    /// Multiply-accumulate operations for one forward pass on `in_shape`,
+    /// using the formulas of paper §4.5.
+    fn multiply_adds(&self, in_shape: &[usize]) -> u64 {
+        let _ = in_shape;
+        0
+    }
+
+    /// Number of scalar weights (for the memory model).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Drops any cached training state (e.g. after an interrupted step).
+    fn clear_cache(&mut self) {}
+
+    /// Data-dependent calibration pass: the layer may fit internal
+    /// statistics from `samples` (e.g. folded batch-norm scales), then
+    /// returns the samples transformed by itself. The default is a plain
+    /// inference forward.
+    fn calibrate(&mut self, samples: Vec<Tensor>) -> Vec<Tensor> {
+        samples
+            .into_iter()
+            .map(|x| self.forward(&x, Phase::Inference))
+            .collect()
+    }
+}

@@ -1,0 +1,136 @@
+//! Element-wise activations: ReLU, ReLU6 (MobileNet's clamp), sigmoid.
+
+use ff_tensor::Tensor;
+
+use crate::{Layer, Phase};
+
+/// Which nonlinearity an [`Activation`] layer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)` — used by MobileNet and the localized MC's FC
+    /// layer (Figure 2b's "ReLU6").
+    Relu6,
+    /// Logistic sigmoid, used on every microclassifier's output.
+    Sigmoid,
+}
+
+/// An element-wise activation layer.
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    cache: Vec<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation { kind, cache: Vec::new() }
+    }
+
+    /// The configured nonlinearity.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn layer_type(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Relu6 => "relu6",
+            ActivationKind::Sigmoid => "sigmoid",
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        let y = match self.kind {
+            ActivationKind::Relu => x.map(|v| v.max(0.0)),
+            ActivationKind::Relu6 => x.map(|v| v.clamp(0.0, 6.0)),
+            ActivationKind::Sigmoid => x.map(crate::loss::sigmoid),
+        };
+        if phase == Phase::Train {
+            // ReLUs need the input sign; sigmoid needs the output. Cache
+            // whichever the backward formula uses.
+            self.cache.push(match self.kind {
+                ActivationKind::Sigmoid => y.clone(),
+                _ => x.clone(),
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cached = self.cache.pop().expect("Activation::backward without cached forward");
+        match self.kind {
+            ActivationKind::Relu => grad_out.zip_map(&cached, |g, x| if x > 0.0 { g } else { 0.0 }),
+            ActivationKind::Relu6 => {
+                grad_out.zip_map(&cached, |g, x| if x > 0.0 && x < 6.0 { g } else { 0.0 })
+            }
+            ActivationKind::Sigmoid => grad_out.zip_map(&cached, |g, y| g * y * (1.0 - y)),
+        }
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut a = Activation::new(ActivationKind::Relu);
+        let y = a.forward(&Tensor::from_vec(vec![3], vec![-1., 0., 2.]), Phase::Inference);
+        assert_eq!(y.data(), &[0., 0., 2.]);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        let mut a = Activation::new(ActivationKind::Relu6);
+        let y = a.forward(&Tensor::from_vec(vec![3], vec![-1., 5., 9.]), Phase::Inference);
+        assert_eq!(y.data(), &[0., 5., 6.]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut a = Activation::new(ActivationKind::Sigmoid);
+        let y = a.forward(&Tensor::from_vec(vec![3], vec![-20., 0., 20.]), Phase::Inference);
+        assert!(y.data()[0] < 1e-6);
+        assert_eq!(y.data()[1], 0.5);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn backward_masks_correctly() {
+        let mut a = Activation::new(ActivationKind::Relu);
+        let x = Tensor::from_vec(vec![4], vec![-1., 1., -2., 3.]);
+        let _ = a.forward(&x, Phase::Train);
+        let g = a.backward(&Tensor::filled(vec![4], 2.0));
+        assert_eq!(g.data(), &[0., 2., 0., 2.]);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut a = Activation::new(ActivationKind::Sigmoid);
+        let x = Tensor::from_vec(vec![2], vec![0.3, -0.7]);
+        let _ = a.forward(&x, Phase::Train);
+        let g = a.backward(&Tensor::filled(vec![2], 1.0));
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (a.forward(&xp, Phase::Inference).sum() - a.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-4);
+        }
+    }
+}

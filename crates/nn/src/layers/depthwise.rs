@@ -1,0 +1,249 @@
+//! Depthwise 2-D convolution (channel multiplier 1), the building block of
+//! MobileNet's separable convolutions.
+
+use ff_tensor::{Conv2dGeometry, Padding, Tensor};
+use rand::SeedableRng;
+
+use crate::{Layer, Param, Phase};
+
+/// A depthwise convolution: each input channel is filtered by its own
+/// `k×k` kernel; channels never mix (the following 1×1 pointwise conv does
+/// the mixing).
+///
+/// Weights are `[kh, kw, c]`, bias `[c]`.
+pub struct DepthwiseConv2d {
+    k: usize,
+    stride: usize,
+    padding: Padding,
+    c: usize,
+    weight: Param,
+    bias: Param,
+    cache: Vec<(Conv2dGeometry, Tensor)>,
+}
+
+impl std::fmt::Debug for DepthwiseConv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DepthwiseConv2d({0}x{0} s{1} c{2})", self.k, self.stride, self.c)
+    }
+}
+
+impl DepthwiseConv2d {
+    /// Creates a SAME-padded depthwise convolution with He-initialized
+    /// weights.
+    pub fn new(k: usize, stride: usize, c: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fan_in = k * k;
+        DepthwiseConv2d {
+            k,
+            stride,
+            padding: Padding::Same,
+            c,
+            weight: Param::new(ff_tensor::he_normal(&mut rng, vec![k, k, c], fan_in)),
+            bias: Param::new(Tensor::zeros(vec![c])),
+            cache: Vec::new(),
+        }
+    }
+
+    fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
+        assert_eq!(in_shape.len(), 3, "DepthwiseConv2d expects HWC input");
+        assert_eq!(in_shape[2], self.c, "DepthwiseConv2d expects {} channels, got {}", self.c, in_shape[2]);
+        Conv2dGeometry::resolve(
+            (in_shape[0], in_shape[1], in_shape[2]),
+            (self.k, self.k),
+            self.stride,
+            self.padding,
+        )
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn layer_type(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        let geo = self.geometry(x.dims());
+        let c = self.c;
+        let (in_h, in_w) = (geo.in_h, geo.in_w);
+        let k = self.k;
+        let (wd, bd, xd) = (self.weight.value.data(), self.bias.value.data(), x.data());
+        let mut out = Tensor::zeros(vec![geo.out_h, geo.out_w, c]);
+        let out_w = geo.out_w;
+        ff_tensor::parallel::parallel_rows_mut(out.data_mut(), out_w * c, |oy, row| {
+            for ox in 0..out_w {
+                let cell = &mut row[ox * c..(ox + 1) * c];
+                cell.copy_from_slice(bd);
+                let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+                let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+                for ky in 0..k {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let xx = x0 + kx as isize;
+                        if xx < 0 || xx >= in_w as isize {
+                            continue;
+                        }
+                        let xs = &xd[(y as usize * in_w + xx as usize) * c..][..c];
+                        let ws = &wd[(ky * k + kx) * c..][..c];
+                        for ((o, &xv), &wv) in cell.iter_mut().zip(xs).zip(ws) {
+                            *o += xv * wv;
+                        }
+                    }
+                }
+            }
+        });
+        if phase == Phase::Train {
+            self.cache.push((geo, x.clone()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (geo, x) = self
+            .cache
+            .pop()
+            .expect("DepthwiseConv2d::backward without cached forward");
+        let c = self.c;
+        let k = self.k;
+        let (in_h, in_w) = (geo.in_h, geo.in_w);
+        assert_eq!(grad_out.dims(), &[geo.out_h, geo.out_w, c]);
+        let mut dx = Tensor::zeros(vec![in_h, in_w, c]);
+        let mut dw = Tensor::zeros(vec![k, k, c]);
+        let mut db = Tensor::zeros(vec![c]);
+        let gd = grad_out.data();
+        let xd = x.data();
+        let wd = self.weight.value.data();
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let g = &gd[(oy * geo.out_w + ox) * c..][..c];
+                for (d, &gv) in db.data_mut().iter_mut().zip(g) {
+                    *d += gv;
+                }
+                let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+                let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+                for ky in 0..k {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let xx = x0 + kx as isize;
+                        if xx < 0 || xx >= in_w as isize {
+                            continue;
+                        }
+                        let base_x = (y as usize * in_w + xx as usize) * c;
+                        let base_w = (ky * k + kx) * c;
+                        for ch in 0..c {
+                            dw.data_mut()[base_w + ch] += xd[base_x + ch] * g[ch];
+                            dx.data_mut()[base_x + ch] += wd[base_w + ch] * g[ch];
+                        }
+                    }
+                }
+            }
+        }
+        self.weight.accumulate(&dw);
+        self.bias.accumulate(&db);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let geo = self.geometry(in_shape);
+        vec![geo.out_h, geo.out_w, self.c]
+    }
+
+    fn multiply_adds(&self, in_shape: &[usize]) -> u64 {
+        let geo = self.geometry(in_shape);
+        // Depthwise half of the paper's separable formula: (H/S)(W/S)·M·K².
+        (geo.out_h * geo.out_w * self.c * self.k * self.k) as u64
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_do_not_mix() {
+        let mut dw = DepthwiseConv2d::new(3, 1, 2, 3);
+        // Zero channel 1's kernel; output channel 1 must then be pure bias.
+        for ky in 0..3 {
+            for kx in 0..3 {
+                let i = (ky * 3 + kx) * 2 + 1;
+                dw.weight.value.data_mut()[i] = 0.0;
+            }
+        }
+        dw.bias.value.data_mut()[1] = 0.5;
+        let x = Tensor::filled(vec![4, 4, 2], 1.0);
+        let out = dw.forward(&x, Phase::Inference);
+        for h in 0..4 {
+            for w in 0..4 {
+                assert_eq!(out.at3(h, w, 1), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_manual_center() {
+        let mut dw = DepthwiseConv2d::new(3, 1, 1, 1);
+        for (i, v) in dw.weight.value.data_mut().iter_mut().enumerate() {
+            *v = i as f32; // kernel 0..9
+        }
+        let x = Tensor::filled(vec![3, 3, 1], 1.0);
+        let out = dw.forward(&x, Phase::Inference);
+        // Center position sees the full kernel: Σ 0..9 = 36.
+        assert_eq!(out.at3(1, 1, 0), 36.0);
+        // Top-left misses the first row and column: Σ {4,5,7,8} = 24.
+        assert_eq!(out.at3(0, 0, 0), 24.0);
+    }
+
+    #[test]
+    fn gradient_check() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut dw = DepthwiseConv2d::new(3, 2, 2, 4);
+        let x = Tensor::from_vec(vec![5, 5, 2], (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let out = dw.forward(&x, Phase::Train);
+        let ones = Tensor::filled(out.dims().to_vec(), 1.0);
+        let dx = dw.backward(&ones);
+        let eps = 1e-3;
+        for &i in &[0usize, 13, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (dw.forward(&xp, Phase::Inference).sum() - dw.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        for &i in &[0usize, 9, 17] {
+            let orig = dw.weight.value.data()[i];
+            dw.weight.value.data_mut()[i] = orig + eps;
+            let fp = dw.forward(&x, Phase::Inference).sum();
+            dw.weight.value.data_mut()[i] = orig - eps;
+            let fm = dw.forward(&x, Phase::Inference).sum();
+            dw.weight.value.data_mut()[i] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dw.weight.grad.data()[i]).abs() < 1e-2, "dW[{i}]");
+        }
+    }
+
+    #[test]
+    fn cost_formula() {
+        let dw = DepthwiseConv2d::new(3, 2, 16, 0);
+        // 10x10 → 5x5; 5·5·16·9.
+        assert_eq!(dw.multiply_adds(&[10, 10, 16]), 5 * 5 * 16 * 9);
+    }
+}

@@ -1,0 +1,9 @@
+//! Layer implementations.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod depthwise;
+pub mod norm;
+pub mod pool;
+pub mod separable;

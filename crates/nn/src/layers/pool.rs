@@ -1,0 +1,198 @@
+//! Pooling layers: windowed max pooling and the global grid reductions used
+//! by the full-frame microclassifier ("max over the grid of logits") and the
+//! MobileNet head (global average).
+
+use ff_tensor::Tensor;
+
+use crate::{Layer, Phase};
+
+/// Windowed max pooling with a square kernel and stride, VALID semantics
+/// (trailing partial windows are dropped), as used by the discrete-classifier
+/// family.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    cache: Vec<(Vec<usize>, Vec<usize>)>, // (input dims, argmax flat indices)
+}
+
+impl MaxPool2d {
+    /// Creates a `k×k` max pool with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0, "pool kernel and stride must be positive");
+        MaxPool2d { k, stride, cache: Vec::new() }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.k && w >= self.k, "pool {0}x{0} does not fit {h}x{w}", self.k);
+        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn layer_type(&self) -> &'static str {
+        "max_pool2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        let (h, w, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(vec![oh, ow, c]);
+        let mut arg = vec![0usize; oh * ow * c];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let (y, xx) = (oy * self.stride + ky, ox * self.stride + kx);
+                            let i = (y * w + xx) * c + ch;
+                            if x.data()[i] > best {
+                                best = x.data()[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    out.set3(oy, ox, ch, best);
+                    arg[(oy * ow + ox) * c + ch] = best_i;
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cache.push((x.dims().to_vec(), arg));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (dims, arg) = self.cache.pop().expect("MaxPool2d::backward without cached forward");
+        let mut dx = Tensor::zeros(dims);
+        for (g, &i) in grad_out.data().iter().zip(&arg) {
+            dx.data_mut()[i] += g;
+        }
+        dx
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_shape[0], in_shape[1]);
+        vec![oh, ow, in_shape[2]]
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Global max over the spatial grid, per channel: `[H, W, C] → [C]`.
+///
+/// With `C = 1` this is exactly the full-frame object detector's "apply a
+/// max operator over the grid of logits (signifying looking for ≥ 1
+/// objects)" from §3.3.1.
+#[derive(Debug, Default)]
+pub struct GlobalMaxPool {
+    cache: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+impl GlobalMaxPool {
+    /// Creates a global max pool.
+    pub fn new() -> Self {
+        GlobalMaxPool::default()
+    }
+}
+
+impl Layer for GlobalMaxPool {
+    fn layer_type(&self) -> &'static str {
+        "global_max_pool"
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        let (h, w, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        assert!(h * w > 0, "global max over empty grid");
+        let mut out = Tensor::filled(vec![c], f32::NEG_INFINITY);
+        let mut arg = vec![0usize; c];
+        for pos in 0..h * w {
+            for ch in 0..c {
+                let v = x.data()[pos * c + ch];
+                if v > out.data()[ch] {
+                    out.data_mut()[ch] = v;
+                    arg[ch] = pos * c + ch;
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cache.push((x.dims().to_vec(), arg));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (dims, arg) = self.cache.pop().expect("GlobalMaxPool::backward without cached forward");
+        let mut dx = Tensor::zeros(dims);
+        for (g, &i) in grad_out.data().iter().zip(&arg) {
+            dx.data_mut()[i] += g;
+        }
+        dx
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape[2]]
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let x = Tensor::from_vec(vec![2, 2, 1], vec![1., 5., 3., 2.]);
+        let mut p = MaxPool2d::new(2, 2);
+        let y = p.forward(&x, Phase::Inference);
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert_eq!(y.data(), &[5.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![2, 2, 1], vec![1., 5., 3., 2.]);
+        let mut p = MaxPool2d::new(2, 2);
+        let _ = p.forward(&x, Phase::Train);
+        let dx = p.backward(&Tensor::filled(vec![1, 1, 1], 7.0));
+        assert_eq!(dx.data(), &[0., 7., 0., 0.]);
+    }
+
+    #[test]
+    fn global_max_per_channel() {
+        let x = Tensor::from_vec(vec![2, 1, 2], vec![1., 9., 4., 2.]);
+        let mut p = GlobalMaxPool::new();
+        let y = p.forward(&x, Phase::Inference);
+        assert_eq!(y.data(), &[4., 9.]);
+    }
+
+    #[test]
+    fn global_max_backward() {
+        let x = Tensor::from_vec(vec![2, 1, 1], vec![3., 8.]);
+        let mut p = GlobalMaxPool::new();
+        let _ = p.forward(&x, Phase::Train);
+        let dx = p.backward(&Tensor::filled(vec![1], 1.0));
+        assert_eq!(dx.data(), &[0., 1.]);
+    }
+
+    #[test]
+    fn maxpool_overlapping_windows() {
+        let x = Tensor::from_vec(vec![3, 3, 1], (1..=9).map(|v| v as f32).collect());
+        let mut p = MaxPool2d::new(2, 1);
+        let y = p.forward(&x, Phase::Inference);
+        assert_eq!(y.dims(), &[2, 2, 1]);
+        assert_eq!(y.data(), &[5., 6., 8., 9.]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Binary cross-entropy with logits — the training loss of every
+//! microclassifier and discrete classifier in the paper.
+
+use ff_tensor::Tensor;
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically-stable `softplus(z) = ln(1 + e^z)`.
+#[inline]
+fn softplus(z: f32) -> f32 {
+    z.max(0.0) + (-z.abs()).exp().ln_1p()
+}
+
+/// Mean binary cross-entropy between `logits` and `targets ∈ {0, 1}`.
+///
+/// `pos_weight` multiplies the positive-class term; the paper's tasks are
+/// heavily imbalanced (events are rare — §2.2.1), so training weights
+/// positives up by `negatives / positives`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the tensors are empty.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor, pos_weight: f32) -> f32 {
+    bce_with_logits_grad(logits, targets, pos_weight).0
+}
+
+/// Mean BCE loss and its gradient with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the tensors are empty.
+pub fn bce_with_logits_grad(logits: &Tensor, targets: &Tensor, pos_weight: f32) -> (f32, Tensor) {
+    assert_eq!(logits.dims(), targets.dims(), "loss shape mismatch");
+    assert!(!logits.is_empty(), "loss over empty tensor");
+    let n = logits.len() as f32;
+    let mut grad = Tensor::zeros(logits.dims().to_vec());
+    let mut loss = 0.0f32;
+    for ((g, &z), &y) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data())
+        .zip(targets.data())
+    {
+        debug_assert!((0.0..=1.0).contains(&y), "targets must be in [0,1]");
+        // l = w·y·softplus(-z) + (1-y)·softplus(z)
+        loss += pos_weight * y * softplus(-z) + (1.0 - y) * softplus(z);
+        // dl/dz = (1-y)·σ(z) − w·y·σ(−z)
+        *g = ((1.0 - y) * sigmoid(z) - pos_weight * y * sigmoid(-z)) / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for z in [-5.0f32, -1.0, 0.0, 2.0, 10.0] {
+            assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loss_is_low_when_confident_and_right() {
+        let z = Tensor::from_vec(vec![2], vec![10.0, -10.0]);
+        let y = Tensor::from_vec(vec![2], vec![1.0, 0.0]);
+        assert!(bce_with_logits(&z, &y, 1.0) < 1e-3);
+    }
+
+    #[test]
+    fn loss_is_high_when_confident_and_wrong() {
+        let z = Tensor::from_vec(vec![1], vec![10.0]);
+        let y = Tensor::from_vec(vec![1], vec![0.0]);
+        assert!(bce_with_logits(&z, &y, 1.0) > 5.0);
+    }
+
+    #[test]
+    fn grad_matches_numerical() {
+        let z = Tensor::from_vec(vec![3], vec![0.5, -1.2, 2.0]);
+        let y = Tensor::from_vec(vec![3], vec![1.0, 0.0, 1.0]);
+        for w in [1.0f32, 3.5] {
+            let (_, g) = bce_with_logits_grad(&z, &y, w);
+            let eps = 1e-3;
+            for i in 0..3 {
+                let mut zp = z.clone();
+                zp.data_mut()[i] += eps;
+                let mut zm = z.clone();
+                zm.data_mut()[i] -= eps;
+                let num = (bce_with_logits(&zp, &y, w) - bce_with_logits(&zm, &y, w)) / (2.0 * eps);
+                assert!((num - g.data()[i]).abs() < 1e-3, "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pos_weight_scales_positive_term() {
+        let z = Tensor::from_vec(vec![1], vec![-2.0]);
+        let y = Tensor::from_vec(vec![1], vec![1.0]);
+        let l1 = bce_with_logits(&z, &y, 1.0);
+        let l3 = bce_with_logits(&z, &y, 3.0);
+        assert!((l3 - 3.0 * l1).abs() < 1e-5);
+    }
+}

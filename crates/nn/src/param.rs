@@ -1,0 +1,64 @@
+//! Trainable parameters: a value tensor paired with an accumulated gradient.
+
+use ff_tensor::Tensor;
+
+/// A trainable parameter.
+///
+/// Gradients accumulate across [`crate::Layer::backward`] calls (which is
+/// what makes weight sharing work — the windowed microclassifier's 1×1 conv
+/// receives gradient contributions from every frame in its window) and are
+/// cleared by the optimizer's `step`.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Param { value, grad }
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_then_zero() {
+        let mut p = Param::new(Tensor::zeros(vec![3]));
+        p.accumulate(&Tensor::from_vec(vec![3], vec![1., 2., 3.]));
+        p.accumulate(&Tensor::from_vec(vec![3], vec![1., 1., 1.]));
+        assert_eq!(p.grad.data(), &[2., 3., 4.]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0., 0., 0.]);
+    }
+}

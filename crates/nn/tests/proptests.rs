@@ -1,0 +1,148 @@
+//! Property-based tests for the NN runtime: randomized gradient checks,
+//! shape algebra, and training-state invariants across all layer types.
+
+use ff_nn::{
+    Activation, ActivationKind, ChannelNorm, Conv2d, Dense, DepthwiseConv2d, Flatten,
+    GlobalMaxPool, Layer, MaxPool2d, Phase, SeparableConv2d, Sequential,
+};
+use ff_tensor::Tensor;
+use proptest::prelude::*;
+
+fn random_tensor(dims: Vec<usize>, seed: u64) -> Tensor {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(dims, (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// Numerical-vs-analytic input gradient for an arbitrary layer on loss
+/// `L = Σ out`.
+fn gradient_check(layer: &mut dyn Layer, x: &Tensor, tol: f32, probes: &[usize]) -> Result<(), String> {
+    let _ = layer.forward(x, Phase::Train);
+    let out_shape = layer.out_shape(x.dims());
+    let dx = layer.backward(&Tensor::filled(out_shape, 1.0));
+    let eps = 1e-2;
+    for &i in probes {
+        let i = i % x.len();
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (layer.forward(&xp, Phase::Inference).sum()
+            - layer.forward(&xm, Phase::Inference).sum())
+            / (2.0 * eps);
+        let ana = dx.data()[i];
+        if (num - ana).abs() > tol * (1.0 + num.abs()) {
+            return Err(format!("dx[{i}]: numeric {num} vs analytic {ana}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_gradients(seed in 0u64..500, h in 3usize..7, w in 3usize..7, c in 1usize..3, f in 1usize..4, stride in 1usize..3) {
+        let mut conv = Conv2d::new(3, stride, c, f, seed);
+        let x = random_tensor(vec![h, w, c], seed ^ 1);
+        prop_assert!(gradient_check(&mut conv, &x, 0.05, &[0, 5, 11]).is_ok());
+    }
+
+    #[test]
+    fn depthwise_gradients(seed in 0u64..500, h in 3usize..7, w in 3usize..7, c in 1usize..4) {
+        let mut dw = DepthwiseConv2d::new(3, 1, c, seed);
+        let x = random_tensor(vec![h, w, c], seed ^ 2);
+        prop_assert!(gradient_check(&mut dw, &x, 0.05, &[0, 3, 7]).is_ok());
+    }
+
+    #[test]
+    fn separable_gradients(seed in 0u64..500, h in 4usize..7, c in 1usize..3, f in 1usize..4) {
+        let mut sep = SeparableConv2d::new(3, 1, c, f, seed);
+        let x = random_tensor(vec![h, h, c], seed ^ 3);
+        prop_assert!(gradient_check(&mut sep, &x, 0.08, &[0, 9]).is_ok());
+    }
+
+    #[test]
+    fn dense_gradients(seed in 0u64..500, n in 2usize..12, m in 1usize..5) {
+        let mut d = Dense::new(n, m, seed);
+        let x = random_tensor(vec![n], seed ^ 4);
+        prop_assert!(gradient_check(&mut d, &x, 0.02, &[0, 1, 3]).is_ok());
+    }
+
+    #[test]
+    fn out_shapes_match_forward(seed in 0u64..200, h in 4usize..9, w in 4usize..9, c in 1usize..4) {
+        // out_shape must agree with the real forward for every layer type.
+        let x = random_tensor(vec![h, w, c], seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(3, 2, c, 3, seed)),
+            Box::new(DepthwiseConv2d::new(3, 1, c, seed)),
+            Box::new(SeparableConv2d::new(3, 2, c, 2, seed)),
+            Box::new(Activation::new(ActivationKind::Relu6)),
+            Box::new(ChannelNorm::identity(c)),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(GlobalMaxPool::new()),
+            Box::new(Flatten::new()),
+        ];
+        for mut l in layers {
+            let declared = l.out_shape(x.dims());
+            let actual = l.forward(&x, Phase::Inference);
+            prop_assert_eq!(declared.as_slice(), actual.dims(), "{}", l.layer_type());
+        }
+    }
+
+    #[test]
+    fn channel_norm_calibration_is_idempotent_on_stats(seed in 0u64..200, c in 1usize..5) {
+        let mut n1 = ChannelNorm::identity(c);
+        let samples: Vec<Tensor> = (0..3).map(|i| random_tensor(vec![6, 6, c], seed + i)).collect();
+        let out1 = n1.calibrate(samples.clone());
+        // Re-calibrating a fresh norm on the *normalized* output should be
+        // close to identity (mean ≈ 0, std ≈ 1 already).
+        let mut n2 = ChannelNorm::identity(c);
+        let out2 = n2.calibrate(out1.clone());
+        for (a, b) in out1.iter().zip(&out2) {
+            prop_assert!(a.approx_eq(b, 0.05));
+        }
+    }
+
+    #[test]
+    fn train_then_inference_leaves_no_cache(seed in 0u64..100) {
+        // clear_cache after a dangling Train forward must allow dropping
+        // without consequences, and backward must then panic (checked via
+        // a fresh forward instead: inference output unchanged).
+        let mut net = Sequential::new();
+        net.push("conv", Conv2d::new(3, 1, 1, 2, seed));
+        net.push("flat", Flatten::new());
+        net.push("fc", Dense::new(4 * 4 * 2, 1, seed));
+        let x = random_tensor(vec![4, 4, 1], seed);
+        let y0 = net.forward(&x, Phase::Inference);
+        let _ = net.forward(&x, Phase::Train); // dangling
+        net.clear_cache();
+        let y1 = net.forward(&x, Phase::Inference);
+        prop_assert!(y0.approx_eq(&y1, 1e-6));
+    }
+
+    #[test]
+    fn weight_roundtrip_arbitrary_nets(seed in 0u64..200) {
+        let build = |s: u64| {
+            let mut n = Sequential::new();
+            n.push("c1", Conv2d::new(3, 2, 3, 4, s));
+            n.push("bn", ChannelNorm::identity(4));
+            n.push("r", Activation::new(ActivationKind::Relu));
+            n.push("c2", SeparableConv2d::new(3, 1, 4, 5, s + 1));
+            n.push("gap", GlobalMaxPool::new());
+            n.push("f", Flatten::new());
+            n.push("fc", Dense::new(5, 2, s + 2));
+            n
+        };
+        let mut a = build(seed);
+        let mut b = build(seed + 1000);
+        let x = random_tensor(vec![8, 8, 3], seed);
+        let mut buf = Vec::new();
+        ff_nn::save_weights(&mut a, &mut buf).unwrap();
+        ff_nn::load_weights(&mut b, buf.as_slice()).unwrap();
+        let ya = a.forward(&x, Phase::Inference);
+        let yb = b.forward(&x, Phase::Inference);
+        prop_assert!(ya.approx_eq(&yb, 1e-6));
+    }
+}

@@ -1,0 +1,271 @@
+//! im2col/col2im lowering for 2-D convolutions on HWC tensors.
+//!
+//! A convolution with kernel `kh×kw` over an `H×W×C` input becomes a single
+//! GEMM: `im2col(x) [out_h·out_w, kh·kw·C] · W [kh·kw·C, F]`. The backward
+//! pass uses [`col2im`] to scatter column gradients back into image space.
+
+use crate::parallel::parallel_rows_mut;
+use crate::Tensor;
+
+/// Padding policy for convolution-like ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding; output shrinks by `k - 1`.
+    Valid,
+    /// TensorFlow-style "SAME": output is `ceil(in / stride)`, zero padding
+    /// split evenly with the extra cell at the bottom/right.
+    Same,
+}
+
+/// Resolved geometry of one conv application: output size and pad offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height/width/channels.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both axes, as in the paper's architectures).
+    pub stride: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Zero rows added above.
+    pub pad_top: usize,
+    /// Zero columns added left.
+    pub pad_left: usize,
+}
+
+impl Conv2dGeometry {
+    /// Resolves output size and padding for the given input and kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`, the kernel is empty, or a `Valid` conv does
+    /// not fit the input.
+    pub fn resolve(
+        (in_h, in_w, in_c): (usize, usize, usize),
+        (kh, kw): (usize, usize),
+        stride: usize,
+        padding: Padding,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(kh > 0 && kw > 0, "kernel must be non-empty");
+        let (out_h, out_w, pad_top, pad_left) = match padding {
+            Padding::Valid => {
+                assert!(in_h >= kh && in_w >= kw, "valid conv {kh}x{kw} does not fit {in_h}x{in_w}");
+                ((in_h - kh) / stride + 1, (in_w - kw) / stride + 1, 0, 0)
+            }
+            Padding::Same => {
+                let out_h = in_h.div_ceil(stride);
+                let out_w = in_w.div_ceil(stride);
+                let pad_h = ((out_h - 1) * stride + kh).saturating_sub(in_h);
+                let pad_w = ((out_w - 1) * stride + kw).saturating_sub(in_w);
+                (out_h, out_w, pad_h / 2, pad_w / 2)
+            }
+        };
+        Conv2dGeometry {
+            in_h,
+            in_w,
+            in_c,
+            kh,
+            kw,
+            stride,
+            out_h,
+            out_w,
+            pad_top,
+            pad_left,
+        }
+    }
+
+    /// Number of output spatial positions.
+    pub fn positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Fan-in of each output position (`kh·kw·in_c`).
+    pub fn fan_in(&self) -> usize {
+        self.kh * self.kw * self.in_c
+    }
+}
+
+/// Lowers an HWC image to the im2col matrix `[positions, fan_in]`.
+///
+/// Out-of-bounds taps (from padding) are zero.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-3 or does not match `geo`'s input shape.
+pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+    assert_eq!(x.dims(), &[geo.in_h, geo.in_w, geo.in_c], "im2col input shape");
+    let fan_in = geo.fan_in();
+    let mut out = Tensor::zeros(vec![geo.positions(), fan_in]);
+    let xd = x.data();
+    let (w, c) = (geo.in_w, geo.in_c);
+    let row_c = geo.kw * c; // one kernel row of taps
+    parallel_rows_mut(out.data_mut(), fan_in, |pos, row| {
+        let oy = pos / geo.out_w;
+        let ox = pos % geo.out_w;
+        let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+        let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+        for ky in 0..geo.kh {
+            let y = y0 + ky as isize;
+            let dst = &mut row[ky * row_c..(ky + 1) * row_c];
+            if y < 0 || y >= geo.in_h as isize {
+                dst.fill(0.0);
+                continue;
+            }
+            let y = y as usize;
+            // Copy the contiguous span of in-bounds columns in one memcpy;
+            // zero the out-of-bounds fringes.
+            for kx in 0..geo.kw {
+                let xx = x0 + kx as isize;
+                let cell = &mut dst[kx * c..(kx + 1) * c];
+                if xx < 0 || xx >= w as isize {
+                    cell.fill(0.0);
+                } else {
+                    let src = (y * w + xx as usize) * c;
+                    cell.copy_from_slice(&xd[src..src + c]);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Scatters an im2col-shaped gradient back into image space (the adjoint of
+/// [`im2col`]): overlapping taps accumulate.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape `[positions, fan_in]`.
+pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        cols.dims(),
+        &[geo.positions(), geo.fan_in()],
+        "col2im input shape"
+    );
+    let mut img = Tensor::zeros(vec![geo.in_h, geo.in_w, geo.in_c]);
+    let cd = cols.data();
+    let (w, c) = (geo.in_w, geo.in_c);
+    let fan_in = geo.fan_in();
+    let imgd = img.data_mut();
+    for pos in 0..geo.positions() {
+        let oy = pos / geo.out_w;
+        let ox = pos % geo.out_w;
+        let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+        let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+        let row = &cd[pos * fan_in..(pos + 1) * fan_in];
+        for ky in 0..geo.kh {
+            let y = y0 + ky as isize;
+            if y < 0 || y >= geo.in_h as isize {
+                continue;
+            }
+            let y = y as usize;
+            for kx in 0..geo.kw {
+                let xx = x0 + kx as isize;
+                if xx < 0 || xx >= w as isize {
+                    continue;
+                }
+                let src = &row[(ky * geo.kw + kx) * c..(ky * geo.kw + kx + 1) * c];
+                let dst = (y * w + xx as usize) * c;
+                for (d, &s) in imgd[dst..dst + c].iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_geometry_matches_tf() {
+        // 5x5 input, 3x3 kernel, stride 2 → ceil(5/2)=3, pad_total = (3-1)*2+3-5 = 2.
+        let g = Conv2dGeometry::resolve((5, 5, 1), (3, 3), 2, Padding::Same);
+        assert_eq!((g.out_h, g.out_w), (3, 3));
+        assert_eq!((g.pad_top, g.pad_left), (1, 1));
+        // Even input: 4x4, stride 2, 3x3 → out 2, pad_total = (2-1)*2+3-4 = 1, top gets 0.
+        let g = Conv2dGeometry::resolve((4, 4, 1), (3, 3), 2, Padding::Same);
+        assert_eq!((g.out_h, g.out_w), (2, 2));
+        assert_eq!((g.pad_top, g.pad_left), (0, 0));
+    }
+
+    #[test]
+    fn valid_geometry() {
+        let g = Conv2dGeometry::resolve((5, 7, 3), (3, 3), 1, Padding::Valid);
+        assert_eq!((g.out_h, g.out_w), (3, 5));
+        assert_eq!(g.fan_in(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn valid_rejects_oversized_kernel() {
+        let _ = Conv2dGeometry::resolve((2, 2, 1), (3, 3), 1, Padding::Valid);
+    }
+
+    #[test]
+    fn im2col_1x1_is_reshape() {
+        let x = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|i| i as f32).collect());
+        let g = Conv2dGeometry::resolve((2, 2, 2), (1, 1), 1, Padding::Same);
+        let m = im2col(&x, &g);
+        assert_eq!(m.dims(), &[4, 2]);
+        assert_eq!(m.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_center_tap() {
+        // 3x3 single-channel image, 3x3 SAME conv, stride 1: the center
+        // output position sees the whole image.
+        let x = Tensor::from_vec(vec![3, 3, 1], (1..=9).map(|i| i as f32).collect());
+        let g = Conv2dGeometry::resolve((3, 3, 1), (3, 3), 1, Padding::Same);
+        let m = im2col(&x, &g);
+        assert_eq!(m.dims(), &[9, 9]);
+        let center: Vec<f32> = m.data()[4 * 9..5 * 9].to_vec();
+        assert_eq!(center, (1..=9).map(|i| i as f32).collect::<Vec<_>>());
+        // Top-left position: padded corner → first row and column of taps are 0.
+        let tl: Vec<f32> = m.data()[0..9].to_vec();
+        assert_eq!(tl, vec![0., 0., 0., 0., 1., 2., 0., 4., 5.]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint, which is exactly what backprop needs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let g = Conv2dGeometry::resolve((5, 4, 3), (3, 3), 2, Padding::Same);
+        let x = Tensor::from_vec(
+            vec![5, 4, 3],
+            (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let y = Tensor::from_vec(
+            vec![g.positions(), g.fan_in()],
+            (0..g.positions() * g.fan_in())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+        );
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

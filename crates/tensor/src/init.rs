@@ -1,0 +1,84 @@
+//! Deterministic weight initializers.
+//!
+//! All initializers take an explicit RNG so that every network in the
+//! reproduction is seeded and bit-reproducible (see DESIGN.md S2: the base
+//! DNN is a *fixed random-feature extractor* in lieu of ImageNet weights).
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard choice for ReLU networks; used for all conv weights.
+pub fn he_normal<R: Rng>(rng: &mut R, dims: Vec<usize>, fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    gaussian(rng, dims, std)
+}
+
+/// Glorot (Xavier) uniform initialization: `U(±sqrt(6 / (fan_in + fan_out)))`.
+///
+/// Used for dense layers feeding sigmoids.
+pub fn glorot_uniform<R: Rng>(rng: &mut R, dims: Vec<usize>, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, dims, -limit, limit)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, dims: Vec<usize>, lo: f32, hi: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(dims, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+fn gaussian<R: Rng>(rng: &mut R, dims: Vec<usize>, std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    // Box-Muller; rand's distributions feature is avoided to keep the
+    // dependency surface minimal.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = he_normal(&mut rng, vec![100, 100], 50);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = glorot_uniform(&mut rng, vec![1000], 10, 20);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(
+            he_normal(&mut a, vec![32], 8),
+            he_normal(&mut b, vec![32], 8)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense `f32` tensors for the FilterForward reproduction.
+//!
+//! This crate is the numeric substrate under `ff-nn`: contiguous row-major
+//! tensors (HWC layout for images and feature maps), an
+//! [im2col](im2col()) lowering for convolutions, and a blocked,
+//! optionally multi-threaded [GEMM](matmul()).
+//!
+//! Everything here is deliberately simple and allocation-honest: a [`Tensor`]
+//! is a shape vector plus a `Vec<f32>`, and all operators state their cost.
+//! The design goal is not to compete with BLAS but to make the *relative*
+//! compute costs of the paper's networks (base DNN vs microclassifiers vs
+//! discrete classifiers) faithful on a CPU, which is what every performance
+//! trend in the paper depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use ff_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.dims(), &[2, 3]);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+
+mod im2col;
+mod init;
+mod matmul;
+pub mod parallel;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry, Padding};
+pub use init::{glorot_uniform, he_normal, uniform};
+pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use tensor::Tensor;

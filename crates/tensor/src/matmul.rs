@@ -1,0 +1,180 @@
+//! Blocked, threaded matrix multiplication.
+//!
+//! `C[M,N] = A[M,K] · B[K,N]`, computed row-block-parallel with a k-major
+//! inner loop (`c_row += a_ik * b_row`) that LLVM auto-vectorizes. This is
+//! the single hot kernel of the whole reproduction: convolutions lower to it
+//! through im2col, and dense layers call it directly.
+
+use crate::parallel::parallel_rows_mut;
+use crate::Tensor;
+
+/// `A · B` for rank-2 tensors.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    let mut out = Tensor::zeros(vec![m, n]);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// `A · B` written into a pre-allocated `out` (shape `[M, N]`).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    assert_eq!(out.dims(), &[m, n], "matmul output shape");
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows_mut(out.data_mut(), n, |i, c_row| {
+        c_row.fill(0.0);
+        let a_row = &ad[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += aik * bv;
+            }
+        }
+    });
+}
+
+/// `Aᵀ · B` without materializing the transpose.
+///
+/// Used by convolution backward passes (weight gradients): with `A` the
+/// im2col matrix `[positions, fan_in]` and `B` the output gradient
+/// `[positions, c_out]`, this yields the weight gradient `[fan_in, c_out]`.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the row counts disagree.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A"); // computes Aᵀ (k×m) · B (m×n)
+    let (m2, n) = mat_dims(b, "B");
+    assert_eq!(m, m2, "matmul_transpose_a outer dims: {m} vs {m2}");
+    let mut out = Tensor::zeros(vec![k, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows_mut(out.data_mut(), n, |kk, c_row| {
+        for i in 0..m {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[i * n..(i + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += aik * bv;
+            }
+        }
+    });
+    out
+}
+
+/// `A · Bᵀ` without materializing the transpose.
+///
+/// Used by dense-layer backward passes (input gradients).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the column counts disagree.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, k2) = mat_dims(b, "B"); // B is n x k, we use B^T: k x n
+    assert_eq!(k, k2, "matmul_transpose_b inner dims: {k} vs {k2}");
+    let mut out = Tensor::zeros(vec![m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows_mut(out.data_mut(), n, |i, c_row| {
+        let a_row = &ad[i * k..(i + 1) * k];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    });
+    out
+}
+
+fn mat_dims(t: &Tensor, which: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "matmul operand {which} must be rank-2, got {:?}", t.dims());
+    (t.dims()[0], t.dims()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(vec![m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at2(i, kk) * b.at2(kk, j);
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matches_naive_odd_sizes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (17, 33, 9), (64, 10, 100)] {
+            let a = Tensor::from_vec(vec![m, k], (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let b = Tensor::from_vec(vec![k, n], (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Tensor::from_vec(vec![7, 4], (0..28).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Tensor::from_vec(vec![7, 5], (0..35).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let got = matmul_transpose_a(&a, &b);
+        let want = matmul(&a.transpose2(), &b);
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn transpose_b_matches_explicit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Tensor::from_vec(vec![4, 6], (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Tensor::from_vec(vec![5, 6], (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let got = matmul_transpose_b(&a, &b);
+        let want = matmul(&a, &b.transpose2());
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn rejects_mismatched_inner() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

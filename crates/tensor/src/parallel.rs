@@ -1,0 +1,147 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The runtime is configured once per process with [`set_threads`]; kernels
+//! call [`parallel_chunks`] which falls back to serial execution for small
+//! work items so tests and micro-ops don't pay spawn overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads used by tensor kernels.
+///
+/// `0` (the default) means "use all available parallelism". `1` forces
+/// serial execution, which also makes every kernel bit-for-bit
+/// deterministic.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads kernels will use.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Minimum per-thread work (in "items", callers choose the unit) below which
+/// [`parallel_chunks`] stays serial.
+const MIN_ITEMS_PER_THREAD: usize = 8;
+
+/// Minimum output elements before [`parallel_rows_mut`] spawns threads.
+/// Spawning a scoped thread costs tens of microseconds; tiny layers (the
+/// microclassifier tails) are far cheaper than that, so they must stay
+/// serial or training becomes spawn-bound.
+const MIN_PARALLEL_ELEMS: usize = 32 * 1024;
+
+/// Runs `f(start, end)` over disjoint sub-ranges of `0..n`, possibly in
+/// parallel.
+///
+/// `f` must be safe to run concurrently on disjoint ranges; each invocation
+/// receives a half-open `[start, end)` range. The split is contiguous and
+/// deterministic, so results that are written to disjoint output slices are
+/// identical regardless of thread count.
+pub fn parallel_chunks(n: usize, f: impl Fn(usize, usize) + Sync) {
+    let t = threads().min(n.div_ceil(MIN_ITEMS_PER_THREAD)).max(1);
+    if t == 1 || n == 0 {
+        f(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        for i in 0..t {
+            let start = i * chunk;
+            let end = ((i + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Splits `out` into row blocks of `row_len` elements and hands each block to
+/// `f` with its starting row index — the common pattern for writing disjoint
+/// rows of a matrix in parallel.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `row_len` (unless both are 0).
+pub fn parallel_rows_mut(out: &mut [f32], row_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    if row_len == 0 {
+        assert!(out.is_empty(), "row_len 0 with non-empty buffer");
+        return;
+    }
+    assert_eq!(out.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = out.len() / row_len;
+    let t = if out.len() < MIN_PARALLEL_ELEMS {
+        1
+    } else {
+        threads().min(rows.div_ceil(MIN_ITEMS_PER_THREAD)).max(1)
+    };
+    if t == 1 {
+        for (r, row) in out.chunks_mut(row_len).enumerate() {
+            f(r, row);
+        }
+        return;
+    }
+    let chunk = rows.div_ceil(t);
+    std::thread::scope(|s| {
+        for (i, block) in out.chunks_mut(chunk * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, row) in block.chunks_mut(row_len).enumerate() {
+                    f(i * chunk + j, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 1000]);
+        parallel_chunks(1000, |a, b| {
+            let mut h = hits.lock().unwrap();
+            for i in a..b {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn chunks_handle_zero() {
+        parallel_chunks(0, |a, b| assert_eq!((a, b), (0, 0)));
+    }
+
+    #[test]
+    fn rows_mut_writes_disjoint_rows() {
+        let mut buf = vec![0.0f32; 64 * 3];
+        parallel_rows_mut(&mut buf, 3, |r, row| {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r * 3 + c) as f32;
+            }
+        });
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn thread_count_override() {
+        let before = threads();
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        set_threads(0);
+        assert!(threads() >= 1);
+        let _ = before;
+    }
+}

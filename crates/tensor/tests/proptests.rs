@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor kernels.
+
+use ff_tensor::{col2im, im2col, matmul, Conv2dGeometry, Padding, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(dims.clone(), data))
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = (a.dims()[0], a.dims()[1], b.dims()[1]);
+    let mut out = Tensor::zeros(vec![m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += (a.at2(i, kk) * b.at2(kk, j)) as f64;
+            }
+            out.data_mut()[i * n + j] = acc as f32;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(vec![m, k], (0..m * k).map(|_| rng.gen_range(-5.0..5.0)).collect());
+        let b = Tensor::from_vec(vec![k, n], (0..k * n).map(|_| rng.gen_range(-5.0..5.0)).collect());
+        prop_assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn gemm_identity(m in 1usize..10, n in 1usize..10, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(vec![m, n], (0..m * n).map(|_| rng.gen_range(-5.0..5.0)).collect());
+        prop_assert!(matmul(&a, &Tensor::eye(n)).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gen = |r, c| {
+            let n_el: usize = r * c;
+            Tensor::from_vec(vec![r, c], (0..n_el).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        };
+        let a = gen(m, k);
+        let b1 = gen(k, n);
+        let b2 = gen(k, n);
+        let lhs = matmul(&a, &b1.zip_map(&b2, |x, y| x + y));
+        let rhs = matmul(&a, &b1).zip_map(&matmul(&a, &b2), |x, y| x + y);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 3usize..9, w in 3usize..9, c in 1usize..4,
+        k in 1usize..4, stride in 1usize..3, seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geo = Conv2dGeometry::resolve((h, w, c), (k, k), stride, Padding::Same);
+        let x = Tensor::from_vec(vec![h, w, c], (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let yn = geo.positions() * geo.fan_in();
+        let y = Tensor::from_vec(vec![geo.positions(), geo.fan_in()], (0..yn).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let lhs: f32 = im2col(&x, &geo).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(&y, &geo).data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn crop_within_bounds_preserves_values(
+        h in 2usize..10, w in 2usize..10, c in 1usize..4,
+        fh in 0.0f64..1.0, fw in 0.0f64..1.0,
+    ) {
+        let x = Tensor::from_vec(vec![h, w, c], (0..h * w * c).map(|i| i as f32).collect());
+        let h0 = ((h - 1) as f64 * fh) as usize;
+        let w0 = ((w - 1) as f64 * fw) as usize;
+        let cropped = x.crop3(h0, h, w0, w);
+        prop_assert_eq!(cropped.dims(), &[h - h0, w - w0, c]);
+        for y in 0..h - h0 {
+            for xx in 0..w - w0 {
+                for ch in 0..c {
+                    prop_assert_eq!(cropped.at3(y, xx, ch), x.at3(y + h0, xx + w0, ch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_padding_output_size(h in 1usize..64, w in 1usize..64, k in 1usize..6, s in 1usize..4) {
+        let g = Conv2dGeometry::resolve((h, w, 1), (k, k), s, Padding::Same);
+        prop_assert_eq!(g.out_h, h.div_ceil(s));
+        prop_assert_eq!(g.out_w, w.div_ceil(s));
+    }
+}

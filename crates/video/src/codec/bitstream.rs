@@ -1,0 +1,194 @@
+//! Bit-level I/O with Exp-Golomb codes — the entropy-coding layer.
+
+use bytes::{BufMut, BytesMut};
+
+/// Writes bits MSB-first into a growable buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.buf.put_u8(self.cur);
+            self.cur = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Writes the low `n` bits of `v`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn put_bits(&mut self, v: u32, n: u8) {
+        assert!(n <= 32, "at most 32 bits at a time");
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Writes an unsigned Exp-Golomb code.
+    pub fn put_ue(&mut self, v: u32) {
+        let x = v + 1;
+        let len = 32 - x.leading_zeros() as u8; // bit length of x
+        for _ in 0..len - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(x, len);
+    }
+
+    /// Writes a signed Exp-Golomb code (0, 1, −1, 2, −2, … mapping).
+    pub fn put_se(&mut self, v: i32) {
+        let u = if v > 0 { (v as u32) * 2 - 1 } else { (-(v as i64) as u32) * 2 };
+        self.put_ue(u);
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.buf.put_u8(self.cur);
+        }
+        self.buf.to_vec()
+    }
+
+    /// Bits written so far (excluding final padding).
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn get_bit(&mut self) -> Option<bool> {
+        let byte = self.data.get(self.pos / 8)?;
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits MSB-first.
+    pub fn get_bits(&mut self, n: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.get_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    pub fn get_ue(&mut self) -> Option<u32> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 31 {
+                return None; // corrupt stream
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Some((1u32 << zeros) + rest - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    pub fn get_se(&mut self) -> Option<i32> {
+        let u = self.get_ue()?;
+        Some(if u % 2 == 1 {
+            ((u + 1) / 2) as i32
+        } else {
+            -((u / 2) as i32)
+        })
+    }
+
+    /// Current bit offset.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xFF, 8);
+        w.put_bit(true);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4), Some(0b1011));
+        assert_eq!(r.get_bits(8), Some(0xFF));
+        assert_eq!(r.get_bit(), Some(true));
+    }
+
+    #[test]
+    fn ue_roundtrip_exhaustive_small() {
+        let mut w = BitWriter::new();
+        for v in 0..2000u32 {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..2000u32 {
+            assert_eq!(r.get_ue(), Some(v));
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let vals = [0i32, 1, -1, 2, -2, 100, -100, 32767, -32768];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.put_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.get_se(), Some(v));
+        }
+    }
+
+    #[test]
+    fn ue_known_encodings() {
+        // 0 → "1", 1 → "010", 2 → "011", 3 → "00100".
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        w.put_ue(1);
+        w.put_ue(2);
+        w.put_ue(3);
+        assert_eq!(w.bit_len(), 1 + 3 + 3 + 5);
+        let bytes = w.finish();
+        assert_eq!(bytes[0], 0b1_010_011_0, "first byte");
+    }
+
+    #[test]
+    fn reader_handles_truncation() {
+        let mut r = BitReader::new(&[0b0000_0000]);
+        assert_eq!(r.get_ue(), None); // all zeros: prefix never terminates
+    }
+}

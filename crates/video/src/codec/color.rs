@@ -1,0 +1,234 @@
+//! Color conversion (BT.601 full-range) and 4:2:0 chroma subsampling.
+
+use crate::{Frame, Resolution};
+
+/// A single image plane of `f32` samples (nominally 0–255).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Plane {
+    /// Creates a zero plane.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Plane {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Plane width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sample at `(x, y)`.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sample at `(x, y)` with edge clamping for out-of-bounds coordinates.
+    #[inline]
+    pub fn at_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.at(x, y)
+    }
+
+    /// Sets the sample at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Raw samples.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw samples.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Extracts an 8×8 block at `(bx·8, by·8)`, clamping at edges.
+    pub fn block8(&self, bx: usize, by: usize) -> [f32; 64] {
+        let mut out = [0.0; 64];
+        for j in 0..8 {
+            for i in 0..8 {
+                out[j * 8 + i] = self.at_clamped((bx * 8 + i) as isize, (by * 8 + j) as isize);
+            }
+        }
+        out
+    }
+
+    /// Writes an 8×8 block at `(bx·8, by·8)`, ignoring out-of-bounds parts.
+    pub fn set_block8(&mut self, bx: usize, by: usize, block: &[f32; 64]) {
+        for j in 0..8 {
+            let y = by * 8 + j;
+            if y >= self.height {
+                break;
+            }
+            for i in 0..8 {
+                let x = bx * 8 + i;
+                if x >= self.width {
+                    break;
+                }
+                self.set(x, y, block[j * 8 + i]);
+            }
+        }
+    }
+}
+
+/// A YCbCr 4:2:0 picture: full-resolution luma, half-resolution chroma.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ycbcr420 {
+    /// Luma plane (full resolution).
+    pub y: Plane,
+    /// Blue-difference chroma (half resolution each axis).
+    pub cb: Plane,
+    /// Red-difference chroma (half resolution each axis).
+    pub cr: Plane,
+    /// Original frame size (planes may be conceptually padded at edges).
+    pub resolution: Resolution,
+}
+
+impl Ycbcr420 {
+    /// Converts an RGB frame, averaging 2×2 neighborhoods for chroma.
+    pub fn from_frame(frame: &Frame) -> Self {
+        let (w, h) = (frame.width(), frame.height());
+        let mut y = Plane::zeros(w, h);
+        let (cw, ch) = (w.div_ceil(2), h.div_ceil(2));
+        let mut cb = Plane::zeros(cw, ch);
+        let mut cr = Plane::zeros(cw, ch);
+        for py in 0..h {
+            for px in 0..w {
+                let [r, g, b] = frame.pixel(px, py);
+                let (r, g, b) = (r as f32, g as f32, b as f32);
+                y.set(px, py, 0.299 * r + 0.587 * g + 0.114 * b);
+            }
+        }
+        for cy in 0..ch {
+            for cx in 0..cw {
+                let (mut scb, mut scr, mut n) = (0.0f32, 0.0f32, 0u32);
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let (px, py) = (cx * 2 + dx, cy * 2 + dy);
+                        if px < w && py < h {
+                            let [r, g, b] = frame.pixel(px, py);
+                            let (r, g, b) = (r as f32, g as f32, b as f32);
+                            scb += 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+                            scr += 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+                            n += 1;
+                        }
+                    }
+                }
+                cb.set(cx, cy, scb / n as f32);
+                cr.set(cx, cy, scr / n as f32);
+            }
+        }
+        Ycbcr420 {
+            y,
+            cb,
+            cr,
+            resolution: frame.resolution(),
+        }
+    }
+
+    /// Creates a black picture of the given size.
+    pub fn black(resolution: Resolution) -> Self {
+        let (w, h) = (resolution.width, resolution.height);
+        Ycbcr420 {
+            y: Plane::zeros(w, h),
+            cb: Plane::zeros(w.div_ceil(2), h.div_ceil(2)),
+            cr: Plane::zeros(w.div_ceil(2), h.div_ceil(2)),
+            resolution,
+        }
+    }
+
+    /// Converts back to RGB with nearest-neighbor chroma upsampling.
+    pub fn to_frame(&self) -> Frame {
+        let (w, h) = (self.resolution.width, self.resolution.height);
+        let mut frame = Frame::black(self.resolution);
+        for py in 0..h {
+            for px in 0..w {
+                let yv = self.y.at(px, py);
+                let cbv = self.cb.at(px / 2, py / 2) - 128.0;
+                let crv = self.cr.at(px / 2, py / 2) - 128.0;
+                let r = yv + 1.402 * crv;
+                let g = yv - 0.344_136 * cbv - 0.714_136 * crv;
+                let b = yv + 1.772 * cbv;
+                frame.set_pixel(px, py, [clamp_u8(r), clamp_u8(g), clamp_u8(b)]);
+            }
+        }
+        frame
+    }
+}
+
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grayscale_roundtrip_is_near_lossless() {
+        let mut f = Frame::black(Resolution::new(16, 16));
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = (x * 16 + y) as u8;
+                f.set_pixel(x, y, [v, v, v]);
+            }
+        }
+        let back = Ycbcr420::from_frame(&f).to_frame();
+        assert!(back.psnr(&f) > 45.0, "psnr {}", back.psnr(&f));
+    }
+
+    #[test]
+    fn saturated_colors_survive_roundtrip() {
+        let mut f = Frame::black(Resolution::new(8, 8));
+        for y in 0..8 {
+            for x in 0..8 {
+                // 2×2 constant color patches so 4:2:0 subsampling is exact.
+                let c = match ((x / 2) + (y / 2)) % 3 {
+                    0 => [255u8, 0, 0],
+                    1 => [0, 255, 0],
+                    _ => [0, 0, 255],
+                };
+                f.set_pixel(x, y, c);
+            }
+        }
+        let back = Ycbcr420::from_frame(&f).to_frame();
+        assert!(back.psnr(&f) > 35.0, "psnr {}", back.psnr(&f));
+    }
+
+    #[test]
+    fn odd_dimensions_handled() {
+        let f = Frame::black(Resolution::new(7, 5));
+        let ycc = Ycbcr420::from_frame(&f);
+        assert_eq!(ycc.cb.width(), 4);
+        assert_eq!(ycc.cb.height(), 3);
+        assert_eq!(ycc.to_frame().resolution(), f.resolution());
+    }
+
+    #[test]
+    fn block8_clamps_at_edges() {
+        let mut p = Plane::zeros(10, 10);
+        p.set(9, 9, 7.0);
+        let b = p.block8(1, 1); // covers x 8..16, clamped to 9
+        assert_eq!(b[9 + 8], 7.0); // (9,9) position within block row 1, col 1
+        assert_eq!(b[63], 7.0); // clamped corner replicates
+    }
+}

@@ -1,0 +1,126 @@
+//! 8×8 type-II DCT and its inverse, orthonormal scaling.
+
+/// Precomputed orthonormal DCT-II basis: `C[k][n] = a(k)·cos((2n+1)kπ/16)`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut c = [[0.0f32; 8]; 8];
+        for (k, row) in c.iter_mut().enumerate() {
+            let a = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = (a * ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0).cos()) as f32;
+            }
+        }
+        c
+    })
+}
+
+/// Forward 8×8 DCT: `F = C·X·Cᵀ`.
+pub fn forward(block: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    let mut tmp = [0.0f32; 64];
+    // tmp = C · X  (rows transform)
+    for k in 0..8 {
+        for n in 0..8 {
+            let mut acc = 0.0;
+            for m in 0..8 {
+                acc += c[k][m] * block[m * 8 + n];
+            }
+            tmp[k * 8 + n] = acc;
+        }
+    }
+    // out = tmp · Cᵀ (columns transform)
+    let mut out = [0.0f32; 64];
+    for k in 0..8 {
+        for l in 0..8 {
+            let mut acc = 0.0;
+            for n in 0..8 {
+                acc += tmp[k * 8 + n] * c[l][n];
+            }
+            out[k * 8 + l] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT: `X = Cᵀ·F·C`.
+pub fn inverse(coefs: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    let mut tmp = [0.0f32; 64];
+    for m in 0..8 {
+        for l in 0..8 {
+            let mut acc = 0.0;
+            for k in 0..8 {
+                acc += c[k][m] * coefs[k * 8 + l];
+            }
+            tmp[m * 8 + l] = acc;
+        }
+    }
+    let mut out = [0.0f32; 64];
+    for m in 0..8 {
+        for n in 0..8 {
+            let mut acc = 0.0;
+            for l in 0..8 {
+                acc += tmp[m * 8 + l] * c[l][n];
+            }
+            out[m * 8 + n] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f32 - 128.0;
+        }
+        let back = inverse(&forward(&block));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let block = [100.0f32; 64];
+        let f = forward(&block);
+        // Orthonormal: DC = 8 · mean = 800.
+        assert!((f[0] - 800.0).abs() < 1e-2);
+        for &v in &f[1..] {
+            assert!(v.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn energy_preservation_parseval() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32).sin() * 50.0;
+        }
+        let f = forward(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = f.iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+
+    #[test]
+    fn smooth_blocks_compact_energy() {
+        // A gentle gradient should put almost all energy in low frequencies.
+        let mut block = [0.0f32; 64];
+        for j in 0..8 {
+            for i in 0..8 {
+                block[j * 8 + i] = (i + j) as f32 * 4.0;
+            }
+        }
+        let f = forward(&block);
+        let low: f32 = (0..3).flat_map(|j| (0..3).map(move |i| f[j * 8 + i] * f[j * 8 + i])).sum();
+        let total: f32 = f.iter().map(|v| v * v).sum();
+        assert!(low / total > 0.99);
+    }
+}

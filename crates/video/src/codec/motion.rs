@@ -1,0 +1,114 @@
+//! Integer-pel motion estimation: SAD cost + three-step search over 16×16
+//! macroblocks.
+
+use super::color::Plane;
+use super::MB;
+
+/// A motion vector in integer luma pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement.
+    pub dx: i32,
+    /// Vertical displacement.
+    pub dy: i32,
+}
+
+/// Sum of absolute differences between the `MB×MB` block of `cur` at
+/// `(x0, y0)` and the reference block displaced by `(dx, dy)` (edge
+/// clamped).
+pub fn sad(cur: &Plane, reference: &Plane, x0: usize, y0: usize, dx: i32, dy: i32) -> f32 {
+    let mut acc = 0.0f32;
+    for j in 0..MB {
+        for i in 0..MB {
+            let c = cur.at_clamped((x0 + i) as isize, (y0 + j) as isize);
+            let r = reference.at_clamped(x0 as isize + i as isize + dx as isize, y0 as isize + j as isize + dy as isize);
+            acc += (c - r).abs();
+        }
+    }
+    acc
+}
+
+/// Three-step search around (0,0) with an initial radius of `range/2`,
+/// returning the best motion vector and its SAD.
+///
+/// This is the classic logarithmic search: evaluate the 9 points of a
+/// square, recenter on the best, halve the step, repeat.
+pub fn three_step_search(
+    cur: &Plane,
+    reference: &Plane,
+    x0: usize,
+    y0: usize,
+    range: i32,
+) -> (MotionVector, f32) {
+    let mut best = MotionVector::default();
+    let mut best_sad = sad(cur, reference, x0, y0, 0, 0);
+    let mut step = (range / 2).max(1);
+    while step >= 1 {
+        let center = best;
+        for dy in [-step, 0, step] {
+            for dx in [-step, 0, step] {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let cand = MotionVector {
+                    dx: (center.dx + dx).clamp(-range, range),
+                    dy: (center.dy + dy).clamp(-range, range),
+                };
+                let s = sad(cur, reference, x0, y0, cand.dx, cand.dy);
+                if s < best_sad {
+                    best_sad = s;
+                    best = cand;
+                }
+            }
+        }
+        if step == 1 {
+            break;
+        }
+        step /= 2;
+    }
+    (best, best_sad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a plane with a bright square at `(x, y)`.
+    fn plane_with_square(w: usize, h: usize, x: usize, y: usize) -> Plane {
+        let mut p = Plane::zeros(w, h);
+        for j in 0..6 {
+            for i in 0..6 {
+                if x + i < w && y + j < h {
+                    p.set(x + i, y + j, 200.0);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_zero_for_identical() {
+        let p = plane_with_square(32, 32, 8, 8);
+        assert_eq!(sad(&p, &p, 0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn search_recovers_known_translation() {
+        // Object moves +3 px right, +2 px down between reference and current.
+        let reference = plane_with_square(48, 48, 10, 12);
+        let cur = plane_with_square(48, 48, 13, 14);
+        let (mv, s) = three_step_search(&cur, &reference, 0, 0, 8);
+        // Best vector points from current back to reference content.
+        assert_eq!((mv.dx, mv.dy), (-3, -2));
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn search_never_worse_than_zero_mv() {
+        let reference = plane_with_square(48, 48, 9, 9);
+        let cur = plane_with_square(48, 48, 16, 20);
+        let zero = sad(&cur, &reference, 0, 0, 0, 0);
+        let (_, best) = three_step_search(&cur, &reference, 0, 0, 8);
+        assert!(best <= zero);
+    }
+}

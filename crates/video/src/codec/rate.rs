@@ -1,0 +1,100 @@
+//! Closed-loop rate control: drives the QP so the encoded stream converges
+//! on a target bitrate, the way the paper's re-encode step targets
+//! "250 Kb/s and 500 Kb/s" uploads (§4.3).
+
+use super::quant::{QP_MAX, QP_MIN};
+
+/// A proportional QP controller on an exponential moving average of bits
+/// per frame.
+///
+/// Six QP steps halve the bit-rate (the quantizer step doubles), so the
+/// controller converts the log₂ of the rate error directly into QP points.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    target_bits_per_frame: f64,
+    ema_bits: f64,
+    qp: f64,
+}
+
+impl RateController {
+    /// Creates a controller for `bitrate_bps` at `fps` frames per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive and finite.
+    pub fn new(bitrate_bps: f64, fps: f64) -> Self {
+        assert!(bitrate_bps > 0.0 && bitrate_bps.is_finite(), "bad bitrate");
+        assert!(fps > 0.0 && fps.is_finite(), "bad fps");
+        let target = bitrate_bps / fps;
+        RateController {
+            target_bits_per_frame: target,
+            ema_bits: target,
+            qp: 32.0,
+        }
+    }
+
+    /// QP to use for the next frame.
+    pub fn qp(&self) -> u8 {
+        self.qp.round().clamp(QP_MIN as f64, QP_MAX as f64) as u8
+    }
+
+    /// Target bits per frame.
+    pub fn target_bits_per_frame(&self) -> f64 {
+        self.target_bits_per_frame
+    }
+
+    /// Records the actual size of the frame just encoded.
+    pub fn record(&mut self, bits: usize) {
+        self.ema_bits = 0.85 * self.ema_bits + 0.15 * bits as f64;
+        let err = (self.ema_bits / self.target_bits_per_frame).log2();
+        // 6 QP ≈ 2× rate; apply proportionally with a step clamp so a
+        // single huge I-frame cannot slam the quantizer.
+        self.qp = (self.qp + (2.0 * err).clamp(-2.0, 2.0))
+            .clamp(QP_MIN as f64, QP_MAX as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qp_rises_when_overshooting() {
+        let mut rc = RateController::new(100_000.0, 10.0); // 10k bits/frame
+        let q0 = rc.qp();
+        for _ in 0..20 {
+            rc.record(40_000); // 4× over budget
+        }
+        assert!(rc.qp() > q0);
+    }
+
+    #[test]
+    fn qp_falls_when_undershooting() {
+        let mut rc = RateController::new(100_000.0, 10.0);
+        let q0 = rc.qp();
+        for _ in 0..20 {
+            rc.record(1_000);
+        }
+        assert!(rc.qp() < q0);
+    }
+
+    #[test]
+    fn qp_stays_clamped() {
+        let mut rc = RateController::new(1_000.0, 30.0);
+        for _ in 0..200 {
+            rc.record(1_000_000);
+        }
+        assert!(rc.qp() <= QP_MAX);
+        let mut rc = RateController::new(1e9, 30.0);
+        for _ in 0..200 {
+            rc.record(10);
+        }
+        assert!(rc.qp() >= QP_MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bitrate")]
+    fn rejects_zero_bitrate() {
+        let _ = RateController::new(0.0, 30.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! RGB frames.
+
+use serde::{Deserialize, Serialize};
+
+/// A frame size in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Resolution {
+    /// Creates a resolution.
+    pub const fn new(width: usize, height: usize) -> Self {
+        Resolution { width, height }
+    }
+
+    /// Total pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// An 8-bit RGB frame, interleaved row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    resolution: Resolution,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a black frame.
+    pub fn black(resolution: Resolution) -> Self {
+        Frame {
+            resolution,
+            data: vec![0; resolution.pixels() * 3],
+        }
+    }
+
+    /// Wraps raw interleaved RGB data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width · height · 3`.
+    pub fn from_rgb(resolution: Resolution, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), resolution.pixels() * 3, "bad RGB buffer size");
+        Frame { resolution, data }
+    }
+
+    /// Frame size.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.resolution.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.resolution.height
+    }
+
+    /// Interleaved RGB bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable interleaved RGB bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.resolution.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    #[inline]
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = (y * self.resolution.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Converts to an HWC `f32` tensor scaled to `[0, 1]` — the input format
+    /// of every network in the reproduction.
+    pub fn to_tensor(&self) -> ff_tensor::Tensor {
+        ff_tensor::Tensor::from_vec(
+            vec![self.resolution.height, self.resolution.width, 3],
+            self.data.iter().map(|&b| b as f32 / 255.0).collect(),
+        )
+    }
+
+    /// Mean absolute per-channel difference to another frame, in 8-bit
+    /// levels. Useful as a cheap change detector and in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn mean_abs_diff(&self, other: &Frame) -> f64 {
+        assert_eq!(self.resolution, other.resolution, "frame size mismatch");
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .sum();
+        sum as f64 / self.data.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio versus a reference frame, in dB over all
+    /// RGB samples. Returns `f64::INFINITY` for identical frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn psnr(&self, reference: &Frame) -> f64 {
+        assert_eq!(self.resolution, reference.resolution, "frame size mismatch");
+        let mse: f64 = self
+            .data
+            .iter()
+            .zip(&reference.data)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_roundtrip() {
+        let mut f = Frame::black(Resolution::new(4, 3));
+        f.set_pixel(2, 1, [10, 20, 30]);
+        assert_eq!(f.pixel(2, 1), [10, 20, 30]);
+        assert_eq!(f.pixel(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn tensor_conversion_scales() {
+        let mut f = Frame::black(Resolution::new(2, 2));
+        f.set_pixel(0, 0, [255, 0, 128]);
+        let t = f.to_tensor();
+        assert_eq!(t.dims(), &[2, 2, 3]);
+        assert!((t.at3(0, 0, 0) - 1.0).abs() < 1e-6);
+        assert!((t.at3(0, 0, 2) - 128.0 / 255.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_identity_is_infinite() {
+        let f = Frame::black(Resolution::new(8, 8));
+        assert!(f.psnr(&f).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Frame::black(Resolution::new(8, 8));
+        let mut small = a.clone();
+        small.set_pixel(0, 0, [8, 8, 8]);
+        let mut big = a.clone();
+        for y in 0..8 {
+            for x in 0..8 {
+                big.set_pixel(x, y, [64, 64, 64]);
+            }
+        }
+        assert!(a.psnr(&small) > a.psnr(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad RGB buffer size")]
+    fn from_rgb_validates_len() {
+        let _ = Frame::from_rgb(Resolution::new(2, 2), vec![0; 5]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Frame export: binary PPM stills and Y4M clips, for eyeballing the
+//! simulator's output and any decoded stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart   # then view /tmp/*.ppm with any image tool
+//! ```
+
+use std::io::Write;
+
+use crate::Frame;
+
+/// Writes a frame as binary PPM (P6).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_ppm<W: Write>(frame: &Frame, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "P6\n{} {}\n255", frame.width(), frame.height())?;
+    w.write_all(frame.data())
+}
+
+/// Writes frames as an uncompressed Y4M (YUV4MPEG2, C444) clip playable by
+/// common tools.
+///
+/// # Errors
+///
+/// Returns any I/O error; also errors if `frames` is empty or sizes vary.
+pub fn write_y4m<W: Write>(frames: &[Frame], fps: usize, mut w: W) -> std::io::Result<()> {
+    let first = frames.first().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "no frames to write")
+    })?;
+    let (fw, fh) = (first.width(), first.height());
+    writeln!(w, "YUV4MPEG2 W{fw} H{fh} F{fps}:1 Ip A1:1 C444")?;
+    for f in frames {
+        if f.width() != fw || f.height() != fh {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "frame size changed mid-clip",
+            ));
+        }
+        writeln!(w, "FRAME")?;
+        // Planar YCbCr 4:4:4 (BT.601 full range).
+        let mut planes = vec![Vec::with_capacity(fw * fh); 3];
+        for px in f.data().chunks(3) {
+            let (r, g, b) = (px[0] as f32, px[1] as f32, px[2] as f32);
+            let y = 0.299 * r + 0.587 * g + 0.114 * b;
+            let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+            let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+            planes[0].push(y.round().clamp(0.0, 255.0) as u8);
+            planes[1].push(cb.round().clamp(0.0, 255.0) as u8);
+            planes[2].push(cr.round().clamp(0.0, 255.0) as u8);
+        }
+        for p in &planes {
+            w.write_all(p)?;
+        }
+    }
+    Ok(())
+}
+
+/// Draws a 1-px rectangle outline onto a frame (annotation overlay for
+/// detections and ground-truth boxes).
+pub fn draw_box(frame: &mut Frame, x0: usize, y0: usize, x1: usize, y1: usize, color: [u8; 3]) {
+    let (w, h) = (frame.width(), frame.height());
+    let x1 = x1.min(w);
+    let y1 = y1.min(h);
+    if x0 >= x1 || y0 >= y1 {
+        return;
+    }
+    for x in x0..x1 {
+        frame.set_pixel(x, y0, color);
+        frame.set_pixel(x, y1 - 1, color);
+    }
+    for y in y0..y1 {
+        frame.set_pixel(x0, y, color);
+        frame.set_pixel(x1 - 1, y, color);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    #[test]
+    fn ppm_has_header_and_payload() {
+        let f = Frame::black(Resolution::new(4, 3));
+        let mut buf = Vec::new();
+        write_ppm(&f, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(buf.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn y4m_frame_sizes() {
+        let frames = vec![Frame::black(Resolution::new(8, 4)); 3];
+        let mut buf = Vec::new();
+        write_y4m(&frames, 15, &mut buf).unwrap();
+        let header_end = buf.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // 3 × ("FRAME\n" + 3 planes of 32 bytes).
+        assert_eq!(buf.len() - header_end, 3 * (6 + 3 * 32));
+    }
+
+    #[test]
+    fn y4m_rejects_empty_and_mixed() {
+        let mut buf = Vec::new();
+        assert!(write_y4m(&[], 15, &mut buf).is_err());
+        let mixed = vec![
+            Frame::black(Resolution::new(8, 4)),
+            Frame::black(Resolution::new(4, 4)),
+        ];
+        assert!(write_y4m(&mixed, 15, &mut buf).is_err());
+    }
+
+    #[test]
+    fn draw_box_outlines_only() {
+        let mut f = Frame::black(Resolution::new(6, 6));
+        draw_box(&mut f, 1, 1, 5, 5, [255, 0, 0]);
+        assert_eq!(f.pixel(1, 1), [255, 0, 0]); // corner
+        assert_eq!(f.pixel(4, 1), [255, 0, 0]); // top edge
+        assert_eq!(f.pixel(2, 2), [0, 0, 0]); // interior untouched
+        assert_eq!(f.pixel(5, 5), [0, 0, 0]); // outside
+    }
+}

@@ -1,0 +1,29 @@
+//! Video substrate for the FilterForward reproduction: frames, a synthetic
+//! wide-angle surveillance scene simulator, and a from-scratch block video
+//! codec.
+//!
+//! The paper's evaluation needs three things from its video stack, none of
+//! which require H.264 itself (DESIGN.md substitutions S3/S4):
+//!
+//! 1. **Real frames with ground truth** — the [`scene`] module renders a
+//!    deterministic perspective street scene (pedestrians, cars, cyclists,
+//!    dogs; clothing-color attributes; Poisson arrivals) and emits exact
+//!    per-frame object annotations, standing in for the hand-labeled
+//!    Jackson/Roadway camera datasets.
+//! 2. **Bits on the wire for a target bitrate** — the [`codec`] module is a
+//!    complete motion-compensated transform codec (YCbCr 4:2:0, 8×8 DCT,
+//!    QP-driven quantization, 16×16 motion search, I/P GOPs, Exp-Golomb
+//!    entropy coding, closed-loop rate control) whose encoder output is the
+//!    bandwidth FilterForward accounts for.
+//! 3. **Real quality loss at low bitrate** — the same codec's decoder feeds
+//!    the "compress everything" baseline of Figure 4, so heavy compression
+//!    genuinely destroys the small details the paper's argument hinges on.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod io;
+mod frame;
+pub mod scene;
+
+pub use frame::{Frame, Resolution};

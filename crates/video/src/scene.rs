@@ -1,0 +1,801 @@
+//! Deterministic synthetic wide-angle surveillance scene (DESIGN.md S3).
+//!
+//! Stands in for the paper's Jackson Hole and Roadway camera feeds: a
+//! fixed, wide-angle view of a street with a crosswalk, where pedestrians
+//! (some wearing red), cars, cyclists and dogs enter, move through, and
+//! leave. The renderer emits RGB frames *and* exact per-frame object
+//! annotations, which become the ground-truth event labels the paper's
+//! annotators produced by hand.
+//!
+//! Scene layout (fractions of frame height):
+//!
+//! ```text
+//! 0.00 ─ sky
+//! 0.22 ─ building facade band
+//! 0.38 ─ road (two lanes, vertical crosswalk band mid-frame)
+//! 0.74 ─ sidewalk (pedestrian path)
+//! 0.88 ─ curb / foreground
+//! ```
+//!
+//! Everything is driven by a seeded RNG: the same config produces the same
+//! video and the same labels, bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Frame, Resolution};
+
+/// Kinds of moving objects in the scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// A person walking on the sidewalk or crossing at the crosswalk.
+    Pedestrian,
+    /// A car driving in one of the two lanes.
+    Car,
+    /// A cyclist riding along the road edge.
+    Cyclist,
+    /// A dog trotting along the sidewalk.
+    Dog,
+}
+
+/// An axis-aligned pixel bounding box (half-open: `x0..x1`, `y0..y1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: usize,
+    /// Top edge.
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+impl BBox {
+    /// Box area in pixels.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Intersection area with another box.
+    pub fn intersect_area(&self, other: &BBox) -> usize {
+        let x0 = self.x0.max(other.x0);
+        let x1 = self.x1.min(other.x1);
+        let y0 = self.y0.max(other.y0);
+        let y1 = self.y1.min(other.y1);
+        if x0 < x1 && y0 < y1 {
+            (x1 - x0) * (y1 - y0)
+        } else {
+            0
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (usize, usize) {
+        ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+}
+
+/// Ground-truth annotation of one object in one frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectState {
+    /// Stable per-object id (survives across frames).
+    pub id: u64,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Pixel bounding box, clipped to the frame.
+    pub bbox: BBox,
+    /// Whether the object wears/carries something red (pedestrians only).
+    pub wearing_red: bool,
+    /// Whether a pedestrian is on a crosswalk trajectory.
+    pub crossing: bool,
+}
+
+/// Scene configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Frame size.
+    pub resolution: Resolution,
+    /// Frames per second (drives object speeds).
+    pub fps: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Expected pedestrian spawns per frame (Poisson-thinned Bernoulli).
+    pub pedestrian_rate: f64,
+    /// Fraction of pedestrians that cross the road at the crosswalk.
+    pub crossing_fraction: f64,
+    /// Fraction of pedestrians wearing red.
+    pub red_fraction: f64,
+    /// Expected car spawns per frame.
+    pub car_rate: f64,
+    /// Expected cyclist spawns per frame.
+    pub cyclist_rate: f64,
+    /// Expected dog spawns per frame.
+    pub dog_rate: f64,
+    /// Uniform sensor noise amplitude in 8-bit levels (0 disables).
+    pub noise_level: f64,
+    /// Multiplier on all object speeds (1.0 = defaults). Datasets use this
+    /// to tune event durations toward the paper's statistics.
+    pub speed_multiplier: f64,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            resolution: Resolution::new(192, 108),
+            fps: 15.0,
+            seed: 7,
+            pedestrian_rate: 0.01,
+            crossing_fraction: 0.35,
+            red_fraction: 0.2,
+            car_rate: 0.008,
+            cyclist_rate: 0.002,
+            dog_rate: 0.001,
+            noise_level: 1.5,
+            speed_multiplier: 1.0,
+        }
+    }
+}
+
+/// Vertical scene bands as fractions of frame height.
+mod layout {
+    pub const BUILDINGS_TOP: f64 = 0.22;
+    pub const ROAD_TOP: f64 = 0.38;
+    pub const LANE_SPLIT: f64 = 0.56;
+    pub const ROAD_BOTTOM: f64 = 0.74;
+    pub const SIDEWALK_BOTTOM: f64 = 0.88;
+    /// Crosswalk horizontal band, as fractions of frame width.
+    pub const CROSSWALK_X0: f64 = 0.44;
+    pub const CROSSWALK_X1: f64 = 0.56;
+}
+
+#[derive(Debug, Clone)]
+struct Obj {
+    id: u64,
+    kind: ObjectKind,
+    /// Position of the object's anchor (feet / wheel line), in pixels.
+    x: f64,
+    y: f64,
+    /// Velocity in pixels per frame.
+    vx: f64,
+    vy: f64,
+    wearing_red: bool,
+    crossing: bool,
+    /// Base color of the body/torso.
+    color: [u8; 3],
+    /// Gait phase for pedestrians/dogs.
+    phase: f64,
+}
+
+/// The scene simulator. Produces `(Frame, Vec<ObjectState>)` per step.
+#[derive(Debug)]
+pub struct Scene {
+    cfg: SceneConfig,
+    rng: StdRng,
+    background: Frame,
+    objects: Vec<Obj>,
+    frame_index: u64,
+    next_id: u64,
+}
+
+impl Scene {
+    /// Creates a scene; the static background is rendered once here.
+    pub fn new(cfg: SceneConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let background = render_background(cfg.resolution, &mut rng);
+        Scene {
+            cfg,
+            rng,
+            background,
+            objects: Vec::new(),
+            frame_index: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.cfg
+    }
+
+    /// Frames rendered so far.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Renders the current frame and its ground truth, then advances the
+    /// simulation by one frame time.
+    pub fn step(&mut self) -> (Frame, Vec<ObjectState>) {
+        self.spawn();
+        let mut frame = self.background.clone();
+        self.apply_illumination(&mut frame);
+
+        // Painter's order: farther (smaller y) first.
+        let mut order: Vec<usize> = (0..self.objects.len()).collect();
+        order.sort_by(|&a, &b| self.objects[a].y.total_cmp(&self.objects[b].y));
+        let mut truth = Vec::new();
+        for i in order {
+            let obj = self.objects[i].clone();
+            if let Some(bbox) = draw_object(&mut frame, &obj, self.cfg.resolution) {
+                truth.push(ObjectState {
+                    id: obj.id,
+                    kind: obj.kind,
+                    bbox,
+                    wearing_red: obj.wearing_red,
+                    crossing: obj.crossing,
+                });
+            }
+        }
+        truth.sort_by_key(|o| o.id);
+        self.apply_noise(&mut frame);
+
+        self.advance();
+        self.frame_index += 1;
+        (frame, truth)
+    }
+
+    fn spawn(&mut self) {
+        let (w, h) = (self.cfg.resolution.width as f64, self.cfg.resolution.height as f64);
+        // Poisson(λ) with small λ ≈ Bernoulli(λ); fine for the rates used.
+        if self.rng.gen_bool(self.cfg.pedestrian_rate.min(1.0)) {
+            let crossing = self.rng.gen_bool(self.cfg.crossing_fraction);
+            let wearing_red = self.rng.gen_bool(self.cfg.red_fraction);
+            let color = if wearing_red {
+                [205, 30, 35]
+            } else {
+                *pick(&mut self.rng, &[[40, 60, 150], [40, 130, 60], [110, 110, 115], [180, 160, 40], [90, 50, 120]])
+            };
+            let id = self.bump_id();
+            if crossing {
+                // Walk up (or down) the crosswalk, through the road band.
+                let going_up = self.rng.gen_bool(0.5);
+                let x = w * self.rng.gen_range(layout::CROSSWALK_X0 + 0.02..layout::CROSSWALK_X1 - 0.02);
+                let speed = h * self.rng.gen_range(0.0020..0.0035) * self.cfg.speed_multiplier;
+                let (y, vy) = if going_up {
+                    (h * (layout::SIDEWALK_BOTTOM - 0.04), -speed)
+                } else {
+                    (h * (layout::ROAD_TOP - 0.01), speed)
+                };
+                self.objects.push(Obj {
+                    id,
+                    kind: ObjectKind::Pedestrian,
+                    x,
+                    y,
+                    vx: 0.0,
+                    vy,
+                    wearing_red,
+                    crossing: true,
+                    color,
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                });
+            } else {
+                let ltr = self.rng.gen_bool(0.5);
+                let speed = w * self.rng.gen_range(0.0018..0.0032) * self.cfg.speed_multiplier;
+                self.objects.push(Obj {
+                    id,
+                    kind: ObjectKind::Pedestrian,
+                    x: if ltr { -4.0 } else { w + 4.0 },
+                    y: h * self.rng.gen_range(layout::ROAD_BOTTOM + 0.05..layout::SIDEWALK_BOTTOM - 0.02),
+                    vx: if ltr { speed } else { -speed },
+                    vy: 0.0,
+                    wearing_red,
+                    crossing: false,
+                    color,
+                    phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+                });
+            }
+        }
+        if self.rng.gen_bool(self.cfg.car_rate.min(1.0)) {
+            let ltr = self.rng.gen_bool(0.5);
+            let lane_frac = if ltr {
+                self.rng.gen_range(layout::LANE_SPLIT + 0.04..layout::ROAD_BOTTOM - 0.03)
+            } else {
+                self.rng.gen_range(layout::ROAD_TOP + 0.05..layout::LANE_SPLIT - 0.02)
+            };
+            let speed = w * self.rng.gen_range(0.008..0.016) * self.cfg.speed_multiplier;
+            let color = *pick(
+                &mut self.rng,
+                &[[160, 30, 30], [30, 30, 160], [200, 200, 205], [40, 40, 45], [120, 120, 125], [200, 170, 30]],
+            );
+            let id = self.bump_id();
+            self.objects.push(Obj {
+                id,
+                kind: ObjectKind::Car,
+                x: if ltr { -30.0 } else { w + 30.0 },
+                y: h * lane_frac,
+                vx: if ltr { speed } else { -speed },
+                vy: 0.0,
+                wearing_red: false,
+                crossing: false,
+                color,
+                phase: 0.0,
+            });
+        }
+        if self.rng.gen_bool(self.cfg.cyclist_rate.min(1.0)) {
+            let ltr = self.rng.gen_bool(0.5);
+            let speed = w * self.rng.gen_range(0.004..0.008) * self.cfg.speed_multiplier;
+            let id = self.bump_id();
+            self.objects.push(Obj {
+                id,
+                kind: ObjectKind::Cyclist,
+                x: if ltr { -8.0 } else { w + 8.0 },
+                y: h * (layout::ROAD_BOTTOM - 0.02),
+                vx: if ltr { speed } else { -speed },
+                vy: 0.0,
+                wearing_red: false,
+                crossing: false,
+                color: *pick(&mut self.rng, &[[60, 120, 60], [150, 90, 40], [70, 70, 160]]),
+                phase: 0.0,
+            });
+        }
+        if self.rng.gen_bool(self.cfg.dog_rate.min(1.0)) {
+            let ltr = self.rng.gen_bool(0.5);
+            let speed = w * self.rng.gen_range(0.003..0.006) * self.cfg.speed_multiplier;
+            let id = self.bump_id();
+            self.objects.push(Obj {
+                id,
+                kind: ObjectKind::Dog,
+                x: if ltr { -5.0 } else { w + 5.0 },
+                y: h * (layout::SIDEWALK_BOTTOM - 0.015),
+                vx: if ltr { speed } else { -speed },
+                vy: 0.0,
+                wearing_red: false,
+                crossing: false,
+                color: *pick(&mut self.rng, &[[120, 90, 60], [60, 50, 40], [190, 180, 160]]),
+                phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
+            });
+        }
+    }
+
+    fn advance(&mut self) {
+        let (w, h) = (self.cfg.resolution.width as f64, self.cfg.resolution.height as f64);
+        for o in &mut self.objects {
+            o.x += o.vx;
+            o.y += o.vy;
+            o.phase += 0.35;
+        }
+        self.objects.retain(|o| {
+            o.x > -60.0
+                && o.x < w + 60.0
+                && o.y > h * (layout::ROAD_TOP - 0.06)
+                && o.y < h * (layout::SIDEWALK_BOTTOM + 0.06)
+        });
+    }
+
+    fn apply_illumination(&mut self, frame: &mut Frame) {
+        // Slow daylight drift: ±4% over ~10 minutes of video.
+        let t = self.frame_index as f64 / (self.cfg.fps * 600.0);
+        let gain = 1.0 + 0.04 * (std::f64::consts::TAU * t).sin();
+        if (gain - 1.0).abs() < 1e-3 {
+            return;
+        }
+        for v in frame.data_mut() {
+            *v = (*v as f64 * gain).round().clamp(0.0, 255.0) as u8;
+        }
+    }
+
+    fn apply_noise(&mut self, frame: &mut Frame) {
+        if self.cfg.noise_level <= 0.0 {
+            return;
+        }
+        let amp = self.cfg.noise_level;
+        for v in frame.data_mut() {
+            let n = self.rng.gen_range(-amp..=amp);
+            *v = (*v as f64 + n).round().clamp(0.0, 255.0) as u8;
+        }
+    }
+
+    fn bump_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}
+
+impl Iterator for Scene {
+    type Item = (Frame, Vec<ObjectState>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.step())
+    }
+}
+
+fn pick<'a, T, R: Rng>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Perspective size factor: 1.0 at the bottom of the frame, shrinking
+/// toward the road's far edge.
+fn perspective(y: f64, h: f64) -> f64 {
+    (0.45 + 0.55 * (y / h)).clamp(0.3, 1.0)
+}
+
+fn render_background(res: Resolution, rng: &mut StdRng) -> Frame {
+    let (w, h) = (res.width, res.height);
+    let mut f = Frame::black(res);
+    let hf = h as f64;
+    for y in 0..h {
+        let fy = y as f64 / hf;
+        let base: [u8; 3] = if fy < layout::BUILDINGS_TOP {
+            // Sky gradient.
+            let t = fy / layout::BUILDINGS_TOP;
+            [
+                (150.0 + 40.0 * t) as u8,
+                (185.0 + 25.0 * t) as u8,
+                (230.0 - 10.0 * t) as u8,
+            ]
+        } else if fy < layout::ROAD_TOP {
+            [126, 118, 110] // facades
+        } else if fy < layout::ROAD_BOTTOM {
+            [72, 72, 76] // asphalt
+        } else if fy < layout::SIDEWALK_BOTTOM {
+            [150, 146, 138] // pavement
+        } else {
+            [95, 92, 88] // curb/foreground
+        };
+        for x in 0..w {
+            f.set_pixel(x, y, base);
+        }
+    }
+    // Building windows.
+    let facade_y0 = (hf * layout::BUILDINGS_TOP) as usize;
+    let facade_y1 = (hf * layout::ROAD_TOP) as usize;
+    let step = (w / 16).max(4);
+    for bx in (2..w.saturating_sub(4)).step_by(step) {
+        for by in (facade_y0 + 2..facade_y1.saturating_sub(3)).step_by(6) {
+            fill_rect(&mut f, bx, by, (bx + 2).min(w), (by + 3).min(facade_y1), [60, 70, 90]);
+        }
+    }
+    // Lane divider dashes.
+    let lane_y = (hf * layout::LANE_SPLIT) as usize;
+    for x in (0..w).step_by(8) {
+        fill_rect(&mut f, x, lane_y, (x + 4).min(w), (lane_y + 1).min(h), [210, 205, 120]);
+    }
+    // Crosswalk stripes (vertical band of horizontal white bars).
+    let cx0 = (w as f64 * layout::CROSSWALK_X0) as usize;
+    let cx1 = (w as f64 * layout::CROSSWALK_X1) as usize;
+    let ry0 = (hf * layout::ROAD_TOP) as usize;
+    let ry1 = (hf * layout::ROAD_BOTTOM) as usize;
+    let mut y = ry0 + 1;
+    while y + 2 < ry1 {
+        fill_rect(&mut f, cx0, y, cx1, y + 2, [205, 205, 205]);
+        y += 5;
+    }
+    // Static pavement/asphalt texture.
+    for y in (hf * layout::ROAD_TOP) as usize..h {
+        for x in 0..w {
+            if rng.gen_ratio(1, 7) {
+                let [r, g, b] = f.pixel(x, y);
+                let d = rng.gen_range(-9i16..=9);
+                f.set_pixel(
+                    x,
+                    y,
+                    [
+                        (r as i16 + d).clamp(0, 255) as u8,
+                        (g as i16 + d).clamp(0, 255) as u8,
+                        (b as i16 + d).clamp(0, 255) as u8,
+                    ],
+                );
+            }
+        }
+    }
+    f
+}
+
+fn fill_rect(f: &mut Frame, x0: usize, y0: usize, x1: usize, y1: usize, color: [u8; 3]) {
+    let (w, h) = (f.width(), f.height());
+    for y in y0..y1.min(h) {
+        for x in x0..x1.min(w) {
+            f.set_pixel(x, y, color);
+        }
+    }
+}
+
+fn fill_ellipse(f: &mut Frame, cx: f64, cy: f64, rx: f64, ry: f64, color: [u8; 3]) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let (w, h) = (f.width() as f64, f.height() as f64);
+    let x0 = (cx - rx).max(0.0) as usize;
+    let x1 = ((cx + rx).min(w - 1.0)) as usize;
+    let y0 = (cy - ry).max(0.0) as usize;
+    let y1 = ((cy + ry).min(h - 1.0)) as usize;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = (x as f64 - cx) / rx;
+            let dy = (y as f64 - cy) / ry;
+            if dx * dx + dy * dy <= 1.0 {
+                f.set_pixel(x, y, color);
+            }
+        }
+    }
+}
+
+/// Draws an object anchored at `(obj.x, obj.y)` (feet line). Returns the
+/// clipped bounding box, or `None` if fully off-screen.
+fn draw_object(frame: &mut Frame, obj: &Obj, res: Resolution) -> Option<BBox> {
+    let (w, h) = (res.width as f64, res.height as f64);
+    let p = perspective(obj.y, h);
+    let (bw, bh) = match obj.kind {
+        ObjectKind::Pedestrian => (0.022 * w, 0.16 * h),
+        ObjectKind::Car => (0.16 * w, 0.085 * h),
+        ObjectKind::Cyclist => (0.05 * w, 0.12 * h),
+        ObjectKind::Dog => (0.045 * w, 0.045 * h),
+    };
+    let (bw, bh) = (bw * p, bh * p);
+    let x0 = obj.x - bw / 2.0;
+    let y0 = obj.y - bh;
+    // Clip test.
+    if x0 + bw < 0.0 || x0 > w || y0 + bh < 0.0 || y0 > h {
+        return None;
+    }
+
+    match obj.kind {
+        ObjectKind::Pedestrian => {
+            let torso_h = bh * 0.42;
+            let leg_h = bh * 0.38;
+            let head_r = bh * 0.11;
+            // Legs (dark, scissored by gait phase).
+            let swing = (obj.phase.sin() * bw * 0.35).abs();
+            fill_rect_f(frame, obj.x - bw * 0.3 - swing * 0.3, obj.y - leg_h, bw * 0.3, leg_h, [35, 35, 45]);
+            fill_rect_f(frame, obj.x + swing * 0.3, obj.y - leg_h, bw * 0.3, leg_h, [35, 35, 45]);
+            // Torso in shirt color (red for the People-with-red task).
+            fill_rect_f(frame, x0, obj.y - leg_h - torso_h, bw, torso_h, obj.color);
+            // Head.
+            fill_ellipse(frame, obj.x, obj.y - leg_h - torso_h - head_r, head_r * 0.9, head_r, [224, 188, 160]);
+        }
+        ObjectKind::Car => {
+            let body_h = bh * 0.55;
+            let cabin_h = bh * 0.45;
+            // Body.
+            fill_rect_f(frame, x0, obj.y - body_h, bw, body_h, obj.color);
+            // Cabin + windows.
+            fill_rect_f(frame, x0 + bw * 0.22, obj.y - body_h - cabin_h, bw * 0.5, cabin_h, obj.color);
+            fill_rect_f(frame, x0 + bw * 0.26, obj.y - body_h - cabin_h * 0.9, bw * 0.42, cabin_h * 0.62, [70, 90, 110]);
+            // Wheels.
+            let wr = bh * 0.22;
+            fill_ellipse(frame, obj.x - bw * 0.3, obj.y, wr, wr, [15, 15, 15]);
+            fill_ellipse(frame, obj.x + bw * 0.3, obj.y, wr, wr, [15, 15, 15]);
+        }
+        ObjectKind::Cyclist => {
+            let wr = bh * 0.22;
+            fill_ellipse(frame, obj.x - bw * 0.3, obj.y - wr, wr, wr, [20, 20, 20]);
+            fill_ellipse(frame, obj.x + bw * 0.3, obj.y - wr, wr, wr, [20, 20, 20]);
+            // Rider.
+            fill_rect_f(frame, obj.x - bw * 0.12, obj.y - bh * 0.85, bw * 0.24, bh * 0.45, obj.color);
+            fill_ellipse(frame, obj.x, obj.y - bh * 0.92, bh * 0.09, bh * 0.09, [224, 188, 160]);
+        }
+        ObjectKind::Dog => {
+            fill_ellipse(frame, obj.x, obj.y - bh * 0.45, bw * 0.5, bh * 0.4, obj.color);
+            let head_x = obj.x + bw * 0.45 * obj.vx.signum();
+            fill_ellipse(frame, head_x, obj.y - bh * 0.62, bw * 0.22, bh * 0.25, obj.color);
+        }
+    }
+
+    let bx0 = x0.max(0.0) as usize;
+    let by0 = y0.max(0.0) as usize;
+    let bx1 = (x0 + bw).min(w).ceil() as usize;
+    let by1 = (obj.y).min(h).ceil() as usize;
+    if bx0 >= bx1 || by0 >= by1 {
+        return None;
+    }
+    Some(BBox {
+        x0: bx0,
+        y0: by0,
+        x1: bx1,
+        y1: by1,
+    })
+}
+
+fn fill_rect_f(f: &mut Frame, x: f64, y: f64, w: f64, h: f64, color: [u8; 3]) {
+    let x0 = x.max(0.0) as usize;
+    let y0 = y.max(0.0) as usize;
+    let x1 = (x + w).max(0.0).min(f.width() as f64) as usize;
+    let y1 = (y + h).max(0.0).min(f.height() as f64) as usize;
+    fill_rect(f, x0, y0, x1, y1, color);
+}
+
+/// Scene band boundaries in pixels for a given resolution — used by tasks
+/// to define regions of interest (crops) and ground-truth predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneGeometry {
+    /// Top of the road band.
+    pub road_top: usize,
+    /// Bottom of the road band.
+    pub road_bottom: usize,
+    /// Bottom of the sidewalk band.
+    pub sidewalk_bottom: usize,
+    /// Crosswalk band left edge.
+    pub crosswalk_x0: usize,
+    /// Crosswalk band right edge.
+    pub crosswalk_x1: usize,
+}
+
+impl SceneGeometry {
+    /// Geometry for a resolution.
+    pub fn for_resolution(res: Resolution) -> Self {
+        let h = res.height as f64;
+        let w = res.width as f64;
+        SceneGeometry {
+            road_top: (h * layout::ROAD_TOP) as usize,
+            road_bottom: (h * layout::ROAD_BOTTOM) as usize,
+            sidewalk_bottom: (h * layout::SIDEWALK_BOTTOM) as usize,
+            crosswalk_x0: (w * layout::CROSSWALK_X0) as usize,
+            crosswalk_x1: (w * layout::CROSSWALK_X1) as usize,
+        }
+    }
+
+    /// The crosswalk region as a bounding box (road band × crosswalk band).
+    pub fn crosswalk_region(&self) -> BBox {
+        BBox {
+            x0: self.crosswalk_x0,
+            y0: self.road_top,
+            x1: self.crosswalk_x1,
+            y1: self.road_bottom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(seed: u64) -> SceneConfig {
+        SceneConfig {
+            resolution: Resolution::new(96, 54),
+            seed,
+            pedestrian_rate: 0.2,
+            car_rate: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Scene::new(test_cfg(3));
+        let mut b = Scene::new(test_cfg(3));
+        for _ in 0..30 {
+            let (fa, ta) = a.step();
+            let (fb, tb) = b.step();
+            assert_eq!(fa, fb);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Scene::new(test_cfg(1));
+        let mut b = Scene::new(test_cfg(2));
+        let mut any_diff = false;
+        for _ in 0..30 {
+            if a.step().0 != b.step().0 {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn objects_spawn_move_and_despawn() {
+        let mut scene = Scene::new(test_cfg(5));
+        let mut saw_object = false;
+        let mut positions: std::collections::HashMap<u64, Vec<(usize, usize)>> = Default::default();
+        for _ in 0..400 {
+            let (_, truth) = scene.step();
+            for o in &truth {
+                saw_object = true;
+                positions.entry(o.id).or_default().push(o.bbox.center());
+            }
+        }
+        assert!(saw_object, "no objects in 400 frames at high rates");
+        // At least one object should have moved substantially.
+        let moved = positions.values().any(|ps| {
+            ps.len() > 5 && {
+                let (x0, _) = ps[0];
+                let (x1, _) = ps[ps.len() - 1];
+                x0.abs_diff(x1) > 10
+            }
+        });
+        assert!(moved, "objects never moved");
+    }
+
+    #[test]
+    fn truth_boxes_lie_inside_frame() {
+        let mut scene = Scene::new(test_cfg(8));
+        for _ in 0..200 {
+            let (f, truth) = scene.step();
+            for o in &truth {
+                assert!(o.bbox.x1 <= f.width() && o.bbox.y1 <= f.height(), "{o:?}");
+                assert!(o.bbox.x0 < o.bbox.x1 && o.bbox.y0 < o.bbox.y1, "{o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn red_pedestrians_have_red_pixels() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(96, 54),
+            seed: 11,
+            pedestrian_rate: 0.5,
+            red_fraction: 1.0,
+            crossing_fraction: 0.0,
+            car_rate: 0.0,
+            cyclist_rate: 0.0,
+            dog_rate: 0.0,
+            noise_level: 0.0,
+            ..Default::default()
+        };
+        let mut scene = Scene::new(cfg);
+        let mut checked = false;
+        for _ in 0..100 {
+            let (f, truth) = scene.step();
+            for o in &truth {
+                if o.bbox.area() < 12 {
+                    continue;
+                }
+                // Count strongly red pixels inside the box.
+                let mut reds = 0;
+                for y in o.bbox.y0..o.bbox.y1 {
+                    for x in o.bbox.x0..o.bbox.x1 {
+                        let [r, g, b] = f.pixel(x, y);
+                        if r > 150 && g < 90 && b < 90 {
+                            reds += 1;
+                        }
+                    }
+                }
+                assert!(reds > 0, "red pedestrian without red pixels: {o:?}");
+                checked = true;
+            }
+        }
+        assert!(checked, "no pedestrians rendered");
+    }
+
+    #[test]
+    fn crossing_pedestrians_traverse_the_road() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(96, 54),
+            seed: 13,
+            pedestrian_rate: 0.3,
+            crossing_fraction: 1.0,
+            car_rate: 0.0,
+            cyclist_rate: 0.0,
+            dog_rate: 0.0,
+            ..Default::default()
+        };
+        let geo = SceneGeometry::for_resolution(cfg.resolution);
+        let region = geo.crosswalk_region();
+        let mut scene = Scene::new(cfg);
+        let mut in_crosswalk = 0;
+        for _ in 0..600 {
+            let (_, truth) = scene.step();
+            for o in &truth {
+                if o.crossing && o.bbox.intersect_area(&region) > 0 {
+                    in_crosswalk += 1;
+                }
+            }
+        }
+        assert!(in_crosswalk > 50, "crossers rarely in crosswalk: {in_crosswalk}");
+    }
+
+    #[test]
+    fn geometry_regions_are_ordered() {
+        let geo = SceneGeometry::for_resolution(Resolution::new(192, 108));
+        assert!(geo.road_top < geo.road_bottom);
+        assert!(geo.road_bottom < geo.sidewalk_bottom);
+        assert!(geo.crosswalk_x0 < geo.crosswalk_x1);
+        let r = geo.crosswalk_region();
+        assert!(r.area() > 0);
+    }
+
+    #[test]
+    fn scene_is_compressible_but_not_static() {
+        // The codec's P-frames should find most of the scene unchanged.
+        let mut scene = Scene::new(test_cfg(17));
+        let (f1, _) = scene.step();
+        let (f2, _) = scene.step();
+        let diff = f1.mean_abs_diff(&f2);
+        assert!(diff > 0.0, "consecutive frames identical");
+        assert!(diff < 8.0, "scene too noisy to compress: {diff}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration tests: the codec against real simulator content.
+
+use ff_video::codec::{Decoder, Encoder, EncoderConfig, FrameType};
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::{Frame, Resolution};
+use proptest::prelude::*;
+
+fn scene_frames(n: usize, seed: u64) -> Vec<Frame> {
+    let cfg = SceneConfig {
+        resolution: Resolution::new(96, 54),
+        seed,
+        pedestrian_rate: 0.1,
+        car_rate: 0.05,
+        ..Default::default()
+    };
+    Scene::new(cfg).take(n).map(|(f, _)| f).collect()
+}
+
+#[test]
+fn encode_decode_roundtrip_on_scene_video() {
+    let frames = scene_frames(40, 1);
+    let res = frames[0].resolution();
+    let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, 22));
+    let mut dec = Decoder::new();
+    for (i, f) in frames.iter().enumerate() {
+        let e = enc.encode(f);
+        let d = dec.decode(&e).expect("decode");
+        let psnr = d.psnr(f);
+        assert!(psnr > 26.0, "frame {i}: psnr {psnr}");
+    }
+}
+
+#[test]
+fn rate_control_converges_to_target() {
+    let frames = scene_frames(150, 2);
+    let res = frames[0].resolution();
+    let fps = 15.0;
+    for target_bps in [40_000.0f64, 150_000.0] {
+        let mut enc = Encoder::new(EncoderConfig::with_bitrate(res, fps, target_bps));
+        let mut bits = 0usize;
+        // Skip the first 30 frames (controller warm-up) in the average.
+        let mut measured = 0usize;
+        for (i, f) in frames.iter().enumerate() {
+            let e = enc.encode(f);
+            if i >= 30 {
+                bits += e.bits();
+                measured += 1;
+            }
+        }
+        let achieved = bits as f64 / measured as f64 * fps;
+        let ratio = achieved / target_bps;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "target {target_bps}: achieved {achieved:.0} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn lower_bitrate_means_lower_quality_and_fewer_bits() {
+    let frames = scene_frames(60, 3);
+    let res = frames[0].resolution();
+    let mut results = Vec::new();
+    for target in [30_000.0f64, 300_000.0] {
+        let mut enc = Encoder::new(EncoderConfig::with_bitrate(res, 15.0, target));
+        let mut dec = Decoder::new();
+        let mut bits = 0usize;
+        let mut psnr_sum = 0.0;
+        for f in &frames {
+            let e = enc.encode(f);
+            bits += e.bits();
+            psnr_sum += dec.decode(&e).unwrap().psnr(f).min(60.0);
+        }
+        results.push((bits, psnr_sum / frames.len() as f64));
+    }
+    assert!(results[0].0 < results[1].0, "bits: {results:?}");
+    assert!(results[0].1 < results[1].1, "psnr: {results:?}");
+}
+
+#[test]
+fn heavy_compression_destroys_small_red_details() {
+    // The core premise of Figure 4: small colored objects survive light
+    // compression but not heavy compression. Render a pedestrian-free
+    // scene, stamp an 8x4 red patch, and compare red-pixel recall.
+    let mut base = scene_frames(1, 4).pop().unwrap();
+    for y in 30..34 {
+        for x in 40..44 {
+            base.set_pixel(x, y, [210, 25, 30]);
+        }
+    }
+    let res = base.resolution();
+    let red_count = |f: &Frame| {
+        let mut n = 0;
+        for y in 28..36 {
+            for x in 38..46 {
+                let [r, g, b] = f.pixel(x, y);
+                if r > 140 && g < 100 && b < 100 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    };
+    assert!(red_count(&base) >= 16);
+    let decode_at = |qp: u8| {
+        let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, qp));
+        let mut dec = Decoder::new();
+        dec.decode(&enc.encode(&base)).unwrap()
+    };
+    let light = decode_at(10);
+    let heavy = decode_at(50);
+    assert!(
+        red_count(&light) > red_count(&heavy),
+        "light {} vs heavy {}",
+        red_count(&light),
+        red_count(&heavy)
+    );
+}
+
+#[test]
+fn skip_blocks_make_static_scenes_cheap() {
+    let cfg = SceneConfig {
+        resolution: Resolution::new(96, 54),
+        seed: 9,
+        pedestrian_rate: 0.0,
+        car_rate: 0.0,
+        cyclist_rate: 0.0,
+        dog_rate: 0.0,
+        noise_level: 0.5,
+        ..Default::default()
+    };
+    let frames: Vec<Frame> = Scene::new(cfg).take(10).map(|(f, _)| f).collect();
+    let res = frames[0].resolution();
+    let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, 24));
+    let encoded = enc.encode_all(&frames);
+    assert_eq!(encoded[0].frame_type, FrameType::I);
+    let i_bytes = encoded[0].data.len();
+    // The first P-frames re-code the I-frame's quantization error once;
+    // after the closed loop settles, macroblocks skip and P-frames are tiny.
+    for e in &encoded[5..] {
+        assert!(
+            e.data.len() * 5 < i_bytes,
+            "settled static P-frame too big: {} vs I {}",
+            e.data.len(),
+            i_bytes
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_seed_roundtrips(seed in 0u64..1000, qp in 5u8..48) {
+        let frames = scene_frames(6, seed);
+        let res = frames[0].resolution();
+        let mut enc = Encoder::new(EncoderConfig::with_qp(res, 15.0, qp));
+        let mut dec = Decoder::new();
+        for f in &frames {
+            let d = dec.decode(&enc.encode(f)).unwrap();
+            prop_assert_eq!(d.resolution(), res);
+        }
+    }
+}

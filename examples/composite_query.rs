@@ -1,0 +1,76 @@
+//! Composite queries (§4.1): "combined with a simple traffic light
+//! classifier, a user could craft composite queries to detect jaywalkers."
+//! Here: a hazard query — *pedestrian present AND car present* — built
+//! from two deployed MCs without any extra network evaluation.
+//!
+//! ```sh
+//! cargo run --release --example composite_query
+//! ```
+
+use ff_core::pipeline::{FilterForward, PipelineConfig};
+use ff_core::query::{Query, QueryRunner};
+use ff_core::smoothing::SmoothingConfig;
+use ff_core::{McId, McSpec};
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::Resolution;
+
+fn main() {
+    let res = Resolution::new(128, 72);
+    let scene_cfg = SceneConfig {
+        resolution: res,
+        seed: 21,
+        pedestrian_rate: 0.08,
+        car_rate: 0.06,
+        ..Default::default()
+    };
+    let mut scene = Scene::new(scene_cfg);
+
+    let mut cfg = PipelineConfig::new(res, scene_cfg.fps);
+    cfg.archive = None;
+    let mut ff = FilterForward::new(cfg);
+    // Two applications install their filters. For the demo the MCs are
+    // untrained with alternating-friendly thresholds; real deployments
+    // install trained weights (see `pedestrian_monitor`).
+    let ped = ff.deploy(McSpec {
+        threshold: 0.45,
+        smoothing: SmoothingConfig { n: 3, k: 2 },
+        ..McSpec::localized("find-pedestrians", None, 5)
+    });
+    let car = ff.deploy(McSpec {
+        threshold: 0.55,
+        smoothing: SmoothingConfig { n: 3, k: 2 },
+        ..McSpec::full_frame("find-cars", 6)
+    });
+
+    // A third application composes them — no third network runs.
+    let hazard = Query::mc(ped).and(Query::mc(car));
+    println!("hazard query references MCs: {:?}", hazard.referenced_mcs());
+    let mut runner = QueryRunner::new(hazard, McId(100));
+
+    let mut composite_frames = 0u64;
+    for _ in 0..150 {
+        let (frame, _) = scene.step();
+        for v in ff.process(&frame) {
+            if runner.push(&v) {
+                composite_frames += 1;
+            }
+        }
+    }
+    let (tail, stats, _) = ff.finish();
+    for v in tail {
+        runner.push(&v);
+    }
+    let events = runner.finish();
+
+    println!("frames processed:        {}", stats.frames_out);
+    println!("composite-match frames:  {composite_frames}");
+    println!("composite events:        {}", events.len());
+    for ev in events.iter().take(6) {
+        println!(
+            "  hazard event {:?}: frames {}..{}",
+            ev.id,
+            ev.start,
+            ev.end.unwrap_or(u64::MAX)
+        );
+    }
+}

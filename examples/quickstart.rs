@@ -1,0 +1,62 @@
+//! Quickstart: deploy one microclassifier on a synthetic camera stream and
+//! watch FilterForward upload only the matching frames.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ff_core::pipeline::{FilterForward, PipelineConfig};
+use ff_core::McSpec;
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::Resolution;
+
+fn main() {
+    // A small synthetic surveillance camera: 160×90 @ 15 fps with a busy
+    // crosswalk.
+    let scene_cfg = SceneConfig {
+        resolution: Resolution::new(160, 90),
+        seed: 7,
+        pedestrian_rate: 0.05,
+        crossing_fraction: 0.5,
+        ..Default::default()
+    };
+    let mut scene = Scene::new(scene_cfg);
+
+    // The edge pipeline: shared MobileNet feature extractor, re-encode
+    // matched frames at 60 kb/s, archive everything locally.
+    let mut cfg = PipelineConfig::new(scene_cfg.resolution, scene_cfg.fps);
+    cfg.upload_bitrate_bps = 60_000.0;
+    let mut ff = FilterForward::new(cfg);
+
+    // Deploy an (untrained, threshold-0.5) microclassifier. Real
+    // deployments train first — see the `pedestrian_monitor` example.
+    let mc = ff.deploy(McSpec::localized("demo-filter", None, 42));
+    println!("deployed MC {mc:?}: {}", ff.mc_count());
+
+    // Stream 120 frames (8 seconds of video).
+    let mut uploaded = 0u64;
+    for _ in 0..120 {
+        let (frame, _truth) = scene.step();
+        for verdict in ff.process(&frame) {
+            if verdict.matched() {
+                uploaded += 1;
+            }
+        }
+    }
+    let (tail, stats, timers) = ff.finish();
+    uploaded += tail.iter().filter(|v| v.matched()).count() as u64;
+
+    println!("frames in:        {}", stats.frames_in);
+    println!("frames uploaded:  {uploaded}");
+    println!("bytes uploaded:   {}", stats.bytes_uploaded);
+    println!("bytes archived:   {}", stats.bytes_archived);
+    println!(
+        "avg upload rate:  {:.1} kb/s",
+        stats.upload_bps(scene_cfg.fps) / 1000.0
+    );
+    println!(
+        "per-frame time:   {:.1} ms base DNN + {:.1} ms MCs",
+        timers.base_per_frame() * 1e3,
+        timers.mcs_per_frame() * 1e3
+    );
+}

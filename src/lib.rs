@@ -1,0 +1,24 @@
+//! # FilterForward (Rust reproduction)
+//!
+//! Umbrella crate re-exporting the whole workspace. See the `README.md` for
+//! the architecture overview and `DESIGN.md` for the substitution notes and
+//! per-experiment index.
+//!
+//! ```
+//! use filterforward::prelude::*;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ff_core as core;
+pub use ff_data as data;
+pub use ff_eval as eval;
+pub use ff_models as models;
+pub use ff_nn as nn;
+pub use ff_tensor as tensor;
+pub use ff_video as video;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use ff_tensor::Tensor;
+}

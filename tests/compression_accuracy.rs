@@ -1,0 +1,111 @@
+//! Cross-crate integration: the Figure-4 mechanism at test scale — heavy
+//! whole-stream compression degrades filter accuracy while edge filtering
+//! on originals does not; the uplink model confirms which operating points
+//! are sustainable.
+
+use ff_core::cloud::TranscodedStream;
+use ff_core::evaluate::{mc_probs, score_probs};
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::uplink::Uplink;
+use ff_core::{FeatureExtractor, McSpec};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
+
+/// Train once on Jackson at test scale, then compare original-stream
+/// probabilities against heavily-transcoded ones. This pins the premise of
+/// Figure 4: quantization noise must hurt the classifier.
+#[test]
+fn heavy_compression_degrades_filter_scores() {
+    let data = DatasetSpec::jackson_like(20, 700, 42);
+    let spec = McSpec::localized("ped", data.task.crop, 7);
+    let mut extractor =
+        FeatureExtractor::new(MobileNetConfig::with_width(0.25), vec![spec.tap.clone()]);
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(6)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+    let trained = train_mc(
+        &mut extractor,
+        &spec,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            max_cached: 600,
+            ..Default::default()
+        },
+    );
+    let mut model = trained.model;
+
+    // Edge (originals).
+    let test = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+    let (probs_edge, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
+    let edge = score_probs(&probs_edge, trained.threshold, spec.smoothing, &labels);
+
+    // Cloud (brutal compression: ~6 kb/s at 96×54).
+    let res = data.resolution();
+    let src = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+    let ts = TranscodedStream::new(src, res, data.scene.fps, 6_000.0);
+    let (probs_cloud, labels_cloud) = mc_probs(&mut extractor, &spec, &mut model, ts);
+    let cloud = score_probs(&probs_cloud, trained.threshold, spec.smoothing, &labels_cloud);
+
+    assert_eq!(labels, labels_cloud);
+    assert!(
+        edge.f1 > cloud.f1 + 0.05,
+        "compression should hurt: edge {:.3} vs cloud {:.3}",
+        edge.f1,
+        cloud.f1
+    );
+}
+
+/// The uplink model: FilterForward's filtered stream fits a link that the
+/// full stream overwhelms.
+#[test]
+fn filtered_stream_fits_constrained_uplink() {
+    use ff_video::codec::{Encoder, EncoderConfig};
+    let data = DatasetSpec::jackson_like(20, 200, 11);
+    let res = data.resolution();
+    let fps = data.scene.fps;
+
+    // Full stream at archive quality.
+    let mut enc = Encoder::new(EncoderConfig::with_qp(res, fps, 22));
+    let sizes: Vec<usize> = data
+        .open(Split::Test)
+        .map(|lf| enc.encode(&lf.frame).data.len())
+        .collect();
+    let full_mean_bps = sizes.iter().sum::<usize>() as f64 * 8.0 * fps / sizes.len() as f64;
+
+    // A link provisioned at a third of the full-stream rate.
+    let capacity = full_mean_bps / 3.0;
+    let mut full_link = Uplink::new(capacity, fps);
+    for &s in &sizes {
+        full_link.offer(s);
+    }
+    assert!(full_link.utilization() > 1.0, "full stream must overload the link");
+    assert!(full_link.backlog_bits() > 0.0);
+
+    // Filtering to 20% of frames (the Jackson positive rate) fits easily.
+    let mut filtered_link = Uplink::new(capacity, fps);
+    for (i, &s) in sizes.iter().enumerate() {
+        filtered_link.offer(if i % 5 == 0 { s } else { 0 });
+    }
+    assert!(
+        filtered_link.utilization() < 0.9,
+        "filtered stream should fit: {:.2}",
+        filtered_link.utilization()
+    );
+}
+
+/// Dataset → eval glue: ground-truth events from ff-data score 1.0 against
+/// themselves through the ff-eval pipeline.
+#[test]
+fn ground_truth_scores_perfectly_against_itself() {
+    let data = DatasetSpec::roadway_like(20, 400, 3);
+    let labels = data.labels(Split::Test);
+    let score = ff_eval::score_labels(&labels, &labels, ff_eval::RecallWeights::default());
+    assert!((score.f1 - 1.0).abs() < 1e-9);
+    let events = ff_data::events_from_labels(&labels);
+    let total: usize = events.iter().map(|e| e.len()).sum();
+    assert_eq!(total, labels.iter().filter(|&&l| l).count());
+}

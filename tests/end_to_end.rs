@@ -1,0 +1,226 @@
+//! Cross-crate integration tests: the full train → deploy → filter →
+//! upload path on synthetic data, at test scale.
+
+use ff_core::evaluate::{mc_probs, score_probs};
+use ff_core::pipeline::{FilterForward, PipelineConfig};
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McSpec, SmoothingConfig};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
+
+fn tiny_data(frames: usize) -> DatasetSpec {
+    DatasetSpec::jackson_like(20, frames, 42)
+}
+
+fn calibrated_extractor(data: &DatasetSpec, taps: Vec<String>) -> FeatureExtractor {
+    let mut ex = FeatureExtractor::new(MobileNetConfig::with_width(0.25), taps);
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(6)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    ex.calibrate(&cal);
+    ex
+}
+
+/// The headline integration property: a trained MC on random-but-calibrated
+/// base-DNN features beats chance by a wide margin on held-out video.
+#[test]
+fn trained_mc_detects_events_on_held_out_video() {
+    let data = tiny_data(900);
+    let spec = McSpec::localized("ped", data.task.crop, 7);
+    let mut extractor = calibrated_extractor(&data, vec![spec.tap.clone()]);
+    let trained = train_mc(
+        &mut extractor,
+        &spec,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            max_cached: 700,
+            ..Default::default()
+        },
+    );
+    let mut model = trained.model;
+    let test = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
+    let (probs, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
+    let score = score_probs(&probs, trained.threshold, spec.smoothing, &labels);
+
+    // Chance baseline: predicting everything positive scores precision =
+    // base rate; the trained filter must do much better while keeping
+    // recall (small samples, so the bar is deliberately modest).
+    let base_rate = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+    assert!(
+        score.f1 > (2.0 * base_rate / (1.0 + base_rate)) + 0.1,
+        "F1 {:.3} vs predict-everything {:.3}",
+        score.f1,
+        2.0 * base_rate / (1.0 + base_rate)
+    );
+    assert!(score.recall > 0.5, "recall {:.3}", score.recall);
+}
+
+/// Multi-tenancy correctness: N MCs sharing one extractor produce exactly
+/// the decisions each would produce alone.
+#[test]
+fn shared_extraction_equals_isolated_runs() {
+    let data = tiny_data(40);
+    let res = data.resolution();
+    let frames: Vec<_> = data.open(Split::Test).map(|lf| lf.frame).collect();
+
+    let specs = vec![
+        McSpec {
+            threshold: 0.4,
+            smoothing: SmoothingConfig { n: 3, k: 2 },
+            ..McSpec::full_frame("a", 1)
+        },
+        McSpec {
+            threshold: 0.6,
+            smoothing: SmoothingConfig { n: 1, k: 1 },
+            ..McSpec::localized("b", data.task.crop, 2)
+        },
+    ];
+
+    // Run together.
+    let mut cfg = PipelineConfig::new(res, 15.0);
+    cfg.mobilenet = MobileNetConfig::with_width(0.25);
+    cfg.archive = None;
+    let mut together = FilterForward::new(cfg);
+    for s in &specs {
+        together.deploy(s.clone());
+    }
+    let mut joint: Vec<Vec<(ff_core::McId, ff_core::EventId)>> = Vec::new();
+    for f in &frames {
+        for v in together.process(f) {
+            joint.push(v.metadata.entries().to_vec());
+        }
+    }
+    let (tail, _, _) = together.finish();
+    for v in tail {
+        joint.push(v.metadata.entries().to_vec());
+    }
+
+    // Run each alone and merge.
+    let mut solo: Vec<Vec<(ff_core::McId, ff_core::EventId)>> = vec![Vec::new(); frames.len()];
+    for (i, s) in specs.iter().enumerate() {
+        let mut cfg = PipelineConfig::new(res, 15.0);
+        cfg.mobilenet = MobileNetConfig::with_width(0.25);
+        cfg.archive = None;
+        let mut ff = FilterForward::new(cfg);
+        ff.deploy(s.clone());
+        let mut verdicts = Vec::new();
+        for f in &frames {
+            verdicts.extend(ff.process(f));
+        }
+        let (tail, _, _) = ff.finish();
+        verdicts.extend(tail);
+        for v in verdicts {
+            for &(_, ev) in v.metadata.entries() {
+                solo[v.frame as usize].push((ff_core::McId(i), ev));
+            }
+        }
+    }
+    assert_eq!(joint.len(), solo.len());
+    for (j, s) in joint.iter().zip(&solo) {
+        assert_eq!(j, s, "shared vs isolated decisions diverge");
+    }
+}
+
+/// Bandwidth accounting is conservative: stats equal the per-frame sums,
+/// and dropping the threshold to impossible values uploads nothing.
+#[test]
+fn bandwidth_accounting_conserves_bytes() {
+    let data = tiny_data(60);
+    let res = data.resolution();
+    let mut cfg = PipelineConfig::new(res, 15.0);
+    cfg.mobilenet = MobileNetConfig::with_width(0.25);
+    let mut ff = FilterForward::new(cfg);
+    ff.deploy(McSpec {
+        threshold: 0.0, // match everything
+        smoothing: SmoothingConfig { n: 1, k: 1 },
+        ..McSpec::full_frame("all", 3)
+    });
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for lf in data.open(Split::Test) {
+        for v in ff.process(&lf.frame) {
+            sum += v.uploaded_bytes as u64;
+            count += 1;
+        }
+    }
+    let (tail, stats, _) = ff.finish();
+    for v in tail {
+        sum += v.uploaded_bytes as u64;
+        count += 1;
+    }
+    assert_eq!(count, 60);
+    assert_eq!(stats.bytes_uploaded, sum);
+    assert_eq!(stats.frames_uploaded, 60);
+    assert!(stats.bytes_archived > 0, "archive should have recorded the stream");
+}
+
+/// Event IDs are monotone per MC and frame metadata maps every positive
+/// frame to exactly one event per MC.
+#[test]
+fn event_ids_monotone_through_pipeline() {
+    let data = tiny_data(80);
+    let res = data.resolution();
+    let mut cfg = PipelineConfig::new(res, 15.0);
+    cfg.mobilenet = MobileNetConfig::with_width(0.25);
+    cfg.archive = None;
+    let mut ff = FilterForward::new(cfg);
+    let id = ff.deploy(McSpec {
+        threshold: 0.5,
+        smoothing: SmoothingConfig { n: 5, k: 2 },
+        ..McSpec::localized("x", None, 5)
+    });
+    let mut verdicts = Vec::new();
+    for lf in data.open(Split::Test) {
+        verdicts.extend(ff.process(&lf.frame));
+    }
+    let (tail, _, _) = ff.finish();
+    verdicts.extend(tail);
+
+    let mut last_event: Option<u64> = None;
+    for v in &verdicts {
+        if let Some(ev) = v.metadata.event_for(id) {
+            if let Some(prev) = last_event {
+                assert!(ev.0 >= prev, "event ids must not decrease");
+            }
+            last_event = Some(ev.0);
+        }
+    }
+    // Closed events' ranges nest within the stream.
+    for v in &verdicts {
+        for ev in &v.closed_events {
+            assert!(ev.end.unwrap_or(0) <= 80);
+            assert!(ev.start < ev.end.unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Demand-fetch returns decodable context whose cost is GOP-aligned.
+#[test]
+fn demand_fetch_roundtrip() {
+    let data = tiny_data(40);
+    let res = data.resolution();
+    let cfg = PipelineConfig::new(res, 15.0);
+    let mut ff = FilterForward::new(PipelineConfig {
+        mobilenet: MobileNetConfig::with_width(0.25),
+        ..cfg
+    });
+    ff.deploy(McSpec {
+        threshold: 1.1,
+        smoothing: SmoothingConfig { n: 1, k: 1 },
+        ..McSpec::full_frame("none", 2)
+    });
+    let originals: Vec<_> = data.open(Split::Test).map(|lf| lf.frame).collect();
+    for f in &originals {
+        let _ = ff.process(f);
+    }
+    let archive = ff.archive().expect("enabled by default");
+    let (frames, bytes) = archive.demand_fetch(10, 20).expect("in range");
+    assert_eq!(frames.len(), 10);
+    assert!(bytes > 0);
+    for (got, want) in frames.iter().zip(&originals[10..20]) {
+        assert!(got.psnr(want) > 24.0);
+    }
+}
