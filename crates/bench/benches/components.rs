@@ -78,10 +78,15 @@ fn bench_extraction_and_mcs(c: &mut Criterion) {
     );
     let frame = Tensor::filled(vec![res.height, res.width, 3], 0.4);
     c.bench_function("extractor/base_dnn_120x67_a0.5", |b| {
-        b.iter(|| std::hint::black_box(extractor.extract(&frame)));
+        b.iter(|| {
+            let maps = extractor.extract(&frame);
+            std::hint::black_box(maps.taps().count())
+        });
     });
 
-    let maps = extractor.extract(&frame);
+    // extract() returns maps borrowing the extractor; clone to keep them
+    // across the MC constructions below.
+    let maps = extractor.extract(&frame).clone();
     for (name, kind) in [
         ("full_frame", McKind::FullFrame),
         ("localized", McKind::Localized),

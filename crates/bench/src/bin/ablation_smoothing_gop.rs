@@ -40,29 +40,49 @@ fn main() {
         &mut extractor,
         &spec,
         &data,
-        &TrainConfig { epochs: 5, ..Default::default() },
+        &TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
     );
     let mut model = trained.model;
     let test = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
     let (probs, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
 
     println!("K-voting ablation (same probabilities, Pedestrian task):");
-    println!("{:>3} {:>3} {:>8} {:>8} {:>8}", "N", "K", "F1", "recall", "prec");
-    for (n, k) in [(1, 1), (3, 1), (3, 2), (5, 1), (5, 2), (5, 3), (5, 5), (9, 3)] {
+    println!(
+        "{:>3} {:>3} {:>8} {:>8} {:>8}",
+        "N", "K", "F1", "recall", "prec"
+    );
+    for (n, k) in [
+        (1, 1),
+        (3, 1),
+        (3, 2),
+        (5, 1),
+        (5, 2),
+        (5, 3),
+        (5, 5),
+        (9, 3),
+    ] {
         let s = score_probs(&probs, trained.threshold, SmoothingConfig { n, k }, &labels);
-        println!("{n:>3} {k:>3} {:>8.3} {:>8.3} {:>8.3}", s.f1, s.recall, s.precision);
-        rows.push(format!("voting,{n},{k},{:.4},{:.4},{:.4}", s.f1, s.recall, s.precision));
+        println!(
+            "{n:>3} {k:>3} {:>8.3} {:>8.3} {:>8.3}",
+            s.f1, s.recall, s.precision
+        );
+        rows.push(format!(
+            "voting,{n},{k},{:.4},{:.4},{:.4}",
+            s.f1, s.recall, s.precision
+        ));
     }
     println!("(paper default: N=5, K=2 — aggressive false-negative masking)");
 
     // ---- GOP length vs bitrate/quality.
-    let clip: Vec<_> = data
-        .open(Split::Test)
-        .take(90)
-        .map(|lf| lf.frame)
-        .collect();
+    let clip: Vec<_> = data.open(Split::Test).take(90).map(|lf| lf.frame).collect();
     let res = clip[0].resolution();
-    println!("\nGOP-length ablation (QP 24, {} frames at {res}):", clip.len());
+    println!(
+        "\nGOP-length ablation (QP 24, {} frames at {res}):",
+        clip.len()
+    );
     println!("{:>5} {:>12} {:>10}", "GOP", "kbit/s", "PSNR dB");
     for gop in [1usize, 5, 15, 45, 90] {
         let mut enc_cfg = EncoderConfig::with_qp(res, 15.0, 24);
@@ -84,10 +104,6 @@ fn main() {
     println!("(GOP 1 = all-intra: random access everywhere, most bits;");
     println!(" long GOPs compress best but coarsen demand-fetch granularity)");
 
-    let path = write_csv(
-        "ablation_smoothing_gop",
-        "ablation,a,b,x,y,z",
-        &rows,
-    );
+    let path = write_csv("ablation_smoothing_gop", "ablation,a,b,x,y,z", &rows);
     println!("\nCSV: {}", path.display());
 }

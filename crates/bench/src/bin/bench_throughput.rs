@@ -1,0 +1,92 @@
+//! Emits `BENCH_throughput.json`: frames/sec for the Figure 5 strategies
+//! plus the raw single-threaded base-DNN forward rate, so successive PRs
+//! can track the perf trajectory of the hot path.
+//!
+//! All numbers are single-threaded (see
+//! [`ff_bench::throughput::single_threaded`]) — the Figure 5 framing — and
+//! use the fastest-of-repeats convention of the shared harness.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin bench_throughput`
+//! (override the output path with `BENCH_OUT=/path/file.json`, frame count
+//! with `BENCH_FRAMES=n`).
+
+use std::io::Write;
+use std::time::Instant;
+
+use ff_bench::throughput::{
+    bench_frames, measure_dcs, measure_ff, measure_mobilenets, single_threaded,
+};
+use ff_core::spec::McKind;
+use ff_core::FeatureExtractor;
+use ff_models::{MobileNetConfig, LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
+use ff_video::Frame;
+
+/// Classifier count for the per-strategy points (a mid-curve Figure 5
+/// operating point: enough classifiers that per-MC marginal cost shows).
+const N_CLASSIFIERS: usize = 4;
+
+fn main() {
+    single_threaded();
+    let scale = 16; // 120×67, the components.rs bench geometry
+    let n_frames: usize = std::env::var("BENCH_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let frames = bench_frames(scale, n_frames);
+
+    let extractor_fps = measure_extractor_fps(&frames, 0.5);
+
+    let mut rows: Vec<(String, f64)> = vec![("extractor_base_dnn_a0.5".into(), extractor_fps)];
+    for (name, kind) in [
+        ("ff_full_frame", McKind::FullFrame),
+        ("ff_localized", McKind::Localized),
+        ("ff_windowed", McKind::Windowed),
+    ] {
+        let p = measure_ff(kind, N_CLASSIFIERS, &frames, 0.5);
+        rows.push((name.to_string(), p.fps));
+    }
+    rows.push((
+        "discrete_classifiers".into(),
+        measure_dcs(N_CLASSIFIERS, &frames, 7).fps,
+    ));
+    rows.push((
+        "mobilenet_per_filter".into(),
+        measure_mobilenets(1, &frames, 0.5).fps,
+    ));
+
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"scale\": {scale}, \"frames\": {n_frames}, \"classifiers\": {N_CLASSIFIERS}, \"threads\": 1}},\n"
+    ));
+    json.push_str("  \"fps\": {\n");
+    for (i, (name, fps)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {fps:.2}{comma}\n"));
+        println!("{name:<28} {fps:>10.2} fps");
+    }
+    json.push_str("  }\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_throughput.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out_path}");
+}
+
+/// Frames/sec of the bare shared feature extraction (both paper taps) —
+/// the single-threaded MobileNet forward that gates every strategy.
+fn measure_extractor_fps(frames: &[Frame], alpha: f32) -> f64 {
+    let mut extractor = FeatureExtractor::new(
+        MobileNetConfig::with_width(alpha),
+        vec![LAYER_LOCALIZED_TAP.into(), LAYER_FULL_FRAME_TAP.into()],
+    );
+    let tensors: Vec<_> = frames.iter().map(Frame::to_tensor).collect();
+    let _ = extractor.extract(&tensors[0]);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for t in &tensors[1..] {
+            let _ = std::hint::black_box(extractor.extract(t));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (tensors.len() - 1) as f64 / best
+}

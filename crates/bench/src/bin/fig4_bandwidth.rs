@@ -42,9 +42,7 @@ fn main() {
     let fps = data.scene.fps;
     // Pixel ratio to paper scale, for interpreting bitrates.
     let px_ratio = data.paper_resolution.pixels() as f64 / res.pixels() as f64;
-    println!(
-        "Roadway {res} @ {fps} fps (paper-scale bitrate multiplier ≈ {px_ratio:.0}x)\n"
-    );
+    println!("Roadway {res} @ {fps} fps (paper-scale bitrate multiplier ≈ {px_ratio:.0}x)\n");
 
     let cfg = TrainConfig {
         epochs,
@@ -55,7 +53,10 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    for (arch_name, kind) in [("full_frame", McKind::FullFrame), ("localized", McKind::Localized)] {
+    for (arch_name, kind) in [
+        ("full_frame", McKind::FullFrame),
+        ("localized", McKind::Localized),
+    ] {
         println!("== {arch_name} MC");
         let mut extractor = FeatureExtractor::new(
             MobileNetConfig::with_width(alpha),
@@ -108,8 +109,14 @@ fn main() {
         };
         for &bps in upload_bitrates {
             let bw = measure_ff_upload(&data, &decisions, bps);
-            println!("    FF upload target {:>7.0} bps → avg {:>9.0} bps, F1 {:.3}", bps, bw, ff_score.f1);
-            rows.push(format!("{arch_name},filterforward,{bps},{bw:.0},{:.4}", ff_score.f1));
+            println!(
+                "    FF upload target {:>7.0} bps → avg {:>9.0} bps, F1 {:.3}",
+                bps, bw, ff_score.f1
+            );
+            rows.push(format!(
+                "{arch_name},filterforward,{bps},{bw:.0},{:.4}",
+                ff_score.f1
+            ));
         }
 
         // ---- Compress-everything series: decode low-bitrate stream, run
@@ -117,7 +124,9 @@ fn main() {
         let stream_bitrates: &[f64] = if quick {
             &[40_000.0, 400_000.0]
         } else {
-            &[20_000.0, 40_000.0, 80_000.0, 160_000.0, 320_000.0, 640_000.0]
+            &[
+                20_000.0, 40_000.0, 80_000.0, 160_000.0, 320_000.0, 640_000.0,
+            ]
         };
         for &bps in stream_bitrates {
             let src = data.open(Split::Test).map(|lf| (lf.frame, lf.label));
@@ -134,7 +143,10 @@ fn main() {
                 "    CE stream target {:>7.0} bps → avg {:>9.0} bps, F1 {:.3}",
                 bps, bw, score.f1
             );
-            rows.push(format!("{arch_name},compress_everything,{bps},{bw:.0},{:.4}", score.f1));
+            rows.push(format!(
+                "{arch_name},compress_everything,{bps},{bw:.0},{:.4}",
+                score.f1
+            ));
         }
     }
 
@@ -236,7 +248,9 @@ fn print_claims(rows: &[String]) {
                 if arch == "full_frame" { "6.3x" } else { "13x" },
             );
         } else {
-            println!("  {arch}: compress-everything never reaches the FF F1 ({ff_f1:.3}) in this sweep");
+            println!(
+                "  {arch}: compress-everything never reaches the FF F1 ({ff_f1:.3}) in this sweep"
+            );
         }
         // F1 advantage at matched bandwidth: CE point closest to FF's bw.
         let ce_at_bw = ce_points

@@ -9,7 +9,9 @@
 //! Usage: `cargo run --release -p ff-bench --bin fig5_throughput
 //!         [--scale 12] [--frames 9] [--alpha 0.5] [--quick]`
 
-use ff_bench::throughput::{bench_frames, figure5_counts, measure_dcs, measure_ff, measure_mobilenets, single_threaded};
+use ff_bench::throughput::{
+    bench_frames, figure5_counts, measure_dcs, measure_ff, measure_mobilenets, single_threaded,
+};
 use ff_bench::{arg_f64, arg_flag, arg_usize, claim, write_csv};
 use ff_core::node::{max_mobilenet_instances, EdgeNodeSpec};
 use ff_core::spec::McKind;
@@ -33,7 +35,10 @@ fn main() {
         Resolution::new(1920, 1080),
     );
     println!("multiple-MobileNets OOM limit (paper-scale memory model): {oom_limit} instances");
-    println!("measuring on {} frames at scale 1/{scale}, alpha {alpha}\n", frames.len());
+    println!(
+        "measuring on {} frames at scale 1/{scale}, alpha {alpha}\n",
+        frames.len()
+    );
 
     let mut rows = Vec::new();
     println!(
@@ -58,7 +63,11 @@ fn main() {
             ff_loc.fps,
             ff_win.fps,
             dc.fps,
-            if mn.is_nan() { "OOM".to_string() } else { format!("{mn:.2}") }
+            if mn.is_nan() {
+                "OOM".to_string()
+            } else {
+                format!("{mn:.2}")
+            }
         );
         rows.push(format!(
             "{n},{:.4},{:.4},{:.4},{:.4},{}",
@@ -66,7 +75,11 @@ fn main() {
             ff_loc.fps,
             ff_win.fps,
             dc.fps,
-            if mn.is_nan() { "OOM".to_string() } else { format!("{mn:.4}") }
+            if mn.is_nan() {
+                "OOM".to_string()
+            } else {
+                format!("{mn:.4}")
+            }
         ));
         series.push((n, [ff_full.fps, ff_loc.fps, ff_win.fps, dc.fps, mn]));
     }
@@ -81,9 +94,17 @@ fn main() {
     if let Some((_, first)) = series.first() {
         let best_ff1 = first[0].max(first[1]).min(first[0].min(first[1])); // midline
         let _ = best_ff1;
-        claim("FF/DC speed at N=1 (localized)", first[1] / first[3], "0.32–0.34x");
+        claim(
+            "FF/DC speed at N=1 (localized)",
+            first[1] / first[3],
+            "0.32–0.34x",
+        );
         if !first[4].is_nan() {
-            claim("FF/MobileNet speed at N=1 (localized)", first[1] / first[4], "0.83–0.90x");
+            claim(
+                "FF/MobileNet speed at N=1 (localized)",
+                first[1] / first[4],
+                "0.83–0.90x",
+            );
         }
     }
     // Crossover: first N where the slowest FF arch beats the DCs.
@@ -96,7 +117,11 @@ fn main() {
         None => println!("  FF never crossed the DCs in this sweep"),
     }
     if let Some((_, last)) = series.iter().find(|(n, _)| *n == 50) {
-        claim("FF/DC speedup at N=50 (best arch)", last[0].max(last[1]) / last[3], "up to 6.1x");
+        claim(
+            "FF/DC speedup at N=50 (best arch)",
+            last[0].max(last[1]) / last[3],
+            "up to 6.1x",
+        );
     }
     println!("\nCSV: {}", path.display());
 }

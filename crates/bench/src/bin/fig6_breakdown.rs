@@ -31,7 +31,10 @@ fn main() {
     let mut rows = Vec::new();
     for (name, kind) in archs {
         println!("\nFigure 6 ({name}): seconds per frame");
-        println!("{:>4} {:>12} {:>12} {:>12}", "N", "base DNN", "MCs", "total");
+        println!(
+            "{:>4} {:>12} {:>12} {:>12}",
+            "N", "base DNN", "MCs", "total"
+        );
         let mut base_eq = None;
         for &n in &counts {
             let p = measure_ff(kind, n, &frames, alpha);

@@ -57,7 +57,10 @@ fn main() {
     }
 
     println!("\nFigure 7 — millions of multiply-adds (paper scale) vs event F1");
-    println!("{:<10} {:<22} {:>12} {:>7} {:>7} {:>7}", "dataset", "model", "madds (M)", "F1", "recall", "prec");
+    println!(
+        "{:<10} {:<22} {:>12} {:>7} {:>7} {:>7}",
+        "dataset", "model", "madds (M)", "F1", "recall", "prec"
+    );
     let mut csv = Vec::new();
     for r in &rows {
         println!(
@@ -69,7 +72,11 @@ fn main() {
             r.dataset, r.model, r.paper_madds_m, r.f1, r.recall, r.precision
         ));
     }
-    let path = write_csv("fig7_cost_accuracy", "dataset,model,paper_madds_millions,f1,recall,precision", &csv);
+    let path = write_csv(
+        "fig7_cost_accuracy",
+        "dataset,model,paper_madds_millions,f1,recall,precision",
+        &csv,
+    );
 
     println!("\n§4.5 claims:");
     for dataset in ["jackson", "roadway"] {
@@ -85,7 +92,11 @@ fn main() {
             claim(
                 &format!("{dataset}: best-MC F1 / best-DC F1"),
                 mc.f1 / dc.f1.max(1e-9),
-                if dataset == "jackson" { "up to 1.3x" } else { "1.1x" },
+                if dataset == "jackson" {
+                    "up to 1.3x"
+                } else {
+                    "1.1x"
+                },
             );
             claim(
                 &format!("{dataset}: best-DC cost / best-MC cost"),
@@ -155,7 +166,10 @@ fn run_dataset(
     let mut trained_loc = train_plain_from_features(loc_model, &loc_feats, &labels, cfg);
     // The full-frame detector sees the whole frame; augmentation-by-shift
     // is sound for it on either task (its grid-max is shift-invariant).
-    let ff_cfg = TrainConfig { augment_shift_w: 3, ..*cfg };
+    let ff_cfg = TrainConfig {
+        augment_shift_w: 3,
+        ..*cfg
+    };
     let mut trained_ff = train_plain_from_features(ff_model, &ff_feats, &labels, &ff_cfg);
     println!(
         "  localized: thr {:.2} loss {:?}",
@@ -294,13 +308,48 @@ fn plain_prob(model: &mut McModel, fm: &Tensor) -> f32 {
 fn dc_sweep(h: usize, w: usize, quick: bool) -> Vec<DcConfig> {
     let base = DcConfig::representative(h, w, 31);
     let mut out = vec![
-        DcConfig { conv_layers: 2, kernels: 16, stride: 2, pooling_layers: 1, separable: false, ..base },
-        DcConfig { conv_layers: 3, kernels: 32, stride: 2, pooling_layers: 1, separable: false, ..base },
-        DcConfig { conv_layers: 4, kernels: 64, stride: 2, pooling_layers: 0, separable: false, ..base },
+        DcConfig {
+            conv_layers: 2,
+            kernels: 16,
+            stride: 2,
+            pooling_layers: 1,
+            separable: false,
+            ..base
+        },
+        DcConfig {
+            conv_layers: 3,
+            kernels: 32,
+            stride: 2,
+            pooling_layers: 1,
+            separable: false,
+            ..base
+        },
+        DcConfig {
+            conv_layers: 4,
+            kernels: 64,
+            stride: 2,
+            pooling_layers: 0,
+            separable: false,
+            ..base
+        },
     ];
     if !quick {
-        out.push(DcConfig { conv_layers: 3, kernels: 32, stride: 2, pooling_layers: 1, separable: true, ..base });
-        out.push(DcConfig { conv_layers: 2, kernels: 64, stride: 3, pooling_layers: 0, separable: false, ..base });
+        out.push(DcConfig {
+            conv_layers: 3,
+            kernels: 32,
+            stride: 2,
+            pooling_layers: 1,
+            separable: true,
+            ..base
+        });
+        out.push(DcConfig {
+            conv_layers: 2,
+            kernels: 64,
+            stride: 3,
+            pooling_layers: 0,
+            separable: false,
+            ..base
+        });
     }
     out.retain(|c| c.fits());
     out

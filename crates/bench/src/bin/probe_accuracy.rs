@@ -50,7 +50,10 @@ fn main() {
     if std::env::args().any(|a| a == "--tap") {
         spec.tap = tap.clone();
     }
-    println!("dataset={dataset} arch={arch} tap={} scale={scale} frames={frames} alpha={alpha}", spec.tap);
+    println!(
+        "dataset={dataset} arch={arch} tap={} scale={scale} frames={frames} alpha={alpha}",
+        spec.tap
+    );
 
     let mn_cfg = MobileNetConfig::with_width(alpha);
     let mut extractor = if pretrain_steps > 0 {
@@ -61,7 +64,10 @@ fn main() {
                 ..Default::default()
             },
         );
-        println!("pretrained {pretrain_steps} steps in {:.1}s", t0.elapsed().as_secs_f64());
+        println!(
+            "pretrained {pretrain_steps} steps in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
         FeatureExtractor::from_network(net, mn_cfg, vec![spec.tap.clone()])
     } else {
         FeatureExtractor::new(mn_cfg, vec![spec.tap.clone()])
@@ -81,9 +87,11 @@ fn main() {
         let mut video = data.open(Split::Train);
         let a = video.next().unwrap().frame.to_tensor();
         let b = video.nth(200).unwrap().frame.to_tensor();
-        let fa = extractor.extract(&a);
+        // extract() returns maps borrowing the extractor; clone the first
+        // frame's tap to compare across two extractions.
+        let ta = extractor.extract(&a).get(&spec.tap).clone();
         let fb = extractor.extract(&b);
-        let (ta, tb) = (fa.get(&spec.tap), fb.get(&spec.tap));
+        let (ta, tb) = (&ta, fb.get(&spec.tap));
         let mean = ta.mean();
         let max = ta.max();
         let diff: f32 = ta
@@ -113,15 +121,35 @@ fn main() {
     );
 
     let mut model = trained.model;
-    let eval_split = if arg_flag("--eval-train") { Split::Train } else { Split::Test };
+    let eval_split = if arg_flag("--eval-train") {
+        Split::Train
+    } else {
+        Split::Test
+    };
     let test = data.open(eval_split).map(|lf| (lf.frame, lf.label));
     let (probs, labels) = mc_probs(&mut extractor, &spec, &mut model, test);
     if arg_flag("--dump") {
-        let mut pos: Vec<f32> = probs.iter().zip(&labels).filter(|(_, &l)| l).map(|(&p, _)| p).collect();
-        let mut neg: Vec<f32> = probs.iter().zip(&labels).filter(|(_, &l)| !l).map(|(&p, _)| p).collect();
+        let mut pos: Vec<f32> = probs
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l)
+            .map(|(&p, _)| p)
+            .collect();
+        let mut neg: Vec<f32> = probs
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| !l)
+            .map(|(&p, _)| p)
+            .collect();
         pos.sort_by(f32::total_cmp);
         neg.sort_by(f32::total_cmp);
-        let q = |v: &[f32], f: f64| if v.is_empty() { f32::NAN } else { v[((v.len() - 1) as f64 * f) as usize] };
+        let q = |v: &[f32], f: f64| {
+            if v.is_empty() {
+                f32::NAN
+            } else {
+                v[((v.len() - 1) as f64 * f) as usize]
+            }
+        };
         println!(
             "test probs: pos n={} q10={:.3} q50={:.3} q90={:.3} | neg n={} q50={:.3} q90={:.3} q99={:.3}",
             pos.len(), q(&pos, 0.1), q(&pos, 0.5), q(&pos, 0.9),

@@ -18,7 +18,16 @@ fn main() {
     println!("Figure 3b — dataset details (simulation scale 1/{scale}, both splits)\n");
     println!(
         "{:<10} {:<7} {:<12} {:<12} {:>6} {:>9} {:<16} {:>12} {:>13} {:>8}",
-        "dataset", "split", "resolution", "paper res", "fps", "frames", "task", "event frames", "unique events", "pos frac"
+        "dataset",
+        "split",
+        "resolution",
+        "paper res",
+        "fps",
+        "frames",
+        "task",
+        "event frames",
+        "unique events",
+        "pos frac"
     );
     let mut rows = Vec::new();
     for spec in &specs {
@@ -63,7 +72,9 @@ fn main() {
     println!("  Roadway 2048x850@15, 324009 frames, People with red, 71296 event frames,");
     println!("  326 events (22.0% positive).");
 
-    println!("\nFigure 3c — task crop regions (fractions of frame; paper pixel coords at paper res)");
+    println!(
+        "\nFigure 3c — task crop regions (fractions of frame; paper pixel coords at paper res)"
+    );
     for spec in &specs {
         if let Some(c) = spec.task.crop {
             let (px0, py0) = (

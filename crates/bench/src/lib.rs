@@ -11,10 +11,8 @@ use std::path::PathBuf;
 
 /// Returns the directory where figure CSVs are written, creating it.
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("figures");
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("figures");
     std::fs::create_dir_all(&dir).expect("create figures dir");
     dir
 }
@@ -58,4 +56,3 @@ pub fn claim(label: &str, ours: f64, paper: &str) {
 }
 
 pub mod throughput;
-

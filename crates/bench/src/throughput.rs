@@ -8,12 +8,12 @@
 use std::time::Instant;
 
 use ff_core::baselines::{DcBank, MobileNetBank};
-use ff_tensor::parallel::set_threads;
 use ff_core::pipeline::{FilterForward, PipelineConfig};
-use ff_core::spec::{McKind, McSpec};
 use ff_core::smoothing::SmoothingConfig;
+use ff_core::spec::{McKind, McSpec};
 use ff_data::DatasetSpec;
 use ff_models::{DcConfig, MobileNetConfig};
+use ff_tensor::parallel::set_threads;
 use ff_video::Frame;
 
 /// One throughput measurement.
@@ -32,7 +32,9 @@ pub struct ThroughputPoint {
 /// Renders `n` frames of the Jackson-like scene at the given scale.
 pub fn bench_frames(scale: usize, n: usize) -> Vec<Frame> {
     let spec = DatasetSpec::jackson_like(scale, n, 1234);
-    spec.open(ff_data::Split::Train).map(|lf| lf.frame).collect()
+    spec.open(ff_data::Split::Train)
+        .map(|lf| lf.frame)
+        .collect()
 }
 
 /// Pins all tensor kernels to one thread for the duration of throughput
@@ -145,6 +147,8 @@ pub fn figure5_counts(quick: bool) -> Vec<usize> {
     if quick {
         vec![1, 2, 4, 8, 16, 32, 50]
     } else {
-        vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+        vec![
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30, 35, 40, 45, 50,
+        ]
     }
 }

@@ -1,0 +1,384 @@
+//! Offline subset of the `proptest` API.
+//!
+//! Implements the surface this workspace's property tests use: range and
+//! `any::<bool>()` strategies, `collection::vec`, `prop_map`, the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a deterministic
+//! per-test RNG; there is no shrinking — a failing case reports its inputs
+//! via the assertion message instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait ArbitraryValue: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::Rng;
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Runs `cases` deterministic cases of one property.
+///
+/// Internal plumbing for the [`proptest!`] macro; public so the macro
+/// expansion can reach it.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    // Stable per-test seed: same inputs every run, like a checked-in regression
+    // corpus.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    for i in 0..cfg.cases {
+        let mut rng = TestRng::seed_from_u64(hash.wrapping_add(i as u64));
+        if let Err(msg) = case(&mut rng) {
+            panic!("property {test_name} failed at case {i}: {msg}");
+        }
+    }
+}
+
+/// Declares property tests: each `fn` runs once per generated case.
+///
+/// Supported grammar (the subset of upstream proptest this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0usize..10, v in collection::vec(any::<bool>(), 0..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property `fn`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr); ) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($sig:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        // `#[test]` arrives as one of the metas and is re-emitted with them.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&config, stringify!($name), |__pt_rng| {
+                let mut __pt_inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $crate::__proptest_bind! { __pt_rng, __pt_inputs; $($sig)* }
+                let __pt_result: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __pt_result.map_err(|e| format!("{e}\n  inputs: {}", __pt_inputs.join(", ")))
+            });
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `ident in strategy`
+/// parameters, accumulating strategy tokens up to each top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident; ) => {};
+    ($rng:ident, $inputs:ident; $arg:ident in $($rest:tt)*) => {
+        $crate::__proptest_accum! { $rng, $inputs; $arg; (); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`__proptest_bind!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_accum {
+    ($rng:ident, $inputs:ident; $arg:ident; ($($acc:tt)*); , $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($($acc)*), $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+        $crate::__proptest_bind! { $rng, $inputs; $($rest)* }
+    };
+    ($rng:ident, $inputs:ident; $arg:ident; ($($acc:tt)*); ) => {
+        let $arg = $crate::Strategy::generate(&($($acc)*), $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+    };
+    ($rng:ident, $inputs:ident; $arg:ident; ($($acc:tt)*); $next:tt $($rest:tt)*) => {
+        $crate::__proptest_accum! { $rng, $inputs; $arg; ($($acc)* $next); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {} == {}: {:?} vs {:?}",
+                    stringify!($left), stringify!($right), l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {} == {}: {:?} vs {:?}: {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments on properties must parse.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in collection::vec(any::<bool>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn prop_map_applies(n in collection::vec(0.0f32..1.0, 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_report_case() {
+        crate::run_cases(
+            &crate::ProptestConfig::with_cases(1),
+            "always_fails",
+            |_| Err("boom".into()),
+        );
+    }
+}

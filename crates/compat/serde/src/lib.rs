@@ -1,0 +1,37 @@
+//! Offline marker-trait subset of the `serde` API.
+//!
+//! The workspace uses serde only as a *capability declaration* on config
+//! structs (`#[derive(Serialize, Deserialize)]` plus trait bounds); no code
+//! path actually serializes bytes (there is no `serde_json` in the tree).
+//! With crates.io unreachable at build time, this shim supplies the two
+//! traits with blanket implementations and no-op derives, so every existing
+//! bound and derive compiles unchanged and the real crate can be dropped in
+//! later without touching downstream code.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declarable as serializable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types declarable as deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Demo {
+        _x: u32,
+    }
+
+    fn assert_bounds<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_bounds_resolve() {
+        assert_bounds::<Demo>();
+        assert_bounds::<Vec<f32>>();
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits carry blanket implementations,
+//! so these derives only need to exist for `#[derive(...)]` to resolve; they
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -75,7 +75,11 @@ impl EdgeArchive {
     ///
     /// Returns a [`DecodeError`] if the archive is corrupt (should not
     /// happen for in-memory archives) or the range is out of bounds.
-    pub fn demand_fetch(&self, start: usize, end: usize) -> Result<(Vec<Frame>, usize), DecodeError> {
+    pub fn demand_fetch(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> Result<(Vec<Frame>, usize), DecodeError> {
         if start >= end || end > self.frames.len() {
             return Err(DecodeError::Corrupt("fetch range out of bounds"));
         }

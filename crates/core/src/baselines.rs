@@ -30,7 +30,13 @@ impl DcBank {
     /// each application trains its own weights).
     pub fn new(cfg: DcConfig, n: usize) -> Self {
         let dcs = (0..n)
-            .map(|i| DcConfig { seed: cfg.seed + 101 * i as u64, ..cfg }.build())
+            .map(|i| {
+                DcConfig {
+                    seed: cfg.seed + 101 * i as u64,
+                    ..cfg
+                }
+                .build()
+            })
             .collect();
         DcBank { dcs, cfg }
     }
@@ -95,7 +101,11 @@ impl MobileNetBank {
                 .build()
             })
             .collect();
-        MobileNetBank { nets, cfg, resolution }
+        MobileNetBank {
+            nets,
+            cfg,
+            resolution,
+        }
     }
 
     /// Number of networks.
@@ -148,7 +158,11 @@ mod tests {
 
     #[test]
     fn mobilenet_bank_runs() {
-        let mut bank = MobileNetBank::new(MobileNetConfig::with_width(0.25), Resolution::new(48, 32), 2);
+        let mut bank = MobileNetBank::new(
+            MobileNetConfig::with_width(0.25),
+            Resolution::new(48, 32),
+            2,
+        );
         let frame = Tensor::filled(vec![32, 48, 3], 0.5);
         let probs = bank.classify_all(&frame);
         assert_eq!(probs.len(), 2);

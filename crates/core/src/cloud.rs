@@ -79,14 +79,18 @@ mod tests {
             pedestrian_rate: 0.2,
             ..Default::default()
         };
-        Scene::new(cfg).take(n).map(|(f, t)| (f, !t.is_empty())).collect()
+        Scene::new(cfg)
+            .take(n)
+            .map(|(f, t)| (f, !t.is_empty()))
+            .collect()
     }
 
     #[test]
     fn transcoding_preserves_labels_and_counts_bytes() {
         let src = frames(20);
         let labels: Vec<bool> = src.iter().map(|(_, l)| *l).collect();
-        let mut ts = TranscodedStream::new(src.into_iter(), Resolution::new(64, 32), 15.0, 80_000.0);
+        let mut ts =
+            TranscodedStream::new(src.into_iter(), Resolution::new(64, 32), 15.0, 80_000.0);
         let out: Vec<(Frame, bool)> = ts.by_ref().collect();
         assert_eq!(out.len(), 20);
         let out_labels: Vec<bool> = out.iter().map(|(_, l)| *l).collect();
@@ -100,7 +104,8 @@ mod tests {
         let src = frames(15);
         let originals: Vec<Frame> = src.iter().map(|(f, _)| f.clone()).collect();
         let psnr_at = |bps: f64| {
-            let ts = TranscodedStream::new(src.clone().into_iter(), Resolution::new(64, 32), 15.0, bps);
+            let ts =
+                TranscodedStream::new(src.clone().into_iter(), Resolution::new(64, 32), 15.0, bps);
             let decoded: Vec<Frame> = ts.map(|(f, _)| f).collect();
             decoded
                 .iter()

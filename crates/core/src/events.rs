@@ -65,7 +65,11 @@ impl TransitionDetector {
     /// # Panics
     ///
     /// Panics if frames arrive out of order.
-    pub fn push(&mut self, frame: u64, positive: bool) -> (Option<EventRecord>, Option<EventRecord>) {
+    pub fn push(
+        &mut self,
+        frame: u64,
+        positive: bool,
+    ) -> (Option<EventRecord>, Option<EventRecord>) {
         if let Some(expected) = self.expected_frame {
             assert_eq!(frame, expected, "transition detector: frames out of order");
         }
@@ -119,7 +123,10 @@ impl FrameMetadata {
 
     /// Records that this frame belongs to `event` for `mc`.
     pub fn insert(&mut self, mc: McId, event: EventId) {
-        debug_assert!(!self.entries.iter().any(|(m, _)| *m == mc), "duplicate MC entry");
+        debug_assert!(
+            !self.entries.iter().any(|(m, _)| *m == mc),
+            "duplicate MC entry"
+        );
         self.entries.push((mc, event));
         self.entries.sort();
     }
@@ -204,7 +211,10 @@ mod tests {
         md.insert(McId(0), EventId(3));
         assert_eq!(md.event_for(McId(1)), Some(EventId(7)));
         assert_eq!(md.event_for(McId(2)), None);
-        assert_eq!(md.entries(), &[(McId(0), EventId(3)), (McId(1), EventId(7))]);
+        assert_eq!(
+            md.entries(),
+            &[(McId(0), EventId(3)), (McId(1), EventId(7))]
+        );
         assert!(md.matched());
     }
 }

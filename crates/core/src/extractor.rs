@@ -9,13 +9,18 @@
 use ff_data::CropRect;
 use ff_models::MobileNetConfig;
 use ff_nn::Sequential;
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 use ff_video::Resolution;
 
 /// Activations of the requested tap layers for one frame.
-#[derive(Debug, Clone)]
+///
+/// The extractor owns one of these and refreshes it in place every frame
+/// (tensor buffers cycle through the extractor's [`Workspace`]); borrow it
+/// via [`FeatureExtractor::extract`], or `clone` it to keep a frame's maps.
+#[derive(Debug, Clone, Default)]
 pub struct FeatureMaps {
-    maps: Vec<(String, Tensor)>,
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
 }
 
 impl FeatureMaps {
@@ -25,24 +30,33 @@ impl FeatureMaps {
     ///
     /// Panics if `tap` was not requested at extractor construction.
     pub fn get(&self, tap: &str) -> &Tensor {
-        self.maps
+        self.names
             .iter()
-            .find(|(n, _)| n == tap)
-            .map(|(_, t)| t)
+            .position(|n| n == tap)
+            .map(|i| &self.tensors[i])
             .unwrap_or_else(|| panic!("tap {tap:?} not extracted"))
     }
 
     /// Tap names present.
     pub fn taps(&self) -> impl Iterator<Item = &str> {
-        self.maps.iter().map(|(n, _)| n.as_str())
+        self.names.iter().map(String::as_str)
     }
 }
 
 /// The shared base-DNN feature extractor.
+///
+/// Owns a [`Workspace`] and a persistent [`FeatureMaps`]: all intermediate
+/// activations and the tap outputs themselves are recycled across frames,
+/// so steady-state extraction performs no heap allocation.
 pub struct FeatureExtractor {
     net: Sequential,
     config: MobileNetConfig,
+    /// Tap names, kept sorted by layer depth (see [`Self::resync_taps`]).
     taps: Vec<String>,
+    /// Layer indices of `taps`, same order (strictly ascending).
+    tap_indices: Vec<usize>,
+    ws: Workspace,
+    maps: FeatureMaps,
 }
 
 impl std::fmt::Debug for FeatureExtractor {
@@ -58,12 +72,8 @@ impl FeatureExtractor {
     ///
     /// Panics if `taps` is empty or contains an unknown layer name.
     pub fn new(config: MobileNetConfig, taps: Vec<String>) -> Self {
-        assert!(!taps.is_empty(), "extractor needs at least one tap");
         let net = config.build();
-        for t in &taps {
-            assert!(net.index_of(t).is_some(), "unknown tap {t:?}");
-        }
-        FeatureExtractor { net, config, taps }
+        Self::from_network(net, config, taps)
     }
 
     /// Wraps an existing (e.g. synthetically pretrained) backbone.
@@ -73,10 +83,41 @@ impl FeatureExtractor {
     /// Panics if `taps` is empty or contains an unknown layer name.
     pub fn from_network(net: Sequential, config: MobileNetConfig, taps: Vec<String>) -> Self {
         assert!(!taps.is_empty(), "extractor needs at least one tap");
-        for t in &taps {
-            assert!(net.index_of(t).is_some(), "unknown tap {t:?}");
+        let mut ex = FeatureExtractor {
+            net,
+            config,
+            taps,
+            tap_indices: Vec::new(),
+            ws: Workspace::new(),
+            maps: FeatureMaps::default(),
+        };
+        ex.resync_taps();
+        ex
+    }
+
+    /// Re-resolves tap indices and keeps taps sorted by layer depth, so the
+    /// streaming path can use the allocation-free ascending-index walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tap name is unknown.
+    fn resync_taps(&mut self) {
+        // Validate up front: sort_by_key may never invoke its key closure
+        // for short lists.
+        for t in &self.taps {
+            assert!(self.net.index_of(t).is_some(), "unknown tap {t:?}");
         }
-        FeatureExtractor { net, config, taps }
+        self.taps
+            .sort_by_key(|t| self.net.index_of(t).expect("validated"));
+        self.tap_indices = self
+            .taps
+            .iter()
+            .map(|t| self.net.index_of(t).expect("validated"))
+            .collect();
+        self.maps.names.clone_from(&self.taps);
+        for t in std::mem::take(&mut self.maps.tensors) {
+            self.ws.recycle(t);
+        }
     }
 
     /// The base-DNN configuration.
@@ -100,16 +141,24 @@ impl FeatureExtractor {
         }
         assert!(self.net.index_of(tap).is_some(), "unknown tap {tap:?}");
         self.taps.push(tap.to_string());
+        self.resync_taps();
     }
 
     /// Runs the base DNN on one frame tensor (HWC, `[0,1]`), producing all
     /// registered taps. Executes only to the deepest tap.
-    pub fn extract(&mut self, frame: &Tensor) -> FeatureMaps {
-        let tap_refs: Vec<&str> = self.taps.iter().map(String::as_str).collect();
-        let outs = self.net.forward_taps(frame, &tap_refs);
-        FeatureMaps {
-            maps: self.taps.iter().cloned().zip(outs).collect(),
-        }
+    ///
+    /// The returned maps are owned by the extractor and overwritten by the
+    /// next call; `clone` them to keep a frame's activations. Every buffer
+    /// involved is drawn from the extractor's workspace, so steady-state
+    /// extraction allocates nothing.
+    pub fn extract(&mut self, frame: &Tensor) -> &FeatureMaps {
+        self.net.forward_taps_indices_ws(
+            frame,
+            &self.tap_indices,
+            &mut self.ws,
+            &mut self.maps.tensors,
+        );
+        &self.maps
     }
 
     /// Shape of a tap's activation for a given input resolution.
@@ -178,7 +227,7 @@ mod tests {
         let mut ex = tiny_extractor();
         let res = Resolution::new(64, 32);
         let frame = Tensor::filled(vec![32, 64, 3], 0.4);
-        let maps = ex.extract(&frame);
+        let maps = ex.extract(&frame).clone();
         assert_eq!(
             maps.get(LAYER_LOCALIZED_TAP).dims(),
             ex.tap_shape(res, LAYER_LOCALIZED_TAP).as_slice()
@@ -203,7 +252,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown tap")]
     fn unknown_tap_rejected() {
-        let _ = FeatureExtractor::new(MobileNetConfig::with_width(0.25), vec!["conv9_9/sep".into()]);
+        let _ = FeatureExtractor::new(
+            MobileNetConfig::with_width(0.25),
+            vec!["conv9_9/sep".into()],
+        );
     }
 
     #[test]
@@ -219,10 +271,20 @@ mod tests {
     #[test]
     fn crop_rescaling_matches_paper_semantics() {
         // Bottom half of the frame on a 10-row grid → rows 5..10.
-        let crop = CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 };
+        let crop = CropRect {
+            x0: 0.0,
+            y0: 0.5,
+            x1: 1.0,
+            y1: 1.0,
+        };
         assert_eq!(crop_to_grid(&crop, 10, 12), (5, 10, 0, 12));
         // Tiny crops still produce at least one cell.
-        let sliver = CropRect { x0: 0.49, y0: 0.49, x1: 0.51, y1: 0.51 };
+        let sliver = CropRect {
+            x0: 0.49,
+            y0: 0.49,
+            x1: 0.51,
+            y1: 0.51,
+        };
         let (h0, h1, w0, w1) = crop_to_grid(&sliver, 4, 4);
         assert!(h1 > h0 && w1 > w0);
     }
@@ -234,8 +296,24 @@ mod tests {
         let frame = Tensor::filled(vec![32, 64, 3], 0.3);
         let maps = ex.extract(&frame);
         let fm = maps.get(LAYER_LOCALIZED_TAP);
-        let top = crop_feature_map(fm, &CropRect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 0.5 });
-        let bottom = crop_feature_map(fm, &CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 });
+        let top = crop_feature_map(
+            fm,
+            &CropRect {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 1.0,
+                y1: 0.5,
+            },
+        );
+        let bottom = crop_feature_map(
+            fm,
+            &CropRect {
+                x0: 0.0,
+                y0: 0.5,
+                x1: 1.0,
+                y1: 1.0,
+            },
+        );
         assert_eq!(top.dims()[0] + bottom.dims()[0], fm.dims()[0]);
     }
 }

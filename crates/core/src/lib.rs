@@ -54,8 +54,8 @@
 pub mod archive;
 pub mod baselines;
 pub mod cloud;
-pub mod events;
 pub mod evaluate;
+pub mod events;
 pub mod extractor;
 pub mod node;
 pub mod pipeline;

@@ -56,7 +56,11 @@ pub fn mobilenet_instance_bytes(cfg: &MobileNetConfig, res: Resolution) -> u64 {
 
 /// Maximum concurrent full-MobileNet instances that fit in memory at the
 /// given input resolution (the Figure 5 OOM model).
-pub fn max_mobilenet_instances(node: &EdgeNodeSpec, cfg: &MobileNetConfig, res: Resolution) -> usize {
+pub fn max_mobilenet_instances(
+    node: &EdgeNodeSpec,
+    cfg: &MobileNetConfig,
+    res: Resolution,
+) -> usize {
     let per = mobilenet_instance_bytes(cfg, res);
     // Reserve 10% of node memory for the OS and the video path.
     let budget = node.memory_bytes - node.memory_bytes / 10;
@@ -69,7 +73,8 @@ mod tests {
 
     #[test]
     fn paper_scale_instance_is_around_a_gigabyte() {
-        let bytes = mobilenet_instance_bytes(&MobileNetConfig::default(), Resolution::new(1920, 1080));
+        let bytes =
+            mobilenet_instance_bytes(&MobileNetConfig::default(), Resolution::new(1920, 1080));
         let gb = bytes as f64 / (1 << 30) as f64;
         assert!((0.4..3.0).contains(&gb), "instance {gb:.2} GB");
     }
@@ -79,7 +84,11 @@ mod tests {
         // Paper: multiple MobileNets run out of memory beyond 30 instances
         // on the 32 GB testbed. Accept the right order of magnitude.
         let node = EdgeNodeSpec::paper_testbed();
-        let max = max_mobilenet_instances(&node, &MobileNetConfig::default(), Resolution::new(1920, 1080));
+        let max = max_mobilenet_instances(
+            &node,
+            &MobileNetConfig::default(),
+            Resolution::new(1920, 1080),
+        );
         assert!((10..=60).contains(&max), "max instances {max}");
     }
 

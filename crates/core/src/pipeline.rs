@@ -144,6 +144,8 @@ pub struct FilterForward {
     archive: Option<EdgeArchive>,
     stats: PipelineStats,
     timers: PhaseTimers,
+    /// Reused per-frame decision buffer (keeps the MC loop allocation-free).
+    decisions_scratch: Vec<(McId, crate::spec::McDecision)>,
 }
 
 impl std::fmt::Debug for FilterForward {
@@ -177,7 +179,9 @@ impl FilterForward {
             cfg.fps,
             cfg.upload_bitrate_bps,
         ));
-        let archive = cfg.archive.map(|a| EdgeArchive::new(a, cfg.resolution, cfg.fps));
+        let archive = cfg
+            .archive
+            .map(|a| EdgeArchive::new(a, cfg.resolution, cfg.fps));
         FilterForward {
             cfg,
             extractor,
@@ -190,6 +194,7 @@ impl FilterForward {
             archive,
             stats: PipelineStats::default(),
             timers: PhaseTimers::default(),
+            decisions_scratch: Vec::new(),
         }
     }
 
@@ -261,7 +266,10 @@ impl FilterForward {
     ///
     /// Panics if no MCs are deployed.
     pub fn process(&mut self, frame: &Frame) -> Vec<FrameVerdict> {
-        assert!(!self.mcs.is_empty(), "deploy at least one MC before streaming");
+        assert!(
+            !self.mcs.is_empty(),
+            "deploy at least one MC before streaming"
+        );
         let idx = self.next_in;
         self.next_in += 1;
         self.stats.frames_in += 1;
@@ -269,12 +277,6 @@ impl FilterForward {
         if let Some(archive) = &mut self.archive {
             self.stats.bytes_archived += archive.record(frame) as u64;
         }
-
-        // Phase 1: shared base-DNN feature extraction (timed).
-        let t0 = Instant::now();
-        let tensor = frame.to_tensor();
-        let maps = self.extractor.extract(&tensor);
-        self.timers.base_dnn += t0.elapsed();
 
         self.pending.insert(
             idx,
@@ -286,23 +288,33 @@ impl FilterForward {
             },
         );
 
+        // Phase 1: shared base-DNN feature extraction (timed). The returned
+        // maps borrow the extractor's internal workspace-backed buffers.
+        let t0 = Instant::now();
+        let tensor = frame.to_tensor();
+        let maps = self.extractor.extract(&tensor);
+        self.timers.base_dnn += t0.elapsed();
+
         // Phase 2: every MC consumes the shared maps (timed as one block,
         // matching the paper's phased execution / end-to-end flow control).
+        // `decisions` is a reused scratch: the MC loop itself is
+        // allocation-free in steady state.
         let t1 = Instant::now();
-        let mut decisions = Vec::new();
+        let mut decisions = std::mem::take(&mut self.decisions_scratch);
+        decisions.clear();
         for mc in &mut self.mcs {
             let fm = maps.get(&mc.spec().tap);
-            let cropped = mc.crop(fm);
-            for d in mc.process(&cropped) {
+            if let Some(d) = mc.process_tap(fm) {
                 decisions.push((mc.id(), d));
             }
         }
         self.timers.microclassifiers += t1.elapsed();
         self.timers.frames += 1;
 
-        for (mc_id, d) in decisions {
+        for &(mc_id, d) in &decisions {
             self.apply_decision(mc_id, d);
         }
+        self.decisions_scratch = decisions;
         self.drain()
     }
 
@@ -404,8 +416,10 @@ impl FilterForward {
     }
 
     /// Extract features for one frame tensor without running MCs — used by
-    /// training and the throughput harness.
-    pub fn extract_only(&mut self, tensor: &Tensor) -> crate::extractor::FeatureMaps {
+    /// training and the throughput harness. The returned maps borrow the
+    /// extractor's internal buffers and are overwritten by the next
+    /// extraction.
+    pub fn extract_only(&mut self, tensor: &Tensor) -> &crate::extractor::FeatureMaps {
         self.extractor.extract(tensor)
     }
 }

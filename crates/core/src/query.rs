@@ -175,11 +175,11 @@ mod tests {
         let q = Query::mc(McId(0)).and(Query::mc(McId(1)));
         let mut runner = QueryRunner::new(q, McId(100));
         let pattern: Vec<&[usize]> = vec![
-            &[0],      // ped only
-            &[0, 1],   // both → event 0 opens
-            &[0, 1],   // continues
-            &[1],      // car only → closes
-            &[0, 1],   // event 1
+            &[0],    // ped only
+            &[0, 1], // both → event 0 opens
+            &[0, 1], // continues
+            &[1],    // car only → closes
+            &[0, 1], // event 1
         ];
         for (i, mcs) in pattern.iter().enumerate() {
             runner.push(&verdict(i as u64, mcs));

@@ -154,7 +154,7 @@ mod tests {
         let mut s = KVotingSmoother::new(SmoothingConfig::default());
         assert_eq!(s.push(true), None); // frame 0 arrives
         assert_eq!(s.push(true), None); // frame 1
-        // Frame 2 arrives → frame 0 decided over clipped window [0, 2].
+                                        // Frame 2 arrives → frame 0 decided over clipped window [0, 2].
         assert_eq!(s.push(true), Some((0, true)));
         assert_eq!(s.push(false), Some((1, true)));
     }

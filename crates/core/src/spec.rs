@@ -10,7 +10,7 @@ use ff_data::CropRect;
 use ff_models::{FullFrameConfig, LocalizedConfig, WindowedClassifier, WindowedConfig};
 use ff_models::{LAYER_FULL_FRAME_TAP, LAYER_LOCALIZED_TAP};
 use ff_nn::{Phase, Sequential};
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 use ff_video::Resolution;
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +95,8 @@ impl McSpec {
         match &self.crop {
             None => tap_shape,
             Some(c) => {
-                let (h0, h1, w0, w1) = crate::extractor::crop_to_grid(c, tap_shape[0], tap_shape[1]);
+                let (h0, h1, w0, w1) =
+                    crate::extractor::crop_to_grid(c, tap_shape[0], tap_shape[1]);
                 vec![h1 - h0, w1 - w0, tap_shape[2]]
             }
         }
@@ -115,6 +116,7 @@ impl McSpec {
 }
 
 /// The executable form of a microclassifier.
+#[allow(clippy::large_enum_variant)] // a handful of MCs exist per node; clarity wins
 pub enum McModel {
     /// Single-frame networks (full-frame and localized).
     Plain(Sequential),
@@ -207,6 +209,10 @@ pub struct McRuntime {
     smoother: KVotingSmoother,
     detector: TransitionDetector,
     finished_detector_events: Vec<EventRecord>,
+    /// Scratch arena: crops, forward intermediates, and retired windowed
+    /// projections cycle through here, so steady-state per-frame inference
+    /// allocates nothing.
+    ws: Workspace,
 }
 
 impl McRuntime {
@@ -222,6 +228,7 @@ impl McRuntime {
             smoother,
             detector: TransitionDetector::new(id),
             finished_detector_events: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -284,12 +291,23 @@ impl McRuntime {
     /// For the windowed MC this replicates the single frame across the
     /// window (the zero-motion baseline).
     pub fn prob_single(&mut self, fm: &Tensor) -> f32 {
+        let ws = &mut self.ws;
         match &mut self.model {
-            McModel::Plain(net) => ff_nn::sigmoid(net.forward(fm, Phase::Inference).data()[0]),
+            McModel::Plain(net) => {
+                let out = net.forward_ws(fm, Phase::Inference, ws);
+                let logit = out.data()[0];
+                ws.recycle(out);
+                ff_nn::sigmoid(logit)
+            }
             McModel::Windowed(wc) => {
-                let p = wc.project(fm, Phase::Inference);
-                let window: Vec<&Tensor> = std::iter::repeat(&p).take(wc.window()).collect();
-                ff_nn::sigmoid(wc.classify_window(&window, Phase::Inference).data()[0])
+                let p = wc.project_ws(fm, Phase::Inference, ws);
+                let window: Vec<&Tensor> = std::iter::repeat_n(&p, wc.window()).collect();
+                let out = wc.classify_window_ws(&window, Phase::Inference, ws);
+                let logit = out.data()[0];
+                ws.recycle(out);
+                drop(window);
+                ws.recycle(p);
+                ff_nn::sigmoid(logit)
             }
         }
     }
@@ -302,34 +320,63 @@ impl McRuntime {
         }
     }
 
+    /// Processes the tapped (uncropped) feature map of the next frame:
+    /// applies the spec's crop through the internal workspace, classifies,
+    /// and returns any smoothed decision that became final. This is the
+    /// pipeline's hot path; in steady state it performs no heap allocation.
+    pub fn process_tap(&mut self, fm: &Tensor) -> Option<McDecision> {
+        match &self.spec.crop {
+            None => self.process(fm),
+            Some(c) => {
+                let (h0, h1, w0, w1) =
+                    crate::extractor::crop_to_grid(c, fm.dims()[0], fm.dims()[1]);
+                let ch = fm.dims()[2];
+                let mut cropped = self.ws.take(&[h1 - h0, w1 - w0, ch]);
+                fm.crop3_into(h0, h1, w0, w1, &mut cropped);
+                let out = self.process(&cropped);
+                self.ws.recycle(cropped);
+                out
+            }
+        }
+    }
+
     /// Processes the (already cropped) feature map of the next frame and
-    /// returns any smoothed decisions that became final.
-    pub fn process(&mut self, cropped_fm: &Tensor) -> Vec<McDecision> {
+    /// returns any smoothed decision that became final (at most one: each
+    /// frame pushes exactly one raw verdict into the smoother).
+    pub fn process(&mut self, cropped_fm: &Tensor) -> Option<McDecision> {
         let t = self.frames_seen;
         self.frames_seen += 1;
-        let mut raw: Vec<(u64, bool)> = Vec::new();
+        let raw: Option<(u64, bool)>;
+        let ws = &mut self.ws;
         match &mut self.model {
             McModel::Plain(net) => {
-                let prob = ff_nn::sigmoid(net.forward(cropped_fm, Phase::Inference).data()[0]);
-                raw.push((t, prob >= self.spec.threshold));
+                let out = net.forward_ws(cropped_fm, Phase::Inference, ws);
+                let prob = ff_nn::sigmoid(out.data()[0]);
+                ws.recycle(out);
+                raw = Some((t, prob >= self.spec.threshold));
             }
             McModel::Windowed(wc) => {
                 let d = (wc.window() - 1) / 2;
                 let w = wc.window();
-                self.proj_buf.push_back(wc.project(cropped_fm, Phase::Inference));
+                self.proj_buf
+                    .push_back(wc.project_ws(cropped_fm, Phase::Inference, ws));
                 if self.proj_buf.len() > w {
-                    self.proj_buf.pop_front();
+                    if let Some(old) = self.proj_buf.pop_front() {
+                        ws.recycle(old);
+                    }
                 }
                 // Frame c = t − d becomes classifiable when frame t arrives.
                 if t >= d as u64 {
                     let c = self.classified;
                     self.classified += 1;
                     let prob = self.classify_buffered(c, w, d);
-                    raw.push((c, prob >= self.spec.threshold));
+                    raw = Some((c, prob >= self.spec.threshold));
+                } else {
+                    raw = None;
                 }
             }
         }
-        raw.into_iter().flat_map(|(f, r)| self.smooth_and_detect(f, r)).collect()
+        raw.and_then(|(f, r)| self.smooth_and_detect(f, r))
     }
 
     /// Classifies buffered frame `c` with edge replication. The buffer
@@ -347,7 +394,10 @@ impl McRuntime {
         let McModel::Windowed(wc) = &mut self.model else {
             unreachable!("classify_buffered only for windowed models");
         };
-        ff_nn::sigmoid(wc.classify_window(&window, Phase::Inference).data()[0])
+        let out = wc.classify_window_ws(&window, Phase::Inference, &mut self.ws);
+        let logit = out.data()[0];
+        self.ws.recycle(out);
+        ff_nn::sigmoid(logit)
     }
 
     fn smooth_and_detect(&mut self, frame: u64, raw: bool) -> Option<McDecision> {
@@ -368,7 +418,9 @@ impl McRuntime {
         // Classify any un-decided buffered frames (windowed only).
         if let McModel::Windowed(_) = &self.model {
             let (w, d) = {
-                let McModel::Windowed(wc) = &self.model else { unreachable!() };
+                let McModel::Windowed(wc) = &self.model else {
+                    unreachable!()
+                };
                 (wc.window(), (wc.window() - 1) / 2)
             };
             while self.classified < self.frames_seen {
@@ -381,7 +433,10 @@ impl McRuntime {
                 }
             }
         }
-        let smoother = std::mem::replace(&mut self.smoother, KVotingSmoother::new(self.spec.smoothing));
+        let smoother = std::mem::replace(
+            &mut self.smoother,
+            KVotingSmoother::new(self.spec.smoothing),
+        );
         let mut detector = std::mem::replace(&mut self.detector, TransitionDetector::new(self.id));
         for (f, positive) in smoother.finish() {
             let (open, closed) = detector.push(f, positive);
@@ -423,7 +478,16 @@ mod tests {
         let res = Resolution::new(64, 32);
         for spec in [
             McSpec::full_frame("a", 1),
-            McSpec::localized("b", Some(CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 }), 2),
+            McSpec::localized(
+                "b",
+                Some(CropRect {
+                    x0: 0.0,
+                    y0: 0.5,
+                    x1: 1.0,
+                    y1: 1.0,
+                }),
+                2,
+            ),
             McSpec::windowed("c", None, 3),
         ] {
             let rt = spec.build(&ex, res, McId(0));
@@ -439,14 +503,25 @@ mod tests {
         let full = McSpec::localized("f", None, 1);
         let half = McSpec::localized(
             "h",
-            Some(CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 }),
+            Some(CropRect {
+                x0: 0.0,
+                y0: 0.5,
+                x1: 1.0,
+                y1: 1.0,
+            }),
             1,
         );
         let full_shape = full.input_shape(&ex, res);
         let half_shape = half.input_shape(&ex, res);
         assert!(half_shape[0] < full_shape[0]);
-        let full_cost = full.build(&ex, res, McId(0)).model().multiply_adds(&full_shape);
-        let half_cost = half.build(&ex, res, McId(1)).model().multiply_adds(&half_shape);
+        let full_cost = full
+            .build(&ex, res, McId(0))
+            .model()
+            .multiply_adds(&full_shape);
+        let half_cost = half
+            .build(&ex, res, McId(1))
+            .model()
+            .multiply_adds(&half_shape);
         assert!(half_cost < full_cost, "{half_cost} vs {full_cost}");
     }
 
@@ -516,7 +591,10 @@ mod tests {
         // Ship weights between two edge nodes: same spec, same outputs.
         let ex = extractor();
         let res = Resolution::new(64, 32);
-        for spec in [McSpec::localized("l", None, 3), McSpec::windowed("w", None, 4)] {
+        for spec in [
+            McSpec::localized("l", None, 3),
+            McSpec::windowed("w", None, 4),
+        ] {
             let shape = spec.input_shape(&ex, res);
             let fm = Tensor::filled(shape, 0.2);
             let mut src = spec.build(&ex, res, McId(0));
@@ -524,7 +602,10 @@ mod tests {
             let mut bytes = Vec::new();
             src.model_mut().save_weights(&mut bytes).unwrap();
 
-            let other_spec = McSpec { seed: spec.seed + 99, ..spec.clone() };
+            let other_spec = McSpec {
+                seed: spec.seed + 99,
+                ..spec.clone()
+            };
             let mut dst = other_spec.build(&ex, res, McId(1));
             assert_ne!(p_src, dst.prob_single(&fm), "distinct seeds must differ");
             dst.model_mut().load_weights(bytes.as_slice()).unwrap();
@@ -536,7 +617,16 @@ mod tests {
     fn spec_serde_roundtrip() {
         // Specs are what applications ship to edge nodes; they must
         // serialize. Field-level round-trip via serde's derive.
-        let spec = McSpec::localized("ship-me", Some(CropRect { x0: 0.1, y0: 0.2, x1: 0.9, y1: 1.0 }), 42);
+        let spec = McSpec::localized(
+            "ship-me",
+            Some(CropRect {
+                x0: 0.1,
+                y0: 0.2,
+                x1: 0.9,
+                y1: 1.0,
+            }),
+            42,
+        );
         // serde_json is not a dependency; test with the trait bounds only.
         fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(_: &T) {}
         assert_serde(&spec);

@@ -84,12 +84,22 @@ impl std::fmt::Debug for TrainedMc {
 fn auto_pos_weight(labels: &[bool]) -> f32 {
     let pos = labels.iter().filter(|&&l| l).count().max(1);
     let neg = labels.len() - pos;
-    ((neg as f32 / pos as f32).max(1.0)).min(20.0)
+    (neg as f32 / pos as f32).clamp(1.0, 20.0)
 }
 
-/// Stride that samples at most `max` items from `len`.
-fn stride_for(len: usize, max: usize) -> usize {
-    len.div_ceil(max.max(1)).max(1)
+/// Even (Bresenham-style) selection of at most `max` of `len` indices.
+///
+/// An integer stride of `ceil(len/max)` can waste close to half the cache
+/// budget (900 frames at `max = 700` → stride 2 → only 450 samples, which
+/// measurably miscalibrates small MCs); this accepts index `i` exactly when
+/// the scaled accumulator `i·max/len` advances, yielding `min(len, max)`
+/// evenly spread samples.
+fn take_index(i: usize, len: usize, max: usize) -> bool {
+    let (i, len, max) = (i as u64, len as u64, max.max(1) as u64);
+    if len <= max {
+        return true;
+    }
+    (i + 1) * max / len > i * max / len
 }
 
 /// Trains a microclassifier on a dataset's training split.
@@ -122,11 +132,10 @@ fn cache_plain_features(
 ) -> (Vec<Tensor>, Vec<bool>) {
     let video = data.open(Split::Train);
     let total = video.remaining();
-    let stride = stride_for(total, cfg.max_cached);
     let mut feats = Vec::new();
     let mut labels = Vec::new();
     for lf in video {
-        if lf.index % stride != 0 {
+        if !take_index(lf.index, total, cfg.max_cached) {
             continue;
         }
         let t = lf.frame.to_tensor();
@@ -153,7 +162,6 @@ fn cache_windowed_features(
     let video = data.open(Split::Train);
     let total = video.remaining();
     let max = (cfg.max_cached / 2).max(64);
-    let stride = stride_for(total, max);
     let w = 5; // windows use the paper's W = 5
     let mut ring: std::collections::VecDeque<(Tensor, bool)> = Default::default();
     let mut windows = Vec::new();
@@ -170,7 +178,7 @@ fn cache_windowed_features(
         if ring.len() > w {
             ring.pop_front();
         }
-        if ring.len() == w && lf.index % stride == 0 {
+        if ring.len() == w && take_index(lf.index, total, max) {
             windows.push(ring.iter().map(|(f, _)| f.clone()).collect());
             labels.push(ring[w / 2].1);
         }
@@ -233,7 +241,9 @@ fn train_plain_cached_impl(
         unreachable!("plain trainer on windowed model")
     };
     let cut = split_train_cal(feats.len());
-    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let pos_weight = cfg
+        .pos_weight
+        .unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..cut).collect();
@@ -289,7 +299,9 @@ fn train_windowed_cached(
         unreachable!("windowed trainer on plain model")
     };
     let cut = split_train_cal(windows.len());
-    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let pos_weight = cfg
+        .pos_weight
+        .unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..cut).collect();
@@ -307,7 +319,11 @@ fn train_windowed_cached(
             let projected: Vec<Tensor> = windows[i]
                 .iter()
                 .map(|f| {
-                    let f = if shift != 0 { shift_w(f, shift) } else { f.clone() };
+                    let f = if shift != 0 {
+                        shift_w(f, shift)
+                    } else {
+                        f.clone()
+                    };
                     wc.project(&f, Phase::Train)
                 })
                 .collect();
@@ -327,7 +343,10 @@ fn train_windowed_cached(
     let cal_probs: Vec<f32> = windows[cut..]
         .iter()
         .map(|win| {
-            let projected: Vec<Tensor> = win.iter().map(|f| wc.project(f, Phase::Inference)).collect();
+            let projected: Vec<Tensor> = win
+                .iter()
+                .map(|f| wc.project(f, Phase::Inference))
+                .collect();
             let refs: Vec<&Tensor> = projected.iter().collect();
             ff_nn::sigmoid(wc.classify_window(&refs, Phase::Inference).data()[0])
         })
@@ -354,17 +373,18 @@ pub fn train_dc(
 ) -> (f32, Vec<f32>) {
     let video = data.open(Split::Train);
     let total = video.remaining();
-    let stride = stride_for(total, cfg.max_cached);
     let mut frames: Vec<Frame> = Vec::new();
     let mut labels: Vec<bool> = Vec::new();
     for lf in video {
-        if lf.index % stride == 0 {
+        if take_index(lf.index, total, cfg.max_cached) {
             frames.push(lf.frame);
             labels.push(lf.label);
         }
     }
     let cut = split_train_cal(frames.len());
-    let pos_weight = cfg.pos_weight.unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
+    let pos_weight = cfg
+        .pos_weight
+        .unwrap_or_else(|| auto_pos_weight(&labels[..cut]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..cut).collect();
@@ -434,4 +454,3 @@ pub fn calibrate_threshold(probs: &[f32], labels: &[bool]) -> f32 {
         .map(|p| p.threshold as f32)
         .unwrap_or(anchor)
 }
-

@@ -26,7 +26,10 @@ impl Uplink {
     /// Creates a link with `capacity_bps` drained once per frame interval
     /// and an unbounded queue.
     pub fn new(capacity_bps: f64, fps: f64) -> Self {
-        assert!(capacity_bps > 0.0 && fps > 0.0, "capacity and fps must be positive");
+        assert!(
+            capacity_bps > 0.0 && fps > 0.0,
+            "capacity and fps must be positive"
+        );
         Uplink {
             capacity_bps,
             fps,

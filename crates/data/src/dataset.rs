@@ -48,7 +48,10 @@ impl DatasetSpec {
     /// `scale` is the linear downscale from 1920×1080 (10 ⇒ 192×108).
     /// `frames` sets both splits' lengths.
     pub fn jackson_like(scale: usize, frames: usize, seed: u64) -> DatasetSpec {
-        assert!(scale >= 4, "scales below 4 exceed pure-Rust inference budgets");
+        assert!(
+            scale >= 4,
+            "scales below 4 exceed pure-Rust inference budgets"
+        );
         let resolution = Resolution::new(1920 / scale, 1080 / scale);
         DatasetSpec {
             name: "jackson",
@@ -78,7 +81,10 @@ impl DatasetSpec {
     /// The Roadway-like dataset: 2048×850 urban-street geometry, *People
     /// with red* task, ≈22 % positive frames.
     pub fn roadway_like(scale: usize, frames: usize, seed: u64) -> DatasetSpec {
-        assert!(scale >= 4, "scales below 4 exceed pure-Rust inference budgets");
+        assert!(
+            scale >= 4,
+            "scales below 4 exceed pure-Rust inference budgets"
+        );
         let resolution = Resolution::new(2048 / scale, 850 / scale);
         DatasetSpec {
             name: "roadway",
@@ -212,10 +218,7 @@ mod tests {
         assert_eq!(train.len(), 50);
         assert_eq!(test.len(), 50);
         assert_eq!(train[0].frame.resolution(), test[0].frame.resolution());
-        let any_diff = train
-            .iter()
-            .zip(&test)
-            .any(|(a, b)| a.frame != b.frame);
+        let any_diff = train.iter().zip(&test).any(|(a, b)| a.frame != b.frame);
         assert!(any_diff, "train and test videos are identical");
     }
 

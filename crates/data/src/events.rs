@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn all_positive_is_one_event() {
-        assert_eq!(events_from_labels(&[true; 5]), vec![EventRange { start: 0, end: 5 }]);
+        assert_eq!(
+            events_from_labels(&[true; 5]),
+            vec![EventRange { start: 0, end: 5 }]
+        );
     }
 
     #[test]

@@ -35,8 +35,12 @@ impl CropRect {
     pub fn to_pixels(&self, res: Resolution) -> (usize, usize, usize, usize) {
         let x0 = (self.x0 * res.width as f64).floor() as usize;
         let y0 = (self.y0 * res.height as f64).floor() as usize;
-        let x1 = ((self.x1 * res.width as f64).ceil() as usize).min(res.width).max(x0 + 1);
-        let y1 = ((self.y1 * res.height as f64).ceil() as usize).min(res.height).max(y0 + 1);
+        let x1 = ((self.x1 * res.width as f64).ceil() as usize)
+            .min(res.width)
+            .max(x0 + 1);
+        let y1 = ((self.y1 * res.height as f64).ceil() as usize)
+            .min(res.height)
+            .max(y0 + 1);
         (x0, y0, x1, y1)
     }
 }
@@ -111,7 +115,12 @@ impl Task {
             }),
             TaskKind::PersonWithRed => {
                 // ROI = the street and sidewalk band (the crop region).
-                let crop = self.crop.unwrap_or(CropRect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 });
+                let crop = self.crop.unwrap_or(CropRect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: 1.0,
+                    y1: 1.0,
+                });
                 let (x0, y0, x1, y1) = crop.to_pixels(res);
                 let region = ff_video::scene::BBox { x0, y0, x1, y1 };
                 truth.iter().any(|o| {
@@ -147,7 +156,12 @@ mod tests {
         let inside = geo.crosswalk_region();
         assert!(task.label(&[ped(inside, false)], res));
         // A pedestrian on the sidewalk band (below road) is a negative.
-        let sidewalk = BBox { x0: 10, y0: geo.road_bottom + 2, x1: 14, y1: geo.sidewalk_bottom };
+        let sidewalk = BBox {
+            x0: 10,
+            y0: geo.road_bottom + 2,
+            x1: 14,
+            y1: geo.sidewalk_bottom,
+        };
         assert!(!task.label(&[ped(sidewalk, false)], res));
         // A car in the crosswalk is a negative.
         let car = ObjectState {
@@ -165,11 +179,21 @@ mod tests {
         let res = Resolution::new(204, 85);
         let task = Task::people_with_red();
         let (x0, y0, _, _) = task.crop.unwrap().to_pixels(res);
-        let in_roi = BBox { x0: x0 + 5, y0: y0 + 5, x1: x0 + 9, y1: y0 + 15 };
+        let in_roi = BBox {
+            x0: x0 + 5,
+            y0: y0 + 5,
+            x1: x0 + 9,
+            y1: y0 + 15,
+        };
         assert!(task.label(&[ped(in_roi, true)], res));
         assert!(!task.label(&[ped(in_roi, false)], res));
         // Red object above the ROI (e.g. on a facade) is a negative.
-        let above = BBox { x0: 5, y0: 0, x1: 9, y1: y0.max(1) };
+        let above = BBox {
+            x0: 5,
+            y0: 0,
+            x1: 9,
+            y1: y0.max(1),
+        };
         assert!(!task.label(&[ped(above, true)], res));
     }
 
@@ -185,7 +209,12 @@ mod tests {
 
     #[test]
     fn crop_to_pixels_never_empty() {
-        let tiny = CropRect { x0: 0.999, y0: 0.999, x1: 1.0, y1: 1.0 };
+        let tiny = CropRect {
+            x0: 0.999,
+            y0: 0.999,
+            x1: 1.0,
+            y1: 1.0,
+        };
         let (x0, y0, x1, y1) = tiny.to_pixels(Resolution::new(10, 10));
         assert!(x1 > x0 && y1 > y0);
         assert!(x1 <= 10 && y1 <= 10);

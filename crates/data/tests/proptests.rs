@@ -17,8 +17,8 @@ proptest! {
         }
         for e in &events {
             prop_assert!(!e.is_empty());
-            for f in e.start..e.end {
-                prop_assert!(labels[f]);
+            for (f, &l) in labels.iter().enumerate().take(e.end).skip(e.start) {
+                prop_assert!(l, "frame {}", f);
             }
             // Maximality: the frame before/after is negative or OOB.
             if e.start > 0 {
@@ -68,7 +68,12 @@ fn both_datasets_have_positive_and_negative_frames() {
             let labels = spec.labels(split);
             let pos = labels.iter().filter(|&&l| l).count();
             assert!(pos > 0, "{} {:?}: no positives", spec.name, split);
-            assert!(pos < labels.len(), "{} {:?}: all positive", spec.name, split);
+            assert!(
+                pos < labels.len(),
+                "{} {:?}: all positive",
+                spec.name,
+                split
+            );
         }
     }
 }

@@ -54,7 +54,9 @@ impl Range {
 
     /// Overlap length with another range.
     pub fn intersect_len(&self, other: &Range) -> usize {
-        self.end.min(other.end).saturating_sub(self.start.max(other.start))
+        self.end
+            .min(other.end)
+            .saturating_sub(self.start.max(other.start))
     }
 }
 
@@ -75,7 +77,10 @@ pub struct RecallWeights {
 
 impl Default for RecallWeights {
     fn default() -> Self {
-        RecallWeights { alpha: 0.9, beta: 0.1 }
+        RecallWeights {
+            alpha: 0.9,
+            beta: 0.1,
+        }
     }
 }
 
@@ -122,7 +127,10 @@ pub fn score_events(gt: &[Range], predicted: &[Range], w: RecallWeights) -> Even
     let recall = if gt.is_empty() {
         1.0
     } else {
-        gt.iter().map(|g| event_recall(g, predicted, w)).sum::<f64>() / gt.len() as f64
+        gt.iter()
+            .map(|g| event_recall(g, predicted, w))
+            .sum::<f64>()
+            / gt.len() as f64
     };
     let predicted_frames: usize = predicted.iter().map(Range::len).sum();
     let true_positive_frames: usize = predicted

@@ -29,7 +29,11 @@ pub fn sweep_thresholds(
     thresholds: impl IntoIterator<Item = f64>,
     w: RecallWeights,
 ) -> Vec<PrPoint> {
-    assert_eq!(probs.len(), gt_labels.len(), "probability/label length mismatch");
+    assert_eq!(
+        probs.len(),
+        gt_labels.len(),
+        "probability/label length mismatch"
+    );
     let gt: Vec<Range> = ranges_from_labels(gt_labels);
     thresholds
         .into_iter()

@@ -10,7 +10,9 @@
 //! translation from raw frames to a verdict, which is exactly the redundant
 //! work FilterForward's shared base DNN amortizes away.
 
-use ff_nn::{Activation, ActivationKind, Conv2d, Dense, Flatten, MaxPool2d, Sequential, SeparableConv2d};
+use ff_nn::{
+    Activation, ActivationKind, Conv2d, Dense, Flatten, MaxPool2d, SeparableConv2d, Sequential,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one discrete classifier.
@@ -111,13 +113,19 @@ impl DcConfig {
         for i in 0..self.conv_layers {
             let name = format!("conv{}", i + 1);
             if self.separable && in_c > 3 {
-                net.push(name, SeparableConv2d::new(3, self.stride, in_c, self.kernels, seed));
+                net.push(
+                    name,
+                    SeparableConv2d::new(3, self.stride, in_c, self.kernels, seed),
+                );
             } else {
                 // First layer is always standard (3 input channels make
                 // depthwise factoring pointless).
                 net.push(name, Conv2d::new(3, self.stride, in_c, self.kernels, seed));
             }
-            net.push(format!("relu{}", i + 1), Activation::new(ActivationKind::Relu));
+            net.push(
+                format!("relu{}", i + 1),
+                Activation::new(ActivationKind::Relu),
+            );
             in_c = self.kernels;
             seed += 7;
         }
@@ -205,8 +213,14 @@ mod tests {
 
     #[test]
     fn separable_is_cheaper_than_standard() {
-        let std_cfg = DcConfig { separable: false, ..DcConfig::representative(64, 64, 0) };
-        let sep_cfg = DcConfig { separable: true, ..std_cfg };
+        let std_cfg = DcConfig {
+            separable: false,
+            ..DcConfig::representative(64, 64, 0)
+        };
+        let sep_cfg = DcConfig {
+            separable: true,
+            ..std_cfg
+        };
         assert!(sep_cfg.multiply_adds() < std_cfg.multiply_adds());
     }
 

@@ -7,8 +7,11 @@
 //! thresholding step during deployment, which is numerically safer and lets
 //! the decision threshold be tuned without re-running the net.
 
-use ff_nn::{Activation, ActivationKind, Conv2d, Dense, Flatten, GlobalMaxPool, Layer, Param, Phase, Sequential, SeparableConv2d};
-use ff_tensor::Tensor;
+use ff_nn::{
+    Activation, ActivationKind, Conv2d, Dense, Flatten, GlobalMaxPool, Layer, Param, Phase,
+    SeparableConv2d, Sequential,
+};
+use ff_tensor::{Tensor, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the full-frame object detector MC (Figure 2a).
@@ -43,9 +46,15 @@ impl FullFrameConfig {
     /// Builds the network: `[H,W,in_c] → … → [1]` logit.
     pub fn build(&self) -> Sequential {
         let mut net = Sequential::new();
-        net.push("conv1", Conv2d::new(1, 1, self.in_c, self.hidden, self.seed));
+        net.push(
+            "conv1",
+            Conv2d::new(1, 1, self.in_c, self.hidden, self.seed),
+        );
         net.push("relu1", Activation::new(ActivationKind::Relu));
-        net.push("conv2", Conv2d::new(1, 1, self.hidden, self.hidden, self.seed + 1));
+        net.push(
+            "conv2",
+            Conv2d::new(1, 1, self.hidden, self.hidden, self.seed + 1),
+        );
         net.push("relu2", Activation::new(ActivationKind::Relu));
         net.push("conv3", Conv2d::new(1, 1, self.hidden, 1, self.seed + 2));
         if self.relu_logits {
@@ -96,9 +105,15 @@ impl LocalizedConfig {
     /// Builds the network: `[in_h,in_w,in_c] → … → [1]` logit.
     pub fn build(&self) -> Sequential {
         let mut net = Sequential::new();
-        net.push("sep1", SeparableConv2d::new(3, 1, self.in_c, self.depth1, self.seed));
+        net.push(
+            "sep1",
+            SeparableConv2d::new(3, 1, self.in_c, self.depth1, self.seed),
+        );
         net.push("relu1", Activation::new(ActivationKind::Relu));
-        net.push("sep2", SeparableConv2d::new(3, 2, self.depth1, self.depth2, self.seed + 1));
+        net.push(
+            "sep2",
+            SeparableConv2d::new(3, 2, self.depth1, self.depth2, self.seed + 1),
+        );
         net.push("relu2", Activation::new(ActivationKind::Relu));
         net.push("flatten", Flatten::new());
         let fc_in = self.in_h.div_ceil(2) * self.in_w.div_ceil(2) * self.depth2;
@@ -153,11 +168,21 @@ impl WindowedConfig {
     ///
     /// Panics if `window` is even or zero.
     pub fn build(&self) -> WindowedClassifier {
-        assert!(self.window % 2 == 1, "window must be odd, got {}", self.window);
+        assert!(
+            self.window % 2 == 1,
+            "window must be odd, got {}",
+            self.window
+        );
         let mut tail = Sequential::new();
-        tail.push("conv1", Conv2d::new(3, 1, self.window * self.proj, self.conv_f, self.seed + 10));
+        tail.push(
+            "conv1",
+            Conv2d::new(3, 1, self.window * self.proj, self.conv_f, self.seed + 10),
+        );
         tail.push("relu1", Activation::new(ActivationKind::Relu));
-        tail.push("conv2", Conv2d::new(3, 2, self.conv_f, self.conv_f, self.seed + 11));
+        tail.push(
+            "conv2",
+            Conv2d::new(3, 2, self.conv_f, self.conv_f, self.seed + 11),
+        );
         tail.push("relu2", Activation::new(ActivationKind::Relu));
         tail.push("flatten", Flatten::new());
         let fc_in = self.in_h.div_ceil(2) * self.in_w.div_ceil(2) * self.conv_f;
@@ -190,7 +215,11 @@ pub struct WindowedClassifier {
 
 impl std::fmt::Debug for WindowedClassifier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WindowedClassifier(window={}, proj={})", self.cfg.window, self.cfg.proj)
+        write!(
+            f,
+            "WindowedClassifier(window={}, proj={})",
+            self.cfg.window, self.cfg.proj
+        )
     }
 }
 
@@ -210,6 +239,11 @@ impl WindowedClassifier {
         self.proj.forward(feature_map, phase)
     }
 
+    /// [`Self::project`] with buffers drawn from `ws`.
+    pub fn project_ws(&mut self, feature_map: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        self.proj.forward_ws(feature_map, phase, ws)
+    }
+
     /// Classifies the center frame of a window of projected maps, returning
     /// the logit.
     ///
@@ -217,9 +251,39 @@ impl WindowedClassifier {
     ///
     /// Panics if `projected.len() != window`, or the maps disagree in shape.
     pub fn classify_window(&mut self, projected: &[&Tensor], phase: Phase) -> Tensor {
-        assert_eq!(projected.len(), self.cfg.window, "expected {} projected maps", self.cfg.window);
-        let concat = concat_channels(projected);
-        self.tail.forward(&concat, phase)
+        self.classify_window_ws(projected, phase, &mut Workspace::new())
+    }
+
+    /// [`Self::classify_window`] with the channel concatenation and every
+    /// tail intermediate drawn from `ws` — the streaming runtime's
+    /// allocation-free path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `projected.len() != window`, or the maps disagree in shape.
+    pub fn classify_window_ws(
+        &mut self,
+        projected: &[&Tensor],
+        phase: Phase,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        assert_eq!(
+            projected.len(),
+            self.cfg.window,
+            "expected {} projected maps",
+            self.cfg.window
+        );
+        let (h, w, c) = (
+            projected[0].dims()[0],
+            projected[0].dims()[1],
+            projected[0].dims()[2],
+        );
+        let n = projected.len();
+        let mut concat = ws.take(&[h, w, c * n]);
+        concat_channels_into(projected, &mut concat);
+        let out = self.tail.forward_ws(&concat, phase, ws);
+        ws.recycle(concat);
+        out
     }
 
     /// Full training-mode backward pass for one window: the gradient flows
@@ -248,7 +312,11 @@ impl WindowedClassifier {
     pub fn multiply_adds_per_frame(&self, tap_shape: &[usize]) -> u64 {
         let proj = self.proj.multiply_adds(tap_shape);
         let proj_shape = self.proj.out_shape(tap_shape);
-        let concat_shape = [proj_shape[0], proj_shape[1], proj_shape[2] * self.cfg.window];
+        let concat_shape = [
+            proj_shape[0],
+            proj_shape[1],
+            proj_shape[2] * self.cfg.window,
+        ];
         proj + self.tail.multiply_adds(&concat_shape)
     }
 
@@ -272,8 +340,21 @@ impl WindowedClassifier {
 pub fn concat_channels(maps: &[&Tensor]) -> Tensor {
     assert!(!maps.is_empty(), "concat of zero maps");
     let (h, w, c) = (maps[0].dims()[0], maps[0].dims()[1], maps[0].dims()[2]);
+    let mut out = Tensor::zeros(vec![h, w, c * maps.len()]);
+    concat_channels_into(maps, &mut out);
+    out
+}
+
+/// [`concat_channels`] into a pre-allocated `[h, w, c·n]` output.
+///
+/// # Panics
+///
+/// Panics if `maps` is empty or any shape disagrees with `out`.
+pub fn concat_channels_into(maps: &[&Tensor], out: &mut Tensor) {
+    assert!(!maps.is_empty(), "concat of zero maps");
+    let (h, w, c) = (maps[0].dims()[0], maps[0].dims()[1], maps[0].dims()[2]);
     let n = maps.len();
-    let mut out = Tensor::zeros(vec![h, w, c * n]);
+    assert_eq!(out.dims(), &[h, w, c * n], "concat output shape");
     for (i, m) in maps.iter().enumerate() {
         assert_eq!(m.dims(), &[h, w, c], "concat shape mismatch at {i}");
         let od = out.data_mut();
@@ -282,7 +363,6 @@ pub fn concat_channels(maps: &[&Tensor]) -> Tensor {
                 .copy_from_slice(&m.data()[pos * c..(pos + 1) * c]);
         }
     }
-    out
 }
 
 /// Splits an HWC map into `n` equal channel groups (the adjoint of
@@ -364,7 +444,10 @@ mod tests {
         let cfg = WindowedConfig::new(67, 120, 512, 0);
         let mc = cfg.build();
         assert_eq!(mc.proj.out_shape(&[67, 120, 512]), vec![67, 120, 32]);
-        assert_eq!(mc.tail.shape_at(&[67, 120, 160], "conv1"), vec![67, 120, 32]);
+        assert_eq!(
+            mc.tail.shape_at(&[67, 120, 160], "conv1"),
+            vec![67, 120, 32]
+        );
         assert_eq!(mc.tail.shape_at(&[67, 120, 160], "conv2"), vec![34, 60, 32]);
         assert_eq!(mc.tail.shape_at(&[67, 120, 160], "fc1"), vec![200]);
         assert_eq!(mc.tail.out_shape(&[67, 120, 160]), vec![1]);
@@ -374,7 +457,7 @@ mod tests {
         let fm = Tensor::filled(vec![7, 12, 16], 0.1);
         let p = mc.project(&fm, Phase::Inference);
         assert_eq!(p.dims(), &[7, 12, 32]);
-        let ps: Vec<&Tensor> = std::iter::repeat(&p).take(5).collect();
+        let ps: Vec<&Tensor> = std::iter::repeat_n(&p, 5).collect();
         assert_eq!(mc.classify_window(&ps, Phase::Inference).dims(), &[1]);
     }
 
@@ -384,7 +467,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let maps: Vec<Tensor> = (0..3)
             .map(|_| {
-                Tensor::from_vec(vec![2, 3, 4], (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                Tensor::from_vec(
+                    vec![2, 3, 4],
+                    (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                )
             })
             .collect();
         let refs: Vec<&Tensor> = maps.iter().collect();
@@ -433,10 +519,8 @@ mod tests {
                 let moving = rng.gen_bool(0.5);
                 let start = rng.gen_range(0..5);
                 let frames = make_sample(moving, start);
-                let projected: Vec<Tensor> = frames
-                    .iter()
-                    .map(|f| mc.project(f, Phase::Train))
-                    .collect();
+                let projected: Vec<Tensor> =
+                    frames.iter().map(|f| mc.project(f, Phase::Train)).collect();
                 let refs: Vec<&Tensor> = projected.iter().collect();
                 let z = mc.classify_window(&refs, Phase::Train);
                 let y = Tensor::from_vec(vec![1], vec![if moving { 1.0 } else { 0.0 }]);
@@ -449,19 +533,29 @@ mod tests {
                 last_loss = total / 8.0;
             }
         }
-        assert!(last_loss < 0.35, "windowed MC failed to learn motion: loss {last_loss}");
+        assert!(
+            last_loss < 0.35,
+            "windowed MC failed to learn motion: loss {last_loss}"
+        );
     }
 
     #[test]
     fn marginal_cost_ordering_matches_paper() {
         // At paper scale the full-frame MC (on the smaller, deeper tap) is
         // the cheapest; windowed is the most expensive (Figure 6).
-        let ff = FullFrameConfig::new(1024, 0).build().multiply_adds(&[34, 60, 1024]);
-        let loc = LocalizedConfig::new(68, 120, 512, 0).build().multiply_adds(&[68, 120, 512]);
+        let ff = FullFrameConfig::new(1024, 0)
+            .build()
+            .multiply_adds(&[34, 60, 1024]);
+        let loc = LocalizedConfig::new(68, 120, 512, 0)
+            .build()
+            .multiply_adds(&[68, 120, 512]);
         let win = WindowedConfig::new(68, 120, 512, 0).build();
         let win_cost = win.multiply_adds_per_frame(&[68, 120, 512]);
         assert!(ff < loc, "full-frame {ff} should be < localized {loc}");
-        assert!(loc < win_cost, "localized {loc} should be < windowed {win_cost}");
+        assert!(
+            loc < win_cost,
+            "localized {loc} should be < windowed {win_cost}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! which is all that matters for the Figure 5/6 scalability results — is
 //! identical to a pretrained network of the same width.
 
-use ff_nn::{Activation, ActivationKind, ChannelNorm, Conv2d, Dense, DepthwiseConv2d, Flatten, GlobalMaxPool, Layer, Sequential};
+use ff_nn::{ConvBnRelu, Dense, DepthwiseBnRelu, Flatten, GlobalMaxPool, Sequential};
 use serde::{Deserialize, Serialize};
 
 /// The base-DNN layer the localized and windowed MCs tap (§3.4): a
@@ -134,18 +134,18 @@ impl MobileNetConfig {
         };
 
         let c1 = scaled_channels(32, a);
-        net.push("conv1", unit(Conv2d::new(3, 2, 3, c1, next_seed()), c1));
+        net.push("conv1", ConvBnRelu::new(3, 2, 3, c1, next_seed()));
 
         let mut in_c = c1;
         for (name, stride, out_c) in BLOCKS {
             let out_c = scaled_channels(out_c, a);
             net.push(
                 format!("{name}/dw"),
-                unit(DepthwiseConv2d::new(3, stride, in_c, next_seed()), in_c),
+                DepthwiseBnRelu::new(3, stride, in_c, next_seed()),
             );
             net.push(
                 format!("{name}/sep"),
-                unit(Conv2d::new(1, 1, in_c, out_c, next_seed()), out_c),
+                ConvBnRelu::new(1, 1, in_c, out_c, next_seed()),
             );
             in_c = out_c;
         }
@@ -162,17 +162,12 @@ impl MobileNetConfig {
     }
 }
 
-/// Wraps a conv-like layer with folded batch-norm and a trailing ReLU
-/// into one named unit, mirroring MobileNet's conv→BN→ReLU blocks. The
-/// norm starts as identity; [`ff_nn::Layer::calibrate`] fits it from
-/// sample frames (DESIGN.md S2).
-fn unit(layer: impl Layer + 'static, channels: usize) -> Sequential {
-    let mut s = Sequential::new();
-    s.push("conv", layer);
-    s.push("bn", ChannelNorm::identity(channels));
-    s.push("relu", Activation::new(ActivationKind::Relu));
-    s
-}
+// Each named unit is a fused conv→BN→ReLU layer ([`ConvBnRelu`] /
+// [`DepthwiseBnRelu`]): the folded norm starts as identity and
+// [`ff_nn::Layer::calibrate`] fits it from sample frames (DESIGN.md S2).
+// Fusing the unit executes its three stages in a single pass over the
+// activations — the separate element-wise passes were costing more than the
+// convolutions themselves at Figure 5 geometry.
 
 #[cfg(test)]
 mod tests {
@@ -183,8 +178,14 @@ mod tests {
         // Classic MobileNet at 224×224: conv4_2/sep → 14×14×512,
         // conv5_6/sep → 7×7×1024.
         let net = MobileNetConfig::default().build();
-        assert_eq!(net.shape_at(&[224, 224, 3], LAYER_LOCALIZED_TAP), vec![14, 14, 512]);
-        assert_eq!(net.shape_at(&[224, 224, 3], LAYER_FULL_FRAME_TAP), vec![7, 7, 1024]);
+        assert_eq!(
+            net.shape_at(&[224, 224, 3], LAYER_LOCALIZED_TAP),
+            vec![14, 14, 512]
+        );
+        assert_eq!(
+            net.shape_at(&[224, 224, 3], LAYER_FULL_FRAME_TAP),
+            vec![7, 7, 1024]
+        );
     }
 
     #[test]
@@ -193,8 +194,14 @@ mod tests {
         // (floor convention); our SAME padding gives the ceil variant
         // 68×120 / 34×60 — same stride-16/32 geometry.
         let net = MobileNetConfig::default().build();
-        assert_eq!(net.shape_at(&[1080, 1920, 3], LAYER_LOCALIZED_TAP), vec![68, 120, 512]);
-        assert_eq!(net.shape_at(&[1080, 1920, 3], LAYER_FULL_FRAME_TAP), vec![34, 60, 1024]);
+        assert_eq!(
+            net.shape_at(&[1080, 1920, 3], LAYER_LOCALIZED_TAP),
+            vec![68, 120, 512]
+        );
+        assert_eq!(
+            net.shape_at(&[1080, 1920, 3], LAYER_FULL_FRAME_TAP),
+            vec![34, 60, 1024]
+        );
     }
 
     #[test]
@@ -219,8 +226,12 @@ mod tests {
 
     #[test]
     fn width_multiplier_scales_cost_quadratically() {
-        let full = MobileNetConfig::default().build().multiply_adds(&[128, 128, 3]);
-        let half = MobileNetConfig::with_width(0.5).build().multiply_adds(&[128, 128, 3]);
+        let full = MobileNetConfig::default()
+            .build()
+            .multiply_adds(&[128, 128, 3]);
+        let half = MobileNetConfig::with_width(0.5)
+            .build()
+            .multiply_adds(&[128, 128, 3]);
         let ratio = full as f64 / half as f64;
         assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
     }
@@ -231,7 +242,10 @@ mod tests {
         let net = cfg.build();
         let shape = net.shape_at(&[96, 160, 3], LAYER_LOCALIZED_TAP);
         assert_eq!(shape[2], cfg.tap_channels(LAYER_LOCALIZED_TAP));
-        assert_eq!(shape[0], (96usize).div_ceil(cfg.tap_stride(LAYER_LOCALIZED_TAP)));
+        assert_eq!(
+            shape[0],
+            (96usize).div_ceil(cfg.tap_stride(LAYER_LOCALIZED_TAP))
+        );
         assert_eq!(cfg.tap_stride(LAYER_FULL_FRAME_TAP), 32);
     }
 
@@ -255,6 +269,9 @@ mod tests {
         let mut a = MobileNetConfig::with_width(0.25).build();
         let mut b = MobileNetConfig::with_width(0.25).build();
         let x = ff_tensor::Tensor::filled(vec![32, 32, 3], 0.5);
-        assert_eq!(a.forward(&x, Phase::Inference), b.forward(&x, Phase::Inference));
+        assert_eq!(
+            a.forward(&x, Phase::Inference),
+            b.forward(&x, Phase::Inference)
+        );
     }
 }

@@ -102,7 +102,10 @@ mod tests {
     fn paper_formula_examples() {
         // Sanity-check the exact §4.5 formulas.
         assert_eq!(conv_madds(33, 60, 1024, 1, 32), 33 * 60 * 1024 * 32);
-        assert_eq!(separable_madds(67, 120, 512, 3, 16), 67 * 120 * 512 * (9 + 16));
+        assert_eq!(
+            separable_madds(67, 120, 512, 3, 16),
+            67 * 120 * 512 * (9 + 16)
+        );
         assert_eq!(dense_madds(4, 6, 32, 200), 200 * 4 * 6 * 32);
     }
 

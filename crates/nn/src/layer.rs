@@ -1,6 +1,6 @@
 //! The [`Layer`] trait: forward/backward execution plus the cost model hooks.
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::Param;
 
@@ -29,6 +29,20 @@ pub trait Layer: Send {
 
     /// Runs the layer. In [`Phase::Train`] caches state for [`Self::backward`].
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor;
+
+    /// Runs the layer with scratch buffers drawn from (and returned to) a
+    /// [`Workspace`].
+    ///
+    /// Semantics are identical to [`Self::forward`]; the returned tensor's
+    /// buffer may come from `ws`, and the caller is expected to
+    /// [`Workspace::recycle`] it once consumed — that cycle is what makes a
+    /// warmed-up streaming forward pass allocation-free. The default
+    /// implementation ignores `ws` and allocates like `forward`; hot layers
+    /// (convolutions, activations, pooling, dense) override it.
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.forward(x, phase)
+    }
 
     /// Pops the most recent cached forward state and back-propagates.
     ///

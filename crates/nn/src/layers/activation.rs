@@ -1,6 +1,6 @@
 //! Element-wise activations: ReLU, ReLU6 (MobileNet's clamp), sigmoid.
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::{Layer, Phase};
 
@@ -26,7 +26,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Activation { kind, cache: Vec::new() }
+        Activation {
+            kind,
+            cache: Vec::new(),
+        }
     }
 
     /// The configured nonlinearity.
@@ -45,11 +48,19 @@ impl Layer for Activation {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        let y = match self.kind {
-            ActivationKind::Relu => x.map(|v| v.max(0.0)),
-            ActivationKind::Relu6 => x.map(|v| v.clamp(0.0, 6.0)),
-            ActivationKind::Sigmoid => x.map(crate::loss::sigmoid),
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        let mut y = ws.take(x.dims());
+        let f: fn(f32) -> f32 = match self.kind {
+            ActivationKind::Relu => |v| v.max(0.0),
+            ActivationKind::Relu6 => |v| v.clamp(0.0, 6.0),
+            ActivationKind::Sigmoid => crate::loss::sigmoid,
         };
+        for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *o = f(v);
+        }
         if phase == Phase::Train {
             // ReLUs need the input sign; sigmoid needs the output. Cache
             // whichever the backward formula uses.
@@ -62,7 +73,10 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cached = self.cache.pop().expect("Activation::backward without cached forward");
+        let cached = self
+            .cache
+            .pop()
+            .expect("Activation::backward without cached forward");
         match self.kind {
             ActivationKind::Relu => grad_out.zip_map(&cached, |g, x| if x > 0.0 { g } else { 0.0 }),
             ActivationKind::Relu6 => {
@@ -88,21 +102,30 @@ mod tests {
     #[test]
     fn relu_clamps_negative() {
         let mut a = Activation::new(ActivationKind::Relu);
-        let y = a.forward(&Tensor::from_vec(vec![3], vec![-1., 0., 2.]), Phase::Inference);
+        let y = a.forward(
+            &Tensor::from_vec(vec![3], vec![-1., 0., 2.]),
+            Phase::Inference,
+        );
         assert_eq!(y.data(), &[0., 0., 2.]);
     }
 
     #[test]
     fn relu6_clamps_both_sides() {
         let mut a = Activation::new(ActivationKind::Relu6);
-        let y = a.forward(&Tensor::from_vec(vec![3], vec![-1., 5., 9.]), Phase::Inference);
+        let y = a.forward(
+            &Tensor::from_vec(vec![3], vec![-1., 5., 9.]),
+            Phase::Inference,
+        );
         assert_eq!(y.data(), &[0., 5., 6.]);
     }
 
     #[test]
     fn sigmoid_range_and_midpoint() {
         let mut a = Activation::new(ActivationKind::Sigmoid);
-        let y = a.forward(&Tensor::from_vec(vec![3], vec![-20., 0., 20.]), Phase::Inference);
+        let y = a.forward(
+            &Tensor::from_vec(vec![3], vec![-20., 0., 20.]),
+            Phase::Inference,
+        );
         assert!(y.data()[0] < 1e-6);
         assert_eq!(y.data()[1], 0.5);
         assert!(y.data()[2] > 1.0 - 1e-6);
@@ -129,7 +152,9 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (a.forward(&xp, Phase::Inference).sum() - a.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
+            let num = (a.forward(&xp, Phase::Inference).sum()
+                - a.forward(&xm, Phase::Inference).sum())
+                / (2.0 * eps);
             assert!((num - g.data()[i]).abs() < 1e-4);
         }
     }

@@ -1,6 +1,11 @@
-//! Standard 2-D convolution, lowered to GEMM through im2col.
+//! Standard 2-D convolution, lowered to GEMM through im2col — or fed to the
+//! GEMM directly for 1×1 stride-1 kernels, whose im2col matrix is exactly
+//! the input feature map reinterpreted as `[positions, channels]`.
 
-use ff_tensor::{col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, Conv2dGeometry, Padding, Tensor};
+use ff_tensor::{
+    col2im, gemm, im2col_into, matmul_transpose_a, matmul_transpose_b, Conv2dGeometry, Padding,
+    Tensor, Workspace,
+};
 use rand::SeedableRng;
 
 use crate::{Layer, Param, Phase};
@@ -69,8 +74,16 @@ impl Conv2d {
     }
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
-        assert_eq!(in_shape.len(), 3, "Conv2d expects HWC input, got {in_shape:?}");
-        assert_eq!(in_shape[2], self.in_c, "Conv2d expects {} channels, got {}", self.in_c, in_shape[2]);
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "Conv2d expects HWC input, got {in_shape:?}"
+        );
+        assert_eq!(
+            in_shape[2], self.in_c,
+            "Conv2d expects {} channels, got {}",
+            self.in_c, in_shape[2]
+        );
         Conv2dGeometry::resolve(
             (in_shape[0], in_shape[1], in_shape[2]),
             (self.kh, self.kw),
@@ -86,9 +99,46 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         let geo = self.geometry(x.dims());
-        let cols = im2col(x, &geo);
-        let mut out = matmul(&cols, &self.weight.value);
+        let positions = geo.positions();
+        let mut out = ws.take(&[positions, self.out_c]);
+        // 1×1 stride-1 kernels (ubiquitous: every pointwise conv in
+        // MobileNet and the full-frame MC) skip im2col entirely — the
+        // input feature map *is* the im2col matrix.
+        if self.kh == 1 && self.kw == 1 && self.stride == 1 {
+            gemm(
+                x.data(),
+                self.weight.value.data(),
+                out.data_mut(),
+                positions,
+                self.in_c,
+                self.out_c,
+            );
+            if phase == Phase::Train {
+                let cols = x.clone().reshape(vec![positions, self.in_c]);
+                self.cache.push((geo, cols));
+            }
+        } else {
+            let mut cols = ws.take(&[positions, geo.fan_in()]);
+            im2col_into(x, &geo, &mut cols);
+            gemm(
+                cols.data(),
+                self.weight.value.data(),
+                out.data_mut(),
+                positions,
+                geo.fan_in(),
+                self.out_c,
+            );
+            if phase == Phase::Train {
+                self.cache.push((geo, cols));
+            } else {
+                ws.recycle(cols);
+            }
+        }
         // Broadcast-add bias over positions.
         let b = self.bias.value.data();
         for row in out.data_mut().chunks_mut(self.out_c) {
@@ -96,17 +146,16 @@ impl Layer for Conv2d {
                 *o += bv;
             }
         }
-        if phase == Phase::Train {
-            self.cache.push((geo, cols));
-        }
-        out.reshape(vec![geo.out_h, geo.out_w, self.out_c])
+        out.reshape_to(&[geo.out_h, geo.out_w, self.out_c]);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (geo, cols) = self.cache.pop().expect("Conv2d::backward without cached forward");
-        let g = grad_out
-            .clone()
-            .reshape(vec![geo.positions(), self.out_c]);
+        let (geo, cols) = self
+            .cache
+            .pop()
+            .expect("Conv2d::backward without cached forward");
+        let g = grad_out.clone().reshape(vec![geo.positions(), self.out_c]);
         self.weight.accumulate(&matmul_transpose_a(&cols, &g));
         // Bias gradient: column sums.
         let mut db = Tensor::zeros(vec![self.out_c]);
@@ -150,7 +199,14 @@ mod tests {
     use super::*;
 
     /// Direct (quadruple-loop) reference convolution.
-    fn naive_conv(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, stride: usize, out_c: usize) -> Tensor {
+    fn naive_conv(
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        k: usize,
+        stride: usize,
+        out_c: usize,
+    ) -> Tensor {
         let (h, wd, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let geo = Conv2dGeometry::resolve((h, wd, c), (k, k), stride, Padding::Same);
         let mut out = Tensor::zeros(vec![geo.out_h, geo.out_w, out_c]);
@@ -184,7 +240,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for &(h, w, c, k, s, f) in &[(5, 5, 3, 3, 1, 4), (6, 4, 2, 3, 2, 5), (4, 4, 1, 1, 1, 2)] {
             let mut conv = Conv2d::new(k, s, c, f, 99);
-            let x = Tensor::from_vec(vec![h, w, c], (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let x = Tensor::from_vec(
+                vec![h, w, c],
+                (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
             let got = conv.forward(&x, Phase::Inference);
             let want = naive_conv(&x, &conv.weight.value, &conv.bias.value, k, s, f);
             assert!(got.approx_eq(&want, 1e-4), "{h}x{w}x{c} k{k} s{s} f{f}");
@@ -196,7 +255,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let mut conv = Conv2d::new(3, 1, 2, 3, 7);
-        let x = Tensor::from_vec(vec![4, 4, 2], (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![4, 4, 2],
+            (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         // Loss = sum(out); numerical vs analytic gradient for a few weights.
         let out = conv.forward(&x, Phase::Train);
         let ones = Tensor::filled(out.dims().to_vec(), 1.0);
@@ -212,7 +274,11 @@ mod tests {
             let fp = conv.forward(&xp, Phase::Inference).sum();
             let fm = conv.forward(&xm, Phase::Inference).sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]: {num} vs {}", dx.data()[i]);
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-2,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
         }
         // Weight gradient.
         for &i in &[0usize, 10, 50] {
@@ -257,7 +323,7 @@ mod tests {
         let g = Tensor::filled(vec![2, 2, 2], 1.0);
         let _ = conv.backward(&g); // pops x2
         let _ = conv.backward(&g); // pops x1
-        // dW = Σ_pos x·g accumulated over both frames: (1+2)·4 positions = 12 per filter.
+                                   // dW = Σ_pos x·g accumulated over both frames: (1+2)·4 positions = 12 per filter.
         assert_eq!(conv.weight.grad.data(), &[12.0, 12.0]);
     }
 }

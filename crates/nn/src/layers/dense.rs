@@ -1,6 +1,6 @@
 //! Fully-connected layers and the flatten adapter in front of them.
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 use rand::SeedableRng;
 
 use crate::{Layer, Param, Phase};
@@ -49,6 +49,10 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.len(),
             self.in_len,
@@ -56,17 +60,27 @@ impl Layer for Dense {
             self.in_len,
             x.dims()
         );
-        let flat = x.clone().reshape(vec![1, self.in_len]);
-        let mut out = flat.matmul(&self.weight.value).reshape(vec![self.out_len]);
+        let mut out = ws.take(&[self.out_len]);
+        ff_tensor::gemm(
+            x.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+            1,
+            self.in_len,
+            self.out_len,
+        );
         out.add_assign(&self.bias.value);
         if phase == Phase::Train {
-            self.cache.push(flat);
+            self.cache.push(x.clone().reshape(vec![1, self.in_len]));
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.pop().expect("Dense::backward without cached forward");
+        let x = self
+            .cache
+            .pop()
+            .expect("Dense::backward without cached forward");
         let g = grad_out.clone().reshape(vec![1, self.out_len]);
         self.weight
             .accumulate(&ff_tensor::matmul_transpose_a(&x, &g));
@@ -80,7 +94,11 @@ impl Layer for Dense {
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
         let n: usize = in_shape.iter().product();
-        assert_eq!(n, self.in_len, "Dense expects {} inputs, got {in_shape:?}", self.in_len);
+        assert_eq!(
+            n, self.in_len,
+            "Dense expects {} inputs, got {in_shape:?}",
+            self.in_len
+        );
         vec![self.out_len]
     }
 
@@ -124,8 +142,20 @@ impl Layer for Flatten {
         x.clone().reshape(vec![x.len()])
     }
 
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        if phase == Phase::Train {
+            self.cache.push(x.dims().to_vec());
+        }
+        let mut out = ws.take(&[x.len()]);
+        out.data_mut().copy_from_slice(x.data());
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self.cache.pop().expect("Flatten::backward without cached forward");
+        let dims = self
+            .cache
+            .pop()
+            .expect("Flatten::backward without cached forward");
         grad_out.clone().reshape(dims)
     }
 
@@ -165,7 +195,9 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (d.forward(&xp, Phase::Inference).sum() - d.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
+            let num = (d.forward(&xp, Phase::Inference).sum()
+                - d.forward(&xm, Phase::Inference).sum())
+                / (2.0 * eps);
             assert!((num - dx.data()[i]).abs() < 1e-3);
         }
         for &i in &[0usize, 7, 17] {

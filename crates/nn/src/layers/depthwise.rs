@@ -1,7 +1,7 @@
 //! Depthwise 2-D convolution (channel multiplier 1), the building block of
 //! MobileNet's separable convolutions.
 
-use ff_tensor::{Conv2dGeometry, Padding, Tensor};
+use ff_tensor::{Conv2dGeometry, Padding, Tensor, Workspace};
 use rand::SeedableRng;
 
 use crate::{Layer, Param, Phase};
@@ -23,7 +23,11 @@ pub struct DepthwiseConv2d {
 
 impl std::fmt::Debug for DepthwiseConv2d {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DepthwiseConv2d({0}x{0} s{1} c{2})", self.k, self.stride, self.c)
+        write!(
+            f,
+            "DepthwiseConv2d({0}x{0} s{1} c{2})",
+            self.k, self.stride, self.c
+        )
     }
 }
 
@@ -46,7 +50,11 @@ impl DepthwiseConv2d {
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
         assert_eq!(in_shape.len(), 3, "DepthwiseConv2d expects HWC input");
-        assert_eq!(in_shape[2], self.c, "DepthwiseConv2d expects {} channels, got {}", self.c, in_shape[2]);
+        assert_eq!(
+            in_shape[2], self.c,
+            "DepthwiseConv2d expects {} channels, got {}",
+            self.c, in_shape[2]
+        );
         Conv2dGeometry::resolve(
             (in_shape[0], in_shape[1], in_shape[2]),
             (self.k, self.k),
@@ -56,44 +64,84 @@ impl DepthwiseConv2d {
     }
 }
 
+/// The shared depthwise-convolution kernel: bias-seeded accumulation over a
+/// per-cell-clipped tap rectangle (branch-free inner loops that vectorize
+/// over channels), with an optional fused `·scale + shift → ReLU` tail
+/// applied while each cell is register/L1-resident.
+///
+/// Used by both [`DepthwiseConv2d`] (no tail) and
+/// [`crate::layers::fused::DepthwiseBnRelu`] (folded-norm tail), so the two
+/// layers cannot drift apart.
+pub(crate) fn depthwise_forward(
+    x: &Tensor,
+    geo: &ff_tensor::Conv2dGeometry,
+    k: usize,
+    weight: &[f32],
+    bias: &[f32],
+    norm_relu_tail: Option<(&[f32], &[f32])>,
+    out: &mut Tensor,
+) {
+    let c = geo.in_c;
+    let (in_h, in_w) = (geo.in_h, geo.in_w);
+    let xd = x.data();
+    let out_w = geo.out_w;
+    let stride = geo.stride;
+    let (pad_top, pad_left) = (geo.pad_top, geo.pad_left);
+    ff_tensor::parallel::parallel_rows_mut(out.data_mut(), out_w * c, |oy, row| {
+        let y0 = (oy * stride) as isize - pad_top as isize;
+        for ox in 0..out_w {
+            let cell = &mut row[ox * c..(ox + 1) * c];
+            cell.copy_from_slice(bias);
+            let x0 = (ox * stride) as isize - pad_left as isize;
+            // Clip the tap rectangle once per cell; the inner loops are
+            // then branch-free and vectorize over channels.
+            let ky_lo = (-y0).clamp(0, k as isize) as usize;
+            let ky_hi = ((in_h as isize - y0).clamp(0, k as isize)) as usize;
+            let kx_lo = (-x0).clamp(0, k as isize) as usize;
+            let kx_hi = ((in_w as isize - x0).clamp(0, k as isize)) as usize;
+            for ky in ky_lo..ky_hi {
+                let y = (y0 + ky as isize) as usize;
+                for kx in kx_lo..kx_hi {
+                    let xx = (x0 + kx as isize) as usize;
+                    let xs = &xd[(y * in_w + xx) * c..][..c];
+                    let ws = &weight[(ky * k + kx) * c..][..c];
+                    for ((o, &xv), &wv) in cell.iter_mut().zip(xs).zip(ws) {
+                        *o += xv * wv;
+                    }
+                }
+            }
+            if let Some((scale, shift)) = norm_relu_tail {
+                for ((o, &s), &t) in cell.iter_mut().zip(scale).zip(shift) {
+                    *o = (*o * s + t).max(0.0);
+                }
+            }
+        }
+    });
+}
+
 impl Layer for DepthwiseConv2d {
     fn layer_type(&self) -> &'static str {
         "depthwise_conv2d"
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         let geo = self.geometry(x.dims());
-        let c = self.c;
-        let (in_h, in_w) = (geo.in_h, geo.in_w);
-        let k = self.k;
-        let (wd, bd, xd) = (self.weight.value.data(), self.bias.value.data(), x.data());
-        let mut out = Tensor::zeros(vec![geo.out_h, geo.out_w, c]);
-        let out_w = geo.out_w;
-        ff_tensor::parallel::parallel_rows_mut(out.data_mut(), out_w * c, |oy, row| {
-            for ox in 0..out_w {
-                let cell = &mut row[ox * c..(ox + 1) * c];
-                cell.copy_from_slice(bd);
-                let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
-                let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
-                for ky in 0..k {
-                    let y = y0 + ky as isize;
-                    if y < 0 || y >= in_h as isize {
-                        continue;
-                    }
-                    for kx in 0..k {
-                        let xx = x0 + kx as isize;
-                        if xx < 0 || xx >= in_w as isize {
-                            continue;
-                        }
-                        let xs = &xd[(y as usize * in_w + xx as usize) * c..][..c];
-                        let ws = &wd[(ky * k + kx) * c..][..c];
-                        for ((o, &xv), &wv) in cell.iter_mut().zip(xs).zip(ws) {
-                            *o += xv * wv;
-                        }
-                    }
-                }
-            }
-        });
+        // Every output cell is seeded from the bias inside the kernel, so
+        // stale workspace contents are fine.
+        let mut out = ws.take(&[geo.out_h, geo.out_w, self.c]);
+        depthwise_forward(
+            x,
+            &geo,
+            self.k,
+            self.weight.value.data(),
+            self.bias.value.data(),
+            None,
+            &mut out,
+        );
         if phase == Phase::Train {
             self.cache.push((geo, x.clone()));
         }
@@ -215,7 +263,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut dw = DepthwiseConv2d::new(3, 2, 2, 4);
-        let x = Tensor::from_vec(vec![5, 5, 2], (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![5, 5, 2],
+            (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         let out = dw.forward(&x, Phase::Train);
         let ones = Tensor::filled(out.dims().to_vec(), 1.0);
         let dx = dw.backward(&ones);
@@ -225,7 +276,9 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (dw.forward(&xp, Phase::Inference).sum() - dw.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
+            let num = (dw.forward(&xp, Phase::Inference).sum()
+                - dw.forward(&xm, Phase::Inference).sum())
+                / (2.0 * eps);
             assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
         }
         for &i in &[0usize, 9, 17] {

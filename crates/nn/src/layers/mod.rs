@@ -4,6 +4,7 @@ pub mod activation;
 pub mod conv;
 pub mod dense;
 pub mod depthwise;
+pub mod fused;
 pub mod norm;
 pub mod pool;
 pub mod separable;

@@ -9,7 +9,7 @@
 //! correlation collapse that otherwise makes deep random-feature networks
 //! useless (DESIGN.md S2).
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::{Layer, Phase};
 
@@ -68,6 +68,23 @@ impl Layer for ChannelNorm {
         self.apply(x)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, _phase: Phase, ws: &mut Workspace) -> Tensor {
+        let c = self.scale.len();
+        assert_eq!(
+            x.dims().last().copied().unwrap_or(0),
+            c,
+            "ChannelNorm expects {c} channels, got {:?}",
+            x.dims()
+        );
+        let mut out = ws.take(x.dims());
+        for (cell, src) in out.data_mut().chunks_mut(c).zip(x.data().chunks(c)) {
+            for (((v, &xv), &s), &b) in cell.iter_mut().zip(src).zip(&self.scale).zip(&self.shift) {
+                *v = xv * s + b;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         // Non-trainable (folded); gradient just rescales.
         let c = self.scale.len();
@@ -91,44 +108,56 @@ impl Layer for ChannelNorm {
     }
 
     fn calibrate(&mut self, samples: Vec<Tensor>) -> Vec<Tensor> {
-        let c = self.scale.len();
-        let mut count = 0u64;
-        let mut mean = vec![0.0f64; c];
-        for s in &samples {
-            for cell in s.data().chunks(c) {
-                for (m, &v) in mean.iter_mut().zip(cell) {
-                    *m += v as f64;
-                }
-            }
-            count += (s.len() / c) as u64;
-        }
-        if count > 0 {
-            for m in &mut mean {
-                *m /= count as f64;
-            }
-            let mut var = vec![0.0f64; c];
-            for s in &samples {
-                for cell in s.data().chunks(c) {
-                    for ((vv, &v), &m) in var.iter_mut().zip(cell).zip(&mean) {
-                        let d = v as f64 - m;
-                        *vv += d * d;
-                    }
-                }
-            }
-            for ((sc, sh), (m, v)) in self
-                .scale
-                .iter_mut()
-                .zip(&mut self.shift)
-                .zip(mean.iter().zip(&var))
-            {
-                let std = (v / count as f64).sqrt().max(1e-4);
-                *sc = (1.0 / std) as f32;
-                *sh = (-m / std) as f32;
-            }
+        if let Some((scale, shift)) = fit_channel_stats(&samples, self.scale.len()) {
+            self.scale = scale;
+            self.shift = shift;
             self.calibrated = true;
         }
         samples.iter().map(|s| self.apply(s)).collect()
     }
+}
+
+/// Fits per-channel standardization `(scale, shift)` from sample
+/// activations: `scale = 1/std`, `shift = -mean/std`, with the std floored
+/// at `1e-4`. Returns `None` when the samples are empty.
+///
+/// Shared by [`ChannelNorm`] and the fused units in
+/// [`crate::layers::fused`], so the two calibration paths stay numerically
+/// identical (f64 accumulation, same epsilon).
+pub(crate) fn fit_channel_stats(samples: &[Tensor], c: usize) -> Option<(Vec<f32>, Vec<f32>)> {
+    let mut count = 0u64;
+    let mut mean = vec![0.0f64; c];
+    for s in samples {
+        for cell in s.data().chunks(c) {
+            for (m, &v) in mean.iter_mut().zip(cell) {
+                *m += v as f64;
+            }
+        }
+        count += (s.len() / c) as u64;
+    }
+    if count == 0 {
+        return None;
+    }
+    for m in &mut mean {
+        *m /= count as f64;
+    }
+    let mut var = vec![0.0f64; c];
+    for s in samples {
+        for cell in s.data().chunks(c) {
+            for ((vv, &v), &m) in var.iter_mut().zip(cell).zip(&mean) {
+                let d = v as f64 - m;
+                *vv += d * d;
+            }
+        }
+    }
+    let mut scale = vec![0.0f32; c];
+    let mut shift = vec![0.0f32; c];
+    for ((sc, sh), (m, v)) in scale.iter_mut().zip(&mut shift).zip(mean.iter().zip(&var)) {
+        let std = (v / count as f64).sqrt().max(1e-4);
+        *sc = (1.0 / std) as f32;
+        *sh = (-m / std) as f32;
+    }
+    Some((scale, shift))
 }
 
 #[cfg(test)]
@@ -165,7 +194,14 @@ mod tests {
         for ch in 0..2 {
             let vals: Vec<f32> = out
                 .iter()
-                .flat_map(|t| t.data().iter().skip(ch).step_by(2).copied().collect::<Vec<_>>())
+                .flat_map(|t| {
+                    t.data()
+                        .iter()
+                        .skip(ch)
+                        .step_by(2)
+                        .copied()
+                        .collect::<Vec<_>>()
+                })
                 .collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
             let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;

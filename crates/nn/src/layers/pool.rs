@@ -2,7 +2,7 @@
 //! by the full-frame microclassifier ("max over the grid of logits") and the
 //! MobileNet head (global average).
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::{Layer, Phase};
 
@@ -23,13 +23,27 @@ impl MaxPool2d {
     ///
     /// Panics if `k == 0` or `stride == 0`.
     pub fn new(k: usize, stride: usize) -> Self {
-        assert!(k > 0 && stride > 0, "pool kernel and stride must be positive");
-        MaxPool2d { k, stride, cache: Vec::new() }
+        assert!(
+            k > 0 && stride > 0,
+            "pool kernel and stride must be positive"
+        );
+        MaxPool2d {
+            k,
+            stride,
+            cache: Vec::new(),
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.k && w >= self.k, "pool {0}x{0} does not fit {h}x{w}", self.k);
-        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+        assert!(
+            h >= self.k && w >= self.k,
+            "pool {0}x{0} does not fit {h}x{w}",
+            self.k
+        );
+        (
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
     }
 }
 
@@ -39,10 +53,21 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         let (h, w, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let (oh, ow) = self.out_hw(h, w);
-        let mut out = Tensor::zeros(vec![oh, ow, c]);
-        let mut arg = vec![0usize; oh * ow * c];
+        let mut out = ws.take(&[oh, ow, c]);
+        let mut arg = vec![
+            0usize;
+            if phase == Phase::Train {
+                oh * ow * c
+            } else {
+                0
+            }
+        ];
         for oy in 0..oh {
             for ox in 0..ow {
                 for ch in 0..c {
@@ -59,7 +84,9 @@ impl Layer for MaxPool2d {
                         }
                     }
                     out.set3(oy, ox, ch, best);
-                    arg[(oy * ow + ox) * c + ch] = best_i;
+                    if phase == Phase::Train {
+                        arg[(oy * ow + ox) * c + ch] = best_i;
+                    }
                 }
             }
         }
@@ -70,7 +97,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (dims, arg) = self.cache.pop().expect("MaxPool2d::backward without cached forward");
+        let (dims, arg) = self
+            .cache
+            .pop()
+            .expect("MaxPool2d::backward without cached forward");
         let mut dx = Tensor::zeros(dims);
         for (g, &i) in grad_out.data().iter().zip(&arg) {
             dx.data_mut()[i] += g;
@@ -111,16 +141,22 @@ impl Layer for GlobalMaxPool {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         let (h, w, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         assert!(h * w > 0, "global max over empty grid");
-        let mut out = Tensor::filled(vec![c], f32::NEG_INFINITY);
-        let mut arg = vec![0usize; c];
+        let mut out = ws.take(&[c]);
+        out.data_mut().fill(f32::NEG_INFINITY);
+        let mut arg = vec![0usize; if phase == Phase::Train { c } else { 0 }];
         for pos in 0..h * w {
-            for ch in 0..c {
-                let v = x.data()[pos * c + ch];
+            for (ch, &v) in x.data()[pos * c..(pos + 1) * c].iter().enumerate() {
                 if v > out.data()[ch] {
                     out.data_mut()[ch] = v;
-                    arg[ch] = pos * c + ch;
+                    if phase == Phase::Train {
+                        arg[ch] = pos * c + ch;
+                    }
                 }
             }
         }
@@ -131,7 +167,10 @@ impl Layer for GlobalMaxPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (dims, arg) = self.cache.pop().expect("GlobalMaxPool::backward without cached forward");
+        let (dims, arg) = self
+            .cache
+            .pop()
+            .expect("GlobalMaxPool::backward without cached forward");
         let mut dx = Tensor::zeros(dims);
         for (g, &i) in grad_out.data().iter().zip(&arg) {
             dx.data_mut()[i] += g;

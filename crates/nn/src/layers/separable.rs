@@ -2,7 +2,7 @@
 //! optionally with an activation in between — the unit MobileNet and the
 //! paper's localized microclassifier are built from.
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::layers::activation::{Activation, ActivationKind};
 use crate::{Conv2d, DepthwiseConv2d, Layer, Param, Phase};
@@ -60,11 +60,18 @@ impl Layer for SeparableConv2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        let mut y = self.dw.forward(x, phase);
+        self.forward_ws(x, phase, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        let mut y = self.dw.forward_ws(x, phase, ws);
         if let Some(act) = &mut self.inner {
-            y = act.forward(&y, phase);
+            let a = act.forward_ws(&y, phase, ws);
+            ws.recycle(std::mem::replace(&mut y, a));
         }
-        self.pw.forward(&y, phase)
+        let out = self.pw.forward_ws(&y, phase, ws);
+        ws.recycle(y);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -111,7 +118,10 @@ mod tests {
     fn cost_matches_paper_formula() {
         // (H/S)(W/S)·M·(K²+F): 10x10 input, s2 → 5x5, M=16, K=3, F=32.
         let sep = SeparableConv2d::new(3, 2, 16, 32, 0);
-        assert_eq!(sep.multiply_adds(&[10, 10, 16]), (5 * 5 * 16 * (9 + 32)) as u64);
+        assert_eq!(
+            sep.multiply_adds(&[10, 10, 16]),
+            (5 * 5 * 16 * (9 + 32)) as u64
+        );
     }
 
     #[test]
@@ -125,7 +135,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let mut sep = SeparableConv2d::with_inner_activation(3, 1, 2, 3, ActivationKind::Relu, 20);
-        let x = Tensor::from_vec(vec![4, 4, 2], (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![4, 4, 2],
+            (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         let out = sep.forward(&x, Phase::Train);
         let ones = Tensor::filled(out.dims().to_vec(), 1.0);
         let dx = sep.backward(&ones);
@@ -135,8 +148,14 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (sep.forward(&xp, Phase::Inference).sum() - sep.forward(&xm, Phase::Inference).sum()) / (2.0 * eps);
-            assert!((num - dx.data()[i]).abs() < 2e-2, "dx[{i}]: {num} vs {}", dx.data()[i]);
+            let num = (sep.forward(&xp, Phase::Inference).sum()
+                - sep.forward(&xm, Phase::Inference).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
         }
     }
 

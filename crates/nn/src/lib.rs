@@ -62,6 +62,7 @@ pub use layers::activation::{Activation, ActivationKind};
 pub use layers::conv::Conv2d;
 pub use layers::dense::{Dense, Flatten};
 pub use layers::depthwise::DepthwiseConv2d;
+pub use layers::fused::{ConvBnRelu, DepthwiseBnRelu};
 pub use layers::norm::ChannelNorm;
 pub use layers::pool::{GlobalMaxPool, MaxPool2d};
 pub use layers::separable::SeparableConv2d;

@@ -6,7 +6,7 @@
 //! microclassifier. [`Sequential::forward_taps`] stops at the deepest
 //! requested layer, so the extractor never pays for layers no MC consumes.
 
-use ff_tensor::Tensor;
+use ff_tensor::{Tensor, Workspace};
 
 use crate::{Layer, Param, Phase};
 
@@ -94,6 +94,22 @@ impl Sequential {
         cur
     }
 
+    /// Runs the full network with every intermediate drawn from `ws` and
+    /// recycled as soon as the next layer consumes it. The returned tensor's
+    /// buffer comes from `ws`; recycle it when done to keep the steady
+    /// state allocation-free.
+    pub fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        let mut cur: Option<Tensor> = None;
+        for (_, layer) in &mut self.layers {
+            let next = layer.forward_ws(cur.as_ref().unwrap_or(x), phase, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| x.clone())
+    }
+
     /// Runs the network up to and including the named layer, returning its
     /// activation. Inference only (no caches are kept).
     ///
@@ -119,25 +135,109 @@ impl Sequential {
     ///
     /// Panics if any tap name is unknown.
     pub fn forward_taps(&mut self, x: &Tensor, taps: &[&str]) -> Vec<Tensor> {
+        let mut outs = Vec::new();
+        self.forward_taps_ws(x, taps, &mut Workspace::new(), &mut outs);
+        outs
+    }
+
+    /// [`Self::forward_taps`] with all buffers drawn from `ws`: existing
+    /// tensors in `outs` are recycled into `ws` first, then `outs` is
+    /// refilled with tap activations (aligned with `taps`) held in `ws`
+    /// buffers. Streaming callers pass the same `outs`/`ws` pair every
+    /// frame, making steady-state extraction allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tap name is unknown.
+    pub fn forward_taps_ws<S: AsRef<str>>(
+        &mut self,
+        x: &Tensor,
+        taps: &[S],
+        ws: &mut Workspace,
+        outs: &mut Vec<Tensor>,
+    ) {
+        for t in outs.drain(..) {
+            ws.recycle(t);
+        }
+        if taps.is_empty() {
+            return;
+        }
         let indices: Vec<usize> = taps
             .iter()
-            .map(|t| self.index_of(t).unwrap_or_else(|| panic!("unknown tap {t:?}")))
+            .map(|t| {
+                let t = t.as_ref();
+                self.index_of(t)
+                    .unwrap_or_else(|| panic!("unknown tap {t:?}"))
+            })
             .collect();
         let deepest = indices.iter().copied().max().unwrap_or(0);
-        let mut outputs: Vec<Option<Tensor>> = vec![None; taps.len()];
-        if taps.is_empty() {
-            return Vec::new();
-        }
-        let mut cur = x.clone();
+        let mut slots: Vec<Option<Tensor>> = Vec::with_capacity(taps.len());
+        slots.resize_with(taps.len(), || None);
+        let mut cur: Option<Tensor> = None;
         for (i, (_, layer)) in self.layers.iter_mut().enumerate().take(deepest + 1) {
-            cur = layer.forward(&cur, Phase::Inference);
-            for (slot, &want) in outputs.iter_mut().zip(&indices) {
+            let next = layer.forward_ws(cur.as_ref().unwrap_or(x), Phase::Inference, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            for (slot, &want) in slots.iter_mut().zip(&indices) {
                 if want == i {
-                    *slot = Some(cur.clone());
+                    let mut copy = ws.take(next.dims());
+                    copy.data_mut().copy_from_slice(next.data());
+                    *slot = Some(copy);
                 }
             }
+            cur = Some(next);
         }
-        outputs.into_iter().map(|o| o.expect("tap not filled")).collect()
+        if let Some(last) = cur {
+            ws.recycle(last);
+        }
+        outs.extend(slots.into_iter().map(|o| o.expect("tap not filled")));
+    }
+
+    /// [`Self::forward_taps_ws`] with pre-resolved, **ascending** layer
+    /// indices — the fully allocation-free streaming path (no name lookups,
+    /// no slot scratch). `outs` is refilled in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is not strictly ascending or any index is out of
+    /// bounds.
+    pub fn forward_taps_indices_ws(
+        &mut self,
+        x: &Tensor,
+        indices: &[usize],
+        ws: &mut Workspace,
+        outs: &mut Vec<Tensor>,
+    ) {
+        for t in outs.drain(..) {
+            ws.recycle(t);
+        }
+        let Some(&deepest) = indices.last() else {
+            return;
+        };
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "tap indices must be strictly ascending"
+        );
+        assert!(deepest < self.layers.len(), "tap index out of bounds");
+        let mut next_tap = 0;
+        let mut cur: Option<Tensor> = None;
+        for (i, (_, layer)) in self.layers.iter_mut().enumerate().take(deepest + 1) {
+            let next = layer.forward_ws(cur.as_ref().unwrap_or(x), Phase::Inference, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            while next_tap < indices.len() && indices[next_tap] == i {
+                let mut copy = ws.take(next.dims());
+                copy.data_mut().copy_from_slice(next.data());
+                outs.push(copy);
+                next_tap += 1;
+            }
+            cur = Some(next);
+        }
+        if let Some(last) = cur {
+            ws.recycle(last);
+        }
     }
 
     /// Back-propagates through all layers in reverse, returning the input
@@ -252,6 +352,10 @@ impl Layer for Sequential {
         Sequential::forward(self, x, phase)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
+        Sequential::forward_ws(self, x, phase, ws)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         Sequential::backward(self, grad_out)
     }
@@ -353,7 +457,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(33);
         let mut net = tiny_net();
-        let x = Tensor::from_vec(vec![8, 8, 1], (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![8, 8, 1],
+            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         let _ = net.forward(&x, Phase::Train);
         let dx = net.backward(&Tensor::filled(vec![1], 1.0));
         let eps = 1e-2;
@@ -404,6 +511,6 @@ mod tests {
         let total = net.multiply_adds(&[8, 8, 1]);
         let to_conv1 = net.multiply_adds_to(&[8, 8, 1], "conv1");
         assert!(total > to_conv1);
-        assert_eq!(to_conv1, 4 * 4 * 1 * 9 * 4);
+        assert_eq!(to_conv1, (4 * 4) * 9 * 4);
     }
 }

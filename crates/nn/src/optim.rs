@@ -19,7 +19,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer (momentum 0.9).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.9, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.9,
+            velocity: Vec::new(),
+        }
     }
 
     /// Sets the momentum coefficient.
@@ -35,9 +39,16 @@ impl Sgd {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims().to_vec())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims().to_vec()))
+                .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer param list changed");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer param list changed"
+        );
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
             for ((vv, &g), x) in v
                 .data_mut()
@@ -95,7 +106,10 @@ impl Adam {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims().to_vec())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims().to_vec()))
+                .collect();
             self.v = self.m.clone();
         }
         assert_eq!(self.m.len(), params.len(), "optimizer param list changed");

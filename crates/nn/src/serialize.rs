@@ -71,7 +71,10 @@ pub fn save_weights<W: Write>(net: &mut Sequential, w: W) -> Result<(), Serializ
 /// # Errors
 ///
 /// Returns [`SerializeError::Io`] on write failure.
-pub fn save_params<W: Write>(params: Vec<&mut crate::Param>, mut w: W) -> Result<(), SerializeError> {
+pub fn save_params<W: Write>(
+    params: Vec<&mut crate::Param>,
+    mut w: W,
+) -> Result<(), SerializeError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&(params.len() as u32).to_le_bytes())?;
@@ -103,7 +106,10 @@ pub fn load_weights<R: Read>(net: &mut Sequential, r: R) -> Result<(), Serialize
 /// # Errors
 ///
 /// Same as [`load_weights`].
-pub fn load_params<R: Read>(mut params: Vec<&mut crate::Param>, mut r: R) -> Result<(), SerializeError> {
+pub fn load_params<R: Read>(
+    mut params: Vec<&mut crate::Param>,
+    mut r: R,
+) -> Result<(), SerializeError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -111,7 +117,9 @@ pub fn load_params<R: Read>(mut params: Vec<&mut crate::Param>, mut r: R) -> Res
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
-        return Err(SerializeError::Format(format!("unsupported version {version}")));
+        return Err(SerializeError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let n = read_u32(&mut r)? as usize;
     if n != params.len() {
@@ -123,7 +131,9 @@ pub fn load_params<R: Read>(mut params: Vec<&mut crate::Param>, mut r: R) -> Res
     for (i, p) in params.iter_mut().enumerate() {
         let rank = read_u32(&mut r)? as usize;
         if rank > 8 {
-            return Err(SerializeError::Format(format!("param {i}: rank {rank} too large")));
+            return Err(SerializeError::Format(format!(
+                "param {i}: rank {rank} too large"
+            )));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {

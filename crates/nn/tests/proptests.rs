@@ -17,7 +17,12 @@ fn random_tensor(dims: Vec<usize>, seed: u64) -> Tensor {
 
 /// Numerical-vs-analytic input gradient for an arbitrary layer on loss
 /// `L = Σ out`.
-fn gradient_check(layer: &mut dyn Layer, x: &Tensor, tol: f32, probes: &[usize]) -> Result<(), String> {
+fn gradient_check(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    tol: f32,
+    probes: &[usize],
+) -> Result<(), String> {
     let _ = layer.forward(x, Phase::Train);
     let out_shape = layer.out_shape(x.dims());
     let dx = layer.backward(&Tensor::filled(out_shape, 1.0));

@@ -59,7 +59,10 @@ impl Conv2dGeometry {
         assert!(kh > 0 && kw > 0, "kernel must be non-empty");
         let (out_h, out_w, pad_top, pad_left) = match padding {
             Padding::Valid => {
-                assert!(in_h >= kh && in_w >= kw, "valid conv {kh}x{kw} does not fit {in_h}x{in_w}");
+                assert!(
+                    in_h >= kh && in_w >= kw,
+                    "valid conv {kh}x{kw} does not fit {in_h}x{in_w}"
+                );
                 ((in_h - kh) / stride + 1, (in_w - kw) / stride + 1, 0, 0)
             }
             Padding::Same => {
@@ -103,9 +106,29 @@ impl Conv2dGeometry {
 ///
 /// Panics if `x` is not rank-3 or does not match `geo`'s input shape.
 pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
-    assert_eq!(x.dims(), &[geo.in_h, geo.in_w, geo.in_c], "im2col input shape");
+    let mut out = Tensor::zeros(vec![geo.positions(), geo.fan_in()]);
+    im2col_into(x, geo, &mut out);
+    out
+}
+
+/// [`im2col`] into a pre-allocated `[positions, fan_in]` output (e.g. a
+/// [`crate::Workspace`] buffer). Every element is overwritten.
+///
+/// # Panics
+///
+/// Panics if `x` or `out` do not match `geo`.
+pub fn im2col_into(x: &Tensor, geo: &Conv2dGeometry, out: &mut Tensor) {
+    assert_eq!(
+        x.dims(),
+        &[geo.in_h, geo.in_w, geo.in_c],
+        "im2col input shape"
+    );
     let fan_in = geo.fan_in();
-    let mut out = Tensor::zeros(vec![geo.positions(), fan_in]);
+    assert_eq!(
+        out.dims(),
+        &[geo.positions(), fan_in],
+        "im2col output shape"
+    );
     let xd = x.data();
     let (w, c) = (geo.in_w, geo.in_c);
     let row_c = geo.kw * c; // one kernel row of taps
@@ -136,7 +159,6 @@ pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
             }
         }
     });
-    out
 }
 
 /// Scatters an im2col-shaped gradient back into image space (the adjoint of

@@ -19,7 +19,12 @@ pub fn he_normal<R: Rng>(rng: &mut R, dims: Vec<usize>, fan_in: usize) -> Tensor
 /// Glorot (Xavier) uniform initialization: `U(±sqrt(6 / (fan_in + fan_out)))`.
 ///
 /// Used for dense layers feeding sigmoids.
-pub fn glorot_uniform<R: Rng>(rng: &mut R, dims: Vec<usize>, fan_in: usize, fan_out: usize) -> Tensor {
+pub fn glorot_uniform<R: Rng>(
+    rng: &mut R,
+    dims: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
     uniform(rng, dims, -limit, limit)
 }

@@ -2,8 +2,8 @@
 //!
 //! This crate is the numeric substrate under `ff-nn`: contiguous row-major
 //! tensors (HWC layout for images and feature maps), an
-//! [im2col](im2col()) lowering for convolutions, and a blocked,
-//! optionally multi-threaded [GEMM](matmul()).
+//! [im2col](im2col()) lowering for convolutions, and a packed,
+//! cache-blocked, optionally multi-threaded [GEMM](matmul()).
 //!
 //! Everything here is deliberately simple and allocation-honest: a [`Tensor`]
 //! is a shape vector plus a `Vec<f32>`, and all operators state their cost.
@@ -11,6 +11,27 @@
 //! compute costs of the paper's networks (base DNN vs microclassifiers vs
 //! discrete classifiers) faithful on a CPU, which is what every performance
 //! trend in the paper depends on.
+//!
+//! # Threading model
+//!
+//! Kernels dispatch to a **persistent worker pool** (see [`parallel`]):
+//! workers are spawned once, park on a condvar between jobs, and claim
+//! fixed, contiguous output chunks when a kernel runs. [`parallel::set_threads`]
+//! bounds how many chunks work is split into — the split is a pure function
+//! of the problem size and that setting, and every kernel accumulates each
+//! output element in a fixed order, so **results are bit-for-bit identical
+//! for any thread count**. `set_threads(1)` additionally keeps execution on
+//! the calling thread.
+//!
+//! # Workspace / allocation model
+//!
+//! Streaming inference reuses buffers across frames through a [`Workspace`]
+//! arena: kernels with `_into` variants ([`matmul_into`], [`im2col_into`],
+//! [`gemm`]) write into caller-provided buffers, and `ff-nn` layers route
+//! every intermediate (im2col matrices, GEMM outputs, activations) through
+//! the arena. After one warm-up frame, a forward pass performs zero heap
+//! allocations; the GEMM's internal `B`-packing scratch is likewise a
+//! reused thread-local.
 //!
 //! # Example
 //!
@@ -31,8 +52,13 @@ mod init;
 mod matmul;
 pub mod parallel;
 mod tensor;
+mod workspace;
 
-pub use im2col::{col2im, im2col, Conv2dGeometry, Padding};
+pub use im2col::{col2im, im2col, im2col_into, Conv2dGeometry, Padding};
 pub use init::{glorot_uniform, he_normal, uniform};
-pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use matmul::{
+    gemm, gemm_fused, gemm_prepacked, matmul, matmul_into, matmul_transpose_a, matmul_transpose_b,
+    pack_b_panels_into, packed_panels_len, Epilogue,
+};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -1,47 +1,257 @@
-//! Minimal data-parallel helpers built on `std::thread::scope`.
+//! Data-parallel helpers backed by a **persistent worker pool**.
 //!
-//! The runtime is configured once per process with [`set_threads`]; kernels
-//! call [`parallel_chunks`] which falls back to serial execution for small
-//! work items so tests and micro-ops don't pay spawn overhead.
+//! The original implementation spawned fresh `std::thread::scope` threads on
+//! every kernel call; at streaming-video rates (hundreds of GEMMs per frame)
+//! thread spawn/join dominated small-layer cost. This module keeps a
+//! process-wide pool of workers parked on a condvar and dispatches jobs to
+//! them with one lock round-trip.
+//!
+//! # Threading model
+//!
+//! - The pool is created lazily on first parallel dispatch and lives for the
+//!   process. Workers park on a condvar between jobs; an idle pool costs
+//!   nothing but its stacks.
+//! - [`set_threads`] bounds how many *chunks* a kernel is split into, not the
+//!   pool size: the split is a deterministic function of the work size and
+//!   the configured thread count, so results are **bit-for-bit identical**
+//!   for any worker count — including when fewer workers than chunks execute
+//!   the job (chunks are claimed dynamically, but each chunk's output range
+//!   is fixed up front).
+//! - One job runs at a time (callers serialize on a submission lock); the
+//!   submitting thread participates in chunk execution, so the pool never
+//!   deadlocks even with zero workers.
+//! - Kernels calling kernels (re-entrant dispatch from a worker) degrade to
+//!   serial execution of the inner kernel rather than deadlocking.
+//!
+//! Worker panics are caught, forwarded, and re-raised on the submitting
+//! thread after the job drains, so a poisoned job cannot wedge the pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the number of worker threads used by tensor kernels.
 ///
 /// `0` (the default) means "use all available parallelism". `1` forces
-/// serial execution, which also makes every kernel bit-for-bit
-/// deterministic.
+/// serial execution. Any value yields bit-identical kernel results; the
+/// setting only trades latency for core usage.
 pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Number of worker threads kernels will use.
+/// Number of chunks kernels will split work into.
 pub fn threads() -> usize {
     match THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        0 => hardware_parallelism(),
         n => n,
     }
 }
 
-/// Minimum per-thread work (in "items", callers choose the unit) below which
+/// Cached `std::thread::available_parallelism()` — the std call re-reads
+/// cgroup quota files (and allocates) on every invocation, which would put
+/// filesystem traffic in every kernel dispatch.
+fn hardware_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Minimum per-chunk work (in "items", callers choose the unit) below which
 /// [`parallel_chunks`] stays serial.
 const MIN_ITEMS_PER_THREAD: usize = 8;
 
-/// Minimum output elements before [`parallel_rows_mut`] spawns threads.
-/// Spawning a scoped thread costs tens of microseconds; tiny layers (the
-/// microclassifier tails) are far cheaper than that, so they must stay
-/// serial or training becomes spawn-bound.
+/// Minimum output elements before [`parallel_rows_mut`] dispatches to the
+/// pool. Dispatch costs a couple of lock round-trips (~1 µs); tiny layers
+/// (the microclassifier tails) are cheaper than that, so they must stay
+/// serial or streaming becomes dispatch-bound.
 const MIN_PARALLEL_ELEMS: usize = 32 * 1024;
+
+/// A chunk runner with its lifetime erased. Soundness: the submitting thread
+/// blocks in [`Pool::run`] until every chunk has finished, so the referent
+/// outlives all uses.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+}
+
+// SAFETY: the closure behind `f` is `Sync` (required at submission), and the
+// pointer never outlives the blocking `run` call that created it.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Monotonically increasing job id; workers use it to detect new work.
+    epoch: u64,
+    job: Option<Job>,
+    /// Next chunk index to claim.
+    next: usize,
+    /// Chunks not yet finished.
+    pending: usize,
+    /// A chunk panicked; re-raised by the submitter once the job drains.
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when a new job is published.
+    work: Condvar,
+    /// Signaled when the last chunk of a job finishes.
+    done: Condvar,
+}
+
+struct Pool {
+    shared: &'static Shared,
+    /// Serializes job submission (one job in flight at a time).
+    submit: Mutex<()>,
+}
+
+thread_local! {
+    /// True on pool workers; re-entrant dispatch falls back to serial.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    fn get() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let shared: &'static Shared = Box::leak(Box::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    next: 0,
+                    pending: 0,
+                    panicked: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }));
+            // One worker per core beyond the submitting thread. Workers are
+            // detached; they park forever once the process stops submitting.
+            let workers = hardware_parallelism() - 1;
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("ff-tensor-{i}"))
+                    .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
+                        worker_loop(shared);
+                    })
+                    .expect("spawn tensor pool worker");
+            }
+            Pool {
+                shared,
+                submit: Mutex::new(()),
+            }
+        })
+    }
+
+    /// Runs `f(0..chunks)` across the pool, blocking until every chunk is
+    /// done. The submitting thread claims chunks too.
+    fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        let _guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = {
+            let mut st = self.shared.state.lock().unwrap();
+            // SAFETY: `run` blocks until `pending == 0`, so the erased
+            // lifetime outlives every dereference in `drain_chunks`.
+            let erased: *const (dyn Fn(usize) + Sync) =
+                unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) };
+            st.epoch += 1;
+            st.job = Some(Job { f: erased, chunks });
+            st.next = 0;
+            st.pending = chunks;
+            self.shared.work.notify_all();
+            st.epoch
+        };
+        // The submitter executes chunks too; mark it in-dispatch so a kernel
+        // that itself dispatches (now or in some future fused op) degrades
+        // to serial instead of re-locking the submit mutex and deadlocking.
+        IS_WORKER.with(|w| w.set(true));
+        drain_chunks(self.shared, epoch);
+        IS_WORKER.with(|w| w.set(false));
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let poisoned = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if poisoned {
+            panic!("ff-tensor pool worker panicked during parallel kernel");
+        }
+    }
+}
+
+/// Claims and executes chunks of the job with id `epoch` until none remain.
+fn drain_chunks(shared: &Shared, epoch: u64) {
+    loop {
+        let (f, i) = {
+            let st = shared.state.lock().unwrap();
+            let mut st = st;
+            if st.epoch != epoch {
+                return;
+            }
+            match st.job {
+                Some(job) if st.next < job.chunks => {
+                    let i = st.next;
+                    st.next += 1;
+                    (job.f, i)
+                }
+                _ => return,
+            }
+        };
+        // SAFETY: the submitter blocks until `pending == 0`, keeping the
+        // closure alive for the duration of this call.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*f)(i) }));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    let mut seen = 0u64;
+    loop {
+        let epoch = {
+            let mut st = shared.state.lock().unwrap();
+            while st.epoch == seen || st.job.is_none() {
+                st = shared.work.wait(st).unwrap();
+            }
+            st.epoch
+        };
+        seen = epoch;
+        drain_chunks(shared, epoch);
+    }
+}
+
+/// Dispatches `chunks` invocations of `f` (each receiving its chunk index)
+/// across the pool, or serially when parallelism wouldn't pay.
+fn run_chunked(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    if chunks == 1 || IS_WORKER.with(|w| w.get()) {
+        for i in 0..chunks {
+            f(i);
+        }
+        return;
+    }
+    Pool::get().run(chunks, f);
+}
 
 /// Runs `f(start, end)` over disjoint sub-ranges of `0..n`, possibly in
 /// parallel.
 ///
 /// `f` must be safe to run concurrently on disjoint ranges; each invocation
-/// receives a half-open `[start, end)` range. The split is contiguous and
-/// deterministic, so results that are written to disjoint output slices are
-/// identical regardless of thread count.
+/// receives a half-open `[start, end)` range. The split is contiguous and a
+/// deterministic function of `n` and [`threads`] alone, so results written
+/// to disjoint output slices are identical regardless of how many workers
+/// actually execute.
 pub fn parallel_chunks(n: usize, f: impl Fn(usize, usize) + Sync) {
     let t = threads().min(n.div_ceil(MIN_ITEMS_PER_THREAD)).max(1);
     if t == 1 || n == 0 {
@@ -49,15 +259,11 @@ pub fn parallel_chunks(n: usize, f: impl Fn(usize, usize) + Sync) {
         return;
     }
     let chunk = n.div_ceil(t);
-    std::thread::scope(|s| {
-        for i in 0..t {
-            let start = i * chunk;
-            let end = ((i + 1) * chunk).min(n);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            s.spawn(move || f(start, end));
+    run_chunked(n.div_ceil(chunk), &|i| {
+        let start = i * chunk;
+        let end = ((i + 1) * chunk).min(n);
+        if start < end {
+            f(start, end);
         }
     });
 }
@@ -87,16 +293,65 @@ pub fn parallel_rows_mut(out: &mut [f32], row_len: usize, f: impl Fn(usize, &mut
         }
         return;
     }
-    let chunk = rows.div_ceil(t);
-    std::thread::scope(|s| {
-        for (i, block) in out.chunks_mut(chunk * row_len).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (j, row) in block.chunks_mut(row_len).enumerate() {
-                    f(i * chunk + j, row);
-                }
-            });
+    let chunk_rows = rows.div_ceil(t);
+    let base = out.as_mut_ptr() as usize;
+    run_chunked(rows.div_ceil(chunk_rows), &|i| {
+        let start = i * chunk_rows;
+        let end = ((i + 1) * chunk_rows).min(rows);
+        for r in start..end {
+            // SAFETY: each chunk touches a disjoint row range of `out`, and
+            // the dispatcher blocks until all chunks finish.
+            let row = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (base + r * row_len * std::mem::size_of::<f32>()) as *mut f32,
+                    row_len,
+                )
+            };
+            f(r, row);
         }
+    });
+}
+
+/// Splits `out` into at most `t` contiguous blocks of whole rows and hands
+/// each block to `f` with its starting row index. The split depends only on
+/// the row count and `t`, never on worker scheduling, so any kernel whose
+/// per-element result is independent of the block partition is bit-for-bit
+/// deterministic across thread counts.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `row_len` (unless both are 0).
+pub fn parallel_row_blocks_mut(
+    out: &mut [f32],
+    row_len: usize,
+    t: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if row_len == 0 {
+        assert!(out.is_empty(), "row_len 0 with non-empty buffer");
+        return;
+    }
+    assert_eq!(out.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = out.len() / row_len;
+    let t = t.clamp(1, rows.max(1));
+    if t == 1 {
+        f(0, out);
+        return;
+    }
+    let block_rows = rows.div_ceil(t);
+    let base = out.as_mut_ptr() as usize;
+    run_chunked(rows.div_ceil(block_rows), &|i| {
+        let start = i * block_rows;
+        let end = ((i + 1) * block_rows).min(rows);
+        // SAFETY: blocks cover disjoint row ranges, and the dispatcher
+        // blocks until every chunk finishes.
+        let block = unsafe {
+            std::slice::from_raw_parts_mut(
+                (base + start * row_len * std::mem::size_of::<f32>()) as *mut f32,
+                (end - start) * row_len,
+            )
+        };
+        f(start, block);
     });
 }
 
@@ -136,6 +391,35 @@ mod tests {
     }
 
     #[test]
+    fn large_buffers_exercise_the_pool() {
+        // Above MIN_PARALLEL_ELEMS so the persistent pool actually runs.
+        let rows = 1024;
+        let cols = 64;
+        let mut buf = vec![0.0f32; rows * cols];
+        parallel_rows_mut(&mut buf, cols, |r, row| {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r * cols + c) as f32;
+            }
+        });
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn repeated_dispatch_reuses_pool() {
+        // Hundreds of back-to-back jobs through the same pool must all
+        // complete (regression test for lost-wakeup bugs).
+        for round in 0..300 {
+            let mut buf = vec![0.0f32; 48 * 1024];
+            parallel_rows_mut(&mut buf, 1024, |r, row| {
+                row.fill(r as f32 + round as f32);
+            });
+            assert_eq!(buf[1024 * 7], 7.0 + round as f32);
+        }
+    }
+
+    #[test]
     fn thread_count_override() {
         let before = threads();
         set_threads(1);
@@ -143,5 +427,30 @@ mod tests {
         set_threads(0);
         assert!(threads() >= 1);
         let _ = before;
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let gold: Vec<f32> = {
+            set_threads(1);
+            let mut buf = vec![0.0f32; 128 * 512];
+            parallel_rows_mut(&mut buf, 512, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r as f32).sin() * (c as f32).cos();
+                }
+            });
+            buf
+        };
+        for t in 2..=8 {
+            set_threads(t);
+            let mut buf = vec![0.0f32; 128 * 512];
+            parallel_rows_mut(&mut buf, 512, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r as f32).sin() * (c as f32).cos();
+                }
+            });
+            assert_eq!(buf, gold, "thread count {t}");
+        }
+        set_threads(0);
     }
 }

@@ -128,9 +128,61 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, dims: Vec<usize>) -> Self {
         let n: usize = dims.iter().product();
-        assert_eq!(n, self.data.len(), "cannot reshape {:?} to {dims:?}", self.dims);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "cannot reshape {:?} to {dims:?}",
+            self.dims
+        );
         self.dims = dims;
         self
+    }
+
+    /// Reshapes in place, reusing the shape vector's capacity (no
+    /// allocation once the vector has grown to the largest rank seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape_to(&mut self, dims: &[usize]) {
+        let n: usize = dims.iter().product();
+        assert_eq!(
+            n,
+            self.data.len(),
+            "cannot reshape {:?} to {dims:?}",
+            self.dims
+        );
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
+    /// An empty tensor whose data buffer can hold `n` elements without
+    /// reallocating — the seed state for [`crate::Workspace`] pooling.
+    pub fn with_capacity(n: usize) -> Self {
+        Tensor {
+            dims: Vec::new(),
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Data-buffer capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Shape-vector capacity (used by [`crate::Workspace`] bookkeeping).
+    pub fn dims_capacity(&self) -> usize {
+        self.dims.capacity()
+    }
+
+    /// Re-sizes this tensor to `dims`, reusing both vectors' capacity.
+    /// Newly exposed elements (beyond the previous length) are zero; the
+    /// rest keep their prior, unspecified values.
+    pub(crate) fn reinit(&mut self, dims: &[usize]) {
+        let n: usize = dims.iter().product();
+        self.data.resize(n, 0.0);
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
     }
 
     /// Element at `(row, col)` of a rank-2 tensor.
@@ -164,17 +216,40 @@ impl Tensor {
     ///
     /// Panics if the rectangle is empty or out of bounds.
     pub fn crop3(&self, h0: usize, h1: usize, w0: usize, w1: usize) -> Tensor {
+        let mut out = Tensor::zeros(vec![
+            h1.saturating_sub(h0),
+            w1.saturating_sub(w0),
+            self.dims().last().copied().unwrap_or(0),
+        ]);
+        self.crop3_into(h0, h1, w0, w1, &mut out);
+        out
+    }
+
+    /// [`Self::crop3`] into a pre-allocated `[h1-h0, w1-w0, c]` tensor
+    /// (e.g. from a workspace). Every element is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is empty/out of bounds or `out` has the
+    /// wrong shape.
+    pub fn crop3_into(&self, h0: usize, h1: usize, w0: usize, w1: usize, out: &mut Tensor) {
         assert_eq!(self.rank(), 3, "crop3 needs an HWC tensor");
         let (h, w, c) = (self.dims[0], self.dims[1], self.dims[2]);
-        assert!(h0 < h1 && h1 <= h && w0 < w1 && w1 <= w, "crop [{h0}..{h1}, {w0}..{w1}] out of bounds for {h}x{w}");
-        let mut out = Tensor::zeros(vec![h1 - h0, w1 - w0, c]);
+        assert!(
+            h0 < h1 && h1 <= h && w0 < w1 && w1 <= w,
+            "crop [{h0}..{h1}, {w0}..{w1}] out of bounds for {h}x{w}"
+        );
+        assert_eq!(
+            out.dims(),
+            &[h1 - h0, w1 - w0, c],
+            "crop3_into output shape"
+        );
         let row_len = (w1 - w0) * c;
         for (oy, y) in (h0..h1).enumerate() {
             let src = (y * w + w0) * c;
             let dst = oy * row_len;
             out.data[dst..dst + row_len].copy_from_slice(&self.data[src..src + row_len]);
         }
-        out
     }
 
     /// Matrix product of two rank-2 tensors (see [`crate::matmul`]).
@@ -329,7 +404,7 @@ mod tests {
         t.set3(1, 2, 3, 7.5);
         assert_eq!(t.at3(1, 2, 3), 7.5);
         // Row-major HWC: (h*W + w)*C + c.
-        assert_eq!(t.data()[(1 * 3 + 2) * 4 + 3], 7.5);
+        assert_eq!(t.data()[(3 + 2) * 4 + 3], 7.5);
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Bit-level I/O with Exp-Golomb codes — the entropy-coding layer.
 
-use bytes::{BufMut, BytesMut};
-
 /// Writes bits MSB-first into a growable buffer.
 #[derive(Debug, Default)]
 pub struct BitWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     cur: u8,
     nbits: u8,
 }
@@ -21,7 +19,7 @@ impl BitWriter {
         self.cur = (self.cur << 1) | bit as u8;
         self.nbits += 1;
         if self.nbits == 8 {
-            self.buf.put_u8(self.cur);
+            self.buf.push(self.cur);
             self.cur = 0;
             self.nbits = 0;
         }
@@ -51,7 +49,11 @@ impl BitWriter {
 
     /// Writes a signed Exp-Golomb code (0, 1, −1, 2, −2, … mapping).
     pub fn put_se(&mut self, v: i32) {
-        let u = if v > 0 { (v as u32) * 2 - 1 } else { (-(v as i64) as u32) * 2 };
+        let u = if v > 0 {
+            (v as u32) * 2 - 1
+        } else {
+            (-(v as i64) as u32) * 2
+        };
         self.put_ue(u);
     }
 
@@ -59,9 +61,9 @@ impl BitWriter {
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
             self.cur <<= 8 - self.nbits;
-            self.buf.put_u8(self.cur);
+            self.buf.push(self.cur);
         }
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Bits written so far (excluding final padding).
@@ -117,7 +119,7 @@ impl<'a> BitReader<'a> {
     pub fn get_se(&mut self) -> Option<i32> {
         let u = self.get_ue()?;
         Some(if u % 2 == 1 {
-            ((u + 1) / 2) as i32
+            u.div_ceil(2) as i32
         } else {
             -((u / 2) as i32)
         })
@@ -183,7 +185,9 @@ mod tests {
         w.put_ue(3);
         assert_eq!(w.bit_len(), 1 + 3 + 3 + 5);
         let bytes = w.finish();
-        assert_eq!(bytes[0], 0b1_010_011_0, "first byte");
+        #[allow(clippy::unusual_byte_groupings)] // grouped per Exp-Golomb code
+        let expected = 0b1_010_011_0;
+        assert_eq!(bytes[0], expected, "first byte");
     }
 
     #[test]

@@ -7,9 +7,14 @@ fn basis() -> &'static [[f32; 8]; 8] {
     BASIS.get_or_init(|| {
         let mut c = [[0.0f32; 8]; 8];
         for (k, row) in c.iter_mut().enumerate() {
-            let a = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let a = if k == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             for (n, v) in row.iter_mut().enumerate() {
-                *v = (a * ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0).cos()) as f32;
+                *v = (a * ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
             }
         }
         c
@@ -119,7 +124,9 @@ mod tests {
             }
         }
         let f = forward(&block);
-        let low: f32 = (0..3).flat_map(|j| (0..3).map(move |i| f[j * 8 + i] * f[j * 8 + i])).sum();
+        let low: f32 = (0..3)
+            .flat_map(|j| (0..3).map(move |i| f[j * 8 + i] * f[j * 8 + i]))
+            .sum();
         let total: f32 = f.iter().map(|v| v * v).sum();
         assert!(low / total > 0.99);
     }

@@ -4,7 +4,9 @@
 
 use super::bitstream::BitReader;
 use super::color::Ycbcr420;
-use super::encoder::{copy_mb, decode_plane_intra, decode_residual_block, read_header, EncodedFrame};
+use super::encoder::{
+    copy_mb, decode_plane_intra, decode_residual_block, read_header, EncodedFrame,
+};
 use super::motion::MotionVector;
 use super::quant::steps;
 use super::MB;
@@ -111,11 +113,30 @@ impl Decoder {
                             )
                             .ok_or(DecodeError::Corrupt("luma residual"))?;
                         }
-                        let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
-                        decode_residual_block(r, &reference.cb, &mut recon.cb, mbx, mby, cmv, &st_chroma)
-                            .ok_or(DecodeError::Corrupt("cb residual"))?;
-                        decode_residual_block(r, &reference.cr, &mut recon.cr, mbx, mby, cmv, &st_chroma)
-                            .ok_or(DecodeError::Corrupt("cr residual"))?;
+                        let cmv = MotionVector {
+                            dx: mv.dx / 2,
+                            dy: mv.dy / 2,
+                        };
+                        decode_residual_block(
+                            r,
+                            &reference.cb,
+                            &mut recon.cb,
+                            mbx,
+                            mby,
+                            cmv,
+                            &st_chroma,
+                        )
+                        .ok_or(DecodeError::Corrupt("cb residual"))?;
+                        decode_residual_block(
+                            r,
+                            &reference.cr,
+                            &mut recon.cr,
+                            mbx,
+                            mby,
+                            cmv,
+                            &st_chroma,
+                        )
+                        .ok_or(DecodeError::Corrupt("cr residual"))?;
                     }
                     _ => return Err(DecodeError::Corrupt("unknown mb mode")),
                 }
@@ -167,7 +188,11 @@ mod tests {
         for t in 0..6 {
             let frame = gradient_frame(res, t);
             let decoded = dec.decode(&enc.encode(&frame)).unwrap();
-            assert!(decoded.psnr(&frame) > 28.0, "frame {t}: {}", decoded.psnr(&frame));
+            assert!(
+                decoded.psnr(&frame) > 28.0,
+                "frame {t}: {}",
+                decoded.psnr(&frame)
+            );
         }
     }
 

@@ -144,9 +144,14 @@ impl Encoder {
     ///
     /// Panics if the frame size differs from the configured resolution.
     pub fn encode(&mut self, frame: &Frame) -> EncodedFrame {
-        assert_eq!(frame.resolution(), self.cfg.resolution, "frame size changed mid-stream");
+        assert_eq!(
+            frame.resolution(),
+            self.cfg.resolution,
+            "frame size changed mid-stream"
+        );
         let cur = Ycbcr420::from_frame(frame);
-        let is_intra = self.frame_index % self.cfg.gop as u64 == 0 || self.reference.is_none();
+        let is_intra =
+            self.frame_index.is_multiple_of(self.cfg.gop as u64) || self.reference.is_none();
         let qp = match (&self.rate, self.cfg.rate) {
             (Some(rc), _) => rc.qp(),
             (None, RateMode::ConstantQp(q)) => q,
@@ -184,7 +189,10 @@ impl Encoder {
     }
 
     /// Encodes a whole clip, returning the frames and total bytes.
-    pub fn encode_all<'a>(&mut self, frames: impl IntoIterator<Item = &'a Frame>) -> Vec<EncodedFrame> {
+    pub fn encode_all<'a>(
+        &mut self,
+        frames: impl IntoIterator<Item = &'a Frame>,
+    ) -> Vec<EncodedFrame> {
         frames.into_iter().map(|f| self.encode(f)).collect()
     }
 }
@@ -292,10 +300,20 @@ fn encode_inter(
             let luma_levels: Vec<[i32; 64]> = luma_blocks
                 .iter()
                 .map(|&(dy, dx)| {
-                    residual_levels(&cur.y, &reference.y, mbx * 2 + dx, mby * 2 + dy, mv, &st_luma)
+                    residual_levels(
+                        &cur.y,
+                        &reference.y,
+                        mbx * 2 + dx,
+                        mby * 2 + dy,
+                        mv,
+                        &st_luma,
+                    )
                 })
                 .collect();
-            let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+            let cmv = MotionVector {
+                dx: mv.dx / 2,
+                dy: mv.dy / 2,
+            };
             let cb_levels = residual_levels(&cur.cb, &reference.cb, mbx, mby, cmv, &st_chroma);
             let cr_levels = residual_levels(&cur.cr, &reference.cr, mbx, mby, cmv, &st_chroma);
 
@@ -315,12 +333,36 @@ fn encode_inter(
             w.put_se(mv.dy);
             for (&(dy, dx), levels) in luma_blocks.iter().zip(&luma_levels) {
                 write_block(w, levels);
-                apply_levels(&reference.y, &mut recon.y, mbx * 2 + dx, mby * 2 + dy, mv, levels, &st_luma);
+                apply_levels(
+                    &reference.y,
+                    &mut recon.y,
+                    mbx * 2 + dx,
+                    mby * 2 + dy,
+                    mv,
+                    levels,
+                    &st_luma,
+                );
             }
             write_block(w, &cb_levels);
-            apply_levels(&reference.cb, &mut recon.cb, mbx, mby, cmv, &cb_levels, &st_chroma);
+            apply_levels(
+                &reference.cb,
+                &mut recon.cb,
+                mbx,
+                mby,
+                cmv,
+                &cb_levels,
+                &st_chroma,
+            );
             write_block(w, &cr_levels);
-            apply_levels(&reference.cr, &mut recon.cr, mbx, mby, cmv, &cr_levels, &st_chroma);
+            apply_levels(
+                &reference.cr,
+                &mut recon.cr,
+                mbx,
+                mby,
+                cmv,
+                &cr_levels,
+                &st_chroma,
+            );
         }
     }
 }

@@ -21,7 +21,10 @@ pub fn sad(cur: &Plane, reference: &Plane, x0: usize, y0: usize, dx: i32, dy: i3
     for j in 0..MB {
         for i in 0..MB {
             let c = cur.at_clamped((x0 + i) as isize, (y0 + j) as isize);
-            let r = reference.at_clamped(x0 as isize + i as isize + dx as isize, y0 as isize + j as isize + dy as isize);
+            let r = reference.at_clamped(
+                x0 as isize + i as isize + dx as isize,
+                y0 as isize + j as isize + dy as isize,
+            );
             acc += (c - r).abs();
         }
     }

@@ -40,7 +40,7 @@ pub fn write_y4m<W: Write>(frames: &[Frame], fps: usize, mut w: W) -> std::io::R
         }
         writeln!(w, "FRAME")?;
         // Planar YCbCr 4:4:4 (BT.601 full range).
-        let mut planes = vec![Vec::with_capacity(fw * fh); 3];
+        let mut planes: Vec<Vec<u8>> = (0..3).map(|_| Vec::with_capacity(fw * fh)).collect();
         for px in f.data().chunks(3) {
             let (r, g, b) = (px[0] as f32, px[1] as f32, px[2] as f32);
             let y = 0.299 * r + 0.587 * g + 0.114 * b;

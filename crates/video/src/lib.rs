@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod codec;
-pub mod io;
 mod frame;
+pub mod io;
 pub mod scene;
 
 pub use frame::{Frame, Resolution};

@@ -236,7 +236,10 @@ impl Scene {
     }
 
     fn spawn(&mut self) {
-        let (w, h) = (self.cfg.resolution.width as f64, self.cfg.resolution.height as f64);
+        let (w, h) = (
+            self.cfg.resolution.width as f64,
+            self.cfg.resolution.height as f64,
+        );
         // Poisson(λ) with small λ ≈ Bernoulli(λ); fine for the rates used.
         if self.rng.gen_bool(self.cfg.pedestrian_rate.min(1.0)) {
             let crossing = self.rng.gen_bool(self.cfg.crossing_fraction);
@@ -244,13 +247,24 @@ impl Scene {
             let color = if wearing_red {
                 [205, 30, 35]
             } else {
-                *pick(&mut self.rng, &[[40, 60, 150], [40, 130, 60], [110, 110, 115], [180, 160, 40], [90, 50, 120]])
+                *pick(
+                    &mut self.rng,
+                    &[
+                        [40, 60, 150],
+                        [40, 130, 60],
+                        [110, 110, 115],
+                        [180, 160, 40],
+                        [90, 50, 120],
+                    ],
+                )
             };
             let id = self.bump_id();
             if crossing {
                 // Walk up (or down) the crosswalk, through the road band.
                 let going_up = self.rng.gen_bool(0.5);
-                let x = w * self.rng.gen_range(layout::CROSSWALK_X0 + 0.02..layout::CROSSWALK_X1 - 0.02);
+                let x = w * self
+                    .rng
+                    .gen_range(layout::CROSSWALK_X0 + 0.02..layout::CROSSWALK_X1 - 0.02);
                 let speed = h * self.rng.gen_range(0.0020..0.0035) * self.cfg.speed_multiplier;
                 let (y, vy) = if going_up {
                     (h * (layout::SIDEWALK_BOTTOM - 0.04), -speed)
@@ -276,7 +290,9 @@ impl Scene {
                     id,
                     kind: ObjectKind::Pedestrian,
                     x: if ltr { -4.0 } else { w + 4.0 },
-                    y: h * self.rng.gen_range(layout::ROAD_BOTTOM + 0.05..layout::SIDEWALK_BOTTOM - 0.02),
+                    y: h * self
+                        .rng
+                        .gen_range(layout::ROAD_BOTTOM + 0.05..layout::SIDEWALK_BOTTOM - 0.02),
                     vx: if ltr { speed } else { -speed },
                     vy: 0.0,
                     wearing_red,
@@ -289,14 +305,23 @@ impl Scene {
         if self.rng.gen_bool(self.cfg.car_rate.min(1.0)) {
             let ltr = self.rng.gen_bool(0.5);
             let lane_frac = if ltr {
-                self.rng.gen_range(layout::LANE_SPLIT + 0.04..layout::ROAD_BOTTOM - 0.03)
+                self.rng
+                    .gen_range(layout::LANE_SPLIT + 0.04..layout::ROAD_BOTTOM - 0.03)
             } else {
-                self.rng.gen_range(layout::ROAD_TOP + 0.05..layout::LANE_SPLIT - 0.02)
+                self.rng
+                    .gen_range(layout::ROAD_TOP + 0.05..layout::LANE_SPLIT - 0.02)
             };
             let speed = w * self.rng.gen_range(0.008..0.016) * self.cfg.speed_multiplier;
             let color = *pick(
                 &mut self.rng,
-                &[[160, 30, 30], [30, 30, 160], [200, 200, 205], [40, 40, 45], [120, 120, 125], [200, 170, 30]],
+                &[
+                    [160, 30, 30],
+                    [30, 30, 160],
+                    [200, 200, 205],
+                    [40, 40, 45],
+                    [120, 120, 125],
+                    [200, 170, 30],
+                ],
             );
             let id = self.bump_id();
             self.objects.push(Obj {
@@ -325,7 +350,10 @@ impl Scene {
                 vy: 0.0,
                 wearing_red: false,
                 crossing: false,
-                color: *pick(&mut self.rng, &[[60, 120, 60], [150, 90, 40], [70, 70, 160]]),
+                color: *pick(
+                    &mut self.rng,
+                    &[[60, 120, 60], [150, 90, 40], [70, 70, 160]],
+                ),
                 phase: 0.0,
             });
         }
@@ -342,14 +370,20 @@ impl Scene {
                 vy: 0.0,
                 wearing_red: false,
                 crossing: false,
-                color: *pick(&mut self.rng, &[[120, 90, 60], [60, 50, 40], [190, 180, 160]]),
+                color: *pick(
+                    &mut self.rng,
+                    &[[120, 90, 60], [60, 50, 40], [190, 180, 160]],
+                ),
                 phase: self.rng.gen_range(0.0..std::f64::consts::TAU),
             });
         }
     }
 
     fn advance(&mut self) {
-        let (w, h) = (self.cfg.resolution.width as f64, self.cfg.resolution.height as f64);
+        let (w, h) = (
+            self.cfg.resolution.width as f64,
+            self.cfg.resolution.height as f64,
+        );
         for o in &mut self.objects {
             o.x += o.vx;
             o.y += o.vy;
@@ -444,13 +478,27 @@ fn render_background(res: Resolution, rng: &mut StdRng) -> Frame {
     let step = (w / 16).max(4);
     for bx in (2..w.saturating_sub(4)).step_by(step) {
         for by in (facade_y0 + 2..facade_y1.saturating_sub(3)).step_by(6) {
-            fill_rect(&mut f, bx, by, (bx + 2).min(w), (by + 3).min(facade_y1), [60, 70, 90]);
+            fill_rect(
+                &mut f,
+                bx,
+                by,
+                (bx + 2).min(w),
+                (by + 3).min(facade_y1),
+                [60, 70, 90],
+            );
         }
     }
     // Lane divider dashes.
     let lane_y = (hf * layout::LANE_SPLIT) as usize;
     for x in (0..w).step_by(8) {
-        fill_rect(&mut f, x, lane_y, (x + 4).min(w), (lane_y + 1).min(h), [210, 205, 120]);
+        fill_rect(
+            &mut f,
+            x,
+            lane_y,
+            (x + 4).min(w),
+            (lane_y + 1).min(h),
+            [210, 205, 120],
+        );
     }
     // Crosswalk stripes (vertical band of horizontal white bars).
     let cx0 = (w as f64 * layout::CROSSWALK_X0) as usize;
@@ -538,12 +586,33 @@ fn draw_object(frame: &mut Frame, obj: &Obj, res: Resolution) -> Option<BBox> {
             let head_r = bh * 0.11;
             // Legs (dark, scissored by gait phase).
             let swing = (obj.phase.sin() * bw * 0.35).abs();
-            fill_rect_f(frame, obj.x - bw * 0.3 - swing * 0.3, obj.y - leg_h, bw * 0.3, leg_h, [35, 35, 45]);
-            fill_rect_f(frame, obj.x + swing * 0.3, obj.y - leg_h, bw * 0.3, leg_h, [35, 35, 45]);
+            fill_rect_f(
+                frame,
+                obj.x - bw * 0.3 - swing * 0.3,
+                obj.y - leg_h,
+                bw * 0.3,
+                leg_h,
+                [35, 35, 45],
+            );
+            fill_rect_f(
+                frame,
+                obj.x + swing * 0.3,
+                obj.y - leg_h,
+                bw * 0.3,
+                leg_h,
+                [35, 35, 45],
+            );
             // Torso in shirt color (red for the People-with-red task).
             fill_rect_f(frame, x0, obj.y - leg_h - torso_h, bw, torso_h, obj.color);
             // Head.
-            fill_ellipse(frame, obj.x, obj.y - leg_h - torso_h - head_r, head_r * 0.9, head_r, [224, 188, 160]);
+            fill_ellipse(
+                frame,
+                obj.x,
+                obj.y - leg_h - torso_h - head_r,
+                head_r * 0.9,
+                head_r,
+                [224, 188, 160],
+            );
         }
         ObjectKind::Car => {
             let body_h = bh * 0.55;
@@ -551,8 +620,22 @@ fn draw_object(frame: &mut Frame, obj: &Obj, res: Resolution) -> Option<BBox> {
             // Body.
             fill_rect_f(frame, x0, obj.y - body_h, bw, body_h, obj.color);
             // Cabin + windows.
-            fill_rect_f(frame, x0 + bw * 0.22, obj.y - body_h - cabin_h, bw * 0.5, cabin_h, obj.color);
-            fill_rect_f(frame, x0 + bw * 0.26, obj.y - body_h - cabin_h * 0.9, bw * 0.42, cabin_h * 0.62, [70, 90, 110]);
+            fill_rect_f(
+                frame,
+                x0 + bw * 0.22,
+                obj.y - body_h - cabin_h,
+                bw * 0.5,
+                cabin_h,
+                obj.color,
+            );
+            fill_rect_f(
+                frame,
+                x0 + bw * 0.26,
+                obj.y - body_h - cabin_h * 0.9,
+                bw * 0.42,
+                cabin_h * 0.62,
+                [70, 90, 110],
+            );
             // Wheels.
             let wr = bh * 0.22;
             fill_ellipse(frame, obj.x - bw * 0.3, obj.y, wr, wr, [15, 15, 15]);
@@ -563,13 +646,41 @@ fn draw_object(frame: &mut Frame, obj: &Obj, res: Resolution) -> Option<BBox> {
             fill_ellipse(frame, obj.x - bw * 0.3, obj.y - wr, wr, wr, [20, 20, 20]);
             fill_ellipse(frame, obj.x + bw * 0.3, obj.y - wr, wr, wr, [20, 20, 20]);
             // Rider.
-            fill_rect_f(frame, obj.x - bw * 0.12, obj.y - bh * 0.85, bw * 0.24, bh * 0.45, obj.color);
-            fill_ellipse(frame, obj.x, obj.y - bh * 0.92, bh * 0.09, bh * 0.09, [224, 188, 160]);
+            fill_rect_f(
+                frame,
+                obj.x - bw * 0.12,
+                obj.y - bh * 0.85,
+                bw * 0.24,
+                bh * 0.45,
+                obj.color,
+            );
+            fill_ellipse(
+                frame,
+                obj.x,
+                obj.y - bh * 0.92,
+                bh * 0.09,
+                bh * 0.09,
+                [224, 188, 160],
+            );
         }
         ObjectKind::Dog => {
-            fill_ellipse(frame, obj.x, obj.y - bh * 0.45, bw * 0.5, bh * 0.4, obj.color);
+            fill_ellipse(
+                frame,
+                obj.x,
+                obj.y - bh * 0.45,
+                bw * 0.5,
+                bh * 0.4,
+                obj.color,
+            );
             let head_x = obj.x + bw * 0.45 * obj.vx.signum();
-            fill_ellipse(frame, head_x, obj.y - bh * 0.62, bw * 0.22, bh * 0.25, obj.color);
+            fill_ellipse(
+                frame,
+                head_x,
+                obj.y - bh * 0.62,
+                bw * 0.22,
+                bh * 0.25,
+                obj.color,
+            );
         }
     }
 
@@ -775,7 +886,10 @@ mod tests {
                 }
             }
         }
-        assert!(in_crosswalk > 50, "crossers rarely in crosswalk: {in_crosswalk}");
+        assert!(
+            in_crosswalk > 50,
+            "crossers rarely in crosswalk: {in_crosswalk}"
+        );
     }
 
     #[test]

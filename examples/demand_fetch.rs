@@ -54,7 +54,11 @@ fn main() {
     // The datacenter asks for 10 frames of context around frame 30.
     let archive = ff.archive().expect("archive enabled");
     let (frames, bytes) = archive.demand_fetch(25, 35).expect("in range");
-    println!("demand-fetched frames 25..35: {} frames, {} bytes on the wire", frames.len(), bytes);
+    println!(
+        "demand-fetched frames 25..35: {} frames, {} bytes on the wire",
+        frames.len(),
+        bytes
+    );
 
     // Fetched context is faithful to the original capture.
     let psnr: f64 = frames

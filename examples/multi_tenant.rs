@@ -43,15 +43,28 @@ fn main() {
     for i in 0..n_mcs {
         let crop = match i % 3 {
             0 => None,
-            1 => Some(CropRect { x0: 0.0, y0: 0.5, x1: 1.0, y1: 1.0 }),
-            _ => Some(CropRect { x0: 0.3, y0: 0.3, x1: 0.8, y1: 0.9 }),
+            1 => Some(CropRect {
+                x0: 0.0,
+                y0: 0.5,
+                x1: 1.0,
+                y1: 1.0,
+            }),
+            _ => Some(CropRect {
+                x0: 0.3,
+                y0: 0.3,
+                x1: 0.8,
+                y1: 0.9,
+            }),
         };
         let spec = match i % 3 {
             0 => McSpec::full_frame(format!("app{i}"), i as u64),
             1 => McSpec::localized(format!("app{i}"), crop, i as u64),
             _ => McSpec::windowed(format!("app{i}"), crop, i as u64),
         };
-        assert_eq!(spec.kind, [McKind::FullFrame, McKind::Localized, McKind::Windowed][i % 3]);
+        assert_eq!(
+            spec.kind,
+            [McKind::FullFrame, McKind::Localized, McKind::Windowed][i % 3]
+        );
         ff.deploy(spec);
     }
 
@@ -71,14 +84,20 @@ fn main() {
     }
     let dc_time = t1.elapsed().as_secs_f64();
 
-    println!("{n_mcs} concurrent applications on {} frames at {res}:", frames.len());
+    println!(
+        "{n_mcs} concurrent applications on {} frames at {res}:",
+        frames.len()
+    );
     println!(
         "  FilterForward: {:.2} fps ({:.1} ms base DNN + {:.1} ms all MCs per frame)",
         frames.len() as f64 / ff_time,
         timers.base_per_frame() * 1e3,
         timers.mcs_per_frame() * 1e3
     );
-    println!("  {n_mcs} discrete classifiers: {:.2} fps", frames.len() as f64 / dc_time);
+    println!(
+        "  {n_mcs} discrete classifiers: {:.2} fps",
+        frames.len() as f64 / dc_time
+    );
     println!(
         "  speedup: {:.1}x (the paper reports FF overtaking DCs beyond 3–4 tenants)",
         dc_time / ff_time

@@ -27,10 +27,8 @@ fn main() {
 
     // The application developer trains the MC offline (§3.2).
     let spec = McSpec::localized("pedestrian-in-crosswalk", data.task.crop, 7);
-    let mut extractor = FeatureExtractor::new(
-        MobileNetConfig::with_width(0.25),
-        vec![spec.tap.clone()],
-    );
+    let mut extractor =
+        FeatureExtractor::new(MobileNetConfig::with_width(0.25), vec![spec.tap.clone()]);
     let cal: Vec<_> = data
         .open(Split::Train)
         .take(8)

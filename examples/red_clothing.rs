@@ -66,12 +66,7 @@ fn main() {
     let mut ts = TranscodedStream::new(src, res, data.scene.fps, 25_000.0);
     let transcoded: Vec<_> = ts.by_ref().collect();
     let bw = ts.average_bps();
-    let (probs_ce, labels_ce) = mc_probs(
-        &mut extractor,
-        &spec,
-        &mut model,
-        transcoded.into_iter(),
-    );
+    let (probs_ce, labels_ce) = mc_probs(&mut extractor, &spec, &mut model, transcoded.into_iter());
     let cloud = score_probs(&probs_ce, trained.threshold, spec.smoothing, &labels_ce);
     println!(
         "same filter after compress-everything at {:.0} kb/s: F1 {:.3}",

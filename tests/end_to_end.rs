@@ -8,8 +8,12 @@ use ff_core::{FeatureExtractor, McSpec, SmoothingConfig};
 use ff_data::{DatasetSpec, Split};
 use ff_models::MobileNetConfig;
 
+// Seed 43: both splits carry several multi-frame pedestrian events at these
+// lengths (the synthetic scene's event count is Poisson with a small mean, so
+// an arbitrary seed can leave one split nearly event-free and make
+// training/evaluation meaningless).
 fn tiny_data(frames: usize) -> DatasetSpec {
-    DatasetSpec::jackson_like(20, frames, 42)
+    DatasetSpec::jackson_like(20, frames, 43)
 }
 
 fn calibrated_extractor(data: &DatasetSpec, taps: Vec<String>) -> FeatureExtractor {
@@ -154,7 +158,10 @@ fn bandwidth_accounting_conserves_bytes() {
     assert_eq!(count, 60);
     assert_eq!(stats.bytes_uploaded, sum);
     assert_eq!(stats.frames_uploaded, 60);
-    assert!(stats.bytes_archived > 0, "archive should have recorded the stream");
+    assert!(
+        stats.bytes_archived > 0,
+        "archive should have recorded the stream"
+    );
 }
 
 /// Event IDs are monotone per MC and frame metadata maps every positive

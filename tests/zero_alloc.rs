@@ -1,0 +1,115 @@
+//! Zero-allocation guarantee for the streaming hot path.
+//!
+//! The scaling story of the reproduction (Figures 5/6) rests on the edge
+//! node sustaining per-frame inference indefinitely; allocator traffic is
+//! both a throughput tax and a fragmentation risk on constrained nodes.
+//! This suite installs a counting allocator and pins the contract from the
+//! tensor-layer redesign: after one warm-up frame, feature extraction and
+//! the microclassifier loop perform **zero heap allocations per frame**.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+static TEST_SERIAL: AtomicUsize = AtomicUsize::new(0);
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use ff_core::{FeatureExtractor, McSpec};
+use ff_models::MobileNetConfig;
+use ff_tensor::Tensor;
+use ff_video::Resolution;
+
+#[test]
+fn extractor_and_mc_loop_are_allocation_free_after_warmup() {
+    // Guard against a second test in this binary running concurrently and
+    // polluting the counter.
+    assert_eq!(TEST_SERIAL.fetch_add(1, Ordering::SeqCst), 0);
+
+    let res = Resolution::new(96, 54);
+    let mut extractor = FeatureExtractor::new(
+        MobileNetConfig::with_width(0.25),
+        vec![
+            ff_models::LAYER_LOCALIZED_TAP.to_string(),
+            ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+        ],
+    );
+    let full = McSpec::full_frame("ff", 1);
+    let localized = McSpec::localized(
+        "loc",
+        Some(ff_data::CropRect {
+            x0: 0.1,
+            y0: 0.2,
+            x1: 0.9,
+            y1: 0.8,
+        }),
+        2,
+    );
+    let mut mcs = vec![
+        full.build(&extractor, res, ff_core::McId(0)),
+        localized.build(&extractor, res, ff_core::McId(1)),
+    ];
+
+    let frame = Tensor::filled(vec![res.height, res.width, 3], 0.4);
+
+    // Warm-up: grows every workspace to its steady-state set, fills the
+    // smoothing windows, opens the (constant-decision) event, and pays the
+    // one-time thread-pool spawn.
+    for _ in 0..10 {
+        let maps = extractor.extract(&frame);
+        for mc in &mut mcs {
+            let fm = maps.get(&mc.spec().tap);
+            let _ = mc.process_tap(fm);
+        }
+    }
+
+    let before = allocs();
+    for _ in 0..20 {
+        let _maps = extractor.extract(&frame);
+    }
+    let mid = allocs();
+    assert_eq!(
+        mid - before,
+        0,
+        "extraction allocated {} times over 20 frames",
+        mid - before
+    );
+    for _ in 0..20 {
+        let maps = extractor.extract(&frame);
+        for mc in &mut mcs {
+            let fm = maps.get(&mc.spec().tap);
+            let _ = std::hint::black_box(mc.process_tap(fm));
+        }
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "hot loop allocated {} times over 20 frames",
+        after - before
+    );
+}
