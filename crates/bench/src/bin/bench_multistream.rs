@@ -1,0 +1,209 @@
+//! Multi-stream scaling: aggregate frames/sec of the [`EdgeNode`] runtime
+//! over streams × shard layouts, against the serial single-stream loop on
+//! the same thread budget — the node-scale counterpart of Figure 5.
+//!
+//! Every run's per-stream verdicts are checked **bit-for-bit** against the
+//! serial `FilterForward::process` path before its throughput is reported,
+//! so a number only lands in the JSON if the sharded, pipelined execution
+//! is provably equivalent.
+//!
+//! Results are spliced into `BENCH_throughput.json` (next to the
+//! single-stream rows emitted by `bench_throughput`) under a
+//! `"multistream"` key.
+//!
+//! Usage: `cargo run --release -p ff-bench --bin bench_multistream`
+//! (override the output path with `BENCH_OUT=/path/file.json`, per-stream
+//! frame count with `BENCH_FRAMES=n`).
+
+use std::io::Write;
+use std::time::Instant;
+
+use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, ShardLayout};
+use ff_core::McSpec;
+use ff_models::MobileNetConfig;
+use ff_video::scene::{Scene, SceneConfig};
+use ff_video::{Resolution, SceneSource};
+
+/// Scale-16 geometry (1920/16 × ~1080/16), the single-stream bench size.
+const RES: Resolution = Resolution::new(120, 67);
+const STREAM_SEEDS: [u64; 4] = [41, 42, 43, 44];
+/// Fastest-of-repeats, the convention of the single-stream harness.
+const REPEATS: usize = 2;
+
+fn scene_cfg(seed: u64) -> SceneConfig {
+    SceneConfig {
+        resolution: RES,
+        seed,
+        pedestrian_rate: 0.03,
+        car_rate: 0.02,
+        ..Default::default()
+    }
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(RES, 15.0);
+    cfg.mobilenet = MobileNetConfig::with_width(0.5);
+    cfg.archive = None; // isolate filtering cost, as in the Figure 5 runs
+    cfg
+}
+
+fn deploy_mc(ff: &mut FilterForward, stream: usize) {
+    ff.deploy(McSpec::full_frame(
+        format!("s{stream}"),
+        200 + stream as u64,
+    ));
+}
+
+/// Serial gold: verdicts of one stream through the plain `process` loop.
+fn serial_verdicts(stream: usize, frames: &[ff_video::Frame]) -> Vec<FrameVerdict> {
+    let mut ff = FilterForward::new(pipeline_cfg());
+    deploy_mc(&mut ff, stream);
+    let mut verdicts = Vec::new();
+    for f in frames {
+        verdicts.extend(ff.process(f));
+    }
+    let (tail, ..) = ff.finish();
+    verdicts.extend(tail);
+    verdicts
+}
+
+/// Single-stream serial fps on the full thread budget (warm-up frame, then
+/// fastest of repeats — the single-stream harness convention).
+fn serial_fps(frames: &[ff_video::Frame]) -> f64 {
+    let mut ff = FilterForward::new(pipeline_cfg());
+    deploy_mc(&mut ff, 0);
+    let _ = ff.process(&frames[0]);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        for f in &frames[1..] {
+            let _ = ff.process(f);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (frames.len() - 1) as f64 / best
+}
+
+/// One `EdgeNode` configuration: `streams` scene streams over `layout`.
+/// Returns the best aggregate fps across repeats after asserting every
+/// stream's verdicts match the serial gold.
+fn measure_node(
+    streams: usize,
+    layout: &ShardLayout,
+    n_frames: u64,
+    gold: &[Vec<FrameVerdict>],
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPEATS {
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(layout.clone()));
+        for (s, &seed) in STREAM_SEEDS.iter().enumerate().take(streams) {
+            let src = Box::new(SceneSource::new(scene_cfg(seed), n_frames));
+            let id = node.add_stream(src, pipeline_cfg());
+            deploy_mc(node.pipeline_mut(id), s);
+        }
+        let report = node.run();
+        for (s, sr) in report.streams.iter().enumerate() {
+            assert_eq!(
+                sr.verdicts,
+                gold[s],
+                "{streams} streams / {:?}: stream {s} verdicts diverged from serial",
+                layout.widths()
+            );
+        }
+        best = best.max(report.node.aggregate_fps());
+    }
+    best
+}
+
+fn main() {
+    let n_frames: u64 = std::env::var("BENCH_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let budget = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Pre-render each stream's frames once for the serial gold/baseline.
+    let rendered: Vec<Vec<ff_video::Frame>> = STREAM_SEEDS
+        .iter()
+        .map(|&seed| {
+            Scene::new(scene_cfg(seed))
+                .take(n_frames as usize)
+                .map(|(f, _)| f)
+                .collect()
+        })
+        .collect();
+    let gold: Vec<Vec<FrameVerdict>> = rendered
+        .iter()
+        .enumerate()
+        .map(|(s, frames)| serial_verdicts(s, frames))
+        .collect();
+
+    ff_tensor::parallel::set_threads(budget);
+    let baseline = serial_fps(&rendered[0]);
+    ff_tensor::parallel::set_threads(0);
+
+    // streams × shard layouts. Shard counts are capped at the budget
+    // (ShardLayout::even's width-≥1 floor would otherwise oversubscribe
+    // on machines with fewer cores than streams, which would invalidate
+    // the "same thread budget" comparison against the serial baseline);
+    // streams beyond the shard count share shards round-robin.
+    let cases: Vec<(&str, usize, ShardLayout)> = vec![
+        ("1s_1shard", 1, ShardLayout::single(budget)),
+        ("2s_sharded", 2, ShardLayout::even(budget, 2.min(budget))),
+        ("4s_sharded", 4, ShardLayout::even(budget, 4.min(budget))),
+        ("4s_1shard", 4, ShardLayout::single(budget)),
+    ];
+    let mut rows: Vec<(String, f64)> = vec![(format!("serial_1s_t{budget}"), baseline)];
+    println!(
+        "{:<24} {baseline:>10.2} fps",
+        format!("serial_1s_t{budget}")
+    );
+    let mut fps_4s_sharded = 0.0;
+    for (name, streams, layout) in &cases {
+        let fps = measure_node(*streams, layout, n_frames, &gold);
+        if *name == "4s_sharded" {
+            fps_4s_sharded = fps;
+        }
+        println!(
+            "{name:<24} {fps:>10.2} fps  (aggregate, shards {:?})",
+            layout.widths()
+        );
+        rows.push((name.to_string(), fps));
+    }
+    let speedup = fps_4s_sharded / baseline;
+    println!("4-stream aggregate vs serial single-stream: {speedup:.2}x (budget {budget} threads)");
+    println!("verdicts: bit-for-bit identical to the serial pipeline for every layout");
+
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    let mut section = String::from("  \"multistream\": {\n");
+    section.push_str(&format!(
+        "    \"config\": {{\"resolution\": \"{RES}\", \"frames_per_stream\": {n_frames}, \"budget_threads\": {budget}}},\n"
+    ));
+    section.push_str("    \"aggregate_fps\": {\n");
+    for (i, (name, fps)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        section.push_str(&format!("      \"{name}\": {fps:.2}{comma}\n"));
+    }
+    section.push_str("    },\n");
+    section.push_str(&format!("    \"speedup_4s_vs_serial\": {speedup:.2},\n"));
+    section.push_str("    \"verdicts_identical\": true\n  }\n}\n");
+
+    // Splice after the single-stream rows: replace an existing
+    // "multistream" section, else insert before the closing brace.
+    let base = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let head = match base.find(",\n  \"multistream\"") {
+        Some(i) => base[..i].to_string(),
+        None => {
+            let close = base.rfind('}').expect("existing json must be an object");
+            base[..close].trim_end().to_string()
+        }
+    };
+    let mut f = std::fs::File::create(&out_path).expect("create bench json");
+    if head.trim() == "{" {
+        write!(f, "{{\n{section}").expect("write bench json");
+    } else {
+        write!(f, "{head},\n{section}").expect("write bench json");
+    }
+    println!("wrote {out_path}");
+}

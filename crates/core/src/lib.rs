@@ -15,8 +15,10 @@
 //!   Figure-2 architectures with temporal buffering).
 //! * [`smoothing`] / [`events`] — K-voting and the transition detector
 //!   that assigns monotonically increasing per-MC event IDs.
-//! * [`pipeline`] — the end-to-end edge node: archive, extract, classify,
-//!   smooth, re-encode, upload.
+//! * [`pipeline`] — the end-to-end per-stream pipeline: archive, extract,
+//!   classify, smooth, re-encode, upload.
+//! * [`runtime`] — the multi-stream edge node: N pipelined streams over a
+//!   sharded worker pool sharing one uplink.
 //! * [`archive`] — local storage + demand-fetch of context segments.
 //! * [`uplink`] — the constrained link model.
 //! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1
@@ -61,6 +63,7 @@ pub mod node;
 pub mod pipeline;
 pub mod pretrain;
 pub mod query;
+pub mod runtime;
 pub mod smoothing;
 pub mod spec;
 pub mod train;
@@ -69,6 +72,7 @@ pub mod uplink;
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};
 pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};
+pub use runtime::{EdgeNode, EdgeNodeConfig, NodeReport, NodeStats, ShardLayout, StreamId};
 pub use smoothing::{KVotingSmoother, SmoothingConfig};
 pub use spec::{McKind, McModel, McRuntime, McSpec};
 pub use train::{train_dc, train_mc, TrainConfig, TrainedMc};

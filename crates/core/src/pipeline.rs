@@ -46,7 +46,7 @@ impl PipelineConfig {
 }
 
 /// Final verdict for one frame after all MCs decided.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameVerdict {
     /// Frame index.
     pub frame: u64,
@@ -262,10 +262,40 @@ impl FilterForward {
     /// order). With temporal smoothing, verdicts trail the input by each
     /// MC's delay.
     ///
+    /// Decode (pixel → tensor) and inference run back to back on the
+    /// calling thread; the pipelined runtime ([`crate::runtime::EdgeNode`])
+    /// decodes on a separate stage thread and calls [`Self::process_decoded`]
+    /// instead. Both paths produce identical verdicts.
+    ///
     /// # Panics
     ///
     /// Panics if no MCs are deployed.
     pub fn process(&mut self, frame: &Frame) -> Vec<FrameVerdict> {
+        let t0 = Instant::now();
+        let tensor = frame.to_tensor();
+        self.timers.base_dnn += t0.elapsed();
+        self.process_decoded(frame, &tensor)
+    }
+
+    /// Credits decode time spent on another thread (a pipeline decode
+    /// stage) to the base-DNN phase timer, so [`PhaseTimers`] keeps its
+    /// meaning — decode + feature extraction, in CPU-seconds — identically
+    /// between the serial and pipelined paths.
+    pub(crate) fn credit_decode(&mut self, d: Duration) {
+        self.timers.base_dnn += d;
+    }
+
+    /// Ingests one frame whose tensor was already decoded (by a pipeline
+    /// decode stage), returning any frames that became final (in order).
+    ///
+    /// `tensor` must be `frame.to_tensor()`; splitting the conversion out
+    /// lets the decode of frame `t + 1` overlap the extraction of frame `t`
+    /// when the stages run on different threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MCs are deployed.
+    pub fn process_decoded(&mut self, frame: &Frame, tensor: &Tensor) -> Vec<FrameVerdict> {
         assert!(
             !self.mcs.is_empty(),
             "deploy at least one MC before streaming"
@@ -291,8 +321,7 @@ impl FilterForward {
         // Phase 1: shared base-DNN feature extraction (timed). The returned
         // maps borrow the extractor's internal workspace-backed buffers.
         let t0 = Instant::now();
-        let tensor = frame.to_tensor();
-        let maps = self.extractor.extract(&tensor);
+        let maps = self.extractor.extract(tensor);
         self.timers.base_dnn += t0.elapsed();
 
         // Phase 2: every MC consumes the shared maps (timed as one block,

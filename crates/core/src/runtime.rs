@@ -1,0 +1,577 @@
+//! The multi-stream edge-node runtime: N camera streams, each with its own
+//! pipelined [`FilterForward`] instance, driven concurrently over a sharded
+//! persistent worker pool and sharing one constrained [`Uplink`].
+//!
+//! # Stage / channel architecture
+//!
+//! Each stream runs as a three-stage pipeline connected by **bounded**
+//! channels (capacity [`EdgeNodeConfig::queue_depth`]), so a slow stage
+//! exerts backpressure instead of growing queues:
+//!
+//! ```text
+//!  decode thread          inference thread              collector (caller)
+//!  ┌─────────────┐  ch   ┌───────────────────────┐  ch  ┌────────────────┐
+//!  │ FrameSource │ ────▶ │ extract → MCs → smooth │ ───▶ │ uplink + stats │
+//!  │ + to_tensor │       │ (FilterForward, scoped │      │ (shared across │
+//!  └─────────────┘       │  to one PoolShard)     │      │  all streams)  │
+//!                        └───────────────────────┘       └────────────────┘
+//! ```
+//!
+//! - **Decode** pulls frames from the stream's [`FrameSource`] and converts
+//!   pixels to the input tensor, so decode of frame `t + 1` overlaps
+//!   extraction of frame `t`.
+//! - **Inference** owns the stream's [`FilterForward`] (extraction, the MC
+//!   loop, K-voting, event assembly, re-encode — all of the per-frame work,
+//!   which shares one workspace and therefore one stage thread; see
+//!   [`FilterForward::process_decoded`]). Every kernel it dispatches is
+//!   scoped to the stream's [`PoolShard`], so streams' base-DNN passes run
+//!   concurrently on disjoint worker subsets.
+//! - **Collector** (the thread that called [`EdgeNode::run`]) interleaves
+//!   finished verdicts across streams in a fixed round-robin order — frame
+//!   `r` of stream 0, frame `r` of stream 1, … — and offers matched frames
+//!   to the shared [`Uplink`]. The fixed order makes node-level uplink
+//!   accounting (backlog, drops, peak delay) deterministic even though the
+//!   stage threads race.
+//!
+//! # Determinism
+//!
+//! Per-stream verdicts are **bit-for-bit identical** to running the same
+//! frames through a serial [`FilterForward::process`] loop, for every shard
+//! layout: tensor-kernel results are independent of thread count (see
+//! [`ff_tensor::parallel`]), streams share no mutable inference state, and
+//! stage boundaries only move *where* work happens, never what is computed.
+
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::time::{Duration, Instant};
+
+use ff_tensor::{PoolShard, Tensor};
+use ff_video::{Frame, FrameSource};
+
+use crate::events::McId;
+use crate::pipeline::{FilterForward, FrameVerdict, PhaseTimers, PipelineConfig, PipelineStats};
+use crate::spec::McSpec;
+use crate::uplink::Uplink;
+
+/// Identifier of a stream within one [`EdgeNode`] (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+/// How the node's thread budget is partitioned into [`PoolShard`]s.
+///
+/// Streams are assigned to shards round-robin (`stream i → shard i mod
+/// shards`); streams sharing a shard serialize their kernels on its
+/// submission lock but still pipeline their decode stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLayout {
+    widths: Vec<usize>,
+}
+
+impl ShardLayout {
+    /// One shard of the given width — every stream shares it.
+    pub fn single(width: usize) -> Self {
+        ShardLayout {
+            widths: vec![width.max(1)],
+        }
+    }
+
+    /// `shards` shards splitting `budget` threads as evenly as possible
+    /// (earlier shards get the remainder; every shard has width ≥ 1).
+    ///
+    /// Note that the width-≥ 1 floor means `shards > budget`
+    /// **oversubscribes**: `even(2, 4)` yields four width-1 shards (total
+    /// budget 4). Callers comparing against a fixed thread budget should
+    /// cap the shard count at the budget first.
+    pub fn even(budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = budget / shards;
+        let extra = budget % shards;
+        ShardLayout {
+            widths: (0..shards)
+                .map(|i| (base + usize::from(i < extra)).max(1))
+                .collect(),
+        }
+    }
+
+    /// Explicit per-shard widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty or contains a zero.
+    pub fn explicit(widths: Vec<usize>) -> Self {
+        assert!(
+            !widths.is_empty() && widths.iter().all(|&w| w > 0),
+            "shard widths must be non-empty and positive"
+        );
+        ShardLayout { widths }
+    }
+
+    /// Per-shard thread widths.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Total thread budget across shards.
+    pub fn budget(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    /// Builds at most `max_shards` shards (streams are assigned round-robin,
+    /// so shards beyond the stream count would only park idle workers).
+    fn build(&self, max_shards: usize) -> Vec<PoolShard> {
+        self.widths[..self.widths.len().min(max_shards.max(1))]
+            .iter()
+            .map(|&w| PoolShard::new(w))
+            .collect()
+    }
+}
+
+/// Node-level configuration.
+#[derive(Debug, Clone)]
+pub struct EdgeNodeConfig {
+    /// Worker-pool partitioning across streams.
+    pub shards: ShardLayout,
+    /// Capacity of each inter-stage channel. Small values (the default, 2)
+    /// bound in-flight frames per stream to `2 × queue_depth` while still
+    /// letting adjacent stages overlap.
+    pub queue_depth: usize,
+    /// Capacity of the shared edge-to-cloud uplink in bits/second.
+    pub uplink_capacity_bps: f64,
+    /// Bounds the uplink send queue; uploads beyond it are dropped
+    /// (counted in [`NodeStats::uplink_dropped`]). `None` = unbounded.
+    pub uplink_queue_limit_bytes: Option<u64>,
+}
+
+impl EdgeNodeConfig {
+    /// A config with sensible defaults: the given shard layout, stage
+    /// queues of 2, and a 1 Mb/s shared uplink (a few hundred kb/s per
+    /// stream at paper scale).
+    pub fn new(shards: ShardLayout) -> Self {
+        EdgeNodeConfig {
+            shards,
+            queue_depth: 2,
+            uplink_capacity_bps: 1_000_000.0,
+            uplink_queue_limit_bytes: None,
+        }
+    }
+}
+
+/// Everything one stream produced over a run.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// The stream.
+    pub id: StreamId,
+    /// Every frame's final verdict, in frame order.
+    pub verdicts: Vec<FrameVerdict>,
+    /// The stream's pipeline statistics.
+    pub stats: PipelineStats,
+    /// The stream's phase timers.
+    pub timers: PhaseTimers,
+    /// Bytes this stream offered to the shared uplink.
+    pub offered_bytes: u64,
+}
+
+/// Node-level aggregates over all streams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Streams driven.
+    pub streams: usize,
+    /// Summed per-stream pipeline statistics.
+    pub pipeline: PipelineStats,
+    /// Summed per-stream phase timers (CPU-seconds, not wall).
+    pub timers: PhaseTimers,
+    /// Uplink queue depth at end of run, in bits.
+    pub uplink_backlog_bits: f64,
+    /// Worst uplink queueing delay observed, in seconds.
+    pub uplink_peak_delay_secs: f64,
+    /// Uploads dropped by the uplink queue limit.
+    pub uplink_dropped: u64,
+    /// Offered uplink load as a fraction of capacity.
+    pub uplink_utilization: f64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl NodeStats {
+    /// Aggregate frames per second across all streams (finalized frames
+    /// over wall-clock).
+    pub fn aggregate_fps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.pipeline.frames_out as f64 / secs
+        }
+    }
+}
+
+/// The result of [`EdgeNode::run`]: per-stream and node-level views.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// One report per stream, indexed by [`StreamId`].
+    pub streams: Vec<StreamReport>,
+    /// Node-level aggregates.
+    pub node: NodeStats,
+}
+
+struct StreamEntry {
+    source: Box<dyn FrameSource>,
+    ff: FilterForward,
+}
+
+/// Messages an inference stage sends to the collector.
+enum Msg {
+    Verdict(FrameVerdict),
+    Done(Box<(PipelineStats, PhaseTimers)>),
+}
+
+/// A multi-stream edge node.
+///
+/// Add streams ([`Self::add_stream`]), deploy microclassifiers per stream
+/// ([`Self::deploy`] / [`Self::pipeline_mut`] for weight installation and
+/// calibration), then [`Self::run`] to drive every source to exhaustion.
+///
+/// See the [module docs](self) for the stage/channel architecture.
+pub struct EdgeNode {
+    cfg: EdgeNodeConfig,
+    streams: Vec<StreamEntry>,
+}
+
+impl std::fmt::Debug for EdgeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EdgeNode({} streams, {:?})",
+            self.streams.len(),
+            self.cfg.shards
+        )
+    }
+}
+
+impl EdgeNode {
+    /// Creates an empty node.
+    pub fn new(cfg: EdgeNodeConfig) -> Self {
+        EdgeNode {
+            cfg,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Registers a camera stream with its pipeline configuration, returning
+    /// the stream's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's resolution disagrees with the pipeline
+    /// config's.
+    pub fn add_stream(
+        &mut self,
+        source: Box<dyn FrameSource>,
+        pipeline: PipelineConfig,
+    ) -> StreamId {
+        assert_eq!(
+            source.resolution(),
+            pipeline.resolution,
+            "stream source and pipeline resolution disagree"
+        );
+        let id = StreamId(self.streams.len());
+        self.streams.push(StreamEntry {
+            source,
+            ff: FilterForward::new(pipeline),
+        });
+        id
+    }
+
+    /// Streams registered so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Deploys a microclassifier on one stream.
+    pub fn deploy(&mut self, stream: StreamId, spec: McSpec) -> McId {
+        self.streams[stream.0].ff.deploy(spec)
+    }
+
+    /// Mutable access to a stream's pipeline (install trained MC weights,
+    /// calibrate the extractor, tune thresholds) before running.
+    pub fn pipeline_mut(&mut self, stream: StreamId) -> &mut FilterForward {
+        &mut self.streams[stream.0].ff
+    }
+
+    /// Drives every stream to end-of-source and returns per-stream and
+    /// node-level results.
+    ///
+    /// Spawns two stage threads per stream (decode, inference) and collects
+    /// verdicts on the calling thread; returns once every source is
+    /// exhausted and every in-flight frame is finalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no streams are registered, a stream has no MCs deployed,
+    /// or a stage thread panics.
+    pub fn run(self) -> NodeReport {
+        let EdgeNode { cfg, streams } = self;
+        let n = streams.len();
+        assert!(n > 0, "add at least one stream before running");
+        let shards = cfg.shards.build(n);
+
+        // The uplink drains once per offer; the collector offers once per
+        // stream slot per round (finished streams offer zero bytes), so
+        // the per-offer interval is 1/(fps·n) of a second and the drain
+        // rate stays `capacity_bps` even when streams end at different
+        // lengths. The lock-step round model prices every stream at one
+        // common cadence — the fastest stream's fps — which is exact for
+        // same-rate cameras (the usual deployment) and an approximation
+        // for mixed-rate ones.
+        let fps = streams
+            .iter()
+            .map(|s| s.source.fps())
+            .fold(f64::NAN, f64::max);
+        let mut uplink = Uplink::new(cfg.uplink_capacity_bps, fps.max(1.0) * n as f64);
+        if let Some(limit) = cfg.uplink_queue_limit_bytes {
+            uplink = uplink.with_queue_limit_bytes(limit);
+        }
+
+        let mut reports: Vec<StreamReport> = (0..n)
+            .map(|i| StreamReport {
+                id: StreamId(i),
+                verdicts: Vec::new(),
+                stats: PipelineStats::default(),
+                timers: PhaseTimers::default(),
+                offered_bytes: 0,
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut verdict_rx: Vec<Receiver<Msg>> = Vec::with_capacity(n);
+            for (i, entry) in streams.into_iter().enumerate() {
+                let StreamEntry { mut source, mut ff } = entry;
+                let shard = &shards[i % shards.len()];
+                let (frame_tx, frame_rx) =
+                    sync_channel::<(Frame, Tensor, Duration)>(cfg.queue_depth);
+                // Verdict sends are the collector's lock-step pacing, so
+                // give them a little extra slack over the frame channel.
+                let (msg_tx, msg_rx) = sync_channel::<Msg>(cfg.queue_depth * 2 + 2);
+                verdict_rx.push(msg_rx);
+
+                scope.spawn(move || {
+                    // Decode stage: synthetic decode + pixel→tensor. The
+                    // conversion is timed so `PhaseTimers::base_dnn` keeps
+                    // its serial-path meaning (decode + extraction) even
+                    // though decode runs on its own thread here.
+                    while let Some(frame) = source.next_frame() {
+                        let t = Instant::now();
+                        let tensor = frame.to_tensor();
+                        let decode = t.elapsed();
+                        if frame_tx.send((frame, tensor, decode)).is_err() {
+                            return; // inference stage died; unwind quietly
+                        }
+                    }
+                });
+                scope.spawn(move || {
+                    // Inference stage: extraction → MCs → smoothing, every
+                    // kernel scoped to this stream's shard.
+                    for (frame, tensor, decode) in frame_rx {
+                        ff.credit_decode(decode);
+                        let verdicts = shard.run(|| ff.process_decoded(&frame, &tensor));
+                        for v in verdicts {
+                            if msg_tx.send(Msg::Verdict(v)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    let (tail, stats, timers) = ff.finish();
+                    for v in tail {
+                        if msg_tx.send(Msg::Verdict(v)).is_err() {
+                            return;
+                        }
+                    }
+                    let _ = msg_tx.send(Msg::Done(Box::new((stats, timers))));
+                });
+            }
+
+            // Collector: lock-step rounds — one verdict per open stream per
+            // round, offered to the shared uplink in stream order.
+            let mut open = vec![true; n];
+            let mut remaining = n;
+            while remaining > 0 {
+                for (s, rx) in verdict_rx.iter().enumerate() {
+                    if !open[s] {
+                        // A finished stream's slot still advances the
+                        // shared link one drain interval, keeping the
+                        // drain rate at capacity when streams end at
+                        // different lengths.
+                        uplink.offer(0);
+                        continue;
+                    }
+                    match rx.recv() {
+                        Ok(Msg::Verdict(v)) => {
+                            let report = &mut reports[s];
+                            report.offered_bytes += v.uploaded_bytes as u64;
+                            uplink.offer(v.uploaded_bytes);
+                            report.verdicts.push(v);
+                        }
+                        Ok(Msg::Done(boxed)) => {
+                            let (stats, timers) = *boxed;
+                            reports[s].stats = stats;
+                            reports[s].timers = timers;
+                            open[s] = false;
+                            remaining -= 1;
+                        }
+                        Err(_) => {
+                            // Stage thread died without Done: the scope
+                            // join below re-raises its panic.
+                            open[s] = false;
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+        });
+        let wall = t0.elapsed();
+
+        let mut pipeline = PipelineStats::default();
+        let mut timers = PhaseTimers::default();
+        for r in &reports {
+            pipeline.frames_in += r.stats.frames_in;
+            pipeline.frames_out += r.stats.frames_out;
+            pipeline.frames_uploaded += r.stats.frames_uploaded;
+            pipeline.bytes_uploaded += r.stats.bytes_uploaded;
+            pipeline.bytes_archived += r.stats.bytes_archived;
+            pipeline.events_closed += r.stats.events_closed;
+            timers.base_dnn += r.timers.base_dnn;
+            timers.microclassifiers += r.timers.microclassifiers;
+            timers.frames += r.timers.frames;
+        }
+        NodeReport {
+            streams: reports,
+            node: NodeStats {
+                streams: n,
+                pipeline,
+                timers,
+                uplink_backlog_bits: uplink.backlog_bits(),
+                uplink_peak_delay_secs: uplink.peak_delay_secs(),
+                uplink_dropped: uplink.dropped(),
+                uplink_utilization: uplink.utilization(),
+                wall,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::ArchiveConfig;
+    use ff_models::MobileNetConfig;
+    use ff_video::scene::SceneConfig;
+    use ff_video::{Resolution, SceneSource};
+
+    fn tiny_pipeline(res: Resolution) -> PipelineConfig {
+        PipelineConfig {
+            mobilenet: MobileNetConfig::with_width(0.25),
+            resolution: res,
+            fps: 15.0,
+            upload_bitrate_bps: 100_000.0,
+            archive: None,
+        }
+    }
+
+    fn scene_cfg(res: Resolution, seed: u64) -> SceneConfig {
+        SceneConfig {
+            resolution: res,
+            seed,
+            pedestrian_rate: 0.2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_streams_finalize_every_frame() {
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::even(2, 2)));
+        for seed in [3, 4] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 10));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let report = node.run();
+        assert_eq!(report.streams.len(), 2);
+        for (s, sr) in report.streams.iter().enumerate() {
+            assert_eq!(sr.verdicts.len(), 10, "stream {s}");
+            let frames: Vec<u64> = sr.verdicts.iter().map(|v| v.frame).collect();
+            assert_eq!(frames, (0..10).collect::<Vec<_>>(), "stream {s} order");
+            assert_eq!(sr.stats.frames_out, 10);
+        }
+        assert_eq!(report.node.pipeline.frames_out, 20);
+        assert_eq!(report.node.timers.frames, 20);
+        assert!(report.node.aggregate_fps() > 0.0);
+    }
+
+    #[test]
+    fn streams_sharing_one_shard_still_complete() {
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(2)));
+        for seed in [7, 8, 9] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 6));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            node.deploy(id, McSpec::windowed(format!("mc{seed}"), None, seed));
+        }
+        let report = node.run();
+        assert_eq!(report.node.pipeline.frames_out, 18);
+    }
+
+    #[test]
+    fn shared_uplink_accounts_per_stream_offers() {
+        let res = Resolution::new(64, 32);
+        let mut cfg = EdgeNodeConfig::new(ShardLayout::even(1, 1));
+        cfg.uplink_capacity_bps = 10_000.0; // tight: force backlog
+        let mut node = EdgeNode::new(cfg);
+        for seed in [1, 2] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 8));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            // threshold 0 ⇒ every frame matches and uploads.
+            let spec = McSpec {
+                threshold: 0.0,
+                smoothing: crate::smoothing::SmoothingConfig { n: 1, k: 1 },
+                ..McSpec::full_frame(format!("all{seed}"), seed)
+            };
+            node.deploy(id, spec);
+        }
+        let report = node.run();
+        let offered: u64 = report.streams.iter().map(|s| s.offered_bytes).sum();
+        assert_eq!(offered, report.node.pipeline.bytes_uploaded);
+        assert!(report.streams.iter().all(|s| s.offered_bytes > 0));
+        assert!(report.node.uplink_utilization > 1.0, "link must saturate");
+        assert!(report.node.uplink_backlog_bits > 0.0);
+    }
+
+    #[test]
+    fn archive_still_works_under_the_runtime() {
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(1)));
+        let src = Box::new(SceneSource::new(scene_cfg(res, 11), 5));
+        let mut pipeline = tiny_pipeline(res);
+        pipeline.archive = Some(ArchiveConfig::default());
+        let id = node.add_stream(src, pipeline);
+        node.deploy(id, McSpec::full_frame("a", 1));
+        let report = node.run();
+        assert!(report.node.pipeline.bytes_archived > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "add at least one stream")]
+    fn running_empty_node_panics() {
+        let node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(1)));
+        let _ = node.run();
+    }
+
+    #[test]
+    fn shard_layouts_partition_budget() {
+        assert_eq!(ShardLayout::even(8, 3).widths(), &[3, 3, 2]);
+        assert_eq!(ShardLayout::even(2, 4).widths(), &[1, 1, 1, 1]);
+        assert_eq!(ShardLayout::even(8, 3).budget(), 8);
+        assert_eq!(ShardLayout::single(4).widths(), &[4]);
+        assert_eq!(ShardLayout::explicit(vec![2, 1]).budget(), 3);
+    }
+}

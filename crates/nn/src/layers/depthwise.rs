@@ -64,10 +64,21 @@ impl DepthwiseConv2d {
     }
 }
 
-/// The shared depthwise-convolution kernel: bias-seeded accumulation over a
-/// per-cell-clipped tap rectangle (branch-free inner loops that vectorize
-/// over channels), with an optional fused `·scale + shift → ReLU` tail
-/// applied while each cell is register/L1-resident.
+/// The shared depthwise-convolution kernel, split into **interior** and
+/// **border** output columns per row:
+///
+/// - Interior cells (tap rectangle fully inside the input in x) run a
+///   branch-free kernel with explicit 8-wide SIMD over channels and the
+///   accumulator held in registers across all `k²` taps — the hot path,
+///   covering almost every cell at stream resolutions.
+/// - Border cells (clipped by SAME padding) keep the per-cell-clipped
+///   scalar loops.
+///
+/// Both paths accumulate `bias + Σ_ky Σ_kx x·w` per channel in the same
+/// order with the same mul-then-add semantics (no FMA contraction), so the
+/// split — and the SIMD width — never changes a single bit of the output.
+/// The optional fused `·scale + shift → ReLU` tail is applied while each
+/// cell is register/L1-resident.
 ///
 /// Used by both [`DepthwiseConv2d`] (no tail) and
 /// [`crate::layers::fused::DepthwiseBnRelu`] (folded-norm tail), so the two
@@ -87,36 +98,211 @@ pub(crate) fn depthwise_forward(
     let out_w = geo.out_w;
     let stride = geo.stride;
     let (pad_top, pad_left) = (geo.pad_top, geo.pad_left);
+    // Output columns whose tap rectangle is fully inside `0..in_w`:
+    // `ox·stride ≥ pad_left` and `ox·stride + k ≤ in_w + pad_left`.
+    let ix_lo = pad_left.div_ceil(stride).min(out_w);
+    let ix_hi = if in_w + pad_left >= k {
+        ((in_w + pad_left - k) / stride + 1).clamp(ix_lo, out_w)
+    } else {
+        ix_lo
+    };
     ff_tensor::parallel::parallel_rows_mut(out.data_mut(), out_w * c, |oy, row| {
         let y0 = (oy * stride) as isize - pad_top as isize;
-        for ox in 0..out_w {
-            let cell = &mut row[ox * c..(ox + 1) * c];
-            cell.copy_from_slice(bias);
-            let x0 = (ox * stride) as isize - pad_left as isize;
-            // Clip the tap rectangle once per cell; the inner loops are
-            // then branch-free and vectorize over channels.
-            let ky_lo = (-y0).clamp(0, k as isize) as usize;
-            let ky_hi = ((in_h as isize - y0).clamp(0, k as isize)) as usize;
-            let kx_lo = (-x0).clamp(0, k as isize) as usize;
-            let kx_hi = ((in_w as isize - x0).clamp(0, k as isize)) as usize;
-            for ky in ky_lo..ky_hi {
-                let y = (y0 + ky as isize) as usize;
-                for kx in kx_lo..kx_hi {
-                    let xx = (x0 + kx as isize) as usize;
-                    let xs = &xd[(y * in_w + xx) * c..][..c];
-                    let ws = &weight[(ky * k + kx) * c..][..c];
-                    for ((o, &xv), &wv) in cell.iter_mut().zip(xs).zip(ws) {
-                        *o += xv * wv;
-                    }
-                }
-            }
-            if let Some((scale, shift)) = norm_relu_tail {
-                for ((o, &s), &t) in cell.iter_mut().zip(scale).zip(shift) {
-                    *o = (*o * s + t).max(0.0);
-                }
-            }
+        // Vertical clip is shared by every cell of the row.
+        let ky_lo = (-y0).clamp(0, k as isize) as usize;
+        let ky_hi = ((in_h as isize - y0).clamp(0, k as isize)) as usize;
+        for ox in (0..ix_lo).chain(ix_hi..out_w) {
+            border_cell(
+                xd,
+                weight,
+                bias,
+                norm_relu_tail,
+                &mut row[ox * c..(ox + 1) * c],
+                (ox * stride) as isize - pad_left as isize,
+                y0,
+                (ky_lo, ky_hi),
+                k,
+                c,
+                in_w,
+            );
+        }
+        for ox in ix_lo..ix_hi {
+            interior_cell(
+                xd,
+                weight,
+                bias,
+                norm_relu_tail,
+                &mut row[ox * c..(ox + 1) * c],
+                ox * stride - pad_left,
+                y0,
+                (ky_lo, ky_hi),
+                k,
+                c,
+                in_w,
+            );
         }
     });
+}
+
+/// A padding-clipped output cell: tap ranges clamped per cell, scalar
+/// accumulation over the surviving taps.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn border_cell(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cell: &mut [f32],
+    x0: isize,
+    y0: isize,
+    (ky_lo, ky_hi): (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+) {
+    cell.copy_from_slice(bias);
+    let kx_lo = (-x0).clamp(0, k as isize) as usize;
+    let kx_hi = ((in_w as isize - x0).clamp(0, k as isize)) as usize;
+    for ky in ky_lo..ky_hi {
+        let y = (y0 + ky as isize) as usize;
+        for kx in kx_lo..kx_hi {
+            let xx = (x0 + kx as isize) as usize;
+            let xs = &xd[(y * in_w + xx) * c..][..c];
+            let ws = &weight[(ky * k + kx) * c..][..c];
+            for ((o, &xv), &wv) in cell.iter_mut().zip(xs).zip(ws) {
+                *o += xv * wv;
+            }
+        }
+    }
+    if let Some((scale, shift)) = tail {
+        for ((o, &s), &t) in cell.iter_mut().zip(scale).zip(shift) {
+            *o = (*o * s + t).max(0.0);
+        }
+    }
+}
+
+/// An interior output cell (no x-clipping): channels are processed eight at
+/// a time with AVX2, the accumulator staying in a `ymm` register across all
+/// `k²` taps. Mul-then-add (`_mm256_mul_ps` + `_mm256_add_ps`, matching the
+/// scalar `acc + x·w` — rustc does not contract) keeps the result
+/// bit-identical to [`border_cell`]'s accumulation on the same taps.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn interior_cell(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cell: &mut [f32],
+    x0: usize,
+    y0: isize,
+    (ky_lo, ky_hi): (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+) {
+    use std::arch::x86_64::*;
+    let simd_c = c - c % 8;
+    // SAFETY: avx2 is a compile-time target feature here; interior cells
+    // guarantee `x0 + k ≤ in_w` and the row clip guarantees
+    // `0 ≤ y0 + ky < in_h`, so every 8-lane load below is in bounds of
+    // `xd`/`weight` for channels `< simd_c ≤ c`.
+    unsafe {
+        let mut ch = 0;
+        while ch < simd_c {
+            let mut acc = _mm256_loadu_ps(bias.as_ptr().add(ch));
+            for ky in ky_lo..ky_hi {
+                let y = (y0 + ky as isize) as usize;
+                let xrow = xd.as_ptr().add((y * in_w + x0) * c + ch);
+                let wrow = weight.as_ptr().add(ky * k * c + ch);
+                for kx in 0..k {
+                    let xv = _mm256_loadu_ps(xrow.add(kx * c));
+                    let wv = _mm256_loadu_ps(wrow.add(kx * c));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, wv));
+                }
+            }
+            if let Some((scale, shift)) = tail {
+                let s = _mm256_loadu_ps(scale.as_ptr().add(ch));
+                let t = _mm256_loadu_ps(shift.as_ptr().add(ch));
+                acc = _mm256_max_ps(_mm256_add_ps(_mm256_mul_ps(acc, s), t), _mm256_setzero_ps());
+            }
+            _mm256_storeu_ps(cell.as_mut_ptr().add(ch), acc);
+            ch += 8;
+        }
+    }
+    interior_cell_scalar(
+        xd,
+        weight,
+        bias,
+        tail,
+        cell,
+        x0,
+        y0,
+        (ky_lo, ky_hi),
+        k,
+        c,
+        in_w,
+        simd_c,
+    );
+}
+
+/// Scalar interior path: the whole cell on non-AVX2 builds.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn interior_cell(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cell: &mut [f32],
+    x0: usize,
+    y0: isize,
+    ky: (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+) {
+    interior_cell_scalar(xd, weight, bias, tail, cell, x0, y0, ky, k, c, in_w, 0);
+}
+
+/// Register-accumulated scalar kernel for channels `ch0..c` of an interior
+/// cell — the ragged tail of the SIMD path (and the whole cell without
+/// AVX2). Same tap order and mul-then-add semantics as the vector body.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn interior_cell_scalar(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cell: &mut [f32],
+    x0: usize,
+    y0: isize,
+    (ky_lo, ky_hi): (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+    ch0: usize,
+) {
+    for ch in ch0..c {
+        let mut acc = bias[ch];
+        for ky in ky_lo..ky_hi {
+            let y = (y0 + ky as isize) as usize;
+            let base_x = (y * in_w + x0) * c + ch;
+            let base_w = ky * k * c + ch;
+            for kx in 0..k {
+                acc += xd[base_x + kx * c] * weight[base_w + kx * c];
+            }
+        }
+        cell[ch] = if let Some((scale, shift)) = tail {
+            (acc * scale[ch] + shift[ch]).max(0.0)
+        } else {
+            acc
+        };
+    }
 }
 
 impl Layer for DepthwiseConv2d {
@@ -290,6 +476,71 @@ mod tests {
             dw.weight.value.data_mut()[i] = orig;
             let num = (fp - fm) / (2.0 * eps);
             assert!((num - dw.weight.grad.data()[i]).abs() < 1e-2, "dW[{i}]");
+        }
+    }
+
+    #[test]
+    fn interior_border_split_matches_naive_reference_bit_for_bit() {
+        use ff_tensor::{Conv2dGeometry, Padding};
+        use rand::{Rng, SeedableRng};
+        // Geometries chosen to hit every path: channel counts off the
+        // 8-lane SIMD width (scalar tail), widths where interior is empty,
+        // strides > 1, and kernels larger than the input.
+        for &(h, w, c, k, stride) in &[
+            (9usize, 7usize, 5usize, 3usize, 1usize),
+            (8, 11, 8, 3, 2),
+            (6, 6, 11, 3, 1),
+            (5, 4, 16, 5, 2),
+            (4, 2, 3, 3, 1), // interior empty in x
+            (2, 2, 9, 5, 1), // kernel larger than input
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            let x = Tensor::from_vec(
+                vec![h, w, c],
+                (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            let weight: Vec<f32> = (0..k * k * c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let bias: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let scale: Vec<f32> = (0..c).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let shift: Vec<f32> = (0..c).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            let geo = Conv2dGeometry::resolve((h, w, c), (k, k), stride, Padding::Same);
+            for tail in [None, Some((&scale[..], &shift[..]))] {
+                let mut got = Tensor::zeros(vec![geo.out_h, geo.out_w, c]);
+                depthwise_forward(&x, &geo, k, &weight, &bias, tail, &mut got);
+                // Naive reference: same tap order, same mul-then-add.
+                let mut want = Tensor::zeros(vec![geo.out_h, geo.out_w, c]);
+                for oy in 0..geo.out_h {
+                    for ox in 0..geo.out_w {
+                        for ch in 0..c {
+                            let mut acc = bias[ch];
+                            for ky in 0..k {
+                                let y = (oy * stride + ky) as isize - geo.pad_top as isize;
+                                if y < 0 || y >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let xx = (ox * stride + kx) as isize - geo.pad_left as isize;
+                                    if xx < 0 || xx >= w as isize {
+                                        continue;
+                                    }
+                                    acc += x.at3(y as usize, xx as usize, ch)
+                                        * weight[(ky * k + kx) * c + ch];
+                                }
+                            }
+                            if let Some((s, t)) = tail {
+                                acc = (acc * s[ch] + t[ch]).max(0.0);
+                            }
+                            want.data_mut()[(oy * geo.out_w + ox) * c + ch] = acc;
+                        }
+                    }
+                }
+                assert_eq!(
+                    got.data(),
+                    want.data(),
+                    "h{h} w{w} c{c} k{k} s{stride} tail={}",
+                    tail.is_some()
+                );
+            }
         }
     }
 

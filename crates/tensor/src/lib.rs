@@ -60,5 +60,6 @@ pub use matmul::{
     gemm, gemm_fused, gemm_prepacked, matmul, matmul_into, matmul_transpose_a, matmul_transpose_b,
     pack_b_panels_into, packed_panels_len, Epilogue,
 };
+pub use parallel::PoolShard;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

@@ -1,4 +1,5 @@
-//! Data-parallel helpers backed by a **persistent worker pool**.
+//! Data-parallel helpers backed by a **persistent worker pool**, optionally
+//! partitioned into **shards**.
 //!
 //! The original implementation spawned fresh `std::thread::scope` threads on
 //! every kernel call; at streaming-video rates (hundreds of GEMMs per frame)
@@ -17,18 +18,32 @@
 //!   for any worker count — including when fewer workers than chunks execute
 //!   the job (chunks are claimed dynamically, but each chunk's output range
 //!   is fixed up front).
-//! - One job runs at a time (callers serialize on a submission lock); the
-//!   submitting thread participates in chunk execution, so the pool never
-//!   deadlocks even with zero workers.
+//! - One job runs at a time per pool or shard (callers serialize on a
+//!   submission lock); the submitting thread participates in chunk
+//!   execution, so dispatch never deadlocks even with zero workers.
 //! - Kernels calling kernels (re-entrant dispatch from a worker) degrade to
 //!   serial execution of the inner kernel rather than deadlocking.
+//!
+//! # Sharding
+//!
+//! Multi-stream workloads want *independent* kernels running concurrently:
+//! stream A's GEMM must not serialize behind stream B's. A [`PoolShard`] is
+//! a fixed worker subset with its own dispatch state; code run inside
+//! [`PoolShard::run`] sends its kernels to that shard (and splits work by
+//! the shard's width instead of the global [`set_threads`] setting), so any
+//! number of shards execute kernels concurrently while the determinism
+//! contract is preserved: the chunk split is still a pure function of the
+//! work size and the effective thread count, and every kernel accumulates
+//! each output element in a fixed order, so results are bit-for-bit
+//! identical for **any** shard width — a sharded run reproduces the global
+//! pool (which is simply the one-shard case) exactly.
 //!
 //! Worker panics are caught, forwarded, and re-raised on the submitting
 //! thread after the job drains, so a poisoned job cannot wedge the pool.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -37,12 +52,20 @@ static THREADS: AtomicUsize = AtomicUsize::new(0);
 /// `0` (the default) means "use all available parallelism". `1` forces
 /// serial execution. Any value yields bit-identical kernel results; the
 /// setting only trades latency for core usage.
+///
+/// Inside a [`PoolShard::run`] scope the shard's width takes precedence
+/// over this global setting.
 pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Number of chunks kernels will split work into.
+/// Number of chunks kernels will split work into: the enclosing shard's
+/// width inside [`PoolShard::run`], otherwise the global [`set_threads`]
+/// setting.
 pub fn threads() -> usize {
+    if let Some(ctx) = CURRENT_SHARD.with(|c| c.get()) {
+        return ctx.width;
+    }
     match THREADS.load(Ordering::Relaxed) {
         0 => hardware_parallelism(),
         n => n,
@@ -90,6 +113,21 @@ struct State {
     pending: usize,
     /// A chunk panicked; re-raised by the submitter once the job drains.
     panicked: bool,
+    /// Workers exit at the next wakeup (set when a [`PoolShard`] drops).
+    shutdown: bool,
+}
+
+impl State {
+    fn idle() -> Self {
+        State {
+            epoch: 0,
+            job: None,
+            next: 0,
+            pending: 0,
+            panicked: false,
+            shutdown: false,
+        }
+    }
 }
 
 struct Shared {
@@ -100,15 +138,38 @@ struct Shared {
     done: Condvar,
 }
 
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            state: Mutex::new(State::idle()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+}
+
 struct Pool {
     shared: &'static Shared,
     /// Serializes job submission (one job in flight at a time).
     submit: Mutex<()>,
 }
 
+/// The shard context a thread dispatches through, installed for the span of
+/// [`PoolShard::run`]. Raw pointers because a thread-local cannot hold a
+/// borrow; validity is guaranteed by `run` borrowing the shard for the whole
+/// scope and dispatch only happening on the installing thread.
+#[derive(Clone, Copy)]
+struct ShardCtx {
+    shared: *const Shared,
+    submit: *const Mutex<()>,
+    width: usize,
+}
+
 thread_local! {
     /// True on pool workers; re-entrant dispatch falls back to serial.
     static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The enclosing shard, if dispatch is currently scoped to one.
+    static CURRENT_SHARD: std::cell::Cell<Option<ShardCtx>> = const { std::cell::Cell::new(None) };
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -116,17 +177,7 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 impl Pool {
     fn get() -> &'static Pool {
         POOL.get_or_init(|| {
-            let shared: &'static Shared = Box::leak(Box::new(Shared {
-                state: Mutex::new(State {
-                    epoch: 0,
-                    job: None,
-                    next: 0,
-                    pending: 0,
-                    panicked: false,
-                }),
-                work: Condvar::new(),
-                done: Condvar::new(),
-            }));
+            let shared: &'static Shared = Box::leak(Box::new(Shared::new()));
             // One worker per core beyond the submitting thread. Workers are
             // detached; they park forever once the process stops submitting.
             let workers = hardware_parallelism() - 1;
@@ -145,40 +196,46 @@ impl Pool {
             }
         })
     }
+}
 
-    /// Runs `f(0..chunks)` across the pool, blocking until every chunk is
-    /// done. The submitting thread claims chunks too.
-    fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
-        let _guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
-        let epoch = {
-            let mut st = self.shared.state.lock().unwrap();
-            // SAFETY: `run` blocks until `pending == 0`, so the erased
-            // lifetime outlives every dereference in `drain_chunks`.
-            let erased: *const (dyn Fn(usize) + Sync) =
-                unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) };
-            st.epoch += 1;
-            st.job = Some(Job { f: erased, chunks });
-            st.next = 0;
-            st.pending = chunks;
-            self.shared.work.notify_all();
-            st.epoch
-        };
-        // The submitter executes chunks too; mark it in-dispatch so a kernel
-        // that itself dispatches (now or in some future fused op) degrades
-        // to serial instead of re-locking the submit mutex and deadlocking.
-        IS_WORKER.with(|w| w.set(true));
-        drain_chunks(self.shared, epoch);
-        IS_WORKER.with(|w| w.set(false));
-        let mut st = self.shared.state.lock().unwrap();
-        while st.pending > 0 {
-            st = self.shared.done.wait(st).unwrap();
-        }
-        st.job = None;
-        let poisoned = std::mem::replace(&mut st.panicked, false);
-        drop(st);
-        if poisoned {
-            panic!("ff-tensor pool worker panicked during parallel kernel");
-        }
+/// Runs `f(0..chunks)` across the workers parked on `shared`, blocking until
+/// every chunk is done. The submitting thread claims chunks too. `submit`
+/// serializes jobs within this pool/shard.
+fn submit_and_drain(
+    shared: &Shared,
+    submit: &Mutex<()>,
+    chunks: usize,
+    f: &(dyn Fn(usize) + Sync),
+) {
+    let _guard = submit.lock().unwrap_or_else(|e| e.into_inner());
+    let epoch = {
+        let mut st = shared.state.lock().unwrap();
+        // SAFETY: this function blocks until `pending == 0`, so the erased
+        // lifetime outlives every dereference in `drain_chunks`.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(f) };
+        st.epoch += 1;
+        st.job = Some(Job { f: erased, chunks });
+        st.next = 0;
+        st.pending = chunks;
+        shared.work.notify_all();
+        st.epoch
+    };
+    // The submitter executes chunks too; mark it in-dispatch so a kernel
+    // that itself dispatches (now or in some future fused op) degrades
+    // to serial instead of re-locking the submit mutex and deadlocking.
+    IS_WORKER.with(|w| w.set(true));
+    drain_chunks(shared, epoch);
+    IS_WORKER.with(|w| w.set(false));
+    let mut st = shared.state.lock().unwrap();
+    while st.pending > 0 {
+        st = shared.done.wait(st).unwrap();
+    }
+    st.job = None;
+    let poisoned = std::mem::replace(&mut st.panicked, false);
+    drop(st);
+    if poisoned {
+        panic!("ff-tensor pool worker panicked during parallel kernel");
     }
 }
 
@@ -214,12 +271,18 @@ fn drain_chunks(shared: &Shared, epoch: u64) {
     }
 }
 
-fn worker_loop(shared: &'static Shared) {
+fn worker_loop(shared: &Shared) {
     let mut seen = 0u64;
     loop {
         let epoch = {
             let mut st = shared.state.lock().unwrap();
-            while st.epoch == seen || st.job.is_none() {
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen && st.job.is_some() {
+                    break;
+                }
                 st = shared.work.wait(st).unwrap();
             }
             st.epoch
@@ -230,7 +293,8 @@ fn worker_loop(shared: &'static Shared) {
 }
 
 /// Dispatches `chunks` invocations of `f` (each receiving its chunk index)
-/// across the pool, or serially when parallelism wouldn't pay.
+/// across the enclosing shard (if any) or the global pool, or serially when
+/// parallelism wouldn't pay.
 fn run_chunked(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
     if chunks == 0 {
         return;
@@ -241,7 +305,119 @@ fn run_chunked(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
-    Pool::get().run(chunks, f);
+    if let Some(ctx) = CURRENT_SHARD.with(|c| c.get()) {
+        // SAFETY: the context is installed by `PoolShard::run`, which
+        // borrows the shard for the whole scope; the pointers stay valid
+        // for every dispatch made within it, and only the installing
+        // thread reads them.
+        let (shared, submit) = unsafe { (&*ctx.shared, &*ctx.submit) };
+        submit_and_drain(shared, submit, chunks, f);
+        return;
+    }
+    let pool = Pool::get();
+    submit_and_drain(pool.shared, &pool.submit, chunks, f);
+}
+
+/// A fixed worker subset of the persistent pool with independent dispatch
+/// state: kernels scoped to different shards execute concurrently instead
+/// of serializing on the global submission lock.
+///
+/// A shard of width `w` owns `w - 1` dedicated parked workers (the
+/// submitting thread participates in every job, exactly like the global
+/// pool), and code inside [`PoolShard::run`] splits work into `w` chunks.
+/// Dropping the shard shuts its workers down.
+///
+/// The global API is the one-shard case: results are bit-for-bit identical
+/// whether a kernel runs on the global pool at any [`set_threads`] setting
+/// or on a shard of any width, because the chunk split is deterministic and
+/// every kernel fixes each output element's accumulation order up front.
+pub struct PoolShard {
+    shared: Arc<Shared>,
+    /// Serializes job submission within this shard.
+    submit: Mutex<()>,
+    width: usize,
+}
+
+impl std::fmt::Debug for PoolShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolShard(width {})", self.width)
+    }
+}
+
+impl PoolShard {
+    /// Creates a shard of the given width (clamped to ≥ 1), spawning its
+    /// `width - 1` dedicated workers.
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(Shared::new());
+        for i in 0..width - 1 {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ff-shard-{i}"))
+                .spawn(move || {
+                    IS_WORKER.with(|w| w.set(true));
+                    worker_loop(&sh);
+                })
+                .expect("spawn shard worker");
+        }
+        PoolShard {
+            shared,
+            submit: Mutex::new(()),
+            width,
+        }
+    }
+
+    /// The shard's thread budget (chunk count for kernels scoped to it).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f` with every tensor-kernel dispatch inside scoped to this
+    /// shard: work splits into [`Self::width`] chunks executed by the
+    /// shard's workers (plus the calling thread), concurrently with other
+    /// shards. Nested scopes restore the previous shard on exit, including
+    /// on panic.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<ShardCtx>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_SHARD.with(|c| c.set(self.0));
+            }
+        }
+        let ctx = ShardCtx {
+            shared: &*self.shared,
+            submit: &self.submit,
+            width: self.width,
+        };
+        let _restore = Restore(CURRENT_SHARD.with(|c| c.replace(Some(ctx))));
+        f()
+    }
+
+    /// Shard-scoped [`parallel_chunks`]: splits `0..n` into at most
+    /// [`Self::width`] ranges executed on this shard.
+    pub fn parallel_chunks(&self, n: usize, f: impl Fn(usize, usize) + Sync) {
+        self.run(|| parallel_chunks(n, f));
+    }
+
+    /// Shard-scoped [`parallel_rows_mut`]: row blocks execute on this shard,
+    /// split by its width.
+    pub fn parallel_rows_mut(
+        &self,
+        out: &mut [f32],
+        row_len: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        self.run(|| parallel_rows_mut(out, row_len, f));
+    }
+}
+
+impl Drop for PoolShard {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        drop(st);
+        self.shared.work.notify_all();
+    }
 }
 
 /// Runs `f(start, end)` over disjoint sub-ranges of `0..n`, possibly in
@@ -427,6 +603,81 @@ mod tests {
         set_threads(0);
         assert!(threads() >= 1);
         let _ = before;
+    }
+
+    #[test]
+    fn shard_scoped_chunks_cover_range_exactly_once() {
+        let shard = PoolShard::new(3);
+        let hits = Mutex::new(vec![0u32; 777]);
+        shard.parallel_chunks(777, |a, b| {
+            let mut h = hits.lock().unwrap();
+            for i in a..b {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn shard_results_match_global_pool_bit_for_bit() {
+        let fill = |buf: &mut [f32]| {
+            parallel_rows_mut(buf, 512, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r as f32).sin() * (c as f32).cos();
+                }
+            });
+        };
+        set_threads(1);
+        let mut gold = vec![0.0f32; 128 * 512];
+        fill(&mut gold);
+        set_threads(0);
+        for width in [1, 2, 4] {
+            let shard = PoolShard::new(width);
+            let mut buf = vec![0.0f32; 128 * 512];
+            shard.run(|| fill(&mut buf));
+            assert_eq!(buf, gold, "shard width {width}");
+        }
+    }
+
+    #[test]
+    fn shard_width_overrides_global_threads_inside_scope() {
+        let shard = PoolShard::new(3);
+        set_threads(7);
+        assert_eq!(threads(), 7);
+        shard.run(|| assert_eq!(threads(), 3));
+        assert_eq!(threads(), 7);
+        set_threads(0);
+    }
+
+    #[test]
+    fn concurrent_shards_run_independent_jobs() {
+        // Two shards driven from two threads, many rounds each: jobs must
+        // all complete without cross-shard interference or deadlock.
+        let shards = [PoolShard::new(2), PoolShard::new(2)];
+        std::thread::scope(|s| {
+            for (t, shard) in shards.iter().enumerate() {
+                s.spawn(move || {
+                    for round in 0..200 {
+                        let mut buf = vec![0.0f32; 48 * 1024];
+                        shard.parallel_rows_mut(&mut buf, 1024, |r, row| {
+                            row.fill((t * 1000 + r + round) as f32);
+                        });
+                        assert_eq!(buf[1024 * 5], (t * 1000 + 5 + round) as f32);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_shard_workers_exit_without_wedging_new_shards() {
+        for _ in 0..8 {
+            let shard = PoolShard::new(2);
+            let mut buf = vec![0.0f32; 64 * 1024];
+            shard.parallel_rows_mut(&mut buf, 1024, |r, row| row.fill(r as f32));
+            assert_eq!(buf[1024 * 3], 3.0);
+            drop(shard);
+        }
     }
 
     #[test]

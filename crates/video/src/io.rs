@@ -19,40 +19,109 @@ pub fn write_ppm<W: Write>(frame: &Frame, mut w: W) -> std::io::Result<()> {
     w.write_all(frame.data())
 }
 
-/// Writes frames as an uncompressed Y4M (YUV4MPEG2, C444) clip playable by
-/// common tools.
+/// Incremental Y4M (YUV4MPEG2, C444) writer: header once on the first
+/// frame, then one `FRAME` block per [`Y4mWriter::push`].
 ///
-/// # Errors
-///
-/// Returns any I/O error; also errors if `frames` is empty or sizes vary.
-pub fn write_y4m<W: Write>(frames: &[Frame], fps: usize, mut w: W) -> std::io::Result<()> {
-    let first = frames.first().ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, "no frames to write")
-    })?;
-    let (fw, fh) = (first.width(), first.height());
-    writeln!(w, "YUV4MPEG2 W{fw} H{fh} F{fps}:1 Ip A1:1 C444")?;
-    for f in frames {
-        if f.width() != fw || f.height() != fh {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "frame size changed mid-clip",
-            ));
+/// Unlike [`write_y4m`] (which takes a `&[Frame]`), long or live captures
+/// never need all frames resident: the multi-stream runtime can append each
+/// frame as it is finalized. Plane conversion buffers are reused across
+/// frames, so steady-state pushes allocate nothing.
+#[derive(Debug)]
+pub struct Y4mWriter<W: Write> {
+    w: W,
+    fps: usize,
+    /// `(width, height)` fixed by the first pushed frame.
+    dims: Option<(usize, usize)>,
+    /// Reused planar YCbCr conversion buffers.
+    planes: [Vec<u8>; 3],
+    frames: u64,
+}
+
+impl<W: Write> Y4mWriter<W> {
+    /// Creates a writer; nothing is written until the first [`Self::push`].
+    pub fn new(w: W, fps: usize) -> Self {
+        Y4mWriter {
+            w,
+            fps,
+            dims: None,
+            planes: [Vec::new(), Vec::new(), Vec::new()],
+            frames: 0,
         }
-        writeln!(w, "FRAME")?;
+    }
+
+    /// Appends one frame, writing the stream header first if this is the
+    /// first frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer, or `InvalidInput` if the
+    /// frame's size differs from the first frame's.
+    pub fn push(&mut self, frame: &Frame) -> std::io::Result<()> {
+        let (fw, fh) = (frame.width(), frame.height());
+        match self.dims {
+            None => {
+                let fps = self.fps;
+                writeln!(self.w, "YUV4MPEG2 W{fw} H{fh} F{fps}:1 Ip A1:1 C444")?;
+                self.dims = Some((fw, fh));
+            }
+            Some(dims) if dims != (fw, fh) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "frame size changed mid-clip",
+                ));
+            }
+            Some(_) => {}
+        }
+        writeln!(self.w, "FRAME")?;
         // Planar YCbCr 4:4:4 (BT.601 full range).
-        let mut planes: Vec<Vec<u8>> = (0..3).map(|_| Vec::with_capacity(fw * fh)).collect();
-        for px in f.data().chunks(3) {
+        for p in &mut self.planes {
+            p.clear();
+            p.reserve(fw * fh);
+        }
+        for px in frame.data().chunks(3) {
             let (r, g, b) = (px[0] as f32, px[1] as f32, px[2] as f32);
             let y = 0.299 * r + 0.587 * g + 0.114 * b;
             let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
             let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
-            planes[0].push(y.round().clamp(0.0, 255.0) as u8);
-            planes[1].push(cb.round().clamp(0.0, 255.0) as u8);
-            planes[2].push(cr.round().clamp(0.0, 255.0) as u8);
+            self.planes[0].push(y.round().clamp(0.0, 255.0) as u8);
+            self.planes[1].push(cb.round().clamp(0.0, 255.0) as u8);
+            self.planes[2].push(cr.round().clamp(0.0, 255.0) as u8);
         }
-        for p in &planes {
-            w.write_all(p)?;
+        for p in &self.planes {
+            self.w.write_all(p)?;
         }
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Writes frames as an uncompressed Y4M (YUV4MPEG2, C444) clip playable by
+/// common tools. Convenience wrapper over [`Y4mWriter`] for fully-resident
+/// clips.
+///
+/// # Errors
+///
+/// Returns any I/O error; also errors if `frames` is empty or sizes vary.
+pub fn write_y4m<W: Write>(frames: &[Frame], fps: usize, w: W) -> std::io::Result<()> {
+    if frames.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "no frames to write",
+        ));
+    }
+    let mut writer = Y4mWriter::new(w, fps);
+    for f in frames {
+        writer.push(f)?;
     }
     Ok(())
 }
@@ -98,6 +167,35 @@ mod tests {
         let header_end = buf.iter().position(|&b| b == b'\n').unwrap() + 1;
         // 3 × ("FRAME\n" + 3 planes of 32 bytes).
         assert_eq!(buf.len() - header_end, 3 * (6 + 3 * 32));
+    }
+
+    #[test]
+    fn incremental_writer_matches_batch_output() {
+        let frames: Vec<Frame> = (0..3)
+            .map(|i| {
+                let mut f = Frame::black(Resolution::new(8, 4));
+                f.set_pixel(i, 0, [200, 10, 60]);
+                f
+            })
+            .collect();
+        let mut batch = Vec::new();
+        write_y4m(&frames, 15, &mut batch).unwrap();
+        let mut writer = Y4mWriter::new(Vec::new(), 15);
+        for f in &frames {
+            writer.push(f).unwrap();
+        }
+        assert_eq!(writer.frames(), 3);
+        assert_eq!(writer.into_inner(), batch);
+    }
+
+    #[test]
+    fn incremental_writer_rejects_size_change() {
+        let mut writer = Y4mWriter::new(Vec::new(), 15);
+        writer.push(&Frame::black(Resolution::new(8, 4))).unwrap();
+        let err = writer
+            .push(&Frame::black(Resolution::new(4, 4)))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

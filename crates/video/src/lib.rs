@@ -25,5 +25,7 @@ pub mod codec;
 mod frame;
 pub mod io;
 pub mod scene;
+pub mod source;
 
 pub use frame::{Frame, Resolution};
+pub use source::{FrameSource, RecordedSource, SceneSource};

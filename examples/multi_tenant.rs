@@ -1,7 +1,8 @@
 //! Scalable multi-tenancy (§2.2.3): dozens of applications install
 //! microclassifiers on one edge node, all sharing a single base-DNN pass.
-//! Compares FilterForward's per-frame cost growth against running one
-//! discrete classifier per application.
+//! The stream runs through the [`EdgeNode`] runtime (pipelined decode →
+//! extract → MC → uplink), and its cost growth is compared against running
+//! one discrete classifier per application.
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant [-- --mcs 20]
@@ -10,12 +11,12 @@
 use std::time::Instant;
 
 use ff_core::baselines::DcBank;
-use ff_core::pipeline::{FilterForward, PipelineConfig};
-use ff_core::{McKind, McSpec};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, ShardLayout};
+use ff_core::{McKind, McSpec, PipelineConfig};
 use ff_data::CropRect;
 use ff_models::{DcConfig, MobileNetConfig};
 use ff_video::scene::{Scene, SceneConfig};
-use ff_video::Resolution;
+use ff_video::{RecordedSource, Resolution};
 
 fn main() {
     let n_mcs: usize = std::env::args()
@@ -34,12 +35,19 @@ fn main() {
     };
     let frames: Vec<_> = Scene::new(scene_cfg).take(40).map(|(f, _)| f).collect();
 
-    // FilterForward with a diverse mix of tenants: different architectures
-    // and different crops, all on one shared extraction.
+    // FilterForward under the runtime, with a diverse mix of tenants:
+    // different architectures and different crops, all on one shared
+    // extraction. The recorded clip replays through the node's pipelined
+    // decode stage.
+    let budget = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(budget)));
     let mut cfg = PipelineConfig::new(res, scene_cfg.fps);
     cfg.mobilenet = MobileNetConfig::with_width(0.5);
     cfg.archive = None;
-    let mut ff = FilterForward::new(cfg);
+    let stream = node.add_stream(
+        Box::new(RecordedSource::new(frames.clone(), scene_cfg.fps)),
+        cfg,
+    );
     for i in 0..n_mcs {
         let crop = match i % 3 {
             0 => None,
@@ -65,15 +73,12 @@ fn main() {
             spec.kind,
             [McKind::FullFrame, McKind::Localized, McKind::Windowed][i % 3]
         );
-        ff.deploy(spec);
+        node.deploy(stream, spec);
     }
 
-    let t0 = Instant::now();
-    for f in &frames {
-        let _ = ff.process(f);
-    }
-    let ff_time = t0.elapsed().as_secs_f64();
-    let timers = *ff.timers();
+    let report = node.run();
+    let ff_time = report.node.wall.as_secs_f64();
+    let timers = report.streams[0].timers;
 
     // Baseline: one NoScope-style discrete classifier per application.
     let mut bank = DcBank::new(DcConfig::representative(res.height, res.width, 5), n_mcs);
@@ -89,8 +94,8 @@ fn main() {
         frames.len()
     );
     println!(
-        "  FilterForward: {:.2} fps ({:.1} ms base DNN + {:.1} ms all MCs per frame)",
-        frames.len() as f64 / ff_time,
+        "  FilterForward (EdgeNode runtime): {:.2} fps ({:.1} ms base DNN + {:.1} ms all MCs per frame)",
+        report.node.aggregate_fps(),
         timers.base_per_frame() * 1e3,
         timers.mcs_per_frame() * 1e3
     );

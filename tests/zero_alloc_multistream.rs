@@ -1,0 +1,111 @@
+//! Zero-allocation guarantee for the **multi-stream** steady state.
+//!
+//! PR 1 pinned the single-stream contract (see `zero_alloc.rs`); the
+//! sharded runtime must not regress it: N streams extracting concurrently,
+//! each scoped to its own [`PoolShard`], still perform zero heap
+//! allocations per frame once warmed up. This exercises the shard dispatch
+//! machinery itself — submission locks, condvar parking, chunk claiming —
+//! which must run allocation-free, on top of the per-stream workspaces.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use ff_core::{FeatureExtractor, McSpec};
+use ff_models::MobileNetConfig;
+use ff_tensor::{PoolShard, Tensor};
+use ff_video::Resolution;
+
+#[test]
+fn sharded_multistream_loop_is_allocation_free_after_warmup() {
+    const STREAMS: usize = 2;
+    let res = Resolution::new(192, 108);
+
+    // Each stream: its own extractor + MCs (per-stream workspaces) and its
+    // own shard of width 2, so dispatch goes through the shard machinery
+    // (large stem layers exceed the parallel threshold at this geometry).
+    let mut streams: Vec<_> = (0..STREAMS)
+        .map(|s| {
+            let extractor = FeatureExtractor::new(
+                MobileNetConfig::with_width(0.5),
+                vec![
+                    ff_models::LAYER_LOCALIZED_TAP.to_string(),
+                    ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+                ],
+            );
+            let full = McSpec::full_frame(format!("s{s}"), s as u64 + 1);
+            let mc = full.build(&extractor, res, ff_core::McId(0));
+            let shard = PoolShard::new(2);
+            let frame = Tensor::filled(vec![res.height, res.width, 3], 0.3 + s as f32 * 0.1);
+            (extractor, mc, shard, frame)
+        })
+        .collect();
+
+    // Three rendezvous: after warmup (main samples the counter), before the
+    // measured loop, and after it.
+    let warmed = Barrier::new(STREAMS + 1);
+    let measured = Barrier::new(STREAMS + 1);
+    let done = Barrier::new(STREAMS + 1);
+
+    std::thread::scope(|scope| {
+        for (extractor, mc, shard, frame) in &mut streams {
+            let (warmed, measured, done) = (&warmed, &measured, &done);
+            scope.spawn(move || {
+                // Warm-up: workspace growth, smoothing windows, shard
+                // worker spawn, pack-buffer growth on this thread.
+                for _ in 0..10 {
+                    shard.run(|| {
+                        let maps = extractor.extract(frame);
+                        let fm = maps.get(&mc.spec().tap);
+                        let _ = std::hint::black_box(mc.process_tap(fm));
+                    });
+                }
+                warmed.wait();
+                measured.wait();
+                for _ in 0..20 {
+                    shard.run(|| {
+                        let maps = extractor.extract(frame);
+                        let fm = maps.get(&mc.spec().tap);
+                        let _ = std::hint::black_box(mc.process_tap(fm));
+                    });
+                }
+                done.wait();
+            });
+        }
+        warmed.wait();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        measured.wait();
+        done.wait();
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state multi-stream loop allocated {} times over {} frames across {STREAMS} sharded streams",
+            after - before,
+            20 * STREAMS,
+        );
+    });
+}
