@@ -1,25 +1,31 @@
 //! Multi-stream scaling: aggregate frames/sec of the [`EdgeNode`] runtime
-//! over streams × shard layouts, against the serial single-stream loop on
-//! the same thread budget — the node-scale counterpart of Figure 5.
+//! over streams × shard layouts — sharded per-stream mode **and**
+//! gather-batch mode (one shared batched base-DNN pass per round) —
+//! against the serial single-stream loop on the same thread budget: the
+//! node-scale counterpart of Figure 5.
 //!
 //! Every run's per-stream verdicts are checked **bit-for-bit** against the
 //! serial `FilterForward::process` path before its throughput is reported,
-//! so a number only lands in the JSON if the sharded, pipelined execution
-//! is provably equivalent.
+//! so a number only lands in the JSON if the sharded, pipelined, or batched
+//! execution is provably equivalent.
 //!
 //! Results are spliced into `BENCH_throughput.json` (next to the
 //! single-stream rows emitted by `bench_throughput`) under a
-//! `"multistream"` key.
+//! `"multistream"` key. The config block records the container's
+//! `available_parallelism` and whether the thread budget saturates it:
+//! when it does (e.g. a 1-core CI container), the sharded speedups are
+//! bounded near 1× by hardware, not by the runtime — don't read them as
+//! regressions.
 //!
 //! Usage: `cargo run --release -p ff-bench --bin bench_multistream`
 //! (override the output path with `BENCH_OUT=/path/file.json`, per-stream
 //! frame count with `BENCH_FRAMES=n`).
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
-use ff_core::runtime::{EdgeNode, EdgeNodeConfig, ShardLayout};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
 use ff_core::McSpec;
 use ff_models::MobileNetConfig;
 use ff_video::scene::{Scene, SceneConfig};
@@ -85,18 +91,21 @@ fn serial_fps(frames: &[ff_video::Frame]) -> f64 {
     (frames.len() - 1) as f64 / best
 }
 
-/// One `EdgeNode` configuration: `streams` scene streams over `layout`.
-/// Returns the best aggregate fps across repeats after asserting every
-/// stream's verdicts match the serial gold.
+/// One `EdgeNode` configuration: `streams` scene streams over `layout`,
+/// optionally in gather-batch mode. Returns the best aggregate fps across
+/// repeats after asserting every stream's verdicts match the serial gold.
 fn measure_node(
     streams: usize,
     layout: &ShardLayout,
+    gather: Option<GatherBatch>,
     n_frames: u64,
     gold: &[Vec<FrameVerdict>],
 ) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..REPEATS {
-        let mut node = EdgeNode::new(EdgeNodeConfig::new(layout.clone()));
+        let mut cfg = EdgeNodeConfig::new(layout.clone());
+        cfg.gather_batch = gather;
+        let mut node = EdgeNode::new(cfg);
         for (s, &seed) in STREAM_SEEDS.iter().enumerate().take(streams) {
             let src = Box::new(SceneSource::new(scene_cfg(seed), n_frames));
             let id = node.add_stream(src, pipeline_cfg());
@@ -143,16 +152,54 @@ fn main() {
     let baseline = serial_fps(&rendered[0]);
     ff_tensor::parallel::set_threads(0);
 
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // When the budget saturates the container (always true here, since the
+    // budget *is* available_parallelism), sharded speedups are hardware-
+    // bounded near 1× — the flag below keeps that from reading as a
+    // runtime regression. Batched mode still gains from cache amortization
+    // even on one core.
+    let saturated = budget >= available;
+    if saturated {
+        println!(
+            "note: budget ({budget} threads) saturates the container \
+             (available_parallelism {available}); sharded speedups are \
+             hardware-bounded on this machine"
+        );
+    }
+
     // streams × shard layouts. Shard counts are capped at the budget
     // (ShardLayout::even's width-≥1 floor would otherwise oversubscribe
     // on machines with fewer cores than streams, which would invalidate
     // the "same thread budget" comparison against the serial baseline);
-    // streams beyond the shard count share shards round-robin.
-    let cases: Vec<(&str, usize, ShardLayout)> = vec![
-        ("1s_1shard", 1, ShardLayout::single(budget)),
-        ("2s_sharded", 2, ShardLayout::even(budget, 2.min(budget))),
-        ("4s_sharded", 4, ShardLayout::even(budget, 4.min(budget))),
-        ("4s_1shard", 4, ShardLayout::single(budget)),
+    // streams beyond the shard count share shards round-robin. The
+    // `*_batched` rows run gather-batch mode: one shared batched base-DNN
+    // pass per round over the whole thread budget.
+    let gather = |b: usize| {
+        Some(GatherBatch {
+            max_batch: b,
+            gather_wait: Duration::from_millis(2),
+        })
+    };
+    type Case = (&'static str, usize, ShardLayout, Option<GatherBatch>);
+    let cases: Vec<Case> = vec![
+        ("1s_1shard", 1, ShardLayout::single(budget), None),
+        (
+            "2s_sharded",
+            2,
+            ShardLayout::even(budget, 2.min(budget)),
+            None,
+        ),
+        (
+            "4s_sharded",
+            4,
+            ShardLayout::even(budget, 4.min(budget)),
+            None,
+        ),
+        ("4s_1shard", 4, ShardLayout::single(budget), None),
+        ("1s_batched_b8", 1, ShardLayout::single(budget), gather(8)),
+        ("2s_batched_b2", 2, ShardLayout::single(budget), gather(2)),
+        ("4s_batched_b4", 4, ShardLayout::single(budget), gather(4)),
+        ("4s_batched_b8", 4, ShardLayout::single(budget), gather(8)),
     ];
     let mut rows: Vec<(String, f64)> = vec![(format!("serial_1s_t{budget}"), baseline)];
     println!(
@@ -160,25 +207,33 @@ fn main() {
         format!("serial_1s_t{budget}")
     );
     let mut fps_4s_sharded = 0.0;
-    for (name, streams, layout) in &cases {
-        let fps = measure_node(*streams, layout, n_frames, &gold);
+    let mut fps_4s_batched = 0.0;
+    for (name, streams, layout, gb) in &cases {
+        let fps = measure_node(*streams, layout, *gb, n_frames, &gold);
         if *name == "4s_sharded" {
             fps_4s_sharded = fps;
         }
-        println!(
-            "{name:<24} {fps:>10.2} fps  (aggregate, shards {:?})",
-            layout.widths()
-        );
+        if *name == "4s_batched_b4" {
+            fps_4s_batched = fps;
+        }
+        let mode = match gb {
+            Some(g) => format!("gather-batch ≤{}", g.max_batch),
+            None => format!("shards {:?}", layout.widths()),
+        };
+        println!("{name:<24} {fps:>10.2} fps  (aggregate, {mode})");
         rows.push((name.to_string(), fps));
     }
     let speedup = fps_4s_sharded / baseline;
-    println!("4-stream aggregate vs serial single-stream: {speedup:.2}x (budget {budget} threads)");
-    println!("verdicts: bit-for-bit identical to the serial pipeline for every layout");
+    let speedup_batched = fps_4s_batched / baseline;
+    println!("4-stream aggregate vs serial single-stream: {speedup:.2}x sharded, {speedup_batched:.2}x batched (budget {budget} threads)");
+    println!(
+        "verdicts: bit-for-bit identical to the serial pipeline for every layout and batch mode"
+    );
 
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
     let mut section = String::from("  \"multistream\": {\n");
     section.push_str(&format!(
-        "    \"config\": {{\"resolution\": \"{RES}\", \"frames_per_stream\": {n_frames}, \"budget_threads\": {budget}}},\n"
+        "    \"config\": {{\"resolution\": \"{RES}\", \"frames_per_stream\": {n_frames}, \"budget_threads\": {budget}, \"available_parallelism\": {available}, \"budget_saturates_container\": {saturated}}},\n"
     ));
     section.push_str("    \"aggregate_fps\": {\n");
     for (i, (name, fps)) in rows.iter().enumerate() {
@@ -187,6 +242,9 @@ fn main() {
     }
     section.push_str("    },\n");
     section.push_str(&format!("    \"speedup_4s_vs_serial\": {speedup:.2},\n"));
+    section.push_str(&format!(
+        "    \"speedup_4s_batched_vs_serial\": {speedup_batched:.2},\n"
+    ));
     section.push_str("    \"verdicts_identical\": true\n  }\n}\n");
 
     // Splice after the single-stream rows: replace an existing

@@ -57,6 +57,14 @@ pub struct FeatureExtractor {
     tap_indices: Vec<usize>,
     ws: Workspace,
     maps: FeatureMaps,
+    /// Per-frame maps of the last [`Self::extract_batch`] call, grown to the
+    /// largest batch seen (tensor buffers cycle through `ws`).
+    batch_maps: Vec<FeatureMaps>,
+    /// Reused tap-major scratch for the batched walk.
+    batch_outs: Vec<Tensor>,
+    /// Whether [`Self::calibrate`] has run (used to detect extractors whose
+    /// network state can no longer match a freshly built twin).
+    calibrated: bool,
 }
 
 impl std::fmt::Debug for FeatureExtractor {
@@ -90,6 +98,9 @@ impl FeatureExtractor {
             tap_indices: Vec::new(),
             ws: Workspace::new(),
             maps: FeatureMaps::default(),
+            batch_maps: Vec::new(),
+            batch_outs: Vec::new(),
+            calibrated: false,
         };
         ex.resync_taps();
         ex
@@ -117,6 +128,12 @@ impl FeatureExtractor {
         self.maps.names.clone_from(&self.taps);
         for t in std::mem::take(&mut self.maps.tensors) {
             self.ws.recycle(t);
+        }
+        for m in &mut self.batch_maps {
+            m.names.clone_from(&self.taps);
+            for t in m.tensors.drain(..) {
+                self.ws.recycle(t);
+            }
         }
     }
 
@@ -161,6 +178,65 @@ impl FeatureExtractor {
         &self.maps
     }
 
+    /// Runs the base DNN **once for a whole batch of frames** — one camera's
+    /// consecutive frames, or one frame from each of several streams — and
+    /// returns per-frame [`FeatureMaps`] aligned with `frames`.
+    ///
+    /// The frames are stacked row-wise and every layer executes as a single
+    /// batched kernel (one GEMM over the stacked im2col matrix per
+    /// convolution), so each packed weight panel is streamed through cache
+    /// once per *batch* instead of once per frame. Frame `b`'s maps are
+    /// **bit-identical** to what [`Self::extract`] would produce for that
+    /// frame alone.
+    ///
+    /// The returned maps are owned by the extractor and overwritten by the
+    /// next batched call; every buffer (the stacked input, all
+    /// intermediates, the per-frame tap copies) cycles through the
+    /// workspace, so steady-state batched extraction allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or the frames' shapes differ.
+    pub fn extract_batch(&mut self, frames: &[Tensor]) -> &[FeatureMaps] {
+        let batch = frames.len();
+        assert!(batch > 0, "extract_batch needs at least one frame");
+        let fd = frames[0].dims();
+        assert!(
+            frames.iter().all(|f| f.dims() == fd),
+            "extract_batch frames must share one shape"
+        );
+        while self.batch_maps.len() < batch {
+            self.batch_maps.push(FeatureMaps {
+                names: self.taps.clone(),
+                tensors: Vec::with_capacity(self.taps.len()),
+            });
+        }
+        for m in &mut self.batch_maps {
+            for t in m.tensors.drain(..) {
+                self.ws.recycle(t);
+            }
+        }
+        let frame_len: usize = fd.iter().product();
+        let mut stacked = self.ws.take(&[batch, fd[0], fd[1], fd[2]]);
+        for (b, f) in frames.iter().enumerate() {
+            stacked.data_mut()[b * frame_len..(b + 1) * frame_len].copy_from_slice(f.data());
+        }
+        self.net.forward_taps_batch_indices_ws(
+            &stacked,
+            batch,
+            &self.tap_indices,
+            &mut self.ws,
+            &mut self.batch_outs,
+        );
+        self.ws.recycle(stacked);
+        // The walk fills tap-major (`t·batch + b`); deal the tensors out to
+        // each frame's map in tap order.
+        for (j, t) in self.batch_outs.drain(..).enumerate() {
+            self.batch_maps[j % batch].tensors.push(t);
+        }
+        &self.batch_maps[..batch]
+    }
+
     /// Shape of a tap's activation for a given input resolution.
     pub fn tap_shape(&self, res: Resolution, tap: &str) -> Vec<usize> {
         self.net.shape_at(&[res.height, res.width, 3], tap)
@@ -190,6 +266,15 @@ impl FeatureExtractor {
     pub fn calibrate(&mut self, sample_frames: &[Tensor]) {
         use ff_nn::Layer;
         let _ = self.net.calibrate(sample_frames.to_vec());
+        self.calibrated = true;
+    }
+
+    /// Whether [`Self::calibrate`] has run. A calibrated extractor's folded
+    /// norms no longer match a freshly built network of the same config, so
+    /// anything substituting a twin extractor (the gather-batch runtime)
+    /// must reproduce the calibration to stay bit-identical.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
     }
 }
 
@@ -236,6 +321,29 @@ mod tests {
             maps.get(LAYER_FULL_FRAME_TAP).dims(),
             ex.tap_shape(res, LAYER_FULL_FRAME_TAP).as_slice()
         );
+    }
+
+    #[test]
+    fn batched_extraction_matches_per_frame_bit_for_bit() {
+        let mut serial = tiny_extractor();
+        let mut batched = tiny_extractor();
+        let frames: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::filled(vec![32, 64, 3], 0.1 + 0.2 * i as f32))
+            .collect();
+        for batch in [1usize, 2, 4] {
+            let maps = batched.extract_batch(&frames[..batch]);
+            assert_eq!(maps.len(), batch);
+            for (b, frame) in frames[..batch].iter().enumerate() {
+                let want = serial.extract(frame);
+                for tap in [LAYER_LOCALIZED_TAP, LAYER_FULL_FRAME_TAP] {
+                    assert_eq!(
+                        maps[b].get(tap),
+                        want.get(tap),
+                        "batch {batch} frame {b} tap {tap}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

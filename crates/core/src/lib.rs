@@ -18,7 +18,8 @@
 //! * [`pipeline`] — the end-to-end per-stream pipeline: archive, extract,
 //!   classify, smooth, re-encode, upload.
 //! * [`runtime`] — the multi-stream edge node: N pipelined streams over a
-//!   sharded worker pool sharing one uplink.
+//!   sharded worker pool sharing one uplink, or gather-batched into one
+//!   shared batched base-DNN pass per round.
 //! * [`archive`] — local storage + demand-fetch of context segments.
 //! * [`uplink`] — the constrained link model.
 //! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1
@@ -72,7 +73,9 @@ pub mod uplink;
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};
 pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};
-pub use runtime::{EdgeNode, EdgeNodeConfig, NodeReport, NodeStats, ShardLayout, StreamId};
+pub use runtime::{
+    EdgeNode, EdgeNodeConfig, GatherBatch, NodeReport, NodeStats, ShardLayout, StreamId,
+};
 pub use smoothing::{KVotingSmoother, SmoothingConfig};
 pub use spec::{McKind, McModel, McRuntime, McSpec};
 pub use train::{train_dc, train_mc, TrainConfig, TrainedMc};

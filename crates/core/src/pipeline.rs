@@ -238,6 +238,11 @@ impl FilterForward {
         self.mcs.len()
     }
 
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
     /// The shared feature extractor.
     pub fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
@@ -296,6 +301,75 @@ impl FilterForward {
     ///
     /// Panics if no MCs are deployed.
     pub fn process_decoded(&mut self, frame: &Frame, tensor: &Tensor) -> Vec<FrameVerdict> {
+        self.ingest_frame(frame);
+
+        // Phase 1: shared base-DNN feature extraction (timed). The returned
+        // maps borrow the extractor's internal workspace-backed buffers.
+        let t0 = Instant::now();
+        let maps = self.extractor.extract(tensor);
+        self.timers.base_dnn += t0.elapsed();
+
+        // Phase 2: every MC consumes the shared maps (timed as one block,
+        // matching the paper's phased execution / end-to-end flow control).
+        // `decisions` is a reused scratch: the MC loop itself is
+        // allocation-free in steady state.
+        let t1 = Instant::now();
+        let mut decisions = std::mem::take(&mut self.decisions_scratch);
+        Self::run_mcs(&mut self.mcs, maps, &mut decisions);
+        self.timers.microclassifiers += t1.elapsed();
+        self.timers.frames += 1;
+
+        for &(mc_id, d) in &decisions {
+            self.apply_decision(mc_id, d);
+        }
+        self.decisions_scratch = decisions;
+        self.drain()
+    }
+
+    /// Ingests one frame whose feature maps were **already extracted** —
+    /// by a shared batched base-DNN pass over several streams' frames (see
+    /// [`crate::runtime::EdgeNode`]'s gather-batch mode) or any other
+    /// external extractor whose network state matches this pipeline's.
+    ///
+    /// `maps` must contain every tap this pipeline's MCs consume and hold
+    /// exactly what [`crate::FeatureExtractor::extract`] would have produced
+    /// for `frame` under this pipeline's extractor — batched extraction
+    /// guarantees that bit-for-bit when the extractors' weights and
+    /// calibration agree. `shared_extract` is this frame's share of the
+    /// batched pass's wall time, credited to the base-DNN phase timer so
+    /// [`PhaseTimers`] keeps its meaning across execution modes.
+    ///
+    /// Returns any frames that became final (in order), exactly like
+    /// [`Self::process_decoded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MCs are deployed or `maps` is missing a needed tap.
+    pub fn process_with_maps(
+        &mut self,
+        frame: &Frame,
+        maps: &crate::extractor::FeatureMaps,
+        shared_extract: Duration,
+    ) -> Vec<FrameVerdict> {
+        self.ingest_frame(frame);
+        self.timers.base_dnn += shared_extract;
+
+        let t1 = Instant::now();
+        let mut decisions = std::mem::take(&mut self.decisions_scratch);
+        Self::run_mcs(&mut self.mcs, maps, &mut decisions);
+        self.timers.microclassifiers += t1.elapsed();
+        self.timers.frames += 1;
+
+        for &(mc_id, d) in &decisions {
+            self.apply_decision(mc_id, d);
+        }
+        self.decisions_scratch = decisions;
+        self.drain()
+    }
+
+    /// Shared ingest bookkeeping: frame counters, archival, and the pending
+    /// entry awaiting MC decisions.
+    fn ingest_frame(&mut self, frame: &Frame) {
         assert!(
             !self.mcs.is_empty(),
             "deploy at least one MC before streaming"
@@ -317,34 +391,23 @@ impl FilterForward {
                 decided: 0,
             },
         );
+    }
 
-        // Phase 1: shared base-DNN feature extraction (timed). The returned
-        // maps borrow the extractor's internal workspace-backed buffers.
-        let t0 = Instant::now();
-        let maps = self.extractor.extract(tensor);
-        self.timers.base_dnn += t0.elapsed();
-
-        // Phase 2: every MC consumes the shared maps (timed as one block,
-        // matching the paper's phased execution / end-to-end flow control).
-        // `decisions` is a reused scratch: the MC loop itself is
-        // allocation-free in steady state.
-        let t1 = Instant::now();
-        let mut decisions = std::mem::take(&mut self.decisions_scratch);
+    /// The MC loop over one frame's maps, into the reused decision scratch.
+    /// An associated function so callers can hold `maps` borrowed from
+    /// `self.extractor` while the MCs run.
+    fn run_mcs(
+        mcs: &mut [McRuntime],
+        maps: &crate::extractor::FeatureMaps,
+        decisions: &mut Vec<(McId, crate::spec::McDecision)>,
+    ) {
         decisions.clear();
-        for mc in &mut self.mcs {
+        for mc in mcs {
             let fm = maps.get(&mc.spec().tap);
             if let Some(d) = mc.process_tap(fm) {
                 decisions.push((mc.id(), d));
             }
         }
-        self.timers.microclassifiers += t1.elapsed();
-        self.timers.frames += 1;
-
-        for &(mc_id, d) in &decisions {
-            self.apply_decision(mc_id, d);
-        }
-        self.decisions_scratch = decisions;
-        self.drain()
     }
 
     fn apply_decision(&mut self, mc: McId, d: crate::spec::McDecision) {

@@ -33,21 +33,45 @@
 //!   accounting (backlog, drops, peak delay) deterministic even though the
 //!   stage threads race.
 //!
+//! # Gather-batch mode
+//!
+//! With [`EdgeNodeConfig::gather_batch`] set, the per-stream inference
+//! threads are replaced by **one** inference stage that gathers one decoded
+//! frame from each active stream (bounded wait, so a stalled camera cannot
+//! hold the batch), stacks them, and runs a **single batched base-DNN
+//! pass** for the whole gather — one GEMM over the stacked im2col matrix
+//! per layer, streaming each packed weight panel once per *batch* instead
+//! of once per camera (see [`crate::FeatureExtractor::extract_batch`]).
+//! Per-frame taps then fan out to each stream's own microclassifiers,
+//! voting, and event assembly, which stay fully per-stream. When a single
+//! stream outpaces the gather (or the node has one camera), consecutive
+//! frames of the same stream fill the batch instead — single-stream
+//! micro-batching from the same machinery.
+//!
+//! Gather-batch requires every stream to share one base-DNN configuration
+//! and resolution (asserted at [`EdgeNode::run`]); calibrate through
+//! [`EdgeNode::calibrate`] so the shared batched extractor and the
+//! per-stream extractors stay in sync.
+//!
 //! # Determinism
 //!
 //! Per-stream verdicts are **bit-for-bit identical** to running the same
 //! frames through a serial [`FilterForward::process`] loop, for every shard
-//! layout: tensor-kernel results are independent of thread count (see
-//! [`ff_tensor::parallel`]), streams share no mutable inference state, and
-//! stage boundaries only move *where* work happens, never what is computed.
+//! layout, batch mode, and gather size: tensor-kernel results are
+//! independent of thread count (see [`ff_tensor::parallel`]), batched
+//! kernels compute every output element from its own frame's data in the
+//! same accumulation order as the per-frame path, streams share no mutable
+//! inference state, and stage boundaries only move *where* work happens,
+//! never what is computed.
 
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use ff_tensor::{PoolShard, Tensor};
 use ff_video::{Frame, FrameSource};
 
 use crate::events::McId;
+use crate::extractor::FeatureExtractor;
 use crate::pipeline::{FilterForward, FrameVerdict, PhaseTimers, PipelineConfig, PipelineStats};
 use crate::spec::McSpec;
 use crate::uplink::Uplink;
@@ -125,6 +149,33 @@ impl ShardLayout {
     }
 }
 
+/// Gather-batch settings (see the [module docs](self)): the single
+/// inference stage collects up to `max_batch` decoded frames — one per
+/// active stream, then extras round-robin — and runs one shared batched
+/// base-DNN pass over them.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherBatch {
+    /// Most frames per shared pass. With fewer streams than this, a fast
+    /// stream's consecutive frames fill the remainder (single-stream
+    /// micro-batching).
+    pub max_batch: usize,
+    /// How long each per-stream pull waits during a gather scan. A stalled
+    /// camera therefore delays a scan by at most this much; its frames
+    /// simply join a later batch (which never changes any verdict — batch
+    /// composition is bit-invisible). When no stream has a frame at all,
+    /// the gatherer keeps scanning, parked in these bounded waits.
+    pub gather_wait: Duration,
+}
+
+impl Default for GatherBatch {
+    fn default() -> Self {
+        GatherBatch {
+            max_batch: 8,
+            gather_wait: Duration::from_millis(2),
+        }
+    }
+}
+
 /// Node-level configuration.
 #[derive(Debug, Clone)]
 pub struct EdgeNodeConfig {
@@ -139,6 +190,11 @@ pub struct EdgeNodeConfig {
     /// Bounds the uplink send queue; uploads beyond it are dropped
     /// (counted in [`NodeStats::uplink_dropped`]). `None` = unbounded.
     pub uplink_queue_limit_bytes: Option<u64>,
+    /// `Some` switches the node to gather-batch execution: one shared
+    /// batched base-DNN pass over all streams per round, the whole thread
+    /// budget behind it. `None` (the default) runs each stream's inference
+    /// independently on its round-robin shard.
+    pub gather_batch: Option<GatherBatch>,
 }
 
 impl EdgeNodeConfig {
@@ -151,7 +207,14 @@ impl EdgeNodeConfig {
             queue_depth: 2,
             uplink_capacity_bps: 1_000_000.0,
             uplink_queue_limit_bytes: None,
+            gather_batch: None,
         }
+    }
+
+    /// Enables gather-batch execution (builder style).
+    pub fn with_gather_batch(mut self, gb: GatherBatch) -> Self {
+        self.gather_batch = Some(gb);
+        self
     }
 }
 
@@ -234,6 +297,9 @@ enum Msg {
 pub struct EdgeNode {
     cfg: EdgeNodeConfig,
     streams: Vec<StreamEntry>,
+    /// Frames passed to [`Self::calibrate`], replayed onto the shared
+    /// batched extractor in gather-batch mode.
+    calibration_frames: Option<Vec<Frame>>,
 }
 
 impl std::fmt::Debug for EdgeNode {
@@ -253,6 +319,7 @@ impl EdgeNode {
         EdgeNode {
             cfg,
             streams: Vec::new(),
+            calibration_frames: None,
         }
     }
 
@@ -297,49 +364,54 @@ impl EdgeNode {
         &mut self.streams[stream.0].ff
     }
 
+    /// Calibrates **every** stream's base DNN from the same sample frames
+    /// and remembers them for the shared batched extractor, so gather-batch
+    /// mode stays bit-identical to the per-stream path. In gather-batch
+    /// mode, calibrate through this method (not per-stream
+    /// [`FilterForward::calibrate`], which would leave the shared extractor
+    /// out of sync).
+    pub fn calibrate(&mut self, frames: &[Frame]) {
+        for s in &mut self.streams {
+            s.ff.calibrate(frames);
+        }
+        self.calibration_frames = Some(frames.to_vec());
+    }
+
     /// Drives every stream to end-of-source and returns per-stream and
     /// node-level results.
     ///
-    /// Spawns two stage threads per stream (decode, inference) and collects
-    /// verdicts on the calling thread; returns once every source is
-    /// exhausted and every in-flight frame is finalized.
+    /// Without [`EdgeNodeConfig::gather_batch`], spawns two stage threads
+    /// per stream (decode, inference); with it, one decode thread per
+    /// stream plus a single gather-batch inference stage (see the
+    /// [module docs](self)). Verdicts are collected on the calling thread
+    /// either way; returns once every source is exhausted and every
+    /// in-flight frame is finalized.
     ///
     /// # Panics
     ///
     /// Panics if no streams are registered, a stream has no MCs deployed,
-    /// or a stage thread panics.
+    /// a stage thread panics, or gather-batch mode is enabled with streams
+    /// that do not share one base-DNN config and resolution.
     pub fn run(self) -> NodeReport {
-        let EdgeNode { cfg, streams } = self;
-        let n = streams.len();
-        assert!(n > 0, "add at least one stream before running");
-        let shards = cfg.shards.build(n);
-
-        // The uplink drains once per offer; the collector offers once per
-        // stream slot per round (finished streams offer zero bytes), so
-        // the per-offer interval is 1/(fps·n) of a second and the drain
-        // rate stays `capacity_bps` even when streams end at different
-        // lengths. The lock-step round model prices every stream at one
-        // common cadence — the fastest stream's fps — which is exact for
-        // same-rate cameras (the usual deployment) and an approximation
-        // for mixed-rate ones.
-        let fps = streams
-            .iter()
-            .map(|s| s.source.fps())
-            .fold(f64::NAN, f64::max);
-        let mut uplink = Uplink::new(cfg.uplink_capacity_bps, fps.max(1.0) * n as f64);
-        if let Some(limit) = cfg.uplink_queue_limit_bytes {
-            uplink = uplink.with_queue_limit_bytes(limit);
+        assert!(
+            !self.streams.is_empty(),
+            "add at least one stream before running"
+        );
+        if self.cfg.gather_batch.is_some() {
+            self.run_gathered()
+        } else {
+            self.run_streamed()
         }
+    }
 
-        let mut reports: Vec<StreamReport> = (0..n)
-            .map(|i| StreamReport {
-                id: StreamId(i),
-                verdicts: Vec::new(),
-                stats: PipelineStats::default(),
-                timers: PhaseTimers::default(),
-                offered_bytes: 0,
-            })
-            .collect();
+    /// Per-stream execution: each stream's inference thread runs the full
+    /// pipeline scoped to its round-robin shard.
+    fn run_streamed(self) -> NodeReport {
+        let EdgeNode { cfg, streams, .. } = self;
+        let n = streams.len();
+        let shards = cfg.shards.build(n);
+        let mut uplink = build_uplink(&cfg, &streams);
+        let mut reports = empty_reports(n);
 
         let t0 = Instant::now();
         std::thread::scope(|scope| {
@@ -390,72 +462,313 @@ impl EdgeNode {
                 });
             }
 
-            // Collector: lock-step rounds — one verdict per open stream per
-            // round, offered to the shared uplink in stream order.
-            let mut open = vec![true; n];
-            let mut remaining = n;
-            while remaining > 0 {
-                for (s, rx) in verdict_rx.iter().enumerate() {
-                    if !open[s] {
-                        // A finished stream's slot still advances the
-                        // shared link one drain interval, keeping the
-                        // drain rate at capacity when streams end at
-                        // different lengths.
-                        uplink.offer(0);
-                        continue;
-                    }
-                    match rx.recv() {
-                        Ok(Msg::Verdict(v)) => {
-                            let report = &mut reports[s];
-                            report.offered_bytes += v.uploaded_bytes as u64;
-                            uplink.offer(v.uploaded_bytes);
-                            report.verdicts.push(v);
-                        }
-                        Ok(Msg::Done(boxed)) => {
-                            let (stats, timers) = *boxed;
-                            reports[s].stats = stats;
-                            reports[s].timers = timers;
-                            open[s] = false;
-                            remaining -= 1;
-                        }
-                        Err(_) => {
-                            // Stage thread died without Done: the scope
-                            // join below re-raises its panic.
-                            open[s] = false;
-                            remaining -= 1;
-                        }
-                    }
+            collect_verdicts(&verdict_rx, &mut uplink, &mut reports);
+        });
+        node_report(reports, &uplink, t0.elapsed())
+    }
+
+    /// Gather-batch execution: one inference stage batches one frame per
+    /// active stream (plus consecutive frames when capacity remains) into a
+    /// single shared base-DNN pass per round.
+    fn run_gathered(self) -> NodeReport {
+        let EdgeNode {
+            cfg,
+            streams,
+            calibration_frames,
+        } = self;
+        let n = streams.len();
+        let gb = cfg.gather_batch.expect("gather mode");
+        let max_batch = gb.max_batch.max(1);
+
+        // One shared pass means one weight set: every stream must run the
+        // same base-DNN configuration at the same resolution. (MCs,
+        // thresholds, smoothing, and events stay fully per-stream.)
+        let base = streams[0].ff.config().mobilenet;
+        let res = streams[0].source.resolution();
+        for s in &streams {
+            assert_eq!(
+                s.ff.config().mobilenet,
+                base,
+                "gather-batch mode requires every stream to share one base-DNN config"
+            );
+            assert_eq!(
+                s.source.resolution(),
+                res,
+                "gather-batch mode requires every stream to share one resolution"
+            );
+            // A stream calibrated behind the node's back (via
+            // `pipeline_mut(..).calibrate(..)`) would silently diverge from
+            // the shared batched extractor; calibration must go through
+            // `EdgeNode::calibrate` so both sides see the same samples.
+            assert_eq!(
+                s.ff.extractor().is_calibrated(),
+                calibration_frames.is_some(),
+                "gather-batch mode requires calibration through EdgeNode::calibrate, \
+                 not per-stream FilterForward::calibrate"
+            );
+        }
+        // The shared extractor serves the union of every stream's taps
+        // (each deploy registered its MC's tap on that stream's extractor).
+        let mut taps: Vec<String> = Vec::new();
+        for s in &streams {
+            for t in s.ff.extractor().taps() {
+                if !taps.iter().any(|have| have == t) {
+                    taps.push(t.clone());
                 }
             }
-        });
-        let wall = t0.elapsed();
+        }
+        let mut batch_ex = FeatureExtractor::new(base, taps);
+        if let Some(frames) = &calibration_frames {
+            let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
+            batch_ex.calibrate(&tensors);
+        }
 
-        let mut pipeline = PipelineStats::default();
-        let mut timers = PhaseTimers::default();
-        for r in &reports {
-            pipeline.frames_in += r.stats.frames_in;
-            pipeline.frames_out += r.stats.frames_out;
-            pipeline.frames_uploaded += r.stats.frames_uploaded;
-            pipeline.bytes_uploaded += r.stats.bytes_uploaded;
-            pipeline.bytes_archived += r.stats.bytes_archived;
-            pipeline.events_closed += r.stats.events_closed;
-            timers.base_dnn += r.timers.base_dnn;
-            timers.microclassifiers += r.timers.microclassifiers;
-            timers.frames += r.timers.frames;
+        let mut uplink = build_uplink(&cfg, &streams);
+        let mut reports = empty_reports(n);
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut frame_rx: Vec<Receiver<(Frame, Tensor, Duration)>> = Vec::with_capacity(n);
+            let mut verdict_rx: Vec<Receiver<Msg>> = Vec::with_capacity(n);
+            let mut msg_tx = Vec::with_capacity(n);
+            let mut ffs: Vec<Option<FilterForward>> = Vec::with_capacity(n);
+            for entry in streams {
+                let StreamEntry { mut source, ff } = entry;
+                let (frame_tx, frx) = sync_channel::<(Frame, Tensor, Duration)>(cfg.queue_depth);
+                // Unbounded verdict channels: one inference thread serves
+                // every stream, so a bounded send for stream A could
+                // deadlock against the collector blocking on stream B.
+                // Depth stays bounded in practice by the bounded decode
+                // channels plus the smoothing delay.
+                let (mtx, mrx) = channel::<Msg>();
+                frame_rx.push(frx);
+                verdict_rx.push(mrx);
+                msg_tx.push(mtx);
+                ffs.push(Some(ff));
+                scope.spawn(move || {
+                    while let Some(frame) = source.next_frame() {
+                        let t = Instant::now();
+                        let tensor = frame.to_tensor();
+                        let decode = t.elapsed();
+                        if frame_tx.send((frame, tensor, decode)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+
+            scope.spawn(move || {
+                // The whole thread budget backs the one shared pass —
+                // batching replaces shard-level concurrency as the
+                // cross-stream scaling mechanism.
+                let shard = PoolShard::new(cfg.shards.budget());
+                let mut open = vec![true; n];
+                let mut to_close: Vec<usize> = Vec::new();
+                let mut meta: Vec<(usize, Frame, Duration)> = Vec::with_capacity(max_batch);
+                let mut tensors: Vec<Tensor> = Vec::with_capacity(max_batch);
+                // Rotating scan start: each round begins one stream later,
+                // so when open streams outnumber `max_batch` every stream
+                // still gets gathered in turn instead of the lowest indices
+                // monopolizing the batch.
+                let mut scan_start = 0usize;
+                loop {
+                    meta.clear();
+                    tensors.clear();
+                    to_close.clear();
+                    // Gather: scan the open streams (from the rotating
+                    // start) until the batch is full or a whole pass adds
+                    // nothing. Every pull waits at most `gather_wait`, so a
+                    // stalled camera delays a scan by that bound and its
+                    // frames join a later round (batch composition never
+                    // changes a verdict); with no frames anywhere the scan
+                    // itself repeats, parked in `recv_timeout`, until a
+                    // frame or a disconnect arrives.
+                    'gather: loop {
+                        let mut progressed = false;
+                        for i in 0..n {
+                            let s = (scan_start + i) % n;
+                            if !open[s] || to_close.contains(&s) {
+                                continue;
+                            }
+                            if meta.len() == max_batch {
+                                break 'gather;
+                            }
+                            match frame_rx[s].recv_timeout(gb.gather_wait) {
+                                Ok((frame, tensor, decode)) => {
+                                    meta.push((s, frame, decode));
+                                    tensors.push(tensor);
+                                    progressed = true;
+                                }
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    to_close.push(s);
+                                    progressed = true;
+                                }
+                                Err(RecvTimeoutError::Timeout) => {}
+                            }
+                        }
+                        // A pass that added nothing ends the round only if
+                        // it holds at least one frame or a pending close;
+                        // otherwise keep scanning (each miss parks in
+                        // recv_timeout, so an idle node costs no CPU).
+                        let holds_work = !meta.is_empty() || !to_close.is_empty();
+                        if meta.len() == max_batch || (!progressed && holds_work) {
+                            break;
+                        }
+                    }
+                    scan_start = (scan_start + 1) % n;
+
+                    if !tensors.is_empty() {
+                        // One batched base-DNN pass for the whole gather,
+                        // then per-frame fanout to each stream's MCs —
+                        // all scoped to the node-wide shard.
+                        let collector_gone = shard.run(|| {
+                            let te = Instant::now();
+                            let maps = batch_ex.extract_batch(&tensors);
+                            let share = te.elapsed() / tensors.len() as u32;
+                            for (i, (s, frame, decode)) in meta.iter().enumerate() {
+                                let ff = ffs[*s].as_mut().expect("open stream has a pipeline");
+                                ff.credit_decode(*decode);
+                                for v in ff.process_with_maps(frame, &maps[i], share) {
+                                    if msg_tx[*s].send(Msg::Verdict(v)).is_err() {
+                                        return true;
+                                    }
+                                }
+                            }
+                            false
+                        });
+                        if collector_gone {
+                            return;
+                        }
+                    }
+
+                    // Close ended streams only after their final gathered
+                    // frames were processed above.
+                    for &s in &to_close {
+                        let ff = ffs[s].take().expect("closing an open stream");
+                        let (tail, stats, timers) = shard.run(|| ff.finish());
+                        for v in tail {
+                            if msg_tx[s].send(Msg::Verdict(v)).is_err() {
+                                return;
+                            }
+                        }
+                        let _ = msg_tx[s].send(Msg::Done(Box::new((stats, timers))));
+                        open[s] = false;
+                    }
+                    if open.iter().all(|o| !o) {
+                        return;
+                    }
+                }
+            });
+
+            collect_verdicts(&verdict_rx, &mut uplink, &mut reports);
+        });
+        node_report(reports, &uplink, t0.elapsed())
+    }
+}
+
+/// Builds the shared uplink. The uplink drains once per offer; the
+/// collector offers once per stream slot per round (finished streams offer
+/// zero bytes), so the per-offer interval is 1/(fps·n) of a second and the
+/// drain rate stays `capacity_bps` even when streams end at different
+/// lengths. The lock-step round model prices every stream at one common
+/// cadence — the fastest stream's fps — which is exact for same-rate
+/// cameras (the usual deployment) and an approximation for mixed-rate ones.
+fn build_uplink(cfg: &EdgeNodeConfig, streams: &[StreamEntry]) -> Uplink {
+    let fps = streams
+        .iter()
+        .map(|s| s.source.fps())
+        .fold(f64::NAN, f64::max);
+    let mut uplink = Uplink::new(cfg.uplink_capacity_bps, fps.max(1.0) * streams.len() as f64);
+    if let Some(limit) = cfg.uplink_queue_limit_bytes {
+        uplink = uplink.with_queue_limit_bytes(limit);
+    }
+    uplink
+}
+
+fn empty_reports(n: usize) -> Vec<StreamReport> {
+    (0..n)
+        .map(|i| StreamReport {
+            id: StreamId(i),
+            verdicts: Vec::new(),
+            stats: PipelineStats::default(),
+            timers: PhaseTimers::default(),
+            offered_bytes: 0,
+        })
+        .collect()
+}
+
+/// Collector: lock-step rounds — one verdict per open stream per round,
+/// offered to the shared uplink in stream order. The fixed order makes
+/// node-level uplink accounting deterministic regardless of how the stage
+/// threads race (and regardless of batch composition in gather mode).
+fn collect_verdicts(
+    verdict_rx: &[Receiver<Msg>],
+    uplink: &mut Uplink,
+    reports: &mut [StreamReport],
+) {
+    let mut open = vec![true; verdict_rx.len()];
+    let mut remaining = verdict_rx.len();
+    while remaining > 0 {
+        for (s, rx) in verdict_rx.iter().enumerate() {
+            if !open[s] {
+                // A finished stream's slot still advances the shared link
+                // one drain interval, keeping the drain rate at capacity
+                // when streams end at different lengths.
+                uplink.offer(0);
+                continue;
+            }
+            match rx.recv() {
+                Ok(Msg::Verdict(v)) => {
+                    let report = &mut reports[s];
+                    report.offered_bytes += v.uploaded_bytes as u64;
+                    uplink.offer(v.uploaded_bytes);
+                    report.verdicts.push(v);
+                }
+                Ok(Msg::Done(boxed)) => {
+                    let (stats, timers) = *boxed;
+                    reports[s].stats = stats;
+                    reports[s].timers = timers;
+                    open[s] = false;
+                    remaining -= 1;
+                }
+                Err(_) => {
+                    // Stage thread died without Done: the scope join
+                    // re-raises its panic.
+                    open[s] = false;
+                    remaining -= 1;
+                }
+            }
         }
-        NodeReport {
-            streams: reports,
-            node: NodeStats {
-                streams: n,
-                pipeline,
-                timers,
-                uplink_backlog_bits: uplink.backlog_bits(),
-                uplink_peak_delay_secs: uplink.peak_delay_secs(),
-                uplink_dropped: uplink.dropped(),
-                uplink_utilization: uplink.utilization(),
-                wall,
-            },
-        }
+    }
+}
+
+/// Sums per-stream reports into the node-level view.
+fn node_report(reports: Vec<StreamReport>, uplink: &Uplink, wall: Duration) -> NodeReport {
+    let mut pipeline = PipelineStats::default();
+    let mut timers = PhaseTimers::default();
+    for r in &reports {
+        pipeline.frames_in += r.stats.frames_in;
+        pipeline.frames_out += r.stats.frames_out;
+        pipeline.frames_uploaded += r.stats.frames_uploaded;
+        pipeline.bytes_uploaded += r.stats.bytes_uploaded;
+        pipeline.bytes_archived += r.stats.bytes_archived;
+        pipeline.events_closed += r.stats.events_closed;
+        timers.base_dnn += r.timers.base_dnn;
+        timers.microclassifiers += r.timers.microclassifiers;
+        timers.frames += r.timers.frames;
+    }
+    NodeReport {
+        node: NodeStats {
+            streams: reports.len(),
+            pipeline,
+            timers,
+            uplink_backlog_bits: uplink.backlog_bits(),
+            uplink_peak_delay_secs: uplink.peak_delay_secs(),
+            uplink_dropped: uplink.dropped(),
+            uplink_utilization: uplink.utilization(),
+            wall,
+        },
+        streams: reports,
     }
 }
 
@@ -557,6 +870,84 @@ mod tests {
         node.deploy(id, McSpec::full_frame("a", 1));
         let report = node.run();
         assert!(report.node.pipeline.bytes_archived > 0);
+    }
+
+    #[test]
+    fn gather_batch_mode_finalizes_every_frame() {
+        let res = Resolution::new(64, 32);
+        let cfg =
+            EdgeNodeConfig::new(ShardLayout::single(2)).with_gather_batch(GatherBatch::default());
+        let mut node = EdgeNode::new(cfg);
+        for seed in [5, 6, 7] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 9));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let report = node.run();
+        for (s, sr) in report.streams.iter().enumerate() {
+            assert_eq!(sr.verdicts.len(), 9, "stream {s}");
+            let frames: Vec<u64> = sr.verdicts.iter().map(|v| v.frame).collect();
+            assert_eq!(frames, (0..9).collect::<Vec<_>>(), "stream {s} order");
+        }
+        assert_eq!(report.node.pipeline.frames_out, 27);
+        assert_eq!(report.node.timers.frames, 27);
+    }
+
+    #[test]
+    fn gather_batch_verdicts_match_per_stream_mode() {
+        let res = Resolution::new(64, 32);
+        let build = |gather: Option<GatherBatch>| {
+            let mut cfg = EdgeNodeConfig::new(ShardLayout::single(1));
+            cfg.gather_batch = gather;
+            let mut node = EdgeNode::new(cfg);
+            for seed in [11, 12] {
+                let src = Box::new(SceneSource::new(scene_cfg(res, seed), 8));
+                let id = node.add_stream(src, tiny_pipeline(res));
+                node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+            }
+            node.run()
+        };
+        let streamed = build(None);
+        let gathered = build(Some(GatherBatch {
+            max_batch: 4,
+            gather_wait: Duration::from_millis(1),
+        }));
+        for (a, b) in streamed.streams.iter().zip(&gathered.streams) {
+            assert_eq!(a.verdicts, b.verdicts, "stream {:?}", a.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration through EdgeNode::calibrate")]
+    fn gather_batch_rejects_per_stream_calibration() {
+        let res = Resolution::new(64, 32);
+        let cfg =
+            EdgeNodeConfig::new(ShardLayout::single(1)).with_gather_batch(GatherBatch::default());
+        let mut node = EdgeNode::new(cfg);
+        let src = Box::new(SceneSource::new(scene_cfg(res, 3), 2));
+        let id = node.add_stream(src, tiny_pipeline(res));
+        node.deploy(id, McSpec::full_frame("mc", 3));
+        // Calibrating behind the node's back desyncs the shared extractor.
+        let frames = vec![ff_video::Frame::black(res)];
+        node.pipeline_mut(id).calibrate(&frames);
+        let _ = node.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "share one base-DNN config")]
+    fn gather_batch_rejects_mismatched_base_dnn() {
+        let res = Resolution::new(64, 32);
+        let cfg =
+            EdgeNodeConfig::new(ShardLayout::single(1)).with_gather_batch(GatherBatch::default());
+        let mut node = EdgeNode::new(cfg);
+        for (seed, width) in [(1u64, 0.25f32), (2, 0.5)] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 2));
+            let mut p = tiny_pipeline(res);
+            p.mobilenet = MobileNetConfig::with_width(width);
+            let id = node.add_stream(src, p);
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let _ = node.run();
     }
 
     #[test]

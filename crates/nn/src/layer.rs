@@ -44,6 +44,56 @@ pub trait Layer: Send {
         self.forward(x, phase)
     }
 
+    /// Runs the layer over a **batch** of stacked inputs in one inference
+    /// pass: `x` is `[batch, …frame dims…]` (frames contiguous) and the
+    /// result is `[batch, …out dims…]`.
+    ///
+    /// Row `b` of the output is **bit-identical** to
+    /// `forward_ws(frame b, Inference, ws)` — batching amortizes weight
+    /// traffic (one GEMM over the stacked im2col matrix streams each packed
+    /// panel once per batch instead of once per frame) but never changes a
+    /// single value, because every kernel computes each output element from
+    /// its own frame's data in a fixed accumulation order.
+    ///
+    /// Inference only; no training state is cached. The default
+    /// implementation splits the batch and runs `forward_ws` per frame
+    /// (correct for every layer, no amortization); the GEMM-backed layers
+    /// (convolutions, the fused MobileNet units) and the element-wise layers
+    /// override it with true batched kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s leading dimension is not `batch` or `batch == 0`.
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            x.dims().first(),
+            Some(&batch),
+            "batch tensor must lead with the batch dimension"
+        );
+        let frame_dims = &x.dims()[1..];
+        let frame_len: usize = frame_dims.iter().product();
+        let mut frame = ws.take(frame_dims);
+        let mut out: Option<Tensor> = None;
+        for b in 0..batch {
+            frame
+                .data_mut()
+                .copy_from_slice(&x.data()[b * frame_len..(b + 1) * frame_len]);
+            let y = self.forward_ws(&frame, Phase::Inference, ws);
+            let out = out.get_or_insert_with(|| {
+                let mut dims = Vec::with_capacity(y.rank() + 1);
+                dims.push(batch);
+                dims.extend_from_slice(y.dims());
+                ws.take(&dims)
+            });
+            let ylen = y.len();
+            out.data_mut()[b * ylen..(b + 1) * ylen].copy_from_slice(y.data());
+            ws.recycle(y);
+        }
+        ws.recycle(frame);
+        out.expect("batch > 0")
+    }
+
     /// Pops the most recent cached forward state and back-propagates.
     ///
     /// Returns the gradient with respect to that forward call's input and

@@ -72,6 +72,12 @@ impl Layer for Activation {
         y
     }
 
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        // Element-wise: the stacked batch is just a bigger buffer.
+        assert_eq!(x.dims().first(), Some(&batch), "batch dimension mismatch");
+        self.forward_ws(x, Phase::Inference, ws)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cached = self
             .cache

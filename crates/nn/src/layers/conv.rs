@@ -3,8 +3,8 @@
 //! the input feature map reinterpreted as `[positions, channels]`.
 
 use ff_tensor::{
-    col2im, gemm, im2col_into, matmul_transpose_a, matmul_transpose_b, Conv2dGeometry, Padding,
-    Tensor, Workspace,
+    col2im, gemm, im2col_batch_into, im2col_into, matmul_transpose_a, matmul_transpose_b,
+    Conv2dGeometry, Padding, Tensor, Workspace,
 };
 use rand::SeedableRng;
 
@@ -147,6 +147,50 @@ impl Layer for Conv2d {
             }
         }
         out.reshape_to(&[geo.out_h, geo.out_w, self.out_c]);
+        out
+    }
+
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(x.rank(), 4, "batched Conv2d expects [B, H, W, C]");
+        let geo = self.geometry(&x.dims()[1..]);
+        let positions = geo.positions();
+        let rows = batch * positions;
+        let mut out = ws.take(&[rows, self.out_c]);
+        // One GEMM for the whole batch; with B frames the packing of the
+        // weight matrix (and its streaming through cache) is paid once per
+        // batch instead of once per frame. Per-row accumulation order is
+        // unchanged, so each frame's rows stay bit-identical to the
+        // single-frame path.
+        if self.kh == 1 && self.kw == 1 && self.stride == 1 {
+            gemm(
+                x.data(),
+                self.weight.value.data(),
+                out.data_mut(),
+                rows,
+                self.in_c,
+                self.out_c,
+            );
+        } else {
+            let mut cols = ws.take(&[rows, geo.fan_in()]);
+            im2col_batch_into(x, batch, &geo, &mut cols);
+            gemm(
+                cols.data(),
+                self.weight.value.data(),
+                out.data_mut(),
+                rows,
+                geo.fan_in(),
+                self.out_c,
+            );
+            ws.recycle(cols);
+        }
+        let b = self.bias.value.data();
+        for row in out.data_mut().chunks_mut(self.out_c) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        out.reshape_to(&[batch, geo.out_h, geo.out_w, self.out_c]);
         out
     }
 

@@ -64,21 +64,73 @@ impl DepthwiseConv2d {
     }
 }
 
+/// Per-application geometry shared by every output row of one depthwise
+/// pass: the conv geometry plus the interior-column bounds, resolved once.
+#[derive(Clone, Copy)]
+pub(crate) struct DwGeom {
+    k: usize,
+    c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_w: usize,
+    stride: usize,
+    pad_top: usize,
+    pad_left: usize,
+    /// Output columns in `ix_lo..ix_hi` have their tap rectangle fully
+    /// inside `0..in_w`: `ox·stride ≥ pad_left` and
+    /// `ox·stride + k ≤ in_w + pad_left`.
+    ix_lo: usize,
+    ix_hi: usize,
+}
+
+impl DwGeom {
+    fn new(geo: &Conv2dGeometry, k: usize) -> Self {
+        let ix_lo = geo.pad_left.div_ceil(geo.stride).min(geo.out_w);
+        let ix_hi = if geo.in_w + geo.pad_left >= k {
+            ((geo.in_w + geo.pad_left - k) / geo.stride + 1).clamp(ix_lo, geo.out_w)
+        } else {
+            ix_lo
+        };
+        DwGeom {
+            k,
+            c: geo.in_c,
+            in_h: geo.in_h,
+            in_w: geo.in_w,
+            out_w: geo.out_w,
+            stride: geo.stride,
+            pad_top: geo.pad_top,
+            pad_left: geo.pad_left,
+            ix_lo,
+            ix_hi,
+        }
+    }
+}
+
+/// Output columns processed together by the stride-1 strip kernel.
+const STRIP: usize = 4;
+/// Largest kernel size the strip kernel's sliding input window supports
+/// (`STRIP + MAX_STRIP_K - 1` vector registers of input per kernel row).
+const MAX_STRIP_K: usize = 7;
+
 /// The shared depthwise-convolution kernel, split into **interior** and
 /// **border** output columns per row:
 ///
 /// - Interior cells (tap rectangle fully inside the input in x) run a
 ///   branch-free kernel with explicit 8-wide SIMD over channels and the
 ///   accumulator held in registers across all `k²` taps — the hot path,
-///   covering almost every cell at stream resolutions.
+///   covering almost every cell at stream resolutions. On stride-1 rows
+///   they are processed in strips of [`STRIP`] adjacent columns whose
+///   overlapping tap windows share input loads (`STRIP + k - 1` loads per
+///   kernel row instead of `STRIP·k`) and reuse each weight load across the
+///   whole strip.
 /// - Border cells (clipped by SAME padding) keep the per-cell-clipped
 ///   scalar loops.
 ///
-/// Both paths accumulate `bias + Σ_ky Σ_kx x·w` per channel in the same
+/// All paths accumulate `bias + Σ_ky Σ_kx x·w` per channel in the same
 /// order with the same mul-then-add semantics (no FMA contraction), so the
-/// split — and the SIMD width — never changes a single bit of the output.
-/// The optional fused `·scale + shift → ReLU` tail is applied while each
-/// cell is register/L1-resident.
+/// split — the SIMD width, and the strip blocking — never changes a single
+/// bit of the output. The optional fused `·scale + shift → ReLU` tail is
+/// applied while each cell is register/L1-resident.
 ///
 /// Used by both [`DepthwiseConv2d`] (no tail) and
 /// [`crate::layers::fused::DepthwiseBnRelu`] (folded-norm tail), so the two
@@ -92,56 +144,128 @@ pub(crate) fn depthwise_forward(
     norm_relu_tail: Option<(&[f32], &[f32])>,
     out: &mut Tensor,
 ) {
-    let c = geo.in_c;
-    let (in_h, in_w) = (geo.in_h, geo.in_w);
+    let g = DwGeom::new(geo, k);
     let xd = x.data();
-    let out_w = geo.out_w;
-    let stride = geo.stride;
-    let (pad_top, pad_left) = (geo.pad_top, geo.pad_left);
-    // Output columns whose tap rectangle is fully inside `0..in_w`:
-    // `ox·stride ≥ pad_left` and `ox·stride + k ≤ in_w + pad_left`.
-    let ix_lo = pad_left.div_ceil(stride).min(out_w);
-    let ix_hi = if in_w + pad_left >= k {
-        ((in_w + pad_left - k) / stride + 1).clamp(ix_lo, out_w)
-    } else {
-        ix_lo
-    };
-    ff_tensor::parallel::parallel_rows_mut(out.data_mut(), out_w * c, |oy, row| {
-        let y0 = (oy * stride) as isize - pad_top as isize;
-        // Vertical clip is shared by every cell of the row.
-        let ky_lo = (-y0).clamp(0, k as isize) as usize;
-        let ky_hi = ((in_h as isize - y0).clamp(0, k as isize)) as usize;
-        for ox in (0..ix_lo).chain(ix_hi..out_w) {
-            border_cell(
-                xd,
-                weight,
-                bias,
-                norm_relu_tail,
-                &mut row[ox * c..(ox + 1) * c],
-                (ox * stride) as isize - pad_left as isize,
-                y0,
-                (ky_lo, ky_hi),
-                k,
-                c,
-                in_w,
-            );
-        }
-        for ox in ix_lo..ix_hi {
-            interior_cell(
-                xd,
-                weight,
-                bias,
-                norm_relu_tail,
-                &mut row[ox * c..(ox + 1) * c],
-                ox * stride - pad_left,
-                y0,
-                (ky_lo, ky_hi),
-                k,
-                c,
-                in_w,
-            );
-        }
+    ff_tensor::parallel::parallel_rows_mut(out.data_mut(), g.out_w * g.c, |oy, row| {
+        depthwise_row(xd, weight, bias, norm_relu_tail, &g, oy, row);
     });
+}
+
+/// Batched [`depthwise_forward`]: `x` is `batch` stacked HWC frames
+/// (`[batch, in_h, in_w, in_c]`), `out` is `[batch, out_h, out_w, c]`.
+/// Every output cell is a pure function of its own frame, computed by the
+/// exact same row kernel as the single-frame path, so frame `b` of the
+/// output is bit-identical to running [`depthwise_forward`] on frame `b`
+/// alone; batching only widens the parallel row sweep to `batch·out_h`
+/// rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn depthwise_forward_batch(
+    x: &Tensor,
+    batch: usize,
+    geo: &ff_tensor::Conv2dGeometry,
+    k: usize,
+    weight: &[f32],
+    bias: &[f32],
+    norm_relu_tail: Option<(&[f32], &[f32])>,
+    out: &mut Tensor,
+) {
+    let g = DwGeom::new(geo, k);
+    let out_h = geo.out_h;
+    assert_eq!(
+        x.dims(),
+        &[batch, g.in_h, g.in_w, g.c],
+        "depthwise batch input shape"
+    );
+    assert_eq!(
+        out.dims(),
+        &[batch, out_h, g.out_w, g.c],
+        "depthwise batch output shape"
+    );
+    let xd = x.data();
+    let frame_len = g.in_h * g.in_w * g.c;
+    ff_tensor::parallel::parallel_rows_mut(out.data_mut(), g.out_w * g.c, |r, row| {
+        let b = r / out_h;
+        let oy = r % out_h;
+        depthwise_row(
+            &xd[b * frame_len..(b + 1) * frame_len],
+            weight,
+            bias,
+            norm_relu_tail,
+            &g,
+            oy,
+            row,
+        );
+    });
+}
+
+/// One output row: border cells at the clipped fringes, interior cells in
+/// load-sharing strips (stride 1) or one at a time.
+fn depthwise_row(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    g: &DwGeom,
+    oy: usize,
+    row: &mut [f32],
+) {
+    let (k, c) = (g.k, g.c);
+    let y0 = (oy * g.stride) as isize - g.pad_top as isize;
+    // Vertical clip is shared by every cell of the row.
+    let ky_lo = (-y0).clamp(0, k as isize) as usize;
+    let ky_hi = ((g.in_h as isize - y0).clamp(0, k as isize)) as usize;
+    for ox in (0..g.ix_lo).chain(g.ix_hi..g.out_w) {
+        border_cell(
+            xd,
+            weight,
+            bias,
+            tail,
+            &mut row[ox * c..(ox + 1) * c],
+            (ox * g.stride) as isize - g.pad_left as isize,
+            y0,
+            (ky_lo, ky_hi),
+            k,
+            c,
+            g.in_w,
+        );
+    }
+    let mut ox = g.ix_lo;
+    if g.stride == 1 && k <= MAX_STRIP_K {
+        // Row-level tap reuse: adjacent stride-1 windows overlap in k - 1
+        // input columns, so a strip of STRIP cells shares its loads.
+        while ox + STRIP <= g.ix_hi {
+            interior_strip(
+                xd,
+                weight,
+                bias,
+                tail,
+                &mut row[ox * c..(ox + STRIP) * c],
+                ox - g.pad_left,
+                y0,
+                (ky_lo, ky_hi),
+                k,
+                c,
+                g.in_w,
+            );
+            ox += STRIP;
+        }
+    }
+    while ox < g.ix_hi {
+        interior_cell(
+            xd,
+            weight,
+            bias,
+            tail,
+            &mut row[ox * c..(ox + 1) * c],
+            ox * g.stride - g.pad_left,
+            y0,
+            (ky_lo, ky_hi),
+            k,
+            c,
+            g.in_w,
+        );
+        ox += 1;
+    }
 }
 
 /// A padding-clipped output cell: tap ranges clamped per cell, scalar
@@ -268,6 +392,126 @@ fn interior_cell(
     interior_cell_scalar(xd, weight, bias, tail, cell, x0, y0, ky, k, c, in_w, 0);
 }
 
+/// A strip of [`STRIP`] adjacent **stride-1** interior cells computed
+/// together: per kernel row the `STRIP + k - 1` overlapping input vectors
+/// are loaded once and slid across the strip, and each weight vector is
+/// loaded once for all [`STRIP`] cells — versus `STRIP·k` input and
+/// `STRIP·k` weight loads for cell-at-a-time execution.
+///
+/// Each cell's accumulator still runs `bias + Σ_ky Σ_kx x·w` in exactly the
+/// order of [`interior_cell`] (ky then kx ascending, mul-then-add, no FMA
+/// contraction), so the strip blocking is bit-invisible in the output.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn interior_strip(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cells: &mut [f32],
+    x0: usize,
+    y0: isize,
+    (ky_lo, ky_hi): (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(k <= MAX_STRIP_K && cells.len() == STRIP * c);
+    let simd_c = c - c % 8;
+    // SAFETY: avx2 is a compile-time target feature here; the caller
+    // guarantees all STRIP cells are interior (`x0 + STRIP - 1 + k ≤ in_w`)
+    // and the row clip guarantees `0 ≤ y0 + ky < in_h`, so every 8-lane
+    // load below is in bounds of `xd`/`weight` for channels `< simd_c ≤ c`.
+    unsafe {
+        let mut ch = 0;
+        while ch < simd_c {
+            let b = _mm256_loadu_ps(bias.as_ptr().add(ch));
+            let mut acc = [b; STRIP];
+            for ky in ky_lo..ky_hi {
+                let y = (y0 + ky as isize) as usize;
+                let xrow = xd.as_ptr().add((y * in_w + x0) * c + ch);
+                // One sliding window of input vectors for the whole strip.
+                let mut xv = [_mm256_setzero_ps(); STRIP + MAX_STRIP_K - 1];
+                for (i, v) in xv.iter_mut().enumerate().take(STRIP + k - 1) {
+                    *v = _mm256_loadu_ps(xrow.add(i * c));
+                }
+                let wrow = weight.as_ptr().add(ky * k * c + ch);
+                for kx in 0..k {
+                    let wv = _mm256_loadu_ps(wrow.add(kx * c));
+                    for (s, a) in acc.iter_mut().enumerate() {
+                        *a = _mm256_add_ps(*a, _mm256_mul_ps(xv[s + kx], wv));
+                    }
+                }
+            }
+            if let Some((scale, shift)) = tail {
+                let s = _mm256_loadu_ps(scale.as_ptr().add(ch));
+                let t = _mm256_loadu_ps(shift.as_ptr().add(ch));
+                for a in &mut acc {
+                    *a = _mm256_max_ps(_mm256_add_ps(_mm256_mul_ps(*a, s), t), _mm256_setzero_ps());
+                }
+            }
+            for (s, a) in acc.iter().enumerate() {
+                _mm256_storeu_ps(cells.as_mut_ptr().add(s * c + ch), *a);
+            }
+            ch += 8;
+        }
+    }
+    // Ragged channel tail, cell at a time.
+    for s in 0..STRIP {
+        interior_cell_scalar(
+            xd,
+            weight,
+            bias,
+            tail,
+            &mut cells[s * c..(s + 1) * c],
+            x0 + s,
+            y0,
+            (ky_lo, ky_hi),
+            k,
+            c,
+            in_w,
+            simd_c,
+        );
+    }
+}
+
+/// Strip fallback without AVX2: the cells one at a time (the scalar
+/// interior kernel already keeps its accumulator in registers).
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn interior_strip(
+    xd: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    tail: Option<(&[f32], &[f32])>,
+    cells: &mut [f32],
+    x0: usize,
+    y0: isize,
+    ky: (usize, usize),
+    k: usize,
+    c: usize,
+    in_w: usize,
+) {
+    for s in 0..STRIP {
+        interior_cell(
+            xd,
+            weight,
+            bias,
+            tail,
+            &mut cells[s * c..(s + 1) * c],
+            x0 + s,
+            y0,
+            ky,
+            k,
+            c,
+            in_w,
+        );
+    }
+}
+
 /// Register-accumulated scalar kernel for channels `ch0..c` of an interior
 /// cell — the ragged tail of the SIMD path (and the whole cell without
 /// AVX2). Same tap order and mul-then-add semantics as the vector body.
@@ -331,6 +575,24 @@ impl Layer for DepthwiseConv2d {
         if phase == Phase::Train {
             self.cache.push((geo, x.clone()));
         }
+        out
+    }
+
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(x.rank(), 4, "batched DepthwiseConv2d expects [B, H, W, C]");
+        let geo = self.geometry(&x.dims()[1..]);
+        let mut out = ws.take(&[batch, geo.out_h, geo.out_w, self.c]);
+        depthwise_forward_batch(
+            x,
+            batch,
+            &geo,
+            self.k,
+            self.weight.value.data(),
+            self.bias.value.data(),
+            None,
+            &mut out,
+        );
         out
     }
 
@@ -485,14 +747,19 @@ mod tests {
         use rand::{Rng, SeedableRng};
         // Geometries chosen to hit every path: channel counts off the
         // 8-lane SIMD width (scalar tail), widths where interior is empty,
-        // strides > 1, and kernels larger than the input.
+        // strides > 1, kernels larger than the input, and stride-1 rows
+        // wide enough for the load-sharing strip kernel (full strips, strip
+        // remainders, and multi-strip rows).
         for &(h, w, c, k, stride) in &[
             (9usize, 7usize, 5usize, 3usize, 1usize),
             (8, 11, 8, 3, 2),
             (6, 6, 11, 3, 1),
             (5, 4, 16, 5, 2),
-            (4, 2, 3, 3, 1), // interior empty in x
-            (2, 2, 9, 5, 1), // kernel larger than input
+            (4, 2, 3, 3, 1),   // interior empty in x
+            (2, 2, 9, 5, 1),   // kernel larger than input
+            (7, 16, 8, 3, 1),  // three strips + remainder
+            (6, 13, 12, 5, 1), // k=5 strips, ragged channels
+            (5, 14, 4, 7, 1),  // k=MAX_STRIP_K, two strips
         ] {
             let mut rng = rand::rngs::StdRng::seed_from_u64(99);
             let x = Tensor::from_vec(
@@ -540,6 +807,52 @@ mod tests {
                     "h{h} w{w} c{c} k{k} s{stride} tail={}",
                     tail.is_some()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_per_frame_bit_for_bit() {
+        use ff_tensor::{Conv2dGeometry, Padding};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for &(h, w, c, k, stride, batch) in &[
+            (7usize, 9usize, 8usize, 3usize, 1usize, 3usize),
+            (6, 5, 5, 3, 2, 4),
+            (5, 8, 16, 5, 1, 2),
+        ] {
+            let frames: Vec<Tensor> = (0..batch)
+                .map(|_| {
+                    Tensor::from_vec(
+                        vec![h, w, c],
+                        (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    )
+                })
+                .collect();
+            let weight: Vec<f32> = (0..k * k * c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let bias: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let scale: Vec<f32> = (0..c).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let shift: Vec<f32> = (0..c).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            let geo = Conv2dGeometry::resolve((h, w, c), (k, k), stride, Padding::Same);
+            let mut stacked_data = Vec::new();
+            for f in &frames {
+                stacked_data.extend_from_slice(f.data());
+            }
+            let stacked = Tensor::from_vec(vec![batch, h, w, c], stacked_data);
+            for tail in [None, Some((&scale[..], &shift[..]))] {
+                let mut got = Tensor::zeros(vec![batch, geo.out_h, geo.out_w, c]);
+                depthwise_forward_batch(&stacked, batch, &geo, k, &weight, &bias, tail, &mut got);
+                let frame_out = geo.out_h * geo.out_w * c;
+                for (b, f) in frames.iter().enumerate() {
+                    let mut want = Tensor::zeros(vec![geo.out_h, geo.out_w, c]);
+                    depthwise_forward(f, &geo, k, &weight, &bias, tail, &mut want);
+                    assert_eq!(
+                        &got.data()[b * frame_out..(b + 1) * frame_out],
+                        want.data(),
+                        "frame {b} (k{k} s{stride} tail={})",
+                        tail.is_some()
+                    );
+                }
             }
         }
     }

@@ -14,8 +14,9 @@
 //! streaming inference only.
 
 use ff_tensor::{
-    col2im, gemm_fused, gemm_prepacked, im2col_into, matmul_transpose_a, matmul_transpose_b,
-    pack_b_panels_into, packed_panels_len, Conv2dGeometry, Epilogue, Padding, Tensor, Workspace,
+    col2im, gemm_fused, gemm_prepacked, im2col_batch_into, im2col_into, matmul_transpose_a,
+    matmul_transpose_b, pack_b_panels_into, packed_panels_len, Conv2dGeometry, Epilogue, Padding,
+    Tensor, Workspace,
 };
 use rand::SeedableRng;
 
@@ -251,6 +252,55 @@ impl Layer for ConvBnRelu {
         out
     }
 
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(x.rank(), 4, "batched ConvBnRelu expects [B, H, W, C]");
+        let geo = self.geometry(&x.dims()[1..]);
+        let positions = geo.positions();
+        let fan_in = geo.fan_in();
+        let rows = batch * positions;
+        // The whole unit for the whole batch in one pass: a single
+        // `gemm_prepacked` over the stacked im2col matrix streams each
+        // packed weight panel once per *batch* instead of once per frame —
+        // the panel-reuse amortization that motivates batching. Per-row
+        // accumulation order and the fused epilogue are unchanged, so each
+        // frame's slice is bit-identical to the single-frame inference path.
+        self.ensure_packed();
+        let ep = Epilogue {
+            bias: Some(self.bias.value.data()),
+            scale_shift: Some((&self.norm.scale, &self.norm.shift)),
+            relu: true,
+        };
+        let mut out = ws.take(&[rows, self.out_c]);
+        if self.k == 1 && self.stride == 1 {
+            // Stacked HWC frames are already the stacked im2col matrix.
+            gemm_prepacked(
+                x.data(),
+                &self.packed_weights,
+                out.data_mut(),
+                rows,
+                self.in_c,
+                self.out_c,
+                ep,
+            );
+        } else {
+            let mut cols = ws.take(&[rows, fan_in]);
+            im2col_batch_into(x, batch, &geo, &mut cols);
+            gemm_prepacked(
+                cols.data(),
+                &self.packed_weights,
+                out.data_mut(),
+                rows,
+                fan_in,
+                self.out_c,
+                ep,
+            );
+            ws.recycle(cols);
+        }
+        out.reshape_to(&[batch, geo.out_h, geo.out_w, self.out_c]);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (geo, cols, pre_relu) = self
             .cache
@@ -452,6 +502,24 @@ impl Layer for DepthwiseBnRelu {
             }
             self.cache.push((geo, x.clone(), pre_relu));
         }
+        out
+    }
+
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(x.rank(), 4, "batched DepthwiseBnRelu expects [B, H, W, C]");
+        let geo = self.geometry(&x.dims()[1..]);
+        let mut out = ws.take(&[batch, geo.out_h, geo.out_w, self.c]);
+        crate::layers::depthwise::depthwise_forward_batch(
+            x,
+            batch,
+            &geo,
+            self.k,
+            self.weight.value.data(),
+            self.bias.value.data(),
+            Some((&self.norm.scale[..], &self.norm.shift[..])),
+            &mut out,
+        );
         out
     }
 

@@ -85,6 +85,13 @@ impl Layer for ChannelNorm {
         out
     }
 
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        // Per-channel affine over the trailing dimension: the stacked batch
+        // is just a bigger buffer of channel cells.
+        assert_eq!(x.dims().first(), Some(&batch), "batch dimension mismatch");
+        self.forward_ws(x, Phase::Inference, ws)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         // Non-trainable (folded); gradient just rescales.
         let c = self.scale.len();

@@ -110,6 +110,24 @@ impl Sequential {
         cur.unwrap_or_else(|| x.clone())
     }
 
+    /// Runs the full network over a batch of stacked inputs
+    /// (`x: [batch, …]`) with every intermediate drawn from `ws`. Each
+    /// layer executes **once** for the whole batch (one GEMM over the
+    /// stacked im2col matrix for the convolution layers), and row `b` of the
+    /// result is bit-identical to [`Self::forward_ws`] on frame `b` alone.
+    /// Inference only.
+    pub fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        let mut cur: Option<Tensor> = None;
+        for (_, layer) in &mut self.layers {
+            let next = layer.forward_batch_ws(cur.as_ref().unwrap_or(x), batch, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| x.clone())
+    }
+
     /// Runs the network up to and including the named layer, returning its
     /// activation. Inference only (no caches are kept).
     ///
@@ -240,6 +258,76 @@ impl Sequential {
         }
     }
 
+    /// Batched [`Self::forward_taps_indices_ws`]: runs the network **once**
+    /// for a whole batch of stacked frames (`x: [batch, …frame dims…]`,
+    /// frames contiguous), executing each layer as a single batched kernel
+    /// (see [`Layer::forward_batch_ws`]), and refills `outs` with
+    /// **per-frame** tap activations in tap-major order:
+    /// `outs[t·batch + b]` is tap `indices[t]` of frame `b`.
+    ///
+    /// Every tensor in `outs[..]` is bit-identical to what the per-frame
+    /// walk would have produced for that frame — batching only amortizes
+    /// weight-panel streaming across frames. Streaming callers pass the same
+    /// `outs`/`ws` pair every batch, keeping the steady state
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is not strictly ascending, any index is out of
+    /// bounds, `batch == 0`, or `x` does not lead with `batch`.
+    pub fn forward_taps_batch_indices_ws(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        indices: &[usize],
+        ws: &mut Workspace,
+        outs: &mut Vec<Tensor>,
+    ) {
+        for t in outs.drain(..) {
+            ws.recycle(t);
+        }
+        let Some(&deepest) = indices.last() else {
+            return;
+        };
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            x.dims().first(),
+            Some(&batch),
+            "batch tensor must lead with the batch dimension"
+        );
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "tap indices must be strictly ascending"
+        );
+        assert!(deepest < self.layers.len(), "tap index out of bounds");
+        let mut next_tap = 0;
+        let mut cur: Option<Tensor> = None;
+        for (i, (_, layer)) in self.layers.iter_mut().enumerate().take(deepest + 1) {
+            let next = layer.forward_batch_ws(cur.as_ref().unwrap_or(x), batch, ws);
+            if let Some(prev) = cur.take() {
+                ws.recycle(prev);
+            }
+            while next_tap < indices.len() && indices[next_tap] == i {
+                // Split the batched activation into per-frame copies — the
+                // batched counterpart of the per-frame tap copy, same bytes
+                // moved per frame.
+                let frame_dims = &next.dims()[1..];
+                let frame_len: usize = frame_dims.iter().product();
+                for b in 0..batch {
+                    let mut copy = ws.take(frame_dims);
+                    copy.data_mut()
+                        .copy_from_slice(&next.data()[b * frame_len..(b + 1) * frame_len]);
+                    outs.push(copy);
+                }
+                next_tap += 1;
+            }
+            cur = Some(next);
+        }
+        if let Some(last) = cur {
+            ws.recycle(last);
+        }
+    }
+
     /// Back-propagates through all layers in reverse, returning the input
     /// gradient.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -356,6 +444,10 @@ impl Layer for Sequential {
         Sequential::forward_ws(self, x, phase, ws)
     }
 
+    fn forward_batch_ws(&mut self, x: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        Sequential::forward_batch_ws(self, x, batch, ws)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         Sequential::backward(self, grad_out)
     }
@@ -450,6 +542,70 @@ mod tests {
         let mut net = Sequential::new();
         net.push("a", Flatten::new());
         net.push("a", Flatten::new());
+    }
+
+    #[test]
+    fn batched_forward_matches_per_frame_bit_for_bit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        // Mixes true batched kernels (conv, activation) with the per-frame
+        // fallback (flatten, dense).
+        let mut net = tiny_net();
+        let mut ws = Workspace::new();
+        for batch in [1usize, 2, 3, 5] {
+            let frames: Vec<Tensor> = (0..batch)
+                .map(|_| {
+                    Tensor::from_vec(
+                        vec![8, 8, 1],
+                        (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    )
+                })
+                .collect();
+            let mut stacked_data = Vec::new();
+            for f in &frames {
+                stacked_data.extend_from_slice(f.data());
+            }
+            let stacked = Tensor::from_vec(vec![batch, 8, 8, 1], stacked_data);
+            let got = net.forward_batch_ws(&stacked, batch, &mut ws);
+            assert_eq!(got.dims()[0], batch);
+            let flen = got.len() / batch;
+            for (b, f) in frames.iter().enumerate() {
+                let want = net.forward_ws(f, Phase::Inference, &mut ws);
+                assert_eq!(
+                    &got.data()[b * flen..(b + 1) * flen],
+                    want.data(),
+                    "batch {batch} frame {b}"
+                );
+                ws.recycle(want);
+            }
+            ws.recycle(got);
+        }
+    }
+
+    #[test]
+    fn batched_tap_walk_matches_per_frame_taps() {
+        let mut net = tiny_net();
+        let mut ws = Workspace::new();
+        let frames: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::filled(vec![8, 8, 1], 0.1 + 0.3 * i as f32))
+            .collect();
+        let mut stacked_data = Vec::new();
+        for f in &frames {
+            stacked_data.extend_from_slice(f.data());
+        }
+        let stacked = Tensor::from_vec(vec![3, 8, 8, 1], stacked_data);
+        let indices = [0usize, 2]; // conv1, conv2
+        let mut outs = Vec::new();
+        net.forward_taps_batch_indices_ws(&stacked, 3, &indices, &mut ws, &mut outs);
+        assert_eq!(outs.len(), indices.len() * 3);
+        for (b, f) in frames.iter().enumerate() {
+            let mut per_frame = Vec::new();
+            net.forward_taps_indices_ws(f, &indices, &mut ws, &mut per_frame);
+            for (t, want) in per_frame.iter().enumerate() {
+                // Tap-major layout: outs[t·batch + b].
+                assert_eq!(&outs[t * 3 + b], want, "tap {t} frame {b}");
+            }
+        }
     }
 
     #[test]

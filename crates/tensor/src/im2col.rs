@@ -130,35 +130,84 @@ pub fn im2col_into(x: &Tensor, geo: &Conv2dGeometry, out: &mut Tensor) {
         "im2col output shape"
     );
     let xd = x.data();
+    parallel_rows_mut(out.data_mut(), fan_in, |pos, row| {
+        fill_patch_row(xd, geo, pos, row);
+    });
+}
+
+/// Batched [`im2col_into`]: lowers `batch` stacked HWC frames
+/// (`x: [batch, in_h, in_w, in_c]`, frames contiguous) into one row-wise
+/// stacked patch matrix `out: [batch·positions, fan_in]`, so a convolution
+/// over the whole batch becomes a **single** GEMM per layer. Row
+/// `b·positions + p` of the output is bit-identical to row `p` of
+/// [`im2col_into`] applied to frame `b` alone — each row is a pure function
+/// of its frame — so batched and per-frame lowering are interchangeable.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[batch, in_h, in_w, in_c]` or `out` is not
+/// `[batch·positions, fan_in]`.
+pub fn im2col_batch_into(x: &Tensor, batch: usize, geo: &Conv2dGeometry, out: &mut Tensor) {
+    assert_eq!(
+        x.dims(),
+        &[batch, geo.in_h, geo.in_w, geo.in_c],
+        "im2col batch input shape"
+    );
+    let positions = geo.positions();
+    let fan_in = geo.fan_in();
+    assert_eq!(
+        out.dims(),
+        &[batch * positions, fan_in],
+        "im2col batch output shape"
+    );
+    let xd = x.data();
+    let frame_len = geo.in_h * geo.in_w * geo.in_c;
+    parallel_rows_mut(out.data_mut(), fan_in, |row_idx, row| {
+        let b = row_idx / positions;
+        let pos = row_idx % positions;
+        fill_patch_row(&xd[b * frame_len..(b + 1) * frame_len], geo, pos, row);
+    });
+}
+
+/// Fills one im2col row (`fan_in` taps of output position `pos`) from one
+/// frame's HWC data. Shared by the single-frame and batched lowerings so the
+/// two can never diverge.
+///
+/// The `kw` taps of one kernel row are adjacent input columns, which in HWC
+/// layout are **contiguous** memory — so each kernel row is written as one
+/// span memcpy (plus zeroed fringes where SAME padding clips), not `kw`
+/// cell-sized copies. For the 3-channel stem conv that turns nine 3-float
+/// copies per row into one 27-float copy, removing most of the lowering's
+/// bound-check and call overhead.
+#[inline]
+fn fill_patch_row(xd: &[f32], geo: &Conv2dGeometry, pos: usize, row: &mut [f32]) {
     let (w, c) = (geo.in_w, geo.in_c);
     let row_c = geo.kw * c; // one kernel row of taps
-    parallel_rows_mut(out.data_mut(), fan_in, |pos, row| {
-        let oy = pos / geo.out_w;
-        let ox = pos % geo.out_w;
-        let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
-        let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
-        for ky in 0..geo.kh {
-            let y = y0 + ky as isize;
-            let dst = &mut row[ky * row_c..(ky + 1) * row_c];
-            if y < 0 || y >= geo.in_h as isize {
-                dst.fill(0.0);
-                continue;
-            }
-            let y = y as usize;
-            // Copy the contiguous span of in-bounds columns in one memcpy;
-            // zero the out-of-bounds fringes.
-            for kx in 0..geo.kw {
-                let xx = x0 + kx as isize;
-                let cell = &mut dst[kx * c..(kx + 1) * c];
-                if xx < 0 || xx >= w as isize {
-                    cell.fill(0.0);
-                } else {
-                    let src = (y * w + xx as usize) * c;
-                    cell.copy_from_slice(&xd[src..src + c]);
-                }
-            }
+    let oy = pos / geo.out_w;
+    let ox = pos % geo.out_w;
+    let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+    let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+    // Horizontal clip is shared by every kernel row of the position.
+    let kx_lo = (-x0).clamp(0, geo.kw as isize) as usize;
+    let kx_hi = ((w as isize - x0).clamp(0, geo.kw as isize)) as usize;
+    for ky in 0..geo.kh {
+        let y = y0 + ky as isize;
+        let dst = &mut row[ky * row_c..(ky + 1) * row_c];
+        if y < 0 || y >= geo.in_h as isize || kx_lo >= kx_hi {
+            dst.fill(0.0);
+            continue;
         }
-    });
+        let y = y as usize;
+        dst[..kx_lo * c].fill(0.0);
+        // `x0 + kx_lo ≥ 0` by construction, so the sums below are in range.
+        let base = (y * w) as isize + x0;
+        let (lo, hi) = (
+            (base + kx_lo as isize) as usize,
+            (base + kx_hi as isize) as usize,
+        );
+        dst[kx_lo * c..kx_hi * c].copy_from_slice(&xd[lo * c..hi * c]);
+        dst[kx_hi * c..].fill(0.0);
+    }
 }
 
 /// Scatters an im2col-shaped gradient back into image space (the adjoint of
@@ -257,6 +306,44 @@ mod tests {
         // Top-left position: padded corner → first row and column of taps are 0.
         let tl: Vec<f32> = m.data()[0..9].to_vec();
         assert_eq!(tl, vec![0., 0., 0., 0., 1., 2., 0., 4., 5.]);
+    }
+
+    #[test]
+    fn batched_im2col_stacks_per_frame_matrices_bit_for_bit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(h, w, c, k, stride, batch) in &[
+            (5usize, 4usize, 3usize, 3usize, 1usize, 1usize),
+            (5, 4, 3, 3, 2, 3),
+            (4, 4, 2, 1, 1, 4),
+            (6, 7, 5, 3, 1, 2),
+        ] {
+            let geo = Conv2dGeometry::resolve((h, w, c), (k, k), stride, Padding::Same);
+            let frames: Vec<Tensor> = (0..batch)
+                .map(|_| {
+                    Tensor::from_vec(
+                        vec![h, w, c],
+                        (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    )
+                })
+                .collect();
+            let mut stacked_data = Vec::new();
+            for f in &frames {
+                stacked_data.extend_from_slice(f.data());
+            }
+            let stacked = Tensor::from_vec(vec![batch, h, w, c], stacked_data);
+            let mut got = Tensor::zeros(vec![batch * geo.positions(), geo.fan_in()]);
+            im2col_batch_into(&stacked, batch, &geo, &mut got);
+            for (b, f) in frames.iter().enumerate() {
+                let want = im2col(f, &geo);
+                let rows = geo.positions() * geo.fan_in();
+                assert_eq!(
+                    &got.data()[b * rows..(b + 1) * rows],
+                    want.data(),
+                    "frame {b} of {batch} (k{k} s{stride})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! This crate is the numeric substrate under `ff-nn`: contiguous row-major
 //! tensors (HWC layout for images and feature maps), an
-//! [im2col](im2col()) lowering for convolutions, and a packed,
-//! cache-blocked, optionally multi-threaded [GEMM](matmul()).
+//! [im2col](im2col()) lowering for convolutions — including a batched
+//! variant ([`im2col_batch_into`]) that stacks several frames' patch
+//! matrices row-wise so a whole batch becomes one GEMM per layer — and a
+//! packed, cache-blocked, optionally multi-threaded [GEMM](matmul()).
 //!
 //! Everything here is deliberately simple and allocation-honest: a [`Tensor`]
 //! is a shape vector plus a `Vec<f32>`, and all operators state their cost.
@@ -54,7 +56,7 @@ pub mod parallel;
 mod tensor;
 mod workspace;
 
-pub use im2col::{col2im, im2col, im2col_into, Conv2dGeometry, Padding};
+pub use im2col::{col2im, im2col, im2col_batch_into, im2col_into, Conv2dGeometry, Padding};
 pub use init::{glorot_uniform, he_normal, uniform};
 pub use matmul::{
     gemm, gemm_fused, gemm_prepacked, matmul, matmul_into, matmul_transpose_a, matmul_transpose_b,

@@ -1,13 +1,15 @@
 //! One edge node, many cameras (§2.2.1): four independent street-camera
 //! streams driven concurrently by the [`EdgeNode`] runtime — per-stream
 //! pipelined decode → extract → MC → smoothing, sharded worker pool, and
-//! one shared bandwidth-constrained uplink.
+//! one shared bandwidth-constrained uplink. Pass `--batched` to gather all
+//! cameras' frames into one shared batched base-DNN pass per round (one
+//! GEMM over the stacked im2col matrix per layer) instead of sharding.
 //!
 //! ```sh
-//! cargo run --release --example multi_stream [-- --streams 4 --frames 60]
+//! cargo run --release --example multi_stream [-- --streams 4 --frames 60 --batched]
 //! ```
 
-use ff_core::runtime::{EdgeNode, EdgeNodeConfig, ShardLayout};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
 use ff_core::{McSpec, PipelineConfig};
 use ff_models::MobileNetConfig;
 use ff_video::scene::SceneConfig;
@@ -30,7 +32,16 @@ fn main() {
     // One shard per stream, splitting the machine's threads evenly; all
     // streams share a 600 kb/s uplink (a few hundred kb/s per camera, the
     // paper's provisioning regime).
-    let mut cfg = EdgeNodeConfig::new(ShardLayout::even(budget, n_streams));
+    let batched = std::env::args().any(|a| a == "--batched");
+    let mut cfg = EdgeNodeConfig::new(if batched {
+        // Gather-batch: the whole budget behind one shared batched pass.
+        ShardLayout::single(budget)
+    } else {
+        ShardLayout::even(budget, n_streams)
+    });
+    if batched {
+        cfg.gather_batch = Some(GatherBatch::default());
+    }
     cfg.uplink_capacity_bps = 600_000.0;
     let mut node = EdgeNode::new(cfg);
 
@@ -57,10 +68,12 @@ fn main() {
 
     let report = node.run();
 
-    println!(
-        "{n_streams} streams x {n_frames} frames at {res}, {budget}-thread budget, shards {:?}:",
-        ShardLayout::even(budget, n_streams).widths()
-    );
+    let mode = if batched {
+        "gather-batched base DNN".to_string()
+    } else {
+        format!("shards {:?}", ShardLayout::even(budget, n_streams).widths())
+    };
+    println!("{n_streams} streams x {n_frames} frames at {res}, {budget}-thread budget, {mode}:");
     for sr in &report.streams {
         println!(
             "  stream {}: {} frames, {} uploaded ({} bytes offered), {} events, {:.1} ms/frame base DNN",

@@ -21,7 +21,7 @@ pub use ff_video as video;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use ff_core::{
-        EdgeNode, EdgeNodeConfig, FilterForward, McSpec, PipelineConfig, ShardLayout,
+        EdgeNode, EdgeNodeConfig, FilterForward, GatherBatch, McSpec, PipelineConfig, ShardLayout,
     };
     pub use ff_tensor::Tensor;
     pub use ff_video::{Frame, FrameSource, Resolution};

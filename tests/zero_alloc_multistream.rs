@@ -6,6 +6,12 @@
 //! allocations per frame once warmed up. This exercises the shard dispatch
 //! machinery itself — submission locks, condvar parking, chunk claiming —
 //! which must run allocation-free, on top of the per-stream workspaces.
+//!
+//! The second test pins the same contract for the **gather-batch** hot
+//! path: one shared batched base-DNN pass over several streams' frames
+//! (stacked input, batched im2col, one GEMM per layer, per-frame tap
+//! splits) plus the per-stream MC fanout, all cycling through the batch
+//! extractor's workspace.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,8 +45,14 @@ use ff_models::MobileNetConfig;
 use ff_tensor::{PoolShard, Tensor};
 use ff_video::Resolution;
 
+/// Serializes the two counting-allocator tests: the harness runs tests in
+/// this binary concurrently by default, and a measurement window must not
+/// see the other test's allocations.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn sharded_multistream_loop_is_allocation_free_after_warmup() {
+    let _serial = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
     const STREAMS: usize = 2;
     let res = Resolution::new(192, 108);
 
@@ -108,4 +120,72 @@ fn sharded_multistream_loop_is_allocation_free_after_warmup() {
             20 * STREAMS,
         );
     });
+}
+
+/// The gather-batch inference stage of the [`ff_core::runtime::EdgeNode`]:
+/// one shared batched base-DNN pass over one frame per stream, then each
+/// stream's MCs consuming its per-frame maps — allocation-free once the
+/// batch extractor's workspace, the per-frame map set, and the smoothing
+/// windows are warm.
+#[test]
+fn gather_batch_extraction_and_mc_fanout_are_allocation_free_after_warmup() {
+    let _serial = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    const STREAMS: usize = 3;
+    let res = Resolution::new(192, 108);
+
+    // The shared batched extractor (as the gather-batch EdgeNode builds it)
+    // plus one MC per stream, exactly the per-round fanout of the runtime's
+    // single inference stage.
+    let mut extractor = FeatureExtractor::new(
+        MobileNetConfig::with_width(0.5),
+        vec![
+            ff_models::LAYER_LOCALIZED_TAP.to_string(),
+            ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+        ],
+    );
+    let mut mcs: Vec<_> = (0..STREAMS)
+        .map(|s| {
+            let spec = if s % 2 == 0 {
+                McSpec::full_frame(format!("g{s}"), s as u64 + 1)
+            } else {
+                McSpec::localized(format!("g{s}"), None, s as u64 + 1)
+            };
+            spec.build(&extractor, res, ff_core::McId(0))
+        })
+        .collect();
+    let frames: Vec<Tensor> = (0..STREAMS)
+        .map(|s| Tensor::filled(vec![res.height, res.width, 3], 0.25 + s as f32 * 0.1))
+        .collect();
+    let shard = PoolShard::new(2);
+
+    // Warm-up: workspace growth to the batched steady-state set (stacked
+    // input, batched im2col, per-frame tap copies), smoothing windows,
+    // shard worker spawn, pack-buffer growth.
+    for _ in 0..10 {
+        shard.run(|| {
+            let maps = extractor.extract_batch(&frames);
+            for (s, mc) in mcs.iter_mut().enumerate() {
+                let fm = maps[s].get(&mc.spec().tap);
+                let _ = std::hint::black_box(mc.process_tap(fm));
+            }
+        });
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..20 {
+        shard.run(|| {
+            let maps = extractor.extract_batch(&frames);
+            for (s, mc) in mcs.iter_mut().enumerate() {
+                let fm = maps[s].get(&mc.spec().tap);
+                let _ = std::hint::black_box(mc.process_tap(fm));
+            }
+        });
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "gather-batch hot path allocated {} times over 20 rounds of {STREAMS}-frame batches",
+        after - before,
+    );
 }
