@@ -5,8 +5,10 @@
 //! node-scale counterpart of Figure 5.
 //!
 //! Every run's per-stream verdicts are checked **bit-for-bit** against the
-//! serial `FilterForward::process` path before its throughput is reported,
-//! so a number only lands in the JSON if the sharded, pipelined, or batched
+//! serial `FilterForward::process` path (run at the same weight-panel
+//! precision — the `*_f16` / `*_int8` rows sweep `ff_tensor::Precision`
+//! through the gather-batched mode) before its throughput is reported, so a
+//! number only lands in the JSON if the sharded, pipelined, or batched
 //! execution is provably equivalent.
 //!
 //! Results are spliced into `BENCH_throughput.json` (next to the
@@ -28,6 +30,7 @@ use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
 use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
 use ff_core::McSpec;
 use ff_models::MobileNetConfig;
+use ff_tensor::Precision;
 use ff_video::scene::{Scene, SceneConfig};
 use ff_video::{Resolution, SceneSource};
 
@@ -47,9 +50,9 @@ fn scene_cfg(seed: u64) -> SceneConfig {
     }
 }
 
-fn pipeline_cfg() -> PipelineConfig {
+fn pipeline_cfg(precision: Precision) -> PipelineConfig {
     let mut cfg = PipelineConfig::new(RES, 15.0);
-    cfg.mobilenet = MobileNetConfig::with_width(0.5);
+    cfg.mobilenet = MobileNetConfig::with_width(0.5).with_precision(precision);
     cfg.archive = None; // isolate filtering cost, as in the Figure 5 runs
     cfg
 }
@@ -61,9 +64,14 @@ fn deploy_mc(ff: &mut FilterForward, stream: usize) {
     ));
 }
 
-/// Serial gold: verdicts of one stream through the plain `process` loop.
-fn serial_verdicts(stream: usize, frames: &[ff_video::Frame]) -> Vec<FrameVerdict> {
-    let mut ff = FilterForward::new(pipeline_cfg());
+/// Serial gold: verdicts of one stream through the plain `process` loop at
+/// the given weight-panel precision.
+fn serial_verdicts(
+    stream: usize,
+    frames: &[ff_video::Frame],
+    precision: Precision,
+) -> Vec<FrameVerdict> {
+    let mut ff = FilterForward::new(pipeline_cfg(precision));
     deploy_mc(&mut ff, stream);
     let mut verdicts = Vec::new();
     for f in frames {
@@ -77,7 +85,7 @@ fn serial_verdicts(stream: usize, frames: &[ff_video::Frame]) -> Vec<FrameVerdic
 /// Single-stream serial fps on the full thread budget (warm-up frame, then
 /// fastest of repeats — the single-stream harness convention).
 fn serial_fps(frames: &[ff_video::Frame]) -> f64 {
-    let mut ff = FilterForward::new(pipeline_cfg());
+    let mut ff = FilterForward::new(pipeline_cfg(Precision::F32));
     deploy_mc(&mut ff, 0);
     let _ = ff.process(&frames[0]);
     let mut best = f64::INFINITY;
@@ -92,12 +100,14 @@ fn serial_fps(frames: &[ff_video::Frame]) -> f64 {
 }
 
 /// One `EdgeNode` configuration: `streams` scene streams over `layout`,
-/// optionally in gather-batch mode. Returns the best aggregate fps across
-/// repeats after asserting every stream's verdicts match the serial gold.
+/// optionally in gather-batch mode, at the given weight-panel precision.
+/// Returns the best aggregate fps across repeats after asserting every
+/// stream's verdicts match the serial gold **of the same precision**.
 fn measure_node(
     streams: usize,
     layout: &ShardLayout,
     gather: Option<GatherBatch>,
+    precision: Precision,
     n_frames: u64,
     gold: &[Vec<FrameVerdict>],
 ) -> f64 {
@@ -108,7 +118,7 @@ fn measure_node(
         let mut node = EdgeNode::new(cfg);
         for (s, &seed) in STREAM_SEEDS.iter().enumerate().take(streams) {
             let src = Box::new(SceneSource::new(scene_cfg(seed), n_frames));
-            let id = node.add_stream(src, pipeline_cfg());
+            let id = node.add_stream(src, pipeline_cfg(precision));
             deploy_mc(node.pipeline_mut(id), s);
         }
         let report = node.run();
@@ -142,11 +152,20 @@ fn main() {
                 .collect()
         })
         .collect();
-    let gold: Vec<Vec<FrameVerdict>> = rendered
-        .iter()
-        .enumerate()
-        .map(|(s, frames)| serial_verdicts(s, frames))
-        .collect();
+    // Per-precision serial golds: a reduced-precision node must reproduce
+    // the serial loop run at the *same* precision bit-for-bit (quantization
+    // changes the weights once, at pack time; execution mode never changes
+    // a bit).
+    let gold_for = |p: Precision| -> Vec<Vec<FrameVerdict>> {
+        rendered
+            .iter()
+            .enumerate()
+            .map(|(s, frames)| serial_verdicts(s, frames, p))
+            .collect()
+    };
+    let gold = gold_for(Precision::F32);
+    let gold_f16 = gold_for(Precision::F16);
+    let gold_int8 = gold_for(Precision::Int8);
 
     ff_tensor::parallel::set_threads(budget);
     let baseline = serial_fps(&rendered[0]);
@@ -180,26 +199,75 @@ fn main() {
             gather_wait: Duration::from_millis(2),
         })
     };
-    type Case = (&'static str, usize, ShardLayout, Option<GatherBatch>);
+    type Case = (
+        &'static str,
+        usize,
+        ShardLayout,
+        Option<GatherBatch>,
+        Precision,
+    );
+    let f32p = Precision::F32;
     let cases: Vec<Case> = vec![
-        ("1s_1shard", 1, ShardLayout::single(budget), None),
+        ("1s_1shard", 1, ShardLayout::single(budget), None, f32p),
         (
             "2s_sharded",
             2,
             ShardLayout::even(budget, 2.min(budget)),
             None,
+            f32p,
         ),
         (
             "4s_sharded",
             4,
             ShardLayout::even(budget, 4.min(budget)),
             None,
+            f32p,
         ),
-        ("4s_1shard", 4, ShardLayout::single(budget), None),
-        ("1s_batched_b8", 1, ShardLayout::single(budget), gather(8)),
-        ("2s_batched_b2", 2, ShardLayout::single(budget), gather(2)),
-        ("4s_batched_b4", 4, ShardLayout::single(budget), gather(4)),
-        ("4s_batched_b8", 4, ShardLayout::single(budget), gather(8)),
+        ("4s_1shard", 4, ShardLayout::single(budget), None, f32p),
+        (
+            "1s_batched_b8",
+            1,
+            ShardLayout::single(budget),
+            gather(8),
+            f32p,
+        ),
+        (
+            "2s_batched_b2",
+            2,
+            ShardLayout::single(budget),
+            gather(2),
+            f32p,
+        ),
+        (
+            "4s_batched_b4",
+            4,
+            ShardLayout::single(budget),
+            gather(4),
+            f32p,
+        ),
+        (
+            "4s_batched_b8",
+            4,
+            ShardLayout::single(budget),
+            gather(8),
+            f32p,
+        ),
+        // Precision sweep at the strongest batched operating point: f16
+        // halves, int8 quarters the weight panels streamed per shared pass.
+        (
+            "4s_batched_b8_f16",
+            4,
+            ShardLayout::single(budget),
+            gather(8),
+            Precision::F16,
+        ),
+        (
+            "4s_batched_b8_int8",
+            4,
+            ShardLayout::single(budget),
+            gather(8),
+            Precision::Int8,
+        ),
     ];
     let mut rows: Vec<(String, f64)> = vec![(format!("serial_1s_t{budget}"), baseline)];
     println!(
@@ -208,8 +276,13 @@ fn main() {
     );
     let mut fps_4s_sharded = 0.0;
     let mut fps_4s_batched = 0.0;
-    for (name, streams, layout, gb) in &cases {
-        let fps = measure_node(*streams, layout, *gb, n_frames, &gold);
+    for (name, streams, layout, gb, precision) in &cases {
+        let gold_p = match precision {
+            Precision::F32 => &gold,
+            Precision::F16 => &gold_f16,
+            Precision::Int8 => &gold_int8,
+        };
+        let fps = measure_node(*streams, layout, *gb, *precision, n_frames, gold_p);
         if *name == "4s_sharded" {
             fps_4s_sharded = fps;
         }

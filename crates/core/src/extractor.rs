@@ -258,6 +258,22 @@ impl FeatureExtractor {
         &mut self.net
     }
 
+    /// Sets the storage precision of the backbone's inference weight panels
+    /// (see [`ff_tensor::Precision`]): f16 / int8 panels halve / quarter
+    /// the weight bytes streamed per GEMM; activations and accumulation
+    /// stay f32. Updates the recorded [`Self::config`] so twin extractors
+    /// built from it (e.g. the gather-batch runtime's shared extractor)
+    /// quantize identically and stay bit-compatible.
+    pub fn set_precision(&mut self, precision: ff_tensor::Precision) {
+        self.net.set_precision(precision);
+        self.config.precision = precision;
+    }
+
+    /// The backbone's weight-panel precision.
+    pub fn precision(&self) -> ff_tensor::Precision {
+        self.config.precision
+    }
+
     /// Calibrates the backbone's folded batch-norm layers from sample
     /// frame tensors (DESIGN.md S2): per-channel statistics are fit layer
     /// by layer, exactly the role BN plays in the original MobileNet. Call

@@ -20,6 +20,14 @@
 //! * [`runtime`] — the multi-stream edge node: N pipelined streams over a
 //!   sharded worker pool sharing one uplink, or gather-batched into one
 //!   shared batched base-DNN pass per round.
+//!   The base DNN's weight panels can be stored at reduced precision
+//!   ([`ff_tensor::Precision`]: f16 halves, int8 quarters the streamed
+//!   weight bytes; arithmetic stays f32) via `MobileNetConfig::precision`,
+//!   [`FeatureExtractor::set_precision`] /
+//!   [`pipeline::FilterForward::set_precision`], or the node-wide
+//!   `EdgeNodeConfig::precision` override; reduced-precision runs stay
+//!   bit-for-bit deterministic across thread counts, shard layouts, and
+//!   batch modes.
 //! * [`archive`] — local storage + demand-fetch of context segments.
 //! * [`uplink`] — the constrained link model.
 //! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1

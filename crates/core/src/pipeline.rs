@@ -233,6 +233,17 @@ impl FilterForward {
         self.extractor.calibrate(&tensors);
     }
 
+    /// Sets the storage precision of the base DNN's inference weight panels
+    /// (see [`ff_tensor::Precision`] and
+    /// [`crate::FeatureExtractor::set_precision`]). Microclassifiers keep
+    /// their f32 weights — they are per-application, tiny next to the
+    /// backbone, and retrained online. Call before streaming so every
+    /// frame of a run is classified under one weight set.
+    pub fn set_precision(&mut self, precision: ff_tensor::Precision) {
+        self.extractor.set_precision(precision);
+        self.cfg.mobilenet.precision = precision;
+    }
+
     /// Deployed MC count.
     pub fn mc_count(&self) -> usize {
         self.mcs.len()

@@ -195,6 +195,12 @@ pub struct EdgeNodeConfig {
     /// budget behind it. `None` (the default) runs each stream's inference
     /// independently on its round-robin shard.
     pub gather_batch: Option<GatherBatch>,
+    /// `Some` overrides every stream's base-DNN weight-panel precision at
+    /// run start (applied uniformly, so gather-batch streams keep one
+    /// shared config; see [`ff_tensor::Precision`] and
+    /// [`crate::pipeline::FilterForward::set_precision`]). `None` (the
+    /// default) respects each pipeline's own `MobileNetConfig::precision`.
+    pub precision: Option<ff_tensor::Precision>,
 }
 
 impl EdgeNodeConfig {
@@ -208,12 +214,20 @@ impl EdgeNodeConfig {
             uplink_capacity_bps: 1_000_000.0,
             uplink_queue_limit_bytes: None,
             gather_batch: None,
+            precision: None,
         }
     }
 
     /// Enables gather-batch execution (builder style).
     pub fn with_gather_batch(mut self, gb: GatherBatch) -> Self {
         self.gather_batch = Some(gb);
+        self
+    }
+
+    /// Overrides every stream's base-DNN weight-panel precision (builder
+    /// style).
+    pub fn with_precision(mut self, precision: ff_tensor::Precision) -> Self {
+        self.precision = Some(precision);
         self
     }
 }
@@ -246,10 +260,15 @@ pub struct NodeStats {
     pub uplink_backlog_bits: f64,
     /// Worst uplink queueing delay observed, in seconds.
     pub uplink_peak_delay_secs: f64,
-    /// Uploads dropped by the uplink queue limit.
+    /// Uploads dropped (at least partially) by the uplink queue limit.
     pub uplink_dropped: u64,
-    /// Offered uplink load as a fraction of capacity.
+    /// Offered uplink load as a fraction of capacity — dropped bits
+    /// included, so a saturated bounded link reads > 1.0
+    /// (see [`Uplink::utilization`]).
     pub uplink_utilization: f64,
+    /// Accepted uplink load as a fraction of capacity — only bits admitted
+    /// into the send queue (see [`Uplink::accepted_utilization`]).
+    pub uplink_accepted_utilization: f64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -392,11 +411,20 @@ impl EdgeNode {
     /// Panics if no streams are registered, a stream has no MCs deployed,
     /// a stage thread panics, or gather-batch mode is enabled with streams
     /// that do not share one base-DNN config and resolution.
-    pub fn run(self) -> NodeReport {
+    pub fn run(mut self) -> NodeReport {
         assert!(
             !self.streams.is_empty(),
             "add at least one stream before running"
         );
+        // Apply the node-level precision override before dispatch (and
+        // before gather mode snapshots the shared base-DNN config), so every
+        // stream — and the shared batched extractor built from that config —
+        // quantizes one uniform weight set.
+        if let Some(p) = self.cfg.precision {
+            for s in &mut self.streams {
+                s.ff.set_precision(p);
+            }
+        }
         if self.cfg.gather_batch.is_some() {
             self.run_gathered()
         } else {
@@ -766,6 +794,7 @@ fn node_report(reports: Vec<StreamReport>, uplink: &Uplink, wall: Duration) -> N
             uplink_peak_delay_secs: uplink.peak_delay_secs(),
             uplink_dropped: uplink.dropped(),
             uplink_utilization: uplink.utilization(),
+            uplink_accepted_utilization: uplink.accepted_utilization(),
             wall,
         },
         streams: reports,
@@ -914,6 +943,44 @@ mod tests {
         }));
         for (a, b) in streamed.streams.iter().zip(&gathered.streams) {
             assert_eq!(a.verdicts, b.verdicts, "stream {:?}", a.id);
+        }
+    }
+
+    #[test]
+    fn precision_override_is_deterministic_across_modes() {
+        // An f16 node must produce the same verdicts in per-stream and
+        // gather-batch execution (quantization happens once, to one shared
+        // weight set; batching never changes a bit), and differ from the
+        // f32 node only through the weight quantization.
+        let res = Resolution::new(64, 32);
+        let build = |gather: Option<GatherBatch>, precision| {
+            let mut cfg = EdgeNodeConfig::new(ShardLayout::single(1));
+            cfg.gather_batch = gather;
+            cfg.precision = precision;
+            let mut node = EdgeNode::new(cfg);
+            for seed in [21, 22] {
+                let src = Box::new(SceneSource::new(scene_cfg(res, seed), 8));
+                let id = node.add_stream(src, tiny_pipeline(res));
+                node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+            }
+            node.run()
+        };
+        let p = Some(ff_tensor::Precision::F16);
+        let streamed = build(None, p);
+        let gathered = build(
+            Some(GatherBatch {
+                max_batch: 4,
+                gather_wait: Duration::from_millis(1),
+            }),
+            p,
+        );
+        for (a, b) in streamed.streams.iter().zip(&gathered.streams) {
+            assert_eq!(a.verdicts, b.verdicts, "stream {:?}", a.id);
+        }
+        // Re-running the same f16 config reproduces itself bit-for-bit.
+        let again = build(None, p);
+        for (a, b) in streamed.streams.iter().zip(&again.streams) {
+            assert_eq!(a.verdicts, b.verdicts, "rerun {:?}", a.id);
         }
     }
 

@@ -6,6 +6,28 @@
 //! (the paper notes "the upload will be throttled to the maximum bandwidth
 //! of the network connection"). The model reports queue depth and delivery
 //! latency so experiments can check an operating point is sustainable.
+//!
+//! # Accounting semantics
+//!
+//! When the send queue is bounded, an upload is admitted **up to the
+//! remaining queue headroom**: the truncated remainder is dropped and
+//! counted in [`Uplink::dropped_bits`] (and the upload in
+//! [`Uplink::dropped`]). Both load views are kept:
+//!
+//! * **offered** load ([`Uplink::utilization`], [`Uplink::offered_bits`]) —
+//!   everything the pipelines *tried* to send, dropped bits included. This
+//!   is the number that tells you whether an operating point is
+//!   sustainable: a saturated bounded queue reports > 1.0 instead of
+//!   silently flattering the link by forgetting what it threw away.
+//! * **accepted** load ([`Uplink::accepted_utilization`],
+//!   [`Uplink::accepted_bits`]) — what actually entered the queue (and will
+//!   eventually be delivered), never meaningfully above 1.0 in steady
+//!   state.
+//!
+//! The peak backlog is sampled **at enqueue time, before the interval's
+//! drain**, so [`Uplink::peak_delay_secs`] reflects the worst queueing
+//! delay a byte actually experienced (a burst of `B` bits on an idle link
+//! reports exactly `B / capacity` seconds).
 
 /// A provisioned uplink.
 #[derive(Debug, Clone)]
@@ -14,10 +36,17 @@ pub struct Uplink {
     fps: f64,
     /// Bits queued but not yet delivered.
     backlog_bits: f64,
-    /// Peak backlog observed.
+    /// Peak backlog observed (sampled at enqueue, before draining).
     peak_backlog_bits: f64,
-    total_bits: u64,
+    /// Bits offered for upload: accepted + dropped.
+    offered_bits: u64,
+    /// Bits admitted into the send queue.
+    accepted_bits: f64,
+    /// Bits dropped by the queue bound (whole uploads and truncated
+    /// remainders alike).
+    dropped_bits: f64,
     frames: u64,
+    /// Uploads that lost at least one bit to the queue bound.
     dropped_overflow: u64,
     queue_limit_bits: f64,
 }
@@ -35,14 +64,17 @@ impl Uplink {
             fps,
             backlog_bits: 0.0,
             peak_backlog_bits: 0.0,
-            total_bits: 0,
+            offered_bits: 0,
+            accepted_bits: 0.0,
+            dropped_bits: 0.0,
             frames: 0,
             dropped_overflow: 0,
             queue_limit_bits: f64::INFINITY,
         }
     }
 
-    /// Bounds the send queue; uploads beyond it are dropped (counted).
+    /// Bounds the send queue; upload bits beyond the remaining headroom are
+    /// dropped (counted in [`Self::dropped`] / [`Self::dropped_bits`]).
     pub fn with_queue_limit_bytes(mut self, bytes: u64) -> Self {
         self.queue_limit_bits = bytes as f64 * 8.0;
         self
@@ -50,20 +82,32 @@ impl Uplink {
 
     /// Advances one frame interval, offering `bytes` for upload.
     ///
+    /// The upload is admitted up to the queue's remaining headroom (partial
+    /// admission — see the [module docs](self)); the peak backlog is
+    /// sampled before the interval's drain.
+    ///
     /// Returns the bits delivered during the interval.
     pub fn offer(&mut self, bytes: usize) -> f64 {
         let bits = bytes as f64 * 8.0;
         self.frames += 1;
-        if self.backlog_bits + bits > self.queue_limit_bits {
+        self.offered_bits += bytes as u64 * 8;
+        // Clip the admitted bits to the remaining queue headroom; the
+        // truncated remainder is load the link refused, not load that never
+        // existed.
+        let headroom = (self.queue_limit_bits - self.backlog_bits).max(0.0);
+        let admitted = bits.min(headroom);
+        if admitted < bits {
             self.dropped_overflow += 1;
-        } else {
-            self.backlog_bits += bits;
-            self.total_bits += bytes as u64 * 8;
+            self.dropped_bits += bits - admitted;
         }
+        self.backlog_bits += admitted;
+        self.accepted_bits += admitted;
+        // Sample the peak at enqueue: a burst's worst-case queueing delay
+        // is measured before any of it drains.
+        self.peak_backlog_bits = self.peak_backlog_bits.max(self.backlog_bits);
         let drain = self.capacity_bps / self.fps;
         let sent = drain.min(self.backlog_bits);
         self.backlog_bits -= sent;
-        self.peak_backlog_bits = self.peak_backlog_bits.max(self.backlog_bits);
         sent
     }
 
@@ -72,21 +116,51 @@ impl Uplink {
         self.backlog_bits
     }
 
-    /// Worst queueing delay observed, in seconds.
+    /// Worst queueing delay observed, in seconds (peak backlog at enqueue
+    /// time over capacity).
     pub fn peak_delay_secs(&self) -> f64 {
         self.peak_backlog_bits / self.capacity_bps
     }
 
-    /// Offered load as a fraction of capacity.
+    /// **Offered** load as a fraction of capacity: everything the pipelines
+    /// tried to send — bits dropped by a bounded queue included — so a
+    /// saturated link reads > 1.0 even while it is dropping.
     pub fn utilization(&self) -> f64 {
         if self.frames == 0 {
             return 0.0;
         }
-        let offered_bps = self.total_bits as f64 * self.fps / self.frames as f64;
+        let offered_bps = self.offered_bits as f64 * self.fps / self.frames as f64;
         offered_bps / self.capacity_bps
     }
 
-    /// Uploads dropped due to queue overflow.
+    /// **Accepted** load as a fraction of capacity: only the bits admitted
+    /// into the send queue. Compare with [`Self::utilization`] to see how
+    /// much load a bounded queue is shedding.
+    pub fn accepted_utilization(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        let accepted_bps = self.accepted_bits * self.fps / self.frames as f64;
+        accepted_bps / self.capacity_bps
+    }
+
+    /// Total bits offered for upload (accepted + dropped).
+    pub fn offered_bits(&self) -> u64 {
+        self.offered_bits
+    }
+
+    /// Total bits admitted into the send queue.
+    pub fn accepted_bits(&self) -> f64 {
+        self.accepted_bits
+    }
+
+    /// Total bits dropped by the queue bound (including the truncated
+    /// remainders of partially-admitted uploads).
+    pub fn dropped_bits(&self) -> f64 {
+        self.dropped_bits
+    }
+
+    /// Uploads that lost at least one bit to the queue bound.
     pub fn dropped(&self) -> u64 {
         self.dropped_overflow
     }
@@ -104,6 +178,7 @@ mod tests {
         }
         assert_eq!(link.backlog_bits(), 0.0);
         assert!(link.utilization() < 0.5);
+        assert_eq!(link.utilization(), link.accepted_utilization());
     }
 
     #[test]
@@ -135,5 +210,70 @@ mod tests {
             link.offer(2_000);
         }
         assert!(link.dropped() > 0);
+        assert!(link.dropped_bits() > 0.0);
+    }
+
+    #[test]
+    fn saturated_bounded_queue_reports_offered_load_over_one() {
+        // Regression: offered load must count dropped uploads. A bounded
+        // queue fed at 2× capacity drops roughly half its input; the old
+        // accepted-only accounting read ≈ the queue ceiling (< 1.0 for a
+        // tight bound) while the link was visibly shedding load.
+        let mut link = Uplink::new(100_000.0, 10.0).with_queue_limit_bytes(500);
+        for _ in 0..100 {
+            link.offer(2_500); // 20k bits per tick vs 10k drain
+        }
+        assert!(link.dropped() > 0, "the bound must actually drop");
+        assert!(
+            link.utilization() > 1.0,
+            "offered load must exceed capacity, got {}",
+            link.utilization()
+        );
+        // The accepted view stays at or below what the queue + drain can
+        // hold — both views exist and disagree exactly by the shed load.
+        assert!(link.accepted_utilization() <= 1.0 + 1e-9);
+        let shed = (link.offered_bits as f64 - link.accepted_bits) / link.frames as f64;
+        assert!(
+            ((link.utilization() - link.accepted_utilization()) * link.capacity_bps / link.fps
+                - shed)
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn peak_delay_covers_burst_before_drain() {
+        // Regression: the peak backlog is sampled at enqueue. A single
+        // burst of B bits on an idle link must report exactly B/capacity —
+        // the old post-drain sample under-reported by one drain interval.
+        let mut link = Uplink::new(100_000.0, 10.0);
+        link.offer(10_000); // one 80k-bit burst
+        assert_eq!(link.peak_delay_secs(), 80_000.0 / 100_000.0);
+        // Draining afterwards never lowers the recorded peak.
+        for _ in 0..10 {
+            link.offer(0);
+        }
+        assert_eq!(link.peak_delay_secs(), 80_000.0 / 100_000.0);
+    }
+
+    #[test]
+    fn over_limit_upload_admits_partial_remainder() {
+        // Regression: an upload larger than the remaining headroom is
+        // clipped, not discarded whole — the queue still fills, and only
+        // the truncated remainder counts as dropped bits.
+        let mut link = Uplink::new(1_000.0, 10.0).with_queue_limit_bytes(1_000); // 8k-bit bound
+        let sent = link.offer(2_000); // 16k bits offered, 8k fit
+        assert_eq!(link.dropped(), 1);
+        assert_eq!(link.dropped_bits(), 8_000.0);
+        assert_eq!(link.accepted_bits(), 8_000.0);
+        assert_eq!(link.offered_bits(), 16_000);
+        // The admitted half entered the queue and began draining.
+        assert_eq!(sent, 100.0); // capacity/fps
+        assert_eq!(link.backlog_bits(), 8_000.0 - 100.0);
+        // A second offer into the now-nearly-full queue admits only the
+        // freed headroom.
+        link.offer(2_000);
+        assert_eq!(link.dropped(), 2);
+        assert_eq!(link.accepted_bits(), 8_000.0 + 100.0);
     }
 }

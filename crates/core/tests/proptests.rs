@@ -8,8 +8,48 @@ use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
 use ff_data::CropRect;
 use proptest::prelude::*;
 
+/// Offline reference for K-voting: decide every frame by recomputing its
+/// clipped window `[f−(N−1)/2, f+(N−1)/2] ∩ [0, last]` directly from the
+/// full raw vector — the semantics the [`KVotingSmoother`] doc comment
+/// promises, written with none of the smoother's streaming machinery.
+fn offline_kvoting(cfg: SmoothingConfig, raw: &[bool]) -> Vec<(u64, bool)> {
+    let delay = cfg.delay();
+    (0..raw.len())
+        .map(|f| {
+            let lo = f.saturating_sub(delay);
+            let hi = (f + delay).min(raw.len() - 1);
+            let votes = raw[lo..=hi].iter().filter(|&&v| v).count();
+            (f as u64, votes >= cfg.k)
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streaming smoother is indistinguishable from recomputing each
+    /// clipped window offline, for random odd N, K ≤ N, and stream lengths
+    /// — indices and decisions both. This pins the edge-clipping invariant
+    /// (every frame decided over its clipped window, still requiring K
+    /// votes) that the transition detector and evaluation build on.
+    #[test]
+    fn streaming_kvoting_matches_offline_window_recompute(
+        raw in proptest::collection::vec(any::<bool>(), 0..64),
+        half in 0usize..5,
+        k_off in 0usize..9,
+    ) {
+        let n = 2 * half + 1; // odd N in {1, 3, 5, 7, 9}
+        let k = 1 + k_off % n; // K in 1..=N
+        let cfg = SmoothingConfig { n, k };
+        let mut s = KVotingSmoother::new(cfg);
+        let mut got = Vec::new();
+        for &r in &raw {
+            got.extend(s.push(r));
+        }
+        got.extend(s.finish());
+        let want = offline_kvoting(cfg, &raw);
+        prop_assert_eq!(&got, &want, "N={} K={} len={}", n, k, raw.len());
+    }
 
     /// Every input frame gets exactly one smoothed decision, in order, for
     /// any valid (N, K).

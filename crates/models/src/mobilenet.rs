@@ -13,7 +13,7 @@
 //! which is all that matters for the Figure 5/6 scalability results — is
 //! identical to a pretrained network of the same width.
 
-use ff_nn::{ConvBnRelu, Dense, DepthwiseBnRelu, Flatten, GlobalMaxPool, Sequential};
+use ff_nn::{ConvBnRelu, Dense, DepthwiseBnRelu, Flatten, GlobalMaxPool, Precision, Sequential};
 use serde::{Deserialize, Serialize};
 
 /// The base-DNN layer the localized and windowed MCs tap (§3.4): a
@@ -40,6 +40,11 @@ pub struct MobileNetConfig {
     pub num_classes: usize,
     /// Weight seed.
     pub seed: u64,
+    /// Storage precision of the inference weight panels
+    /// ([`ff_nn::Layer::set_precision`]): f16 / int8 panels halve / quarter
+    /// the weight bytes streamed per GEMM while all arithmetic stays f32.
+    /// Defaults to [`Precision::F32`] (bit-exact baseline).
+    pub precision: Precision,
 }
 
 impl Default for MobileNetConfig {
@@ -49,6 +54,7 @@ impl Default for MobileNetConfig {
             include_head: false,
             num_classes: 1000,
             seed: 0x0ff_bade,
+            precision: Precision::F32,
         }
     }
 }
@@ -83,6 +89,13 @@ impl MobileNetConfig {
             width_multiplier: alpha,
             ..Default::default()
         }
+    }
+
+    /// Returns the config with the given weight-panel precision (builder
+    /// style).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Channel count of the named tap layer under this config.
@@ -158,6 +171,7 @@ impl MobileNetConfig {
             net.push("flatten", Flatten::new());
             net.push("fc7", Dense::new(in_c, self.num_classes, next_seed()));
         }
+        net.set_precision(self.precision);
         net
     }
 }
@@ -257,10 +271,34 @@ mod tests {
             include_head: true,
             num_classes: 10,
             seed: 1,
+            ..Default::default()
         };
         let mut net = cfg.build();
         let x = ff_tensor::Tensor::filled(vec![32, 32, 3], 0.1);
         assert_eq!(net.forward(&x, Phase::Inference).dims(), &[10]);
+    }
+
+    #[test]
+    fn precision_knob_propagates_to_every_unit() {
+        use ff_nn::Phase;
+        let x = ff_tensor::Tensor::filled(vec![32, 32, 3], 0.5);
+        let mut gold = MobileNetConfig::with_width(0.25).build();
+        let want = gold.forward(&x, Phase::Inference);
+        for p in [Precision::F16, Precision::Int8] {
+            let cfg = MobileNetConfig::with_width(0.25).with_precision(p);
+            assert_eq!(cfg.precision, p);
+            let mut net = cfg.build();
+            let got = net.forward(&x, Phase::Inference);
+            // Same topology, quantized weights: close but (generically) not
+            // bit-equal to the f32 network.
+            let amax = want.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert!((g - w).abs() <= 0.05 * amax + 1e-3, "{p:?}: {g} vs {w}");
+            }
+            // And bit-identical to itself on a rebuild (deterministic).
+            let mut net2 = cfg.build();
+            assert_eq!(net2.forward(&x, Phase::Inference), got, "{p:?}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Layer`] trait: forward/backward execution plus the cost model hooks.
 
-use ff_tensor::{Tensor, Workspace};
+use ff_tensor::{Precision, Tensor, Workspace};
 
 use crate::Param;
 
@@ -127,6 +127,17 @@ pub trait Layer: Send {
 
     /// Drops any cached training state (e.g. after an interrupted step).
     fn clear_cache(&mut self) {}
+
+    /// Selects the storage precision of this layer's static **inference**
+    /// weights (see [`Precision`]): GEMM-backed layers re-pack their weight
+    /// panels in the chosen format (f16 / int8 + per-column scale, widened
+    /// to f32 in registers), depthwise layers quantize-roundtrip their
+    /// (tiny) tap weights so a whole backbone shares one quantization
+    /// semantics. Training always runs against the full-precision weights;
+    /// the default is a no-op for layers with no static weight store.
+    fn set_precision(&mut self, precision: Precision) {
+        let _ = precision;
+    }
 
     /// Data-dependent calibration pass: the layer may fit internal
     /// statistics from `samples` (e.g. folded batch-norm scales), then

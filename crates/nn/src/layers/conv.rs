@@ -4,7 +4,7 @@
 
 use ff_tensor::{
     col2im, gemm, im2col_batch_into, im2col_into, matmul_transpose_a, matmul_transpose_b,
-    Conv2dGeometry, Padding, Tensor, Workspace,
+    Conv2dGeometry, Epilogue, PackedPanels, Padding, Precision, Tensor, Workspace,
 };
 use rand::SeedableRng;
 
@@ -26,6 +26,15 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cache: Vec<(Conv2dGeometry, Tensor)>,
+    /// Weight panels prepacked in the [`Layer::set_precision`] format,
+    /// used by the inference paths when the precision is not f32 (the f32
+    /// path keeps the pack-per-call `gemm`, whose thread-local scratch
+    /// already amortizes packing). Refreshed when `weight_epoch` moves.
+    packed: PackedPanels,
+    packed_epoch: u64,
+    /// Bumped by every mutation access point ([`Layer::params_mut`],
+    /// [`Layer::backward`]) so the packed cache notices weight changes.
+    weight_epoch: u64,
 }
 
 impl std::fmt::Debug for Conv2d {
@@ -65,12 +74,48 @@ impl Conv2d {
             weight: Param::new(ff_tensor::he_normal(&mut rng, vec![fan_in, out_c], fan_in)),
             bias: Param::new(Tensor::zeros(vec![out_c])),
             cache: Vec::new(),
+            packed: PackedPanels::empty(Precision::F32),
+            packed_epoch: 0,
+            weight_epoch: 1,
         }
     }
 
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.out_c
+    }
+
+    /// The storage precision of the inference weight panels.
+    pub fn precision(&self) -> Precision {
+        self.packed.precision()
+    }
+
+    /// Whether inference should run the reduced-precision prepacked path.
+    fn use_packed(&self, phase: Phase) -> bool {
+        phase == Phase::Inference && self.packed.precision() != Precision::F32
+    }
+
+    /// Refreshes the reduced-precision panels if the weights changed.
+    fn ensure_packed(&mut self) {
+        if self.packed_epoch == self.weight_epoch {
+            return;
+        }
+        let fan_in = self.kh * self.kw * self.in_c;
+        self.packed
+            .repack(self.weight.value.data(), fan_in, self.out_c);
+        self.packed_epoch = self.weight_epoch;
+    }
+
+    /// One `[m, k]·[k, out_c]` GEMM against either the raw f32 weights or
+    /// (when `packed`) the reduced-precision prepacked panels — the single
+    /// dispatch point shared by all forward paths.
+    fn run_gemm(&self, a: &[f32], out: &mut [f32], m: usize, k: usize, packed: bool) {
+        if packed {
+            self.packed
+                .gemm(a, out, m, k, self.out_c, Epilogue::default());
+        } else {
+            gemm(a, self.weight.value.data(), out, m, k, self.out_c);
+        }
     }
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
@@ -105,19 +150,18 @@ impl Layer for Conv2d {
     fn forward_ws(&mut self, x: &Tensor, phase: Phase, ws: &mut Workspace) -> Tensor {
         let geo = self.geometry(x.dims());
         let positions = geo.positions();
+        // Reduced-precision inference runs the prepacked panels; training
+        // (and the default f32 precision) uses the raw weights.
+        let packed = self.use_packed(phase);
+        if packed {
+            self.ensure_packed();
+        }
         let mut out = ws.take(&[positions, self.out_c]);
         // 1×1 stride-1 kernels (ubiquitous: every pointwise conv in
         // MobileNet and the full-frame MC) skip im2col entirely — the
         // input feature map *is* the im2col matrix.
         if self.kh == 1 && self.kw == 1 && self.stride == 1 {
-            gemm(
-                x.data(),
-                self.weight.value.data(),
-                out.data_mut(),
-                positions,
-                self.in_c,
-                self.out_c,
-            );
+            self.run_gemm(x.data(), out.data_mut(), positions, self.in_c, packed);
             if phase == Phase::Train {
                 let cols = x.clone().reshape(vec![positions, self.in_c]);
                 self.cache.push((geo, cols));
@@ -125,14 +169,7 @@ impl Layer for Conv2d {
         } else {
             let mut cols = ws.take(&[positions, geo.fan_in()]);
             im2col_into(x, &geo, &mut cols);
-            gemm(
-                cols.data(),
-                self.weight.value.data(),
-                out.data_mut(),
-                positions,
-                geo.fan_in(),
-                self.out_c,
-            );
+            self.run_gemm(cols.data(), out.data_mut(), positions, geo.fan_in(), packed);
             if phase == Phase::Train {
                 self.cache.push((geo, cols));
             } else {
@@ -162,26 +199,16 @@ impl Layer for Conv2d {
         // batch instead of once per frame. Per-row accumulation order is
         // unchanged, so each frame's rows stay bit-identical to the
         // single-frame path.
+        let packed = self.use_packed(Phase::Inference);
+        if packed {
+            self.ensure_packed();
+        }
         if self.kh == 1 && self.kw == 1 && self.stride == 1 {
-            gemm(
-                x.data(),
-                self.weight.value.data(),
-                out.data_mut(),
-                rows,
-                self.in_c,
-                self.out_c,
-            );
+            self.run_gemm(x.data(), out.data_mut(), rows, self.in_c, packed);
         } else {
             let mut cols = ws.take(&[rows, geo.fan_in()]);
             im2col_batch_into(x, batch, &geo, &mut cols);
-            gemm(
-                cols.data(),
-                self.weight.value.data(),
-                out.data_mut(),
-                rows,
-                geo.fan_in(),
-                self.out_c,
-            );
+            self.run_gemm(cols.data(), out.data_mut(), rows, geo.fan_in(), packed);
             ws.recycle(cols);
         }
         let b = self.bias.value.data();
@@ -200,6 +227,7 @@ impl Layer for Conv2d {
             .pop()
             .expect("Conv2d::backward without cached forward");
         let g = grad_out.clone().reshape(vec![geo.positions(), self.out_c]);
+        self.weight_epoch += 1; // weights are about to change
         self.weight.accumulate(&matmul_transpose_a(&cols, &g));
         // Bias gradient: column sums.
         let mut db = Tensor::zeros(vec![self.out_c]);
@@ -216,7 +244,16 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weight_epoch += 1; // caller may mutate weights through these
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        if self.packed.precision() == precision {
+            return;
+        }
+        self.packed = PackedPanels::empty(precision);
+        self.packed_epoch = 0; // force a repack at the next inference
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {

@@ -1,6 +1,6 @@
 //! Fully-connected layers and the flatten adapter in front of them.
 
-use ff_tensor::{Tensor, Workspace};
+use ff_tensor::{Epilogue, PackedPanels, Precision, Tensor, Workspace};
 use rand::SeedableRng;
 
 use crate::{Layer, Param, Phase};
@@ -16,6 +16,15 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     cache: Vec<Tensor>,
+    /// Weight panels prepacked in the [`Layer::set_precision`] format, used
+    /// by inference when the precision is not f32 (the classification-head
+    /// weights of the multiple-MobileNets baseline are a real share of its
+    /// streamed bytes). Refreshed when `weight_epoch` moves.
+    packed: PackedPanels,
+    packed_epoch: u64,
+    /// Bumped by every mutation access point ([`Layer::params_mut`],
+    /// [`Layer::backward`]) so the packed cache notices weight changes.
+    weight_epoch: u64,
 }
 
 impl std::fmt::Debug for Dense {
@@ -39,7 +48,25 @@ impl Dense {
             )),
             bias: Param::new(Tensor::zeros(vec![out_len])),
             cache: Vec::new(),
+            packed: PackedPanels::empty(Precision::F32),
+            packed_epoch: 0,
+            weight_epoch: 1,
         }
+    }
+
+    /// The storage precision of the inference weights.
+    pub fn precision(&self) -> Precision {
+        self.packed.precision()
+    }
+
+    /// Refreshes the reduced-precision panels if the weights changed.
+    fn ensure_packed(&mut self) {
+        if self.packed_epoch == self.weight_epoch {
+            return;
+        }
+        self.packed
+            .repack(self.weight.value.data(), self.in_len, self.out_len);
+        self.packed_epoch = self.weight_epoch;
     }
 }
 
@@ -61,14 +88,28 @@ impl Layer for Dense {
             x.dims()
         );
         let mut out = ws.take(&[self.out_len]);
-        ff_tensor::gemm(
-            x.data(),
-            self.weight.value.data(),
-            out.data_mut(),
-            1,
-            self.in_len,
-            self.out_len,
-        );
+        // Reduced-precision inference runs the prepacked panels; training
+        // (and the default f32 precision) uses the raw weights.
+        if phase == Phase::Inference && self.packed.precision() != Precision::F32 {
+            self.ensure_packed();
+            self.packed.gemm(
+                x.data(),
+                out.data_mut(),
+                1,
+                self.in_len,
+                self.out_len,
+                Epilogue::default(),
+            );
+        } else {
+            ff_tensor::gemm(
+                x.data(),
+                self.weight.value.data(),
+                out.data_mut(),
+                1,
+                self.in_len,
+                self.out_len,
+            );
+        }
         out.add_assign(&self.bias.value);
         if phase == Phase::Train {
             self.cache.push(x.clone().reshape(vec![1, self.in_len]));
@@ -82,6 +123,7 @@ impl Layer for Dense {
             .pop()
             .expect("Dense::backward without cached forward");
         let g = grad_out.clone().reshape(vec![1, self.out_len]);
+        self.weight_epoch += 1; // weights are about to change
         self.weight
             .accumulate(&ff_tensor::matmul_transpose_a(&x, &g));
         self.bias.accumulate(&g.clone().reshape(vec![self.out_len]));
@@ -89,7 +131,16 @@ impl Layer for Dense {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weight_epoch += 1; // caller may mutate weights through these
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        if self.packed.precision() == precision {
+            return;
+        }
+        self.packed = PackedPanels::empty(precision);
+        self.packed_epoch = 0; // force a repack at the next inference
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
@@ -210,6 +261,31 @@ mod tests {
             let num = (fp - fm) / (2.0 * eps);
             assert!((num - d.weight.grad.data()[i]).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn reduced_precision_head_stays_close_and_deterministic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut d = Dense::new(64, 8, 3);
+        let x = Tensor::from_vec(
+            vec![64],
+            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let gold = d.forward(&x, Phase::Inference);
+        for p in [Precision::F16, Precision::Int8] {
+            d.set_precision(p);
+            let got = d.forward(&x, Phase::Inference);
+            let amax = gold.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (g, w) in got.data().iter().zip(gold.data()) {
+                assert!((g - w).abs() <= 0.02 * amax + 1e-4, "{p:?}: {g} vs {w}");
+            }
+            // Bit-identical to itself on a re-run.
+            assert_eq!(d.forward(&x, Phase::Inference), got, "{p:?}");
+        }
+        // Back to f32: bit-identical to the original raw-weight path.
+        d.set_precision(Precision::F32);
+        assert_eq!(d.forward(&x, Phase::Inference), gold);
     }
 
     #[test]

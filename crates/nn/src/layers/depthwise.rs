@@ -1,10 +1,94 @@
 //! Depthwise 2-D convolution (channel multiplier 1), the building block of
 //! MobileNet's separable convolutions.
 
-use ff_tensor::{Conv2dGeometry, Padding, Tensor, Workspace};
+use ff_tensor::{f16_to_f32, f32_to_f16, Conv2dGeometry, Padding, Precision, Tensor, Workspace};
 use rand::SeedableRng;
 
 use crate::{Layer, Param, Phase};
+
+/// Lazily-maintained quantize-roundtripped copy of a depthwise layer's tap
+/// weights, backing [`Layer::set_precision`] for the depthwise units.
+///
+/// Depthwise weights are tiny (`k²·C` floats — the packed GEMM panels of
+/// the pointwise convolutions dominate weight bytes by orders of
+/// magnitude), so the point here is not memory but **numeric consistency**:
+/// a backbone set to f16/int8 quantizes *every* conv's weights under one
+/// semantics. The store keeps an f32 working copy of the roundtripped
+/// weights (f16: element-wise narrow+widen; int8: one symmetric scale per
+/// channel over its `k²` taps), rebuilt only when the owning layer's weight
+/// epoch moves, so streaming inference pays no per-frame quantization.
+pub(crate) struct TapWeightStore {
+    precision: Precision,
+    deq: Vec<f32>,
+    /// Weight epoch `deq` was built at (0 = dirty).
+    epoch: u64,
+}
+
+impl TapWeightStore {
+    pub(crate) fn new() -> Self {
+        TapWeightStore {
+            precision: Precision::F32,
+            deq: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    pub(crate) fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    pub(crate) fn set_precision(&mut self, precision: Precision) {
+        if self.precision != precision {
+            self.precision = precision;
+            self.epoch = 0;
+        }
+    }
+
+    /// The weights inference should run with: the raw slice at f32, else
+    /// the cached roundtripped copy (rebuilt if `weight_epoch` moved).
+    pub(crate) fn effective<'a>(
+        &'a mut self,
+        w: &'a [f32],
+        c: usize,
+        weight_epoch: u64,
+    ) -> &'a [f32] {
+        if self.precision == Precision::F32 {
+            return w;
+        }
+        if self.epoch != weight_epoch {
+            self.deq.clear();
+            self.deq.extend_from_slice(w);
+            match self.precision {
+                Precision::F32 => unreachable!("handled above"),
+                Precision::F16 => {
+                    for v in &mut self.deq {
+                        *v = f16_to_f32(f32_to_f16(*v));
+                    }
+                }
+                Precision::Int8 => {
+                    let taps = w.len() / c;
+                    for ch in 0..c {
+                        let mut amax = 0.0f32;
+                        for t in 0..taps {
+                            amax = amax.max(w[t * c + ch].abs());
+                        }
+                        if amax == 0.0 {
+                            continue;
+                        }
+                        let scale = amax / 127.0;
+                        let inv = 127.0 / amax;
+                        for t in 0..taps {
+                            let q = (w[t * c + ch] * inv).round().clamp(-127.0, 127.0);
+                            self.deq[t * c + ch] = q * scale;
+                        }
+                    }
+                }
+            }
+            self.epoch = weight_epoch;
+        }
+        &self.deq
+    }
+}
 
 /// A depthwise convolution: each input channel is filtered by its own
 /// `k×k` kernel; channels never mix (the following 1×1 pointwise conv does
@@ -19,6 +103,12 @@ pub struct DepthwiseConv2d {
     weight: Param,
     bias: Param,
     cache: Vec<(Conv2dGeometry, Tensor)>,
+    /// Inference weight store for [`Layer::set_precision`]; training always
+    /// uses the raw f32 weights.
+    taps: TapWeightStore,
+    /// Bumped by every mutation access point ([`Layer::params_mut`],
+    /// [`Layer::backward`]) so the quantized cache notices weight changes.
+    weight_epoch: u64,
 }
 
 impl std::fmt::Debug for DepthwiseConv2d {
@@ -45,7 +135,14 @@ impl DepthwiseConv2d {
             weight: Param::new(ff_tensor::he_normal(&mut rng, vec![k, k, c], fan_in)),
             bias: Param::new(Tensor::zeros(vec![c])),
             cache: Vec::new(),
+            taps: TapWeightStore::new(),
+            weight_epoch: 1,
         }
+    }
+
+    /// The storage precision of the inference weights.
+    pub fn precision(&self) -> Precision {
+        self.taps.precision()
     }
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
@@ -563,15 +660,15 @@ impl Layer for DepthwiseConv2d {
         // Every output cell is seeded from the bias inside the kernel, so
         // stale workspace contents are fine.
         let mut out = ws.take(&[geo.out_h, geo.out_w, self.c]);
-        depthwise_forward(
-            x,
-            &geo,
-            self.k,
-            self.weight.value.data(),
-            self.bias.value.data(),
-            None,
-            &mut out,
-        );
+        // Training must see the raw trainable weights; inference runs the
+        // precision store's (possibly quantize-roundtripped) copy.
+        let w = if phase == Phase::Inference {
+            self.taps
+                .effective(self.weight.value.data(), self.c, self.weight_epoch)
+        } else {
+            self.weight.value.data()
+        };
+        depthwise_forward(x, &geo, self.k, w, self.bias.value.data(), None, &mut out);
         if phase == Phase::Train {
             self.cache.push((geo, x.clone()));
         }
@@ -583,12 +680,15 @@ impl Layer for DepthwiseConv2d {
         assert_eq!(x.rank(), 4, "batched DepthwiseConv2d expects [B, H, W, C]");
         let geo = self.geometry(&x.dims()[1..]);
         let mut out = ws.take(&[batch, geo.out_h, geo.out_w, self.c]);
+        let w = self
+            .taps
+            .effective(self.weight.value.data(), self.c, self.weight_epoch);
         depthwise_forward_batch(
             x,
             batch,
             &geo,
             self.k,
-            self.weight.value.data(),
+            w,
             self.bias.value.data(),
             None,
             &mut out,
@@ -639,13 +739,19 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
+        self.weight_epoch += 1; // weights are about to change
         self.weight.accumulate(&dw);
         self.bias.accumulate(&db);
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weight_epoch += 1; // caller may mutate weights through these
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.taps.set_precision(precision);
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {

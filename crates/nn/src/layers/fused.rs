@@ -14,9 +14,8 @@
 //! streaming inference only.
 
 use ff_tensor::{
-    col2im, gemm_fused, gemm_prepacked, im2col_batch_into, im2col_into, matmul_transpose_a,
-    matmul_transpose_b, pack_b_panels_into, packed_panels_len, Conv2dGeometry, Epilogue, Padding,
-    Tensor, Workspace,
+    col2im, gemm_fused, im2col_batch_into, im2col_into, matmul_transpose_a, matmul_transpose_b,
+    Conv2dGeometry, Epilogue, PackedPanels, Padding, Precision, Tensor, Workspace,
 };
 use rand::SeedableRng;
 
@@ -69,10 +68,12 @@ pub struct ConvBnRelu {
     norm: FoldedNorm,
     /// Train-phase cache: (geometry, im2col matrix, pre-ReLU output).
     cache: Vec<(Conv2dGeometry, Tensor, Tensor)>,
-    /// Weight panels pre-packed for the GEMM micro-kernel, refreshed lazily
-    /// whenever `weight_epoch` moves. Weights are static during streaming,
-    /// so inference never pays per-call packing traffic.
-    packed_weights: Vec<f32>,
+    /// Weight panels pre-packed for the GEMM micro-kernel — in the format
+    /// chosen by [`Layer::set_precision`] (f32, f16, or int8 + per-column
+    /// scale) — refreshed lazily whenever `weight_epoch` moves. Weights are
+    /// static during streaming, so inference never pays per-call packing
+    /// (or quantization) traffic.
+    packed_weights: PackedPanels,
     packed_epoch: u64,
     /// Bumped by every mutation access point ([`Layer::params_mut`],
     /// [`Layer::backward`]); code that writes `weight.value` directly must
@@ -106,7 +107,7 @@ impl ConvBnRelu {
             bias: Param::new(Tensor::zeros(vec![out_c])),
             norm: FoldedNorm::identity(out_c),
             cache: Vec::new(),
-            packed_weights: Vec::new(),
+            packed_weights: PackedPanels::empty(Precision::F32),
             packed_epoch: 0,
             weight_epoch: 1,
         }
@@ -124,14 +125,13 @@ impl ConvBnRelu {
         }
         let fan_in = self.k * self.k * self.in_c;
         self.packed_weights
-            .resize(packed_panels_len(fan_in, self.out_c), 0.0);
-        pack_b_panels_into(
-            self.weight.value.data(),
-            &mut self.packed_weights,
-            fan_in,
-            self.out_c,
-        );
+            .repack(self.weight.value.data(), fan_in, self.out_c);
         self.packed_epoch = self.weight_epoch;
+    }
+
+    /// The storage precision of the inference weight panels.
+    pub fn precision(&self) -> Precision {
+        self.packed_weights.precision()
     }
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
@@ -171,15 +171,8 @@ impl ConvBnRelu {
         let fan_in = geo.fan_in();
         let run = |a: &[f32], out: &mut [f32]| {
             if prepacked {
-                gemm_prepacked(
-                    a,
-                    &self.packed_weights,
-                    out,
-                    positions,
-                    fan_in,
-                    self.out_c,
-                    ep,
-                );
+                self.packed_weights
+                    .gemm(a, out, positions, fan_in, self.out_c, ep);
             } else {
                 gemm_fused(
                     a,
@@ -274,27 +267,13 @@ impl Layer for ConvBnRelu {
         let mut out = ws.take(&[rows, self.out_c]);
         if self.k == 1 && self.stride == 1 {
             // Stacked HWC frames are already the stacked im2col matrix.
-            gemm_prepacked(
-                x.data(),
-                &self.packed_weights,
-                out.data_mut(),
-                rows,
-                self.in_c,
-                self.out_c,
-                ep,
-            );
+            self.packed_weights
+                .gemm(x.data(), out.data_mut(), rows, self.in_c, self.out_c, ep);
         } else {
             let mut cols = ws.take(&[rows, fan_in]);
             im2col_batch_into(x, batch, &geo, &mut cols);
-            gemm_prepacked(
-                cols.data(),
-                &self.packed_weights,
-                out.data_mut(),
-                rows,
-                fan_in,
-                self.out_c,
-                ep,
-            );
+            self.packed_weights
+                .gemm(cols.data(), out.data_mut(), rows, fan_in, self.out_c, ep);
             ws.recycle(cols);
         }
         out.reshape_to(&[batch, geo.out_h, geo.out_w, self.out_c]);
@@ -361,6 +340,14 @@ impl Layer for ConvBnRelu {
         self.cache.clear();
     }
 
+    fn set_precision(&mut self, precision: Precision) {
+        if self.packed_weights.precision() == precision {
+            return;
+        }
+        self.packed_weights = PackedPanels::empty(precision);
+        self.packed_epoch = 0; // force a repack at the next inference
+    }
+
     fn calibrate(&mut self, samples: Vec<Tensor>) -> Vec<Tensor> {
         // Conv (with bias, no norm/ReLU) on every sample, fit the norm from
         // those activations, then return the full unit's outputs — exactly
@@ -408,6 +395,12 @@ pub struct DepthwiseBnRelu {
     norm: FoldedNorm,
     /// Train-phase cache: (geometry, input, pre-ReLU output).
     cache: Vec<(Conv2dGeometry, Tensor, Tensor)>,
+    /// Inference weight store for [`Layer::set_precision`]; training and
+    /// calibration always use the raw f32 weights.
+    taps: crate::layers::depthwise::TapWeightStore,
+    /// Bumped by every mutation access point so the quantized cache
+    /// notices weight changes.
+    weight_epoch: u64,
 }
 
 impl std::fmt::Debug for DepthwiseBnRelu {
@@ -434,12 +427,19 @@ impl DepthwiseBnRelu {
             bias: Param::new(Tensor::zeros(vec![c])),
             norm: FoldedNorm::identity(c),
             cache: Vec::new(),
+            taps: crate::layers::depthwise::TapWeightStore::new(),
+            weight_epoch: 1,
         }
     }
 
     /// Whether calibration has fit the folded norm.
     pub fn is_calibrated(&self) -> bool {
         self.norm.calibrated
+    }
+
+    /// The storage precision of the inference weights.
+    pub fn precision(&self) -> Precision {
+        self.taps.precision()
     }
 
     fn geometry(&self, in_shape: &[usize]) -> Conv2dGeometry {
@@ -459,14 +459,22 @@ impl DepthwiseBnRelu {
 
     /// The shared depthwise kernel (see
     /// [`crate::layers::depthwise::depthwise_forward`]) with the folded
-    /// `norm+ReLU` tail fused when `fuse_tail`.
-    fn run(&self, x: &Tensor, geo: &Conv2dGeometry, out: &mut Tensor, fuse_tail: bool) {
+    /// `norm+ReLU` tail fused when `fuse_tail`, run against `weight`
+    /// (the raw trainable weights, or the precision store's copy).
+    fn run(
+        &self,
+        x: &Tensor,
+        geo: &Conv2dGeometry,
+        weight: &[f32],
+        out: &mut Tensor,
+        fuse_tail: bool,
+    ) {
         let tail = fuse_tail.then_some((&self.norm.scale[..], &self.norm.shift[..]));
         crate::layers::depthwise::depthwise_forward(
             x,
             geo,
             self.k,
-            self.weight.value.data(),
+            weight,
             self.bias.value.data(),
             tail,
             out,
@@ -487,9 +495,21 @@ impl Layer for DepthwiseBnRelu {
         let geo = self.geometry(x.dims());
         let mut out = ws.take(&[geo.out_h, geo.out_w, self.c]);
         if phase == Phase::Inference {
-            self.run(x, &geo, &mut out, true);
+            let w = self
+                .taps
+                .effective(self.weight.value.data(), self.c, self.weight_epoch);
+            let tail = Some((&self.norm.scale[..], &self.norm.shift[..]));
+            crate::layers::depthwise::depthwise_forward(
+                x,
+                &geo,
+                self.k,
+                w,
+                self.bias.value.data(),
+                tail,
+                &mut out,
+            );
         } else {
-            self.run(x, &geo, &mut out, false);
+            self.run(x, &geo, self.weight.value.data(), &mut out, false);
             // Stage: apply norm (pre-ReLU) for the cache, then ReLU.
             for cell in out.data_mut().chunks_mut(self.c) {
                 for ((v, &s), &t) in cell.iter_mut().zip(&self.norm.scale).zip(&self.norm.shift) {
@@ -510,12 +530,15 @@ impl Layer for DepthwiseBnRelu {
         assert_eq!(x.rank(), 4, "batched DepthwiseBnRelu expects [B, H, W, C]");
         let geo = self.geometry(&x.dims()[1..]);
         let mut out = ws.take(&[batch, geo.out_h, geo.out_w, self.c]);
+        let w = self
+            .taps
+            .effective(self.weight.value.data(), self.c, self.weight_epoch);
         crate::layers::depthwise::depthwise_forward_batch(
             x,
             batch,
             &geo,
             self.k,
-            self.weight.value.data(),
+            w,
             self.bias.value.data(),
             Some((&self.norm.scale[..], &self.norm.shift[..])),
             &mut out,
@@ -573,13 +596,19 @@ impl Layer for DepthwiseBnRelu {
                 }
             }
         }
+        self.weight_epoch += 1; // weights are about to change
         self.weight.accumulate(&dw);
         self.bias.accumulate(&db);
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weight_epoch += 1; // caller may mutate weights through these
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.taps.set_precision(precision);
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
@@ -607,7 +636,7 @@ impl Layer for DepthwiseBnRelu {
             .map(|x| {
                 let geo = self.geometry(x.dims());
                 let mut out = ws.take(&[geo.out_h, geo.out_w, self.c]);
-                self.run(x, &geo, &mut out, false);
+                self.run(x, &geo, self.weight.value.data(), &mut out, false);
                 out
             })
             .collect();

@@ -88,6 +88,11 @@ impl Layer for SeparableConv2d {
         p
     }
 
+    fn set_precision(&mut self, precision: ff_tensor::Precision) {
+        self.dw.set_precision(precision);
+        self.pw.set_precision(precision);
+    }
+
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
         self.pw.out_shape(&self.dw.out_shape(in_shape))
     }

@@ -23,6 +23,21 @@
 //! microclassifier applies one 1×1 conv to five frames) trainable with plain
 //! LIFO forward/backward calls.
 //!
+//! # Reduced-precision inference weights
+//!
+//! [`Layer::set_precision`] / [`Sequential::set_precision`] select the
+//! storage format of each layer's static **inference** weights (the
+//! [`Precision`] knob): the GEMM-backed layers ([`Conv2d`], [`ConvBnRelu`])
+//! keep their prepacked weight panels as f16 or int8 + per-column scale —
+//! halving / quartering the panel bytes streamed through cache per GEMM —
+//! while the depthwise layers quantize-roundtrip their (tiny) tap weights
+//! so a whole backbone shares one quantization semantics. All activations
+//! and accumulation stay f32 (panels widen to f32 in registers), training
+//! always runs against the raw f32 weights, and reduced-precision inference
+//! remains bit-for-bit deterministic across thread counts, shard layouts,
+//! and batch sizes — it differs from the f32 network only by the one-time
+//! weight quantization error.
+//!
 //! # Example: train a 1-layer logistic regression
 //!
 //! ```
@@ -57,6 +72,7 @@ mod optim;
 mod param;
 mod serialize;
 
+pub use ff_tensor::Precision;
 pub use layer::{Layer, Phase};
 pub use layers::activation::{Activation, ActivationKind};
 pub use layers::conv::Conv2d;

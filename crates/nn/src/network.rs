@@ -412,6 +412,15 @@ impl Sequential {
         }
     }
 
+    /// Sets the inference weight-storage precision of every layer (see
+    /// [`crate::Layer::set_precision`]). Idempotent; layers without a
+    /// static weight store ignore it.
+    pub fn set_precision(&mut self, precision: ff_tensor::Precision) {
+        for (_, l) in &mut self.layers {
+            l.set_precision(precision);
+        }
+    }
+
     /// Iterates `(name, madds, params, out_shape, type)` rows while
     /// threading the shape through the network. Internal helper for
     /// [`crate::cost::NetworkCost::profile`].

@@ -6,6 +6,10 @@
 //! variant ([`im2col_batch_into`]) that stacks several frames' patch
 //! matrices row-wise so a whole batch becomes one GEMM per layer — and a
 //! packed, cache-blocked, optionally multi-threaded [GEMM](matmul()).
+//! Static weights can additionally be prepacked at reduced precision
+//! ([`Precision`]: f16 or int8 + per-column scale panels, widened to f32 in
+//! registers with f32 accumulation), shrinking the streamed weight set 2–4×
+//! where the batched GEMM is panel-bound.
 //!
 //! Everything here is deliberately simple and allocation-honest: a [`Tensor`]
 //! is a shape vector plus a `Vec<f32>`, and all operators state their cost.
@@ -51,6 +55,7 @@
 
 mod im2col;
 mod init;
+mod lowp;
 mod matmul;
 pub mod parallel;
 mod tensor;
@@ -58,6 +63,11 @@ mod workspace;
 
 pub use im2col::{col2im, im2col, im2col_batch_into, im2col_into, Conv2dGeometry, Padding};
 pub use init::{glorot_uniform, he_normal, uniform};
+pub use lowp::{
+    f16_to_f32, f32_to_f16, gemm_prepacked_f16, gemm_prepacked_i8, pack_b_panels_f16_into,
+    pack_b_panels_i8_into, packed_panels_f16_len, packed_panels_i8_len, packed_scales_i8_len,
+    PackedPanels, Precision,
+};
 pub use matmul::{
     gemm, gemm_fused, gemm_prepacked, matmul, matmul_into, matmul_transpose_a, matmul_transpose_b,
     pack_b_panels_into, packed_panels_len, Epilogue,

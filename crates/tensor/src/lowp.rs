@@ -1,0 +1,1098 @@
+//! Reduced-precision packed weight panels: f16 and int8 variants of the
+//! prepacked GEMM path.
+//!
+//! Edge parts are panel-bound: the batched GEMM streams every packed weight
+//! panel through cache once per batch, so the panel byte volume — not the
+//! FLOPs — is what limits throughput once the weight set outgrows the LLC.
+//! Storing panels at half (f16) or quarter (int8 + per-column scale)
+//! precision shrinks that streamed set 2–4× while keeping **all arithmetic
+//! in f32**: the micro-kernels widen each panel element back to f32 in
+//! registers (`vcvtph2ps` / `vpmovsxbd + vcvtdq2ps` on AVX2 targets, exact
+//! scalar widenings elsewhere) and accumulate with the same fused
+//! multiply-add chain as the f32 kernels.
+//!
+//! # Numerics and determinism
+//!
+//! Widening f16→f32 and i8→f32 is **exact**, so the SIMD and scalar kernels
+//! see bit-identical panel values and — accumulating in the same
+//! ascending-`k` order as every other GEMM path — produce bit-identical
+//! outputs for any thread count. The only rounding happens once, at *pack*
+//! time (f32→f16 round-to-nearest-even; int8 symmetric per-column
+//! quantization), which is why a reduced-precision network is deterministic
+//! run-to-run even though it differs from the f32 network by the weight
+//! quantization error.
+//!
+//! The int8 kernel is dequant-free in its inner loop: it accumulates
+//! `Σₖ aₖ·qₖⱼ` with the raw (widened) integer codes and applies the column
+//! scale once per output element after the reduction, so quantization adds
+//! one multiply per output, not one per multiply-add.
+
+use crate::matmul::{check_gemm_args, fmadd, Epilogue, MIN_ELEMS_FOR_THREADS, MR, NR};
+use crate::matmul::{pack_b_panels_into, packed_panels_len};
+use crate::parallel::{parallel_row_blocks_mut, threads};
+
+/// Storage precision for prepacked weight panels.
+///
+/// Activations, accumulation, and epilogues are always f32; this selects
+/// only how the static weight panels are stored (and therefore how many
+/// bytes stream through cache per GEMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision panels — the bit-exact baseline path.
+    #[default]
+    F32,
+    /// Half-precision (IEEE binary16) panels, widened to f32 in registers.
+    /// Halves panel bytes; weights round once at pack time.
+    F16,
+    /// Symmetric int8 panels with one f32 scale per output column,
+    /// widened to f32 in registers and scaled after the reduction.
+    /// Quarters panel bytes (plus a 4·N-byte scale vector).
+    Int8,
+}
+
+impl Precision {
+    /// Short lowercase label (`"f32"`, `"f16"`, `"int8"`) for bench rows
+    /// and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Bytes of the packed panel array for a `[K, N]` weight matrix at this
+    /// precision, **excluding** the int8 scale vector (which is
+    /// `4·ceil(N/NR)·NR` bytes on top). F16 is exactly half of F32; Int8 is
+    /// exactly a quarter.
+    pub fn packed_panel_bytes(self, k: usize, n: usize) -> usize {
+        match self {
+            Precision::F32 => packed_panels_len(k, n) * 4,
+            Precision::F16 => packed_panels_f16_len(k, n) * 2,
+            Precision::Int8 => packed_panels_i8_len(k, n),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f16 conversion
+// ---------------------------------------------------------------------------
+
+/// Converts an f32 to IEEE binary16 with round-to-nearest-even — the same
+/// rounding `vcvtps2ph` uses, implemented in software so packing behaves
+/// identically on every target. Overflow saturates to ±inf; NaN stays NaN.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Inf / NaN: keep NaN-ness (set a mantissa bit if the payload's top
+        // bits vanish in the narrowing).
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7c00 | 0x0200 | ((man >> 13) as u16 & 0x03ff)
+        };
+    }
+    let exp = exp - 127;
+    if exp >= 16 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if exp >= -14 {
+        // Normal range: round 23-bit mantissa to 10 bits.
+        let mut m = man >> 13;
+        let rem = man & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (exp + 15) as u32;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e as u16) << 10) | m as u16;
+    }
+    if exp >= -25 {
+        // Subnormal: shift the full 24-bit significand into place.
+        let full = 0x0080_0000 | man;
+        let shift = (13 - 14 - exp) as u32; // 13 + (-14 - exp)
+        let mut m = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1;
+        }
+        // Rounding up out of the subnormal range lands on 0x400 — exactly
+        // the encoding of the smallest normal, so no special case.
+        return sign | m as u16;
+    }
+    sign // underflows to (signed) zero
+}
+
+/// Converts an IEEE binary16 to f32 — an **exact** widening (every f16
+/// value, including subnormals, is representable in f32), so the scalar
+/// path and `vcvtph2ps` agree bit-for-bit.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h as u32) & 0x03ff;
+    let bits = match exp {
+        0 => {
+            if man == 0 {
+                sign
+            } else {
+                // Subnormal: man · 2⁻²⁴, exact as an f32 product.
+                let v = man as f32 * f32::from_bits(0x3380_0000);
+                return f32::from_bits(v.to_bits() | sign);
+            }
+        }
+        31 => sign | 0x7f80_0000 | (man << 13),
+        _ => sign | ((exp + 112) << 23) | (man << 13),
+    };
+    f32::from_bits(bits)
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Length (in `u16` elements) of the panel buffer
+/// [`pack_b_panels_f16_into`] needs for a `[K, N]` matrix — the same
+/// element count as the f32 layout, at half the bytes.
+pub fn packed_panels_f16_len(k: usize, n: usize) -> usize {
+    packed_panels_len(k, n)
+}
+
+/// Length (in `i8` elements) of the panel buffer [`pack_b_panels_i8_into`]
+/// needs for a `[K, N]` matrix — the same element count as the f32 layout,
+/// at a quarter of the bytes.
+pub fn packed_panels_i8_len(k: usize, n: usize) -> usize {
+    packed_panels_len(k, n)
+}
+
+/// Length of the per-column scale vector [`pack_b_panels_i8_into`] needs:
+/// `N` rounded up to whole `NR`-wide panels, so the micro-kernel can load
+/// full scale vectors without a ragged tail.
+pub fn packed_scales_i8_len(n: usize) -> usize {
+    n.div_ceil(NR) * NR
+}
+
+/// Packs a row-major `[K, N]` matrix into f16 micro-kernel panels (the
+/// layout of [`pack_b_panels_into`], elements narrowed to binary16 with
+/// round-to-nearest-even).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions.
+pub fn pack_b_panels_f16_into(b: &[f32], packed: &mut [u16], k: usize, n: usize) {
+    assert_eq!(b.len(), k * n, "pack B buffer");
+    assert_eq!(packed.len(), packed_panels_f16_len(k, n), "pack f16 output");
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let dst = &mut packed[jp * NR * k..(jp + 1) * NR * k];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..kk * n + j0 + w];
+            let cell = &mut dst[kk * NR..kk * NR + NR];
+            for (c, &v) in cell[..w].iter_mut().zip(src) {
+                *c = f32_to_f16(v);
+            }
+            cell[w..].fill(0);
+        }
+    }
+}
+
+/// Packs a row-major `[K, N]` matrix into symmetric int8 micro-kernel
+/// panels with one f32 scale per column: `scale[j] = max|B[:,j]| / 127`,
+/// `q = round(B / scale)` clamped to `[-127, 127]` (an all-zero column gets
+/// scale 0). Padded columns get zero codes and zero scales.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions.
+pub fn pack_b_panels_i8_into(b: &[f32], packed: &mut [i8], scales: &mut [f32], k: usize, n: usize) {
+    assert_eq!(b.len(), k * n, "pack B buffer");
+    assert_eq!(packed.len(), packed_panels_i8_len(k, n), "pack i8 output");
+    assert_eq!(scales.len(), packed_scales_i8_len(n), "pack i8 scales");
+    scales.fill(0.0);
+    // Per-column symmetric range.
+    let mut inv = vec![0.0f32; n];
+    for (j, inv_j) in inv.iter_mut().enumerate() {
+        let mut amax = 0.0f32;
+        for kk in 0..k {
+            amax = amax.max(b[kk * n + j].abs());
+        }
+        if amax > 0.0 {
+            scales[j] = amax / 127.0;
+            *inv_j = 127.0 / amax;
+        }
+    }
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let dst = &mut packed[jp * NR * k..(jp + 1) * NR * k];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..kk * n + j0 + w];
+            let cell = &mut dst[kk * NR..kk * NR + NR];
+            for ((c, &v), &iv) in cell[..w].iter_mut().zip(src).zip(&inv[j0..j0 + w]) {
+                *c = (v * iv).round().clamp(-127.0, 127.0) as i8;
+            }
+            cell[w..].fill(0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM drivers
+// ---------------------------------------------------------------------------
+
+/// [`crate::gemm_prepacked`] against f16 panels (see
+/// [`pack_b_panels_f16_into`]): panel elements widen to f32 in registers and
+/// accumulate in f32, in the same ascending-`k` order as the f32 kernels —
+/// bit-identical to running the f32 path on the f16-roundtripped weights,
+/// for any thread count.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions, or an epilogue
+/// slice is shorter than `n`.
+pub fn gemm_prepacked_f16(
+    a: &[f32],
+    packed_b: &[u16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) {
+    assert_eq!(
+        packed_b.len(),
+        packed_panels_f16_len(k, n),
+        "gemm packed-f16 B buffer"
+    );
+    check_gemm_args(a, out, m, k, n, &ep);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        ep.apply(out, n);
+        return;
+    }
+    let t = if m * n >= MIN_ELEMS_FOR_THREADS {
+        threads()
+    } else {
+        1
+    };
+    parallel_row_blocks_mut(out, n, t, |row0, block| {
+        gemm_f16_rows(a, packed_b, block, row0, k, n);
+        ep.apply(block, n);
+    });
+}
+
+/// [`crate::gemm_prepacked`] against int8 panels + per-column scales (see
+/// [`pack_b_panels_i8_into`]): the inner loop accumulates the raw widened
+/// codes in f32 and the column scale is applied once per output element
+/// after the reduction (dequant-free accumulation). Deterministic for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions, or an epilogue
+/// slice is shorter than `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_i8(
+    a: &[f32],
+    packed_b: &[i8],
+    scales: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) {
+    assert_eq!(
+        packed_b.len(),
+        packed_panels_i8_len(k, n),
+        "gemm packed-i8 B buffer"
+    );
+    assert_eq!(scales.len(), packed_scales_i8_len(n), "gemm i8 scales");
+    check_gemm_args(a, out, m, k, n, &ep);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        ep.apply(out, n);
+        return;
+    }
+    let t = if m * n >= MIN_ELEMS_FOR_THREADS {
+        threads()
+    } else {
+        1
+    };
+    parallel_row_blocks_mut(out, n, t, |row0, block| {
+        gemm_i8_rows(a, packed_b, scales, block, row0, k, n);
+        ep.apply(block, n);
+    });
+}
+
+/// Weight panels prepacked at a chosen [`Precision`], with the matching
+/// GEMM dispatch — the storage type layers keep behind their precision
+/// knob so the forward path stays a single call.
+#[derive(Debug, Clone)]
+pub enum PackedPanels {
+    /// Full-precision panels ([`pack_b_panels_into`]).
+    F32(Vec<f32>),
+    /// Half-precision panels ([`pack_b_panels_f16_into`]).
+    F16(Vec<u16>),
+    /// Int8 panels with per-column scales ([`pack_b_panels_i8_into`]).
+    Int8 {
+        /// Quantized panel elements.
+        q: Vec<i8>,
+        /// Per-column dequantization scales (padded to whole panels).
+        scales: Vec<f32>,
+    },
+}
+
+impl PackedPanels {
+    /// An empty pack of the given precision (repack before use).
+    pub fn empty(precision: Precision) -> Self {
+        match precision {
+            Precision::F32 => PackedPanels::F32(Vec::new()),
+            Precision::F16 => PackedPanels::F16(Vec::new()),
+            Precision::Int8 => PackedPanels::Int8 {
+                q: Vec::new(),
+                scales: Vec::new(),
+            },
+        }
+    }
+
+    /// Packs a row-major `[K, N]` matrix at the given precision.
+    pub fn pack(precision: Precision, b: &[f32], k: usize, n: usize) -> Self {
+        let mut p = Self::empty(precision);
+        p.repack(b, k, n);
+        p
+    }
+
+    /// Re-packs in place (reusing the buffers), keeping the precision.
+    pub fn repack(&mut self, b: &[f32], k: usize, n: usize) {
+        match self {
+            PackedPanels::F32(buf) => {
+                buf.resize(packed_panels_len(k, n), 0.0);
+                pack_b_panels_into(b, buf, k, n);
+            }
+            PackedPanels::F16(buf) => {
+                buf.resize(packed_panels_f16_len(k, n), 0);
+                pack_b_panels_f16_into(b, buf, k, n);
+            }
+            PackedPanels::Int8 { q, scales } => {
+                q.resize(packed_panels_i8_len(k, n), 0);
+                scales.resize(packed_scales_i8_len(n), 0.0);
+                pack_b_panels_i8_into(b, q, scales, k, n);
+            }
+        }
+    }
+
+    /// The precision the panels are stored at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            PackedPanels::F32(_) => Precision::F32,
+            PackedPanels::F16(_) => Precision::F16,
+            PackedPanels::Int8 { .. } => Precision::Int8,
+        }
+    }
+
+    /// Bytes held by the packed representation (panels + any scales).
+    pub fn bytes(&self) -> usize {
+        match self {
+            PackedPanels::F32(buf) => buf.len() * 4,
+            PackedPanels::F16(buf) => buf.len() * 2,
+            PackedPanels::Int8 { q, scales } => q.len() + scales.len() * 4,
+        }
+    }
+
+    /// Runs the prepacked GEMM matching the storage precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack does not match the `[K, N]` geometry (pack and
+    /// call must agree), or on any [`crate::gemm_prepacked`] shape mismatch.
+    pub fn gemm(&self, a: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, ep: Epilogue) {
+        match self {
+            PackedPanels::F32(buf) => crate::matmul::gemm_prepacked(a, buf, out, m, k, n, ep),
+            PackedPanels::F16(buf) => gemm_prepacked_f16(a, buf, out, m, k, n, ep),
+            PackedPanels::Int8 { q, scales } => gemm_prepacked_i8(a, q, scales, out, m, k, n, ep),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-block walkers (mirror `gemm_packed_rows`)
+// ---------------------------------------------------------------------------
+
+/// Computes `block` (rows `row0..`) from `a` and f16 panels.
+fn gemm_f16_rows(a: &[f32], packed: &[u16], block: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = block.len() / n;
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let panel = &packed[jp * NR * k..(jp + 1) * NR * k];
+        let mut r = 0;
+        while r + MR <= rows {
+            micro_kernel_mr_f16(a, panel, block, row0 + r, r, j0, w, k, n);
+            r += MR;
+        }
+        while r < rows {
+            micro_kernel_1_f16(a, panel, block, row0 + r, r, j0, w, k, n);
+            r += 1;
+        }
+    }
+}
+
+/// Computes `block` (rows `row0..`) from `a` and int8 panels + scales.
+fn gemm_i8_rows(
+    a: &[f32],
+    packed: &[i8],
+    scales: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = block.len() / n;
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let panel = &packed[jp * NR * k..(jp + 1) * NR * k];
+        let scale = &scales[j0..j0 + NR];
+        let mut r = 0;
+        while r + MR <= rows {
+            micro_kernel_mr_i8(a, panel, scale, block, row0 + r, r, j0, w, k, n);
+            r += MR;
+        }
+        while r < rows {
+            micro_kernel_1_i8(a, panel, scale, block, row0 + r, r, j0, w, k, n);
+            r += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f16 micro-kernels
+// ---------------------------------------------------------------------------
+
+/// `MR×NR` f16-panel register tile: dispatches to the AVX2+F16C kernel when
+/// compiled in, else the portable widen-then-FMA loop (bit-identical).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_mr_f16(
+    a: &[f32],
+    panel: &[u16],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        target_feature = "f16c"
+    ))]
+    {
+        // SAFETY: avx2+fma+f16c are compile-time target features here;
+        // slice bounds are asserted by the callers' geometry.
+        unsafe { micro_kernel_mr_f16_avx2(a, panel, block, a_row, c_row, j0, w, k, n) }
+    }
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        target_feature = "f16c"
+    )))]
+    {
+        micro_kernel_mr_f16_generic(a, panel, block, a_row, c_row, j0, w, k, n)
+    }
+}
+
+/// Portable `MR×NR` f16 tile: widen the panel row to f32, then the same
+/// FMA chain as the f32 kernel.
+#[allow(clippy::too_many_arguments)]
+#[allow(dead_code)]
+#[inline]
+fn micro_kernel_mr_f16_generic(
+    a: &[f32],
+    panel: &[u16],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let rows: [&[f32]; MR] = [
+        &a[a_row * k..(a_row + 1) * k],
+        &a[(a_row + 1) * k..(a_row + 2) * k],
+        &a[(a_row + 2) * k..(a_row + 3) * k],
+        &a[(a_row + 3) * k..(a_row + 4) * k],
+    ];
+    let mut bk = [0.0f32; NR];
+    for kk in 0..k {
+        for (v, &h) in bk.iter_mut().zip(&panel[kk * NR..kk * NR + NR]) {
+            *v = f16_to_f32(h);
+        }
+        for (accr, ar) in acc.iter_mut().zip(&rows) {
+            let av = ar[kk];
+            for (c, &bv) in accr.iter_mut().zip(&bk) {
+                *c = fmadd(*c, av, bv);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let dst = &mut block[(c_row + r) * n + j0..(c_row + r) * n + j0 + w];
+        dst.copy_from_slice(&accr[..w]);
+    }
+}
+
+/// Hand-scheduled AVX2+F16C+FMA `4×16` f16 tile: two `vcvtph2ps` widenings
+/// and four broadcasts per `k` step, lane-wise FMAs in the same
+/// ascending-`k` order as the portable kernel — bit-identical to it
+/// (f16→f32 widening is exact in both).
+///
+/// # Safety
+///
+/// Caller must guarantee avx2+fma+f16c are available (compile-time gated at
+/// the call site) and the usual geometry invariants (`a` holds `MR` rows of
+/// length `k` at `a_row`, `panel` holds `k·NR` halves, `block` holds the
+/// target rows).
+#[allow(clippy::too_many_arguments)]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    target_feature = "f16c"
+))]
+#[inline]
+unsafe fn micro_kernel_mr_f16_avx2(
+    a: &[f32],
+    panel: &[u16],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    const { assert!(NR == 16 && MR == 4) };
+    unsafe {
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        for kk in 0..k {
+            let h0 = _mm_loadu_si128(pp.add(kk * NR) as *const __m128i);
+            let h1 = _mm_loadu_si128(pp.add(kk * NR + 8) as *const __m128i);
+            let b0 = _mm256_cvtph_ps(h0);
+            let b1 = _mm256_cvtph_ps(h1);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add((a_row + r) * k + kk));
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        store_acc(acc, block, c_row, j0, w, n);
+    }
+}
+
+/// Single-row remainder of [`micro_kernel_mr_f16`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_1_f16(
+    a: &[f32],
+    panel: &[u16],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [0.0f32; NR];
+    let ar = &a[a_row * k..(a_row + 1) * k];
+    for (kk, &av) in ar.iter().enumerate() {
+        for (c, &h) in acc.iter_mut().zip(&panel[kk * NR..kk * NR + NR]) {
+            *c = fmadd(*c, av, f16_to_f32(h));
+        }
+    }
+    block[c_row * n + j0..c_row * n + j0 + w].copy_from_slice(&acc[..w]);
+}
+
+// ---------------------------------------------------------------------------
+// int8 micro-kernels
+// ---------------------------------------------------------------------------
+
+/// `MR×NR` int8-panel register tile: AVX2 kernel when compiled in, else the
+/// portable widen-then-FMA loop (bit-identical).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_mr_i8(
+    a: &[f32],
+    panel: &[i8],
+    scale: &[f32],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    {
+        // SAFETY: avx2+fma are compile-time target features here; slice
+        // bounds are asserted by the callers' geometry.
+        unsafe { micro_kernel_mr_i8_avx2(a, panel, scale, block, a_row, c_row, j0, w, k, n) }
+    }
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    {
+        micro_kernel_mr_i8_generic(a, panel, scale, block, a_row, c_row, j0, w, k, n)
+    }
+}
+
+/// Portable `MR×NR` int8 tile: widen the code row to f32, FMA-accumulate,
+/// scale each column once after the reduction.
+#[allow(clippy::too_many_arguments)]
+#[allow(dead_code)]
+#[inline]
+fn micro_kernel_mr_i8_generic(
+    a: &[f32],
+    panel: &[i8],
+    scale: &[f32],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let rows: [&[f32]; MR] = [
+        &a[a_row * k..(a_row + 1) * k],
+        &a[(a_row + 1) * k..(a_row + 2) * k],
+        &a[(a_row + 2) * k..(a_row + 3) * k],
+        &a[(a_row + 3) * k..(a_row + 4) * k],
+    ];
+    let mut bk = [0.0f32; NR];
+    for kk in 0..k {
+        for (v, &q) in bk.iter_mut().zip(&panel[kk * NR..kk * NR + NR]) {
+            *v = q as f32;
+        }
+        for (accr, ar) in acc.iter_mut().zip(&rows) {
+            let av = ar[kk];
+            for (c, &bv) in accr.iter_mut().zip(&bk) {
+                *c = fmadd(*c, av, bv);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let dst = &mut block[(c_row + r) * n + j0..(c_row + r) * n + j0 + w];
+        for ((d, &v), &s) in dst.iter_mut().zip(accr.iter()).zip(scale) {
+            *d = v * s;
+        }
+    }
+}
+
+/// Hand-scheduled AVX2+FMA `4×16` int8 tile: one 16-byte load widened to
+/// two f32 vectors (`vpmovsxbd` + `vcvtdq2ps`, both exact) per `k` step;
+/// the column scales multiply the finished accumulators once. Bit-identical
+/// to the portable kernel.
+///
+/// # Safety
+///
+/// Caller must guarantee avx2+fma are available (compile-time gated at the
+/// call site) and the usual geometry invariants (`a` holds `MR` rows of
+/// length `k` at `a_row`, `panel` holds `k·NR` codes, `scale` holds `NR`
+/// floats, `block` holds the target rows).
+#[allow(clippy::too_many_arguments)]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+#[inline]
+unsafe fn micro_kernel_mr_i8_avx2(
+    a: &[f32],
+    panel: &[i8],
+    scale: &[f32],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    const { assert!(NR == 16 && MR == 4) };
+    unsafe {
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        for kk in 0..k {
+            let q = _mm_loadu_si128(pp.add(kk * NR) as *const __m128i);
+            let b0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q));
+            let b1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(q, 8)));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add((a_row + r) * k + kk));
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        let s0 = _mm256_loadu_ps(scale.as_ptr());
+        let s1 = _mm256_loadu_ps(scale.as_ptr().add(8));
+        for accr in acc.iter_mut() {
+            accr[0] = _mm256_mul_ps(accr[0], s0);
+            accr[1] = _mm256_mul_ps(accr[1], s1);
+        }
+        store_acc(acc, block, c_row, j0, w, n);
+    }
+}
+
+/// Single-row remainder of [`micro_kernel_mr_i8`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_1_i8(
+    a: &[f32],
+    panel: &[i8],
+    scale: &[f32],
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [0.0f32; NR];
+    let ar = &a[a_row * k..(a_row + 1) * k];
+    for (kk, &av) in ar.iter().enumerate() {
+        for (c, &q) in acc.iter_mut().zip(&panel[kk * NR..kk * NR + NR]) {
+            *c = fmadd(*c, av, q as f32);
+        }
+    }
+    let dst = &mut block[c_row * n + j0..c_row * n + j0 + w];
+    for ((d, &v), &s) in dst.iter_mut().zip(acc.iter()).zip(scale) {
+        *d = v * s;
+    }
+}
+
+/// Shared `MR×NR` accumulator store (full-width vector stores, scalar copy
+/// for the ragged final panel).
+///
+/// # Safety
+///
+/// `block` must hold rows `c_row..c_row+MR` of an `[*, n]` matrix with the
+/// `j0..j0+w` span in bounds; avx2 must be available.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+#[inline]
+unsafe fn store_acc(
+    acc: [[std::arch::x86_64::__m256; 2]; MR],
+    block: &mut [f32],
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    unsafe {
+        if w == NR {
+            let cp = block.as_mut_ptr();
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(cp.add((c_row + r) * n + j0), accr[0]);
+                _mm256_storeu_ps(cp.add((c_row + r) * n + j0 + 8), accr[1]);
+            }
+        } else {
+            let mut tmp = [0.0f32; NR];
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(tmp.as_mut_ptr(), accr[0]);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), accr[1]);
+                block[(c_row + r) * n + j0..(c_row + r) * n + j0 + w].copy_from_slice(&tmp[..w]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::gemm_prepacked;
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn f16_widening_roundtrips_exactly() {
+        // Every finite f16 must roundtrip f16 → f32 → f16 unchanged: the
+        // widening is exact and the narrowing of an exact value is identity.
+        for h in 0u16..=0xffff {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 31 {
+                continue; // inf/nan handled below
+            }
+            assert_eq!(f32_to_f16(f16_to_f32(h)), h, "h={h:#06x}");
+        }
+        assert!(f16_to_f32(0x7c00).is_infinite());
+        assert!(f16_to_f32(0xfc00).is_infinite());
+        assert!(f16_to_f32(0x7e00).is_nan());
+        assert!(f32_to_f16(f32::NAN) & 0x7c00 == 0x7c00);
+        assert_ne!(f32_to_f16(f32::NAN) & 0x03ff, 0);
+    }
+
+    #[test]
+    fn f16_narrowing_rounds_to_nearest_even() {
+        // 1.0 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16;
+        // RNE keeps the even mantissa (1.0).
+        assert_eq!(f32_to_f16(1.0 + 2f32.powi(-11)), f32_to_f16(1.0));
+        // Just above the midpoint rounds up.
+        assert_eq!(
+            f32_to_f16(1.0 + 2f32.powi(-11) + 2f32.powi(-20)),
+            f32_to_f16(1.0) + 1
+        );
+        // Overflow saturates to inf, underflow to zero.
+        assert_eq!(f32_to_f16(1e6), 0x7c00);
+        assert_eq!(f32_to_f16(-1e6), 0xfc00);
+        assert_eq!(f32_to_f16(1e-10), 0);
+        assert_eq!(f32_to_f16(-1e-10), 0x8000);
+        // Max finite f16 survives; the first value past the rounding
+        // midpoint (65520) overflows.
+        assert_eq!(f16_to_f32(f32_to_f16(65504.0)), 65504.0);
+        assert_eq!(f32_to_f16(65520.0), 0x7c00);
+    }
+
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "f16c"
+    ))]
+    #[test]
+    fn scalar_f16_widening_matches_hardware() {
+        // The scalar widening must agree with vcvtph2ps bit-for-bit for
+        // every finite f16, or the SIMD and fallback kernels would diverge.
+        use std::arch::x86_64::*;
+        for h0 in (0u16..=0xfff8).step_by(8) {
+            let hs: [u16; 8] = std::array::from_fn(|i| h0 + i as u16);
+            // SAFETY: avx2+f16c are compile-time target features here.
+            let hw: [f32; 8] = unsafe {
+                let v = _mm256_cvtph_ps(_mm_loadu_si128(hs.as_ptr() as *const __m128i));
+                let mut out = [0.0f32; 8];
+                _mm256_storeu_ps(out.as_mut_ptr(), v);
+                out
+            };
+            for (i, &h) in hs.iter().enumerate() {
+                if (h >> 10) & 0x1f == 31 && h & 0x3ff != 0 {
+                    assert!(hw[i].is_nan() && f16_to_f32(h).is_nan());
+                } else {
+                    assert_eq!(hw[i].to_bits(), f16_to_f32(h).to_bits(), "h={h:#06x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f16_panel_bytes_exactly_halved() {
+        for &(k, n) in &[(9, 16), (27, 64), (288, 512), (5, 3), (160, 100)] {
+            assert_eq!(packed_panels_f16_len(k, n), packed_panels_len(k, n));
+            assert_eq!(
+                Precision::F16.packed_panel_bytes(k, n) * 2,
+                Precision::F32.packed_panel_bytes(k, n),
+                "{k}x{n}"
+            );
+            assert_eq!(
+                Precision::Int8.packed_panel_bytes(k, n) * 4,
+                Precision::F32.packed_panel_bytes(k, n),
+                "{k}x{n}"
+            );
+        }
+    }
+
+    /// f32 reference on pre-quantized weights, same accumulation order.
+    fn gold_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ep: Epilogue) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        let mut packed = vec![0.0f32; packed_panels_len(k, n)];
+        pack_b_panels_into(b, &mut packed, k, n);
+        gemm_prepacked(a, &packed, &mut out, m, k, n, ep);
+        out
+    }
+
+    #[test]
+    fn f16_gemm_is_bit_identical_to_f32_on_roundtripped_weights() {
+        // Widening is exact, so the f16 path must equal the f32 path run on
+        // the f16-roundtripped weight matrix — bit-for-bit, epilogue and
+        // ragged tiles included.
+        for &(m, k, n) in &[
+            (1, 7, 5),
+            (4, 16, 16),
+            (13, 33, 19),
+            (64, 27, 96),
+            (7, 9, 100),
+        ] {
+            let a = random(m * k, 1 + m as u64);
+            let b = random(k * n, 2 + n as u64);
+            let bq: Vec<f32> = b.iter().map(|&v| f16_to_f32(f32_to_f16(v))).collect();
+            let bias: Vec<f32> = random(n, 3);
+            let ep = Epilogue {
+                bias: Some(&bias),
+                scale_shift: None,
+                relu: true,
+            };
+            let mut packed = vec![0u16; packed_panels_f16_len(k, n)];
+            pack_b_panels_f16_into(&b, &mut packed, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_prepacked_f16(&a, &packed, &mut got, m, k, n, ep);
+            assert_eq!(got, gold_gemm(&a, &bq, m, k, n, ep), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn i8_gemm_matches_scalar_reference_bit_for_bit() {
+        for &(m, k, n) in &[(1, 4, 3), (4, 16, 16), (11, 23, 37), (64, 27, 96)] {
+            let a = random(m * k, 11 + m as u64);
+            let b = random(k * n, 12 + n as u64);
+            let mut q = vec![0i8; packed_panels_i8_len(k, n)];
+            let mut scales = vec![0.0f32; packed_scales_i8_len(n)];
+            pack_b_panels_i8_into(&b, &mut q, &mut scales, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_prepacked_i8(&a, &q, &scales, &mut got, m, k, n, Epilogue::default());
+            // Scalar reference: accumulate raw codes ascending-k with the
+            // same fmadd, then one scale multiply — the kernel contract.
+            for i in 0..m {
+                for j in 0..n {
+                    let jp = j / NR;
+                    let jo = j % NR;
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        let code = q[jp * NR * k + kk * NR + jo] as f32;
+                        acc = fmadd(acc, a[i * k + kk], code);
+                    }
+                    let want = acc * scales[j];
+                    assert_eq!(got[i * n + j], want, "{m}x{k}x{n} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_quantization_error_is_bounded() {
+        let (m, k, n) = (8, 64, 48);
+        let a = random(m * k, 21);
+        let b = random(k * n, 22);
+        let mut q = vec![0i8; packed_panels_i8_len(k, n)];
+        let mut scales = vec![0.0f32; packed_scales_i8_len(n)];
+        pack_b_panels_i8_into(&b, &mut q, &mut scales, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_prepacked_i8(&a, &q, &scales, &mut got, m, k, n, Epilogue::default());
+        let want = gold_gemm(&a, &b, m, k, n, Epilogue::default());
+        let amax = want.iter().fold(0.0f32, |x, &v| x.max(v.abs()));
+        for (g, w) in got.iter().zip(&want) {
+            // Symmetric 8-bit weight quantization at K=64: error well under
+            // 1% of the output range.
+            assert!((g - w).abs() <= 0.01 * amax + 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn lowp_results_identical_across_thread_counts() {
+        use crate::parallel::set_threads;
+        let (m, k, n) = (96, 41, 77);
+        let a = random(m * k, 31);
+        let b = random(k * n, 32);
+        let mut p16 = vec![0u16; packed_panels_f16_len(k, n)];
+        pack_b_panels_f16_into(&b, &mut p16, k, n);
+        let mut q = vec![0i8; packed_panels_i8_len(k, n)];
+        let mut scales = vec![0.0f32; packed_scales_i8_len(n)];
+        pack_b_panels_i8_into(&b, &mut q, &mut scales, k, n);
+        set_threads(1);
+        let mut gold16 = vec![0.0f32; m * n];
+        gemm_prepacked_f16(&a, &p16, &mut gold16, m, k, n, Epilogue::default());
+        let mut gold8 = vec![0.0f32; m * n];
+        gemm_prepacked_i8(&a, &q, &scales, &mut gold8, m, k, n, Epilogue::default());
+        for t in 2..=8 {
+            set_threads(t);
+            let mut o16 = vec![0.0f32; m * n];
+            gemm_prepacked_f16(&a, &p16, &mut o16, m, k, n, Epilogue::default());
+            assert_eq!(o16, gold16, "f16 thread count {t}");
+            let mut o8 = vec![0.0f32; m * n];
+            gemm_prepacked_i8(&a, &q, &scales, &mut o8, m, k, n, Epilogue::default());
+            assert_eq!(o8, gold8, "i8 thread count {t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn packed_panels_wrapper_dispatches_every_precision() {
+        let (m, k, n) = (12, 18, 20);
+        let a = random(m * k, 41);
+        let b = random(k * n, 42);
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let panels = PackedPanels::pack(p, &b, k, n);
+            assert_eq!(panels.precision(), p);
+            assert!(panels.bytes() > 0);
+            let mut out = vec![0.0f32; m * n];
+            panels.gemm(&a, &mut out, m, k, n, Epilogue::default());
+            let want = gold_gemm(&a, &b, m, k, n, Epilogue::default());
+            let amax = want.iter().fold(0.0f32, |x, &v| x.max(v.abs()));
+            for (g, w) in out.iter().zip(&want) {
+                assert!((g - w).abs() <= 0.02 * amax + 1e-4, "{p:?}: {g} vs {w}");
+            }
+        }
+        // Bytes ordering: f32 > f16 > int8 panels (+ scales still smaller).
+        let b32 = PackedPanels::pack(Precision::F32, &b, k, n).bytes();
+        let b16 = PackedPanels::pack(Precision::F16, &b, k, n).bytes();
+        let b8 = PackedPanels::pack(Precision::Int8, &b, k, n).bytes();
+        assert_eq!(b16 * 2, b32);
+        assert!(b8 < b16);
+    }
+
+    #[test]
+    fn zero_k_and_empty_shapes_are_safe() {
+        let ep = Epilogue::default();
+        let mut out = vec![1.0f32; 6];
+        gemm_prepacked_f16(&[], &[], &mut out, 3, 0, 2, ep);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let mut out8 = vec![1.0f32; 6];
+        gemm_prepacked_i8(&[], &[], &[0.0; 16], &mut out8, 3, 0, 2, ep);
+        assert!(out8.iter().all(|&v| v == 0.0));
+    }
+}

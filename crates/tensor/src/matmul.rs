@@ -27,18 +27,20 @@ use crate::parallel::{parallel_row_blocks_mut, parallel_rows_mut, threads};
 use crate::Tensor;
 use std::cell::RefCell;
 
-/// Micro-kernel tile height (rows of `A`/`C` per register tile).
-const MR: usize = 4;
+/// Micro-kernel tile height (rows of `A`/`C` per register tile). Shared with
+/// the reduced-precision kernels in [`crate::lowp`].
+pub(crate) const MR: usize = 4;
 /// Micro-kernel tile width (columns of packed `B` per register tile).
 /// Sixteen `f32` lanes = two AVX2 vectors per row; `MR·NR/8 = 8` ymm
 /// accumulators leave registers for broadcasts and panel loads.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// Fused (or plain, off FMA targets) multiply-add. Every GEMM path — packed,
-/// unpacked, and both transpose kernels — funnels through this, so all paths
-/// share one rounding behavior and stay bit-identical to each other.
+/// unpacked, both transpose kernels, and the reduced-precision panel kernels
+/// in [`crate::lowp`] — funnels through this, so all paths share one
+/// rounding behavior and stay bit-identical to each other.
 #[inline(always)]
-fn fmadd(acc: f32, a: f32, b: f32) -> f32 {
+pub(crate) fn fmadd(acc: f32, a: f32, b: f32) -> f32 {
     #[cfg(target_feature = "fma")]
     {
         a.mul_add(b, acc)
@@ -51,7 +53,7 @@ fn fmadd(acc: f32, a: f32, b: f32) -> f32 {
 /// Below this many `A` rows the packed path cannot amortize packing `B`.
 const MIN_ROWS_FOR_PACKING: usize = 8;
 /// Minimum `M·N` before a GEMM is worth dispatching to the thread pool.
-const MIN_ELEMS_FOR_THREADS: usize = 32 * 1024;
+pub(crate) const MIN_ELEMS_FOR_THREADS: usize = 32 * 1024;
 
 thread_local! {
     /// Reused packing buffer for `B` panels (and the transpose scratch of
@@ -110,7 +112,7 @@ impl Epilogue<'_> {
     }
 
     /// Applies the epilogue to one `[rows × n]` row block.
-    fn apply(&self, block: &mut [f32], n: usize) {
+    pub(crate) fn apply(&self, block: &mut [f32], n: usize) {
         if self.is_noop() {
             return;
         }
@@ -241,7 +243,7 @@ pub fn gemm_prepacked(
     gemm_packed_driver(a, packed_b, out, m, k, n, ep);
 }
 
-fn check_gemm_args(a: &[f32], out: &[f32], m: usize, k: usize, n: usize, ep: &Epilogue) {
+pub(crate) fn check_gemm_args(a: &[f32], out: &[f32], m: usize, k: usize, n: usize, ep: &Epilogue) {
     assert_eq!(a.len(), m * k, "gemm A buffer");
     assert_eq!(out.len(), m * n, "gemm C buffer");
     if let Some(b) = ep.bias {
