@@ -1,0 +1,1411 @@
+//! The adaptive node **control plane**: a deterministic feedback loop that
+//! closes the gap between the sensors the runtime already has and the knobs
+//! the runtime already has.
+//!
+//! The paper's premise is that a constrained edge node must adapt what it
+//! spends per stream to stay inside its compute and uplink budgets. The
+//! uncontrolled [`crate::runtime::EdgeNode`] fixes shard widths, gather
+//! batch sizes, and precision for a whole run — an idle night-time camera
+//! holds workers hostage while a bursty one overflows its queue. This
+//! module adds the loop that moves those knobs at run time:
+//!
+//! ```text
+//!             SENSORS                 POLICIES               KNOBS
+//!  ┌──────────────────────────┐  ┌────────────────┐  ┌───────────────────┐
+//!  │ per-stream queue depths  │  │ BatchPolicy    │─▶│ gather max_batch  │
+//!  │ arrival-rate EWMAs       │─▶│ RebalancePolicy│─▶│ PoolShard widths  │
+//!  │ per-round gather fill    │  │ DegradePolicy  │─▶│ weight precision  │
+//!  │ uplink offered/accepted  │  │ (hysteresis in │  │ upload stride     │
+//!  │ backlog + drops          │  │  every policy) │  └───────────────────┘
+//!  │ [wall-clock stage EWMAs] │  └────────────────┘   + admission control
+//!  └──────────────────────────┘                         at add_stream
+//!        NodeTelemetry              ControlPlan
+//! ```
+//!
+//! # Virtual time and determinism
+//!
+//! The controller runs on a **virtual-time tick driven by frame counts**,
+//! never wall clock: the controlled runtime
+//! ([`crate::runtime::EdgeNode::run_controlled`]) advances one *round* per
+//! frame interval, and every [`ControlConfig::tick_frames`] rounds it
+//! snapshots a [`NodeTelemetry`] and lets the [`Controller`] act. Every
+//! sensor a policy consumes — queue depths, arrival counts and their EWMAs,
+//! gather fill, uplink accounting — is a pure function of the round number
+//! and the stream contents, so the resulting [`ControlTrace`] is
+//! **bit-replayable**: identical across repeated runs, thread counts, and
+//! shard widths. Wall-clock stage latencies ([`WallTelemetry`]) are
+//! collected for observability only; **no policy reads them** — that is the
+//! line between "deterministic decision input" and "profiling extra", and
+//! crossing it would break replay.
+//!
+//! # Hysteresis rules
+//!
+//! Every policy debounces so the node never flaps:
+//!
+//! * a condition must hold for `patience` (or `saturate_ticks` /
+//!   `relax_ticks`) **consecutive** ticks before a policy acts, and any
+//!   tick that breaks the streak resets it;
+//! * opposing conditions use **separated thresholds** (grow above
+//!   [`BatchPolicy::grow_backlog`] vs shrink below
+//!   [`BatchPolicy::shrink_fill`]; idle below
+//!   [`RebalancePolicy::idle_below`] vs active above
+//!   [`RebalancePolicy::active_above`]; degrade above
+//!   [`DegradePolicy::high_water`] vs recover below
+//!   [`DegradePolicy::low_water`]) so a signal sitting between them moves
+//!   nothing;
+//! * acting resets the policy's own streak, so consecutive steps each
+//!   require a fresh run of evidence.
+//!
+//! # The degradation ladder
+//!
+//! Under sustained uplink saturation the node trades fidelity for headroom
+//! one rung at a time: weight-panel precision steps f32 → f16 → int8
+//! (through the existing [`ff_tensor::Precision`] plumbing), then the
+//! **upload frame stride** doubles (2, 4, … up to
+//! [`DegradePolicy::max_stride`]) so only every k-th frame of a matched
+//! event run is re-encoded and uploaded
+//! ([`crate::FilterForward::set_upload_stride`]). Sustained relief walks
+//! the same ladder back up.
+//!
+//! # Admission control
+//!
+//! [`AdmissionPolicy`] gates [`crate::runtime::EdgeNode::try_add_stream`]
+//! against the [`crate::node`] memory model
+//! ([`crate::node::mobilenet_instance_bytes`] /
+//! [`crate::node::max_mobilenet_instances`]) and the shard thread budget,
+//! with a typed [`AdmissionError`] naming exactly which envelope the stream
+//! would burst.
+
+use std::time::Duration;
+
+use ff_tensor::Precision;
+use ff_video::Resolution;
+
+use crate::runtime::StreamId;
+use crate::uplink::Uplink;
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// One stream's sensors at a control tick.
+#[derive(Debug, Clone)]
+pub struct StreamTelemetry {
+    /// The stream.
+    pub id: StreamId,
+    /// Decoded frames waiting for inference at the snapshot (virtual-time
+    /// queue depth).
+    pub queue_depth: usize,
+    /// Frames that arrived during the tick.
+    pub arrivals: u64,
+    /// Frames served (run through inference) during the tick.
+    pub served: u64,
+    /// EWMA of the per-round arrival rate (frames per frame interval,
+    /// 0.0–1.0 for a live camera), smoothed across ticks with
+    /// [`ControlConfig::arrival_alpha`]. Deterministic: computed from
+    /// arrival counts and round counts only.
+    pub arrival_ewma: f64,
+    /// The source reported end-of-stream.
+    pub ended: bool,
+}
+
+/// Gather-stage sensors for a tick (all zero when the node runs the
+/// per-stream sharded style, which has no gather stage).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatherTelemetry {
+    /// Rounds (frame intervals) covered by the tick.
+    pub rounds: u64,
+    /// Frames gathered into shared batches over those rounds.
+    pub gathered: u64,
+    /// The `max_batch` in force during the tick.
+    pub max_batch: usize,
+}
+
+impl GatherTelemetry {
+    /// Mean batch-capacity fill over the tick: `gathered / (rounds ·
+    /// max_batch)`. 0.0 when the tick had no capacity at all.
+    pub fn fill(&self) -> f64 {
+        let cap = self.rounds.saturating_mul(self.max_batch as u64);
+        if cap == 0 {
+            0.0
+        } else {
+            self.gathered as f64 / cap as f64
+        }
+    }
+
+    /// Mean frames gathered per round, rounded up — the service rate the
+    /// batch must at least cover, used as the shrink floor.
+    pub fn served_per_round_ceil(&self) -> usize {
+        if self.rounds == 0 {
+            0
+        } else {
+            self.gathered.div_ceil(self.rounds) as usize
+        }
+    }
+}
+
+/// Shared-uplink sensors at a tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UplinkTelemetry {
+    /// Send-queue depth in bits at the snapshot.
+    pub backlog_bits: f64,
+    /// Cumulative offered load over capacity (dropped bits included) —
+    /// [`Uplink::utilization`].
+    pub offered_utilization: f64,
+    /// Cumulative accepted load over capacity —
+    /// [`Uplink::accepted_utilization`].
+    pub accepted_utilization: f64,
+    /// Offered load over capacity **within this tick alone** (differenced
+    /// between snapshots). This is what the degradation ladder watches: the
+    /// cumulative view averages a rush-hour burst away.
+    pub offered_utilization_tick: f64,
+    /// Cumulative uploads that lost bits to the queue bound.
+    pub dropped: u64,
+}
+
+/// Wall-clock stage latencies, **observability only**. These are the one
+/// part of a snapshot that is *not* deterministic; no policy reads them
+/// (see the [module docs](self)), they exist so an operator watching a
+/// telemetry log can correlate decisions with real time spent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallTelemetry {
+    /// EWMA of per-frame decode (pixel→tensor) seconds.
+    pub decode_ewma_secs: f64,
+    /// EWMA of per-frame base-DNN extraction seconds.
+    pub extract_ewma_secs: f64,
+}
+
+/// Everything the node's sensors saw in one control tick.
+#[derive(Debug, Clone)]
+pub struct NodeTelemetry {
+    /// Control tick index (1-based: the first snapshot is tick 1).
+    pub tick: u64,
+    /// Virtual-time round (frame interval) at the snapshot.
+    pub round: u64,
+    /// Per-stream sensors, indexed by [`StreamId`].
+    pub streams: Vec<StreamTelemetry>,
+    /// Gather-stage sensors (zeroed in sharded style).
+    pub gather: GatherTelemetry,
+    /// Shared-uplink sensors.
+    pub uplink: UplinkTelemetry,
+    /// Wall-clock extras — never consumed by policies.
+    pub wall: WallTelemetry,
+}
+
+impl NodeTelemetry {
+    /// Total decoded frames queued across streams at the snapshot.
+    pub fn total_queue_depth(&self) -> usize {
+        self.streams.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Streams whose source has not ended.
+    pub fn open_streams(&self) -> usize {
+        self.streams.iter().filter(|s| !s.ended).count()
+    }
+}
+
+/// Per-stream accumulation state inside [`Sensors`].
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamSensor {
+    arrivals: u64,
+    served: u64,
+    ewma: Option<f64>,
+    ended: bool,
+}
+
+/// The runtime-side sensor bank: the controlled executor feeds it
+/// per-round events (arrivals, serves, gather sizes, wall timings) and
+/// [`Sensors::snapshot`] folds a tick's worth into a [`NodeTelemetry`],
+/// resetting the per-tick counters and advancing the EWMAs.
+///
+/// Everything except the wall-clock timings is deterministic in virtual
+/// time; see the [module docs](self).
+#[derive(Debug)]
+pub struct Sensors {
+    alpha: f64,
+    streams: Vec<StreamSensor>,
+    rounds: u64,
+    gathered: u64,
+    tick: u64,
+    // Uplink cumulative counters at the previous snapshot, for differencing.
+    last_offered_bits: u64,
+    last_offers: u64,
+    // Wall-clock accumulators (observability only).
+    decode_secs: f64,
+    decode_frames: u64,
+    extract_secs: f64,
+    extract_frames: u64,
+    decode_ewma: Option<f64>,
+    extract_ewma: Option<f64>,
+}
+
+impl Sensors {
+    /// A sensor bank for `streams` streams. `alpha` weights the newest
+    /// tick in every EWMA (0 < alpha ≤ 1).
+    pub fn new(streams: usize, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Sensors {
+            alpha,
+            streams: vec![StreamSensor::default(); streams],
+            rounds: 0,
+            gathered: 0,
+            tick: 0,
+            last_offered_bits: 0,
+            last_offers: 0,
+            decode_secs: 0.0,
+            decode_frames: 0,
+            extract_secs: 0.0,
+            extract_frames: 0,
+            decode_ewma: None,
+            extract_ewma: None,
+        }
+    }
+
+    /// A frame arrived for stream `s` this round.
+    pub fn on_arrival(&mut self, s: usize) {
+        self.streams[s].arrivals += 1;
+    }
+
+    /// A frame of stream `s` was served (ran inference) this round.
+    pub fn on_served(&mut self, s: usize) {
+        self.streams[s].served += 1;
+    }
+
+    /// Stream `s`'s source ended.
+    pub fn on_ended(&mut self, s: usize) {
+        self.streams[s].ended = true;
+    }
+
+    /// A round (frame interval) completed; `gathered` frames went into the
+    /// shared batch (pass the served count in sharded style — it is ignored
+    /// there because [`GatherTelemetry::max_batch`] is 0).
+    pub fn on_round(&mut self, gathered: usize) {
+        self.rounds += 1;
+        self.gathered += gathered as u64;
+    }
+
+    /// Wall-clock decode time of one frame (observability only).
+    pub fn on_decode_wall(&mut self, d: Duration) {
+        self.decode_secs += d.as_secs_f64();
+        self.decode_frames += 1;
+    }
+
+    /// Wall-clock extraction time of `frames` frames (observability only).
+    pub fn on_extract_wall(&mut self, d: Duration, frames: usize) {
+        self.extract_secs += d.as_secs_f64();
+        self.extract_frames += frames as u64;
+    }
+
+    /// Folds the tick's accumulations into a snapshot, advances EWMAs, and
+    /// resets the per-tick counters. `queue_depths` is each stream's
+    /// decoded-but-unserved backlog; `max_batch` the gather capacity in
+    /// force (0 in sharded style).
+    pub fn snapshot(
+        &mut self,
+        round: u64,
+        queue_depths: &[usize],
+        uplink: &Uplink,
+        max_batch: usize,
+    ) -> NodeTelemetry {
+        self.tick += 1;
+        let rounds = self.rounds.max(1);
+        let streams = self
+            .streams
+            .iter_mut()
+            .zip(queue_depths)
+            .enumerate()
+            .map(|(i, (st, &depth))| {
+                let rate = st.arrivals as f64 / rounds as f64;
+                let ewma = match st.ewma {
+                    None => rate,
+                    Some(prev) => self.alpha * rate + (1.0 - self.alpha) * prev,
+                };
+                st.ewma = Some(ewma);
+                let out = StreamTelemetry {
+                    id: StreamId(i),
+                    queue_depth: depth,
+                    arrivals: st.arrivals,
+                    served: st.served,
+                    arrival_ewma: ewma,
+                    ended: st.ended,
+                };
+                st.arrivals = 0;
+                st.served = 0;
+                out
+            })
+            .collect();
+
+        // Per-tick offered utilization: difference the uplink's cumulative
+        // counters between snapshots. Each offer drains capacity/fps bits,
+        // so offered/(offers·capacity/fps) is the tick's offered load.
+        let offered_bits = uplink.offered_bits();
+        let offers = uplink.frames();
+        let d_bits = offered_bits - self.last_offered_bits;
+        let d_offers = offers - self.last_offers;
+        self.last_offered_bits = offered_bits;
+        self.last_offers = offers;
+        let tick_capacity_bits = d_offers as f64 * uplink.capacity_bps() / uplink.fps();
+        let offered_utilization_tick = if tick_capacity_bits > 0.0 {
+            d_bits as f64 / tick_capacity_bits
+        } else {
+            0.0
+        };
+
+        let wall = {
+            let fold = |sum: f64, n: u64, ewma: &mut Option<f64>| -> f64 {
+                if n > 0 {
+                    let mean = sum / n as f64;
+                    let next = match *ewma {
+                        None => mean,
+                        Some(prev) => self.alpha * mean + (1.0 - self.alpha) * prev,
+                    };
+                    *ewma = Some(next);
+                }
+                ewma.unwrap_or(0.0)
+            };
+            let decode = fold(self.decode_secs, self.decode_frames, &mut self.decode_ewma);
+            let extract = fold(
+                self.extract_secs,
+                self.extract_frames,
+                &mut self.extract_ewma,
+            );
+            WallTelemetry {
+                decode_ewma_secs: decode,
+                extract_ewma_secs: extract,
+            }
+        };
+        self.decode_secs = 0.0;
+        self.decode_frames = 0;
+        self.extract_secs = 0.0;
+        self.extract_frames = 0;
+
+        let gather = GatherTelemetry {
+            rounds: self.rounds,
+            gathered: self.gathered,
+            max_batch,
+        };
+        self.rounds = 0;
+        self.gathered = 0;
+
+        NodeTelemetry {
+            tick: self.tick,
+            round,
+            streams,
+            gather,
+            uplink: UplinkTelemetry {
+                backlog_bits: uplink.backlog_bits(),
+                offered_utilization: uplink.utilization(),
+                accepted_utilization: uplink.accepted_utilization(),
+                offered_utilization_tick,
+                dropped: uplink.dropped(),
+            },
+            wall,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policies and configuration
+// ---------------------------------------------------------------------------
+
+/// Dynamic gather-batch sizing: grow `max_batch` when decode queues back
+/// up, shrink it when gathers run mostly empty.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Smallest batch the policy will set.
+    pub min_batch: usize,
+    /// Largest batch the policy will set.
+    pub max_batch: usize,
+    /// Grow when queued frames **per open stream** exceed this at a tick
+    /// boundary.
+    pub grow_backlog: f64,
+    /// Shrink when the tick's gather fill ([`GatherTelemetry::fill`]) falls
+    /// below this.
+    pub shrink_fill: f64,
+    /// Consecutive ticks a condition must hold before acting.
+    pub patience: u32,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            min_batch: 1,
+            max_batch: 16,
+            grow_backlog: 1.0,
+            shrink_fill: 0.45,
+            patience: 2,
+        }
+    }
+}
+
+/// Shard rebalancing: concentrate the thread budget on streams that are
+/// actually producing frames. A stream whose arrival EWMA collapses below
+/// `idle_below` is reclassified idle (width 1); one that climbs above
+/// `active_above` is reclassified active; the active set splits the
+/// remaining budget evenly.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalancePolicy {
+    /// Arrival EWMA (frames per round) at or below which a stream counts
+    /// as idle.
+    pub idle_below: f64,
+    /// Arrival EWMA at or above which a stream counts as active. Must
+    /// exceed `idle_below`; the gap is the hysteresis band.
+    pub active_above: f64,
+    /// Consecutive ticks a stream must sit in its new class before it is
+    /// reclassified.
+    pub patience: u32,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            idle_below: 0.2,
+            active_above: 0.6,
+            patience: 2,
+        }
+    }
+}
+
+/// Uplink-aware degradation: under sustained offered load above
+/// `high_water` the node steps down the ladder (precision f32 → f16 →
+/// int8, then upload stride 2, 4, …); sustained load below `low_water`
+/// steps back up.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradePolicy {
+    /// Per-tick offered utilization above which a tick counts as
+    /// saturated.
+    pub high_water: f64,
+    /// Per-tick offered utilization below which a tick counts as relaxed.
+    /// Must be below `high_water`; the gap is the hysteresis band.
+    pub low_water: f64,
+    /// Consecutive saturated ticks before stepping down one rung.
+    pub saturate_ticks: u32,
+    /// Consecutive relaxed ticks before stepping back up one rung
+    /// (recovery is deliberately slower than degradation).
+    pub relax_ticks: u32,
+    /// Largest upload stride the ladder reaches (strides double: 2, 4, …).
+    pub max_stride: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            high_water: 1.0,
+            low_water: 0.7,
+            saturate_ticks: 3,
+            relax_ticks: 6,
+            max_stride: 4,
+        }
+    }
+}
+
+/// Control-plane configuration: the virtual-time tick length plus the
+/// three policies (each optional — `None` disables that arm).
+#[derive(Debug, Clone, Copy)]
+pub struct ControlConfig {
+    /// Rounds (frame intervals) per control tick.
+    pub tick_frames: u64,
+    /// EWMA weight of the newest tick for arrival rates and wall timings.
+    pub arrival_alpha: f64,
+    /// Dynamic gather-batch sizing (gather style only).
+    pub batch: Option<BatchPolicy>,
+    /// Shard rebalancing (sharded style only).
+    pub rebalance: Option<RebalancePolicy>,
+    /// Uplink-aware degradation ladder.
+    pub degrade: Option<DegradePolicy>,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            tick_frames: 8,
+            arrival_alpha: 0.5,
+            batch: Some(BatchPolicy::default()),
+            rebalance: Some(RebalancePolicy::default()),
+            degrade: Some(DegradePolicy::default()),
+        }
+    }
+}
+
+impl ControlConfig {
+    /// A config with every policy disabled — the controlled executor with
+    /// pure telemetry collection (useful as the "fixed" arm of an A/B
+    /// comparison: same virtual-time execution, no adaptation).
+    pub fn observe_only(tick_frames: u64) -> Self {
+        ControlConfig {
+            tick_frames,
+            arrival_alpha: 0.5,
+            batch: None,
+            rebalance: None,
+            degrade: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decisions
+// ---------------------------------------------------------------------------
+
+/// One knob movement decided by a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Resize the gather batch capacity.
+    SetMaxBatch {
+        /// Capacity before.
+        from: usize,
+        /// Capacity after.
+        to: usize,
+    },
+    /// Reassign per-stream shard widths (index = [`StreamId`]).
+    Repartition {
+        /// New width per stream shard.
+        widths: Vec<usize>,
+    },
+    /// Step the base DNN's weight-panel precision.
+    SetPrecision {
+        /// Precision before.
+        from: Precision,
+        /// Precision after.
+        to: Precision,
+    },
+    /// Step the upload frame stride
+    /// ([`crate::FilterForward::set_upload_stride`]).
+    SetUploadStride {
+        /// Stride before.
+        from: u32,
+        /// Stride after.
+        to: u32,
+    },
+}
+
+impl std::fmt::Display for ControlAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlAction::SetMaxBatch { from, to } => write!(f, "max_batch {from} → {to}"),
+            ControlAction::Repartition { widths } => write!(f, "shard widths → {widths:?}"),
+            ControlAction::SetPrecision { from, to } => {
+                write!(f, "precision {from:?} → {to:?}")
+            }
+            ControlAction::SetUploadStride { from, to } => {
+                write!(f, "upload stride {from} → {to}")
+            }
+        }
+    }
+}
+
+/// A decision with the virtual-time tick it was made on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlDecision {
+    /// Control tick (1-based) of the decision.
+    pub tick: u64,
+    /// The knob movement.
+    pub action: ControlAction,
+}
+
+/// The actions one tick's policy evaluation produced, in fixed policy
+/// order (batch, rebalance, degrade) — the runtime applies them before the
+/// next round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlPlan {
+    /// Knob movements to apply, in order.
+    pub actions: Vec<ControlAction>,
+}
+
+impl ControlPlan {
+    /// No actions this tick.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// The full decision history of a run — the **bit-replayable trace**: for
+/// a fixed node configuration and stream contents it is identical across
+/// repeated runs, thread counts, and shard widths (compare with `==`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlTrace {
+    /// Every decision, in tick order.
+    pub decisions: Vec<ControlDecision>,
+}
+
+impl ControlTrace {
+    /// No policy ever fired.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Decisions made.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
+impl std::fmt::Display for ControlTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.decisions.is_empty() {
+            return writeln!(f, "(no control decisions)");
+        }
+        for d in &self.decisions {
+            writeln!(f, "tick {:>4}: {}", d.tick, d.action)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// Initial knob positions the [`Controller`] starts from (built by the
+/// controlled runtime).
+#[derive(Debug, Clone)]
+pub struct ControllerInit {
+    /// Stream count.
+    pub streams: usize,
+    /// Total thread budget across shards.
+    pub budget: usize,
+    /// Gather batch capacity at start (0 ⇒ sharded style, batch policy
+    /// inert).
+    pub initial_batch: usize,
+    /// Per-stream shard widths at start (empty ⇒ gather style, rebalance
+    /// policy inert).
+    pub initial_widths: Vec<usize>,
+    /// Weight-panel precision at start (the ladder's top rung).
+    pub base_precision: Precision,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Activity {
+    active: bool,
+    streak: u32,
+}
+
+/// The deterministic policy engine: feed it one [`NodeTelemetry`] per tick
+/// ([`Self::observe`]), apply the returned [`ControlPlan`], and collect the
+/// [`ControlTrace`] at the end ([`Self::into_trace`]).
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControlConfig,
+    // Batch arm.
+    cur_batch: usize,
+    grow_streak: u32,
+    shrink_streak: u32,
+    // Rebalance arm.
+    budget: usize,
+    activity: Vec<Activity>,
+    cur_widths: Vec<usize>,
+    // Degradation arm.
+    rungs: Vec<(Precision, u32)>,
+    rung: usize,
+    hot_streak: u32,
+    cool_streak: u32,
+    trace: ControlTrace,
+}
+
+/// `budget` threads split as evenly as possible over `n` slots, floor 1
+/// (oversubscribing only when `budget < n`, where nothing narrower than
+/// width 1 exists). Also the controlled runtime's initial per-stream shard
+/// split.
+pub(crate) fn split_even(budget: usize, n: usize) -> Vec<usize> {
+    let base = budget / n;
+    let extra = budget % n;
+    (0..n)
+        .map(|i| (base + usize::from(i < extra)).max(1))
+        .collect()
+}
+
+impl Controller {
+    /// Builds a controller at the given initial knob positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a config that could never behave: `tick_frames` 0, a
+    /// batch policy whose floor is 0 (a zero-capacity gather can never
+    /// serve a frame again, wedging the node) or above its ceiling, any
+    /// zero patience/streak length (hysteresis with no memory fires every
+    /// tick), or hysteresis thresholds with no band between them.
+    pub fn new(cfg: ControlConfig, init: ControllerInit) -> Self {
+        assert!(cfg.tick_frames >= 1, "tick_frames must be ≥ 1");
+        if let Some(b) = &cfg.batch {
+            assert!(
+                b.min_batch >= 1,
+                "batch min_batch must be ≥ 1: a zero-capacity gather can \
+                 never serve a frame again"
+            );
+            assert!(
+                b.min_batch <= b.max_batch,
+                "batch min_batch ({}) must not exceed max_batch ({})",
+                b.min_batch,
+                b.max_batch
+            );
+            assert!(b.patience >= 1, "batch patience must be ≥ 1");
+        }
+        if let Some(r) = &cfg.rebalance {
+            assert!(r.patience >= 1, "rebalance patience must be ≥ 1");
+            assert!(
+                r.idle_below < r.active_above,
+                "rebalance thresholds must leave a hysteresis band \
+                 (idle_below {} < active_above {})",
+                r.idle_below,
+                r.active_above
+            );
+        }
+        if let Some(d) = &cfg.degrade {
+            assert!(
+                d.saturate_ticks >= 1 && d.relax_ticks >= 1,
+                "degrade saturate_ticks and relax_ticks must be ≥ 1"
+            );
+            assert!(
+                d.low_water < d.high_water,
+                "degrade watermarks must leave a hysteresis band \
+                 (low_water {} < high_water {})",
+                d.low_water,
+                d.high_water
+            );
+        }
+        let mut rungs = vec![(init.base_precision, 1u32)];
+        match init.base_precision {
+            Precision::F32 => {
+                rungs.push((Precision::F16, 1));
+                rungs.push((Precision::Int8, 1));
+            }
+            Precision::F16 => rungs.push((Precision::Int8, 1)),
+            Precision::Int8 => {}
+        }
+        if let Some(d) = &cfg.degrade {
+            let floor_precision = rungs.last().expect("non-empty").0;
+            let mut stride = 2u32;
+            while stride <= d.max_stride {
+                rungs.push((floor_precision, stride));
+                stride *= 2;
+            }
+        }
+        Controller {
+            cfg,
+            cur_batch: init.initial_batch,
+            grow_streak: 0,
+            shrink_streak: 0,
+            budget: init.budget,
+            activity: vec![
+                Activity {
+                    active: true,
+                    streak: 0
+                };
+                init.streams
+            ],
+            cur_widths: init.initial_widths,
+            rungs,
+            rung: 0,
+            hot_streak: 0,
+            cool_streak: 0,
+            trace: ControlTrace::default(),
+        }
+    }
+
+    /// The decision history so far.
+    pub fn trace(&self) -> &ControlTrace {
+        &self.trace
+    }
+
+    /// Consumes the controller, returning the full decision history.
+    pub fn into_trace(self) -> ControlTrace {
+        self.trace
+    }
+
+    /// Evaluates every enabled policy against one tick's telemetry and
+    /// returns the knob movements to apply. Deterministic: consumes only
+    /// the virtual-time sensor fields (never [`NodeTelemetry::wall`]).
+    pub fn observe(&mut self, t: &NodeTelemetry) -> ControlPlan {
+        let mut plan = ControlPlan::default();
+        self.observe_batch(t, &mut plan);
+        self.observe_rebalance(t, &mut plan);
+        self.observe_degrade(t, &mut plan);
+        for action in &plan.actions {
+            self.trace.decisions.push(ControlDecision {
+                tick: t.tick,
+                action: action.clone(),
+            });
+        }
+        plan
+    }
+
+    fn observe_batch(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
+        let Some(p) = self.cfg.batch else { return };
+        if self.cur_batch == 0 {
+            return; // sharded style: no gather stage to size
+        }
+        let open = t.open_streams().max(1);
+        let backlog_per_stream = t.total_queue_depth() as f64 / open as f64;
+        if backlog_per_stream > p.grow_backlog {
+            self.grow_streak += 1;
+            self.shrink_streak = 0;
+        } else if t.gather.fill() < p.shrink_fill {
+            self.shrink_streak += 1;
+            self.grow_streak = 0;
+        } else {
+            self.grow_streak = 0;
+            self.shrink_streak = 0;
+        }
+        if self.grow_streak >= p.patience && self.cur_batch < p.max_batch {
+            let to = (self.cur_batch * 2).min(p.max_batch);
+            plan.actions.push(ControlAction::SetMaxBatch {
+                from: self.cur_batch,
+                to,
+            });
+            self.cur_batch = to;
+            self.grow_streak = 0;
+        } else if self.shrink_streak >= p.patience && self.cur_batch > p.min_batch {
+            // Never shrink below what the node is actually serving per
+            // round, or the shrink itself would manufacture a backlog.
+            let floor = t.gather.served_per_round_ceil().max(p.min_batch);
+            let to = (self.cur_batch / 2).max(floor);
+            if to < self.cur_batch {
+                plan.actions.push(ControlAction::SetMaxBatch {
+                    from: self.cur_batch,
+                    to,
+                });
+                self.cur_batch = to;
+            }
+            self.shrink_streak = 0;
+        }
+    }
+
+    fn observe_rebalance(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
+        let Some(p) = self.cfg.rebalance else { return };
+        if self.cur_widths.is_empty() {
+            return; // gather style: one node-wide shard, nothing to move
+        }
+        for (st, a) in t.streams.iter().zip(self.activity.iter_mut()) {
+            let want = if st.ended || st.arrival_ewma <= p.idle_below {
+                Some(false)
+            } else if st.arrival_ewma >= p.active_above {
+                Some(true)
+            } else {
+                None // inside the hysteresis band: no opinion
+            };
+            match want {
+                Some(w) if w != a.active => {
+                    a.streak += 1;
+                    if a.streak >= p.patience {
+                        a.active = w;
+                        a.streak = 0;
+                    }
+                }
+                _ => a.streak = 0,
+            }
+        }
+        let widths = self.rebalanced_widths();
+        if widths != self.cur_widths {
+            plan.actions.push(ControlAction::Repartition {
+                widths: widths.clone(),
+            });
+            self.cur_widths = widths;
+        }
+    }
+
+    /// Widths implied by the current activity classification: idle streams
+    /// hold width 1, active streams split the rest evenly (in stream
+    /// order). Degenerate budgets (≤ one thread per stream) stay at the
+    /// even floor-1 split — there is no narrower width to take from.
+    fn rebalanced_widths(&self) -> Vec<usize> {
+        let n = self.activity.len();
+        let active: Vec<usize> = (0..n).filter(|&i| self.activity[i].active).collect();
+        let k = active.len();
+        if k == 0 || self.budget <= n {
+            return split_even(self.budget, n);
+        }
+        let mut widths = vec![1usize; n];
+        let spare = self.budget - (n - k);
+        let base = spare / k;
+        let extra = spare % k;
+        for (j, &s) in active.iter().enumerate() {
+            widths[s] = (base + usize::from(j < extra)).max(1);
+        }
+        widths
+    }
+
+    fn observe_degrade(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
+        let Some(p) = self.cfg.degrade else { return };
+        let u = t.uplink.offered_utilization_tick;
+        if u > p.high_water {
+            self.hot_streak += 1;
+            self.cool_streak = 0;
+        } else if u < p.low_water {
+            self.cool_streak += 1;
+            self.hot_streak = 0;
+        } else {
+            self.hot_streak = 0;
+            self.cool_streak = 0;
+        }
+        if self.hot_streak >= p.saturate_ticks && self.rung + 1 < self.rungs.len() {
+            self.step_rung(self.rung + 1, plan);
+            self.hot_streak = 0;
+        } else if self.cool_streak >= p.relax_ticks && self.rung > 0 {
+            self.step_rung(self.rung - 1, plan);
+            self.cool_streak = 0;
+        }
+    }
+
+    fn step_rung(&mut self, to: usize, plan: &mut ControlPlan) {
+        let (fp, fs) = self.rungs[self.rung];
+        let (tp, ts) = self.rungs[to];
+        if fp != tp {
+            plan.actions
+                .push(ControlAction::SetPrecision { from: fp, to: tp });
+        }
+        if fs != ts {
+            plan.actions
+                .push(ControlAction::SetUploadStride { from: fs, to: ts });
+        }
+        self.rung = to;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Gate for [`crate::runtime::EdgeNode::try_add_stream`]: a stream is
+/// admitted only if its base-DNN instance fits the node's remaining memory
+/// envelope (the [`crate::node`] model) and the shard thread budget is not
+/// oversubscribed past `max_streams_per_worker`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// The node's resource envelope.
+    pub spec: crate::node::EdgeNodeSpec,
+    /// Streams allowed per shard-budget thread (time-multiplexing bound):
+    /// with a budget of `B` threads at most `B × this` streams are
+    /// admitted.
+    pub max_streams_per_worker: usize,
+}
+
+impl AdmissionPolicy {
+    /// A policy for the given node envelope, allowing up to 4 streams per
+    /// budget thread.
+    pub fn new(spec: crate::node::EdgeNodeSpec) -> Self {
+        AdmissionPolicy {
+            spec,
+            max_streams_per_worker: 4,
+        }
+    }
+
+    /// The usable memory budget in bytes:
+    /// [`crate::node::EdgeNodeSpec::usable_memory_bytes`] — the one
+    /// definition of the OS reserve shared with
+    /// [`crate::node::max_mobilenet_instances`], so an admission verdict
+    /// and the instance count agree exactly at the boundary.
+    pub fn memory_budget_bytes(&self) -> u64 {
+        self.spec.usable_memory_bytes()
+    }
+}
+
+/// Why a stream was refused ([`crate::runtime::EdgeNode::try_add_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The source and pipeline disagree on frame geometry.
+    ResolutionMismatch {
+        /// The source's resolution.
+        source: Resolution,
+        /// The pipeline's configured resolution.
+        pipeline: Resolution,
+    },
+    /// Admitting the stream would exceed the node's memory envelope.
+    OverMemory {
+        /// This stream's base-DNN instance footprint
+        /// ([`crate::node::mobilenet_instance_bytes`]).
+        instance_bytes: u64,
+        /// Bytes already committed to admitted streams.
+        committed_bytes: u64,
+        /// The usable envelope
+        /// ([`AdmissionPolicy::memory_budget_bytes`]).
+        budget_bytes: u64,
+        /// Instances of *this* stream's configuration that fit the empty
+        /// node ([`crate::node::max_mobilenet_instances`]).
+        max_instances: usize,
+    },
+    /// Admitting the stream would oversubscribe the shard thread budget.
+    OverShardBudget {
+        /// Streams already admitted.
+        streams: usize,
+        /// The shard layout's total thread budget.
+        budget_threads: usize,
+        /// The admission cap (`budget ×
+        /// `[`AdmissionPolicy::max_streams_per_worker`]).
+        max_streams: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::ResolutionMismatch { source, pipeline } => write!(
+                f,
+                "stream source and pipeline resolution disagree \
+                 (source {source}, pipeline {pipeline})"
+            ),
+            AdmissionError::OverMemory {
+                instance_bytes,
+                committed_bytes,
+                budget_bytes,
+                max_instances,
+            } => write!(
+                f,
+                "stream refused: instance needs {instance_bytes} B but \
+                 {committed_bytes} of {budget_bytes} B are committed \
+                 (node fits at most {max_instances} such instances)"
+            ),
+            AdmissionError::OverShardBudget {
+                streams,
+                budget_threads,
+                max_streams,
+            } => write!(
+                f,
+                "stream refused: {streams} streams already share a \
+                 {budget_threads}-thread shard budget (cap {max_streams})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telem(
+        tick: u64,
+        queue_depths: &[usize],
+        ewmas: &[f64],
+        fill: (u64, u64, usize),
+        uplink_tick: f64,
+    ) -> NodeTelemetry {
+        NodeTelemetry {
+            tick,
+            round: tick * 8,
+            streams: queue_depths
+                .iter()
+                .zip(ewmas)
+                .enumerate()
+                .map(|(i, (&q, &e))| StreamTelemetry {
+                    id: StreamId(i),
+                    queue_depth: q,
+                    arrivals: 0,
+                    served: 0,
+                    arrival_ewma: e,
+                    ended: false,
+                })
+                .collect(),
+            gather: GatherTelemetry {
+                rounds: fill.0,
+                gathered: fill.1,
+                max_batch: fill.2,
+            },
+            uplink: UplinkTelemetry {
+                offered_utilization_tick: uplink_tick,
+                ..Default::default()
+            },
+            wall: WallTelemetry::default(),
+        }
+    }
+
+    fn gather_controller(cfg: ControlConfig) -> Controller {
+        Controller::new(
+            cfg,
+            ControllerInit {
+                streams: 2,
+                budget: 4,
+                initial_batch: 4,
+                initial_widths: Vec::new(),
+                base_precision: Precision::F32,
+            },
+        )
+    }
+
+    #[test]
+    fn batch_grows_after_patience_and_not_before() {
+        let cfg = ControlConfig {
+            batch: Some(BatchPolicy::default()),
+            rebalance: None,
+            degrade: None,
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        // Backlog of 2 frames/stream: first tick arms, second fires.
+        let t1 = telem(1, &[2, 2], &[1.0, 1.0], (8, 32, 4), 0.0);
+        assert!(c.observe(&t1).is_empty(), "patience must delay the grow");
+        let t2 = telem(2, &[2, 2], &[1.0, 1.0], (8, 32, 4), 0.0);
+        let plan = c.observe(&t2);
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::SetMaxBatch { from: 4, to: 8 }]
+        );
+        // An intervening healthy tick resets the streak.
+        let t3 = telem(3, &[2, 2], &[1.0, 1.0], (8, 64, 8), 0.0);
+        assert!(c.observe(&t3).is_empty());
+        let healthy = telem(4, &[0, 0], &[1.0, 1.0], (8, 64, 8), 0.0);
+        assert!(c.observe(&healthy).is_empty());
+        let t5 = telem(5, &[2, 2], &[1.0, 1.0], (8, 64, 8), 0.0);
+        assert!(c.observe(&t5).is_empty(), "streak must restart after reset");
+    }
+
+    #[test]
+    fn batch_shrinks_toward_service_floor() {
+        let cfg = ControlConfig {
+            batch: Some(BatchPolicy::default()),
+            rebalance: None,
+            degrade: None,
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        c.cur_batch = 8;
+        // Fill 2/8 = 0.25 < 0.45, two frames served per round on average.
+        let t = |tick| telem(tick, &[0, 0], &[0.2, 0.2], (8, 16, 8), 0.0);
+        assert!(c.observe(&t(1)).is_empty());
+        let plan = c.observe(&t(2));
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::SetMaxBatch { from: 8, to: 4 }]
+        );
+        // Next shrink halves toward the floor ceil(16/8)=2.
+        assert!(c.observe(&t(3)).is_empty());
+        let plan = c.observe(&t(4));
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::SetMaxBatch { from: 4, to: 2 }]
+        );
+        // At the service floor the policy stops: shrinking further would
+        // manufacture backlog.
+        assert!(c.observe(&t(5)).is_empty());
+        assert!(c.observe(&t(6)).is_empty());
+    }
+
+    #[test]
+    fn rebalance_moves_budget_to_active_streams_with_hysteresis() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: Some(RebalancePolicy::default()),
+            degrade: None,
+            ..ControlConfig::default()
+        };
+        let mut c = Controller::new(
+            cfg,
+            ControllerInit {
+                streams: 4,
+                budget: 8,
+                initial_batch: 0,
+                initial_widths: vec![2, 2, 2, 2],
+                base_precision: Precision::F32,
+            },
+        );
+        // Streams 2 and 3 collapse; patience 2 ⇒ second tick repartitions.
+        let night = |tick| telem(tick, &[0; 4], &[1.0, 1.0, 0.0, 0.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&night(1)).is_empty());
+        let plan = c.observe(&night(2));
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::Repartition {
+                widths: vec![3, 3, 1, 1]
+            }]
+        );
+        // A stream inside the hysteresis band keeps its class.
+        let dusk = |tick| telem(tick, &[0; 4], &[1.0, 0.4, 0.0, 0.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&dusk(3)).is_empty());
+        assert!(c.observe(&dusk(4)).is_empty());
+        // Stream 2 returns at dawn.
+        let dawn = |tick| telem(tick, &[0; 4], &[1.0, 1.0, 1.0, 0.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&dawn(5)).is_empty());
+        let plan = c.observe(&dawn(6));
+        // Earlier active streams take the remainder, like ShardLayout::even.
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::Repartition {
+                widths: vec![3, 2, 2, 1]
+            }]
+        );
+    }
+
+    #[test]
+    fn degrade_ladder_steps_down_then_recovers_in_order() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: None,
+            degrade: Some(DegradePolicy {
+                saturate_ticks: 2,
+                relax_ticks: 3,
+                ..DegradePolicy::default()
+            }),
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        let hot = |tick| telem(tick, &[0, 0], &[1.0, 1.0], (8, 32, 4), 1.5);
+        let cool = |tick| telem(tick, &[0, 0], &[1.0, 1.0], (8, 32, 4), 0.2);
+        let mut actions = Vec::new();
+        for tick in 1..=10 {
+            actions.extend(c.observe(&hot(tick)).actions);
+        }
+        assert_eq!(
+            actions,
+            vec![
+                ControlAction::SetPrecision {
+                    from: Precision::F32,
+                    to: Precision::F16
+                },
+                ControlAction::SetPrecision {
+                    from: Precision::F16,
+                    to: Precision::Int8
+                },
+                ControlAction::SetUploadStride { from: 1, to: 2 },
+                ControlAction::SetUploadStride { from: 2, to: 4 },
+            ],
+            "ladder must step one rung per saturation streak, in order"
+        );
+        // Bottom of the ladder: further saturation does nothing.
+        for tick in 11..=14 {
+            assert!(c.observe(&hot(tick)).is_empty());
+        }
+        // Sustained relief walks back up, slower (relax_ticks 3).
+        let mut recovery = Vec::new();
+        for tick in 15..=30 {
+            recovery.extend(c.observe(&cool(tick)).actions);
+        }
+        assert_eq!(
+            recovery,
+            vec![
+                ControlAction::SetUploadStride { from: 4, to: 2 },
+                ControlAction::SetUploadStride { from: 2, to: 1 },
+                ControlAction::SetPrecision {
+                    from: Precision::Int8,
+                    to: Precision::F16
+                },
+                ControlAction::SetPrecision {
+                    from: Precision::F16,
+                    to: Precision::F32
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn degrade_holds_inside_the_watermark_band() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: None,
+            degrade: Some(DegradePolicy {
+                saturate_ticks: 2,
+                ..DegradePolicy::default()
+            }),
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        // Oscillating between the watermarks (0.7..1.0) never acts.
+        for tick in 1..=20 {
+            let u = if tick % 2 == 0 { 0.95 } else { 0.75 };
+            let t = telem(tick, &[0, 0], &[1.0, 1.0], (8, 32, 4), u);
+            assert!(c.observe(&t).is_empty(), "tick {tick} must hold");
+        }
+    }
+
+    #[test]
+    fn sensors_ewma_and_tick_accounting() {
+        let mut s = Sensors::new(2, 0.5);
+        let mut uplink = Uplink::new(1_000_000.0, 30.0);
+        for _ in 0..4 {
+            s.on_arrival(0);
+            s.on_round(1);
+        }
+        for _ in 0..4 {
+            s.on_round(0);
+        }
+        let t = s.snapshot(8, &[3, 0], &uplink, 4);
+        assert_eq!(t.tick, 1);
+        assert_eq!(t.streams[0].arrivals, 4);
+        assert_eq!(t.streams[0].queue_depth, 3);
+        // First tick seeds the EWMA with the raw rate 4/8.
+        assert_eq!(t.streams[0].arrival_ewma, 0.5);
+        assert_eq!(t.streams[1].arrival_ewma, 0.0);
+        assert_eq!(t.gather.rounds, 8);
+        assert_eq!(t.gather.gathered, 4);
+        assert_eq!(t.gather.fill(), 4.0 / 32.0);
+        // Second tick: stream 0 fully active → EWMA moves halfway.
+        for _ in 0..8 {
+            s.on_arrival(0);
+            s.on_round(1);
+        }
+        let t2 = s.snapshot(16, &[0, 0], &uplink, 4);
+        assert_eq!(t2.streams[0].arrival_ewma, 0.75);
+        // Per-tick uplink utilization differences the counters.
+        let drain_per_offer = 1_000_000.0 / 30.0;
+        uplink.offer((2.0 * drain_per_offer / 8.0) as usize); // 2× one interval
+        let t3 = s.snapshot(17, &[0, 0], &uplink, 4);
+        assert!((t3.uplink.offered_utilization_tick - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn admission_policy_budget_matches_node_model() {
+        use crate::node::{max_mobilenet_instances, mobilenet_instance_bytes, EdgeNodeSpec};
+        use ff_models::MobileNetConfig;
+        let cfg = MobileNetConfig::with_width(0.25);
+        let res = Resolution::new(64, 32);
+        let per = mobilenet_instance_bytes(&cfg, res);
+        let spec = EdgeNodeSpec {
+            cores: 4,
+            memory_bytes: per * 5, // ~4.5 instances after the 10% reserve
+        };
+        let policy = AdmissionPolicy::new(spec);
+        let max = max_mobilenet_instances(&spec, &cfg, res);
+        assert_eq!(policy.memory_budget_bytes() / per, max as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_batch must be ≥ 1")]
+    fn zero_min_batch_rejected() {
+        // A floor of 0 would let the shrink arm set max_batch to 0, after
+        // which the gather can never serve a frame again.
+        let cfg = ControlConfig {
+            batch: Some(BatchPolicy {
+                min_batch: 0,
+                ..BatchPolicy::default()
+            }),
+            ..ControlConfig::default()
+        };
+        let _ = gather_controller(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be ≥ 1")]
+    fn zero_patience_rejected() {
+        let cfg = ControlConfig {
+            batch: Some(BatchPolicy {
+                patience: 0,
+                ..BatchPolicy::default()
+            }),
+            ..ControlConfig::default()
+        };
+        let _ = gather_controller(cfg);
+    }
+
+    #[test]
+    fn trace_display_is_one_line_per_decision() {
+        let trace = ControlTrace {
+            decisions: vec![
+                ControlDecision {
+                    tick: 3,
+                    action: ControlAction::SetMaxBatch { from: 4, to: 8 },
+                },
+                ControlDecision {
+                    tick: 9,
+                    action: ControlAction::SetPrecision {
+                        from: Precision::F32,
+                        to: Precision::F16,
+                    },
+                },
+            ],
+        };
+        let s = trace.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("max_batch 4 → 8"));
+    }
+}

@@ -20,6 +20,14 @@
 //! * [`runtime`] — the multi-stream edge node: N pipelined streams over a
 //!   sharded worker pool sharing one uplink, or gather-batched into one
 //!   shared batched base-DNN pass per round.
+//! * [`control`] — the adaptive control plane: deterministic virtual-time
+//!   telemetry (queue depths, arrival EWMAs, gather fill, uplink load)
+//!   feeding policies that resize the gather batch, rebalance shard
+//!   widths, degrade precision/upload stride under uplink saturation
+//!   (all with hysteresis), and gate stream admission against the
+//!   [`node`] memory model — every decision lands in a bit-replayable
+//!   trace (see [`runtime::EdgeNode::run_controlled`] and
+//!   [`runtime::EdgeNode::try_add_stream`]).
 //!   The base DNN's weight panels can be stored at reduced precision
 //!   ([`ff_tensor::Precision`]: f16 halves, int8 quarters the streamed
 //!   weight bytes; arithmetic stays f32) via `MobileNetConfig::precision`,
@@ -65,6 +73,7 @@
 pub mod archive;
 pub mod baselines;
 pub mod cloud;
+pub mod control;
 pub mod evaluate;
 pub mod events;
 pub mod extractor;
@@ -78,6 +87,10 @@ pub mod spec;
 pub mod train;
 pub mod uplink;
 
+pub use control::{
+    AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlPlan, ControlTrace,
+    Controller, NodeTelemetry,
+};
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};
 pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};

@@ -30,6 +30,16 @@ impl EdgeNodeSpec {
             memory_bytes: 32 * (1 << 30),
         }
     }
+
+    /// Memory usable for inference: the envelope minus the 10% reserved
+    /// for the OS and the video path. The **single definition** of the
+    /// reserve — both [`max_mobilenet_instances`] and admission control
+    /// ([`crate::control::AdmissionPolicy::memory_budget_bytes`]) divide
+    /// against this, so the instance count and the admission verdict
+    /// cannot drift apart.
+    pub fn usable_memory_bytes(&self) -> u64 {
+        self.memory_bytes - self.memory_bytes / 10
+    }
 }
 
 /// Per-instance memory of one full MobileNet at an input resolution:
@@ -62,9 +72,7 @@ pub fn max_mobilenet_instances(
     res: Resolution,
 ) -> usize {
     let per = mobilenet_instance_bytes(cfg, res);
-    // Reserve 10% of node memory for the OS and the video path.
-    let budget = node.memory_bytes - node.memory_bytes / 10;
-    (budget / per.max(1)) as usize
+    (node.usable_memory_bytes() / per.max(1)) as usize
 }
 
 #[cfg(test)]

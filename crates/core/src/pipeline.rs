@@ -141,6 +141,12 @@ pub struct FilterForward {
     next_out: u64,
     upload_encoder: Encoder,
     last_uploaded: Option<u64>,
+    /// Upload thinning under degradation: within a run of consecutive
+    /// matched frames, only every `upload_stride`-th is re-encoded and
+    /// uploaded. 1 (the default) uploads every matched frame.
+    upload_stride: u32,
+    /// Position within the current run of consecutive matched frames.
+    matched_run: u64,
     archive: Option<EdgeArchive>,
     stats: PipelineStats,
     timers: PhaseTimers,
@@ -191,6 +197,8 @@ impl FilterForward {
             next_out: 0,
             upload_encoder,
             last_uploaded: None,
+            upload_stride: 1,
+            matched_run: 0,
             archive,
             stats: PipelineStats::default(),
             timers: PhaseTimers::default(),
@@ -237,11 +245,45 @@ impl FilterForward {
     /// (see [`ff_tensor::Precision`] and
     /// [`crate::FeatureExtractor::set_precision`]). Microclassifiers keep
     /// their f32 weights — they are per-application, tiny next to the
-    /// backbone, and retrained online. Call before streaming so every
-    /// frame of a run is classified under one weight set.
+    /// backbone, and retrained online.
+    ///
+    /// Call before streaming when you want every frame of a run classified
+    /// under one weight set (the precondition for comparing runs
+    /// bit-for-bit). Mid-stream changes are also supported — the control
+    /// plane's degradation ladder ([`crate::control::DegradePolicy`]) steps
+    /// precision live under uplink saturation — but verdicts after the
+    /// switch are produced under the re-quantized weights, so such a run no
+    /// longer replays a fixed-precision one.
     pub fn set_precision(&mut self, precision: ff_tensor::Precision) {
         self.extractor.set_precision(precision);
         self.cfg.mobilenet.precision = precision;
+    }
+
+    /// Sets the **upload frame stride** — the degradation ladder's last
+    /// rung (see [`crate::control`]): within a run of consecutive matched
+    /// frames, only every `stride`-th frame is re-encoded and uploaded.
+    /// Event membership, closed events, and every other part of the verdict
+    /// are unchanged; only [`FrameVerdict::uploaded_bytes`] thins, cutting
+    /// sustained event bandwidth by roughly `1/stride` (keyframe overhead
+    /// makes the cut a little shallower — every uploaded frame after a gap
+    /// restarts the GOP). Stride 1, the default, is the paper's behavior:
+    /// every matched frame uploads.
+    ///
+    /// Unlike the deploy/calibrate knobs this may be changed mid-stream —
+    /// it is exactly what the control plane does under sustained uplink
+    /// saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is 0.
+    pub fn set_upload_stride(&mut self, stride: u32) {
+        assert!(stride >= 1, "upload stride must be ≥ 1");
+        self.upload_stride = stride;
+    }
+
+    /// The current upload frame stride.
+    pub fn upload_stride(&self) -> u32 {
+        self.upload_stride
     }
 
     /// Deployed MC count.
@@ -466,16 +508,25 @@ impl FilterForward {
         self.stats.events_closed += closed.len() as u64;
         let mut uploaded_bytes = 0;
         if metadata.matched() {
-            // Re-encode for upload; a gap in uploaded frames breaks the
-            // P-frame chain, so start a fresh GOP.
-            if self.last_uploaded != Some(idx.wrapping_sub(1)) {
-                self.upload_encoder.force_keyframe();
+            let run_pos = self.matched_run;
+            self.matched_run += 1;
+            // Degraded nodes thin event uploads: only every
+            // `upload_stride`-th frame of a matched run is re-encoded
+            // (stride 1 ⇒ every matched frame, the paper's behavior).
+            if run_pos.is_multiple_of(self.upload_stride as u64) {
+                // Re-encode for upload; a gap in uploaded frames breaks the
+                // P-frame chain, so start a fresh GOP.
+                if self.last_uploaded != Some(idx.wrapping_sub(1)) {
+                    self.upload_encoder.force_keyframe();
+                }
+                let encoded: EncodedFrame = self.upload_encoder.encode(&frame);
+                uploaded_bytes = encoded.data.len();
+                self.stats.frames_uploaded += 1;
+                self.stats.bytes_uploaded += uploaded_bytes as u64;
+                self.last_uploaded = Some(idx);
             }
-            let encoded: EncodedFrame = self.upload_encoder.encode(&frame);
-            uploaded_bytes = encoded.data.len();
-            self.stats.frames_uploaded += 1;
-            self.stats.bytes_uploaded += uploaded_bytes as u64;
-            self.last_uploaded = Some(idx);
+        } else {
+            self.matched_run = 0;
         }
         FrameVerdict {
             frame: idx,
@@ -621,6 +672,45 @@ mod tests {
         let (_, stats, _) = ff.finish();
         assert!(stats.bytes_archived > 0);
         assert_eq!(stats.frames_uploaded, 0);
+    }
+
+    #[test]
+    fn upload_stride_thins_matched_runs() {
+        let res = Resolution::new(64, 32);
+        let frames = scene_frames(9);
+        let run = |stride: u32| {
+            let mut ff = FilterForward::new(tiny_cfg(res));
+            let spec = McSpec {
+                threshold: 0.0, // every frame matches: one long event run
+                smoothing: SmoothingConfig { n: 1, k: 1 },
+                ..McSpec::full_frame("all", 5)
+            };
+            ff.deploy(spec);
+            ff.set_upload_stride(stride);
+            let mut verdicts = Vec::new();
+            for f in &frames {
+                verdicts.extend(ff.process(f));
+            }
+            let (tail, stats, _) = ff.finish();
+            verdicts.extend(tail);
+            (verdicts, stats)
+        };
+        let (v1, s1) = run(1);
+        let (v3, s3) = run(3);
+        // Stride 1 uploads all 9; stride 3 uploads frames 0, 3, 6.
+        assert_eq!(s1.frames_uploaded, 9);
+        assert_eq!(s3.frames_uploaded, 3);
+        assert!(s3.bytes_uploaded < s1.bytes_uploaded);
+        for (a, b) in v1.iter().zip(&v3) {
+            // Verdicts only differ in uploaded_bytes thinning.
+            assert_eq!(a.metadata, b.metadata);
+            assert_eq!(a.matched(), b.matched());
+            if b.frame % 3 != 0 {
+                assert_eq!(b.uploaded_bytes, 0, "frame {} must be thinned", b.frame);
+            } else {
+                assert!(b.uploaded_bytes > 0);
+            }
+        }
     }
 
     #[test]

@@ -64,12 +64,17 @@
 //! inference state, and stage boundaries only move *where* work happens,
 //! never what is computed.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use ff_tensor::{PoolShard, Tensor};
-use ff_video::{Frame, FrameSource};
+use ff_video::{Frame, FrameSource, SourcePoll};
 
+use crate::control::{
+    AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlTrace, Controller,
+    ControllerInit, NodeTelemetry, Sensors,
+};
 use crate::events::McId;
 use crate::extractor::FeatureExtractor;
 use crate::pipeline::{FilterForward, FrameVerdict, PhaseTimers, PipelineConfig, PipelineStats};
@@ -92,27 +97,43 @@ pub struct ShardLayout {
 
 impl ShardLayout {
     /// One shard of the given width — every stream shares it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0: a zero-width shard has no worker to execute
+    /// anything and would wedge every stream assigned to it.
     pub fn single(width: usize) -> Self {
+        assert!(
+            width > 0,
+            "shard width must be ≥ 1 (a zero-width shard can execute nothing)"
+        );
         ShardLayout {
-            widths: vec![width.max(1)],
+            widths: vec![width],
         }
     }
 
     /// `shards` shards splitting `budget` threads as evenly as possible
     /// (earlier shards get the remainder; every shard has width ≥ 1).
     ///
-    /// Note that the width-≥ 1 floor means `shards > budget`
-    /// **oversubscribes**: `even(2, 4)` yields four width-1 shards (total
-    /// budget 4). Callers comparing against a fixed thread budget should
-    /// cap the shard count at the budget first.
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0, or if `budget < shards` — there is no way
+    /// to give every shard its mandatory width-1 floor without silently
+    /// **oversubscribing** the budget (`even(2, 4)` would need 4 threads
+    /// for a 2-thread budget). Cap the shard count at the budget first:
+    /// `ShardLayout::even(budget, shards.min(budget))`.
     pub fn even(budget: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
+        assert!(shards > 0, "shard count must be ≥ 1");
+        assert!(
+            budget >= shards,
+            "shard budget over-subscribed: {budget} thread(s) cannot give \
+             {shards} shards a width-1 floor each; cap the shard count at \
+             the budget (e.g. ShardLayout::even(budget, shards.min(budget)))"
+        );
         let base = budget / shards;
         let extra = budget % shards;
         ShardLayout {
-            widths: (0..shards)
-                .map(|i| (base + usize::from(i < extra)).max(1))
-                .collect(),
+            widths: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
         }
     }
 
@@ -120,11 +141,14 @@ impl ShardLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `widths` is empty or contains a zero.
+    /// Panics if `widths` is empty or contains a zero (a zero-width shard
+    /// can execute nothing).
     pub fn explicit(widths: Vec<usize>) -> Self {
+        assert!(!widths.is_empty(), "shard layout needs at least one shard");
         assert!(
-            !widths.is_empty() && widths.iter().all(|&w| w > 0),
-            "shard widths must be non-empty and positive"
+            widths.iter().all(|&w| w > 0),
+            "shard widths must all be ≥ 1 (a zero-width shard can execute \
+             nothing), got {widths:?}"
         );
         ShardLayout { widths }
     }
@@ -201,6 +225,11 @@ pub struct EdgeNodeConfig {
     /// [`crate::pipeline::FilterForward::set_precision`]). `None` (the
     /// default) respects each pipeline's own `MobileNetConfig::precision`.
     pub precision: Option<ff_tensor::Precision>,
+    /// `Some` gates [`EdgeNode::try_add_stream`] against the node's memory
+    /// envelope and shard budget (see [`crate::control::AdmissionPolicy`]).
+    /// `None` (the default) admits everything, the pre-control-plane
+    /// behavior.
+    pub admission: Option<AdmissionPolicy>,
 }
 
 impl EdgeNodeConfig {
@@ -215,6 +244,7 @@ impl EdgeNodeConfig {
             uplink_queue_limit_bytes: None,
             gather_batch: None,
             precision: None,
+            admission: None,
         }
     }
 
@@ -228,6 +258,13 @@ impl EdgeNodeConfig {
     /// style).
     pub fn with_precision(mut self, precision: ff_tensor::Precision) -> Self {
         self.precision = Some(precision);
+        self
+    }
+
+    /// Gates stream admission against the node's resource model (builder
+    /// style; see [`EdgeNode::try_add_stream`]).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = Some(admission);
         self
     }
 }
@@ -295,6 +332,21 @@ pub struct NodeReport {
     pub node: NodeStats,
 }
 
+/// The result of [`EdgeNode::run_controlled`]: everything a [`NodeReport`]
+/// carries, plus the control plane's decision history and telemetry log.
+#[derive(Debug)]
+pub struct ControlledReport {
+    /// One report per stream, indexed by [`StreamId`].
+    pub streams: Vec<StreamReport>,
+    /// Node-level aggregates.
+    pub node: NodeStats,
+    /// Every control decision, in tick order — bit-replayable (see
+    /// [`crate::control`]).
+    pub trace: ControlTrace,
+    /// One telemetry snapshot per control tick.
+    pub telemetry: Vec<NodeTelemetry>,
+}
+
 struct StreamEntry {
     source: Box<dyn FrameSource>,
     ff: FilterForward,
@@ -319,6 +371,10 @@ pub struct EdgeNode {
     /// Frames passed to [`Self::calibrate`], replayed onto the shared
     /// batched extractor in gather-batch mode.
     calibration_frames: Option<Vec<Frame>>,
+    /// Base-DNN instance bytes committed by admitted streams (maintained
+    /// only while [`EdgeNodeConfig::admission`] is configured, so nodes
+    /// without admission control never pay for the memory profile).
+    committed_bytes: u64,
 }
 
 impl std::fmt::Debug for EdgeNode {
@@ -339,6 +395,7 @@ impl EdgeNode {
             cfg,
             streams: Vec::new(),
             calibration_frames: None,
+            committed_bytes: 0,
         }
     }
 
@@ -348,23 +405,81 @@ impl EdgeNode {
     /// # Panics
     ///
     /// Panics if the source's resolution disagrees with the pipeline
-    /// config's.
+    /// config's, or if [`EdgeNodeConfig::admission`] is configured and
+    /// refuses the stream. Use [`Self::try_add_stream`] to handle refusals
+    /// as values.
     pub fn add_stream(
         &mut self,
         source: Box<dyn FrameSource>,
         pipeline: PipelineConfig,
     ) -> StreamId {
-        assert_eq!(
-            source.resolution(),
-            pipeline.resolution,
-            "stream source and pipeline resolution disagree"
-        );
+        self.try_add_stream(source, pipeline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers a camera stream, or explains why the node refuses it.
+    ///
+    /// Without [`EdgeNodeConfig::admission`] only frame geometry is
+    /// checked. With it, the stream is admitted only if
+    ///
+    /// * its base-DNN instance footprint
+    ///   ([`crate::node::mobilenet_instance_bytes`] at the pipeline's
+    ///   config and resolution) still fits the node's usable memory
+    ///   envelope next to every already-admitted stream — the same
+    ///   arithmetic as [`crate::node::max_mobilenet_instances`], so for a
+    ///   homogeneous fleet the node admits *exactly* that many streams
+    ///   (the Figure-5 OOM cliff, refused instead of crashed); and
+    /// * the shard thread budget is not oversubscribed past
+    ///   [`AdmissionPolicy::max_streams_per_worker`].
+    pub fn try_add_stream(
+        &mut self,
+        source: Box<dyn FrameSource>,
+        pipeline: PipelineConfig,
+    ) -> Result<StreamId, AdmissionError> {
+        if source.resolution() != pipeline.resolution {
+            return Err(AdmissionError::ResolutionMismatch {
+                source: source.resolution(),
+                pipeline: pipeline.resolution,
+            });
+        }
+        if let Some(adm) = &self.cfg.admission {
+            assert!(
+                adm.max_streams_per_worker >= 1,
+                "AdmissionPolicy::max_streams_per_worker must be ≥ 1 \
+                 (0 would refuse every stream)"
+            );
+            let budget_threads = self.cfg.shards.budget();
+            let max_streams = budget_threads * adm.max_streams_per_worker;
+            if self.streams.len() >= max_streams {
+                return Err(AdmissionError::OverShardBudget {
+                    streams: self.streams.len(),
+                    budget_threads,
+                    max_streams,
+                });
+            }
+            let instance_bytes =
+                crate::node::mobilenet_instance_bytes(&pipeline.mobilenet, pipeline.resolution);
+            let budget_bytes = adm.memory_budget_bytes();
+            if self.committed_bytes + instance_bytes > budget_bytes {
+                return Err(AdmissionError::OverMemory {
+                    instance_bytes,
+                    committed_bytes: self.committed_bytes,
+                    budget_bytes,
+                    max_instances: crate::node::max_mobilenet_instances(
+                        &adm.spec,
+                        &pipeline.mobilenet,
+                        pipeline.resolution,
+                    ),
+                });
+            }
+            self.committed_bytes += instance_bytes;
+        }
         let id = StreamId(self.streams.len());
         self.streams.push(StreamEntry {
             source,
             ff: FilterForward::new(pipeline),
         });
-        id
+        Ok(id)
     }
 
     /// Streams registered so far.
@@ -503,54 +618,12 @@ impl EdgeNode {
             cfg,
             streams,
             calibration_frames,
+            ..
         } = self;
         let n = streams.len();
         let gb = cfg.gather_batch.expect("gather mode");
         let max_batch = gb.max_batch.max(1);
-
-        // One shared pass means one weight set: every stream must run the
-        // same base-DNN configuration at the same resolution. (MCs,
-        // thresholds, smoothing, and events stay fully per-stream.)
-        let base = streams[0].ff.config().mobilenet;
-        let res = streams[0].source.resolution();
-        for s in &streams {
-            assert_eq!(
-                s.ff.config().mobilenet,
-                base,
-                "gather-batch mode requires every stream to share one base-DNN config"
-            );
-            assert_eq!(
-                s.source.resolution(),
-                res,
-                "gather-batch mode requires every stream to share one resolution"
-            );
-            // A stream calibrated behind the node's back (via
-            // `pipeline_mut(..).calibrate(..)`) would silently diverge from
-            // the shared batched extractor; calibration must go through
-            // `EdgeNode::calibrate` so both sides see the same samples.
-            assert_eq!(
-                s.ff.extractor().is_calibrated(),
-                calibration_frames.is_some(),
-                "gather-batch mode requires calibration through EdgeNode::calibrate, \
-                 not per-stream FilterForward::calibrate"
-            );
-        }
-        // The shared extractor serves the union of every stream's taps
-        // (each deploy registered its MC's tap on that stream's extractor).
-        let mut taps: Vec<String> = Vec::new();
-        for s in &streams {
-            for t in s.ff.extractor().taps() {
-                if !taps.iter().any(|have| have == t) {
-                    taps.push(t.clone());
-                }
-            }
-        }
-        let mut batch_ex = FeatureExtractor::new(base, taps);
-        if let Some(frames) = &calibration_frames {
-            let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
-            batch_ex.calibrate(&tensors);
-        }
-
+        let mut batch_ex = build_shared_extractor(&streams, &calibration_frames);
         let mut uplink = build_uplink(&cfg, &streams);
         let mut reports = empty_reports(n);
 
@@ -692,6 +765,342 @@ impl EdgeNode {
         });
         node_report(reports, &uplink, t0.elapsed())
     }
+
+    /// Drives every stream under the **adaptive control plane** (see
+    /// [`crate::control`]): a lock-step **virtual-time** loop where each
+    /// iteration is one frame interval (a *round*) — every open stream is
+    /// polled once ([`FrameSource::poll_frame`], so sources can idle
+    /// without ending), decoded frames queue per stream, the inference
+    /// stage serves the queues, and every [`ControlConfig::tick_frames`]
+    /// rounds the [`Controller`] snapshots the sensors and moves the knobs.
+    ///
+    /// Two execution styles, chosen by [`EdgeNodeConfig::gather_batch`]
+    /// exactly like [`Self::run`]:
+    ///
+    /// * **gather style** (`Some`): one budget-wide shard runs one shared
+    ///   batched base-DNN pass per round over up to `max_batch` queued
+    ///   frames (rotating scan start, like the threaded gather stage); the
+    ///   *batch policy* resizes `max_batch` live.
+    /// * **sharded style** (`None`): each stream gets its own
+    ///   [`PoolShard`] (the budget split evenly at start) and serves at
+    ///   most one frame per round; the *rebalance policy* moves widths
+    ///   between the shards live via [`PoolShard::set_width`].
+    ///
+    /// The degradation ladder applies in both styles. Kernel-level
+    /// parallelism is untouched — shards still fan every GEMM across their
+    /// workers — only the *stage* loop is synchronous, which is what makes
+    /// every sensor a pure function of round number and stream content,
+    /// and therefore the decision trace bit-replayable across runs, thread
+    /// counts, and shard widths. When no policy fires, per-stream verdicts
+    /// are bit-identical to [`Self::run`] on the same streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::run`], plus if the
+    /// control config is invalid (see [`Controller::new`]).
+    pub fn run_controlled(mut self, ctl: ControlConfig) -> ControlledReport {
+        assert!(
+            !self.streams.is_empty(),
+            "add at least one stream before running"
+        );
+        // Same precision-override point as `run`: before the gather-style
+        // shared extractor snapshots the config.
+        if let Some(p) = self.cfg.precision {
+            for s in &mut self.streams {
+                s.ff.set_precision(p);
+            }
+        }
+        let mut uplink = build_uplink(&self.cfg, &self.streams);
+        let EdgeNode {
+            cfg,
+            streams,
+            calibration_frames,
+            ..
+        } = self;
+        let n = streams.len();
+        let budget = cfg.shards.budget();
+
+        // Execution-style state: gather (shared batched pass, dynamic
+        // max_batch) or sharded (per-stream shards, dynamic widths).
+        let mut batch_ex: Option<FeatureExtractor> = None;
+        let mut node_shard: Option<PoolShard> = None;
+        let mut shards: Vec<PoolShard> = Vec::new();
+        let mut cur_batch = 0usize;
+        let mut widths: Vec<usize> = Vec::new();
+        if let Some(gb) = cfg.gather_batch {
+            batch_ex = Some(build_shared_extractor(&streams, &calibration_frames));
+            node_shard = Some(PoolShard::new(budget));
+            cur_batch = gb.max_batch.max(1);
+        } else {
+            widths = crate::control::split_even(budget, n);
+            shards = widths.iter().map(|&w| PoolShard::new(w)).collect();
+        }
+        let base_precision = streams[0].ff.extractor().precision();
+        // One ladder means one weight-precision knob: with the degradation
+        // policy armed, every stream must start at the same precision or
+        // the ladder (built from stream 0's) would silently re-quantize a
+        // lower-precision stream *upwards*. Gather style already asserts
+        // full config homogeneity; sharded style must check here.
+        if ctl.degrade.is_some() {
+            for s in &streams {
+                assert_eq!(
+                    s.ff.extractor().precision(),
+                    base_precision,
+                    "the degradation ladder requires every stream to share one \
+                     weight-panel precision; set EdgeNodeConfig::precision or \
+                     configure the streams uniformly"
+                );
+            }
+        }
+        let mut controller = Controller::new(
+            ctl,
+            ControllerInit {
+                streams: n,
+                budget,
+                initial_batch: cur_batch,
+                initial_widths: widths,
+                base_precision,
+            },
+        );
+        let mut sensors = Sensors::new(n, ctl.arrival_alpha);
+        let mut telemetry: Vec<NodeTelemetry> = Vec::new();
+
+        let mut sources: Vec<Box<dyn FrameSource>> = Vec::with_capacity(n);
+        let mut ffs: Vec<Option<FilterForward>> = Vec::with_capacity(n);
+        for e in streams {
+            sources.push(e.source);
+            ffs.push(Some(e.ff));
+        }
+        let mut queues: Vec<VecDeque<(Frame, Tensor, Duration)>> =
+            (0..n).map(|_| VecDeque::new()).collect();
+        let mut source_open = vec![true; n];
+        let mut reports = empty_reports(n);
+        let mut pending: Vec<Vec<FrameVerdict>> = vec![Vec::new(); n];
+        let mut meta: Vec<(usize, Frame, Duration)> = Vec::new();
+        let mut tensors: Vec<Tensor> = Vec::new();
+        let mut scan_start = 0usize;
+        let mut round: u64 = 0;
+
+        // Backpressure, mirroring the threaded runtime's bounded channels:
+        // a stream whose decode queue is full is not polled this round —
+        // its next frame arrives at a later tick instead of growing the
+        // queue without bound (the camera's clock stalls with it, exactly
+        // like a decode thread blocked on a full channel). The cap leaves
+        // room above BatchPolicy::grow_backlog so the batch sizer still
+        // sees real backlog before the bound engages.
+        let queue_cap = (cfg.queue_depth * 2).max(4);
+
+        let t0 = Instant::now();
+        loop {
+            // 1. Arrivals: one poll per open stream per round. Idle
+            //    sources advance virtual time without producing work.
+            for s in 0..n {
+                if !source_open[s] || queues[s].len() >= queue_cap {
+                    continue;
+                }
+                match sources[s].poll_frame() {
+                    SourcePoll::Frame(frame) => {
+                        let td = Instant::now();
+                        let tensor = frame.to_tensor();
+                        let decode = td.elapsed();
+                        sensors.on_decode_wall(decode);
+                        sensors.on_arrival(s);
+                        queues[s].push_back((frame, tensor, decode));
+                    }
+                    SourcePoll::Idle => {}
+                    SourcePoll::End => {
+                        source_open[s] = false;
+                        sensors.on_ended(s);
+                    }
+                }
+            }
+
+            // 2. Service.
+            if let (Some(bx), Some(shard)) = (batch_ex.as_mut(), node_shard.as_ref()) {
+                // Gather style: fill up to `cur_batch` from the queues,
+                // rotating the scan start so no stream monopolizes the
+                // batch; one shared batched pass, per-frame fanout.
+                meta.clear();
+                tensors.clear();
+                'gather: loop {
+                    let mut progressed = false;
+                    for i in 0..n {
+                        if meta.len() == cur_batch {
+                            break 'gather;
+                        }
+                        let s = (scan_start + i) % n;
+                        if let Some((frame, tensor, decode)) = queues[s].pop_front() {
+                            sensors.on_served(s);
+                            meta.push((s, frame, decode));
+                            tensors.push(tensor);
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                scan_start = (scan_start + 1) % n;
+                sensors.on_round(meta.len());
+                if !tensors.is_empty() {
+                    shard.run(|| {
+                        let te = Instant::now();
+                        let maps = bx.extract_batch(&tensors);
+                        let extract = te.elapsed();
+                        sensors.on_extract_wall(extract, tensors.len());
+                        let share = extract / tensors.len() as u32;
+                        for (i, (s, frame, decode)) in meta.iter().enumerate() {
+                            let ff = ffs[*s].as_mut().expect("open stream has a pipeline");
+                            ff.credit_decode(*decode);
+                            pending[*s].extend(ff.process_with_maps(frame, &maps[i], share));
+                        }
+                    });
+                }
+            } else {
+                // Sharded style: each stream serves at most one frame per
+                // round on its own shard.
+                let mut served = 0usize;
+                for s in 0..n {
+                    if let Some((frame, tensor, decode)) = queues[s].pop_front() {
+                        sensors.on_served(s);
+                        served += 1;
+                        let ff = ffs[s].as_mut().expect("open stream has a pipeline");
+                        ff.credit_decode(decode);
+                        let te = Instant::now();
+                        pending[s].extend(shards[s].run(|| ff.process_decoded(&frame, &tensor)));
+                        sensors.on_extract_wall(te.elapsed(), 1);
+                    }
+                }
+                sensors.on_round(served);
+            }
+
+            // 3. Close streams whose source ended and queue drained.
+            for s in 0..n {
+                if !source_open[s] && queues[s].is_empty() && ffs[s].is_some() {
+                    let ff = ffs[s].take().expect("closing an open stream");
+                    let (tail, stats, timers) = match (&node_shard, shards.get(s)) {
+                        (Some(shard), _) => shard.run(|| ff.finish()),
+                        (None, Some(shard)) => shard.run(|| ff.finish()),
+                        (None, None) => unreachable!("one style is always active"),
+                    };
+                    pending[s].extend(tail);
+                    reports[s].stats = stats;
+                    reports[s].timers = timers;
+                }
+            }
+
+            // 4. Uplink: exactly one offer per stream slot per round, in
+            //    stream order — the bytes of every verdict the stream
+            //    finalized this round, or an empty offer when it produced
+            //    nothing (idle camera, smoothing delay, finished stream).
+            //    One round is one frame interval, so n offers per round
+            //    keeps the link draining at precisely `capacity_bps` of
+            //    virtual time regardless of load shape — an idle night
+            //    camera must not slow the physical link's drain.
+            for s in 0..n {
+                let mut bytes = 0usize;
+                for v in pending[s].drain(..) {
+                    bytes += v.uploaded_bytes;
+                    reports[s].offered_bytes += v.uploaded_bytes as u64;
+                    reports[s].verdicts.push(v);
+                }
+                uplink.offer(bytes);
+            }
+
+            round += 1;
+            if ffs.iter().all(|f| f.is_none()) {
+                break;
+            }
+
+            // 5. Control tick: snapshot the sensors, let the policies act,
+            //    apply the plan before the next round.
+            if round.is_multiple_of(ctl.tick_frames) {
+                let depths: Vec<usize> = queues.iter().map(VecDeque::len).collect();
+                let snap = sensors.snapshot(round, &depths, &uplink, cur_batch);
+                let plan = controller.observe(&snap);
+                for action in &plan.actions {
+                    match action {
+                        ControlAction::SetMaxBatch { to, .. } => cur_batch = *to,
+                        ControlAction::Repartition { widths } => {
+                            for (shard, &w) in shards.iter_mut().zip(widths) {
+                                shard.set_width(w);
+                            }
+                        }
+                        ControlAction::SetPrecision { to, .. } => {
+                            if let Some(bx) = batch_ex.as_mut() {
+                                bx.set_precision(*to);
+                            }
+                            for ff in ffs.iter_mut().flatten() {
+                                ff.set_precision(*to);
+                            }
+                        }
+                        ControlAction::SetUploadStride { to, .. } => {
+                            for ff in ffs.iter_mut().flatten() {
+                                ff.set_upload_stride(*to);
+                            }
+                        }
+                    }
+                }
+                telemetry.push(snap);
+            }
+        }
+        let NodeReport { streams, node } = node_report(reports, &uplink, t0.elapsed());
+        ControlledReport {
+            streams,
+            node,
+            trace: controller.into_trace(),
+            telemetry,
+        }
+    }
+}
+
+/// Validates the shared-pass invariants and builds the **shared batched
+/// extractor** for gather-style execution: one shared base-DNN pass means
+/// one weight set, so every stream must run the same base-DNN
+/// configuration at the same resolution (MCs, thresholds, smoothing, and
+/// events stay fully per-stream), and calibration must have gone through
+/// [`EdgeNode::calibrate`] — a stream calibrated behind the node's back
+/// (via `pipeline_mut(..).calibrate(..)`) would silently diverge from the
+/// shared extractor. The extractor serves the union of every stream's taps
+/// with the node's calibration frames replayed.
+fn build_shared_extractor(
+    streams: &[StreamEntry],
+    calibration_frames: &Option<Vec<Frame>>,
+) -> FeatureExtractor {
+    let base = streams[0].ff.config().mobilenet;
+    let res = streams[0].source.resolution();
+    for s in streams {
+        assert_eq!(
+            s.ff.config().mobilenet,
+            base,
+            "gather-batch mode requires every stream to share one base-DNN config"
+        );
+        assert_eq!(
+            s.source.resolution(),
+            res,
+            "gather-batch mode requires every stream to share one resolution"
+        );
+        assert_eq!(
+            s.ff.extractor().is_calibrated(),
+            calibration_frames.is_some(),
+            "gather-batch mode requires calibration through EdgeNode::calibrate, \
+             not per-stream FilterForward::calibrate"
+        );
+    }
+    let mut taps: Vec<String> = Vec::new();
+    for s in streams {
+        for t in s.ff.extractor().taps() {
+            if !taps.iter().any(|have| have == t) {
+                taps.push(t.clone());
+            }
+        }
+    }
+    let mut batch_ex = FeatureExtractor::new(base, taps);
+    if let Some(frames) = calibration_frames {
+        let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
+        batch_ex.calibrate(&tensors);
+    }
+    batch_ex
 }
 
 /// Builds the shared uplink. The uplink drains once per offer; the
@@ -1025,11 +1434,153 @@ mod tests {
     }
 
     #[test]
+    fn controlled_gather_finalizes_every_frame_and_logs_telemetry() {
+        let res = Resolution::new(64, 32);
+        // Batch capacity 4 over 3 always-on streams: 75% fill, healthy —
+        // no policy should fire. (A batch of 8 here would legitimately
+        // trigger the shrink policy at 37% fill.)
+        let cfg = EdgeNodeConfig::new(ShardLayout::single(2)).with_gather_batch(GatherBatch {
+            max_batch: 4,
+            gather_wait: Duration::from_millis(1),
+        });
+        let mut node = EdgeNode::new(cfg);
+        for seed in [5, 6, 7] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 9));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let report = node.run_controlled(crate::control::ControlConfig {
+            tick_frames: 4,
+            ..Default::default()
+        });
+        for (s, sr) in report.streams.iter().enumerate() {
+            assert_eq!(sr.verdicts.len(), 9, "stream {s}");
+            let frames: Vec<u64> = sr.verdicts.iter().map(|v| v.frame).collect();
+            assert_eq!(frames, (0..9).collect::<Vec<_>>(), "stream {s} order");
+        }
+        assert_eq!(report.node.pipeline.frames_out, 27);
+        assert!(!report.telemetry.is_empty());
+        // Three always-on streams on a healthy link: nothing should fire.
+        assert!(report.trace.is_empty(), "trace: {}", report.trace);
+        // Every telemetry snapshot saw the gather stage at work.
+        assert!(report.telemetry.iter().all(|t| t.gather.max_batch > 0));
+    }
+
+    #[test]
+    fn controlled_sharded_finalizes_every_frame() {
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::even(2, 2)));
+        for seed in [3, 4] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 10));
+            let id = node.add_stream(src, tiny_pipeline(res));
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let report = node.run_controlled(crate::control::ControlConfig::default());
+        assert_eq!(report.node.pipeline.frames_out, 20);
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one weight-panel precision")]
+    fn controlled_degrade_rejects_mixed_precision_streams() {
+        // Sharded style never asserts config homogeneity, but the ladder
+        // would force-sync an int8 stream up to stream 0's f32 rungs.
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::even(2, 2)));
+        for (seed, precision) in [
+            (1u64, ff_tensor::Precision::F32),
+            (2, ff_tensor::Precision::Int8),
+        ] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 4));
+            let mut p = tiny_pipeline(res);
+            p.mobilenet = p.mobilenet.with_precision(precision);
+            let id = node.add_stream(src, p);
+            node.deploy(id, McSpec::full_frame(format!("mc{seed}"), seed));
+        }
+        let _ = node.run_controlled(crate::control::ControlConfig::default());
+    }
+
+    #[test]
+    fn try_add_stream_reports_resolution_mismatch_as_value() {
+        use crate::control::AdmissionError;
+        let res = Resolution::new(64, 32);
+        let mut node = EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(1)));
+        let src = Box::new(SceneSource::new(scene_cfg(Resolution::new(32, 32), 1), 2));
+        let err = node
+            .try_add_stream(src, tiny_pipeline(res))
+            .expect_err("mismatched resolution must be refused");
+        assert!(matches!(err, AdmissionError::ResolutionMismatch { .. }));
+    }
+
+    #[test]
+    fn admission_gates_the_shard_budget() {
+        use crate::control::{AdmissionError, AdmissionPolicy};
+        use crate::node::EdgeNodeSpec;
+        let res = Resolution::new(64, 32);
+        let policy = AdmissionPolicy {
+            spec: EdgeNodeSpec::paper_testbed(),
+            max_streams_per_worker: 2,
+        };
+        // Budget 1 thread × 2 streams/worker = cap 2.
+        let mut node =
+            EdgeNode::new(EdgeNodeConfig::new(ShardLayout::single(1)).with_admission(policy));
+        for seed in [1, 2] {
+            let src = Box::new(SceneSource::new(scene_cfg(res, seed), 2));
+            node.try_add_stream(src, tiny_pipeline(res))
+                .expect("within the cap");
+        }
+        let src = Box::new(SceneSource::new(scene_cfg(res, 3), 2));
+        let err = node
+            .try_add_stream(src, tiny_pipeline(res))
+            .expect_err("third stream must burst the budget");
+        assert_eq!(
+            err,
+            AdmissionError::OverShardBudget {
+                streams: 2,
+                budget_threads: 1,
+                max_streams: 2
+            }
+        );
+    }
+
+    #[test]
     fn shard_layouts_partition_budget() {
         assert_eq!(ShardLayout::even(8, 3).widths(), &[3, 3, 2]);
-        assert_eq!(ShardLayout::even(2, 4).widths(), &[1, 1, 1, 1]);
+        assert_eq!(ShardLayout::even(4, 4).widths(), &[1, 1, 1, 1]);
         assert_eq!(ShardLayout::even(8, 3).budget(), 8);
         assert_eq!(ShardLayout::single(4).widths(), &[4]);
         assert_eq!(ShardLayout::explicit(vec![2, 1]).budget(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-subscribed")]
+    fn even_layout_rejects_budget_below_shard_count() {
+        // The old behavior silently padded to four width-1 shards (budget
+        // 4 from a budget-2 spec); now it must refuse loudly.
+        let _ = ShardLayout::even(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be ≥ 1")]
+    fn even_layout_rejects_zero_shards() {
+        let _ = ShardLayout::even(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width shard can execute nothing")]
+    fn single_layout_rejects_zero_width() {
+        let _ = ShardLayout::single(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard widths must all be ≥ 1")]
+    fn explicit_layout_rejects_zero_width() {
+        let _ = ShardLayout::explicit(vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn explicit_layout_rejects_empty() {
+        let _ = ShardLayout::explicit(Vec::new());
     }
 }

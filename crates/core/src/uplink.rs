@@ -164,6 +164,26 @@ impl Uplink {
     pub fn dropped(&self) -> u64 {
         self.dropped_overflow
     }
+
+    /// The link's provisioned capacity in bits/second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// The per-offer drain cadence in offers/second (the `fps` the link was
+    /// built with).
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Offer intervals elapsed so far. Interval-telemetry consumers (the
+    /// control plane's [`crate::control::Sensors`]) difference this and
+    /// [`Self::offered_bits`] between snapshots to get *per-interval*
+    /// offered load, where the cumulative [`Self::utilization`] would
+    /// average a burst away.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,15 @@
 //! Property-based tests for FilterForward's decision machinery: K-voting,
-//! transition detection, crop algebra, and the evaluate/smoothing glue.
+//! transition detection, crop algebra, the evaluate/smoothing glue, and
+//! the edge-node memory model admission control builds on.
 
 use ff_core::evaluate::smooth_decisions;
 use ff_core::events::{McId, TransitionDetector};
 use ff_core::extractor::crop_to_grid;
+use ff_core::node::{max_mobilenet_instances, mobilenet_instance_bytes, EdgeNodeSpec};
 use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
 use ff_data::CropRect;
+use ff_models::MobileNetConfig;
+use ff_video::Resolution;
 use proptest::prelude::*;
 
 /// Offline reference for K-voting: decide every frame by recomputing its
@@ -167,6 +171,34 @@ proptest! {
         let b = crop_to_grid(&big, gh, gw);
         prop_assert!(b.1 - b.0 >= s.1 - s.0);
         prop_assert!(b.3 - b.2 >= s.3 - s.2);
+    }
+
+    /// The edge-node memory model (`crate::node`), which admission control
+    /// trusts: `max_mobilenet_instances` is **monotone** in the memory
+    /// budget, and **exactly consistent** with `mobilenet_instance_bytes`
+    /// at the boundary — `max` instances fit the usable budget (the
+    /// envelope minus its 10% OS reserve) and `max + 1` do not.
+    #[test]
+    fn memory_model_monotonic_and_boundary_exact(
+        mem_mb in 64u64..4096,
+        extra_mb in 0u64..1024,
+    ) {
+        let cfg = MobileNetConfig::with_width(0.25);
+        let res = Resolution::new(64, 32);
+        let per = mobilenet_instance_bytes(&cfg, res);
+        prop_assert!(per > 0);
+        let spec = EdgeNodeSpec { cores: 4, memory_bytes: mem_mb << 20 };
+        let bigger = EdgeNodeSpec { cores: 4, memory_bytes: (mem_mb + extra_mb) << 20 };
+        let max = max_mobilenet_instances(&spec, &cfg, res);
+        // Monotone: more memory never fits fewer instances.
+        prop_assert!(max_mobilenet_instances(&bigger, &cfg, res) >= max);
+        // Boundary-exact against the per-instance footprint: the usable
+        // budget is the envelope minus the model's 10% reserve, and max is
+        // precisely the floor division — max instances fit, max + 1 burst.
+        let budget = spec.memory_bytes - spec.memory_bytes / 10;
+        prop_assert_eq!(max as u64, budget / per);
+        prop_assert!(max as u64 * per <= budget);
+        prop_assert!((max as u64 + 1) * per > budget);
     }
 
     /// Offline smoothing (evaluate) equals streaming smoothing (runtime).

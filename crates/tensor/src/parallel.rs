@@ -115,6 +115,12 @@ struct State {
     panicked: bool,
     /// Workers exit at the next wakeup (set when a [`PoolShard`] drops).
     shutdown: bool,
+    /// Workers currently attached to this pool/shard.
+    live_workers: usize,
+    /// Workers the pool/shard *wants*: when `live_workers` exceeds it
+    /// (after [`PoolShard::set_width`] shrinks a shard), excess workers
+    /// decrement `live_workers` and exit at their next wakeup.
+    target_workers: usize,
 }
 
 impl State {
@@ -126,6 +132,8 @@ impl State {
             pending: 0,
             panicked: false,
             shutdown: false,
+            live_workers: 0,
+            target_workers: 0,
         }
     }
 }
@@ -181,6 +189,11 @@ impl Pool {
             // One worker per core beyond the submitting thread. Workers are
             // detached; they park forever once the process stops submitting.
             let workers = hardware_parallelism() - 1;
+            {
+                let mut st = shared.state.lock().unwrap();
+                st.live_workers = workers;
+                st.target_workers = workers;
+            }
             for i in 0..workers {
                 std::thread::Builder::new()
                     .name(format!("ff-tensor-{i}"))
@@ -280,6 +293,13 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
+                // A shrunk shard wants fewer workers: any excess worker
+                // (they are interchangeable) retires at its next wakeup,
+                // before claiming chunks of a new job.
+                if st.live_workers > st.target_workers {
+                    st.live_workers -= 1;
+                    return;
+                }
                 if st.epoch != seen && st.job.is_some() {
                     break;
                 }
@@ -350,6 +370,11 @@ impl PoolShard {
     pub fn new(width: usize) -> Self {
         let width = width.max(1);
         let shared = Arc::new(Shared::new());
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.live_workers = width - 1;
+            st.target_workers = width - 1;
+        }
         for i in 0..width - 1 {
             let sh = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -370,6 +395,53 @@ impl PoolShard {
     /// The shard's thread budget (chunk count for kernels scoped to it).
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Resizes the shard to `width` (clamped to ≥ 1) — the control plane's
+    /// **repartition point**: a multi-stream runtime can move thread budget
+    /// between streams' shards while they run, as long as it resizes
+    /// *between rounds* (the `&mut self` receiver guarantees no job of this
+    /// shard is in flight, since submission borrows the shard).
+    ///
+    /// Growing spawns the missing workers immediately; shrinking retires
+    /// excess workers lazily at their next wakeup (they are parked on the
+    /// shard's condvar, so retirement costs one wakeup, not a join). Either
+    /// way, kernels dispatched after `set_width` split their work by the
+    /// new width — and since chunk splits are a pure function of work size
+    /// and width, and every kernel fixes each output element's accumulation
+    /// order up front, results stay **bit-for-bit identical across any
+    /// resize sequence** (the determinism contract of this module is width-
+    /// independent; see the module docs).
+    pub fn set_width(&mut self, width: usize) {
+        let width = width.max(1);
+        if width == self.width {
+            return;
+        }
+        let target = width - 1;
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.target_workers = target;
+        let live = st.live_workers;
+        if live < target {
+            // Account for the new workers before spawning so a concurrent
+            // wakeup never sees an inconsistent surplus.
+            st.live_workers = target;
+            drop(st);
+            for i in live..target {
+                let sh = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("ff-shard-{i}"))
+                    .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
+                        worker_loop(&sh);
+                    })
+                    .expect("spawn shard worker");
+            }
+        } else {
+            drop(st);
+            // Wake parked workers so the excess ones retire promptly.
+            self.shared.work.notify_all();
+        }
+        self.width = width;
     }
 
     /// Runs `f` with every tensor-kernel dispatch inside scoped to this
@@ -667,6 +739,54 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn resized_shard_results_stay_bit_identical() {
+        // Grow and shrink a shard between jobs: every job completes and
+        // results match the serial gold bit-for-bit at every width.
+        let fill = |buf: &mut [f32]| {
+            parallel_rows_mut(buf, 512, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r as f32).sin() * (c as f32).cos();
+                }
+            });
+        };
+        set_threads(1);
+        let mut gold = vec![0.0f32; 128 * 512];
+        fill(&mut gold);
+        set_threads(0);
+        let mut shard = PoolShard::new(1);
+        for &w in &[3usize, 1, 4, 2, 1, 5] {
+            shard.set_width(w);
+            assert_eq!(shard.width(), w);
+            let mut buf = vec![0.0f32; 128 * 512];
+            shard.run(|| fill(&mut buf));
+            assert_eq!(buf, gold, "after resize to width {w}");
+        }
+    }
+
+    #[test]
+    fn shrunk_then_regrown_shard_still_completes_jobs() {
+        // Repeated shrink/regrow cycles: retired workers must not wedge the
+        // shard, and regrowth must replace them.
+        let mut shard = PoolShard::new(4);
+        for round in 0..20 {
+            shard.set_width(if round % 2 == 0 { 1 } else { 4 });
+            let mut buf = vec![0.0f32; 64 * 1024];
+            shard.parallel_rows_mut(&mut buf, 1024, |r, row| row.fill((r + round) as f32));
+            assert_eq!(buf[1024 * 3], (3 + round) as f32);
+        }
+    }
+
+    #[test]
+    fn set_width_overrides_chunk_split_inside_scope() {
+        let mut shard = PoolShard::new(2);
+        shard.run(|| assert_eq!(threads(), 2));
+        shard.set_width(5);
+        shard.run(|| assert_eq!(threads(), 5));
+        shard.set_width(1);
+        shard.run(|| assert_eq!(threads(), 1));
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod scene;
 pub mod source;
 
 pub use frame::{Frame, Resolution};
-pub use source::{FrameSource, RecordedSource, SceneSource};
+pub use source::{DutyCycleSource, FrameSource, RecordedSource, SceneSource, SourcePoll};

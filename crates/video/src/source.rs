@@ -11,6 +11,20 @@
 use crate::scene::{Scene, SceneConfig};
 use crate::{Frame, Resolution};
 
+/// What a source produced for one virtual-time tick (one frame interval);
+/// see [`FrameSource::poll_frame`].
+#[derive(Debug)]
+pub enum SourcePoll {
+    /// A frame arrived this tick.
+    Frame(Frame),
+    /// The camera produced nothing this tick but the stream is still live
+    /// (a night-time camera, a motion-gated feed). The stream's clock still
+    /// advances.
+    Idle,
+    /// End of stream; no further ticks will produce frames.
+    End,
+}
+
 /// An ordered stream of frames with fixed geometry and rate.
 pub trait FrameSource: Send {
     /// The stream's frame size (constant for the stream's lifetime).
@@ -21,6 +35,23 @@ pub trait FrameSource: Send {
 
     /// Produces the next frame, or `None` at end of stream.
     fn next_frame(&mut self) -> Option<Frame>;
+
+    /// Polls the source for one virtual-time tick (one frame interval) —
+    /// the interface the controlled edge-node runtime drives, where a
+    /// source may be **idle** for a tick without ending (see
+    /// [`SourcePoll`]). The default maps straight onto [`Self::next_frame`]:
+    /// ordinary sources are never idle.
+    ///
+    /// Implementations must be consistent with `next_frame`: interleaving
+    /// the two calls is unspecified, but a pure `poll_frame` run must yield
+    /// the same frames, in the same order, as a pure `next_frame` run with
+    /// the idle ticks deleted.
+    fn poll_frame(&mut self) -> SourcePoll {
+        match self.next_frame() {
+            Some(f) => SourcePoll::Frame(f),
+            None => SourcePoll::End,
+        }
+    }
 }
 
 /// A [`Scene`] simulator bounded to a fixed number of frames — the
@@ -109,6 +140,88 @@ impl FrameSource for RecordedSource {
     }
 }
 
+/// A diurnal-load wrapper: replays an inner source through a repeating
+/// *duty cycle* of `active` frame ticks followed by `idle` ticks — a street
+/// camera that goes quiet at night and returns at dawn. During active
+/// phases each tick pulls one inner frame; during idle phases
+/// [`FrameSource::poll_frame`] reports [`SourcePoll::Idle`] while the inner
+/// source is untouched, so the *content* of the stream is exactly the inner
+/// stream — only its timing changes.
+///
+/// The pull interface ([`FrameSource::next_frame`]) has no idle notion, so
+/// it silently skips idle ticks and plays the inner frames back to back;
+/// drivers that care about load shape must use `poll_frame`.
+#[derive(Debug)]
+pub struct DutyCycleSource<S> {
+    inner: S,
+    active: u64,
+    idle: u64,
+    tick: u64,
+}
+
+impl<S: FrameSource> DutyCycleSource<S> {
+    /// Wraps `inner` with a repeating schedule of `active` frame-producing
+    /// ticks followed by `idle` silent ticks. `idle = 0` is the identity
+    /// wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is 0 (the source would never produce a frame).
+    pub fn new(inner: S, active: u64, idle: u64) -> Self {
+        assert!(active > 0, "duty cycle needs at least one active tick");
+        DutyCycleSource {
+            inner,
+            active,
+            idle,
+            tick: 0,
+        }
+    }
+
+    /// Ticks polled so far (idle ones included).
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: FrameSource> FrameSource for DutyCycleSource<S> {
+    fn resolution(&self) -> Resolution {
+        self.inner.resolution()
+    }
+
+    fn fps(&self) -> f64 {
+        self.inner.fps()
+    }
+
+    fn next_frame(&mut self) -> Option<Frame> {
+        // The pull interface cannot express "idle now": skip silent ticks.
+        loop {
+            match self.poll_frame() {
+                SourcePoll::Frame(f) => return Some(f),
+                SourcePoll::Idle => continue,
+                SourcePoll::End => return None,
+            }
+        }
+    }
+
+    fn poll_frame(&mut self) -> SourcePoll {
+        let phase = self.tick % (self.active + self.idle);
+        self.tick += 1;
+        if phase < self.active {
+            match self.inner.next_frame() {
+                Some(f) => SourcePoll::Frame(f),
+                None => SourcePoll::End,
+            }
+        } else {
+            SourcePoll::Idle
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +254,62 @@ mod tests {
         assert_eq!(src.next_frame().unwrap().pixel(0, 0), [0, 0, 0]);
         assert_eq!(src.next_frame().unwrap().pixel(0, 0), [1, 2, 3]);
         assert!(src.next_frame().is_none());
+    }
+
+    #[test]
+    fn duty_cycle_idles_on_schedule_and_preserves_content() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(48, 27),
+            seed: 9,
+            ..Default::default()
+        };
+        // 2 active, 3 idle, repeating; inner bounded to 5 frames.
+        let mut duty = DutyCycleSource::new(SceneSource::new(cfg, 5), 2, 3);
+        let mut plain = SceneSource::new(cfg, 5);
+        let mut produced = Vec::new();
+        let mut pattern = Vec::new();
+        loop {
+            match duty.poll_frame() {
+                SourcePoll::Frame(f) => {
+                    pattern.push('F');
+                    produced.push(f);
+                }
+                SourcePoll::Idle => pattern.push('.'),
+                SourcePoll::End => break,
+            }
+        }
+        // FF...FF...F then End on the 5th active tick's sibling.
+        assert_eq!(pattern.iter().collect::<String>(), "FF...FF...F");
+        for f in &produced {
+            let want = plain.next_frame().expect("same count");
+            assert_eq!(f.data(), want.data(), "content must be the inner stream");
+        }
+        assert!(plain.next_frame().is_none());
+    }
+
+    #[test]
+    fn duty_cycle_next_frame_skips_idle_ticks() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(48, 27),
+            seed: 11,
+            ..Default::default()
+        };
+        let mut duty = DutyCycleSource::new(SceneSource::new(cfg, 4), 1, 7);
+        let mut plain = SceneSource::new(cfg, 4);
+        for _ in 0..4 {
+            assert_eq!(
+                duty.next_frame().unwrap().data(),
+                plain.next_frame().unwrap().data()
+            );
+        }
+        assert!(duty.next_frame().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active tick")]
+    fn zero_active_duty_cycle_rejected() {
+        let cfg = SceneConfig::default();
+        let _ = DutyCycleSource::new(SceneSource::new(cfg, 1), 0, 3);
     }
 
     #[test]

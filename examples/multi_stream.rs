@@ -33,11 +33,14 @@ fn main() {
     // streams share a 600 kb/s uplink (a few hundred kb/s per camera, the
     // paper's provisioning regime).
     let batched = std::env::args().any(|a| a == "--batched");
+    // Shard count capped at the budget: ShardLayout::even refuses layouts
+    // that would oversubscribe (more shards than threads).
+    let shards = n_streams.min(budget);
     let mut cfg = EdgeNodeConfig::new(if batched {
         // Gather-batch: the whole budget behind one shared batched pass.
         ShardLayout::single(budget)
     } else {
-        ShardLayout::even(budget, n_streams)
+        ShardLayout::even(budget, shards)
     });
     if batched {
         cfg.gather_batch = Some(GatherBatch::default());
@@ -71,7 +74,7 @@ fn main() {
     let mode = if batched {
         "gather-batched base DNN".to_string()
     } else {
-        format!("shards {:?}", ShardLayout::even(budget, n_streams).widths())
+        format!("shards {:?}", ShardLayout::even(budget, shards).widths())
     };
     println!("{n_streams} streams x {n_frames} frames at {res}, {budget}-thread budget, {mode}:");
     for sr in &report.streams {

@@ -21,7 +21,8 @@ pub use ff_video as video;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use ff_core::{
-        EdgeNode, EdgeNodeConfig, FilterForward, GatherBatch, McSpec, PipelineConfig, ShardLayout,
+        AdmissionPolicy, ControlConfig, EdgeNode, EdgeNodeConfig, FilterForward, GatherBatch,
+        McSpec, PipelineConfig, ShardLayout,
     };
     pub use ff_tensor::Tensor;
     pub use ff_video::{Frame, FrameSource, Resolution};
