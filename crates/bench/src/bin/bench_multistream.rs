@@ -27,6 +27,7 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 use ff_core::control::{BatchPolicy, ControlConfig, RebalancePolicy};
+use ff_core::faults::{FaultPlan, FaultsReport, RecoveryConfig, RetryPolicy};
 use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
 use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
 use ff_core::McSpec;
@@ -203,6 +204,7 @@ fn measure_controlled(
                     Some(RebalancePolicy::default())
                 },
                 degrade: None, // degradation changes verdicts; keep the A/B pure
+                watchdog: None,
             }
         } else {
             ControlConfig::observe_only(8)
@@ -220,6 +222,78 @@ fn measure_controlled(
         best = best.max(report.node.aggregate_fps());
     }
     best
+}
+
+/// The fault sweep: the same 4-stream gather node with and without a
+/// scripted uplink outage + seeded packet loss, through the recovery
+/// layer (default retry/spill). Uplink faults delay *delivery*, never
+/// inference, so both runs' verdicts are still asserted bit-for-bit
+/// against the serial golds; the throughput cost of riding out the chaos
+/// and the final segment ledger are the measured outputs. The fault
+/// report is deterministic, so one run's report speaks for all repeats.
+fn measure_faults(
+    budget: usize,
+    n_frames: u64,
+    gold: &[Vec<FrameVerdict>],
+) -> (f64, f64, FaultsReport) {
+    let outage_at = n_frames / 3;
+    let loss_at = 2 * n_frames / 3;
+    let plan = FaultPlan::new()
+        .uplink_outage(outage_at, 12)
+        .packet_loss(loss_at, 8, 0.25);
+    let run = |with_faults: bool| {
+        let mut cfg =
+            EdgeNodeConfig::new(ShardLayout::single(budget)).with_gather_batch(GatherBatch {
+                max_batch: 8,
+                gather_wait: Duration::from_millis(1),
+            });
+        if with_faults {
+            // A snappy retry schedule fits the short bench window (the
+            // defaults are tuned for long-lived nodes, where a retry can
+            // afford to wait 16+ rounds; here that would just park the
+            // tail of the backlog at end of run).
+            cfg = cfg.with_faults(plan.clone()).with_recovery(RecoveryConfig {
+                retry: RetryPolicy {
+                    base_delay_rounds: 1,
+                    max_delay_rounds: 4,
+                    max_attempts: 8,
+                    jitter_rounds: 1,
+                    jitter_seed: 7,
+                },
+                ..RecoveryConfig::default()
+            });
+        }
+        let mut node = EdgeNode::new(cfg);
+        for (s, &seed) in STREAM_SEEDS.iter().enumerate() {
+            let src = Box::new(SceneSource::new(scene_cfg(seed), n_frames));
+            let id = node.add_stream(src, pipeline_cfg(Precision::F32));
+            deploy_mc(node.pipeline_mut(id), s);
+        }
+        let report = node.run_controlled(ControlConfig::observe_only(8));
+        for (s, sr) in report.streams.iter().enumerate() {
+            assert_eq!(
+                sr.verdicts, gold[s],
+                "faults={with_faults}: stream {s} verdicts diverged — uplink \
+                 faults must never touch inference"
+            );
+        }
+        report
+    };
+    let mut clean_fps = 0.0f64;
+    let mut chaos_fps = 0.0f64;
+    let mut faults = None;
+    for _ in 0..REPEATS {
+        clean_fps = clean_fps.max(run(false).node.aggregate_fps());
+        let r = run(true);
+        chaos_fps = chaos_fps.max(r.node.aggregate_fps());
+        let fr = r.faults.expect("a plan was scheduled");
+        assert!(fr.ledger.conserves(), "{:?}", fr.ledger);
+        if let Some(prev) = &faults {
+            assert_eq!(prev, &fr, "the fault report must replay bit-for-bit");
+        }
+        faults = Some(fr);
+    }
+    (clean_fps, chaos_fps, faults.expect("at least one repeat"))
 }
 
 fn main() {
@@ -415,6 +489,27 @@ fn main() {
          (budget {budget} threads)"
     );
 
+    // Fault sweep: the recovery layer riding out a scripted uplink outage
+    // and seeded packet loss, verdicts still bit-identical to serial.
+    println!();
+    println!("fault sweep (12-round outage + 25% seeded loss through the recovery layer):");
+    let (clean_fps, chaos_fps, fault_report) = measure_faults(budget, n_frames, &gold);
+    let chaos_ratio = chaos_fps / clean_fps;
+    let fl = fault_report.ledger;
+    println!("fault_free               {clean_fps:>10.2} fps  (aggregate, observe-only executor)");
+    println!("under_faults             {chaos_fps:>10.2} fps  (aggregate, {chaos_ratio:.2}x of fault-free)");
+    println!(
+        "segments: {} offered = {} delivered + {} late + {} dropped (conserves: {}); recovery {} rounds",
+        fl.offered,
+        fl.delivered,
+        fl.delivered_late,
+        fl.dropped,
+        fl.conserves(),
+        fault_report
+            .recovery_rounds
+            .map_or_else(|| "n/a".to_string(), |r| r.to_string()),
+    );
+
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
     let mut section = String::from("  \"multistream\": {\n");
     section.push_str(&format!(
@@ -452,6 +547,41 @@ fn main() {
         "adaptive rebalancing concentrates the thread budget on the busy camera while the night cameras sleep"
     };
     section.push_str(&format!("    \"note\": \"{control_note}\",\n"));
+    section.push_str("    \"verdicts_identical\": true\n  },\n");
+
+    // The fault sweep, spliced as its own top-level section.
+    section.push_str("  \"faults\": {\n");
+    section.push_str(&format!(
+        "    \"config\": {{\"resolution\": \"{RES}\", \"frames_per_stream\": {n_frames}, \"budget_threads\": {budget}, \"plan\": \"12-round uplink outage at round {}, 25% seeded packet loss for 8 rounds at round {}; default retry/spill policy\"}},\n",
+        n_frames / 3,
+        2 * n_frames / 3,
+    ));
+    section.push_str(&format!(
+        "    \"aggregate_fps_fault_free\": {clean_fps:.2},\n"
+    ));
+    section.push_str(&format!(
+        "    \"aggregate_fps_under_faults\": {chaos_fps:.2},\n"
+    ));
+    section.push_str(&format!(
+        "    \"fps_ratio_under_faults\": {chaos_ratio:.2},\n"
+    ));
+    section.push_str(&format!(
+        "    \"segments\": {{\"offered\": {}, \"delivered\": {}, \"delivered_late\": {}, \"dropped\": {}, \"conserves\": {}}},\n",
+        fl.offered,
+        fl.delivered,
+        fl.delivered_late,
+        fl.dropped,
+        fl.conserves(),
+    ));
+    section.push_str(&format!(
+        "    \"recovery_rounds\": {},\n",
+        fault_report
+            .recovery_rounds
+            .map_or_else(|| "null".to_string(), |r| r.to_string()),
+    ));
+    section.push_str(
+        "    \"note\": \"uplink faults delay delivery, never inference: both runs' verdicts are asserted bit-for-bit against the serial golds, and the fault report itself replays bit-for-bit across repeats\",\n",
+    );
     section.push_str("    \"verdicts_identical\": true\n  }\n}\n");
 
     // Splice after the single-stream rows: replace an existing

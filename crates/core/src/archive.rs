@@ -2,6 +2,13 @@
 //! the original video stream to disk so that datacenter applications can
 //! demand-fetch additional video (e.g., context segments surrounding a
 //! matched segment) from the edge nodes' local storage."
+//!
+//! The archive doubles as the node's **spill target** during uplink
+//! outages: event segments the link refused and retries could not deliver
+//! are parked in a capacity-bounded [`SpillBin`] on local storage and
+//! re-drained once the link recovers (see [`crate::faults`]).
+
+use std::collections::VecDeque;
 
 use ff_video::codec::{DecodeError, Decoder, EncodedFrame, Encoder, EncoderConfig};
 use ff_video::{Frame, Resolution};
@@ -73,15 +80,20 @@ impl EdgeArchive {
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] if the archive is corrupt (should not
-    /// happen for in-memory archives) or the range is out of bounds.
+    /// Returns [`FetchError::OutOfBounds`] for an empty or out-of-range
+    /// request, and [`FetchError::Decode`] if the stored stream fails to
+    /// decode (should not happen for in-memory archives).
     pub fn demand_fetch(
         &self,
         start: usize,
         end: usize,
-    ) -> Result<(Vec<Frame>, usize), DecodeError> {
+    ) -> Result<(Vec<Frame>, usize), FetchError> {
         if start >= end || end > self.frames.len() {
-            return Err(DecodeError::Corrupt("fetch range out of bounds"));
+            return Err(FetchError::OutOfBounds {
+                start,
+                end,
+                len: self.frames.len(),
+            });
         }
         let gop_start = start - (start % self.cfg.gop);
         let mut dec = Decoder::new();
@@ -95,6 +107,125 @@ impl EdgeArchive {
             }
         }
         Ok((out, bytes))
+    }
+}
+
+/// Why a demand fetch failed ([`EdgeArchive::demand_fetch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The requested range is empty or extends past the stored stream.
+    OutOfBounds {
+        /// First requested frame.
+        start: usize,
+        /// One past the last requested frame.
+        end: usize,
+        /// Frames actually stored.
+        len: usize,
+    },
+    /// The stored stream failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::OutOfBounds { start, end, len } => write!(
+                f,
+                "fetch range [{start}, {end}) out of bounds for a \
+                 {len}-frame archive"
+            ),
+            FetchError::Decode(e) => write!(f, "archive decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::OutOfBounds { .. } => None,
+            FetchError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for FetchError {
+    fn from(e: DecodeError) -> Self {
+        FetchError::Decode(e)
+    }
+}
+
+/// One upload segment parked on local storage because the uplink refused
+/// it and bounded retries ran out (see [`crate::faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpilledSegment {
+    /// The stream that produced the segment.
+    pub stream: usize,
+    /// Encoded segment size in bytes.
+    pub bytes: usize,
+    /// Virtual-time round the uplink first refused the segment.
+    pub refused_round: u64,
+}
+
+/// A capacity-bounded FIFO of undeliverable upload segments on the node's
+/// local storage — the archive-side half of outage recovery: refusals that
+/// exhaust their retry budget spill here, and the recovery layer trickles
+/// the bin back over the uplink (oldest first) once the link is healthy.
+/// A push past `limit` is **refused** (the segment becomes an accounted
+/// drop — never a silent loss), counted in [`SpillBin::overflow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillBin {
+    segments: VecDeque<SpilledSegment>,
+    limit: usize,
+    spilled: u64,
+    overflow: u64,
+}
+
+impl SpillBin {
+    /// A bin holding at most `limit` segments.
+    pub fn new(limit: usize) -> Self {
+        SpillBin {
+            segments: VecDeque::new(),
+            limit,
+            spilled: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Parks a segment. Returns `false` — and counts the overflow — when
+    /// the bin is full; the caller must account the segment as dropped.
+    pub fn push(&mut self, seg: SpilledSegment) -> bool {
+        if self.segments.len() >= self.limit {
+            self.overflow += 1;
+            return false;
+        }
+        self.spilled += 1;
+        self.segments.push_back(seg);
+        true
+    }
+
+    /// Takes the oldest parked segment for re-drain.
+    pub fn pop(&mut self) -> Option<SpilledSegment> {
+        self.segments.pop_front()
+    }
+
+    /// Segments currently parked.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the bin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total segments ever parked.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Pushes refused because the bin was full (accounted drops).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 }
 
@@ -153,5 +284,42 @@ mod tests {
         let (ar, _) = archive_with(10);
         assert_eq!(ar.frames(), 10);
         assert!(ar.bytes() > 0);
+    }
+
+    #[test]
+    fn fetch_error_is_typed_and_displayable() {
+        let (ar, _) = archive_with(10);
+        let err = ar.demand_fetch(5, 11).unwrap_err();
+        assert_eq!(
+            err,
+            FetchError::OutOfBounds {
+                start: 5,
+                end: 11,
+                len: 10
+            }
+        );
+        // Uniform ?-propagation/logging surface: Display + Error.
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.to_string().contains("out of bounds"));
+        assert!(dyn_err.source().is_none());
+    }
+
+    #[test]
+    fn spill_bin_bounds_and_accounts() {
+        let mut bin = SpillBin::new(2);
+        let seg = |stream, round| SpilledSegment {
+            stream,
+            bytes: 100,
+            refused_round: round,
+        };
+        assert!(bin.push(seg(0, 5)));
+        assert!(bin.push(seg(1, 6)));
+        // Full: the push is refused and accounted, never silently lost.
+        assert!(!bin.push(seg(2, 7)));
+        assert_eq!((bin.len(), bin.spilled(), bin.overflow()), (2, 2, 1));
+        // FIFO re-drain, oldest first.
+        assert_eq!(bin.pop(), Some(seg(0, 5)));
+        assert_eq!(bin.pop(), Some(seg(1, 6)));
+        assert!(bin.pop().is_none() && bin.is_empty());
     }
 }

@@ -49,7 +49,9 @@
 //!   [`BatchPolicy::grow_backlog`] vs shrink below
 //!   [`BatchPolicy::shrink_fill`]; idle below
 //!   [`RebalancePolicy::idle_below`] vs active above
-//!   [`RebalancePolicy::active_above`]; degrade above
+//!   [`RebalancePolicy::active_above`]; stalled below
+//!   [`WatchdogPolicy::stall_below`] vs recovered above
+//!   [`WatchdogPolicy::recover_above`]; degrade above
 //!   [`DegradePolicy::high_water`] vs recover below
 //!   [`DegradePolicy::low_water`]) so a signal sitting between them moves
 //!   nothing;
@@ -163,6 +165,49 @@ pub struct UplinkTelemetry {
     pub dropped: u64,
 }
 
+/// Fault and recovery sensors at a tick (all defaults — link up, zero
+/// counts — when the run has no [`crate::faults::FaultPlan`]). The
+/// per-tick counters come from
+/// [`crate::faults::RecoveringUplink::take_tick`]; `link_up` is what lets
+/// [`DegradePolicy`] treat an outage as saturation even though a down link
+/// carries no offered load (see [`Controller::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTelemetry {
+    /// Whether the uplink was up at the snapshot.
+    pub link_up: bool,
+    /// Fresh segments refused (outage or packet loss) during the tick.
+    pub refused_tick: u64,
+    /// Retry attempts that failed during the tick.
+    pub retry_failures_tick: u64,
+    /// Segments delivered late (retry or spill re-drain) during the tick.
+    pub delivered_late_tick: u64,
+    /// Segments spilled to the archive during the tick.
+    pub spilled_tick: u64,
+    /// Segments dropped (spill overflow) during the tick.
+    pub dropped_tick: u64,
+    /// Stage restarts during the tick.
+    pub restarts_tick: u64,
+    /// Streams currently quarantined by the watchdog.
+    pub quarantined: u64,
+}
+
+impl Default for FaultTelemetry {
+    fn default() -> Self {
+        FaultTelemetry {
+            // A fault-free node has a healthy link; a derived default
+            // (false) would read as a permanent outage.
+            link_up: true,
+            refused_tick: 0,
+            retry_failures_tick: 0,
+            delivered_late_tick: 0,
+            spilled_tick: 0,
+            dropped_tick: 0,
+            restarts_tick: 0,
+            quarantined: 0,
+        }
+    }
+}
+
 /// Wall-clock stage latencies, **observability only**. These are the one
 /// part of a snapshot that is *not* deterministic; no policy reads them
 /// (see the [module docs](self)), they exist so an operator watching a
@@ -188,6 +233,8 @@ pub struct NodeTelemetry {
     pub gather: GatherTelemetry,
     /// Shared-uplink sensors.
     pub uplink: UplinkTelemetry,
+    /// Fault and recovery sensors (defaults when no fault plan is active).
+    pub faults: FaultTelemetry,
     /// Wall-clock extras — never consumed by policies.
     pub wall: WallTelemetry,
 }
@@ -402,6 +449,10 @@ impl Sensors {
                 offered_utilization_tick,
                 dropped: uplink.dropped(),
             },
+            // The sensor bank sees only the inner link; the controlled
+            // runtime overwrites this from the recovery layer's per-tick
+            // counters when a fault plan is active.
+            faults: FaultTelemetry::default(),
             wall,
         }
     }
@@ -502,8 +553,40 @@ impl Default for DegradePolicy {
     }
 }
 
+/// Per-stream watchdog: a stream whose arrival EWMA collapses to
+/// `stall_below` (a stalled or dead camera, detected purely from
+/// virtual-time arrivals) is **quarantined** — in sharded style its shard
+/// shrinks to width 1 and the reclaimed threads go to healthy streams; in
+/// gather style the quarantine is a trace marker (the shared batch adapts
+/// by itself). A recovery above `recover_above` **readmits** it. Same
+/// hysteresis discipline as every other arm: separated thresholds plus a
+/// consecutive-tick patience streak.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogPolicy {
+    /// Arrival EWMA (frames per round) at or below which a stream counts
+    /// as stalled.
+    pub stall_below: f64,
+    /// Arrival EWMA at or above which a stalled stream counts as
+    /// recovered. Must exceed `stall_below`; the gap is the hysteresis
+    /// band.
+    pub recover_above: f64,
+    /// Consecutive ticks the condition must hold before the watchdog
+    /// quarantines or readmits.
+    pub patience: u32,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            stall_below: 0.05,
+            recover_above: 0.5,
+            patience: 2,
+        }
+    }
+}
+
 /// Control-plane configuration: the virtual-time tick length plus the
-/// three policies (each optional — `None` disables that arm).
+/// policies (each optional — `None` disables that arm).
 #[derive(Debug, Clone, Copy)]
 pub struct ControlConfig {
     /// Rounds (frame intervals) per control tick.
@@ -516,6 +599,8 @@ pub struct ControlConfig {
     pub rebalance: Option<RebalancePolicy>,
     /// Uplink-aware degradation ladder.
     pub degrade: Option<DegradePolicy>,
+    /// Per-stream stall watchdog (quarantine/readmit).
+    pub watchdog: Option<WatchdogPolicy>,
 }
 
 impl Default for ControlConfig {
@@ -526,6 +611,7 @@ impl Default for ControlConfig {
             batch: Some(BatchPolicy::default()),
             rebalance: Some(RebalancePolicy::default()),
             degrade: Some(DegradePolicy::default()),
+            watchdog: None,
         }
     }
 }
@@ -541,6 +627,7 @@ impl ControlConfig {
             batch: None,
             rebalance: None,
             degrade: None,
+            watchdog: None,
         }
     }
 }
@@ -579,6 +666,19 @@ pub enum ControlAction {
         /// Stride after.
         to: u32,
     },
+    /// The watchdog quarantined a stalled stream. In sharded style a
+    /// [`ControlAction::Repartition`] carrying the width change follows in
+    /// the same plan; in gather style this is a marker only, which keeps
+    /// the trace comparable across shard widths.
+    Quarantine {
+        /// The stalled stream.
+        stream: usize,
+    },
+    /// The watchdog readmitted a recovered stream.
+    Readmit {
+        /// The recovered stream.
+        stream: usize,
+    },
 }
 
 impl std::fmt::Display for ControlAction {
@@ -591,6 +691,12 @@ impl std::fmt::Display for ControlAction {
             }
             ControlAction::SetUploadStride { from, to } => {
                 write!(f, "upload stride {from} → {to}")
+            }
+            ControlAction::Quarantine { stream } => {
+                write!(f, "stream {stream} quarantined (stalled)")
+            }
+            ControlAction::Readmit { stream } => {
+                write!(f, "stream {stream} readmitted (recovered)")
             }
         }
     }
@@ -606,8 +712,8 @@ pub struct ControlDecision {
 }
 
 /// The actions one tick's policy evaluation produced, in fixed policy
-/// order (batch, rebalance, degrade) — the runtime applies them before the
-/// next round.
+/// order (batch, watchdog, rebalance, degrade) — the runtime applies them
+/// before the next round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ControlPlan {
     /// Knob movements to apply, in order.
@@ -696,6 +802,9 @@ pub struct Controller {
     budget: usize,
     activity: Vec<Activity>,
     cur_widths: Vec<usize>,
+    // Watchdog arm: per-stream quarantine state. `active == true` means
+    // healthy; the streak debounces flips exactly like `activity`.
+    watchdog: Vec<Activity>,
     // Degradation arm.
     rungs: Vec<(Precision, u32)>,
     rung: usize,
@@ -752,6 +861,16 @@ impl Controller {
                 r.active_above
             );
         }
+        if let Some(w) = &cfg.watchdog {
+            assert!(w.patience >= 1, "watchdog patience must be ≥ 1");
+            assert!(
+                w.stall_below < w.recover_above,
+                "watchdog thresholds must leave a hysteresis band \
+                 (stall_below {} < recover_above {})",
+                w.stall_below,
+                w.recover_above
+            );
+        }
         if let Some(d) = &cfg.degrade {
             assert!(
                 d.saturate_ticks >= 1 && d.relax_ticks >= 1,
@@ -796,6 +915,13 @@ impl Controller {
                 init.streams
             ],
             cur_widths: init.initial_widths,
+            watchdog: vec![
+                Activity {
+                    active: true,
+                    streak: 0
+                };
+                init.streams
+            ],
             rungs,
             rung: 0,
             hot_streak: 0,
@@ -820,6 +946,7 @@ impl Controller {
     pub fn observe(&mut self, t: &NodeTelemetry) -> ControlPlan {
         let mut plan = ControlPlan::default();
         self.observe_batch(t, &mut plan);
+        self.observe_watchdog(t, &mut plan);
         self.observe_rebalance(t, &mut plan);
         self.observe_degrade(t, &mut plan);
         for action in &plan.actions {
@@ -872,6 +999,53 @@ impl Controller {
         }
     }
 
+    fn observe_watchdog(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
+        let Some(p) = self.cfg.watchdog else { return };
+        let mut flipped = false;
+        for (st, w) in t.streams.iter().zip(self.watchdog.iter_mut()) {
+            // An ended stream is drained, not stalled: never quarantine
+            // it, and let an already-quarantined one stay put (rebalance
+            // already treats ended as idle).
+            let want = if st.ended {
+                None
+            } else if st.arrival_ewma <= p.stall_below {
+                Some(false)
+            } else if st.arrival_ewma >= p.recover_above {
+                Some(true)
+            } else {
+                None // inside the hysteresis band: no opinion
+            };
+            match want {
+                Some(healthy) if healthy != w.active => {
+                    w.streak += 1;
+                    if w.streak >= p.patience {
+                        w.active = healthy;
+                        w.streak = 0;
+                        flipped = true;
+                        plan.actions.push(if healthy {
+                            ControlAction::Readmit { stream: st.id.0 }
+                        } else {
+                            ControlAction::Quarantine { stream: st.id.0 }
+                        });
+                    }
+                }
+                _ => w.streak = 0,
+            }
+        }
+        // In sharded style a quarantine/readmit moves real threads: emit
+        // the width change here so the watchdog works even with the
+        // rebalance arm disabled. (Gather style: marker actions only.)
+        if flipped && !self.cur_widths.is_empty() {
+            let widths = self.rebalanced_widths();
+            if widths != self.cur_widths {
+                plan.actions.push(ControlAction::Repartition {
+                    widths: widths.clone(),
+                });
+                self.cur_widths = widths;
+            }
+        }
+    }
+
     fn observe_rebalance(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
         let Some(p) = self.cfg.rebalance else { return };
         if self.cur_widths.is_empty() {
@@ -905,13 +1079,16 @@ impl Controller {
         }
     }
 
-    /// Widths implied by the current activity classification: idle streams
-    /// hold width 1, active streams split the rest evenly (in stream
-    /// order). Degenerate budgets (≤ one thread per stream) stay at the
-    /// even floor-1 split — there is no narrower width to take from.
+    /// Widths implied by the current activity and quarantine
+    /// classification: idle and quarantined streams hold width 1, the rest
+    /// split the remaining budget evenly (in stream order). Degenerate
+    /// budgets (≤ one thread per stream) stay at the even floor-1 split —
+    /// there is no narrower width to take from.
     fn rebalanced_widths(&self) -> Vec<usize> {
         let n = self.activity.len();
-        let active: Vec<usize> = (0..n).filter(|&i| self.activity[i].active).collect();
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| self.activity[i].active && self.watchdog[i].active)
+            .collect();
         let k = active.len();
         if k == 0 || self.budget <= n {
             return split_even(self.budget, n);
@@ -929,7 +1106,10 @@ impl Controller {
     fn observe_degrade(&mut self, t: &NodeTelemetry, plan: &mut ControlPlan) {
         let Some(p) = self.cfg.degrade else { return };
         let u = t.uplink.offered_utilization_tick;
-        if u > p.high_water {
+        // A down link carries no offered load, so utilization alone would
+        // read an outage as *relief* and walk the ladder the wrong way.
+        // An outage is the saturated condition taken to its limit.
+        if u > p.high_water || !t.faults.link_up {
             self.hot_streak += 1;
             self.cool_streak = 0;
         } else if u < p.low_water {
@@ -1107,6 +1287,7 @@ mod tests {
                 offered_utilization_tick: uplink_tick,
                 ..Default::default()
             },
+            faults: FaultTelemetry::default(),
             wall: WallTelemetry::default(),
         }
     }
@@ -1223,6 +1404,108 @@ mod tests {
             plan.actions,
             vec![ControlAction::Repartition {
                 widths: vec![3, 2, 2, 1]
+            }]
+        );
+    }
+
+    #[test]
+    fn watchdog_quarantines_stalled_stream_and_readmits_with_widths() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: None,
+            degrade: None,
+            watchdog: Some(WatchdogPolicy::default()),
+            ..ControlConfig::default()
+        };
+        let mut c = Controller::new(
+            cfg,
+            ControllerInit {
+                streams: 4,
+                budget: 8,
+                initial_batch: 0,
+                initial_widths: vec![2, 2, 2, 2],
+                base_precision: Precision::F32,
+            },
+        );
+        // Stream 2's camera dies; patience 2 ⇒ second tick quarantines
+        // and (sharded style) the width change rides the same plan: the
+        // quarantined stream drops to width 1 and the spare 7 splits
+        // round-robin over the three live streams.
+        let dead = |tick| telem(tick, &[0; 4], &[1.0, 1.0, 0.0, 1.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&dead(1)).is_empty(), "patience must delay");
+        let plan = c.observe(&dead(2));
+        assert_eq!(
+            plan.actions,
+            vec![
+                ControlAction::Quarantine { stream: 2 },
+                ControlAction::Repartition {
+                    widths: vec![3, 2, 1, 2]
+                },
+            ]
+        );
+        // An EWMA inside the band (0.05..0.5) keeps the quarantine.
+        let limp = |tick| telem(tick, &[0; 4], &[1.0, 1.0, 0.3, 1.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&limp(3)).is_empty());
+        assert!(c.observe(&limp(4)).is_empty());
+        // Full recovery readmits after the patience streak.
+        let back = |tick| telem(tick, &[0; 4], &[1.0, 1.0, 1.0, 1.0], (8, 0, 0), 0.0);
+        assert!(c.observe(&back(5)).is_empty());
+        let plan = c.observe(&back(6));
+        assert_eq!(
+            plan.actions,
+            vec![
+                ControlAction::Readmit { stream: 2 },
+                ControlAction::Repartition {
+                    widths: vec![2, 2, 2, 2]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn watchdog_in_gather_style_emits_markers_only() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: None,
+            degrade: None,
+            watchdog: Some(WatchdogPolicy::default()),
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        let dead = |tick| telem(tick, &[0, 0], &[1.0, 0.0], (8, 16, 4), 0.0);
+        assert!(c.observe(&dead(1)).is_empty());
+        let plan = c.observe(&dead(2));
+        // No widths to move in gather style: the marker alone, which keeps
+        // the trace comparable across shard widths.
+        assert_eq!(plan.actions, vec![ControlAction::Quarantine { stream: 1 }]);
+    }
+
+    #[test]
+    fn degrade_treats_an_outage_as_saturation() {
+        let cfg = ControlConfig {
+            batch: None,
+            rebalance: None,
+            degrade: Some(DegradePolicy {
+                saturate_ticks: 2,
+                ..DegradePolicy::default()
+            }),
+            ..ControlConfig::default()
+        };
+        let mut c = gather_controller(cfg);
+        // A down link offers nothing — utilization 0.0 — yet must read as
+        // hot, or the ladder would *relax* mid-outage.
+        let outage = |tick| {
+            let mut t = telem(tick, &[0, 0], &[1.0, 1.0], (8, 32, 4), 0.0);
+            t.faults.link_up = false;
+            t
+        };
+        assert!(c.observe(&outage(1)).is_empty());
+        let plan = c.observe(&outage(2));
+        assert_eq!(
+            plan.actions,
+            vec![ControlAction::SetPrecision {
+                from: Precision::F32,
+                to: Precision::F16
             }]
         );
     }

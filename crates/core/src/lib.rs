@@ -37,6 +37,12 @@
 //!   bit-for-bit deterministic across thread counts, shard layouts, and
 //!   batch modes.
 //! * [`archive`] — local storage + demand-fetch of context segments.
+//! * [`faults`] — deterministic fault injection and recovery: virtual-time
+//!   scheduled uplink outages/capacity dips/packet loss, camera stalls and
+//!   corruption, scripted stage panics — plus the recovery half (bounded
+//!   seeded-backoff retries, spill-to-archive with re-drain, a stall
+//!   watchdog, and panic-isolated stage restarts) that keeps every segment
+//!   accounted and the fault trace bit-replayable.
 //! * [`uplink`] — the constrained link model.
 //! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1
 //!   measurement.
@@ -77,6 +83,7 @@ pub mod control;
 pub mod evaluate;
 pub mod events;
 pub mod extractor;
+pub mod faults;
 pub mod node;
 pub mod pipeline;
 pub mod pretrain;
@@ -93,6 +100,10 @@ pub use control::{
 };
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};
+pub use faults::{
+    FaultEvent, FaultEventKind, FaultPlan, FaultPlanError, FaultTrace, FaultsReport,
+    RecoveryConfig, RetryPolicy, SegmentLedger,
+};
 pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};
 pub use runtime::{
     EdgeNode, EdgeNodeConfig, GatherBatch, NodeReport, NodeStats, ShardLayout, StreamId,

@@ -65,18 +65,22 @@
 //! never what is computed.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use ff_tensor::{PoolShard, Tensor};
-use ff_video::{Frame, FrameSource, SourcePoll};
+use ff_video::{FaultySource, Frame, FrameSource, SourcePoll};
 
 use crate::control::{
     AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlTrace, Controller,
-    ControllerInit, NodeTelemetry, Sensors,
+    ControllerInit, FaultTelemetry, NodeTelemetry, Sensors,
 };
 use crate::events::McId;
 use crate::extractor::FeatureExtractor;
+use crate::faults::{
+    FaultEventKind, FaultPlan, FaultTrace, FaultsReport, RecoveringUplink, RecoveryConfig,
+};
 use crate::pipeline::{FilterForward, FrameVerdict, PhaseTimers, PipelineConfig, PipelineStats};
 use crate::spec::McSpec;
 use crate::uplink::Uplink;
@@ -230,6 +234,16 @@ pub struct EdgeNodeConfig {
     /// `None` (the default) admits everything, the pre-control-plane
     /// behavior.
     pub admission: Option<AdmissionPolicy>,
+    /// `Some` injects a deterministic fault schedule into
+    /// [`EdgeNode::run_controlled`] (see [`crate::faults`]): uplink
+    /// outages/dips/loss, camera stalls/blackouts/corruption, scripted
+    /// stage panics. `None` (the default) runs fault-free. [`EdgeNode::run`]
+    /// rejects a plan — fault windows are scheduled in virtual-time rounds,
+    /// which only the controlled executor has.
+    pub faults: Option<FaultPlan>,
+    /// Recovery knobs (retry backoff, spill capacity, restart budget) for
+    /// the controlled executor; inert without faults to recover from.
+    pub recovery: RecoveryConfig,
 }
 
 impl EdgeNodeConfig {
@@ -245,6 +259,8 @@ impl EdgeNodeConfig {
             gather_batch: None,
             precision: None,
             admission: None,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -265,6 +281,19 @@ impl EdgeNodeConfig {
     /// style; see [`EdgeNode::try_add_stream`]).
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = Some(admission);
+        self
+    }
+
+    /// Schedules a deterministic fault plan for
+    /// [`EdgeNode::run_controlled`] (builder style; see [`crate::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the recovery knobs (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -306,6 +335,17 @@ pub struct NodeStats {
     /// Accepted uplink load as a fraction of capacity — only bits admitted
     /// into the send queue (see [`Uplink::accepted_utilization`]).
     pub uplink_accepted_utilization: f64,
+    /// Highest number of verdicts simultaneously in flight on gather
+    /// mode's deliberately unbounded verdict channels (bounding them could
+    /// deadlock the single inference stage against the lock-step
+    /// collector; this gauge proves the depth stays bounded in practice).
+    /// 0 in the other execution styles, whose channels are bounded.
+    pub verdict_backlog_peak: usize,
+    /// Verdict sends observed past the gather-mode soft cap
+    /// (`(queue_depth · 2 + 2) · streams`, mirroring the per-stream bound
+    /// of streamed mode). Accounting only — nothing is dropped or blocked;
+    /// a non-zero count flags a collector that cannot keep up.
+    pub verdict_overflow: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -345,6 +385,9 @@ pub struct ControlledReport {
     pub trace: ControlTrace,
     /// One telemetry snapshot per control tick.
     pub telemetry: Vec<NodeTelemetry>,
+    /// What the fault/recovery machinery did — `Some` exactly when
+    /// [`EdgeNodeConfig::faults`] was configured (see [`crate::faults`]).
+    pub faults: Option<FaultsReport>,
 }
 
 struct StreamEntry {
@@ -531,6 +574,11 @@ impl EdgeNode {
             !self.streams.is_empty(),
             "add at least one stream before running"
         );
+        assert!(
+            self.cfg.faults.is_none(),
+            "fault plans are scheduled in virtual-time rounds, which only \
+             the controlled executor has: use run_controlled"
+        );
         // Apply the node-level precision override before dispatch (and
         // before gather mode snapshots the shared base-DNN config), so every
         // stream — and the shared batched extractor built from that config —
@@ -605,7 +653,7 @@ impl EdgeNode {
                 });
             }
 
-            collect_verdicts(&verdict_rx, &mut uplink, &mut reports);
+            collect_verdicts(&verdict_rx, &mut uplink, &mut reports, None);
         });
         node_report(reports, &uplink, t0.elapsed())
     }
@@ -626,6 +674,7 @@ impl EdgeNode {
         let mut batch_ex = build_shared_extractor(&streams, &calibration_frames);
         let mut uplink = build_uplink(&cfg, &streams);
         let mut reports = empty_reports(n);
+        let gauge = VerdictGauge::new((cfg.queue_depth * 2 + 2) * n);
 
         let t0 = Instant::now();
         std::thread::scope(|scope| {
@@ -658,6 +707,7 @@ impl EdgeNode {
                 });
             }
 
+            let gauge_ref = &gauge;
             scope.spawn(move || {
                 // The whole thread budget backs the one shared pass —
                 // batching replaces shard-level concurrency as the
@@ -730,6 +780,11 @@ impl EdgeNode {
                                 let ff = ffs[*s].as_mut().expect("open stream has a pipeline");
                                 ff.credit_decode(*decode);
                                 for v in ff.process_with_maps(frame, &maps[i], share) {
+                                    // Count before the send: the collector
+                                    // may drain (and decrement) the instant
+                                    // the send lands. A failed send leaks
+                                    // one count into a dying run — harmless.
+                                    gauge_ref.on_send();
                                     if msg_tx[*s].send(Msg::Verdict(v)).is_err() {
                                         return true;
                                     }
@@ -748,6 +803,7 @@ impl EdgeNode {
                         let ff = ffs[s].take().expect("closing an open stream");
                         let (tail, stats, timers) = shard.run(|| ff.finish());
                         for v in tail {
+                            gauge_ref.on_send();
                             if msg_tx[s].send(Msg::Verdict(v)).is_err() {
                                 return;
                             }
@@ -761,9 +817,12 @@ impl EdgeNode {
                 }
             });
 
-            collect_verdicts(&verdict_rx, &mut uplink, &mut reports);
+            collect_verdicts(&verdict_rx, &mut uplink, &mut reports, Some(&gauge));
         });
-        node_report(reports, &uplink, t0.elapsed())
+        let mut report = node_report(reports, &uplink, t0.elapsed());
+        report.node.verdict_backlog_peak = gauge.peak.load(Ordering::Relaxed);
+        report.node.verdict_overflow = gauge.overflow.load(Ordering::Relaxed);
+        report
     }
 
     /// Drives every stream under the **adaptive control plane** (see
@@ -810,7 +869,11 @@ impl EdgeNode {
                 s.ff.set_precision(p);
             }
         }
-        let mut uplink = build_uplink(&self.cfg, &self.streams);
+        if let Some(plan) = &self.cfg.faults {
+            plan.validate(self.streams.len())
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        }
+        let uplink = build_uplink(&self.cfg, &self.streams);
         let EdgeNode {
             cfg,
             streams,
@@ -819,6 +882,21 @@ impl EdgeNode {
         } = self;
         let n = streams.len();
         let budget = cfg.shards.budget();
+
+        // The recovery layer always wraps the link (a pass-through when no
+        // plan is scheduled); the report carries Some only with a plan.
+        let has_faults = cfg.faults.is_some();
+        let plan = cfg.faults.clone().unwrap_or_default();
+        let mut rec =
+            RecoveringUplink::new(uplink, plan.uplink.clone(), cfg.recovery, plan.loss_seed);
+        let mut fault_trace = FaultTrace::default();
+        let mut panic_sched = plan.panics.clone();
+        let mut restarts: Vec<u32> = vec![0; n];
+        let mut frames_lost: Vec<u64> = vec![0; n];
+        let mut served_count: Vec<u64> = vec![0; n];
+        let mut quarantined = vec![false; n];
+        let mut kills: Vec<usize> = Vec::new();
+        let mut restarts_tick: u64 = 0;
 
         // Execution-style state: gather (shared batched pass, dynamic
         // max_batch) or sharded (per-stream shards, dynamic widths).
@@ -867,8 +945,16 @@ impl EdgeNode {
 
         let mut sources: Vec<Box<dyn FrameSource>> = Vec::with_capacity(n);
         let mut ffs: Vec<Option<FilterForward>> = Vec::with_capacity(n);
-        for e in streams {
-            sources.push(e.source);
+        for (s, e) in streams.into_iter().enumerate() {
+            // Camera faults wrap the stream's source; windows are keyed to
+            // source poll ticks, which the lock-step loop makes
+            // deterministic (one poll per round while the queue has room).
+            let sf = plan.source_faults(s);
+            if sf.is_empty() {
+                sources.push(e.source);
+            } else {
+                sources.push(Box::new(FaultySource::new(e.source, sf)));
+            }
             ffs.push(Some(e.ff));
         }
         let mut queues: Vec<VecDeque<(Frame, Tensor, Duration)>> =
@@ -929,11 +1015,48 @@ impl EdgeNode {
                             break 'gather;
                         }
                         let s = (scan_start + i) % n;
+                        if kills.contains(&s) {
+                            continue;
+                        }
                         if let Some((frame, tensor, decode)) = queues[s].pop_front() {
+                            let k = served_count[s];
+                            served_count[s] += 1;
+                            progressed = true;
+                            if let Some(idx) = panic_sched
+                                .iter()
+                                .position(|p| p.stream == s && p.at_frame == k)
+                            {
+                                // A scripted stage crash. The shared batch
+                                // must not take innocent same-batch frames
+                                // down with it, so the crash is isolated
+                                // *before* the batch: this stream's frame
+                                // is lost and its stage restarts (or the
+                                // breaker kills the stream), while every
+                                // other stream's round proceeds untouched.
+                                panic_sched.remove(idx);
+                                frames_lost[s] += 1;
+                                fault_trace.push(
+                                    round,
+                                    FaultEventKind::StagePanic {
+                                        stream: s,
+                                        frame: k,
+                                    },
+                                );
+                                if restarts[s] < cfg.recovery.max_restarts_per_stream {
+                                    restarts[s] += 1;
+                                    restarts_tick += 1;
+                                    fault_trace
+                                        .push(round, FaultEventKind::StageRestarted { stream: s });
+                                } else {
+                                    fault_trace
+                                        .push(round, FaultEventKind::StreamKilled { stream: s });
+                                    kills.push(s);
+                                }
+                                continue;
+                            }
                             sensors.on_served(s);
                             meta.push((s, frame, decode));
                             tensors.push(tensor);
-                            progressed = true;
                         }
                     }
                     if !progressed {
@@ -958,20 +1081,85 @@ impl EdgeNode {
                 }
             } else {
                 // Sharded style: each stream serves at most one frame per
-                // round on its own shard.
+                // round on its own shard. The pass runs under
+                // `PoolShard::try_run`, so a panicking stage — scripted or
+                // real — unwinds to this loop instead of tearing the node
+                // down; the shard itself survives a panicking job
+                // (workers catch at the job boundary) and stays
+                // deterministic.
                 let mut served = 0usize;
                 for s in 0..n {
                     if let Some((frame, tensor, decode)) = queues[s].pop_front() {
-                        sensors.on_served(s);
-                        served += 1;
+                        let k = served_count[s];
+                        served_count[s] += 1;
+                        let inject = panic_sched
+                            .iter()
+                            .position(|p| p.stream == s && p.at_frame == k)
+                            .map(|idx| panic_sched.remove(idx))
+                            .is_some();
                         let ff = ffs[s].as_mut().expect("open stream has a pipeline");
                         ff.credit_decode(decode);
                         let te = Instant::now();
-                        pending[s].extend(shards[s].run(|| ff.process_decoded(&frame, &tensor)));
+                        let result = shards[s].try_run(|| {
+                            if inject {
+                                panic!("scripted stage panic: stream {s}, frame {k}");
+                            }
+                            ff.process_decoded(&frame, &tensor)
+                        });
                         sensors.on_extract_wall(te.elapsed(), 1);
+                        match result {
+                            Ok(verdicts) => {
+                                sensors.on_served(s);
+                                served += 1;
+                                pending[s].extend(verdicts);
+                            }
+                            Err(_) => {
+                                // The in-flight frame is lost; restart the
+                                // stage within the breaker budget, kill
+                                // the one stream past it.
+                                frames_lost[s] += 1;
+                                fault_trace.push(
+                                    round,
+                                    FaultEventKind::StagePanic {
+                                        stream: s,
+                                        frame: k,
+                                    },
+                                );
+                                if restarts[s] < cfg.recovery.max_restarts_per_stream {
+                                    restarts[s] += 1;
+                                    restarts_tick += 1;
+                                    fault_trace
+                                        .push(round, FaultEventKind::StageRestarted { stream: s });
+                                } else {
+                                    fault_trace
+                                        .push(round, FaultEventKind::StreamKilled { stream: s });
+                                    kills.push(s);
+                                }
+                            }
+                        }
                     }
                 }
                 sensors.on_round(served);
+            }
+
+            // 2½. Circuit-breaker kills: flush the stream's pipeline (its
+            //     already-served frames keep their verdicts), drop its
+            //     queue, and mark it ended for the sensors. One stream
+            //     dies; the node keeps running.
+            for s in kills.drain(..) {
+                if let Some(ff) = ffs[s].take() {
+                    let (tail, stats, timers) = match (&node_shard, shards.get(s)) {
+                        (Some(shard), _) => shard.run(|| ff.finish()),
+                        (None, Some(shard)) => shard.run(|| ff.finish()),
+                        (None, None) => unreachable!("one style is always active"),
+                    };
+                    pending[s].extend(tail);
+                    reports[s].stats = stats;
+                    reports[s].timers = timers;
+                }
+                source_open[s] = false;
+                queues[s].clear();
+                sensors.on_ended(s);
             }
 
             // 3. Close streams whose source ended and queue drained.
@@ -997,6 +1185,10 @@ impl EdgeNode {
             //    keeps the link draining at precisely `capacity_bps` of
             //    virtual time regardless of load shape — an idle night
             //    camera must not slow the physical link's drain.
+            //    The offers go through the recovery layer, which applies
+            //    the round's scheduled uplink faults first and lets at
+            //    most one retry and one spill re-drain ride each slot.
+            rec.begin_round(round, &mut fault_trace);
             for s in 0..n {
                 let mut bytes = 0usize;
                 for v in pending[s].drain(..) {
@@ -1004,7 +1196,7 @@ impl EdgeNode {
                     reports[s].offered_bytes += v.uploaded_bytes as u64;
                     reports[s].verdicts.push(v);
                 }
-                uplink.offer(bytes);
+                rec.offer(round, s, bytes, &mut fault_trace);
             }
 
             round += 1;
@@ -1016,7 +1208,18 @@ impl EdgeNode {
             //    apply the plan before the next round.
             if round.is_multiple_of(ctl.tick_frames) {
                 let depths: Vec<usize> = queues.iter().map(VecDeque::len).collect();
-                let snap = sensors.snapshot(round, &depths, &uplink, cur_batch);
+                let tick_faults = rec.take_tick();
+                let mut snap = sensors.snapshot(round, &depths, rec.link(), cur_batch);
+                snap.faults = FaultTelemetry {
+                    link_up: rec.link_up(),
+                    refused_tick: tick_faults.refused,
+                    retry_failures_tick: tick_faults.retry_failures,
+                    delivered_late_tick: tick_faults.delivered_late,
+                    spilled_tick: tick_faults.spilled,
+                    dropped_tick: tick_faults.dropped,
+                    restarts_tick: std::mem::take(&mut restarts_tick),
+                    quarantined: quarantined.iter().filter(|&&q| q).count() as u64,
+                };
                 let plan = controller.observe(&snap);
                 for action in &plan.actions {
                     match action {
@@ -1039,17 +1242,33 @@ impl EdgeNode {
                                 ff.set_upload_stride(*to);
                             }
                         }
+                        // Width changes ride a Repartition in the same
+                        // plan (sharded style); these markers only update
+                        // the telemetry's quarantine census.
+                        ControlAction::Quarantine { stream } => quarantined[*stream] = true,
+                        ControlAction::Readmit { stream } => quarantined[*stream] = false,
                     }
                 }
                 telemetry.push(snap);
             }
         }
+        let (uplink, ledger, spilled, spill_overflow, recovery_rounds) =
+            rec.finish(round, &mut fault_trace);
         let NodeReport { streams, node } = node_report(reports, &uplink, t0.elapsed());
         ControlledReport {
             streams,
             node,
             trace: controller.into_trace(),
             telemetry,
+            faults: has_faults.then_some(FaultsReport {
+                ledger,
+                trace: fault_trace,
+                restarts,
+                frames_lost,
+                spilled,
+                spill_overflow,
+                recovery_rounds,
+            }),
         }
     }
 }
@@ -1134,6 +1353,44 @@ fn empty_reports(n: usize) -> Vec<StreamReport> {
         .collect()
 }
 
+/// Soft accounting for gather mode's deliberately **unbounded** verdict
+/// channels. A bounded send there could deadlock: the single inference
+/// stage would block sending stream A's verdict while the lock-step
+/// collector blocks receiving stream B's. Instead of a hard bound, this
+/// gauge tracks the in-flight high-water mark and counts sends past a soft
+/// cap — proving (in [`NodeStats::verdict_backlog_peak`] /
+/// [`NodeStats::verdict_overflow`]) that the bounded decode channels plus
+/// the smoothing delay keep the depth bounded in practice.
+struct VerdictGauge {
+    inflight: AtomicUsize,
+    peak: AtomicUsize,
+    overflow: AtomicU64,
+    soft_cap: usize,
+}
+
+impl VerdictGauge {
+    fn new(soft_cap: usize) -> Self {
+        VerdictGauge {
+            inflight: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            overflow: AtomicU64::new(0),
+            soft_cap,
+        }
+    }
+
+    fn on_send(&self) {
+        let cur = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(cur, Ordering::Relaxed);
+        if cur > self.soft_cap {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_recv(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Collector: lock-step rounds — one verdict per open stream per round,
 /// offered to the shared uplink in stream order. The fixed order makes
 /// node-level uplink accounting deterministic regardless of how the stage
@@ -1142,6 +1399,7 @@ fn collect_verdicts(
     verdict_rx: &[Receiver<Msg>],
     uplink: &mut Uplink,
     reports: &mut [StreamReport],
+    gauge: Option<&VerdictGauge>,
 ) {
     let mut open = vec![true; verdict_rx.len()];
     let mut remaining = verdict_rx.len();
@@ -1156,6 +1414,9 @@ fn collect_verdicts(
             }
             match rx.recv() {
                 Ok(Msg::Verdict(v)) => {
+                    if let Some(g) = gauge {
+                        g.on_recv();
+                    }
                     let report = &mut reports[s];
                     report.offered_bytes += v.uploaded_bytes as u64;
                     uplink.offer(v.uploaded_bytes);
@@ -1204,6 +1465,8 @@ fn node_report(reports: Vec<StreamReport>, uplink: &Uplink, wall: Duration) -> N
             uplink_dropped: uplink.dropped(),
             uplink_utilization: uplink.utilization(),
             uplink_accepted_utilization: uplink.accepted_utilization(),
+            verdict_backlog_peak: 0,
+            verdict_overflow: 0,
             wall,
         },
         streams: reports,
@@ -1329,6 +1592,12 @@ mod tests {
         }
         assert_eq!(report.node.pipeline.frames_out, 27);
         assert_eq!(report.node.timers.frames, 27);
+        // The gather-mode verdict channels are deliberately unbounded
+        // (bounding them can deadlock the shared batch); the gauge must
+        // have watched them: 27 verdicts crossed, so the peak saw ≥ 1,
+        // and a 3-stream node this small never trips the soft cap.
+        assert!(report.node.verdict_backlog_peak >= 1);
+        assert_eq!(report.node.verdict_overflow, 0);
     }
 
     #[test]

@@ -28,6 +28,28 @@
 //! drain**, so [`Uplink::peak_delay_secs`] reflects the worst queueing
 //! delay a byte actually experienced (a burst of `B` bits on an idle link
 //! reports exactly `B / capacity` seconds).
+//!
+//! # Outage semantics
+//!
+//! Real edge links flap. The model exposes two fault modes, driven per
+//! interval by the fault plan (see [`crate::faults`]):
+//!
+//! * **Outage** ([`Uplink::set_link_up`]`(false)`): the link is down.
+//!   Offers still advance the clock ([`Uplink::frames`]) and count toward
+//!   **offered** load, but nothing is admitted — the bits are **refused**
+//!   (counted in [`Uplink::refused_bits`] / [`Uplink::refused`]), and the
+//!   queue does **not drain**: a dead link transmits nothing, so backlog
+//!   queued before the outage waits it out. Refused bits are *not* dropped
+//!   bits — a refusal is retryable (the recovery layer re-offers or spills
+//!   them); a drop is final.
+//! * **Capacity dip** ([`Uplink::set_capacity_factor`]): the link stays up
+//!   but drains at `factor × capacity` per interval — a congested or
+//!   rate-limited backhaul. Utilization is always reported against the
+//!   *provisioned* capacity, so a dip shows up as rising backlog and
+//!   offered load > the dipped rate, not as a silently moving yardstick.
+//!
+//! Both knobs are plain state transitions: calling them between offers is
+//! exactly as deterministic as the offer sequence itself.
 
 /// A provisioned uplink.
 #[derive(Debug, Clone)]
@@ -49,6 +71,16 @@ pub struct Uplink {
     /// Uploads that lost at least one bit to the queue bound.
     dropped_overflow: u64,
     queue_limit_bits: f64,
+    /// Whether the link is up (see the module docs' outage semantics).
+    link_up: bool,
+    /// Fraction of the provisioned capacity currently draining (1.0 =
+    /// healthy; a dip leaves the link up at reduced rate).
+    capacity_factor: f64,
+    /// Bits refused while the link was down (retryable, distinct from
+    /// dropped bits, which are final).
+    refused_bits: u64,
+    /// Non-empty offers refused while the link was down.
+    refused_offers: u64,
 }
 
 impl Uplink {
@@ -70,6 +102,10 @@ impl Uplink {
             frames: 0,
             dropped_overflow: 0,
             queue_limit_bits: f64::INFINITY,
+            link_up: true,
+            capacity_factor: 1.0,
+            refused_bits: 0,
+            refused_offers: 0,
         }
     }
 
@@ -91,6 +127,16 @@ impl Uplink {
         let bits = bytes as f64 * 8.0;
         self.frames += 1;
         self.offered_bits += bytes as u64 * 8;
+        // Down link: the offer is refused whole (retryable by the caller)
+        // and nothing drains — a dead link transmits nothing, so backlog
+        // queued before the outage waits it out (see the module docs).
+        if !self.link_up {
+            self.refused_bits += bytes as u64 * 8;
+            if bytes > 0 {
+                self.refused_offers += 1;
+            }
+            return 0.0;
+        }
         // Clip the admitted bits to the remaining queue headroom; the
         // truncated remainder is load the link refused, not load that never
         // existed.
@@ -105,10 +151,52 @@ impl Uplink {
         // Sample the peak at enqueue: a burst's worst-case queueing delay
         // is measured before any of it drains.
         self.peak_backlog_bits = self.peak_backlog_bits.max(self.backlog_bits);
-        let drain = self.capacity_bps / self.fps;
+        let drain = self.capacity_bps * self.capacity_factor / self.fps;
         let sent = drain.min(self.backlog_bits);
         self.backlog_bits -= sent;
         sent
+    }
+
+    /// Raises or downs the link (outage injection). While down, offers are
+    /// refused and the queue does not drain — see the module docs.
+    pub fn set_link_up(&mut self, up: bool) {
+        self.link_up = up;
+    }
+
+    /// Whether the link is currently up.
+    pub fn link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// Sets the capacity dip factor: the link drains at `factor ×
+    /// capacity` per interval while staying up. Utilization keeps the
+    /// provisioned capacity as its yardstick.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < factor ≤ 1.0`.
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "capacity factor must be in (0, 1], got {factor}"
+        );
+        self.capacity_factor = factor;
+    }
+
+    /// The capacity dip factor in force (1.0 = healthy).
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Total bits refused while the link was down (retryable — distinct
+    /// from [`Self::dropped_bits`], which are final).
+    pub fn refused_bits(&self) -> u64 {
+        self.refused_bits
+    }
+
+    /// Non-empty offers refused while the link was down.
+    pub fn refused(&self) -> u64 {
+        self.refused_offers
     }
 
     /// Current queue depth in bits.
@@ -259,6 +347,52 @@ mod tests {
                 .abs()
                 < 1e-6
         );
+    }
+
+    #[test]
+    fn outage_refuses_offers_and_freezes_the_queue() {
+        let mut link = Uplink::new(100_000.0, 10.0);
+        link.offer(5_000); // 40k bits: 10k drain, 30k queued
+        assert_eq!(link.backlog_bits(), 30_000.0);
+        link.set_link_up(false);
+        for _ in 0..5 {
+            assert_eq!(link.offer(1_000), 0.0, "a dead link transmits nothing");
+        }
+        // Backlog frozen (no drain), offers refused not dropped, offered
+        // load still counts what the pipelines tried to send.
+        assert_eq!(link.backlog_bits(), 30_000.0);
+        assert_eq!(link.refused(), 5);
+        assert_eq!(link.refused_bits(), 5 * 8_000);
+        assert_eq!(link.dropped(), 0);
+        assert_eq!(link.offered_bits(), 40_000 + 5 * 8_000);
+        // Recovery: the pre-outage backlog drains again.
+        link.set_link_up(true);
+        for _ in 0..3 {
+            link.offer(0);
+        }
+        assert_eq!(link.backlog_bits(), 0.0);
+    }
+
+    #[test]
+    fn capacity_dip_drains_slower_against_the_provisioned_yardstick() {
+        let mut link = Uplink::new(100_000.0, 10.0);
+        link.set_capacity_factor(0.25); // 2.5k bits per interval
+        link.offer(2_500); // 20k bits offered
+        assert_eq!(link.backlog_bits(), 20_000.0 - 2_500.0);
+        // Utilization is measured against provisioned capacity: one offer
+        // of 20k bits vs a 10k-bit healthy interval reads 2.0.
+        assert_eq!(link.utilization(), 2.0);
+        link.set_capacity_factor(1.0);
+        for _ in 0..2 {
+            link.offer(0);
+        }
+        assert_eq!(link.backlog_bits(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity factor")]
+    fn zero_capacity_factor_rejected() {
+        Uplink::new(1_000.0, 10.0).set_capacity_factor(0.0);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Property-based tests for FilterForward's decision machinery: K-voting,
-//! transition detection, crop algebra, the evaluate/smoothing glue, and
-//! the edge-node memory model admission control builds on.
+//! transition detection, crop algebra, the evaluate/smoothing glue, the
+//! edge-node memory model admission control builds on, and the fault
+//! recovery layer (backoff schedules, segment conservation).
 
 use ff_core::evaluate::smooth_decisions;
 use ff_core::events::{McId, TransitionDetector};
 use ff_core::extractor::crop_to_grid;
+use ff_core::faults::{FaultPlan, FaultTrace, RecoveringUplink, RecoveryConfig, RetryPolicy};
 use ff_core::node::{max_mobilenet_instances, mobilenet_instance_bytes, EdgeNodeSpec};
 use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
+use ff_core::uplink::Uplink;
 use ff_data::CropRect;
 use ff_models::MobileNetConfig;
 use ff_video::Resolution;
@@ -217,5 +220,101 @@ proptest! {
         streaming.extend(s.finish());
         let streaming: Vec<bool> = streaming.into_iter().map(|(_, d)| d).collect();
         prop_assert_eq!(offline, streaming);
+    }
+
+    /// Retry backoff (`ff_core::faults::RetryPolicy`) over random policies:
+    /// the schedule is **deterministic** for a fixed seed, **monotone
+    /// non-decreasing** in the attempt number, and per-attempt **bounded**
+    /// by `max_delay_rounds + jitter_rounds` (so the total never exceeds
+    /// `max_total_delay_rounds`).
+    #[test]
+    fn retry_backoff_deterministic_monotone_bounded(
+        base in 1u64..8,
+        extra in 0u64..64,
+        attempts in 1u32..12,
+        jitter in 0u64..6,
+        seed in any::<u64>(),
+    ) {
+        let p = RetryPolicy {
+            base_delay_rounds: base,
+            max_delay_rounds: base + extra,
+            max_attempts: attempts,
+            jitter_rounds: jitter,
+            jitter_seed: seed,
+        };
+        let sched: Vec<u64> = (0..attempts).map(|a| p.delay_rounds(a)).collect();
+        let again: Vec<u64> = (0..attempts).map(|a| p.delay_rounds(a)).collect();
+        prop_assert_eq!(&sched, &again, "fixed seed ⇒ fixed schedule");
+        for w in sched.windows(2) {
+            prop_assert!(w[0] <= w[1], "monotone: {:?}", sched);
+        }
+        for &d in &sched {
+            prop_assert!(d >= 1, "a retry always waits at least a round");
+            prop_assert!(d <= p.max_delay_rounds + p.jitter_rounds, "{:?}", sched);
+        }
+        prop_assert!(sched.iter().sum::<u64>() <= p.max_total_delay_rounds());
+    }
+
+    /// Segment conservation under random traffic, outages, and loss: after
+    /// enough idle slots to settle every retry, `finish` leaves the ledger
+    /// with `delivered + delivered_late + dropped == offered` — no segment
+    /// is ever silently lost, for any schedule the plan can express.
+    #[test]
+    fn recovering_uplink_conserves_every_segment(
+        offers in proptest::collection::vec(0usize..800, 1..60),
+        outage_at in 0u64..40,
+        outage_len in 1u64..40,
+        loss_at in 0u64..40,
+        loss_len in 1u64..30,
+        loss_permille in 0u32..900,
+        loss_seed in any::<u64>(),
+        spill_limit in 0usize..6,
+        attempts in 1u32..5,
+    ) {
+        let plan = FaultPlan::new()
+            .uplink_outage(outage_at, outage_len)
+            .packet_loss(loss_at, loss_len, f64::from(loss_permille) / 1000.0);
+        let recovery = RecoveryConfig {
+            retry: RetryPolicy {
+                base_delay_rounds: 1,
+                max_delay_rounds: 8,
+                max_attempts: attempts,
+                jitter_rounds: 1,
+                jitter_seed: loss_seed ^ 0xABCD,
+            },
+            spill_limit_segments: spill_limit,
+            max_restarts_per_stream: 2,
+        };
+        let mut rec = RecoveringUplink::new(
+            Uplink::new(100_000.0, 10.0),
+            plan.uplink.clone(),
+            recovery,
+            loss_seed,
+        );
+        let mut trace = FaultTrace::default();
+        // Random offers, then idle slots past every fault window and the
+        // worst-case retry cycle so in-flight segments settle.
+        let tail = outage_at + outage_len + loss_at + loss_len
+            + recovery.retry.max_total_delay_rounds()
+            + offers.len() as u64
+            + 4;
+        let total = offers.len() as u64 + tail;
+        let mut offered_nonzero = 0u64;
+        for round in 0..total {
+            rec.begin_round(round, &mut trace);
+            let bytes = offers.get(round as usize).copied().unwrap_or(0);
+            offered_nonzero += u64::from(bytes > 0);
+            rec.offer(round, (round % 3) as usize, bytes, &mut trace);
+        }
+        let (_, ledger, spilled, overflow, _) = rec.finish(total, &mut trace);
+        prop_assert!(ledger.conserves(), "{:?}", ledger);
+        prop_assert_eq!(ledger.offered, offered_nonzero, "idle slots never count");
+        prop_assert!(spilled + overflow <= ledger.offered, "parks are per-segment");
+        prop_assert!(
+            ledger.dropped >= overflow,
+            "every overflow is an accounted drop: {:?} overflow={}",
+            ledger,
+            overflow
+        );
     }
 }

@@ -465,6 +465,22 @@ impl PoolShard {
         f()
     }
 
+    /// Panic-isolating [`Self::run`]: executes `f` scoped to this shard and
+    /// returns any panic — the closure's own, or one raised inside a worker
+    /// and re-raised on the submitting thread — as `Err` instead of
+    /// unwinding the caller.
+    ///
+    /// The shard itself **survives** a panicking job: workers catch panics
+    /// at the job boundary, finish draining the dispatch, and park for the
+    /// next one, so a subsequent [`Self::run`] / [`Self::try_run`] (and
+    /// [`Self::set_width`]) behaves exactly as if the poisoned job had
+    /// never been submitted — including bit-for-bit determinism of later
+    /// kernels. This is the isolation boundary the fault-tolerant edge
+    /// runtime wraps around per-stream inference stages.
+    pub fn try_run<R>(&self, f: impl FnOnce() -> R) -> std::thread::Result<R> {
+        catch_unwind(AssertUnwindSafe(|| self.run(f)))
+    }
+
     /// Shard-scoped [`parallel_chunks`]: splits `0..n` into at most
     /// [`Self::width`] ranges executed on this shard.
     pub fn parallel_chunks(&self, n: usize, f: impl Fn(usize, usize) + Sync) {
@@ -787,6 +803,41 @@ mod tests {
         shard.run(|| assert_eq!(threads(), 5));
         shard.set_width(1);
         shard.run(|| assert_eq!(threads(), 1));
+    }
+
+    #[test]
+    fn shard_survives_panicking_job_and_stays_deterministic() {
+        let mut shard = PoolShard::new(2);
+        let work = |shard: &PoolShard| -> Vec<f32> {
+            let mut buf = vec![0.0f32; 32 * 256];
+            shard.parallel_rows_mut(&mut buf, 256, |r, row| {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (r as f32).sqrt() + c as f32;
+                }
+            });
+            buf
+        };
+        let gold = work(&shard);
+        // A panic inside the closure surfaces as Err, not an unwind.
+        let err = shard.try_run(|| -> () { panic!("injected stage panic") });
+        assert!(err.is_err());
+        // A panic inside a *worker* (mid-kernel) is re-raised on the
+        // submitter and caught the same way.
+        let err = shard.try_run(|| {
+            let mut buf = vec![0.0f32; 8 * 64];
+            parallel_rows_mut(&mut buf, 64, |r, _| {
+                if r == 5 {
+                    panic!("injected worker panic");
+                }
+            });
+        });
+        assert!(err.is_err());
+        // The shard survives both: later jobs run and match bit-for-bit,
+        // and resizing still works.
+        assert_eq!(work(&shard), gold, "post-panic kernels must be identical");
+        shard.set_width(3);
+        assert_eq!(work(&shard), gold, "resize after panic must still work");
+        assert_eq!(shard.try_run(|| 7).unwrap(), 7);
     }
 
     #[test]

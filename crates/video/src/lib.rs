@@ -28,4 +28,7 @@ pub mod scene;
 pub mod source;
 
 pub use frame::{Frame, Resolution};
-pub use source::{DutyCycleSource, FrameSource, RecordedSource, SceneSource, SourcePoll};
+pub use source::{
+    DutyCycleSource, FaultySource, FrameSource, RecordedSource, SceneSource, SourceFault,
+    SourceFaultKind, SourcePoll,
+};

@@ -82,6 +82,7 @@ fn main() {
             relax_ticks: 4,
             ..DegradePolicy::default()
         }),
+        watchdog: None,
     });
 
     let style = if sharded {

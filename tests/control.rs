@@ -84,6 +84,7 @@ fn diurnal_gather_run(budget: usize) -> ControlledReport {
             relax_ticks: 4,
             ..DegradePolicy::default()
         }),
+        watchdog: None,
     })
 }
 
@@ -156,6 +157,7 @@ fn diurnal_sharded_rebalance_trace_is_deterministic() {
             batch: None,
             rebalance: Some(RebalancePolicy::default()),
             degrade: None,
+            watchdog: None,
         })
     };
     let gold = run(8);
@@ -339,6 +341,7 @@ fn degradation_ladder_lowers_offered_uplink_load() {
             relax_ticks: 8,
             ..DegradePolicy::default()
         }),
+        watchdog: None,
     });
     assert!(
         controlled
