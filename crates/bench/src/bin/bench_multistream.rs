@@ -327,6 +327,7 @@ fn main() {
     let gold = gold_for(Precision::F32);
     let gold_f16 = gold_for(Precision::F16);
     let gold_int8 = gold_for(Precision::Int8);
+    let gold_int8act = gold_for(Precision::Int8Act);
 
     ff_tensor::parallel::set_threads(budget);
     let baseline = serial_fps(&rendered[0]);
@@ -429,6 +430,15 @@ fn main() {
             gather(8),
             Precision::Int8,
         ),
+        // Whole-int8: weights *and* activations quantized, the u8 gather +
+        // vpmaddubsw GEMM path.
+        (
+            "4s_batched_b8_int8act",
+            4,
+            ShardLayout::single(budget),
+            gather(8),
+            Precision::Int8Act,
+        ),
     ];
     let mut rows: Vec<(String, f64)> = vec![(format!("serial_1s_t{budget}"), baseline)];
     println!(
@@ -442,6 +452,7 @@ fn main() {
             Precision::F32 => &gold,
             Precision::F16 => &gold_f16,
             Precision::Int8 => &gold_int8,
+            Precision::Int8Act => &gold_int8act,
         };
         let fps = measure_node(*streams, layout, *gb, *precision, n_frames, gold_p);
         if *name == "4s_sharded" {

@@ -4,8 +4,13 @@
 //! section sweeping micro-batch sizes B ∈ {1, 2, 4, 8} through the batched
 //! extraction path (one GEMM over the stacked im2col matrix per layer; see
 //! `FeatureExtractor::extract_batch`) and a `"precision"` section sweeping
-//! the weight-panel storage precision (f32 / f16 / int8 — see
-//! `ff_tensor::Precision`) at B ∈ {1, 8}.
+//! the weight-panel storage precision (f32 / f16 / int8 / int8act — see
+//! `ff_tensor::Precision`) at B ∈ {1, 8}, and a `"panel_bound"` section
+//! sweeping the same precisions through an α=1 backbone at 480×270 —
+//! the geometry whose weight set and activation buffers dwarf the
+//! per-core L2, where the reduced-precision panels (and the
+//! whole-int8 `vpmaddubsw` kernel) actually pay (override its frame count
+//! with `BENCH_PANEL_FRAMES=n`).
 //!
 //! All numbers are single-threaded (see
 //! [`ff_bench::throughput::single_threaded`]) — the Figure 5 framing — and
@@ -37,8 +42,23 @@ const N_CLASSIFIERS: usize = 4;
 const BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
 
 /// Weight-panel precisions swept through the batched extraction path
-/// (f32 baseline, f16 half-byte panels, int8 quarter-byte panels).
-const PRECISIONS: [Precision; 3] = [Precision::F32, Precision::F16, Precision::Int8];
+/// (f32 baseline, f16 half-byte panels, int8 quarter-byte panels, and
+/// whole-int8 — weights *and* activations quantized).
+const PRECISIONS: [Precision; 4] = [
+    Precision::F32,
+    Precision::F16,
+    Precision::Int8,
+    Precision::Int8Act,
+];
+
+/// Panel-bound geometry: an α=1 backbone at the largest frame the
+/// pure-Rust inference budget admits (scale 4 ⇒ 480×270). What makes the
+/// sweep panel-bound is the α=1 weight set — ~17 MB of f32 panels, 8× the
+/// 2 MB per-core L2, streamed in full by every GEMM — not the frame size;
+/// the bigger frames just amortize dispatch overhead and push the im2col
+/// working set past L2 as well.
+const PANEL_ALPHA: f32 = 1.0;
+const PANEL_SCALE: usize = 4;
 
 fn main() {
     single_threaded();
@@ -112,6 +132,33 @@ fn main() {
     let f16_speedup_b1 = lookup("f16_b1") / lookup("f32_b1");
     let f16_speedup_b8 = lookup("f16_b8") / lookup("f32_b8");
 
+    // Panel-bound sweep: the α=1 backbone at 1080p-class resolution runs
+    // every precision through the serial batched path (B=1: at this
+    // geometry a single frame's GEMMs are already panel-scale). Few frames
+    // — each forward is ~256× the scale-16 cost.
+    let panel_frames: usize = std::env::var("BENCH_PANEL_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let pframes = bench_frames(PANEL_SCALE, panel_frames);
+    let panel_bound: Vec<(String, f64)> = PRECISIONS
+        .iter()
+        .map(|&p| {
+            let fps = measure_batched_extractor_fps(&pframes, PANEL_ALPHA, 1, p);
+            println!("panel_bound_{:<15} {fps:>10.3} fps", p.label());
+            (p.label().to_string(), fps)
+        })
+        .collect();
+    let panel_lookup = |name: &str| {
+        panel_bound
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, f)| f)
+            .expect("swept")
+    };
+    let int8act_vs_f32 = panel_lookup("int8act") / panel_lookup("f32");
+    let f16_vs_f32_panel = panel_lookup("f16") / panel_lookup("f32");
+
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -167,13 +214,43 @@ fn main() {
          widening adds a vcvtph2ps/vpmovsxbd per panel load on a kernel that was at ~89% FMA \
          peak; expect the f16/int8 win where the working set exceeds the LLC (many streams, \
          alpha=1 models, small-LLC edge parts) exactly as batching's panel-streaming \
-         amortization does\"\n  }\n",
+         amortization does\"\n  },\n",
+    );
+    json.push_str("  \"panel_bound\": {\n");
+    json.push_str(&format!(
+        "    \"config\": {{\"scale\": {PANEL_SCALE}, \"alpha\": {PANEL_ALPHA}, \"frames\": {panel_frames}, \"threads\": 1, \"available_parallelism\": {available}}},\n"
+    ));
+    json.push_str("    \"extractor_fps\": {\n");
+    for (i, (name, fps)) in panel_bound.iter().enumerate() {
+        let comma = if i + 1 == panel_bound.len() { "" } else { "," };
+        json.push_str(&format!("      \"{name}\": {fps:.3}{comma}\n"));
+    }
+    json.push_str("    },\n");
+    json.push_str(&format!(
+        "    \"speedup_int8act_vs_f32\": {int8act_vs_f32:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"speedup_f16_vs_f32\": {f16_vs_f32_panel:.2},\n"
+    ));
+    json.push_str(
+        "    \"note\": \"alpha=1 at 480x270 (the largest frame the pure-Rust budget admits): \
+         the weight panels (~17 MB f32) and im2col buffers overflow this container's 2 MB L2 \
+         by an order of magnitude, so every GEMM streams its panels — the geometry the scale-16 sections \
+         above cannot reach; the whole-int8 rung additionally swaps the widen-to-f32 panel \
+         loads for vpmaddubsw/vpmaddwd integer MACs (2 multiply-adds per byte lane per \
+         instruction vs 1 per f32 FMA lane), so its win here combines streamed-byte \
+         reduction (4x fewer panel bytes than f32) with integer-kernel arithmetic density; \
+         the 260 MB shared LLC still backstops DRAM traffic on this container, bounding the \
+         bandwidth half of the win\"\n  }\n",
     );
     json.push('}');
     json.push('\n');
     println!("batched extraction B=8 vs B=1: {speedup:.2}x (single-threaded)");
     println!(
         "f16 vs f32 extraction: {f16_speedup_b1:.2}x at B=1, {f16_speedup_b8:.2}x at B=8 (single-threaded)"
+    );
+    println!(
+        "panel-bound (alpha={PANEL_ALPHA}, scale {PANEL_SCALE}): int8act vs f32 {int8act_vs_f32:.2}x, f16 vs f32 {f16_vs_f32_panel:.2}x (single-threaded)"
     );
     let mut f = std::fs::File::create(&out_path).expect("create BENCH_throughput.json");
     f.write_all(json.as_bytes()).expect("write json");

@@ -96,7 +96,7 @@ pub mod uplink;
 
 pub use control::{
     AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlPlan, ControlTrace,
-    Controller, NodeTelemetry,
+    Controller, NodeTelemetry, PrecisionCost,
 };
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};

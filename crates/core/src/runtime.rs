@@ -74,7 +74,7 @@ use ff_video::{FaultySource, Frame, FrameSource, SourcePoll};
 
 use crate::control::{
     AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlTrace, Controller,
-    ControllerInit, FaultTelemetry, NodeTelemetry, Sensors,
+    ControllerInit, FaultTelemetry, NodeTelemetry, PrecisionCost, Sensors,
 };
 use crate::events::McId;
 use crate::extractor::FeatureExtractor;
@@ -229,6 +229,12 @@ pub struct EdgeNodeConfig {
     /// [`crate::pipeline::FilterForward::set_precision`]). `None` (the
     /// default) respects each pipeline's own `MobileNetConfig::precision`.
     pub precision: Option<ff_tensor::Precision>,
+    /// `Some` hands the controlled executor a calibration-time per-rung
+    /// cost table (see [`PrecisionCost`]): the degrade policy then
+    /// *predicts* which ladder rung clears an uplink deficit and jumps
+    /// straight there. `None` (the default) keeps the blind
+    /// one-rung-per-streak stepping.
+    pub precision_cost: Option<PrecisionCost>,
     /// `Some` gates [`EdgeNode::try_add_stream`] against the node's memory
     /// envelope and shard budget (see [`crate::control::AdmissionPolicy`]).
     /// `None` (the default) admits everything, the pre-control-plane
@@ -258,6 +264,7 @@ impl EdgeNodeConfig {
             uplink_queue_limit_bytes: None,
             gather_batch: None,
             precision: None,
+            precision_cost: None,
             admission: None,
             faults: None,
             recovery: RecoveryConfig::default(),
@@ -274,6 +281,13 @@ impl EdgeNodeConfig {
     /// style).
     pub fn with_precision(mut self, precision: ff_tensor::Precision) -> Self {
         self.precision = Some(precision);
+        self
+    }
+
+    /// Hands the degrade policy a calibration-time per-precision cost
+    /// table for predictive rung selection (builder style).
+    pub fn with_precision_cost(mut self, cost: PrecisionCost) -> Self {
+        self.precision_cost = Some(cost);
         self
     }
 
@@ -938,6 +952,7 @@ impl EdgeNode {
                 initial_batch: cur_batch,
                 initial_widths: widths,
                 base_precision,
+                precision_cost: cfg.precision_cost.clone(),
             },
         );
         let mut sensors = Sensors::new(n, ctl.arrival_alpha);

@@ -1,7 +1,9 @@
 //! Property-based tests for FilterForward's decision machinery: K-voting,
 //! transition detection, crop algebra, the evaluate/smoothing glue, the
-//! edge-node memory model admission control builds on, and the fault
-//! recovery layer (backoff schedules, segment conservation).
+//! edge-node memory model admission control builds on, the fault
+//! recovery layer (backoff schedules, segment conservation), and the
+//! whole-int8 quantization contract (round-trip bounds, kernel-vs-scalar
+//! bit-identity).
 
 use ff_core::evaluate::smooth_decisions;
 use ff_core::events::{McId, TransitionDetector};
@@ -12,8 +14,99 @@ use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
 use ff_core::uplink::Uplink;
 use ff_data::CropRect;
 use ff_models::MobileNetConfig;
+use ff_tensor::{
+    gemm_prepacked_i8i8, i8i8_padded_k, pack_b_panels_i8i8_into, packed_panels_i8i8_len,
+    packed_scales_i8_len, packed_scales_i8i8_len, quantize_a_rows_into, Epilogue,
+};
 use ff_video::Resolution;
 use proptest::prelude::*;
+
+/// The kernels' fused multiply-add, mirrored so the scalar reference below
+/// matches them bit-for-bit on any build configuration.
+fn fmadd(acc: f32, a: f32, b: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+/// From-scratch scalar reference for [`gemm_prepacked_i8i8`]: per group of
+/// K-quads, the saturating `vpmaddubsw` pair contract into an i32
+/// accumulator, zero-point compensation against the group column sum, one
+/// FMA with the group scale, and the row's activation scale on the finished
+/// sum — written directly from the documented contract, reading the panel
+/// through the documented quad-interleaved byte position, sharing none of
+/// the kernel's code.
+#[allow(clippy::too_many_arguments)]
+fn reference_i8i8(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    packed: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) -> Vec<f32> {
+    const NR: usize = 16; // the panel width (asserted against the pack below)
+    let kp = i8i8_padded_k(k);
+    let np = packed_scales_i8_len(n);
+    let quads = kp / 4;
+    let gq = group_size / 4;
+    let groups = kp.div_ceil(group_size);
+    let code = |kk: usize, j: usize| -> i8 {
+        let (jp, jo) = (j / NR, j % NR);
+        packed[jp * NR * kp + (kk / 4) * NR * 4 + jo * 4 + (kk % 4)]
+    };
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &aq[i * kp..(i + 1) * kp];
+        let zp = i32::from(a_zps[i]);
+        for j in 0..n {
+            let mut facc = 0.0f32;
+            for g in 0..groups {
+                let mut iacc = 0i32;
+                for kq in g * gq..(g * gq + gq).min(quads) {
+                    let mut pair = [0i32; 2];
+                    for (t, p) in pair.iter_mut().enumerate() {
+                        *p = i32::from(row[kq * 4 + 2 * t]) * i32::from(code(kq * 4 + 2 * t, j))
+                            + i32::from(row[kq * 4 + 2 * t + 1])
+                                * i32::from(code(kq * 4 + 2 * t + 1, j));
+                    }
+                    iacc += pair[0].clamp(-32768, 32767) + pair[1].clamp(-32768, 32767);
+                }
+                let comp = iacc - zp * colsums[g * np + j];
+                facc = fmadd(facc, comp as f32, b_scales[g * np + j]);
+            }
+            out[i * n + j] = facc * a_scales[i];
+        }
+    }
+    for r in out.chunks_mut(n) {
+        if let Some(bias) = ep.bias {
+            for (v, &b) in r.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        if let Some((sc, sh)) = ep.scale_shift {
+            for ((v, &s), &t) in r.iter_mut().zip(sc).zip(sh) {
+                *v = fmadd(t, *v, s);
+            }
+        }
+        if ep.relu {
+            for v in r.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+    out
+}
 
 /// Offline reference for K-voting: decide every frame by recomputing its
 /// clipped window `[f−(N−1)/2, f+(N−1)/2] ∩ [0, last]` directly from the
@@ -316,5 +409,95 @@ proptest! {
             ledger,
             overflow
         );
+    }
+
+    /// Dynamic activation quantization round-trips within its code budget:
+    /// for random rows, dequantizing every u8 code lands within 1.5 scale
+    /// units of the input (½ from value rounding, ½ from the zero-point
+    /// rounding the clamp can add at the range edge, ½ slack), the quad pad
+    /// is always zero codes, and a re-run is bit-identical.
+    #[test]
+    fn whole_int8_activation_quantization_round_trips(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 1..40), 1..6),
+    ) {
+        let m = rows.len();
+        let k = rows.iter().map(Vec::len).min().unwrap();
+        let a: Vec<f32> = rows.iter().flat_map(|r| r[..k].iter().copied()).collect();
+        let kp = i8i8_padded_k(k);
+        let mut q = vec![0u8; m * kp];
+        let mut scales = vec![0.0f32; m];
+        let mut zps = vec![0u8; m];
+        quantize_a_rows_into(&a, &mut q, &mut scales, &mut zps, m, k);
+        for i in 0..m {
+            let s = scales[i];
+            prop_assert!(s > 0.0, "scale must be positive");
+            let zp = f32::from(zps[i]);
+            for kk in 0..k {
+                let v = a[i * k + kk];
+                let deq = (f32::from(q[i * kp + kk]) - zp) * s;
+                prop_assert!(
+                    (deq - v).abs() <= 1.5 * s + 1e-6,
+                    "row {} col {}: {} dequantizes to {} (scale {})",
+                    i, kk, v, deq, s
+                );
+            }
+            prop_assert!(q[i * kp + k..(i + 1) * kp].iter().all(|&b| b == 0));
+        }
+        let (q2, s2, z2) = (q.clone(), scales.clone(), zps.clone());
+        let mut q = vec![1u8; m * kp];
+        let mut scales = vec![9.0f32; m];
+        let mut zps = vec![7u8; m];
+        quantize_a_rows_into(&a, &mut q, &mut scales, &mut zps, m, k);
+        prop_assert_eq!((q, scales, zps), (q2, s2, z2), "must be deterministic");
+    }
+
+    /// The whole-int8 GEMM equals the from-scratch scalar contract
+    /// reference **bit-for-bit** for random shapes, group sizes, and
+    /// epilogues — on this target that pins the AVX2 `vpmaddubsw` micro-
+    /// kernels to the documented saturating-quad semantics; on scalar
+    /// builds it pins the portable loop to the same contract.
+    #[test]
+    fn whole_int8_gemm_is_bit_identical_to_scalar_reference(
+        m in 1usize..8,
+        k in 1usize..70,
+        n in 1usize..40,
+        gsel in 0usize..4,
+        ep_sel in 0usize..8,
+        raw_a in proptest::collection::vec(-4.0f32..4.0, 8 * 70),
+        raw_b in proptest::collection::vec(-2.0f32..2.0, 70 * 40),
+        bias in proptest::collection::vec(-1.0f32..1.0, 40),
+        sc in proptest::collection::vec(0.25f32..2.0, 40),
+        sh in proptest::collection::vec(-1.0f32..1.0, 40),
+    ) {
+        let group_size = [4usize, 8, 16, 64][gsel];
+        let a = &raw_a[..m * k];
+        let b = &raw_b[..k * n];
+        let ep = Epilogue {
+            bias: (ep_sel & 1 != 0).then_some(&bias[..n]),
+            scale_shift: (ep_sel & 2 != 0).then_some((&sc[..n], &sh[..n])),
+            relu: ep_sel & 4 != 0,
+        };
+        let mut packed = vec![0i8; packed_panels_i8i8_len(k, n)];
+        let gl = packed_scales_i8i8_len(k, n, group_size);
+        let (mut b_scales, mut colsums) = (vec![0.0f32; gl], vec![0i32; gl]);
+        pack_b_panels_i8i8_into(b, &mut packed, &mut b_scales, &mut colsums, k, n, group_size);
+        // The reference hardcodes the NR = 16 panel width; pin it.
+        prop_assert_eq!(packed.len(), n.div_ceil(16) * 16 * i8i8_padded_k(k));
+        let kp = i8i8_padded_k(k);
+        let mut aq = vec![0u8; m * kp];
+        let (mut a_scales, mut a_zps) = (vec![0.0f32; m], vec![0u8; m]);
+        quantize_a_rows_into(a, &mut aq, &mut a_scales, &mut a_zps, m, k);
+        let mut got = vec![0.0f32; m * n];
+        gemm_prepacked_i8i8(
+            &aq, &a_scales, &a_zps, &packed, &b_scales, &colsums, group_size,
+            &mut got, m, k, n, ep,
+        );
+        let want = reference_i8i8(
+            &aq, &a_scales, &a_zps, &packed, &b_scales, &colsums, group_size, m, k, n, ep,
+        );
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got_bits, want_bits, "m={} k={} n={} g={}", m, k, n, group_size);
     }
 }

@@ -157,10 +157,24 @@ impl Layer for Conv2d {
             self.ensure_packed();
         }
         let mut out = ws.take(&[positions, self.out_c]);
-        // 1×1 stride-1 kernels (ubiquitous: every pointwise conv in
-        // MobileNet and the full-frame MC) skip im2col entirely — the
-        // input feature map *is* the im2col matrix.
-        if self.kh == 1 && self.kw == 1 && self.stride == 1 {
+        // Whole-int8 inference: the frame quantizes to u8 once and the
+        // patch gather lands directly in a u8 buffer — activations never
+        // round-trip through an f32 im2col matrix (1×1 kernels included,
+        // whose u8 rows still need the GEMM's quad padding).
+        if packed && self.packed.precision() == Precision::Int8Act {
+            crate::layers::int8act::forward_int8act(
+                x.data(),
+                1,
+                &geo,
+                &self.packed,
+                out.data_mut(),
+                self.out_c,
+                Epilogue::default(),
+            );
+        } else if self.kh == 1 && self.kw == 1 && self.stride == 1 {
+            // 1×1 stride-1 kernels (ubiquitous: every pointwise conv in
+            // MobileNet and the full-frame MC) skip im2col entirely — the
+            // input feature map *is* the im2col matrix.
             self.run_gemm(x.data(), out.data_mut(), positions, self.in_c, packed);
             if phase == Phase::Train {
                 let cols = x.clone().reshape(vec![positions, self.in_c]);
@@ -203,7 +217,19 @@ impl Layer for Conv2d {
         if packed {
             self.ensure_packed();
         }
-        if self.kh == 1 && self.kw == 1 && self.stride == 1 {
+        if packed && self.packed.precision() == Precision::Int8Act {
+            // Whole-int8 batch: per-frame quantization + u8 gather into
+            // consecutive row ranges, one GEMM for the whole batch.
+            crate::layers::int8act::forward_int8act(
+                x.data(),
+                batch,
+                &geo,
+                &self.packed,
+                out.data_mut(),
+                self.out_c,
+                Epilogue::default(),
+            );
+        } else if self.kh == 1 && self.kw == 1 && self.stride == 1 {
             self.run_gemm(x.data(), out.data_mut(), rows, self.in_c, packed);
         } else {
             let mut cols = ws.take(&[rows, geo.fan_in()]);

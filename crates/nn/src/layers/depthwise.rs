@@ -65,7 +65,10 @@ impl TapWeightStore {
                         *v = f16_to_f32(f32_to_f16(*v));
                     }
                 }
-                Precision::Int8 => {
+                // Depthwise taps have no GEMM lowering, so the whole-int8
+                // rung quantizes them exactly like the weight-only int8
+                // rung: per-channel symmetric roundtrip.
+                Precision::Int8 | Precision::Int8Act => {
                     let taps = w.len() / c;
                     for ch in 0..c {
                         let mut amax = 0.0f32;

@@ -169,6 +169,23 @@ impl ConvBnRelu {
     ) -> Option<Tensor> {
         let positions = geo.positions();
         let fan_in = geo.fan_in();
+        // Whole-int8 inference: quantize the frame once and gather straight
+        // into a u8 buffer, with the folded-norm epilogue fused into the
+        // int8 GEMM's dequant pass (train/calibration never take this
+        // branch — they run `prepacked == false`).
+        if prepacked && self.packed_weights.precision() == Precision::Int8Act {
+            debug_assert!(!keep_cols, "whole-int8 path is inference-only");
+            crate::layers::int8act::forward_int8act(
+                x.data(),
+                1,
+                geo,
+                &self.packed_weights,
+                out.data_mut(),
+                self.out_c,
+                ep,
+            );
+            return None;
+        }
         let run = |a: &[f32], out: &mut [f32]| {
             if prepacked {
                 self.packed_weights
@@ -265,7 +282,19 @@ impl Layer for ConvBnRelu {
             relu: true,
         };
         let mut out = ws.take(&[rows, self.out_c]);
-        if self.k == 1 && self.stride == 1 {
+        if self.packed_weights.precision() == Precision::Int8Act {
+            // Whole-int8 batch: per-frame quantization + u8 gather into
+            // consecutive row ranges, one GEMM for the whole batch.
+            crate::layers::int8act::forward_int8act(
+                x.data(),
+                batch,
+                &geo,
+                &self.packed_weights,
+                out.data_mut(),
+                self.out_c,
+                ep,
+            );
+        } else if self.k == 1 && self.stride == 1 {
             // Stacked HWC frames are already the stacked im2col matrix.
             self.packed_weights
                 .gemm(x.data(), out.data_mut(), rows, self.in_c, self.out_c, ep);

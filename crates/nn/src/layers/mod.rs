@@ -5,6 +5,7 @@ pub mod conv;
 pub mod dense;
 pub mod depthwise;
 pub mod fused;
+pub(crate) mod int8act;
 pub mod norm;
 pub mod pool;
 pub mod separable;

@@ -210,6 +210,69 @@ fn fill_patch_row(xd: &[f32], geo: &Conv2dGeometry, pos: usize, row: &mut [f32])
     }
 }
 
+/// Lowers a **quantized** u8 HWC map into quad-padded im2col rows for the
+/// whole-int8 GEMM ([`crate::gemm_prepacked_i8i8`]): `out` holds
+/// `positions` rows of [`crate::i8i8_padded_k`]`(fan_in)` bytes each.
+/// SAME-padding taps write the map's zero point `zp` — the exact u8
+/// encoding of 0.0 under the asymmetric scheme — and the quad pad at the
+/// end of each row writes code 0, which the zero-coded padded weight rows
+/// annihilate. The quantized activations go straight from the per-frame
+/// map to the GEMM's byte layout with no f32 round-trip.
+///
+/// Row `p` is a pure function of the map, so batched lowering (one call
+/// per frame into consecutive row ranges) is bit-identical to the serial
+/// path by construction, mirroring [`im2col_batch_into`].
+///
+/// # Panics
+///
+/// Panics if `qmap` or `out` do not match `geo`.
+pub fn im2col_u8_into(qmap: &[u8], zp: u8, geo: &Conv2dGeometry, out: &mut [u8]) {
+    assert_eq!(
+        qmap.len(),
+        geo.in_h * geo.in_w * geo.in_c,
+        "im2col u8 input shape"
+    );
+    let fan_in = geo.fan_in();
+    let kp = crate::i8i8_padded_k(fan_in);
+    assert_eq!(out.len(), geo.positions() * kp, "im2col u8 output shape");
+    for pos in 0..geo.positions() {
+        let row = &mut out[pos * kp..(pos + 1) * kp];
+        fill_patch_row_u8(qmap, geo, pos, zp, &mut row[..fan_in]);
+        row[fan_in..].fill(0);
+    }
+}
+
+/// u8 twin of [`fill_patch_row`]: same span-copy structure, but padding
+/// taps write the zero point instead of 0.0.
+#[inline]
+fn fill_patch_row_u8(xd: &[u8], geo: &Conv2dGeometry, pos: usize, zp: u8, row: &mut [u8]) {
+    let (w, c) = (geo.in_w, geo.in_c);
+    let row_c = geo.kw * c;
+    let oy = pos / geo.out_w;
+    let ox = pos % geo.out_w;
+    let y0 = (oy * geo.stride) as isize - geo.pad_top as isize;
+    let x0 = (ox * geo.stride) as isize - geo.pad_left as isize;
+    let kx_lo = (-x0).clamp(0, geo.kw as isize) as usize;
+    let kx_hi = ((w as isize - x0).clamp(0, geo.kw as isize)) as usize;
+    for ky in 0..geo.kh {
+        let y = y0 + ky as isize;
+        let dst = &mut row[ky * row_c..(ky + 1) * row_c];
+        if y < 0 || y >= geo.in_h as isize || kx_lo >= kx_hi {
+            dst.fill(zp);
+            continue;
+        }
+        let y = y as usize;
+        dst[..kx_lo * c].fill(zp);
+        let base = (y * w) as isize + x0;
+        let (lo, hi) = (
+            (base + kx_lo as isize) as usize,
+            (base + kx_hi as isize) as usize,
+        );
+        dst[kx_lo * c..kx_hi * c].copy_from_slice(&xd[lo * c..hi * c]);
+        dst[kx_hi * c..].fill(zp);
+    }
+}
+
 /// Scatters an im2col-shaped gradient back into image space (the adjoint of
 /// [`im2col`]): overlapping taps accumulate.
 ///
@@ -342,6 +405,49 @@ mod tests {
                     want.data(),
                     "frame {b} of {batch} (k{k} s{stride})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn u8_im2col_matches_f32_im2col_on_codes() {
+        // Lowering the quantized map must place exactly the map's codes at
+        // in-bounds taps and the zero point at padding taps — verified
+        // against the f32 lowering run on the zp-shifted codes (whose
+        // padding value 0.0 is the shift of zp).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for &(h, w, c, k, stride) in &[
+            (5usize, 4usize, 3usize, 3usize, 1usize),
+            (5, 4, 3, 3, 2),
+            (4, 4, 2, 1, 1),
+            (6, 7, 5, 3, 2),
+        ] {
+            let geo = Conv2dGeometry::resolve((h, w, c), (k, k), stride, Padding::Same);
+            let x: Vec<f32> = (0..h * w * c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut qmap = vec![0u8; x.len()];
+            let (_, zp) = crate::quantize_map_u8_into(&x, &mut qmap);
+            let kp = crate::i8i8_padded_k(geo.fan_in());
+            let mut got = vec![0u8; geo.positions() * kp];
+            im2col_u8_into(&qmap, zp, &geo, &mut got);
+            let shifted = Tensor::from_vec(
+                vec![h, w, c],
+                qmap.iter().map(|&q| f32::from(q) - f32::from(zp)).collect(),
+            );
+            let want = im2col(&shifted, &geo);
+            for pos in 0..geo.positions() {
+                let grow = &got[pos * kp..(pos + 1) * kp];
+                let wrow = &want.data()[pos * geo.fan_in()..(pos + 1) * geo.fan_in()];
+                for (j, (&g, &wv)) in grow.iter().zip(wrow).enumerate() {
+                    assert_eq!(
+                        f32::from(g) - f32::from(zp),
+                        wv,
+                        "{h}x{w}x{c} k{k} s{stride} pos {pos} tap {j}"
+                    );
+                }
+                for &g in &grow[geo.fan_in()..] {
+                    assert_eq!(g, 0, "quad pad byte");
+                }
             }
         }
     }

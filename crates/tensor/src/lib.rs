@@ -61,12 +61,16 @@ pub mod parallel;
 mod tensor;
 mod workspace;
 
-pub use im2col::{col2im, im2col, im2col_batch_into, im2col_into, Conv2dGeometry, Padding};
+pub use im2col::{
+    col2im, im2col, im2col_batch_into, im2col_into, im2col_u8_into, Conv2dGeometry, Padding,
+};
 pub use init::{glorot_uniform, he_normal, uniform};
 pub use lowp::{
-    f16_to_f32, f32_to_f16, gemm_prepacked_f16, gemm_prepacked_i8, pack_b_panels_f16_into,
-    pack_b_panels_i8_into, packed_panels_f16_len, packed_panels_i8_len, packed_scales_i8_len,
-    PackedPanels, Precision,
+    f16_to_f32, f32_to_f16, gemm_prepacked_f16, gemm_prepacked_i8, gemm_prepacked_i8i8,
+    i8i8_groups, i8i8_padded_k, pack_b_panels_f16_into, pack_b_panels_i8_into,
+    pack_b_panels_i8i8_into, packed_panels_f16_len, packed_panels_i8_len, packed_panels_i8i8_len,
+    packed_scales_i8_len, packed_scales_i8i8_len, quantize_a_rows_into, quantize_map_u8_into,
+    PackedPanels, Precision, I8I8_GROUP_SIZE,
 };
 pub use matmul::{
     gemm, gemm_fused, gemm_prepacked, matmul, matmul_into, matmul_transpose_a, matmul_transpose_b,

@@ -26,6 +26,42 @@
 //! `Σₖ aₖ·qₖⱼ` with the raw (widened) integer codes and applies the column
 //! scale once per output element after the reduction, so quantization adds
 //! one multiply per output, not one per multiply-add.
+//!
+//! # Whole-int8 quantization scheme ([`Precision::Int8Act`])
+//!
+//! The [`gemm_prepacked_i8i8`] path quantizes *both* operands so the inner
+//! loop is pure integer arithmetic (`vpmaddubsw` + `vpmaddwd` on AVX2):
+//!
+//! - **Activations** are quantized dynamically, per row (per frame for the
+//!   conv layers), to **asymmetric u8**: the row range is widened to
+//!   include 0 (`lo = min(0, min aᵢ)`, `hi = max(0, max aᵢ)`), then
+//!   `scale = (hi − lo)/255`, `zp = round(−lo/scale)` clamped to `[0, 255]`
+//!   and `q = clamp(round(a/scale) + zp, 0, 255)`. Asymmetry matters
+//!   because post-ReLU maps are one-sided — a symmetric scheme would waste
+//!   half the code range; forcing 0 into the range makes `a = 0` encode
+//!   exactly to `zp`, so SAME-padding contributes exactly zero. See
+//!   [`quantize_a_rows_into`].
+//! - **Weights** are quantized at pack time to **symmetric s8 with one
+//!   scale per `group_size` rows of K per column** (`scale = max|group|/63`,
+//!   all-zero groups get scale 1.0), quad-interleaved for the SIMD kernel.
+//!   Grouping along K bounds the quantization error by the local — not
+//!   global — column range, which is what buys back the bit spent on the
+//!   `[-63, 63]` code range (see below). See [`pack_b_panels_i8i8_into`].
+//! - **Accumulation is i32**, exactly: per `k`-quad the kernel computes
+//!   `sat16(a₀w₀ + a₁w₁) + sat16(a₂w₂ + a₃w₃)` (the `vpmaddubsw`
+//!   saturating-pair contract, emulated bit-for-bit by the scalar
+//!   fallback) and adds it into per-group i32 accumulators. Weight codes
+//!   are clamped to `[-63, 63]` precisely so that contract can never
+//!   actually clip (`255·63·2 = 32130 < 2¹⁵`): the u8×s8 pair sum always
+//!   fits i16, making the SIMD instruction exact integer arithmetic.
+//!   Integer adds are order-independent, so the result is bit-identical
+//!   for any thread count, shard width, or batch size.
+//! - **Dequantization is fused, once per group**: the zero-point is folded
+//!   via precomputed per-(group, column) weight-code sums
+//!   (`Σ(q−zp)·w = Σq·w − zp·Σw`), the compensated i32 converts exactly to
+//!   f32 and FMA-accumulates with the group's weight scale, and the row's
+//!   activation scale multiplies the finished sum — which then feeds the
+//!   ordinary f32 [`Epilogue`] (bias / BN / ReLU), unchanged.
 
 use crate::matmul::{check_gemm_args, fmadd, Epilogue, MIN_ELEMS_FOR_THREADS, MR, NR};
 use crate::matmul::{pack_b_panels_into, packed_panels_len};
@@ -48,6 +84,12 @@ pub enum Precision {
     /// widened to f32 in registers and scaled after the reduction.
     /// Quarters panel bytes (plus a 4·N-byte scale vector).
     Int8,
+    /// Whole-int8: symmetric s8 panels with per-`K`-group scales *and*
+    /// dynamically quantized asymmetric u8 activations, accumulated in i32
+    /// (`vpmaddubsw`/`vpmaddwd` on AVX2) with one fused dequant per group.
+    /// Quarters panel bytes and replaces the f32 FMA chain with integer
+    /// arithmetic — the deepest precision rung.
+    Int8Act,
 }
 
 impl Precision {
@@ -58,6 +100,7 @@ impl Precision {
             Precision::F32 => "f32",
             Precision::F16 => "f16",
             Precision::Int8 => "int8",
+            Precision::Int8Act => "int8act",
         }
     }
 
@@ -70,6 +113,7 @@ impl Precision {
             Precision::F32 => packed_panels_len(k, n) * 4,
             Precision::F16 => packed_panels_f16_len(k, n) * 2,
             Precision::Int8 => packed_panels_i8_len(k, n),
+            Precision::Int8Act => packed_panels_i8i8_len(k, n),
         }
     }
 }
@@ -209,8 +253,11 @@ pub fn pack_b_panels_f16_into(b: &[f32], packed: &mut [u16], k: usize, n: usize)
 
 /// Packs a row-major `[K, N]` matrix into symmetric int8 micro-kernel
 /// panels with one f32 scale per column: `scale[j] = max|B[:,j]| / 127`,
-/// `q = round(B / scale)` clamped to `[-127, 127]` (an all-zero column gets
-/// scale 0). Padded columns get zero codes and zero scales.
+/// `q = round(B / scale)` clamped to `[-127, 127]`. An all-zero column gets
+/// scale **1.0** (its codes are all zero, so the dequantized column is
+/// still exactly zero — a 0.0 scale would instead poison any epilogue math
+/// that divides by it and produces denormals downstream). Padded columns
+/// likewise get zero codes and scale 1.0.
 ///
 /// # Panics
 ///
@@ -219,7 +266,7 @@ pub fn pack_b_panels_i8_into(b: &[f32], packed: &mut [i8], scales: &mut [f32], k
     assert_eq!(b.len(), k * n, "pack B buffer");
     assert_eq!(packed.len(), packed_panels_i8_len(k, n), "pack i8 output");
     assert_eq!(scales.len(), packed_scales_i8_len(n), "pack i8 scales");
-    scales.fill(0.0);
+    scales.fill(1.0);
     // Per-column symmetric range.
     let mut inv = vec![0.0f32; n];
     for (j, inv_j) in inv.iter_mut().enumerate() {
@@ -245,6 +292,320 @@ pub fn pack_b_panels_i8_into(b: &[f32], packed: &mut [i8], scales: &mut [f32], k
             }
             cell[w..].fill(0);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-int8 packing (u8 activations × s8 weights)
+// ---------------------------------------------------------------------------
+
+/// Default K-group size for per-group weight scales on the whole-int8 path
+/// (must be a multiple of 4, the `vpmaddubsw` quad width). 64 keeps the
+/// group-local range tight on MobileNet fan-ins while adding only one fused
+/// dequant per 16 k-quads.
+pub const I8I8_GROUP_SIZE: usize = 64;
+
+/// K rounded up to whole `vpmaddubsw` quads — the row stride of quantized
+/// activation buffers and the packed K extent of i8i8 panels.
+#[inline]
+pub fn i8i8_padded_k(k: usize) -> usize {
+    k.next_multiple_of(4)
+}
+
+/// Number of K-groups the i8i8 pack splits `k` into at `group_size`.
+#[inline]
+pub fn i8i8_groups(k: usize, group_size: usize) -> usize {
+    i8i8_padded_k(k).div_ceil(group_size)
+}
+
+/// Length (in `i8` elements) of the panel buffer
+/// [`pack_b_panels_i8i8_into`] needs for a `[K, N]` matrix: the f32 panel
+/// element count with K padded to whole quads.
+pub fn packed_panels_i8i8_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * i8i8_padded_k(k)
+}
+
+/// Length of the per-(K-group, column) scale and column-sum vectors
+/// [`pack_b_panels_i8i8_into`] needs: one entry per group per column,
+/// columns padded to whole `NR`-wide panels.
+pub fn packed_scales_i8i8_len(k: usize, n: usize, group_size: usize) -> usize {
+    i8i8_groups(k, group_size) * packed_scales_i8_len(n)
+}
+
+/// Packs a row-major `[K, N]` matrix into **quad-interleaved** symmetric
+/// int8 panels for the whole-int8 kernel, with one scale *per `group_size`
+/// rows of K per column* (`scale = max|group|/63`, codes clamped to
+/// `[-63, 63]` so the `vpmaddubsw` pair sum can never saturate — see the
+/// module docs) and precomputed per-(group, column) i32 sums of the weight
+/// codes (the zero-point compensation term).
+///
+/// Panel layout: panel `jp` holds `ceil(K/4)` quads of `NR × 4` bytes; the
+/// byte at `quad·NR·4 + jo·4 + t` is column `jp·NR + jo`, row `4·quad + t`
+/// — so one 32-byte SIMD load covers 8 columns × 4 K-rows, exactly the
+/// shape `vpmaddubsw` consumes against a broadcast activation quad. K-rows
+/// past `K` and columns past `N` pack as zero codes; all-zero (or padded)
+/// group-columns get scale 1.0, and the column sums include only real rows
+/// (padded codes are zero, so they drop out of both the dot product and
+/// the compensation).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions, or `group_size`
+/// is not a positive multiple of 4.
+pub fn pack_b_panels_i8i8_into(
+    b: &[f32],
+    packed: &mut [i8],
+    scales: &mut [f32],
+    colsums: &mut [i32],
+    k: usize,
+    n: usize,
+    group_size: usize,
+) {
+    assert!(
+        group_size > 0 && group_size.is_multiple_of(4),
+        "i8i8 group size must be a positive multiple of 4"
+    );
+    assert_eq!(b.len(), k * n, "pack B buffer");
+    assert_eq!(
+        packed.len(),
+        packed_panels_i8i8_len(k, n),
+        "pack i8i8 output"
+    );
+    let gl = packed_scales_i8i8_len(k, n, group_size);
+    assert_eq!(scales.len(), gl, "pack i8i8 scales");
+    assert_eq!(colsums.len(), gl, "pack i8i8 column sums");
+    scales.fill(1.0);
+    colsums.fill(0);
+    packed.fill(0);
+    let kp = i8i8_padded_k(k);
+    let np = packed_scales_i8_len(n);
+    let groups = i8i8_groups(k, group_size);
+    for g in 0..groups {
+        let k0 = g * group_size;
+        let k1 = (k0 + group_size).min(k);
+        for j in 0..n {
+            let mut amax = 0.0f32;
+            for kk in k0..k1 {
+                amax = amax.max(b[kk * n + j].abs());
+            }
+            if amax > 0.0 {
+                scales[g * np + j] = amax / 63.0;
+            }
+        }
+    }
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let dst = &mut packed[jp * NR * kp..(jp + 1) * NR * kp];
+        for kk in 0..k {
+            let g = kk / group_size;
+            let quad = kk / 4;
+            let t = kk % 4;
+            for jo in 0..w {
+                let j = j0 + jo;
+                let s = scales[g * np + j];
+                let q = (b[kk * n + j] / s).round().clamp(-63.0, 63.0) as i8;
+                dst[quad * NR * 4 + jo * 4 + t] = q;
+                colsums[g * np + j] += q as i32;
+            }
+        }
+    }
+}
+
+/// Dynamically quantizes `m` rows of `k` f32 activations to asymmetric u8
+/// with one `(scale, zero_point)` pair per row — the A-side of
+/// [`gemm_prepacked_i8i8`]. Each output row is `i8i8_padded_k(k)` bytes
+/// (quad-padded with zeros; padded weight codes are also zero, so the pad
+/// contributes nothing).
+///
+/// The row range is widened to include 0, so `a = 0.0` encodes exactly to
+/// the zero point and post-ReLU rows use the full `[0, 255]` code range
+/// (see the module docs). A constant-zero row gets scale 1.0, zero point 0.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions.
+pub fn quantize_a_rows_into(
+    a: &[f32],
+    q: &mut [u8],
+    scales: &mut [f32],
+    zps: &mut [u8],
+    m: usize,
+    k: usize,
+) {
+    let kp = i8i8_padded_k(k);
+    assert_eq!(a.len(), m * k, "quantize A buffer");
+    assert_eq!(q.len(), m * kp, "quantize A codes");
+    assert_eq!(scales.len(), m, "quantize A scales");
+    assert_eq!(zps.len(), m, "quantize A zero-points");
+    for i in 0..m {
+        let row = &a[i * k..(i + 1) * k];
+        let (scale, zp) = row_qparams(row);
+        scales[i] = scale;
+        zps[i] = zp;
+        let dst = &mut q[i * kp..(i + 1) * kp];
+        quantize_row(row, scale, zp, dst);
+    }
+}
+
+/// Quantizes one flat f32 slice to asymmetric u8 with a single
+/// `(scale, zero_point)` pair — the per-frame variant the conv layers use
+/// to quantize an input feature map once, before the u8 im2col gather
+/// (`q.len() == x.len()`, no quad padding; the im2col pads rows instead).
+pub fn quantize_map_u8_into(x: &[f32], q: &mut [u8]) -> (f32, u8) {
+    assert_eq!(x.len(), q.len(), "quantize map buffer");
+    let (scale, zp) = row_qparams(x);
+    quantize_row(x, scale, zp, q);
+    (scale, zp)
+}
+
+/// Asymmetric u8 quantization parameters for a slice, range widened to
+/// include 0 (so zero encodes exactly and one-sided ReLU ranges keep the
+/// full code space).
+///
+/// The range scan runs as an 8-lane `vminps`/`vmaxps` sweep (the naive
+/// fold is a serial `maxss` dependency chain, and this pass runs over
+/// every feature map on the whole-int8 path); min/max are associative and
+/// commutative and maps hold no NaNs, so the lane split and the scalar
+/// fallback agree on every input either path ever sees.
+fn row_qparams(row: &[f32]) -> (f32, u8) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    // SAFETY: avx2 is a compile-time target feature here.
+    let (lo, hi) = unsafe { minmax_avx2(row) };
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    let (lo, hi) = minmax_generic(row);
+    if hi <= lo {
+        return (1.0, 0);
+    }
+    let scale = (hi - lo) / 255.0;
+    let zp = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+    (scale, zp)
+}
+
+/// Portable min/max sweep with 8 independent lanes, seeded at 0.0 (the
+/// range always includes zero — see [`row_qparams`]).
+#[allow(dead_code)]
+fn minmax_generic(row: &[f32]) -> (f32, f32) {
+    const L: usize = 8;
+    let mut lo_v = [0.0f32; L];
+    let mut hi_v = [0.0f32; L];
+    let mut chunks = row.chunks_exact(L);
+    for c in chunks.by_ref() {
+        for i in 0..L {
+            lo_v[i] = lo_v[i].min(c[i]);
+            hi_v[i] = hi_v[i].max(c[i]);
+        }
+    }
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for i in 0..L {
+        lo = lo.min(lo_v[i]);
+        hi = hi.max(hi_v[i]);
+    }
+    for &v in chunks.remainder() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// AVX2 min/max sweep: 8-lane `vminps`/`vmaxps` accumulators seeded at
+/// 0.0, horizontal reduce, scalar tail. Identical to [`minmax_generic`]
+/// for all finite inputs.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+unsafe fn minmax_avx2(row: &[f32]) -> (f32, f32) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let mut lo_v = _mm256_setzero_ps();
+        let mut hi_v = _mm256_setzero_ps();
+        let mut chunks = row.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let v = _mm256_loadu_ps(c.as_ptr());
+            lo_v = _mm256_min_ps(lo_v, v);
+            hi_v = _mm256_max_ps(hi_v, v);
+        }
+        let mut lo_a = [0.0f32; 8];
+        let mut hi_a = [0.0f32; 8];
+        _mm256_storeu_ps(lo_a.as_mut_ptr(), lo_v);
+        _mm256_storeu_ps(hi_a.as_mut_ptr(), hi_v);
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for i in 0..8 {
+            lo = lo.min(lo_a[i]);
+            hi = hi.max(hi_a[i]);
+        }
+        for &v in chunks.remainder() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+/// Encodes `row` into `dst` with the given parameters; bytes past
+/// `row.len()` (the quad pad) are zeroed.
+///
+/// The encode loop must vectorize — it runs over every feature map on the
+/// whole-int8 path, and the obvious `(v / scale).round()` form was costing
+/// as much as the integer GEMM it feeds (per-element division plus the
+/// multi-op round-half-away-from-zero lowering). So: the division hoists
+/// into one reciprocal, and ties round to even (`vroundps`'s native mode,
+/// a single instruction). A tie needs `v·inv` to land exactly on ±x.5,
+/// which moves that code by at most one step — well inside the scheme's
+/// half-step error bound either way.
+fn quantize_row(row: &[f32], scale: f32, zp: u8, dst: &mut [u8]) {
+    let inv = 1.0 / scale;
+    let zpf = f32::from(zp);
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    // SAFETY: avx2 is a compile-time target feature here; dst holds at
+    // least row.len() bytes (asserted by every caller's geometry).
+    unsafe {
+        quantize_row_avx2(row, inv, zpf, dst);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    quantize_row_generic(row, inv, zpf, dst);
+    dst[row.len()..].fill(0);
+}
+
+/// Portable encode loop — one code per element, ties to even.
+#[allow(dead_code)]
+#[inline]
+fn quantize_row_generic(row: &[f32], inv: f32, zpf: f32, dst: &mut [u8]) {
+    for (d, &v) in dst.iter_mut().zip(row) {
+        *d = ((v * inv).round_ties_even() + zpf).clamp(0.0, 255.0) as u8;
+    }
+}
+
+/// AVX2 encode: 16 codes per step — two 8-lane `mul`/`vroundps`(nearest-
+/// even)/`add`/`max`/`min` pipelines, exact `vcvtps2dq` (the values are
+/// integral in `[0, 255]` after the clamp), and a `packus` pair down to
+/// 16 u8. Bit-identical to [`quantize_row_generic`]: same op order, and
+/// every step is the single-instruction semantics the scalar ops define.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+unsafe fn quantize_row_avx2(row: &[f32], inv: f32, zpf: f32, dst: &mut [u8]) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let inv8 = _mm256_set1_ps(inv);
+        let zp8 = _mm256_set1_ps(zpf);
+        let zero = _mm256_setzero_ps();
+        let top = _mm256_set1_ps(255.0);
+        let n16 = row.len() / 16 * 16;
+        for (i, o) in (0..n16).step_by(16).enumerate() {
+            let mut q = [_mm256_setzero_si256(); 2];
+            for (h, qh) in q.iter_mut().enumerate() {
+                let v = _mm256_loadu_ps(row.as_ptr().add(o + 8 * h));
+                let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+                    _mm256_mul_ps(v, inv8),
+                );
+                let c = _mm256_min_ps(_mm256_max_ps(_mm256_add_ps(r, zp8), zero), top);
+                *qh = _mm256_cvtps_epi32(c);
+            }
+            let p = _mm256_permute4x64_epi64::<0xD8>(_mm256_packus_epi32(q[0], q[1]));
+            let b = _mm_packus_epi16(_mm256_castsi256_si128(p), _mm256_extracti128_si256::<1>(p));
+            _mm_storeu_si128(dst.as_mut_ptr().add(16 * i).cast(), b);
+        }
+        quantize_row_generic(&row[n16..], inv, zpf, &mut dst[n16..row.len()]);
     }
 }
 
@@ -343,6 +704,80 @@ pub fn gemm_prepacked_i8(
     });
 }
 
+/// Whole-int8 prepacked GEMM: asymmetric u8 activation codes (see
+/// [`quantize_a_rows_into`]) against quad-interleaved s8 panels with
+/// per-K-group scales and column sums (see [`pack_b_panels_i8i8_into`]).
+///
+/// The inner loop is pure integer arithmetic under the `vpmaddubsw`
+/// saturating-pair contract (module docs), accumulated in i32 per group;
+/// dequantization fuses once per group (zero-point compensation + group
+/// scale, FMA into the f32 accumulator) and the row's activation scale
+/// multiplies the finished sum before the f32 `Epilogue` runs. The AVX2
+/// and scalar paths are bit-identical, and i32 accumulation makes the
+/// result independent of thread count.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the dimensions, `group_size` is
+/// not a positive multiple of 4, or an epilogue slice is shorter than `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_i8i8(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    packed_b: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) {
+    assert!(
+        group_size > 0 && group_size.is_multiple_of(4),
+        "i8i8 group size must be a positive multiple of 4"
+    );
+    assert_eq!(aq.len(), m * i8i8_padded_k(k), "gemm i8i8 A codes");
+    assert_eq!(a_scales.len(), m, "gemm i8i8 A scales");
+    assert_eq!(a_zps.len(), m, "gemm i8i8 A zero-points");
+    assert_eq!(
+        packed_b.len(),
+        packed_panels_i8i8_len(k, n),
+        "gemm packed-i8i8 B buffer"
+    );
+    let gl = packed_scales_i8i8_len(k, n, group_size);
+    assert_eq!(b_scales.len(), gl, "gemm i8i8 B scales");
+    assert_eq!(colsums.len(), gl, "gemm i8i8 B column sums");
+    assert_eq!(out.len(), m * n, "gemm out buffer");
+    if let Some(bias) = ep.bias {
+        assert!(bias.len() >= n, "epilogue bias");
+    }
+    if let Some((sc, sh)) = ep.scale_shift {
+        assert!(sc.len() >= n && sh.len() >= n, "epilogue scale/shift");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        ep.apply(out, n);
+        return;
+    }
+    let t = if m * n >= MIN_ELEMS_FOR_THREADS {
+        threads()
+    } else {
+        1
+    };
+    parallel_row_blocks_mut(out, n, t, |row0, block| {
+        gemm_i8i8_rows(
+            aq, a_scales, a_zps, packed_b, b_scales, colsums, group_size, block, row0, k, n,
+        );
+        ep.apply(block, n);
+    });
+}
+
 /// Weight panels prepacked at a chosen [`Precision`], with the matching
 /// GEMM dispatch — the storage type layers keep behind their precision
 /// knob so the forward path stays a single call.
@@ -359,6 +794,25 @@ pub enum PackedPanels {
         /// Per-column dequantization scales (padded to whole panels).
         scales: Vec<f32>,
     },
+    /// Whole-int8 quad-interleaved panels with per-K-group scales and
+    /// zero-point-compensation column sums ([`pack_b_panels_i8i8_into`],
+    /// group size [`I8I8_GROUP_SIZE`]); activations quantize dynamically
+    /// per row at dispatch time.
+    Int8Act {
+        /// Quantized, quad-interleaved panel elements.
+        q: Vec<i8>,
+        /// Per-(K-group, column) dequantization scales.
+        scales: Vec<f32>,
+        /// Per-(K-group, column) sums of the weight codes.
+        colsums: Vec<i32>,
+    },
+}
+
+thread_local! {
+    /// Per-thread scratch for the dispatch-time activation quantization of
+    /// the [`PackedPanels::Int8Act`] path: (codes, row scales, row zps).
+    static QA_BUF: std::cell::RefCell<(Vec<u8>, Vec<f32>, Vec<u8>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
 impl PackedPanels {
@@ -370,6 +824,11 @@ impl PackedPanels {
             Precision::Int8 => PackedPanels::Int8 {
                 q: Vec::new(),
                 scales: Vec::new(),
+            },
+            Precision::Int8Act => PackedPanels::Int8Act {
+                q: Vec::new(),
+                scales: Vec::new(),
+                colsums: Vec::new(),
             },
         }
     }
@@ -397,6 +856,13 @@ impl PackedPanels {
                 scales.resize(packed_scales_i8_len(n), 0.0);
                 pack_b_panels_i8_into(b, q, scales, k, n);
             }
+            PackedPanels::Int8Act { q, scales, colsums } => {
+                let gl = packed_scales_i8i8_len(k, n, I8I8_GROUP_SIZE);
+                q.resize(packed_panels_i8i8_len(k, n), 0);
+                scales.resize(gl, 0.0);
+                colsums.resize(gl, 0);
+                pack_b_panels_i8i8_into(b, q, scales, colsums, k, n, I8I8_GROUP_SIZE);
+            }
         }
     }
 
@@ -406,6 +872,7 @@ impl PackedPanels {
             PackedPanels::F32(_) => Precision::F32,
             PackedPanels::F16(_) => Precision::F16,
             PackedPanels::Int8 { .. } => Precision::Int8,
+            PackedPanels::Int8Act { .. } => Precision::Int8Act,
         }
     }
 
@@ -415,6 +882,9 @@ impl PackedPanels {
             PackedPanels::F32(buf) => buf.len() * 4,
             PackedPanels::F16(buf) => buf.len() * 2,
             PackedPanels::Int8 { q, scales } => q.len() + scales.len() * 4,
+            PackedPanels::Int8Act { q, scales, colsums } => {
+                q.len() + scales.len() * 4 + colsums.len() * 4
+            }
         }
     }
 
@@ -429,6 +899,71 @@ impl PackedPanels {
             PackedPanels::F32(buf) => crate::matmul::gemm_prepacked(a, buf, out, m, k, n, ep),
             PackedPanels::F16(buf) => gemm_prepacked_f16(a, buf, out, m, k, n, ep),
             PackedPanels::Int8 { q, scales } => gemm_prepacked_i8(a, q, scales, out, m, k, n, ep),
+            PackedPanels::Int8Act { q, scales, colsums } => QA_BUF.with(|buf| {
+                let (aq, asc, azp) = &mut *buf.borrow_mut();
+                aq.resize(m * i8i8_padded_k(k), 0);
+                asc.resize(m, 0.0);
+                azp.resize(m, 0);
+                quantize_a_rows_into(a, aq, asc, azp, m, k);
+                gemm_prepacked_i8i8(
+                    aq,
+                    asc,
+                    azp,
+                    q,
+                    scales,
+                    colsums,
+                    I8I8_GROUP_SIZE,
+                    out,
+                    m,
+                    k,
+                    n,
+                    ep,
+                );
+            }),
+        }
+    }
+
+    /// Runs the whole-int8 prepacked GEMM on **pre-quantized** activations
+    /// (u8 codes in [`i8i8_padded_k`]-byte rows with per-row
+    /// scale/zero-point) — the entry point for layers whose im2col output
+    /// already lands in a u8 buffer ([`crate::im2col_u8_into`]), skipping
+    /// the dispatch-time f32 quantization of [`Self::gemm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the panels were packed at [`Precision::Int8Act`], or
+    /// on any [`gemm_prepacked_i8i8`] shape mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_u8(
+        &self,
+        aq: &[u8],
+        a_scales: &[f32],
+        a_zps: &[u8],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        ep: Epilogue,
+    ) {
+        match self {
+            PackedPanels::Int8Act { q, scales, colsums } => gemm_prepacked_i8i8(
+                aq,
+                a_scales,
+                a_zps,
+                q,
+                scales,
+                colsums,
+                I8I8_GROUP_SIZE,
+                out,
+                m,
+                k,
+                n,
+                ep,
+            ),
+            other => panic!(
+                "PackedPanels::gemm_u8 requires Int8Act panels, got {}",
+                other.precision().label()
+            ),
         }
     }
 }
@@ -481,6 +1016,74 @@ fn gemm_i8_rows(
         }
         while r < rows {
             micro_kernel_1_i8(a, panel, scale, block, row0 + r, r, j0, w, k, n);
+            r += 1;
+        }
+    }
+}
+
+/// Computes `block` (rows `row0..`) from quantized activations and
+/// quad-interleaved i8i8 panels + per-group scales / column sums.
+#[allow(clippy::too_many_arguments)]
+fn gemm_i8i8_rows(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    packed: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    block: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let kp = i8i8_padded_k(k);
+    let np = packed_scales_i8_len(n);
+    let rows = block.len() / n;
+    let panels = n.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let panel = &packed[jp * NR * kp..(jp + 1) * NR * kp];
+        let mut r = 0;
+        while r + MR <= rows {
+            micro_kernel_mr_i8i8(
+                aq,
+                a_scales,
+                a_zps,
+                panel,
+                b_scales,
+                colsums,
+                group_size,
+                np,
+                block,
+                row0 + r,
+                r,
+                j0,
+                w,
+                kp,
+                n,
+            );
+            r += MR;
+        }
+        while r < rows {
+            micro_kernel_1_i8i8(
+                aq,
+                a_scales,
+                a_zps,
+                panel,
+                b_scales,
+                colsums,
+                group_size,
+                np,
+                block,
+                row0 + r,
+                r,
+                j0,
+                w,
+                kp,
+                n,
+            );
             r += 1;
         }
     }
@@ -811,6 +1414,262 @@ fn micro_kernel_1_i8(
     }
 }
 
+// ---------------------------------------------------------------------------
+// whole-int8 (u8 × s8) micro-kernels
+// ---------------------------------------------------------------------------
+
+/// One `vpmaddubsw`/`vpmaddwd` quad step, scalar: `aq` holds 4 u8
+/// activation codes, `wq` 4 s8 weight codes; each adjacent product pair
+/// saturates to i16 before the i32 add — the exact hardware contract, so
+/// the scalar and AVX2 kernels agree bit-for-bit even when a pair
+/// saturates.
+#[inline]
+fn quad_dot_i8i8(aq: &[u8], wq: &[i8]) -> i32 {
+    let p0 = i32::from(aq[0]) * i32::from(wq[0]) + i32::from(aq[1]) * i32::from(wq[1]);
+    let p1 = i32::from(aq[2]) * i32::from(wq[2]) + i32::from(aq[3]) * i32::from(wq[3]);
+    p0.clamp(-32768, 32767) + p1.clamp(-32768, 32767)
+}
+
+/// `MR×NR` whole-int8 register tile: AVX2 kernel when compiled in, else
+/// the portable saturating-quad loop (bit-identical).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_mr_i8i8(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    panel: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    np: usize,
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    kp: usize,
+    n: usize,
+) {
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    {
+        // SAFETY: avx2+fma are compile-time target features here; slice
+        // bounds are asserted by the callers' geometry.
+        unsafe {
+            micro_kernel_mr_i8i8_avx2(
+                aq, a_scales, a_zps, panel, b_scales, colsums, group_size, np, block, a_row, c_row,
+                j0, w, kp, n,
+            )
+        }
+    }
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    {
+        micro_kernel_mr_i8i8_generic(
+            aq, a_scales, a_zps, panel, b_scales, colsums, group_size, np, block, a_row, c_row, j0,
+            w, kp, n,
+        )
+    }
+}
+
+/// Portable `MR×NR` whole-int8 tile: `MR` passes of the single-row kernel
+/// (row results are independent, so this is trivially bit-identical to the
+/// SIMD tile, which interleaves the same per-row arithmetic).
+#[allow(clippy::too_many_arguments)]
+#[allow(dead_code)]
+#[inline]
+fn micro_kernel_mr_i8i8_generic(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    panel: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    np: usize,
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    kp: usize,
+    n: usize,
+) {
+    for r in 0..MR {
+        micro_kernel_1_i8i8(
+            aq,
+            a_scales,
+            a_zps,
+            panel,
+            b_scales,
+            colsums,
+            group_size,
+            np,
+            block,
+            a_row + r,
+            c_row + r,
+            j0,
+            w,
+            kp,
+            n,
+        );
+    }
+}
+
+/// Single-row whole-int8 kernel — the scalar definition of the contract:
+/// per group, ascending-`k` quads of [`quad_dot_i8i8`] into an i32
+/// accumulator, zero-point compensation against the group column sum, one
+/// FMA with the group scale; the row's activation scale multiplies the
+/// finished f32 sum.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_1_i8i8(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    panel: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    np: usize,
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    kp: usize,
+    n: usize,
+) {
+    let row = &aq[a_row * kp..(a_row + 1) * kp];
+    let zp = i32::from(a_zps[a_row]);
+    let sa = a_scales[a_row];
+    let quads = kp / 4;
+    let gq = group_size / 4;
+    let groups = kp.div_ceil(group_size);
+    let mut facc = [0.0f32; NR];
+    for g in 0..groups {
+        let q0 = g * gq;
+        let q1 = (q0 + gq).min(quads);
+        let mut iacc = [0i32; NR];
+        for kq in q0..q1 {
+            let a4 = &row[kq * 4..kq * 4 + 4];
+            let wq = &panel[kq * NR * 4..(kq + 1) * NR * 4];
+            for (jo, acc) in iacc.iter_mut().enumerate() {
+                *acc += quad_dot_i8i8(a4, &wq[jo * 4..jo * 4 + 4]);
+            }
+        }
+        let sb = &b_scales[g * np + j0..g * np + j0 + NR];
+        let cs = &colsums[g * np + j0..g * np + j0 + NR];
+        for ((f, &ia), (&s, &c)) in facc.iter_mut().zip(&iacc).zip(sb.iter().zip(cs)) {
+            *f = fmadd(*f, (ia - zp * c) as f32, s);
+        }
+    }
+    let dst = &mut block[c_row * n + j0..c_row * n + j0 + w];
+    for (d, &f) in dst.iter_mut().zip(facc.iter()) {
+        *d = f * sa;
+    }
+}
+
+/// Hand-scheduled AVX2 `4×16` whole-int8 tile: per `k`-quad, one 4-byte
+/// activation broadcast (`vpbroadcastd`) against two 32-byte panel loads
+/// (8 columns × 4 K-rows each) through `vpmaddubsw` → `vpmaddwd(·, 1)` →
+/// `vpaddd` into per-group i32 accumulators; per group, zero-point
+/// compensation (`vpmulld` + `vpsubd` against the column sums), exact
+/// `vcvtdq2ps`, and one FMA with the group scales; the activation scale
+/// multiplies the finished tile. Bit-identical to
+/// [`micro_kernel_1_i8i8`] — integer arithmetic is exact and the float
+/// fuse runs in the same group-ascending order with the same FMA.
+///
+/// # Safety
+///
+/// Caller must guarantee avx2+fma are available (compile-time gated at the
+/// call site) and the usual geometry invariants (`aq` holds `MR` rows of
+/// `kp` codes at `a_row`, `panel` holds `kp·NR` codes, the scale/column-sum
+/// vectors hold `NR` entries per group at `j0`, `block` holds the target
+/// rows).
+#[allow(clippy::too_many_arguments)]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+#[inline]
+unsafe fn micro_kernel_mr_i8i8_avx2(
+    aq: &[u8],
+    a_scales: &[f32],
+    a_zps: &[u8],
+    panel: &[i8],
+    b_scales: &[f32],
+    colsums: &[i32],
+    group_size: usize,
+    np: usize,
+    block: &mut [f32],
+    a_row: usize,
+    c_row: usize,
+    j0: usize,
+    w: usize,
+    kp: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    const { assert!(NR == 16 && MR == 4) };
+    unsafe {
+        let quads = kp / 4;
+        let gq = group_size / 4;
+        let groups = kp.div_ceil(group_size);
+        let ones = _mm256_set1_epi16(1);
+        let mut facc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        let pp = panel.as_ptr();
+        let rowp: [*const u8; MR] = std::array::from_fn(|r| aq.as_ptr().add((a_row + r) * kp));
+        let zpv: [__m256i; MR] =
+            std::array::from_fn(|r| _mm256_set1_epi32(i32::from(a_zps[a_row + r])));
+        for g in 0..groups {
+            let q0 = g * gq;
+            let q1 = (q0 + gq).min(quads);
+            let mut iacc: [[__m256i; 2]; MR] = [[_mm256_setzero_si256(); 2]; MR];
+            for kq in q0..q1 {
+                let b0 = _mm256_loadu_si256(pp.add(kq * NR * 4) as *const __m256i);
+                let b1 = _mm256_loadu_si256(pp.add(kq * NR * 4 + 32) as *const __m256i);
+                for (r, accr) in iacc.iter_mut().enumerate() {
+                    let a4 = (rowp[r].add(kq * 4) as *const i32).read_unaligned();
+                    let av = _mm256_set1_epi32(a4);
+                    accr[0] = _mm256_add_epi32(
+                        accr[0],
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones),
+                    );
+                    accr[1] = _mm256_add_epi32(
+                        accr[1],
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones),
+                    );
+                }
+            }
+            let sb0 = _mm256_loadu_ps(b_scales.as_ptr().add(g * np + j0));
+            let sb1 = _mm256_loadu_ps(b_scales.as_ptr().add(g * np + j0 + 8));
+            let cs0 = _mm256_loadu_si256(colsums.as_ptr().add(g * np + j0) as *const __m256i);
+            let cs1 = _mm256_loadu_si256(colsums.as_ptr().add(g * np + j0 + 8) as *const __m256i);
+            for (r, accr) in facc.iter_mut().enumerate() {
+                let c0 = _mm256_sub_epi32(iacc[r][0], _mm256_mullo_epi32(zpv[r], cs0));
+                let c1 = _mm256_sub_epi32(iacc[r][1], _mm256_mullo_epi32(zpv[r], cs1));
+                accr[0] = _mm256_fmadd_ps(_mm256_cvtepi32_ps(c0), sb0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(_mm256_cvtepi32_ps(c1), sb1, accr[1]);
+            }
+        }
+        for (r, accr) in facc.iter_mut().enumerate() {
+            let sa = _mm256_set1_ps(a_scales[a_row + r]);
+            accr[0] = _mm256_mul_ps(accr[0], sa);
+            accr[1] = _mm256_mul_ps(accr[1], sa);
+        }
+        store_acc(facc, block, c_row, j0, w, n);
+    }
+}
+
 /// Shared `MR×NR` accumulator store (full-width vector stores, scalar copy
 /// for the ragged final panel).
 ///
@@ -1014,6 +1873,183 @@ mod tests {
     }
 
     #[test]
+    fn i8_all_zero_column_scale_is_one() {
+        // An all-zero column must pack to zero codes with scale 1.0 — not
+        // 0.0, which would feed NaN/denormal factories downstream — and
+        // still dequantize to an exactly-zero output column.
+        let (k, n) = (5, 7);
+        let mut b = random(k * n, 51);
+        for kk in 0..k {
+            b[kk * n + 3] = 0.0;
+        }
+        let mut q = vec![0i8; packed_panels_i8_len(k, n)];
+        let mut scales = vec![0.0f32; packed_scales_i8_len(n)];
+        pack_b_panels_i8_into(&b, &mut q, &mut scales, k, n);
+        assert_eq!(scales[3], 1.0);
+        for kk in 0..k {
+            assert_eq!(q[kk * NR + 3], 0, "zero column packs zero codes");
+        }
+        // Padded columns (n=7 < NR) get scale 1.0 too.
+        for &s in &scales[n..] {
+            assert_eq!(s, 1.0);
+        }
+        let a = random(2 * k, 52);
+        let mut out = vec![f32::NAN; 2 * n];
+        gemm_prepacked_i8(&a, &q, &scales, &mut out, 2, k, n, Epilogue::default());
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert_eq!(out[3], 0.0);
+        assert_eq!(out[n + 3], 0.0);
+        // Same guarantee on the whole-int8 per-group pack: a group whose
+        // column slice is all zero emits scale 1.0 and zero codes.
+        let mut q2 = vec![0i8; packed_panels_i8i8_len(k, n)];
+        let gl = packed_scales_i8i8_len(k, n, 4);
+        let mut s2 = vec![0.0f32; gl];
+        let mut c2 = vec![0i32; gl];
+        pack_b_panels_i8i8_into(&b, &mut q2, &mut s2, &mut c2, k, n, 4);
+        let np = packed_scales_i8_len(n);
+        for g in 0..i8i8_groups(k, 4) {
+            assert_eq!(s2[g * np + 3], 1.0, "group {g}");
+            assert_eq!(c2[g * np + 3], 0, "group {g}");
+        }
+    }
+
+    /// Independent scalar model of the whole-int8 contract (module docs):
+    /// saturating quad pairs, per-group i32 accumulation, zero-point
+    /// compensation, group-scale FMA, row-scale multiply, f32 epilogue.
+    #[allow(clippy::too_many_arguments)]
+    fn i8i8_reference(
+        aq: &[u8],
+        a_scales: &[f32],
+        a_zps: &[u8],
+        q: &[i8],
+        b_scales: &[f32],
+        colsums: &[i32],
+        gs: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        ep: Epilogue,
+    ) -> Vec<f32> {
+        let kp = i8i8_padded_k(k);
+        let np = packed_scales_i8_len(n);
+        let (quads, gq) = (kp / 4, gs / 4);
+        let groups = i8i8_groups(k, gs);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &aq[i * kp..(i + 1) * kp];
+            let zp = i32::from(a_zps[i]);
+            for j in 0..n {
+                let (jp, jo) = (j / NR, j % NR);
+                let panel = &q[jp * NR * kp..(jp + 1) * NR * kp];
+                let mut f = 0.0f32;
+                for g in 0..groups {
+                    let mut ia = 0i32;
+                    for kq in g * gq..((g + 1) * gq).min(quads) {
+                        let a4 = &row[kq * 4..kq * 4 + 4];
+                        let w4 = &panel[kq * NR * 4 + jo * 4..kq * NR * 4 + jo * 4 + 4];
+                        let p0 = i32::from(a4[0]) * i32::from(w4[0])
+                            + i32::from(a4[1]) * i32::from(w4[1]);
+                        let p1 = i32::from(a4[2]) * i32::from(w4[2])
+                            + i32::from(a4[3]) * i32::from(w4[3]);
+                        ia += p0.clamp(-32768, 32767) + p1.clamp(-32768, 32767);
+                    }
+                    f = fmadd(
+                        f,
+                        (ia - zp * colsums[g * np + j]) as f32,
+                        b_scales[g * np + j],
+                    );
+                }
+                out[i * n + j] = f * a_scales[i];
+            }
+        }
+        ep.apply(&mut out, n);
+        out
+    }
+
+    #[test]
+    fn i8i8_gemm_matches_scalar_reference_bit_for_bit() {
+        // The dispatched kernel (AVX2 on this target) must reproduce the
+        // scalar saturating-quad reference exactly, over ragged shapes,
+        // group sizes, and epilogues — including remainder rows and the
+        // ragged final panel.
+        for &(m, k, n) in &[
+            (1, 4, 3),
+            (4, 16, 16),
+            (5, 7, 10),
+            (11, 23, 37),
+            (64, 70, 96),
+        ] {
+            for gs in [4usize, 8, 64] {
+                let a = random(m * k, 61 + (m + gs) as u64);
+                let b = random(k * n, 62 + (n + gs) as u64);
+                let mut q = vec![0i8; packed_panels_i8i8_len(k, n)];
+                let gl = packed_scales_i8i8_len(k, n, gs);
+                let mut scales = vec![0.0f32; gl];
+                let mut colsums = vec![0i32; gl];
+                pack_b_panels_i8i8_into(&b, &mut q, &mut scales, &mut colsums, k, n, gs);
+                let kp = i8i8_padded_k(k);
+                let mut aq = vec![0u8; m * kp];
+                let mut asc = vec![0.0f32; m];
+                let mut azp = vec![0u8; m];
+                quantize_a_rows_into(&a, &mut aq, &mut asc, &mut azp, m, k);
+                let bias: Vec<f32> = random(n, 63);
+                let shift: Vec<f32> = random(n, 64);
+                let scale_v: Vec<f32> = random(n, 65);
+                for ep in [
+                    Epilogue::default(),
+                    Epilogue {
+                        bias: Some(&bias),
+                        scale_shift: Some((&scale_v, &shift)),
+                        relu: true,
+                    },
+                ] {
+                    let mut got = vec![0.0f32; m * n];
+                    gemm_prepacked_i8i8(
+                        &aq, &asc, &azp, &q, &scales, &colsums, gs, &mut got, m, k, n, ep,
+                    );
+                    let want =
+                        i8i8_reference(&aq, &asc, &azp, &q, &scales, &colsums, gs, m, k, n, ep);
+                    assert_eq!(got, want, "{m}x{k}x{n} gs={gs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8i8_quantize_roundtrip_error_is_bounded() {
+        // Dequantizing the u8 codes recovers each element to within 1.5
+        // quantization steps (½ from rounding, ≤1 from the clamp at the
+        // range edges), and exact zeros encode exactly to the zero point.
+        let (m, k) = (9, 53);
+        let mut a = random(m * k, 71);
+        a[k + 3] = 0.0;
+        a[2 * k..2 * k + k].fill(0.0); // a constant-zero row is exact
+        let kp = i8i8_padded_k(k);
+        let mut q = vec![0u8; m * kp];
+        let mut scales = vec![0.0f32; m];
+        let mut zps = vec![0u8; m];
+        quantize_a_rows_into(&a, &mut q, &mut scales, &mut zps, m, k);
+        for i in 0..m {
+            let (s, zp) = (scales[i], i32::from(zps[i]));
+            for kk in 0..k {
+                let v = a[i * k + kk];
+                let deq = (i32::from(q[i * kp + kk]) - zp) as f32 * s;
+                assert!(
+                    (deq - v).abs() <= 1.5 * s + 1e-7,
+                    "row {i} col {kk}: {deq} vs {v} (scale {s})"
+                );
+                if v == 0.0 {
+                    assert_eq!(deq, 0.0, "exact zero must survive");
+                }
+            }
+            for kk in k..kp {
+                assert_eq!(q[i * kp + kk], 0, "quad pad is zeroed");
+            }
+        }
+        assert_eq!((scales[2], zps[2]), (1.0, 0), "constant-zero row");
+    }
+
+    #[test]
     fn i8_quantization_error_is_bounded() {
         let (m, k, n) = (8, 64, 48);
         let a = random(m * k, 21);
@@ -1043,11 +2079,36 @@ mod tests {
         let mut q = vec![0i8; packed_panels_i8_len(k, n)];
         let mut scales = vec![0.0f32; packed_scales_i8_len(n)];
         pack_b_panels_i8_into(&b, &mut q, &mut scales, k, n);
+        let gl = packed_scales_i8i8_len(k, n, I8I8_GROUP_SIZE);
+        let mut qq = vec![0i8; packed_panels_i8i8_len(k, n)];
+        let mut gsc = vec![0.0f32; gl];
+        let mut gcs = vec![0i32; gl];
+        pack_b_panels_i8i8_into(&b, &mut qq, &mut gsc, &mut gcs, k, n, I8I8_GROUP_SIZE);
+        let kp = i8i8_padded_k(k);
+        let mut aq = vec![0u8; m * kp];
+        let mut asc = vec![0.0f32; m];
+        let mut azp = vec![0u8; m];
+        quantize_a_rows_into(&a, &mut aq, &mut asc, &mut azp, m, k);
         set_threads(1);
         let mut gold16 = vec![0.0f32; m * n];
         gemm_prepacked_f16(&a, &p16, &mut gold16, m, k, n, Epilogue::default());
         let mut gold8 = vec![0.0f32; m * n];
         gemm_prepacked_i8(&a, &q, &scales, &mut gold8, m, k, n, Epilogue::default());
+        let mut gold88 = vec![0.0f32; m * n];
+        gemm_prepacked_i8i8(
+            &aq,
+            &asc,
+            &azp,
+            &qq,
+            &gsc,
+            &gcs,
+            I8I8_GROUP_SIZE,
+            &mut gold88,
+            m,
+            k,
+            n,
+            Epilogue::default(),
+        );
         for t in 2..=8 {
             set_threads(t);
             let mut o16 = vec![0.0f32; m * n];
@@ -1056,6 +2117,22 @@ mod tests {
             let mut o8 = vec![0.0f32; m * n];
             gemm_prepacked_i8(&a, &q, &scales, &mut o8, m, k, n, Epilogue::default());
             assert_eq!(o8, gold8, "i8 thread count {t}");
+            let mut o88 = vec![0.0f32; m * n];
+            gemm_prepacked_i8i8(
+                &aq,
+                &asc,
+                &azp,
+                &qq,
+                &gsc,
+                &gcs,
+                I8I8_GROUP_SIZE,
+                &mut o88,
+                m,
+                k,
+                n,
+                Epilogue::default(),
+            );
+            assert_eq!(o88, gold88, "i8i8 thread count {t}");
         }
         set_threads(0);
     }
@@ -1065,7 +2142,12 @@ mod tests {
         let (m, k, n) = (12, 18, 20);
         let a = random(m * k, 41);
         let b = random(k * n, 42);
-        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+        for p in [
+            Precision::F32,
+            Precision::F16,
+            Precision::Int8,
+            Precision::Int8Act,
+        ] {
             let panels = PackedPanels::pack(p, &b, k, n);
             assert_eq!(panels.precision(), p);
             assert!(panels.bytes() > 0);
@@ -1073,9 +2155,20 @@ mod tests {
             panels.gemm(&a, &mut out, m, k, n, Epilogue::default());
             let want = gold_gemm(&a, &b, m, k, n, Epilogue::default());
             let amax = want.iter().fold(0.0f32, |x, &v| x.max(v.abs()));
+            // Whole-int8 also quantizes the activations, so its band is
+            // wider than the weight-only precisions'.
+            let tol = match p {
+                Precision::Int8Act => 0.08 * amax + 1e-4,
+                _ => 0.02 * amax + 1e-4,
+            };
             for (g, w) in out.iter().zip(&want) {
-                assert!((g - w).abs() <= 0.02 * amax + 1e-4, "{p:?}: {g} vs {w}");
+                assert!((g - w).abs() <= tol, "{p:?}: {g} vs {w}");
             }
+            // Dispatch-time quantization is deterministic: a second run is
+            // bit-identical.
+            let mut again = vec![0.0f32; m * n];
+            panels.gemm(&a, &mut again, m, k, n, Epilogue::default());
+            assert_eq!(out, again, "{p:?}");
         }
         // Bytes ordering: f32 > f16 > int8 panels (+ scales still smaller).
         let b32 = PackedPanels::pack(Precision::F32, &b, k, n).bytes();
@@ -1094,5 +2187,21 @@ mod tests {
         let mut out8 = vec![1.0f32; 6];
         gemm_prepacked_i8(&[], &[], &[0.0; 16], &mut out8, 3, 0, 2, ep);
         assert!(out8.iter().all(|&v| v == 0.0));
+        let mut out88 = vec![1.0f32; 6];
+        gemm_prepacked_i8i8(
+            &[],
+            &[1.0; 3],
+            &[0; 3],
+            &[],
+            &[],
+            &[],
+            I8I8_GROUP_SIZE,
+            &mut out88,
+            3,
+            0,
+            2,
+            ep,
+        );
+        assert!(out88.iter().all(|&v| v == 0.0));
     }
 }

@@ -336,8 +336,12 @@ fn degradation_ladder_lowers_offered_uplink_load() {
         arrival_alpha: 0.5,
         batch: None,
         rebalance: None,
+        // One rung per saturated tick: the ladder is six rungs deep (three
+        // precision rungs before the strides), and the stride rungs — the
+        // ones that actually shed bytes — must get a meaningful share of
+        // this 40-frame run.
         degrade: Some(DegradePolicy {
-            saturate_ticks: 2,
+            saturate_ticks: 1,
             relax_ticks: 8,
             ..DegradePolicy::default()
         }),
