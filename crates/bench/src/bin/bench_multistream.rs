@@ -27,10 +27,12 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 use ff_core::control::{BatchPolicy, ControlConfig, RebalancePolicy};
-use ff_core::faults::{FaultPlan, FaultsReport, RecoveryConfig, RetryPolicy};
+use ff_core::faults::{FaultPlan, FaultsReport, FleetFaultPlan, RecoveryConfig, RetryPolicy};
+use ff_core::fleet::{Fleet, FleetConfig, FleetReport};
 use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
+use ff_core::query::Query;
 use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
-use ff_core::McSpec;
+use ff_core::{McId, McSpec};
 use ff_models::MobileNetConfig;
 use ff_tensor::Precision;
 use ff_video::scene::{Scene, SceneConfig};
@@ -296,6 +298,45 @@ fn measure_faults(
     (clean_fps, chaos_fps, faults.expect("at least one repeat"))
 }
 
+/// Cloud-tier rounds for the fleet sweep — long enough that every fault
+/// window (crash + rejoin, dup storm, loss burst) fully plays out.
+const FLEET_ROUNDS: u64 = 240;
+
+/// One fleet chaos run at the given node count: wall-clock hub segment
+/// throughput (fresh + duplicate + out-of-window arrivals ingested per
+/// second) alongside the dedup and redelivery counters. The simulation is
+/// pure virtual time, so the report must replay bit-for-bit across the
+/// timing repeats — only the wall clock is allowed to vary.
+fn measure_fleet(nodes: usize) -> (f64, FleetReport) {
+    let cfg = FleetConfig {
+        nodes,
+        rounds: FLEET_ROUNDS,
+        shards: 4,
+        faults: FleetFaultPlan::new()
+            .node_crash(3, 60, 20)
+            .dup_storm(120, 30, 1)
+            .message_loss(40, 30, 0.2),
+        subscriptions: vec![Query::mc(McId(0)).or(Query::mc(McId(1)))],
+        ..Default::default()
+    };
+    let mut best = f64::MAX;
+    let mut report: Option<FleetReport> = None;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        let r = Fleet::new(cfg.clone()).expect("valid fleet config").run();
+        best = best.min(t.elapsed().as_secs_f64().max(1e-9));
+        if let Some(prev) = &report {
+            assert_eq!(prev, &r, "fleet run must replay bit-for-bit");
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one repeat");
+    assert!(report.ledger.conserves(), "{}", report.ledger);
+    assert_eq!(report.double_deliveries, 0, "exactly-once to subscribers");
+    let ingested = report.accepted + report.dup_hits + report.out_of_window;
+    (ingested as f64 / best, report)
+}
+
 fn main() {
     let n_frames: u64 = std::env::var("BENCH_FRAMES")
         .ok()
@@ -521,6 +562,27 @@ fn main() {
             .map_or_else(|| "n/a".to_string(), |r| r.to_string()),
     );
 
+    // Fleet sweep: the cloud tier at 10/50/200 nodes, same per-node chaos
+    // script (crash + rejoin, dup storm, seeded loss) at every size.
+    println!();
+    println!(
+        "fleet sweep (cloud hub, {FLEET_ROUNDS} virtual rounds, crash + dup storm + 20% loss):"
+    );
+    let fleet_rows: Vec<(usize, f64, FleetReport)> = [10usize, 50, 200]
+        .iter()
+        .map(|&nodes| {
+            let (segs_per_sec, report) = measure_fleet(nodes);
+            println!(
+                "{:<24} {segs_per_sec:>10.0} segs/s  (accepted {}, dedup hits {}, redeliveries {})",
+                format!("fleet_{nodes}n"),
+                report.accepted,
+                report.dup_hits,
+                report.redeliveries,
+            );
+            (nodes, segs_per_sec, report)
+        })
+        .collect();
+
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
     let mut section = String::from("  \"multistream\": {\n");
     section.push_str(&format!(
@@ -593,7 +655,26 @@ fn main() {
     section.push_str(
         "    \"note\": \"uplink faults delay delivery, never inference: both runs' verdicts are asserted bit-for-bit against the serial golds, and the fault report itself replays bit-for-bit across repeats\",\n",
     );
-    section.push_str("    \"verdicts_identical\": true\n  }\n}\n");
+    section.push_str("    \"verdicts_identical\": true\n  },\n");
+
+    // The cloud-tier fleet sweep, spliced as its own top-level section.
+    section.push_str("  \"fleet\": {\n");
+    section.push_str(&format!(
+        "    \"config\": {{\"rounds\": {FLEET_ROUNDS}, \"hub_shards\": 4, \"plan\": \"node 3 crashes for 20 rounds at round 60 and rejoins from its checkpoint journal; a dup storm doubles every wire message for rounds 120-150; 20% seeded loss for rounds 40-70\"}},\n"
+    ));
+    for (nodes, segs_per_sec, report) in &fleet_rows {
+        section.push_str(&format!(
+            "    \"nodes_{nodes}\": {{\"hub_segments_per_sec\": {segs_per_sec:.0}, \"accepted\": {}, \"dedup_hits\": {}, \"redeliveries\": {}, \"double_deliveries\": {}, \"ledger_conserves\": {}}},\n",
+            report.accepted,
+            report.dup_hits,
+            report.redeliveries,
+            report.double_deliveries,
+            report.ledger.conserves(),
+        ));
+    }
+    section.push_str(
+        "    \"note\": \"pure virtual-time simulation: each report replays bit-for-bit across the timing repeats and across hub shard widths; only the wall clock varies. Redeliveries are the at-least-once transport doing its job; dedup hits are the hub absorbing them (and the storm) so subscribers see exactly-once.\"\n  }\n}\n",
+    );
 
     // Splice after the single-stream rows: replace an existing
     // "multistream" section, else insert before the closing brace.

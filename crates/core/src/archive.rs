@@ -67,6 +67,12 @@ impl EdgeArchive {
         self.frames.len()
     }
 
+    /// The GOP length fetch windows align to (see
+    /// [`EdgeArchive::demand_fetch`]).
+    pub fn gop(&self) -> usize {
+        self.cfg.gop
+    }
+
     /// Total stored bytes.
     pub fn bytes(&self) -> u64 {
         self.bytes
@@ -226,6 +232,12 @@ impl SpillBin {
     /// Pushes refused because the bin was full (accounted drops).
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Iterates parked segments oldest-first without draining them —
+    /// what a spill announcement to the hub enumerates.
+    pub fn iter(&self) -> impl Iterator<Item = &SpilledSegment> {
+        self.segments.iter()
     }
 }
 

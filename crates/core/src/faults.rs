@@ -343,6 +343,264 @@ impl std::fmt::Display for FaultPlanError {
 impl std::error::Error for FaultPlanError {}
 
 // ---------------------------------------------------------------------------
+// Fleet fault plans
+// ---------------------------------------------------------------------------
+
+/// What happens to the fleet during a scheduled window (the fleet-scale
+/// extension of [`UplinkFaultKind`], consumed by [`crate::fleet::Fleet`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetFaultKind {
+    /// One node crashes for the window: volatile transport state (unacked
+    /// outbox, ack set past the last checkpoint) is lost; the durable
+    /// journal and checkpoint survive, and the node rejoins when the
+    /// window closes.
+    NodeCrash {
+        /// The crashing node.
+        node: usize,
+    },
+    /// Nodes `lo..hi` lose both directions of their hub uplink for the
+    /// window (messages vanish at the wire; demand fetches fail).
+    HubPartition {
+        /// First partitioned node.
+        lo: usize,
+        /// One past the last partitioned node.
+        hi: usize,
+    },
+    /// Every wire send (segments *and* acks) emits this many extra copies
+    /// during the window — the dedup window's stress test.
+    DupStorm {
+        /// Extra copies per send (≥ 1).
+        copies: u32,
+    },
+    /// Each wire message is independently lost with this probability
+    /// (0 ≤ rate < 1), drawn from the owning node's seeded link RNG.
+    MessageLoss {
+        /// Per-message loss probability.
+        rate: f64,
+    },
+}
+
+/// One scheduled fleet fault: `kind` holds for `rounds` consecutive
+/// virtual-time rounds starting at `at_round`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFault {
+    /// First round the fault covers.
+    pub at_round: u64,
+    /// Rounds the fault lasts.
+    pub rounds: u64,
+    /// What happens during the window.
+    pub kind: FleetFaultKind,
+}
+
+impl FleetFault {
+    /// Whether this fault covers round `r`.
+    pub fn covers(&self, r: u64) -> bool {
+        r >= self.at_round && r - self.at_round < self.rounds
+    }
+}
+
+/// A deterministic schedule of fleet-scale faults for one
+/// [`crate::fleet::Fleet`] run. Build with the chained helpers:
+///
+/// ```
+/// use ff_core::faults::FleetFaultPlan;
+/// let plan = FleetFaultPlan::new()
+///     .node_crash(3, 20, 15)        // node 3 down for rounds 20..35
+///     .hub_partition(40, 12, 8, 16) // nodes 8..16 cut off for 12 rounds
+///     .dup_storm(60, 10, 2)         // every send triplicated
+///     .message_loss(60, 10, 0.2);   // 20% seeded loss
+/// assert!(plan.validate(32).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetFaultPlan {
+    /// Scheduled faults (overlaps allowed; the largest loss rate and
+    /// dup-storm copy count win per round).
+    pub faults: Vec<FleetFault>,
+}
+
+impl FleetFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FleetFaultPlan::default()
+    }
+
+    /// Crashes `node` for `rounds` rounds from `at_round`; it rejoins
+    /// from its checkpoint when the window closes.
+    pub fn node_crash(mut self, node: usize, at_round: u64, rounds: u64) -> Self {
+        self.faults.push(FleetFault {
+            at_round,
+            rounds,
+            kind: FleetFaultKind::NodeCrash { node },
+        });
+        self
+    }
+
+    /// Partitions nodes `lo..hi` from the hub over the window.
+    pub fn hub_partition(mut self, at_round: u64, rounds: u64, lo: usize, hi: usize) -> Self {
+        self.faults.push(FleetFault {
+            at_round,
+            rounds,
+            kind: FleetFaultKind::HubPartition { lo, hi },
+        });
+        self
+    }
+
+    /// Duplicates every wire send `copies` extra times over the window.
+    pub fn dup_storm(mut self, at_round: u64, rounds: u64, copies: u32) -> Self {
+        self.faults.push(FleetFault {
+            at_round,
+            rounds,
+            kind: FleetFaultKind::DupStorm { copies },
+        });
+        self
+    }
+
+    /// Adds seeded per-message loss at `rate` over the window.
+    pub fn message_loss(mut self, at_round: u64, rounds: u64, rate: f64) -> Self {
+        self.faults.push(FleetFault {
+            at_round,
+            rounds,
+            kind: FleetFaultKind::MessageLoss { rate },
+        });
+        self
+    }
+
+    /// Whether `node` is crashed at round `r`.
+    pub fn crashed(&self, node: usize, r: u64) -> bool {
+        self.faults.iter().any(|f| {
+            f.covers(r) && matches!(f.kind, FleetFaultKind::NodeCrash { node: n } if n == node)
+        })
+    }
+
+    /// Whether `node` is partitioned from the hub at round `r`.
+    pub fn partitioned(&self, node: usize, r: u64) -> bool {
+        self.faults.iter().any(|f| {
+            f.covers(r)
+                && matches!(f.kind, FleetFaultKind::HubPartition { lo, hi }
+                    if node >= lo && node < hi)
+        })
+    }
+
+    /// Extra copies every wire send emits at round `r` (largest active
+    /// storm wins; 0 when none).
+    pub fn dup_copies(&self, r: u64) -> u32 {
+        self.faults
+            .iter()
+            .filter(|f| f.covers(r))
+            .filter_map(|f| match f.kind {
+                FleetFaultKind::DupStorm { copies } => Some(copies),
+                _ => None,
+            })
+            .fold(0, u32::max)
+    }
+
+    /// Per-message loss probability at round `r` (largest active window
+    /// wins; 0 when none).
+    pub fn loss_rate(&self, r: u64) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.covers(r))
+            .filter_map(|f| match f.kind {
+                FleetFaultKind::MessageLoss { rate } => Some(rate),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks the plan against a fleet of `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FleetFaultError`]: a fault targeting a node the
+    /// fleet does not have, an empty window or partition range, a loss
+    /// rate outside `[0, 1)`, or a zero-copy dup storm.
+    pub fn validate(&self, nodes: usize) -> Result<(), FleetFaultError> {
+        for f in &self.faults {
+            if f.rounds == 0 {
+                return Err(FleetFaultError::EmptyWindow);
+            }
+            match f.kind {
+                FleetFaultKind::NodeCrash { node } => {
+                    if node >= nodes {
+                        return Err(FleetFaultError::UnknownNode { node, nodes });
+                    }
+                }
+                FleetFaultKind::HubPartition { lo, hi } => {
+                    if lo >= hi {
+                        return Err(FleetFaultError::EmptyPartition { lo, hi });
+                    }
+                    if hi > nodes {
+                        return Err(FleetFaultError::UnknownNode {
+                            node: hi - 1,
+                            nodes,
+                        });
+                    }
+                }
+                FleetFaultKind::DupStorm { copies } => {
+                    if copies == 0 {
+                        return Err(FleetFaultError::EmptyDupStorm);
+                    }
+                }
+                FleetFaultKind::MessageLoss { rate } => {
+                    if !(0.0..1.0).contains(&rate) {
+                        return Err(FleetFaultError::InvalidLossRate { rate });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FleetFaultPlan`] was rejected ([`FleetFaultPlan::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetFaultError {
+    /// A fault targets a node index the fleet does not have.
+    UnknownNode {
+        /// The targeted node.
+        node: usize,
+        /// Nodes the fleet actually has.
+        nodes: usize,
+    },
+    /// A fault window covers zero rounds.
+    EmptyWindow,
+    /// A partition range with `lo >= hi`.
+    EmptyPartition {
+        /// First partitioned node.
+        lo: usize,
+        /// One past the last partitioned node.
+        hi: usize,
+    },
+    /// A dup storm adding zero copies (it would inject nothing).
+    EmptyDupStorm,
+    /// A loss rate outside `[0, 1)`.
+    InvalidLossRate {
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl std::fmt::Display for FleetFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetFaultError::UnknownNode { node, nodes } => {
+                write!(f, "fault targets node {node} of a {nodes}-node fleet")
+            }
+            FleetFaultError::EmptyWindow => write!(f, "fleet fault window covers zero rounds"),
+            FleetFaultError::EmptyPartition { lo, hi } => {
+                write!(f, "partition range {lo}..{hi} is empty")
+            }
+            FleetFaultError::EmptyDupStorm => write!(f, "dup storm adds zero copies"),
+            FleetFaultError::InvalidLossRate { rate } => {
+                write!(f, "message loss rate {rate} outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetFaultError {}
+
+// ---------------------------------------------------------------------------
 // Retry backoff
 // ---------------------------------------------------------------------------
 
@@ -661,6 +919,11 @@ pub struct FaultsReport {
     /// bin drained empty — `None` if the link never went down or the
     /// backlog never cleared before the run ended.
     pub recovery_rounds: Option<u64>,
+    /// Segments still parked (retry queue or spill bin) when the run
+    /// ended — accounted as drops in the ledger, but no longer anonymous:
+    /// the datacenter can demand-fetch their content from the node's
+    /// archive (see [`crate::hub::CloudHub::fetch_context`]).
+    pub parked: Vec<SpilledSegment>,
 }
 
 // ---------------------------------------------------------------------------
@@ -924,21 +1187,46 @@ impl RecoveringUplink {
 
     /// Ends the run at `round`: all still-parked segments become accounted
     /// drops, so the ledger conserves. Returns the inner link, the final
-    /// ledger, spill stats, and the recovery time in rounds (last link
-    /// recovery → backlog cleared).
+    /// ledger, spill stats, the recovery time in rounds (last link
+    /// recovery → backlog cleared), and the parked segments themselves —
+    /// listed so the datacenter can demand-fetch their content from the
+    /// node's archive instead of losing it.
     pub fn finish(
         mut self,
         round: u64,
         trace: &mut FaultTrace,
-    ) -> (Uplink, SegmentLedger, u64, u64, Option<u64>) {
-        let parked = self.pending.len() as u64 + self.spill.len() as u64;
-        if parked > 0 {
-            self.ledger.dropped += parked;
-            trace.push(round, FaultEventKind::EndOfRunDropped { segments: parked });
+    ) -> (
+        Uplink,
+        SegmentLedger,
+        u64,
+        u64,
+        Option<u64>,
+        Vec<SpilledSegment>,
+    ) {
+        let mut parked: Vec<SpilledSegment> = self
+            .pending
+            .iter()
+            .map(|p| SpilledSegment {
+                stream: p.stream,
+                bytes: p.bytes,
+                refused_round: p.refused_round,
+            })
+            .collect();
+        while let Some(seg) = self.spill.pop() {
+            parked.push(seg);
+        }
+        if !parked.is_empty() {
+            self.ledger.dropped += parked.len() as u64;
+            trace.push(
+                round,
+                FaultEventKind::EndOfRunDropped {
+                    segments: parked.len() as u64,
+                },
+            );
         }
         debug_assert!(self.ledger.conserves(), "ledger must conserve at finish");
         let recovery = match (self.last_link_up_round, self.recovered_round) {
-            (Some(up), Some(clear)) if parked == 0 => Some(clear.saturating_sub(up)),
+            (Some(up), Some(clear)) if parked.is_empty() => Some(clear.saturating_sub(up)),
             _ => None,
         };
         (
@@ -947,6 +1235,7 @@ impl RecoveringUplink {
             self.spill.spilled(),
             self.spill.overflow(),
             recovery,
+            parked,
         )
     }
 }
@@ -1003,7 +1292,8 @@ mod tests {
         let kinds: Vec<_> = trace.events.iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&FaultEventKind::LinkDown));
         assert!(kinds.contains(&FaultEventKind::LinkUp));
-        let (_, ledger, _, _, recovery) = rec.finish(80, &mut trace);
+        let (_, ledger, _, _, recovery, parked) = rec.finish(80, &mut trace);
+        assert!(parked.is_empty(), "backlog cleared ⇒ nothing parked");
         assert!(ledger.conserves(), "{ledger:?}");
         assert_eq!(ledger.offered, 15);
         assert!(ledger.delivered_late > 0, "{ledger:?}");
@@ -1039,7 +1329,12 @@ mod tests {
         let kinds: Vec<_> = trace.events.iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&FaultEventKind::Spilled { stream: 0 }));
         assert!(kinds.contains(&FaultEventKind::SpillDropped { stream: 0 }));
-        let (_, ledger, spilled, overflow, recovery) = rec.finish(30, &mut trace);
+        let (_, ledger, spilled, overflow, recovery, parked) = rec.finish(30, &mut trace);
+        assert_eq!(
+            parked.len() as u64,
+            ledger.dropped - overflow,
+            "every non-overflow drop is listed for demand-fetch"
+        );
         assert!(ledger.conserves(), "{ledger:?}");
         assert_eq!(ledger.offered, 6);
         assert_eq!(ledger.delivered + ledger.delivered_late, 0);
@@ -1074,6 +1369,51 @@ mod tests {
             ledger_a.delivered_late > 0,
             "lost segments should retry in: {ledger_a:?}"
         );
+    }
+
+    #[test]
+    fn fleet_plan_validation_catches_bad_targets_and_rates() {
+        assert_eq!(
+            FleetFaultPlan::new().node_crash(8, 0, 5).validate(8),
+            Err(FleetFaultError::UnknownNode { node: 8, nodes: 8 })
+        );
+        assert_eq!(
+            FleetFaultPlan::new().hub_partition(0, 5, 4, 4).validate(8),
+            Err(FleetFaultError::EmptyPartition { lo: 4, hi: 4 })
+        );
+        assert_eq!(
+            FleetFaultPlan::new().hub_partition(0, 5, 4, 9).validate(8),
+            Err(FleetFaultError::UnknownNode { node: 8, nodes: 8 })
+        );
+        assert_eq!(
+            FleetFaultPlan::new().dup_storm(0, 5, 0).validate(8),
+            Err(FleetFaultError::EmptyDupStorm)
+        );
+        assert_eq!(
+            FleetFaultPlan::new().node_crash(0, 3, 0).validate(8),
+            Err(FleetFaultError::EmptyWindow)
+        );
+        assert!(matches!(
+            FleetFaultPlan::new().message_loss(0, 5, 1.0).validate(8),
+            Err(FleetFaultError::InvalidLossRate { .. })
+        ));
+        let err = FleetFaultPlan::new().message_loss(0, 5, 1.0).validate(8);
+        let dyn_err: &dyn std::error::Error = &err.unwrap_err();
+        assert!(dyn_err.to_string().contains("loss rate"));
+
+        let plan = FleetFaultPlan::new()
+            .node_crash(3, 20, 15)
+            .hub_partition(40, 12, 2, 6)
+            .dup_storm(60, 10, 2)
+            .message_loss(60, 10, 0.25);
+        assert!(plan.validate(8).is_ok());
+        assert!(plan.crashed(3, 20) && plan.crashed(3, 34) && !plan.crashed(3, 35));
+        assert!(!plan.crashed(2, 20));
+        assert!(plan.partitioned(5, 45) && !plan.partitioned(6, 45));
+        assert_eq!(plan.dup_copies(65), 2);
+        assert_eq!(plan.dup_copies(59), 0);
+        assert!((plan.loss_rate(60) - 0.25).abs() < 1e-12);
+        assert_eq!(plan.loss_rate(70), 0.0);
     }
 
     #[test]

@@ -37,6 +37,18 @@
 //!   bit-for-bit deterministic across thread counts, shard layouts, and
 //!   batch modes.
 //! * [`archive`] — local storage + demand-fetch of context segments.
+//! * [`hub`] — the cloud tier: a [`hub::CloudHub`] fanning in event
+//!   segments from the whole fleet behind per-node dedup windows
+//!   (at-least-once transport, effectively exactly-once accounting),
+//!   serving composite [`query::Query`] subscriptions, staging MC
+//!   rollouts with canary rollback, and demand-fetching archived context
+//!   against spilled segments.
+//! * [`fleet`] — the deterministic virtual-time fleet loop driving
+//!   50–200 simulated nodes against one hub under a scripted
+//!   [`faults::FleetFaultPlan`] (node crashes, hub partitions, duplicate
+//!   storms, seeded loss): checkpointed crash recovery, a conserved
+//!   [`hub::FleetLedger`], and a byte-replayable trace across repeats
+//!   and shard widths.
 //! * [`faults`] — deterministic fault injection and recovery: virtual-time
 //!   scheduled uplink outages/capacity dips/packet loss, camera stalls and
 //!   corruption, scripted stage panics — plus the recovery half (bounded
@@ -84,6 +96,8 @@ pub mod evaluate;
 pub mod events;
 pub mod extractor;
 pub mod faults;
+pub mod fleet;
+pub mod hub;
 pub mod node;
 pub mod pipeline;
 pub mod pretrain;
@@ -101,8 +115,13 @@ pub use control::{
 pub use events::{EventId, EventRecord, McId};
 pub use extractor::{FeatureExtractor, FeatureMaps};
 pub use faults::{
-    FaultEvent, FaultEventKind, FaultPlan, FaultPlanError, FaultTrace, FaultsReport,
-    RecoveryConfig, RetryPolicy, SegmentLedger,
+    FaultEvent, FaultEventKind, FaultPlan, FaultPlanError, FaultTrace, FaultsReport, FleetFault,
+    FleetFaultError, FleetFaultKind, FleetFaultPlan, RecoveryConfig, RetryPolicy, SegmentLedger,
+};
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetReport};
+pub use hub::{
+    Admit, CloudHub, DedupWindow, EventSegment, FleetLedger, HubError, HubEvent, HubEventKind,
+    HubTrace, McVersion, NodeId, RolloutOutcome, RolloutPlan, SubId, Subscription,
 };
 pub use pipeline::{FilterForward, FrameVerdict, PipelineConfig, PipelineStats};
 pub use runtime::{

@@ -316,6 +316,13 @@ impl FilterForward {
         self.archive.as_ref()
     }
 
+    /// Detaches the local archive (e.g. to hand it to a
+    /// [`crate::hub::CloudHub`] for demand fetch); the pipeline stops
+    /// recording.
+    pub fn take_archive(&mut self) -> Option<EdgeArchive> {
+        self.archive.take()
+    }
+
     /// Ingests one frame, returning any frames that became final (in
     /// order). With temporal smoothing, verdicts trail the input by each
     /// MC's delay.

@@ -77,6 +77,153 @@ impl Query {
             Query::Not(q) => q.collect_mcs(out),
         }
     }
+
+    /// Evaluates against a bare set of matched event classes — the form
+    /// event segments carry over the node↔hub wire, where no
+    /// [`FrameVerdict`] exists ([`crate::hub::CloudHub`] subscriptions).
+    pub fn matches_classes(&self, classes: &[McId]) -> bool {
+        match self {
+            Query::Mc(id) => classes.contains(id),
+            Query::And(a, b) => a.matches_classes(classes) && b.matches_classes(classes),
+            Query::Or(a, b) => a.matches_classes(classes) || b.matches_classes(classes),
+            Query::Not(q) => !q.matches_classes(classes),
+        }
+    }
+
+    /// Serializes to the compact wire form subscriptions travel in:
+    /// `mc:ID`, `and(A,B)`, `or(A,B)`, `not(A)`.
+    ///
+    /// ```
+    /// use ff_core::events::McId;
+    /// use ff_core::query::Query;
+    /// let q = Query::mc(McId(0)).and(Query::mc(McId(1)).not());
+    /// assert_eq!(q.to_wire(), "and(mc:0,not(mc:1))");
+    /// assert_eq!(Query::from_wire(&q.to_wire()).unwrap(), q);
+    /// ```
+    pub fn to_wire(&self) -> String {
+        match self {
+            Query::Mc(id) => format!("mc:{}", id.0),
+            Query::And(a, b) => format!("and({},{})", a.to_wire(), b.to_wire()),
+            Query::Or(a, b) => format!("or({},{})", a.to_wire(), b.to_wire()),
+            Query::Not(q) => format!("not({})", q.to_wire()),
+        }
+    }
+
+    /// Parses the wire form produced by [`Query::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryParseError`] locating the first malformed byte.
+    pub fn from_wire(s: &str) -> Result<Query, QueryParseError> {
+        let bytes = s.as_bytes();
+        let mut at = 0;
+        let q = parse_query(bytes, &mut at)?;
+        if at != bytes.len() {
+            return Err(QueryParseError::TrailingInput { at });
+        }
+        Ok(q)
+    }
+}
+
+/// Why a wire-form query failed to parse ([`Query::from_wire`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// The input ended inside an expression.
+    UnexpectedEnd,
+    /// An unexpected byte where an operator or delimiter was required.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        at: usize,
+        /// The character found.
+        found: char,
+    },
+    /// An `mc:` leaf without a parseable id.
+    BadId {
+        /// Byte offset where the id should start.
+        at: usize,
+    },
+    /// A complete expression followed by leftover input.
+    TrailingInput {
+        /// Byte offset of the first leftover byte.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryParseError::UnexpectedEnd => write!(f, "query wire form ended unexpectedly"),
+            QueryParseError::UnexpectedChar { at, found } => {
+                write!(f, "unexpected {found:?} at byte {at} in query wire form")
+            }
+            QueryParseError::BadId { at } => {
+                write!(f, "malformed MC id at byte {at} in query wire form")
+            }
+            QueryParseError::TrailingInput { at } => {
+                write!(f, "trailing input at byte {at} after query wire form")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn expect(bytes: &[u8], at: &mut usize, lit: &str) -> Result<(), QueryParseError> {
+    if bytes.len() < *at + lit.len() {
+        return Err(QueryParseError::UnexpectedEnd);
+    }
+    if &bytes[*at..*at + lit.len()] != lit.as_bytes() {
+        return Err(QueryParseError::UnexpectedChar {
+            at: *at,
+            found: bytes[*at] as char,
+        });
+    }
+    *at += lit.len();
+    Ok(())
+}
+
+fn parse_query(bytes: &[u8], at: &mut usize) -> Result<Query, QueryParseError> {
+    match bytes.get(*at) {
+        None => Err(QueryParseError::UnexpectedEnd),
+        Some(b'm') => {
+            expect(bytes, at, "mc:")?;
+            let start = *at;
+            while bytes.get(*at).is_some_and(|b| b.is_ascii_digit()) {
+                *at += 1;
+            }
+            let digits = std::str::from_utf8(&bytes[start..*at]).expect("ascii digits are utf-8");
+            let id: usize = digits
+                .parse()
+                .map_err(|_| QueryParseError::BadId { at: start })?;
+            Ok(Query::Mc(McId(id)))
+        }
+        Some(b'a') => {
+            expect(bytes, at, "and(")?;
+            let a = parse_query(bytes, at)?;
+            expect(bytes, at, ",")?;
+            let b = parse_query(bytes, at)?;
+            expect(bytes, at, ")")?;
+            Ok(a.and(b))
+        }
+        Some(b'o') => {
+            expect(bytes, at, "or(")?;
+            let a = parse_query(bytes, at)?;
+            expect(bytes, at, ",")?;
+            let b = parse_query(bytes, at)?;
+            expect(bytes, at, ")")?;
+            Ok(a.or(b))
+        }
+        Some(b'n') => {
+            expect(bytes, at, "not(")?;
+            let q = parse_query(bytes, at)?;
+            expect(bytes, at, ")")?;
+            Ok(q.not())
+        }
+        Some(&c) => Err(QueryParseError::UnexpectedChar {
+            at: *at,
+            found: c as char,
+        }),
+    }
 }
 
 /// Streams a query over finalized verdicts, segmenting matches into
@@ -197,5 +344,59 @@ mod tests {
         fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(_: &T) {}
         let q = Query::mc(McId(0)).and(Query::mc(McId(1)).not());
         assert_serde(&q);
+    }
+
+    #[test]
+    fn matches_classes_mirrors_frame_semantics() {
+        let q = Query::mc(McId(0)).and(Query::mc(McId(1)).not());
+        assert!(q.matches_classes(&[McId(0)]));
+        assert!(!q.matches_classes(&[McId(0), McId(1)]));
+        assert!(!q.matches_classes(&[]));
+        let any = Query::mc(McId(2)).or(Query::mc(McId(5)));
+        assert!(any.matches_classes(&[McId(5)]));
+        assert!(!any.matches_classes(&[McId(3)]));
+    }
+
+    #[test]
+    fn wire_round_trips_nested_queries() {
+        let cases = vec![
+            Query::mc(McId(0)),
+            Query::mc(McId(42)).not(),
+            Query::mc(McId(0)).and(Query::mc(McId(1))),
+            Query::mc(McId(0))
+                .or(Query::mc(McId(1)).and(Query::mc(McId(2)).not()))
+                .not(),
+            Query::mc(McId(7))
+                .and(Query::mc(McId(8)))
+                .or(Query::mc(McId(9)).and(Query::mc(McId(10)).not())),
+        ];
+        for q in cases {
+            let wire = q.to_wire();
+            let back = Query::from_wire(&wire).unwrap_or_else(|e| panic!("{wire}: {e}"));
+            assert_eq!(back, q, "round trip through {wire}");
+        }
+    }
+
+    #[test]
+    fn wire_parse_errors_locate_the_fault() {
+        assert_eq!(
+            Query::from_wire("and(mc:0"),
+            Err(QueryParseError::UnexpectedEnd)
+        );
+        assert_eq!(
+            Query::from_wire("xor(mc:0,mc:1)"),
+            Err(QueryParseError::UnexpectedChar { at: 0, found: 'x' })
+        );
+        assert_eq!(
+            Query::from_wire("mc:"),
+            Err(QueryParseError::BadId { at: 3 })
+        );
+        assert_eq!(
+            Query::from_wire("mc:1,mc:2"),
+            Err(QueryParseError::TrailingInput { at: 4 })
+        );
+        // Errors are typed and displayable, PR 6 convention.
+        let err: Box<dyn std::error::Error> = Box::new(Query::from_wire("not()").unwrap_err());
+        assert!(!err.to_string().is_empty());
     }
 }

@@ -1267,7 +1267,7 @@ impl EdgeNode {
                 telemetry.push(snap);
             }
         }
-        let (uplink, ledger, spilled, spill_overflow, recovery_rounds) =
+        let (uplink, ledger, spilled, spill_overflow, recovery_rounds, parked) =
             rec.finish(round, &mut fault_trace);
         let NodeReport { streams, node } = node_report(reports, &uplink, t0.elapsed());
         ControlledReport {
@@ -1283,6 +1283,7 @@ impl EdgeNode {
                 spilled,
                 spill_overflow,
                 recovery_rounds,
+                parked,
             }),
         }
     }

@@ -1,15 +1,22 @@
 //! Property-based tests for FilterForward's decision machinery: K-voting,
 //! transition detection, crop algebra, the evaluate/smoothing glue, the
 //! edge-node memory model admission control builds on, the fault
-//! recovery layer (backoff schedules, segment conservation), and the
+//! recovery layer (backoff schedules, segment conservation), the
 //! whole-int8 quantization contract (round-trip bounds, kernel-vs-scalar
-//! bit-identity).
+//! bit-identity), and the cloud tier (hub dedup idempotence, fleet
+//! ledger conservation under random chaos schedules, query wire-format
+//! round trips).
 
 use ff_core::evaluate::smooth_decisions;
 use ff_core::events::{McId, TransitionDetector};
 use ff_core::extractor::crop_to_grid;
-use ff_core::faults::{FaultPlan, FaultTrace, RecoveringUplink, RecoveryConfig, RetryPolicy};
+use ff_core::faults::{
+    FaultPlan, FaultTrace, FleetFaultPlan, RecoveringUplink, RecoveryConfig, RetryPolicy,
+};
+use ff_core::fleet::{Fleet, FleetConfig};
+use ff_core::hub::{Admit, DedupWindow};
 use ff_core::node::{max_mobilenet_instances, mobilenet_instance_bytes, EdgeNodeSpec};
+use ff_core::query::Query;
 use ff_core::smoothing::{KVotingSmoother, SmoothingConfig};
 use ff_core::uplink::Uplink;
 use ff_data::CropRect;
@@ -399,10 +406,14 @@ proptest! {
             offered_nonzero += u64::from(bytes > 0);
             rec.offer(round, (round % 3) as usize, bytes, &mut trace);
         }
-        let (_, ledger, spilled, overflow, _) = rec.finish(total, &mut trace);
+        let (_, ledger, spilled, overflow, _, parked) = rec.finish(total, &mut trace);
         prop_assert!(ledger.conserves(), "{:?}", ledger);
         prop_assert_eq!(ledger.offered, offered_nonzero, "idle slots never count");
         prop_assert!(spilled + overflow <= ledger.offered, "parks are per-segment");
+        prop_assert!(
+            parked.len() as u64 <= ledger.dropped,
+            "every parked segment is an accounted drop"
+        );
         prop_assert!(
             ledger.dropped >= overflow,
             "every overflow is an accounted drop: {:?} overflow={}",
@@ -499,5 +510,106 @@ proptest! {
         let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
         let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(got_bits, want_bits, "m={} k={} n={} g={}", m, k, n, group_size);
+    }
+
+    /// The hub's dedup window is idempotent under any arrival schedule —
+    /// duplicates, reorderings, gaps: no sequence number is ever admitted
+    /// `Fresh` twice, an immediate re-arrival is never fresh, the held
+    /// set stays within capacity, and replaying the exact schedule on a
+    /// fresh window reproduces the verdicts bit-for-bit.
+    #[test]
+    fn dedup_window_idempotent_bounded_deterministic(
+        arrivals in proptest::collection::vec(0u64..48, 1..120),
+        cap in 1usize..24,
+    ) {
+        let run = |arrivals: &[u64]| -> Result<Vec<Admit>, String> {
+            let mut w = DedupWindow::new(cap);
+            let mut verdicts = Vec::new();
+            let mut fresh_seen = std::collections::HashSet::new();
+            for &seq in arrivals {
+                let v = w.admit(seq);
+                if v == Admit::Fresh {
+                    prop_assert!(fresh_seen.insert(seq), "seq {} admitted twice", seq);
+                }
+                prop_assert!(w.held() <= cap, "window overflowed its bound");
+                prop_assert!(w.admit(seq) != Admit::Fresh, "instant replay not fresh");
+                verdicts.push(v);
+            }
+            Ok(verdicts)
+        };
+        let first = run(&arrivals)?;
+        prop_assert_eq!(first, run(&arrivals)?, "same schedule, same verdicts");
+    }
+
+    /// Fleet conservation under random duplicate/reorder/loss/crash/
+    /// partition schedules: whatever the schedule, the summed and
+    /// per-node ledgers conserve exactly, no segment reaches a
+    /// subscriber twice, and the whole report replays bit-identically at
+    /// a different hub shard width.
+    #[test]
+    fn fleet_ledger_conserves_under_random_chaos(
+        nodes in 3usize..7,
+        rounds in 60u64..140,
+        seed in any::<u64>(),
+        crash_node in 0usize..7,
+        crash_at in 0u64..100,
+        crash_len in 1u64..60,
+        part_at in 0u64..100,
+        part_len in 1u64..40,
+        storm_at in 0u64..100,
+        copies in 1u32..3,
+        loss_permille in 0u32..400,
+        jitter in 0u64..4,
+        max_attempts in 2u32..6,
+    ) {
+        let mut faults = FleetFaultPlan::new()
+            .node_crash(crash_node % nodes, crash_at, crash_len)
+            .hub_partition(part_at, part_len, 0, 1 + (crash_node % nodes))
+            .dup_storm(storm_at, 20, copies);
+        if loss_permille > 0 {
+            faults = faults.message_loss(storm_at, 30, f64::from(loss_permille) / 1000.0);
+        }
+        let cfg = FleetConfig {
+            nodes,
+            rounds,
+            seed,
+            jitter_rounds: jitter,
+            retry: RetryPolicy {
+                max_attempts,
+                ..RetryPolicy::default()
+            },
+            faults,
+            subscriptions: vec![Query::mc(McId(0)).or(Query::mc(McId(1)))],
+            ..Default::default()
+        };
+        let report = Fleet::new(cfg.clone()).unwrap().run();
+        prop_assert!(report.ledger.conserves(), "{}", report.ledger);
+        for (i, l) in report.node_ledgers.iter().enumerate() {
+            prop_assert!(l.conserves(), "node {}: {}", i, l);
+        }
+        prop_assert_eq!(report.double_deliveries, 0, "exactly-once delivery");
+        let resharded = Fleet::new(FleetConfig { shards: 3, ..cfg }).unwrap().run();
+        prop_assert_eq!(&report, &resharded, "shard width must be unobservable");
+    }
+
+    /// Query wire-format round trip for arbitrary expression trees built
+    /// by a random stack program: parse(print(q)) == q.
+    #[test]
+    fn query_wire_round_trips(
+        seed_id in 0usize..12,
+        ops in proptest::collection::vec(0u8..3, 0..24),
+        ids in proptest::collection::vec(0usize..12, 24),
+    ) {
+        let mut q = Query::mc(McId(seed_id));
+        for (&op, &id) in ops.iter().zip(&ids) {
+            q = match op {
+                0 => q.and(Query::mc(McId(id))),
+                1 => q.or(Query::mc(McId(id))),
+                _ => q.not(),
+            };
+        }
+        let wire = q.to_wire();
+        let back = Query::from_wire(&wire);
+        prop_assert_eq!(back.as_ref(), Ok(&q), "wire form: {}", wire);
     }
 }

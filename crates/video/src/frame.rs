@@ -103,6 +103,24 @@ impl Frame {
         )
     }
 
+    /// FNV-1a digest over the resolution and RGB bytes: a cheap stable
+    /// fingerprint for asserting that fetched or replayed frame content
+    /// is byte-identical (used by the fleet demand-fetch path).
+    pub fn digest64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for v in [self.resolution.width as u64, self.resolution.height as u64] {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        for &b in &self.data {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Mean absolute per-channel difference to another frame, in 8-bit
     /// levels. Useful as a cheap change detector and in tests.
     ///
@@ -192,5 +210,17 @@ mod tests {
     #[should_panic(expected = "bad RGB buffer size")]
     fn from_rgb_validates_len() {
         let _ = Frame::from_rgb(Resolution::new(2, 2), vec![0; 5]);
+    }
+
+    #[test]
+    fn digest_distinguishes_content_and_shape() {
+        let a = Frame::black(Resolution::new(4, 3));
+        assert_eq!(a.digest64(), a.clone().digest64(), "stable per content");
+        let mut b = a.clone();
+        b.set_pixel(1, 1, [0, 0, 1]);
+        assert_ne!(a.digest64(), b.digest64(), "one-bit content change");
+        // Same zeroed bytes, different shape.
+        let c = Frame::black(Resolution::new(3, 4));
+        assert_ne!(a.digest64(), c.digest64(), "shape is part of the digest");
     }
 }

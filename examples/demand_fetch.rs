@@ -1,72 +1,150 @@
-//! Demand-fetch (§3.2): the edge node archives the original stream; when a
-//! datacenter application receives an event, it pulls surrounding context
-//! frames from the edge archive — paying GOP-aligned bandwidth only for
-//! what it asks for.
+//! Demand-fetch (§3.2), end to end through the cloud tier: the edge node
+//! runs a *trained* pedestrian microclassifier, archives the original
+//! stream, and reports event segments to a [`CloudHub`]; a datacenter
+//! subscription receives the events, and the hub pulls surrounding
+//! full-quality context from the node's archive — paying GOP-aligned
+//! bandwidth only for what it asks for.
 //!
 //! ```sh
-//! cargo run --release --example demand_fetch
+//! cargo run --release --example demand_fetch [-- --frames 800]
 //! ```
 
+use ff_core::hub::{Admit, CloudHub, EventSegment, McVersion, NodeId};
 use ff_core::pipeline::{FilterForward, PipelineConfig};
-use ff_core::smoothing::SmoothingConfig;
-use ff_core::McSpec;
-use ff_video::scene::{Scene, SceneConfig};
-use ff_video::Resolution;
+use ff_core::query::Query;
+use ff_core::train::{train_mc, TrainConfig};
+use ff_core::{FeatureExtractor, McSpec};
+use ff_data::{DatasetSpec, Split};
+use ff_models::MobileNetConfig;
 
 fn main() {
-    let res = Resolution::new(128, 72);
-    let scene_cfg = SceneConfig {
-        resolution: res,
-        seed: 11,
-        pedestrian_rate: 0.08,
-        crossing_fraction: 0.6,
-        ..Default::default()
-    };
-    let mut scene = Scene::new(scene_cfg);
+    let frames: usize = std::env::args()
+        .skip_while(|a| a != "--frames")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
 
-    let cfg = PipelineConfig::new(res, scene_cfg.fps);
+    // Train a real MC offline on the first video (no untrained-MC tricks:
+    // the threshold comes from held-out calibration).
+    let data = DatasetSpec::jackson_like(16, frames, 42);
+    let spec = McSpec::localized("pedestrian-in-crosswalk", data.task.crop, 7);
+    let mut extractor =
+        FeatureExtractor::new(MobileNetConfig::with_width(0.25), vec![spec.tap.clone()]);
+    let cal: Vec<_> = data
+        .open(Split::Train)
+        .take(8)
+        .map(|lf| lf.frame.to_tensor())
+        .collect();
+    extractor.calibrate(&cal);
+    println!("training the MC on the first video …");
+    let trained = train_mc(
+        &mut extractor,
+        &spec,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
+    );
+    println!("  trained threshold {:.2}", trained.threshold);
+
+    // Deploy on the edge pipeline and stream the held-out video.
+    let mut cfg = PipelineConfig::new(data.resolution(), data.scene.fps);
+    cfg.mobilenet = MobileNetConfig::with_width(0.25);
     let mut ff = FilterForward::new(cfg);
-    // An untrained MC with threshold 0 matches everything for a stretch —
-    // enough to produce an event whose context we can fetch.
-    let spec = McSpec {
-        threshold: 0.0,
-        smoothing: SmoothingConfig { n: 1, k: 1 },
-        ..McSpec::full_frame("everything", 1)
-    };
+    let cal_frames: Vec<_> = data.open(Split::Train).take(8).map(|lf| lf.frame).collect();
+    ff.calibrate(&cal_frames);
     let id = ff.deploy(spec);
-    let _ = id;
+    ff.mc_mut(id).install_model(trained.model);
+    ff.mc_mut(id).set_threshold(trained.threshold);
 
-    let originals: Vec<_> = (0..60).map(|_| scene.step().0).collect();
-    let mut first_event = None;
+    let originals: Vec<_> = data.open(Split::Test).map(|lf| lf.frame).collect();
+    let mut events = Vec::new();
     for f in &originals {
         for v in ff.process(f) {
-            if let Some(ev) = v.closed_events.first() {
-                first_event.get_or_insert(*ev);
-            }
+            events.extend(v.closed_events);
+        }
+    }
+    let archive = ff.take_archive().expect("archive enabled");
+    println!(
+        "archived {} frames ({} bytes, GOP {}); {} pedestrian events detected",
+        archive.frames(),
+        archive.bytes(),
+        archive.gop(),
+        events.len()
+    );
+    assert!(
+        !events.is_empty(),
+        "the trained MC should fire on held-out video"
+    );
+
+    // The cloud tier: register the node, hand over its archive handle,
+    // and subscribe the application to the pedestrian class.
+    let mut hub = CloudHub::new(64);
+    let node = hub.register_node();
+    assert_eq!(node, NodeId(0));
+    hub.attach_archive(node, archive)
+        .expect("node just registered");
+    let sub = hub
+        .subscribe(Query::mc(id))
+        .expect("query references the MC");
+
+    // The node reports each closed event as one segment; a flaky uplink
+    // re-sends the first one, and the hub's dedup window absorbs it.
+    for (seq, ev) in events.iter().enumerate() {
+        let seg = EventSegment {
+            node,
+            seq: seq as u64,
+            classes: vec![ev.mc],
+            round: ev.start,
+            bytes: 512,
+            version: McVersion(1),
+        };
+        assert_eq!(hub.ingest(&seg).unwrap(), Admit::Fresh);
+        if seq == 0 {
+            assert_eq!(hub.ingest(&seg).unwrap(), Admit::Duplicate);
         }
     }
     println!(
-        "archived {} frames ({} bytes)",
-        ff.archive().unwrap().frames(),
-        ff.archive().unwrap().bytes()
+        "hub: {} segments accepted, {} duplicate absorbed, {} delivered to the subscription",
+        hub.accepted(),
+        hub.dup_hits(),
+        hub.sub_deliveries(sub)
     );
+    assert_eq!(hub.sub_deliveries(sub), events.len() as u64);
 
-    // The datacenter asks for 10 frames of context around frame 30.
-    let archive = ff.archive().expect("archive enabled");
-    let (frames, bytes) = archive.demand_fetch(25, 35).expect("in range");
+    // The application asks the hub for context around the first event.
+    let ev = &events[0];
+    let end = ev.end.unwrap_or(ev.start + 1);
+    let (start, stop) = (ev.start.saturating_sub(5) as usize, (end + 5) as usize);
+    let stop = stop.min(originals.len());
+    let (context, bytes) = hub
+        .fetch_context(node, start, stop)
+        .expect("event in range");
     println!(
-        "demand-fetched frames 25..35: {} frames, {} bytes on the wire",
-        frames.len(),
+        "demand-fetched frames {start}..{stop} around event {:?}: {} frames, {} bytes on the wire",
+        ev.id,
+        context.len(),
         bytes
     );
 
-    // Fetched context is faithful to the original capture.
-    let psnr: f64 = frames
+    // Fetched context is faithful to the original capture, and the fetch
+    // itself is deterministic (same digests on a repeat fetch).
+    let psnr: f64 = context
         .iter()
-        .zip(&originals[25..35])
+        .zip(&originals[start..stop])
         .map(|(got, want)| got.psnr(want).min(60.0))
         .sum::<f64>()
-        / frames.len() as f64;
+        / context.len() as f64;
     println!("mean context PSNR vs original: {psnr:.1} dB");
     assert!(psnr > 28.0, "archive quality should be high");
+    let digests: Vec<u64> = context.iter().map(|f| f.digest64()).collect();
+    let (again, _) = hub
+        .fetch_context(node, start, stop)
+        .expect("still in range");
+    assert_eq!(
+        digests,
+        again.iter().map(|f| f.digest64()).collect::<Vec<_>>(),
+        "demand fetch replays byte-identically"
+    );
 }

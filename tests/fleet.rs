@@ -1,0 +1,226 @@
+//! Fleet-scale robustness integration tests (`ff_core::hub` +
+//! `ff_core::fleet`): the acceptance contract of the cloud tier.
+//!
+//! * the **fleet chaos scenario** — ≥50 nodes under scripted crashes, a
+//!   hub partition, a duplicate storm, and seeded loss — conserves the
+//!   `FleetLedger` exactly, delivers no event twice to any subscriber,
+//!   and replays its full report (trace included) bit-for-bit across
+//!   repeated runs and hub shard widths;
+//! * **per-node isolation**: a node's ledger and sub-trace are identical
+//!   whether the fleet has 50 or 200 nodes;
+//! * **crash-rejoin** resumes from the checkpoint journal without double
+//!   delivery;
+//! * the **staged rollout** promotes a healthy version and rolls back a
+//!   misbehaving canary;
+//! * **demand fetch** recovers spilled segments once a partition heals,
+//!   and gives up with bounded retries against a node that stays dark.
+
+use ff_core::faults::{FleetFaultPlan, RetryPolicy};
+use ff_core::fleet::{Fleet, FleetConfig};
+use ff_core::hub::{HubEventKind, McVersion, NodeId, RolloutOutcome, RolloutPlan};
+use ff_core::query::Query;
+use ff_core::McId;
+
+/// The scripted chaos configuration from the acceptance criteria: ≥50
+/// nodes, crashes, a partition, a dup storm, seeded loss.
+fn chaos_cfg(nodes: usize, shards: usize) -> FleetConfig {
+    FleetConfig {
+        nodes,
+        rounds: 220,
+        shards,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        faults: FleetFaultPlan::new()
+            .node_crash(3, 30, 25)
+            .node_crash(17, 60, 20)
+            .node_crash(3, 140, 15)
+            .hub_partition(80, 30, 8, 24)
+            .dup_storm(120, 20, 2)
+            .message_loss(120, 20, 0.2)
+            .message_loss(45, 10, 0.3),
+        subscriptions: vec![
+            Query::mc(McId(0)).or(Query::mc(McId(1))),
+            Query::mc(McId(2)).and(Query::mc(McId(3)).not()),
+        ],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chaos_scenario_conserves_and_replays_across_runs_and_shards() {
+    let report = Fleet::new(chaos_cfg(50, 1)).unwrap().run();
+    assert!(report.ledger.conserves(), "{}", report.ledger);
+    assert!(report.ledger.offered > 500, "the fleet generated real load");
+    assert!(report.ledger.spilled > 0, "the partition forced spills");
+    assert_eq!(report.double_deliveries, 0, "exactly-once to subscribers");
+    assert!(report.dup_hits > 0, "the storm was absorbed, not delivered");
+    assert!(report.sub_deliveries.iter().all(|&d| d > 0));
+
+    // Per-node conservation too, not just in the sum.
+    for (i, l) in report.node_ledgers.iter().enumerate() {
+        assert!(l.conserves(), "node {i}: {l}");
+    }
+
+    // Byte-identical replay: same run again, and across shard widths.
+    for shards in [1, 2, 4] {
+        let again = Fleet::new(chaos_cfg(50, shards)).unwrap().run();
+        assert_eq!(report, again, "replay at shard width {shards} diverged");
+        assert_eq!(
+            report.trace.to_string(),
+            again.trace.to_string(),
+            "printed trace at shard width {shards} diverged"
+        );
+    }
+}
+
+#[test]
+fn per_node_outcomes_are_fleet_size_independent() {
+    // Same seed, same per-node fault windows, two fleet sizes: the first
+    // 50 nodes must not be able to tell whether 150 more exist.
+    let small = Fleet::new(chaos_cfg(50, 2)).unwrap().run();
+    let large = Fleet::new(chaos_cfg(200, 2)).unwrap().run();
+    assert_eq!(&small.node_ledgers[..], &large.node_ledgers[..50]);
+    for node in [3usize, 17, 8, 49] {
+        assert_eq!(
+            small.trace.for_node(NodeId(node)).to_string(),
+            large.trace.for_node(NodeId(node)).to_string(),
+            "node {node} sub-trace diverged across fleet sizes"
+        );
+    }
+}
+
+#[test]
+fn crash_rejoin_resumes_from_checkpoint_without_double_delivery() {
+    let cfg = FleetConfig {
+        nodes: 8,
+        rounds: 200,
+        checkpoint_every: 64,
+        faults: FleetFaultPlan::new().node_crash(5, 50, 30),
+        subscriptions: vec![Query::mc(McId(0)).or(Query::mc(McId(1)))],
+        ..Default::default()
+    };
+    let report = Fleet::new(cfg).unwrap().run();
+    assert!(report.ledger.conserves());
+    assert_eq!(report.checkpoint_restores, 1);
+    assert_eq!(report.double_deliveries, 0);
+    assert!(report.redeliveries > 0, "the rejoin re-offered its journal");
+    assert!(report.dup_hits > 0, "re-offers were absorbed as duplicates");
+    let rejoin = report
+        .trace
+        .events
+        .iter()
+        .find(|e| {
+            matches!(
+                e.kind,
+                HubEventKind::NodeRejoined {
+                    node: NodeId(5),
+                    ..
+                }
+            )
+        })
+        .expect("node 5 rejoined");
+    assert_eq!(rejoin.round, 80);
+}
+
+#[test]
+fn rollout_promotes_healthy_and_rolls_back_misbehaving_versions() {
+    let base = FleetConfig {
+        nodes: 20,
+        rounds: 200,
+        rollout: Some(RolloutPlan {
+            version: McVersion(2),
+            start_round: 60,
+            canary_nodes: 4,
+            canary_rounds: 40,
+            regression_factor: 2.0,
+        }),
+        ..Default::default()
+    };
+    // Healthy canary: same event rate on v2 ⇒ promoted fleet-wide.
+    let healthy = Fleet::new(base.clone()).unwrap().run();
+    assert_eq!(
+        healthy.rollout,
+        Some(RolloutOutcome::Promoted {
+            version: McVersion(2)
+        })
+    );
+    assert_eq!(healthy.deploys, 20, "every node got v2");
+
+    // Misbehaving canary: v2 quadruples the event rate ⇒ rolled back,
+    // and only the canary cohort ever saw it (canary deploys + reverts).
+    let sick = FleetConfig {
+        version_rates: vec![(McVersion(2), 4.0)],
+        ..base
+    };
+    let sick = Fleet::new(sick).unwrap().run();
+    match sick.rollout {
+        Some(RolloutOutcome::RolledBack {
+            version,
+            ratio_permille,
+        }) => {
+            assert_eq!(version, McVersion(2));
+            assert!(ratio_permille > 2000, "regression ratio {ratio_permille}");
+        }
+        other => panic!("expected rollback, got {other:?}"),
+    }
+    assert_eq!(sick.deploys, 8, "4 canary deploys + 4 rollbacks");
+    assert!(sick.ledger.conserves());
+}
+
+#[test]
+fn demand_fetch_recovers_after_heal_and_bounds_retries_against_dark_nodes() {
+    // Nodes 2 and 4 are each partitioned long enough to spill. Node 2
+    // heals and stays up: every fetch of its parked context succeeds.
+    // Node 4 announces its spills at the heal round (80) and crashes for
+    // good one round later — before any fetch can land — so the hub's
+    // fetches against it exhaust their bounded retries.
+    let cfg = FleetConfig {
+        nodes: 6,
+        rounds: 260,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        faults: FleetFaultPlan::new()
+            .hub_partition(40, 40, 2, 3)
+            .hub_partition(40, 40, 4, 5)
+            .node_crash(4, 81, 1000),
+        ..Default::default()
+    };
+    let report = Fleet::new(cfg).unwrap().run();
+    assert!(report.ledger.conserves());
+    assert!(report.ledger.spilled > 0, "partition + tight retries spill");
+    assert!(report.fetch_ok > 0, "healed node served its parked context");
+    let ok_nodes: Vec<_> = report
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            HubEventKind::FetchOk { node, .. } => Some(node),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        ok_nodes.contains(&NodeId(2)),
+        "node 2's spills were fetched"
+    );
+    // Node 4 crashed before any fetch of its content could finish; the
+    // hub gave up after bounded retries instead of waiting forever.
+    let failed: Vec<_> = report
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            HubEventKind::FetchFailed { node, attempts, .. } => Some((node, attempts)),
+            _ => None,
+        })
+        .collect();
+    assert!(!failed.is_empty(), "fetches against the dark node gave up");
+    for (node, attempts) in &failed {
+        assert_eq!(*node, NodeId(4));
+        assert_eq!(*attempts, 3, "retries are bounded by the policy");
+    }
+    assert_eq!(report.fetch_failed, failed.len() as u64);
+}
