@@ -107,6 +107,13 @@ pub struct StreamTelemetry {
     /// [`ControlConfig::arrival_alpha`]. Deterministic: computed from
     /// arrival counts and round counts only.
     pub arrival_ewma: f64,
+    /// Rounds since a frame last arrived for this stream (0 = a frame
+    /// arrived in the snapshot round). Distinguishes a duty-cycled
+    /// camera's *scheduled* idleness (large, growing age with an empty
+    /// queue) from a healthy stream's drained queue (age 0) — the task
+    /// runtime's wake clock, surfaced so watchdog-style policies can read
+    /// it without changing [`Self::arrival_ewma`]'s meaning.
+    pub rounds_since_wake: u64,
     /// The source reported end-of-stream.
     pub ended: bool,
 }
@@ -348,12 +355,16 @@ impl Sensors {
 
     /// Folds the tick's accumulations into a snapshot, advances EWMAs, and
     /// resets the per-tick counters. `queue_depths` is each stream's
-    /// decoded-but-unserved backlog; `max_batch` the gather capacity in
+    /// decoded-but-unserved backlog (the task mailbox depth under the
+    /// controlled executor); `wake_ages` each stream's rounds-since-last-
+    /// arrival ([`StreamTelemetry::rounds_since_wake`], pass `&[]` to
+    /// report 0 for every stream); `max_batch` the gather capacity in
     /// force (0 in sharded style).
     pub fn snapshot(
         &mut self,
         round: u64,
         queue_depths: &[usize],
+        wake_ages: &[u64],
         uplink: &Uplink,
         max_batch: usize,
     ) -> NodeTelemetry {
@@ -362,9 +373,8 @@ impl Sensors {
         let streams = self
             .streams
             .iter_mut()
-            .zip(queue_depths)
             .enumerate()
-            .map(|(i, (st, &depth))| {
+            .map(|(i, st)| {
                 let rate = st.arrivals as f64 / rounds as f64;
                 let ewma = match st.ewma {
                     None => rate,
@@ -373,10 +383,11 @@ impl Sensors {
                 st.ewma = Some(ewma);
                 let out = StreamTelemetry {
                     id: StreamId(i),
-                    queue_depth: depth,
+                    queue_depth: queue_depths.get(i).copied().unwrap_or(0),
                     arrivals: st.arrivals,
                     served: st.served,
                     arrival_ewma: ewma,
+                    rounds_since_wake: wake_ages.get(i).copied().unwrap_or(0),
                     ended: st.ended,
                 };
                 st.arrivals = 0;
@@ -1325,6 +1336,23 @@ pub enum AdmissionError {
         /// `[`AdmissionPolicy::max_streams_per_worker`]).
         max_streams: usize,
     },
+    /// Admitting the stream would overflow the node's **active-set**
+    /// budget: streams are priced by duty fraction
+    /// ([`ff_video::FrameSource::duty_fraction`]), and the summed
+    /// fractions — the expected number of simultaneously-active streams —
+    /// would exceed the cap. The whole-stream analogue is
+    /// [`Self::OverShardBudget`], which always-on fleets still get.
+    /// Quantities are in **milli-streams** (1000 = one always-on stream)
+    /// so the variant stays `Eq`-comparable.
+    OverActiveSet {
+        /// Duty fractions already committed, ×1000.
+        active_millistreams: u64,
+        /// The refused stream's duty fraction, ×1000.
+        incoming_millistreams: u64,
+        /// The active-set cap (`budget ×
+        /// `[`AdmissionPolicy::max_streams_per_worker`]`)`, ×1000.
+        budget_millistreams: u64,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -1354,6 +1382,19 @@ impl std::fmt::Display for AdmissionError {
                 f,
                 "stream refused: {streams} streams already share a \
                  {budget_threads}-thread shard budget (cap {max_streams})"
+            ),
+            AdmissionError::OverActiveSet {
+                active_millistreams,
+                incoming_millistreams,
+                budget_millistreams,
+            } => write!(
+                f,
+                "stream refused: active set holds {:.3} streams and this \
+                 stream's duty fraction adds {:.3}, past the {:.3}-stream \
+                 active budget",
+                *active_millistreams as f64 / 1000.0,
+                *incoming_millistreams as f64 / 1000.0,
+                *budget_millistreams as f64 / 1000.0
             ),
         }
     }
@@ -1385,6 +1426,7 @@ mod tests {
                     arrivals: 0,
                     served: 0,
                     arrival_ewma: e,
+                    rounds_since_wake: 0,
                     ended: false,
                 })
                 .collect(),
@@ -1853,10 +1895,13 @@ mod tests {
         for _ in 0..4 {
             s.on_round(0);
         }
-        let t = s.snapshot(8, &[3, 0], &uplink, 4);
+        let t = s.snapshot(8, &[3, 0], &[0, 4], &uplink, 4);
         assert_eq!(t.tick, 1);
         assert_eq!(t.streams[0].arrivals, 4);
         assert_eq!(t.streams[0].queue_depth, 3);
+        // Wake ages pass through untouched (stream 1 idled 4 rounds).
+        assert_eq!(t.streams[0].rounds_since_wake, 0);
+        assert_eq!(t.streams[1].rounds_since_wake, 4);
         // First tick seeds the EWMA with the raw rate 4/8.
         assert_eq!(t.streams[0].arrival_ewma, 0.5);
         assert_eq!(t.streams[1].arrival_ewma, 0.0);
@@ -1868,13 +1913,66 @@ mod tests {
             s.on_arrival(0);
             s.on_round(1);
         }
-        let t2 = s.snapshot(16, &[0, 0], &uplink, 4);
+        let t2 = s.snapshot(16, &[0, 0], &[], &uplink, 4);
         assert_eq!(t2.streams[0].arrival_ewma, 0.75);
+        // An empty wake-age slice reads as age 0 for every stream.
+        assert_eq!(t2.streams[1].rounds_since_wake, 0);
         // Per-tick uplink utilization differences the counters.
         let drain_per_offer = 1_000_000.0 / 30.0;
         uplink.offer((2.0 * drain_per_offer / 8.0) as usize); // 2× one interval
-        let t3 = s.snapshot(17, &[0, 0], &uplink, 4);
+        let t3 = s.snapshot(17, &[0, 0], &[], &uplink, 4);
         assert!((t3.uplink.offered_utilization_tick - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mailbox_telemetry_keeps_prerefactor_ewma_meaning() {
+        // A duty-cycled camera: 4 arrivals in tick 1, none in tick 2,
+        // 8 in tick 3. The arrival-EWMA sequence asserted below is the
+        // thread-era recording (when queue depths came from bounded
+        // channels); the task runtime feeds mailbox depths and wake ages
+        // through the same fold, so WatchdogPolicy's EWMA inputs keep
+        // their pre-refactor meaning bit-for-bit.
+        let mut s = Sensors::new(1, 0.5);
+        let uplink = Uplink::new(1_000_000.0, 30.0);
+        for _ in 0..4 {
+            s.on_arrival(0);
+            s.on_round(1);
+        }
+        for _ in 0..4 {
+            s.on_round(0);
+        }
+        let t1 = s.snapshot(8, &[2], &[0], &uplink, 0);
+        for _ in 0..8 {
+            s.on_round(0);
+        }
+        let t2 = s.snapshot(16, &[0], &[8], &uplink, 0);
+        for _ in 0..8 {
+            s.on_arrival(0);
+            s.on_round(1);
+        }
+        let t3 = s.snapshot(24, &[1], &[0], &uplink, 0);
+        // Recorded gold: seed 0.5, decay to 0.25, recover to 0.625.
+        let ewmas = [
+            t1.streams[0].arrival_ewma,
+            t2.streams[0].arrival_ewma,
+            t3.streams[0].arrival_ewma,
+        ];
+        assert_eq!(ewmas, [0.5, 0.25, 0.625]);
+        // Mailbox depth and wake age pass through unchanged: the depth is
+        // what the bounded channel used to report, the age is the new
+        // signal separating scheduled idleness from a drained queue.
+        let depths = [
+            t1.streams[0].queue_depth,
+            t2.streams[0].queue_depth,
+            t3.streams[0].queue_depth,
+        ];
+        assert_eq!(depths, [2, 0, 1]);
+        let ages = [
+            t1.streams[0].rounds_since_wake,
+            t2.streams[0].rounds_since_wake,
+            t3.streams[0].rounds_since_wake,
+        ];
+        assert_eq!(ages, [0, 8, 0]);
     }
 
     #[test]

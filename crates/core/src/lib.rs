@@ -19,7 +19,12 @@
 //!   classify, smooth, re-encode, upload.
 //! * [`runtime`] — the multi-stream edge node: N pipelined streams over a
 //!   sharded worker pool sharing one uplink, or gather-batched into one
-//!   shared batched base-DNN pass per round.
+//!   shared batched base-DNN pass per round. The controlled path runs
+//!   every stream as a [`task`] (an actor-style state machine) on one
+//!   budget-wide pool — no per-stream threads — so a node carries 1000+
+//!   mostly-idle duty-cycled cameras with bit-replayable traces.
+//! * [`task`] — the per-stream state machine (poll → decode → infer →
+//!   collect as typed messages) behind the controlled executor.
 //! * [`control`] — the adaptive control plane: deterministic virtual-time
 //!   telemetry (queue depths, arrival EWMAs, gather fill, uplink load)
 //!   feeding policies that resize the gather batch, rebalance shard
@@ -105,6 +110,7 @@ pub mod query;
 pub mod runtime;
 pub mod smoothing;
 pub mod spec;
+pub mod task;
 pub mod train;
 pub mod uplink;
 
@@ -129,4 +135,5 @@ pub use runtime::{
 };
 pub use smoothing::{KVotingSmoother, SmoothingConfig};
 pub use spec::{McKind, McModel, McRuntime, McSpec};
+pub use task::{DecodedFrame, StreamTask, TaskState};
 pub use train::{train_dc, train_mc, TrainConfig, TrainedMc};

@@ -134,7 +134,20 @@ struct Pending {
 /// The FilterForward pipeline.
 pub struct FilterForward {
     cfg: PipelineConfig,
-    extractor: FeatureExtractor,
+    /// `None` in **deferred-backbone** mode ([`Self::new_deferred`]): the
+    /// pipeline never extracts features itself — a node-owned shared
+    /// extractor feeds it through [`Self::process_with_maps`] — so no
+    /// private base-DNN instance is ever built. This is what makes a
+    /// 1000-stream gather-mode node affordable: one backbone per distinct
+    /// base-DNN config instead of one per stream.
+    extractor: Option<FeatureExtractor>,
+    /// Taps the deployed MCs consume plus the two always-on defaults, in
+    /// registration order. Mirrors the private extractor's tap set in eager
+    /// mode; in deferred mode this is the record the node unions into its
+    /// shared extractor.
+    taps: Vec<String>,
+    /// Deferred mode's calibration marker (eager mode asks the extractor).
+    calibrated: bool,
     mcs: Vec<McRuntime>,
     pending: BTreeMap<u64, Pending>,
     next_in: u64,
@@ -180,6 +193,25 @@ impl FilterForward {
                 ff_models::LAYER_FULL_FRAME_TAP.to_string(),
             ],
         );
+        Self::build(cfg, Some(extractor))
+    }
+
+    /// Creates a pipeline in **deferred-backbone** mode: no private
+    /// [`FeatureExtractor`] is built — the pipeline only records its
+    /// configuration, taps, and calibration state, and classifies feature
+    /// maps extracted elsewhere ([`Self::process_with_maps`]). Used by the
+    /// gather-mode edge node when
+    /// [`crate::runtime::EdgeNodeConfig::shared_backbone`] is set, where the
+    /// node owns one shared extractor per distinct base-DNN config.
+    ///
+    /// Per-stream inference entry points ([`Self::process`],
+    /// [`Self::process_decoded`], [`Self::extract_only`]) panic on a
+    /// deferred pipeline.
+    pub fn new_deferred(cfg: PipelineConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    fn build(cfg: PipelineConfig, extractor: Option<FeatureExtractor>) -> Self {
         let upload_encoder = Encoder::new(EncoderConfig::with_bitrate(
             cfg.resolution,
             cfg.fps,
@@ -191,6 +223,11 @@ impl FilterForward {
         FilterForward {
             cfg,
             extractor,
+            taps: vec![
+                ff_models::LAYER_LOCALIZED_TAP.to_string(),
+                ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+            ],
+            calibrated: false,
             mcs: Vec::new(),
             pending: BTreeMap::new(),
             next_in: 0,
@@ -215,9 +252,44 @@ impl FilterForward {
     /// paper's edge nodes install MCs out of band).
     pub fn deploy(&mut self, spec: McSpec) -> McId {
         assert_eq!(self.next_in, 0, "deploy MCs before streaming");
-        self.extractor.ensure_tap(&spec.tap);
+        let ex = self.extractor.as_mut().expect(
+            "deploy on a deferred-backbone pipeline needs the node's \
+             template extractor: use deploy_with",
+        );
+        ex.ensure_tap(&spec.tap);
         let id = McId(self.mcs.len());
-        let rt = spec.build(&self.extractor, self.cfg.resolution, id);
+        let rt = spec.build(ex, self.cfg.resolution, id);
+        if !self.taps.iter().any(|t| t == &spec.tap) {
+            self.taps.push(spec.tap.clone());
+        }
+        self.mcs.push(rt);
+        id
+    }
+
+    /// Deploys a microclassifier on a **deferred-backbone** pipeline
+    /// ([`Self::new_deferred`]), resolving tap shapes against `template` —
+    /// a node-owned extractor of the same base-DNN config. The resulting
+    /// [`McRuntime`] is identical to what an eager [`Self::deploy`] builds
+    /// (MC models are seeded and shape-determined), so verdicts stay
+    /// bit-compatible with per-stream execution.
+    ///
+    /// Also valid on an eager pipeline when `template` matches its private
+    /// extractor's config; the private extractor still registers the tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames have already been processed, or the tap names an
+    /// unknown layer.
+    pub fn deploy_with(&mut self, spec: McSpec, template: &FeatureExtractor) -> McId {
+        assert_eq!(self.next_in, 0, "deploy MCs before streaming");
+        if let Some(ex) = self.extractor.as_mut() {
+            ex.ensure_tap(&spec.tap);
+        }
+        let id = McId(self.mcs.len());
+        let rt = spec.build(template, self.cfg.resolution, id);
+        if !self.taps.iter().any(|t| t == &spec.tap) {
+            self.taps.push(spec.tap.clone());
+        }
         self.mcs.push(rt);
         id
     }
@@ -237,8 +309,13 @@ impl FilterForward {
     /// Panics if frames have already been processed.
     pub fn calibrate(&mut self, frames: &[Frame]) {
         assert_eq!(self.next_in, 0, "calibrate before streaming");
-        let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
-        self.extractor.calibrate(&tensors);
+        self.calibrated = true;
+        if let Some(ex) = self.extractor.as_mut() {
+            let tensors: Vec<Tensor> = frames.iter().map(Frame::to_tensor).collect();
+            ex.calibrate(&tensors);
+        }
+        // Deferred mode: only the marker — the node replays the same
+        // calibration frames into its shared extractor.
     }
 
     /// Sets the storage precision of the base DNN's inference weight panels
@@ -255,7 +332,9 @@ impl FilterForward {
     /// switch are produced under the re-quantized weights, so such a run no
     /// longer replays a fixed-precision one.
     pub fn set_precision(&mut self, precision: ff_tensor::Precision) {
-        self.extractor.set_precision(precision);
+        if let Some(ex) = self.extractor.as_mut() {
+            ex.set_precision(precision);
+        }
         self.cfg.mobilenet.precision = precision;
     }
 
@@ -296,9 +375,60 @@ impl FilterForward {
         &self.cfg
     }
 
-    /// The shared feature extractor.
+    /// The pipeline's private feature extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a deferred-backbone pipeline ([`Self::new_deferred`]),
+    /// which has none; use the cheap accessors ([`Self::base_config`],
+    /// [`Self::taps`], [`Self::is_calibrated`], [`Self::precision`])
+    /// instead when the backbone may be deferred.
     pub fn extractor(&self) -> &FeatureExtractor {
-        &self.extractor
+        self.extractor
+            .as_ref()
+            .expect("deferred-backbone pipeline has no private extractor (gather mode)")
+    }
+
+    /// Whether this pipeline defers feature extraction to a node-owned
+    /// shared backbone ([`Self::new_deferred`]).
+    pub fn is_deferred(&self) -> bool {
+        self.extractor.is_none()
+    }
+
+    /// The base-DNN configuration the backbone (private or shared) must
+    /// run. Tracks [`Self::set_precision`].
+    pub fn base_config(&self) -> &MobileNetConfig {
+        match &self.extractor {
+            Some(ex) => ex.config(),
+            None => &self.cfg.mobilenet,
+        }
+    }
+
+    /// Tap layers the deployed MCs consume (the two default taps included),
+    /// in registration order. What the gather-mode node unions into its
+    /// shared extractor.
+    pub fn taps(&self) -> &[String] {
+        match &self.extractor {
+            Some(ex) => ex.taps(),
+            None => &self.taps,
+        }
+    }
+
+    /// Whether [`Self::calibrate`] has run.
+    pub fn is_calibrated(&self) -> bool {
+        match &self.extractor {
+            Some(ex) => ex.is_calibrated(),
+            None => self.calibrated,
+        }
+    }
+
+    /// The backbone's weight-panel precision. Tracks
+    /// [`Self::set_precision`].
+    pub fn precision(&self) -> ff_tensor::Precision {
+        match &self.extractor {
+            Some(ex) => ex.precision(),
+            None => self.cfg.mobilenet.precision,
+        }
     }
 
     /// Aggregate statistics so far.
@@ -366,7 +496,14 @@ impl FilterForward {
         // Phase 1: shared base-DNN feature extraction (timed). The returned
         // maps borrow the extractor's internal workspace-backed buffers.
         let t0 = Instant::now();
-        let maps = self.extractor.extract(tensor);
+        let maps = self
+            .extractor
+            .as_mut()
+            .expect(
+                "deferred-backbone pipeline cannot run per-stream inference \
+                 (gather mode owns the shared extractor): use process_with_maps",
+            )
+            .extract(tensor);
         self.timers.base_dnn += t0.elapsed();
 
         // Phase 2: every MC consumes the shared maps (timed as one block,
@@ -581,7 +718,13 @@ impl FilterForward {
     /// extractor's internal buffers and are overwritten by the next
     /// extraction.
     pub fn extract_only(&mut self, tensor: &Tensor) -> &crate::extractor::FeatureMaps {
-        self.extractor.extract(tensor)
+        self.extractor
+            .as_mut()
+            .expect(
+                "deferred-backbone pipeline cannot run per-stream inference \
+                 (gather mode owns the shared extractor): use process_with_maps",
+            )
+            .extract(tensor)
     }
 }
 
@@ -718,6 +861,68 @@ mod tests {
                 assert!(b.uploaded_bytes > 0);
             }
         }
+    }
+
+    #[test]
+    fn deferred_backbone_matches_eager_verdicts_bit_for_bit() {
+        let res = Resolution::new(64, 32);
+        let frames = scene_frames(10);
+        let spec = || McSpec::full_frame("mc", 5);
+
+        let mut eager = FilterForward::new(tiny_cfg(res));
+        eager.deploy(spec());
+        let mut eager_verdicts = Vec::new();
+        for f in &frames {
+            eager_verdicts.extend(eager.process(f));
+        }
+        let (tail, eager_stats, _) = eager.finish();
+        eager_verdicts.extend(tail);
+
+        // Deferred: no private extractor — a separately built template of
+        // the same config supplies tap shapes at deploy and maps at runtime.
+        let mut template = FeatureExtractor::new(
+            MobileNetConfig::with_width(0.25),
+            vec![
+                ff_models::LAYER_LOCALIZED_TAP.to_string(),
+                ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+            ],
+        );
+        let mut deferred = FilterForward::new_deferred(tiny_cfg(res));
+        assert!(deferred.is_deferred());
+        deferred.deploy_with(spec(), &template);
+        assert_eq!(deferred.taps().len(), 2);
+        assert_eq!(deferred.precision(), ff_tensor::Precision::F32);
+        let mut deferred_verdicts = Vec::new();
+        for f in &frames {
+            let maps = template.extract(&f.to_tensor()).clone();
+            deferred_verdicts.extend(deferred.process_with_maps(f, &maps, Duration::ZERO));
+        }
+        let (tail, deferred_stats, _) = deferred.finish();
+        deferred_verdicts.extend(tail);
+
+        assert_eq!(eager_verdicts, deferred_verdicts);
+        assert_eq!(eager_stats.bytes_uploaded, deferred_stats.bytes_uploaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "use process_with_maps")]
+    fn deferred_backbone_rejects_per_stream_inference() {
+        let res = Resolution::new(64, 32);
+        let template = FeatureExtractor::new(
+            MobileNetConfig::with_width(0.25),
+            vec![ff_models::LAYER_FULL_FRAME_TAP.to_string()],
+        );
+        let mut ff = FilterForward::new_deferred(tiny_cfg(res));
+        ff.deploy_with(McSpec::full_frame("mc", 1), &template);
+        let _ = ff.process(&Frame::black(res));
+    }
+
+    #[test]
+    #[should_panic(expected = "use deploy_with")]
+    fn deferred_backbone_rejects_plain_deploy() {
+        let res = Resolution::new(64, 32);
+        let mut ff = FilterForward::new_deferred(tiny_cfg(res));
+        let _ = ff.deploy(McSpec::full_frame("mc", 1));
     }
 
     #[test]

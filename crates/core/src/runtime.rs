@@ -63,14 +63,60 @@
 //! same accumulation order as the per-frame path, streams share no mutable
 //! inference state, and stage boundaries only move *where* work happens,
 //! never what is computed.
+//!
+//! # Controlled path: actor-style stream tasks
+//!
+//! [`EdgeNode::run_controlled`] spawns **no per-stream OS threads**. Each
+//! stream is one [`crate::task::StreamTask`] — a message-passing state
+//! machine whose stages (poll → decode → infer → collect) exchange typed
+//! messages ([`crate::task::DecodedFrame`] in, [`FrameVerdict`] out)
+//! driven by the virtual-time round loop, with every kernel dispatched to
+//! **one** budget-wide [`PoolShard`]:
+//!
+//! ```text
+//!              frame arrives (poll → decode → deliver)
+//!    Sleeping ─────────────────────────────────────────▶ Awake
+//!       ▲                                                  │
+//!       │    round with no arrival and an empty mailbox    │ infer → collect
+//!       └──────────────────────────────────────────────────┘ (≤ 1 frame per
+//!                                                             round sharded;
+//!    Awake / Sleeping ──watchdog quarantine──▶ Suspended     batched in
+//!    Suspended ──readmit──▶ Awake or Sleeping (by mailbox)   gather style)
+//!    any ──source End, mailbox drained, pipeline flushed──▶ Ended
+//!    any ──stage panic past the restart budget──▶ Killed (circuit breaker)
+//! ```
+//!
+//! A sleeping task costs one `poll_frame` per round and holds no thread,
+//! channel, or inference workspace, which is what lets one node carry
+//! 1000+ mostly-idle duty-cycled cameras: admission prices each stream by
+//! its [`ff_video::FrameSource::duty_fraction`] (see
+//! [`EdgeNode::try_add_stream`]), and with
+//! [`EdgeNodeConfig::shared_backbone`] the sleepers do not even hold a
+//! private base-DNN instance. In gather style the round's served frames
+//! are **bucketed by (base-DNN config, resolution)** — one
+//! [`crate::FeatureExtractor::extract_batch`] per bucket — so
+//! mixed-resolution fleets still get batched backbone passes, with
+//! verdicts bit-identical to per-stream serial execution.
+//!
+//! ## Threads vs tasks
+//!
+//! The threaded stage/channel pipeline above still backs [`EdgeNode::run`]:
+//! it is the path that overlaps decode and inference on real cores, so it
+//! remains the right executor for wall-clock throughput measurement and
+//! for latency under a live camera. The controlled task path trades that
+//! overlap for virtual time — every sensor becomes a pure function of
+//! (round, stream content), so control decisions and fault traces replay
+//! bit-for-bit across runs, worker counts, and shard widths, and stream
+//! count is bounded by the memory model instead of the thread budget.
+//! Per-stream verdicts are bit-identical on both paths.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
+use ff_models::MobileNetConfig;
 use ff_tensor::{PoolShard, Tensor};
-use ff_video::{FaultySource, Frame, FrameSource, SourcePoll};
+use ff_video::{FaultySource, Frame, FrameSource, Resolution, SourcePoll};
 
 use crate::control::{
     AdmissionError, AdmissionPolicy, ControlAction, ControlConfig, ControlTrace, Controller,
@@ -83,6 +129,7 @@ use crate::faults::{
 };
 use crate::pipeline::{FilterForward, FrameVerdict, PhaseTimers, PipelineConfig, PipelineStats};
 use crate::spec::McSpec;
+use crate::task::{DecodedFrame, StreamTask};
 use crate::uplink::Uplink;
 
 /// Identifier of a stream within one [`EdgeNode`] (dense, starting at 0).
@@ -240,6 +287,16 @@ pub struct EdgeNodeConfig {
     /// `None` (the default) admits everything, the pre-control-plane
     /// behavior.
     pub admission: Option<AdmissionPolicy>,
+    /// `true` builds every stream's pipeline in **deferred-backbone** mode
+    /// ([`FilterForward::new_deferred`]): streams hold no private
+    /// [`FeatureExtractor`] — the node owns one shared extractor per
+    /// distinct (base-DNN config, resolution) bucket and runs the batched
+    /// backbone pass for everyone, so a 1000-camera fleet pays for a
+    /// handful of base-DNN instances instead of 1000. Requires gather
+    /// execution ([`Self::gather_batch`] for [`EdgeNode::run`]; the
+    /// controlled executor buckets automatically). `false` (the default)
+    /// keeps a private extractor per stream.
+    pub shared_backbone: bool,
     /// `Some` injects a deterministic fault schedule into
     /// [`EdgeNode::run_controlled`] (see [`crate::faults`]): uplink
     /// outages/dips/loss, camera stalls/blackouts/corruption, scripted
@@ -266,6 +323,7 @@ impl EdgeNodeConfig {
             precision: None,
             precision_cost: None,
             admission: None,
+            shared_backbone: false,
             faults: None,
             recovery: RecoveryConfig::default(),
         }
@@ -295,6 +353,13 @@ impl EdgeNodeConfig {
     /// style; see [`EdgeNode::try_add_stream`]).
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = Some(admission);
+        self
+    }
+
+    /// Shares the base-DNN backbone across streams (builder style; see
+    /// [`Self::shared_backbone`]).
+    pub fn with_shared_backbone(mut self) -> Self {
+        self.shared_backbone = true;
         self
     }
 
@@ -399,6 +464,12 @@ pub struct ControlledReport {
     pub trace: ControlTrace,
     /// One telemetry snapshot per control tick.
     pub telemetry: Vec<NodeTelemetry>,
+    /// The scheduler's wake log: one `(round, stream)` entry per
+    /// Sleeping → Awake transition (see [`crate::task::StreamTask`]), in
+    /// delivery order. A pure function of (seed, duty-cycle schedules,
+    /// round) — independent of worker count and shard widths — so two runs
+    /// of the same fleet produce identical logs.
+    pub wakes: Vec<(u64, usize)>,
     /// What the fault/recovery machinery did — `Some` exactly when
     /// [`EdgeNodeConfig::faults`] was configured (see [`crate::faults`]).
     pub faults: Option<FaultsReport>,
@@ -428,10 +499,26 @@ pub struct EdgeNode {
     /// Frames passed to [`Self::calibrate`], replayed onto the shared
     /// batched extractor in gather-batch mode.
     calibration_frames: Option<Vec<Frame>>,
-    /// Base-DNN instance bytes committed by admitted streams (maintained
-    /// only while [`EdgeNodeConfig::admission`] is configured, so nodes
-    /// without admission control never pay for the memory profile).
-    committed_bytes: u64,
+    /// Base-DNN instance bytes committed by admitted streams, weighted by
+    /// each stream's duty fraction (maintained only while
+    /// [`EdgeNodeConfig::admission`] is configured, so nodes without
+    /// admission control never pay for the memory profile). Exact integers
+    /// for always-on fleets — the Figure-5 OOM boundary is unchanged.
+    committed_active_bytes: f64,
+    /// Sum of admitted streams' duty fractions: the expected number of
+    /// *active* streams per round, which is what the shard budget bounds.
+    active_commit: f64,
+    /// Whether any admitted stream had a duty fraction < 1 (selects the
+    /// typed active-set refusal over the legacy whole-stream one).
+    fractional_admitted: bool,
+    /// Memoized [`crate::node::mobilenet_instance_bytes`] per (config,
+    /// resolution) — profiling builds a real network, and a 1000-camera
+    /// fleet shares a handful of configs.
+    instance_cache: Vec<((MobileNetConfig, Resolution), u64)>,
+    /// Template extractors for deferred-backbone deploys, one per distinct
+    /// base-DNN config ([`FilterForward::deploy_with`] resolves tap shapes
+    /// against these instead of a private per-stream extractor).
+    templates: Vec<(MobileNetConfig, FeatureExtractor)>,
 }
 
 impl std::fmt::Debug for EdgeNode {
@@ -452,7 +539,11 @@ impl EdgeNode {
             cfg,
             streams: Vec::new(),
             calibration_frames: None,
-            committed_bytes: 0,
+            committed_active_bytes: 0.0,
+            active_commit: 0.0,
+            fractional_admitted: false,
+            instance_cache: Vec::new(),
+            templates: Vec::new(),
         }
     }
 
@@ -477,17 +568,26 @@ impl EdgeNode {
     /// Registers a camera stream, or explains why the node refuses it.
     ///
     /// Without [`EdgeNodeConfig::admission`] only frame geometry is
-    /// checked. With it, the stream is admitted only if
+    /// checked. With it, the stream is priced by its **duty fraction**
+    /// ([`FrameSource::duty_fraction`] — the fraction of rounds it is
+    /// expected to be active, 1.0 for an always-on camera) and admitted
+    /// only if
     ///
-    /// * its base-DNN instance footprint
-    ///   ([`crate::node::mobilenet_instance_bytes`] at the pipeline's
-    ///   config and resolution) still fits the node's usable memory
-    ///   envelope next to every already-admitted stream — the same
-    ///   arithmetic as [`crate::node::max_mobilenet_instances`], so for a
-    ///   homogeneous fleet the node admits *exactly* that many streams
-    ///   (the Figure-5 OOM cliff, refused instead of crashed); and
-    /// * the shard thread budget is not oversubscribed past
-    ///   [`AdmissionPolicy::max_streams_per_worker`].
+    /// * the expected **active set** stays within the shard budget:
+    ///   the admitted duty fractions plus this stream's must not exceed
+    ///   `budget × max_streams_per_worker` active streams. For always-on
+    ///   fleets this is exactly the legacy whole-stream cap (refused as
+    ///   [`AdmissionError::OverShardBudget`]); duty-cycled fleets pack
+    ///   `1/fraction` times more cameras and are refused as
+    ///   [`AdmissionError::OverActiveSet`] when the active set fills; and
+    /// * its **active-weighted** base-DNN footprint —
+    ///   `duty_fraction ×` [`crate::node::mobilenet_instance_bytes`] —
+    ///   still fits the node's usable memory envelope next to every
+    ///   already-admitted stream. Always-on fleets reduce to whole
+    ///   instances, the same arithmetic as
+    ///   [`crate::node::max_mobilenet_instances`], so a homogeneous fleet
+    ///   admits *exactly* that many streams (the Figure-5 OOM cliff,
+    ///   refused instead of crashed).
     pub fn try_add_stream(
         &mut self,
         source: Box<dyn FrameSource>,
@@ -499,7 +599,7 @@ impl EdgeNode {
                 pipeline: pipeline.resolution,
             });
         }
-        if let Some(adm) = &self.cfg.admission {
+        if let Some(adm) = self.cfg.admission {
             assert!(
                 adm.max_streams_per_worker >= 1,
                 "AdmissionPolicy::max_streams_per_worker must be ≥ 1 \
@@ -507,20 +607,30 @@ impl EdgeNode {
             );
             let budget_threads = self.cfg.shards.budget();
             let max_streams = budget_threads * adm.max_streams_per_worker;
-            if self.streams.len() >= max_streams {
-                return Err(AdmissionError::OverShardBudget {
-                    streams: self.streams.len(),
-                    budget_threads,
-                    max_streams,
+            let frac = source.duty_fraction().clamp(0.0, 1.0);
+            if self.active_commit + frac > max_streams as f64 {
+                // Whole always-on streams sum exactly in f64, so for an
+                // always-on fleet this boundary — and the refusal — is
+                // bit-identical to the legacy per-stream cap.
+                if frac == 1.0 && !self.fractional_admitted {
+                    return Err(AdmissionError::OverShardBudget {
+                        streams: self.streams.len(),
+                        budget_threads,
+                        max_streams,
+                    });
+                }
+                return Err(AdmissionError::OverActiveSet {
+                    active_millistreams: (self.active_commit * 1000.0).round() as u64,
+                    incoming_millistreams: (frac * 1000.0).round() as u64,
+                    budget_millistreams: (max_streams * 1000) as u64,
                 });
             }
-            let instance_bytes =
-                crate::node::mobilenet_instance_bytes(&pipeline.mobilenet, pipeline.resolution);
+            let instance_bytes = self.instance_bytes_for(&pipeline.mobilenet, pipeline.resolution);
             let budget_bytes = adm.memory_budget_bytes();
-            if self.committed_bytes + instance_bytes > budget_bytes {
+            if self.committed_active_bytes + frac * instance_bytes as f64 > budget_bytes as f64 {
                 return Err(AdmissionError::OverMemory {
                     instance_bytes,
-                    committed_bytes: self.committed_bytes,
+                    committed_bytes: self.committed_active_bytes.round() as u64,
                     budget_bytes,
                     max_instances: crate::node::max_mobilenet_instances(
                         &adm.spec,
@@ -529,14 +639,36 @@ impl EdgeNode {
                     ),
                 });
             }
-            self.committed_bytes += instance_bytes;
+            self.committed_active_bytes += frac * instance_bytes as f64;
+            self.active_commit += frac;
+            if frac < 1.0 {
+                self.fractional_admitted = true;
+            }
         }
         let id = StreamId(self.streams.len());
-        self.streams.push(StreamEntry {
-            source,
-            ff: FilterForward::new(pipeline),
-        });
+        let ff = if self.cfg.shared_backbone {
+            FilterForward::new_deferred(pipeline)
+        } else {
+            FilterForward::new(pipeline)
+        };
+        self.streams.push(StreamEntry { source, ff });
         Ok(id)
+    }
+
+    /// Memoized [`crate::node::mobilenet_instance_bytes`]: the profile
+    /// builds a real network, so a 1000-camera fleet sharing one config
+    /// must not pay for 1000 builds.
+    fn instance_bytes_for(&mut self, cfg: &MobileNetConfig, res: Resolution) -> u64 {
+        if let Some((_, bytes)) = self
+            .instance_cache
+            .iter()
+            .find(|((c, r), _)| c == cfg && *r == res)
+        {
+            return *bytes;
+        }
+        let bytes = crate::node::mobilenet_instance_bytes(cfg, res);
+        self.instance_cache.push(((*cfg, res), bytes));
+        bytes
     }
 
     /// Streams registered so far.
@@ -544,9 +676,34 @@ impl EdgeNode {
         self.streams.len()
     }
 
-    /// Deploys a microclassifier on one stream.
+    /// Deploys a microclassifier on one stream. On a deferred-backbone
+    /// stream ([`EdgeNodeConfig::shared_backbone`]) tap shapes resolve
+    /// against the node's template extractor for that base-DNN config —
+    /// built once per distinct config, not per stream — via
+    /// [`FilterForward::deploy_with`]; the resulting MC is identical to an
+    /// eager deploy's.
     pub fn deploy(&mut self, stream: StreamId, spec: McSpec) -> McId {
-        self.streams[stream.0].ff.deploy(spec)
+        if !self.streams[stream.0].ff.is_deferred() {
+            return self.streams[stream.0].ff.deploy(spec);
+        }
+        let base = *self.streams[stream.0].ff.base_config();
+        if !self.templates.iter().any(|(c, _)| *c == base) {
+            let ex = FeatureExtractor::new(
+                base,
+                vec![
+                    ff_models::LAYER_LOCALIZED_TAP.to_string(),
+                    ff_models::LAYER_FULL_FRAME_TAP.to_string(),
+                ],
+            );
+            self.templates.push((base, ex));
+        }
+        let template = &self
+            .templates
+            .iter()
+            .find(|(c, _)| *c == base)
+            .expect("just inserted")
+            .1;
+        self.streams[stream.0].ff.deploy_with(spec, template)
     }
 
     /// Mutable access to a stream's pipeline (install trained MC weights,
@@ -592,6 +749,12 @@ impl EdgeNode {
             self.cfg.faults.is_none(),
             "fault plans are scheduled in virtual-time rounds, which only \
              the controlled executor has: use run_controlled"
+        );
+        assert!(
+            self.cfg.gather_batch.is_some() || !self.cfg.shared_backbone,
+            "shared_backbone streams have no private extractor, so per-stream \
+             threaded execution cannot serve them: enable gather_batch (the \
+             shared batched pass) or use run_controlled"
         );
         // Apply the node-level precision override before dispatch (and
         // before gather mode snapshots the shared base-DNN config), so every
@@ -843,38 +1006,57 @@ impl EdgeNode {
     /// [`crate::control`]): a lock-step **virtual-time** loop where each
     /// iteration is one frame interval (a *round*) — every open stream is
     /// polled once ([`FrameSource::poll_frame`], so sources can idle
-    /// without ending), decoded frames queue per stream, the inference
-    /// stage serves the queues, and every [`ControlConfig::tick_frames`]
-    /// rounds the [`Controller`] snapshots the sensors and moves the knobs.
+    /// without ending), decoded frames land in per-stream **task
+    /// mailboxes**, the scheduler serves the mailboxes, and every
+    /// [`ControlConfig::tick_frames`] rounds the [`Controller`] snapshots
+    /// the sensors and moves the knobs.
+    ///
+    /// Each stream is a [`crate::task::StreamTask`] — **no per-stream OS
+    /// threads** — multiplexed onto one budget-wide [`PoolShard`]; see the
+    /// task state-machine diagram in the [module docs](self). Sleeping
+    /// duty-cycled tasks cost one poll per round, so stream count is
+    /// bounded by memory, not threads. Every Sleeping → Awake edge lands
+    /// in [`ControlledReport::wakes`].
     ///
     /// Two execution styles, chosen by [`EdgeNodeConfig::gather_batch`]
     /// exactly like [`Self::run`]:
     ///
-    /// * **gather style** (`Some`): one budget-wide shard runs one shared
-    ///   batched base-DNN pass per round over up to `max_batch` queued
-    ///   frames (rotating scan start, like the threaded gather stage); the
+    /// * **gather style** (`Some`): the round's served frames are bucketed
+    ///   by (base-DNN config, resolution) and each bucket runs one shared
+    ///   batched base-DNN pass (rotating scan start, like the threaded
+    ///   gather stage) — so mixed-resolution fleets batch too, and a
+    ///   homogeneous fleet reduces to the single legacy shared pass; the
     ///   *batch policy* resizes `max_batch` live.
-    /// * **sharded style** (`None`): each stream gets its own
-    ///   [`PoolShard`] (the budget split evenly at start) and serves at
-    ///   most one frame per round; the *rebalance policy* moves widths
-    ///   between the shards live via [`PoolShard::set_width`].
+    /// * **sharded style** (`None`): each stream serves at most one frame
+    ///   per round; the *rebalance policy* moves per-stream shard widths,
+    ///   which are **virtual accounting** over the shared pool — kernel
+    ///   results are independent of worker count, so repartitioning never
+    ///   changes a bit.
     ///
     /// The degradation ladder applies in both styles. Kernel-level
-    /// parallelism is untouched — shards still fan every GEMM across their
-    /// workers — only the *stage* loop is synchronous, which is what makes
-    /// every sensor a pure function of round number and stream content,
-    /// and therefore the decision trace bit-replayable across runs, thread
-    /// counts, and shard widths. When no policy fires, per-stream verdicts
-    /// are bit-identical to [`Self::run`] on the same streams.
+    /// parallelism is untouched — the pool still fans every GEMM across
+    /// its workers — only the *stage* loop is synchronous, which is what
+    /// makes every sensor a pure function of round number and stream
+    /// content, and therefore the decision trace bit-replayable across
+    /// runs, thread counts, and shard widths. When no policy fires,
+    /// per-stream verdicts are bit-identical to [`Self::run`] on the same
+    /// streams.
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Self::run`], plus if the
-    /// control config is invalid (see [`Controller::new`]).
+    /// control config is invalid (see [`Controller::new`]), or if
+    /// [`EdgeNodeConfig::shared_backbone`] is set without gather-batch
+    /// execution.
     pub fn run_controlled(mut self, ctl: ControlConfig) -> ControlledReport {
         assert!(
             !self.streams.is_empty(),
             "add at least one stream before running"
+        );
+        assert!(
+            self.cfg.gather_batch.is_some() || !self.cfg.shared_backbone,
+            "shared_backbone streams have no private extractor, so the \
+             sharded per-stream style cannot serve them: enable gather_batch"
         );
         // Same precision-override point as `run`: before the gather-style
         // shared extractor snapshots the config.
@@ -905,38 +1087,40 @@ impl EdgeNode {
             RecoveringUplink::new(uplink, plan.uplink.clone(), cfg.recovery, plan.loss_seed);
         let mut fault_trace = FaultTrace::default();
         let mut panic_sched = plan.panics.clone();
-        let mut restarts: Vec<u32> = vec![0; n];
-        let mut frames_lost: Vec<u64> = vec![0; n];
-        let mut served_count: Vec<u64> = vec![0; n];
-        let mut quarantined = vec![false; n];
         let mut kills: Vec<usize> = Vec::new();
         let mut restarts_tick: u64 = 0;
 
-        // Execution-style state: gather (shared batched pass, dynamic
-        // max_batch) or sharded (per-stream shards, dynamic widths).
-        let mut batch_ex: Option<FeatureExtractor> = None;
-        let mut node_shard: Option<PoolShard> = None;
-        let mut shards: Vec<PoolShard> = Vec::new();
+        // Execution-style state: gather (one shared batched pass per
+        // (config, resolution) bucket, dynamic max_batch) or sharded (one
+        // frame per stream per round, virtual per-stream widths). Both
+        // styles dispatch every kernel to ONE budget-wide pool — kernel
+        // results are independent of worker count (see
+        // [`ff_tensor::parallel`]), so shard widths are pure control-plane
+        // accounting and no stream owns a thread.
+        let gather = cfg.gather_batch.is_some();
+        let mut buckets: Vec<GatherBucket> = Vec::new();
+        let mut bucket_of: Vec<usize> = Vec::new();
         let mut cur_batch = 0usize;
         let mut widths: Vec<usize> = Vec::new();
         if let Some(gb) = cfg.gather_batch {
-            batch_ex = Some(build_shared_extractor(&streams, &calibration_frames));
-            node_shard = Some(PoolShard::new(budget));
+            let (b, map) = build_gather_buckets(&streams, &calibration_frames);
+            buckets = b;
+            bucket_of = map;
             cur_batch = gb.max_batch.max(1);
         } else {
             widths = crate::control::split_even(budget, n);
-            shards = widths.iter().map(|&w| PoolShard::new(w)).collect();
         }
-        let base_precision = streams[0].ff.extractor().precision();
+        let shard = PoolShard::new(budget);
+        let base_precision = streams[0].ff.precision();
         // One ladder means one weight-precision knob: with the degradation
         // policy armed, every stream must start at the same precision or
         // the ladder (built from stream 0's) would silently re-quantize a
         // lower-precision stream *upwards*. Gather style already asserts
-        // full config homogeneity; sharded style must check here.
+        // per-bucket config homogeneity; sharded style must check here.
         if ctl.degrade.is_some() {
             for s in &streams {
                 assert_eq!(
-                    s.ff.extractor().precision(),
+                    s.ff.precision(),
                     base_precision,
                     "the degradation ladder requires every stream to share one \
                      weight-panel precision; set EdgeNodeConfig::precision or \
@@ -950,79 +1134,92 @@ impl EdgeNode {
                 streams: n,
                 budget,
                 initial_batch: cur_batch,
-                initial_widths: widths,
+                initial_widths: widths.clone(),
                 base_precision,
                 precision_cost: cfg.precision_cost.clone(),
             },
         );
         let mut sensors = Sensors::new(n, ctl.arrival_alpha);
         let mut telemetry: Vec<NodeTelemetry> = Vec::new();
+        let mut wakes: Vec<(u64, usize)> = Vec::new();
 
-        let mut sources: Vec<Box<dyn FrameSource>> = Vec::with_capacity(n);
-        let mut ffs: Vec<Option<FilterForward>> = Vec::with_capacity(n);
+        let mut tasks: Vec<StreamTask> = Vec::with_capacity(n);
         for (s, e) in streams.into_iter().enumerate() {
             // Camera faults wrap the stream's source; windows are keyed to
             // source poll ticks, which the lock-step loop makes
-            // deterministic (one poll per round while the queue has room).
+            // deterministic (one poll per round while the mailbox has
+            // room).
             let sf = plan.source_faults(s);
-            if sf.is_empty() {
-                sources.push(e.source);
+            let source: Box<dyn FrameSource> = if sf.is_empty() {
+                e.source
             } else {
-                sources.push(Box::new(FaultySource::new(e.source, sf)));
-            }
-            ffs.push(Some(e.ff));
+                Box::new(FaultySource::new(e.source, sf))
+            };
+            let mut task = StreamTask::new(source, e.ff);
+            task.width = widths.get(s).copied().unwrap_or(0);
+            tasks.push(task);
         }
-        let mut queues: Vec<VecDeque<(Frame, Tensor, Duration)>> =
-            (0..n).map(|_| VecDeque::new()).collect();
-        let mut source_open = vec![true; n];
         let mut reports = empty_reports(n);
-        let mut pending: Vec<Vec<FrameVerdict>> = vec![Vec::new(); n];
         let mut meta: Vec<(usize, Frame, Duration)> = Vec::new();
-        let mut tensors: Vec<Tensor> = Vec::new();
+        // Per gathered frame: which bucket it joined and at which position,
+        // so the fanout can find its feature maps after the bucket passes.
+        let mut slot_of: Vec<(usize, usize)> = Vec::new();
         let mut scan_start = 0usize;
         let mut round: u64 = 0;
 
         // Backpressure, mirroring the threaded runtime's bounded channels:
-        // a stream whose decode queue is full is not polled this round —
-        // its next frame arrives at a later tick instead of growing the
-        // queue without bound (the camera's clock stalls with it, exactly
-        // like a decode thread blocked on a full channel). The cap leaves
-        // room above BatchPolicy::grow_backlog so the batch sizer still
-        // sees real backlog before the bound engages.
+        // a task whose mailbox is full is not polled this round — its next
+        // frame arrives at a later tick instead of growing the mailbox
+        // without bound (the camera's clock stalls with it, exactly like a
+        // decode thread blocked on a full channel). The cap leaves room
+        // above BatchPolicy::grow_backlog so the batch sizer still sees
+        // real backlog before the bound engages.
         let queue_cap = (cfg.queue_depth * 2).max(4);
 
         let t0 = Instant::now();
         loop {
             // 1. Arrivals: one poll per open stream per round. Idle
-            //    sources advance virtual time without producing work.
-            for s in 0..n {
-                if !source_open[s] || queues[s].len() >= queue_cap {
+            //    sources advance virtual time without producing work; a
+            //    frame delivered to a sleeping task wakes it (logged).
+            for (s, task) in tasks.iter_mut().enumerate() {
+                task.begin_round();
+                if !task.source_open || task.mailbox.len() >= queue_cap {
                     continue;
                 }
-                match sources[s].poll_frame() {
+                match task.source.poll_frame() {
                     SourcePoll::Frame(frame) => {
                         let td = Instant::now();
                         let tensor = frame.to_tensor();
                         let decode = td.elapsed();
                         sensors.on_decode_wall(decode);
                         sensors.on_arrival(s);
-                        queues[s].push_back((frame, tensor, decode));
+                        if task.deliver(DecodedFrame {
+                            frame,
+                            tensor,
+                            decode,
+                        }) {
+                            wakes.push((round, s));
+                        }
                     }
                     SourcePoll::Idle => {}
                     SourcePoll::End => {
-                        source_open[s] = false;
+                        task.source_open = false;
                         sensors.on_ended(s);
                     }
                 }
             }
 
             // 2. Service.
-            if let (Some(bx), Some(shard)) = (batch_ex.as_mut(), node_shard.as_ref()) {
-                // Gather style: fill up to `cur_batch` from the queues,
+            if gather {
+                // Gather style: fill up to `cur_batch` from the mailboxes,
                 // rotating the scan start so no stream monopolizes the
-                // batch; one shared batched pass, per-frame fanout.
+                // batch; one shared batched pass per (config, resolution)
+                // bucket, per-frame fanout to each stream's own MCs.
                 meta.clear();
-                tensors.clear();
+                slot_of.clear();
+                for b in &mut buckets {
+                    b.tensors.clear();
+                }
                 'gather: loop {
                     let mut progressed = false;
                     for i in 0..n {
@@ -1033,9 +1230,9 @@ impl EdgeNode {
                         if kills.contains(&s) {
                             continue;
                         }
-                        if let Some((frame, tensor, decode)) = queues[s].pop_front() {
-                            let k = served_count[s];
-                            served_count[s] += 1;
+                        if let Some(msg) = tasks[s].mailbox.pop_front() {
+                            let k = tasks[s].served;
+                            tasks[s].served += 1;
                             progressed = true;
                             if let Some(idx) = panic_sched
                                 .iter()
@@ -1049,7 +1246,7 @@ impl EdgeNode {
                                 // breaker kills the stream), while every
                                 // other stream's round proceeds untouched.
                                 panic_sched.remove(idx);
-                                frames_lost[s] += 1;
+                                tasks[s].frames_lost += 1;
                                 fault_trace.push(
                                     round,
                                     FaultEventKind::StagePanic {
@@ -1057,21 +1254,24 @@ impl EdgeNode {
                                         frame: k,
                                     },
                                 );
-                                if restarts[s] < cfg.recovery.max_restarts_per_stream {
-                                    restarts[s] += 1;
+                                if tasks[s].restarts < cfg.recovery.max_restarts_per_stream {
+                                    tasks[s].restarts += 1;
                                     restarts_tick += 1;
                                     fault_trace
                                         .push(round, FaultEventKind::StageRestarted { stream: s });
                                 } else {
                                     fault_trace
                                         .push(round, FaultEventKind::StreamKilled { stream: s });
+                                    tasks[s].kill();
                                     kills.push(s);
                                 }
                                 continue;
                             }
                             sensors.on_served(s);
-                            meta.push((s, frame, decode));
-                            tensors.push(tensor);
+                            let b = bucket_of[s];
+                            slot_of.push((b, buckets[b].tensors.len()));
+                            buckets[b].tensors.push(msg.tensor);
+                            meta.push((s, msg.frame, msg.decode));
                         }
                     }
                     if !progressed {
@@ -1080,42 +1280,59 @@ impl EdgeNode {
                 }
                 scan_start = (scan_start + 1) % n;
                 sensors.on_round(meta.len());
-                if !tensors.is_empty() {
+                if !meta.is_empty() {
                     shard.run(|| {
-                        let te = Instant::now();
-                        let maps = bx.extract_batch(&tensors);
-                        let extract = te.elapsed();
-                        sensors.on_extract_wall(extract, tensors.len());
-                        let share = extract / tensors.len() as u32;
-                        for (i, (s, frame, decode)) in meta.iter().enumerate() {
-                            let ff = ffs[*s].as_mut().expect("open stream has a pipeline");
-                            ff.credit_decode(*decode);
-                            pending[*s].extend(ff.process_with_maps(frame, &maps[i], share));
+                        for (bi, bucket) in buckets.iter_mut().enumerate() {
+                            if bucket.tensors.is_empty() {
+                                continue;
+                            }
+                            let te = Instant::now();
+                            let maps = bucket.ex.extract_batch(&bucket.tensors);
+                            let extract = te.elapsed();
+                            sensors.on_extract_wall(extract, bucket.tensors.len());
+                            let share = extract / bucket.tensors.len() as u32;
+                            for (i, (s, frame, decode)) in meta.iter().enumerate() {
+                                if slot_of[i].0 != bi {
+                                    continue;
+                                }
+                                let task = &mut tasks[*s];
+                                let ff = task.ff.as_mut().expect("open stream has a pipeline");
+                                ff.credit_decode(*decode);
+                                let verdicts =
+                                    ff.process_with_maps(frame, &maps[slot_of[i].1], share);
+                                task.pending.extend(verdicts);
+                            }
                         }
                     });
                 }
             } else {
                 // Sharded style: each stream serves at most one frame per
-                // round on its own shard. The pass runs under
-                // `PoolShard::try_run`, so a panicking stage — scripted or
-                // real — unwinds to this loop instead of tearing the node
-                // down; the shard itself survives a panicking job
-                // (workers catch at the job boundary) and stays
-                // deterministic.
+                // round. The pass runs under `PoolShard::try_run` on the
+                // shared budget-wide pool — kernel results do not depend
+                // on worker count, so the per-stream virtual widths stay
+                // pure accounting — and a panicking stage, scripted or
+                // real, unwinds to this loop instead of tearing the node
+                // down; the pool itself survives a panicking job (workers
+                // catch at the job boundary) and stays deterministic.
                 let mut served = 0usize;
-                for s in 0..n {
-                    if let Some((frame, tensor, decode)) = queues[s].pop_front() {
-                        let k = served_count[s];
-                        served_count[s] += 1;
+                for (s, task) in tasks.iter_mut().enumerate() {
+                    if let Some(msg) = task.mailbox.pop_front() {
+                        let DecodedFrame {
+                            frame,
+                            tensor,
+                            decode,
+                        } = msg;
+                        let k = task.served;
+                        task.served += 1;
                         let inject = panic_sched
                             .iter()
                             .position(|p| p.stream == s && p.at_frame == k)
                             .map(|idx| panic_sched.remove(idx))
                             .is_some();
-                        let ff = ffs[s].as_mut().expect("open stream has a pipeline");
+                        let ff = task.ff.as_mut().expect("open stream has a pipeline");
                         ff.credit_decode(decode);
                         let te = Instant::now();
-                        let result = shards[s].try_run(|| {
+                        let result = shard.try_run(|| {
                             if inject {
                                 panic!("scripted stage panic: stream {s}, frame {k}");
                             }
@@ -1126,13 +1343,13 @@ impl EdgeNode {
                             Ok(verdicts) => {
                                 sensors.on_served(s);
                                 served += 1;
-                                pending[s].extend(verdicts);
+                                task.pending.extend(verdicts);
                             }
                             Err(_) => {
                                 // The in-flight frame is lost; restart the
-                                // stage within the breaker budget, kill
-                                // the one stream past it.
-                                frames_lost[s] += 1;
+                                // task within the breaker budget, kill the
+                                // one stream past it.
+                                task.frames_lost += 1;
                                 fault_trace.push(
                                     round,
                                     FaultEventKind::StagePanic {
@@ -1140,14 +1357,15 @@ impl EdgeNode {
                                         frame: k,
                                     },
                                 );
-                                if restarts[s] < cfg.recovery.max_restarts_per_stream {
-                                    restarts[s] += 1;
+                                if task.restarts < cfg.recovery.max_restarts_per_stream {
+                                    task.restarts += 1;
                                     restarts_tick += 1;
                                     fault_trace
                                         .push(round, FaultEventKind::StageRestarted { stream: s });
                                 } else {
                                     fault_trace
                                         .push(round, FaultEventKind::StreamKilled { stream: s });
+                                    task.kill();
                                     kills.push(s);
                                 }
                             }
@@ -1157,39 +1375,39 @@ impl EdgeNode {
                 sensors.on_round(served);
             }
 
-            // 2½. Circuit-breaker kills: flush the stream's pipeline (its
+            // 2½. Circuit-breaker kills: flush the task's pipeline (its
             //     already-served frames keep their verdicts), drop its
-            //     queue, and mark it ended for the sensors. One stream
+            //     mailbox, and mark it ended for the sensors. One task
             //     dies; the node keeps running.
             for s in kills.drain(..) {
-                if let Some(ff) = ffs[s].take() {
-                    let (tail, stats, timers) = match (&node_shard, shards.get(s)) {
-                        (Some(shard), _) => shard.run(|| ff.finish()),
-                        (None, Some(shard)) => shard.run(|| ff.finish()),
-                        (None, None) => unreachable!("one style is always active"),
-                    };
-                    pending[s].extend(tail);
+                if let Some(ff) = tasks[s].ff.take() {
+                    let (tail, stats, timers) = shard.run(|| ff.finish());
+                    tasks[s].pending.extend(tail);
                     reports[s].stats = stats;
                     reports[s].timers = timers;
                 }
-                source_open[s] = false;
-                queues[s].clear();
+                tasks[s].source_open = false;
+                tasks[s].mailbox.clear();
                 sensors.on_ended(s);
             }
 
-            // 3. Close streams whose source ended and queue drained.
-            for s in 0..n {
-                if !source_open[s] && queues[s].is_empty() && ffs[s].is_some() {
-                    let ff = ffs[s].take().expect("closing an open stream");
-                    let (tail, stats, timers) = match (&node_shard, shards.get(s)) {
-                        (Some(shard), _) => shard.run(|| ff.finish()),
-                        (None, Some(shard)) => shard.run(|| ff.finish()),
-                        (None, None) => unreachable!("one style is always active"),
-                    };
-                    pending[s].extend(tail);
+            // 3. Close tasks whose source ended and mailbox drained.
+            for (s, task) in tasks.iter_mut().enumerate() {
+                if !task.source_open && task.mailbox.is_empty() && task.ff.is_some() {
+                    let ff = task.ff.take().expect("closing an open stream");
+                    let (tail, stats, timers) = shard.run(|| ff.finish());
+                    task.pending.extend(tail);
                     reports[s].stats = stats;
                     reports[s].timers = timers;
+                    task.finish_closed();
                 }
+            }
+
+            // 3½. End-of-round task bookkeeping: tasks that saw no arrival
+            //     age their wake clocks, and a drained awake task goes
+            //     back to sleep (see [`crate::task::StreamTask`]).
+            for task in &mut tasks {
+                task.end_round();
             }
 
             // 4. Uplink: exactly one offer per stream slot per round, in
@@ -1204,9 +1422,9 @@ impl EdgeNode {
             //    the round's scheduled uplink faults first and lets at
             //    most one retry and one spill re-drain ride each slot.
             rec.begin_round(round, &mut fault_trace);
-            for s in 0..n {
+            for (s, task) in tasks.iter_mut().enumerate() {
                 let mut bytes = 0usize;
-                for v in pending[s].drain(..) {
+                for v in task.pending.drain(..) {
                     bytes += v.uploaded_bytes;
                     reports[s].offered_bytes += v.uploaded_bytes as u64;
                     reports[s].verdicts.push(v);
@@ -1215,16 +1433,17 @@ impl EdgeNode {
             }
 
             round += 1;
-            if ffs.iter().all(|f| f.is_none()) {
+            if tasks.iter().all(|t| t.ff.is_none()) {
                 break;
             }
 
             // 5. Control tick: snapshot the sensors, let the policies act,
             //    apply the plan before the next round.
             if round.is_multiple_of(ctl.tick_frames) {
-                let depths: Vec<usize> = queues.iter().map(VecDeque::len).collect();
+                let depths: Vec<usize> = tasks.iter().map(StreamTask::mailbox_depth).collect();
+                let wake_ages: Vec<u64> = tasks.iter().map(StreamTask::rounds_since_wake).collect();
                 let tick_faults = rec.take_tick();
-                let mut snap = sensors.snapshot(round, &depths, rec.link(), cur_batch);
+                let mut snap = sensors.snapshot(round, &depths, &wake_ages, rec.link(), cur_batch);
                 snap.faults = FaultTelemetry {
                     link_up: rec.link_up(),
                     refused_tick: tick_faults.refused,
@@ -1233,35 +1452,46 @@ impl EdgeNode {
                     spilled_tick: tick_faults.spilled,
                     dropped_tick: tick_faults.dropped,
                     restarts_tick: std::mem::take(&mut restarts_tick),
-                    quarantined: quarantined.iter().filter(|&&q| q).count() as u64,
+                    quarantined: tasks.iter().filter(|t| t.suspended).count() as u64,
                 };
                 let plan = controller.observe(&snap);
                 for action in &plan.actions {
                     match action {
                         ControlAction::SetMaxBatch { to, .. } => cur_batch = *to,
                         ControlAction::Repartition { widths } => {
-                            for (shard, &w) in shards.iter_mut().zip(widths) {
-                                shard.set_width(w);
+                            // Virtual repartition: every kernel runs on
+                            // the one budget-wide pool and its results are
+                            // width-independent, so the new widths update
+                            // task accounting without moving a thread.
+                            for (task, &w) in tasks.iter_mut().zip(widths) {
+                                task.width = w;
                             }
                         }
                         ControlAction::SetPrecision { to, .. } => {
-                            if let Some(bx) = batch_ex.as_mut() {
-                                bx.set_precision(*to);
+                            for bucket in &mut buckets {
+                                bucket.ex.set_precision(*to);
                             }
-                            for ff in ffs.iter_mut().flatten() {
-                                ff.set_precision(*to);
+                            for task in &mut tasks {
+                                if let Some(ff) = task.ff.as_mut() {
+                                    ff.set_precision(*to);
+                                }
                             }
                         }
                         ControlAction::SetUploadStride { to, .. } => {
-                            for ff in ffs.iter_mut().flatten() {
-                                ff.set_upload_stride(*to);
+                            for task in &mut tasks {
+                                if let Some(ff) = task.ff.as_mut() {
+                                    ff.set_upload_stride(*to);
+                                }
                             }
                         }
-                        // Width changes ride a Repartition in the same
-                        // plan (sharded style); these markers only update
-                        // the telemetry's quarantine census.
-                        ControlAction::Quarantine { stream } => quarantined[*stream] = true,
-                        ControlAction::Readmit { stream } => quarantined[*stream] = false,
+                        // Quarantine suspends the task — it still polls
+                        // and drains (watchdog priority, never
+                        // correctness), so suspension changes no verdict
+                        // and no trace byte; the FaultTelemetry census
+                        // counts suspended tasks. Width changes ride a
+                        // Repartition in the same plan.
+                        ControlAction::Quarantine { stream } => tasks[*stream].suspend(),
+                        ControlAction::Readmit { stream } => tasks[*stream].resume(),
                     }
                 }
                 telemetry.push(snap);
@@ -1269,12 +1499,15 @@ impl EdgeNode {
         }
         let (uplink, ledger, spilled, spill_overflow, recovery_rounds, parked) =
             rec.finish(round, &mut fault_trace);
+        let restarts: Vec<u32> = tasks.iter().map(|t| t.restarts).collect();
+        let frames_lost: Vec<u64> = tasks.iter().map(|t| t.frames_lost).collect();
         let NodeReport { streams, node } = node_report(reports, &uplink, t0.elapsed());
         ControlledReport {
             streams,
             node,
             trace: controller.into_trace(),
             telemetry,
+            wakes,
             faults: has_faults.then_some(FaultsReport {
                 ledger,
                 trace: fault_trace,
@@ -1302,11 +1535,11 @@ fn build_shared_extractor(
     streams: &[StreamEntry],
     calibration_frames: &Option<Vec<Frame>>,
 ) -> FeatureExtractor {
-    let base = streams[0].ff.config().mobilenet;
+    let base = *streams[0].ff.base_config();
     let res = streams[0].source.resolution();
     for s in streams {
         assert_eq!(
-            s.ff.config().mobilenet,
+            *s.ff.base_config(),
             base,
             "gather-batch mode requires every stream to share one base-DNN config"
         );
@@ -1316,7 +1549,7 @@ fn build_shared_extractor(
             "gather-batch mode requires every stream to share one resolution"
         );
         assert_eq!(
-            s.ff.extractor().is_calibrated(),
+            s.ff.is_calibrated(),
             calibration_frames.is_some(),
             "gather-batch mode requires calibration through EdgeNode::calibrate, \
              not per-stream FilterForward::calibrate"
@@ -1324,7 +1557,7 @@ fn build_shared_extractor(
     }
     let mut taps: Vec<String> = Vec::new();
     for s in streams {
-        for t in s.ff.extractor().taps() {
+        for t in s.ff.taps() {
             if !taps.iter().any(|have| have == t) {
                 taps.push(t.clone());
             }
@@ -1336,6 +1569,84 @@ fn build_shared_extractor(
         batch_ex.calibrate(&tensors);
     }
     batch_ex
+}
+
+/// One controlled-gather **bucket**: the shared batched extractor for a
+/// (base-DNN config, resolution) class of streams, plus the round's tensor
+/// scratch. One `extract_batch` runs per non-empty bucket per round.
+struct GatherBucket {
+    ex: FeatureExtractor,
+    tensors: Vec<Tensor>,
+}
+
+/// Buckets the controlled executor's streams by (base-DNN config,
+/// resolution) — mixed-resolution fleets batch per bucket instead of being
+/// rejected — and builds one shared extractor per bucket: tap union in
+/// first-appearance order, node calibration frames replayed (filtered to
+/// the bucket's resolution only when more than one bucket exists, so a
+/// homogeneous fleet reproduces the legacy single shared extractor
+/// bit-for-bit). Returns the buckets and the stream → bucket map.
+fn build_gather_buckets(
+    streams: &[StreamEntry],
+    calibration_frames: &Option<Vec<Frame>>,
+) -> (Vec<GatherBucket>, Vec<usize>) {
+    let mut keys: Vec<(MobileNetConfig, Resolution)> = Vec::new();
+    let mut bucket_of = Vec::with_capacity(streams.len());
+    for s in streams {
+        assert_eq!(
+            s.ff.is_calibrated(),
+            calibration_frames.is_some(),
+            "gather-batch mode requires calibration through EdgeNode::calibrate, \
+             not per-stream FilterForward::calibrate"
+        );
+        let key = (*s.ff.base_config(), s.source.resolution());
+        let bi = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+            keys.push(key);
+            keys.len() - 1
+        });
+        bucket_of.push(bi);
+    }
+    let mut buckets = Vec::with_capacity(keys.len());
+    for (bi, (base, res)) in keys.iter().enumerate() {
+        let mut taps: Vec<String> = Vec::new();
+        for (si, s) in streams.iter().enumerate() {
+            if bucket_of[si] != bi {
+                continue;
+            }
+            for t in s.ff.taps() {
+                if !taps.iter().any(|have| have == t) {
+                    taps.push(t.clone());
+                }
+            }
+        }
+        let mut ex = FeatureExtractor::new(*base, taps);
+        if let Some(frames) = calibration_frames {
+            let tensors: Vec<Tensor> = if keys.len() > 1 {
+                frames
+                    .iter()
+                    .filter(|f| f.resolution() == *res)
+                    .map(|f| f.to_tensor())
+                    .collect()
+            } else {
+                // Single bucket: replay every calibration frame, exactly
+                // like the legacy homogeneous shared extractor.
+                frames.iter().map(Frame::to_tensor).collect()
+            };
+            assert!(
+                keys.len() == 1 || !tensors.is_empty(),
+                "mixed-resolution gather needs calibration frames at every \
+                 resolution: none matched {}x{}",
+                res.width,
+                res.height
+            );
+            ex.calibrate(&tensors);
+        }
+        buckets.push(GatherBucket {
+            ex,
+            tensors: Vec::new(),
+        });
+    }
+    (buckets, bucket_of)
 }
 
 /// Builds the shared uplink. The uplink drains once per offer; the

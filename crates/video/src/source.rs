@@ -55,6 +55,15 @@ pub trait FrameSource: Send {
             None => SourcePoll::End,
         }
     }
+
+    /// The fraction of ticks this source is expected to produce a frame —
+    /// the **duty fraction** admission control prices a stream at. An
+    /// always-on source is 1.0; a [`DutyCycleSource`] reports
+    /// `active / (active + idle)`. Wrappers forward the inner value:
+    /// fault windows shift timing, not the long-run schedule.
+    fn duty_fraction(&self) -> f64 {
+        1.0
+    }
 }
 
 // Boxed sources are sources too, so adapters like [`FaultySource`] can wrap
@@ -74,6 +83,10 @@ impl FrameSource for Box<dyn FrameSource> {
 
     fn poll_frame(&mut self) -> SourcePoll {
         (**self).poll_frame()
+    }
+
+    fn duty_fraction(&self) -> f64 {
+        (**self).duty_fraction()
     }
 }
 
@@ -200,6 +213,16 @@ impl<S: FrameSource> DutyCycleSource<S> {
         }
     }
 
+    /// Like [`Self::new`] but starting `phase` ticks into the cycle, so a
+    /// fleet of cameras on the same schedule can stagger their wake times
+    /// (phase `active` puts the first poll at the start of the idle span).
+    /// `phase` is taken modulo the period.
+    pub fn with_phase(inner: S, active: u64, idle: u64, phase: u64) -> Self {
+        let mut src = Self::new(inner, active, idle);
+        src.tick = phase % (active + idle);
+        src
+    }
+
     /// Ticks polled so far (idle ones included).
     pub fn ticks(&self) -> u64 {
         self.tick
@@ -242,6 +265,11 @@ impl<S: FrameSource> FrameSource for DutyCycleSource<S> {
         } else {
             SourcePoll::Idle
         }
+    }
+
+    fn duty_fraction(&self) -> f64 {
+        // The inner source may itself be duty-cycled; fractions compose.
+        self.inner.duty_fraction() * self.active as f64 / (self.active + self.idle) as f64
     }
 }
 
@@ -379,6 +407,11 @@ impl<S: FrameSource> FrameSource for FaultySource<S> {
                 other => other,
             },
         }
+    }
+
+    fn duty_fraction(&self) -> f64 {
+        // Fault windows are transient; the long-run schedule is the inner's.
+        self.inner.duty_fraction()
     }
 }
 
@@ -564,6 +597,63 @@ mod tests {
         assert!(matches!(wrapped.poll_frame(), SourcePoll::Frame(_)));
         assert!(matches!(wrapped.poll_frame(), SourcePoll::Frame(_)));
         assert!(matches!(wrapped.poll_frame(), SourcePoll::End));
+    }
+
+    #[test]
+    fn duty_fraction_reflects_the_schedule() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(48, 27),
+            seed: 23,
+            ..Default::default()
+        };
+        let plain = SceneSource::new(cfg, 4);
+        assert_eq!(plain.duty_fraction(), 1.0);
+        let duty = DutyCycleSource::new(SceneSource::new(cfg, 4), 2, 6);
+        assert_eq!(duty.duty_fraction(), 0.25);
+        // Wrappers forward: a boxed faulty duty-cycled source still prices
+        // at the schedule's fraction.
+        let boxed: Box<dyn FrameSource> = Box::new(duty);
+        let faulty = FaultySource::new(boxed, Vec::new());
+        assert_eq!(faulty.duty_fraction(), 0.25);
+        // Nested duty cycles compose multiplicatively.
+        let nested =
+            DutyCycleSource::new(DutyCycleSource::new(SceneSource::new(cfg, 4), 1, 1), 1, 1);
+        assert_eq!(nested.duty_fraction(), 0.25);
+    }
+
+    #[test]
+    fn phase_offset_shifts_the_wake_schedule() {
+        let cfg = SceneConfig {
+            resolution: Resolution::new(48, 27),
+            seed: 29,
+            ..Default::default()
+        };
+        // Phase 2 on a (2 active, 3 idle) cycle starts mid-idle: the first
+        // frame waits out the remaining idle ticks, then content replays
+        // the inner stream unchanged.
+        let mut duty = DutyCycleSource::with_phase(SceneSource::new(cfg, 3), 2, 3, 2);
+        let mut plain = SceneSource::new(cfg, 3);
+        let mut pattern = Vec::new();
+        let mut produced = Vec::new();
+        loop {
+            match duty.poll_frame() {
+                SourcePoll::Frame(f) => {
+                    pattern.push('F');
+                    produced.push(f);
+                }
+                SourcePoll::Idle => pattern.push('.'),
+                SourcePoll::End => break,
+            }
+        }
+        assert_eq!(pattern.iter().collect::<String>(), "...FF...F");
+        for f in &produced {
+            let want = plain.next_frame().expect("same count");
+            assert_eq!(f.data(), want.data(), "phase must not change content");
+        }
+        // Phase is taken modulo the period: a full-period offset is the
+        // unshifted schedule.
+        let mut wrapped = DutyCycleSource::with_phase(SceneSource::new(cfg, 2), 2, 3, 5);
+        assert!(matches!(wrapped.poll_frame(), SourcePoll::Frame(_)));
     }
 
     #[test]
