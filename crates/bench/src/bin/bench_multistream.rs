@@ -31,7 +31,7 @@ use ff_core::faults::{FaultPlan, FaultsReport, FleetFaultPlan, RecoveryConfig, R
 use ff_core::fleet::{Fleet, FleetConfig, FleetReport};
 use ff_core::pipeline::{FilterForward, FrameVerdict, PipelineConfig};
 use ff_core::query::Query;
-use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ObsConfig, ShardLayout};
 use ff_core::{McId, McSpec};
 use ff_models::MobileNetConfig;
 use ff_tensor::Precision;
@@ -332,7 +332,26 @@ fn streams_mc(s: usize) -> McSpec {
 /// node builds one extractor, not `n`. Returns the best aggregate fps
 /// across repeats after sanity-checking stream 0 against its serial gold.
 fn measure_streams(n: usize, budget: usize, gold0: &[FrameVerdict]) -> f64 {
+    measure_streams_inner(n, budget, gold0, false).0
+}
+
+/// [`measure_streams`] with the full observability layer on — span ring,
+/// per-job shard timers, deterministic exports — returning the best fps
+/// plus the spans emitted and metrics registered, so the bench can pin the
+/// instrumentation overhead against the plain row.
+fn measure_streams_obs(n: usize, budget: usize, gold0: &[FrameVerdict]) -> (f64, u64, u64) {
+    measure_streams_inner(n, budget, gold0, true)
+}
+
+fn measure_streams_inner(
+    n: usize,
+    budget: usize,
+    gold0: &[FrameVerdict],
+    obs: bool,
+) -> (f64, u64, u64) {
     let mut best = 0.0f64;
+    let mut spans = 0u64;
+    let mut metrics = 0u64;
     for _ in 0..REPEATS {
         let mut cfg = EdgeNodeConfig::new(ShardLayout::single(budget))
             .with_gather_batch(GatherBatch {
@@ -340,6 +359,9 @@ fn measure_streams(n: usize, budget: usize, gold0: &[FrameVerdict]) -> f64 {
                 gather_wait: Duration::from_millis(1),
             })
             .with_shared_backbone();
+        if obs {
+            cfg = cfg.with_obs(ObsConfig::default());
+        }
         cfg.uplink_capacity_bps = 10_000_000.0;
         let mut node = EdgeNode::new(cfg);
         for s in 0..n {
@@ -363,9 +385,13 @@ fn measure_streams(n: usize, budget: usize, gold0: &[FrameVerdict]) -> f64 {
             report.streams[0].verdicts, gold0,
             "{n} streams: stream 0 diverged from its serial pipeline"
         );
+        if let Some(o) = &report.obs {
+            spans = o.emitted_spans;
+            metrics = o.metrics.entries.len() as u64;
+        }
         best = best.max(report.node.aggregate_fps());
     }
-    best
+    (best, spans, metrics)
 }
 
 /// Cloud-tier rounds for the fleet sweep — long enough that every fault
@@ -675,6 +701,25 @@ fn main() {
          (990 more sleeping tasks; flat = free idle cameras)"
     );
 
+    // Observability overhead on the 1000-camera row: the same sweep with
+    // the span ring and per-job shard timers on. The registry itself is
+    // always on, so this measures exactly what the obs knob adds.
+    println!();
+    println!("obs overhead (1000 duty-cycled cameras, span ring + shard timers on):");
+    let obs_base_fps = stream_rows[2].1;
+    let (obs_fps, obs_spans, obs_metrics) = measure_streams_obs(1000, budget, &gold_stream0);
+    let obs_overhead = (1.0 - obs_fps / obs_base_fps).max(0.0);
+    println!(
+        "{:<24} {obs_fps:>10.2} fps  ({obs_spans} spans, {obs_metrics} metrics, overhead {:.1}%)",
+        "streams_1000_obs",
+        obs_overhead * 100.0,
+    );
+    assert!(
+        obs_overhead <= 0.02,
+        "instrumentation overhead {:.2}% exceeds the 2% budget",
+        obs_overhead * 100.0,
+    );
+
     // Fleet sweep: the cloud tier at 10/50/200 nodes, same per-node chaos
     // script (crash + rejoin, dup storm, seeded loss) at every size.
     println!();
@@ -788,6 +833,21 @@ fn main() {
         "    \"note\": \"the invariant: serving an active frame must cost the same whether the node hosts 10 cameras or 1000 (aggregate fps within ~10% of the 10-stream row — a sleeping task is a poll and a counter, not a thread). Raw per_active_stream_fps divides the fixed thread budget across the active set, so it falls as 1/active by construction on one machine.\",\n",
     );
     section.push_str("    \"verdicts_identical\": true\n  },\n");
+
+    // The observability overhead row, spliced as its own section.
+    section.push_str("  \"obs\": {\n");
+    section.push_str(
+        "    \"config\": {\"load\": \"1000 duty-cycled cameras, same sweep as streams_1000\", \"instrumentation\": \"span ring + per-job shard timers on top of the always-on registry\"},\n",
+    );
+    section.push_str(&format!("    \"aggregate_fps_base\": {obs_base_fps:.2},\n"));
+    section.push_str(&format!("    \"aggregate_fps_obs\": {obs_fps:.2},\n"));
+    section.push_str(&format!("    \"overhead_fraction\": {obs_overhead:.4},\n"));
+    section.push_str("    \"max_overhead_fraction\": 0.02,\n");
+    section.push_str(&format!("    \"spans_emitted\": {obs_spans},\n"));
+    section.push_str(&format!("    \"metrics_registered\": {obs_metrics},\n"));
+    section.push_str(
+        "    \"note\": \"the bench asserts the overhead budget itself; the trace and snapshot exports are byte-stable across runs, threads, and shard widths, so they can gate CI\"\n  },\n",
+    );
 
     // The cloud-tier fleet sweep, spliced as its own top-level section.
     section.push_str("  \"fleet\": {\n");

@@ -80,6 +80,7 @@
 
 use std::time::Duration;
 
+use ff_obs::{Counter, Ewma, Gauge, Registry};
 use ff_tensor::Precision;
 use ff_video::Resolution;
 
@@ -258,74 +259,123 @@ impl NodeTelemetry {
     }
 }
 
-/// Per-stream accumulation state inside [`Sensors`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-stream accumulation state inside [`Sensors`]: cumulative registry
+/// cells plus the previous snapshot's readings for per-tick differencing.
+#[derive(Debug, Clone)]
 struct StreamSensor {
-    arrivals: u64,
-    served: u64,
-    ewma: Option<f64>,
+    arrivals: Counter,
+    served: Counter,
+    last_arrivals: u64,
+    last_served: u64,
+    ewma: Ewma,
     ended: bool,
 }
 
 /// The runtime-side sensor bank: the controlled executor feeds it
 /// per-round events (arrivals, serves, gather sizes, wall timings) and
 /// [`Sensors::snapshot`] folds a tick's worth into a [`NodeTelemetry`],
-/// resetting the per-tick counters and advancing the EWMAs.
+/// differencing the cumulative cells against the previous snapshot and
+/// advancing the EWMAs.
+///
+/// Every counter lives in a shared [`ff_obs::Registry`] — the cell the
+/// sensor increments **is** the exported metric (`node/arrivals{stream=i}`,
+/// `node/rounds`, …), and [`NodeTelemetry`] is a per-tick *view* over those
+/// cumulative cells, not a second set of books. Wall-clock accumulators are
+/// registered volatile, so the registry's deterministic exports never see
+/// them.
 ///
 /// Everything except the wall-clock timings is deterministic in virtual
 /// time; see the [module docs](self).
 #[derive(Debug)]
 pub struct Sensors {
-    alpha: f64,
+    registry: Registry,
     streams: Vec<StreamSensor>,
-    rounds: u64,
-    gathered: u64,
-    tick: u64,
+    rounds: Counter,
+    gathered: Counter,
+    ticks: Counter,
+    last_rounds: u64,
+    last_gathered: u64,
     // Uplink cumulative counters at the previous snapshot, for differencing.
     last_offered_bits: u64,
     last_offers: u64,
-    // Wall-clock accumulators (observability only).
-    decode_secs: f64,
-    decode_frames: u64,
-    extract_secs: f64,
-    extract_frames: u64,
-    decode_ewma: Option<f64>,
-    extract_ewma: Option<f64>,
+    // Wall-clock cells (observability only; registered volatile).
+    decode_secs: Gauge,
+    decode_frames: Counter,
+    extract_secs: Gauge,
+    extract_frames: Counter,
+    last_decode_secs: f64,
+    last_decode_frames: u64,
+    last_extract_secs: f64,
+    last_extract_frames: u64,
+    decode_ewma: Ewma,
+    extract_ewma: Ewma,
 }
 
 impl Sensors {
-    /// A sensor bank for `streams` streams. `alpha` weights the newest
-    /// tick in every EWMA (0 < alpha ≤ 1).
+    /// A sensor bank for `streams` streams backed by its own private
+    /// registry. `alpha` weights the newest tick in every EWMA
+    /// (0 < alpha ≤ 1).
     pub fn new(streams: usize, alpha: f64) -> Self {
+        Self::with_registry(streams, alpha, &Registry::new())
+    }
+
+    /// A sensor bank whose cells live in `registry` — the controlled
+    /// runtime passes the node-wide registry here so one keyspace backs
+    /// node, uplink, fault, and shard telemetry together.
+    pub fn with_registry(streams: usize, alpha: f64, registry: &Registry) -> Self {
         assert!(
             alpha > 0.0 && alpha <= 1.0,
             "EWMA alpha must be in (0, 1], got {alpha}"
         );
+        let streams = (0..streams)
+            .map(|i| {
+                let stream = i.to_string();
+                StreamSensor {
+                    arrivals: registry.counter("node", "arrivals", &[("stream", &stream)]),
+                    served: registry.counter("node", "served", &[("stream", &stream)]),
+                    last_arrivals: 0,
+                    last_served: 0,
+                    ewma: Ewma::new(alpha),
+                    ended: false,
+                }
+            })
+            .collect();
         Sensors {
-            alpha,
-            streams: vec![StreamSensor::default(); streams],
-            rounds: 0,
-            gathered: 0,
-            tick: 0,
+            streams,
+            rounds: registry.counter("node", "rounds", &[]),
+            gathered: registry.counter("node", "gathered", &[]),
+            ticks: registry.counter("control", "ticks", &[]),
+            last_rounds: 0,
+            last_gathered: 0,
             last_offered_bits: 0,
             last_offers: 0,
-            decode_secs: 0.0,
-            decode_frames: 0,
-            extract_secs: 0.0,
-            extract_frames: 0,
-            decode_ewma: None,
-            extract_ewma: None,
+            decode_secs: registry.gauge_volatile("wall", "decode_secs", &[]),
+            decode_frames: registry.counter_volatile("wall", "decode_frames", &[]),
+            extract_secs: registry.gauge_volatile("wall", "extract_secs", &[]),
+            extract_frames: registry.counter_volatile("wall", "extract_frames", &[]),
+            last_decode_secs: 0.0,
+            last_decode_frames: 0,
+            last_extract_secs: 0.0,
+            last_extract_frames: 0,
+            decode_ewma: Ewma::new(alpha),
+            extract_ewma: Ewma::new(alpha),
+            registry: registry.clone(),
         }
+    }
+
+    /// The registry holding this bank's cells.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// A frame arrived for stream `s` this round.
     pub fn on_arrival(&mut self, s: usize) {
-        self.streams[s].arrivals += 1;
+        self.streams[s].arrivals.inc();
     }
 
     /// A frame of stream `s` was served (ran inference) this round.
     pub fn on_served(&mut self, s: usize) {
-        self.streams[s].served += 1;
+        self.streams[s].served.inc();
     }
 
     /// Stream `s`'s source ended.
@@ -337,20 +387,22 @@ impl Sensors {
     /// shared batch (pass the served count in sharded style — it is ignored
     /// there because [`GatherTelemetry::max_batch`] is 0).
     pub fn on_round(&mut self, gathered: usize) {
-        self.rounds += 1;
-        self.gathered += gathered as u64;
+        self.rounds.inc();
+        self.gathered.add(gathered as u64);
     }
 
     /// Wall-clock decode time of one frame (observability only).
     pub fn on_decode_wall(&mut self, d: Duration) {
-        self.decode_secs += d.as_secs_f64();
-        self.decode_frames += 1;
+        self.decode_secs
+            .set(self.decode_secs.get() + d.as_secs_f64());
+        self.decode_frames.inc();
     }
 
     /// Wall-clock extraction time of `frames` frames (observability only).
     pub fn on_extract_wall(&mut self, d: Duration, frames: usize) {
-        self.extract_secs += d.as_secs_f64();
-        self.extract_frames += frames as u64;
+        self.extract_secs
+            .set(self.extract_secs.get() + d.as_secs_f64());
+        self.extract_frames.add(frames as u64);
     }
 
     /// Folds the tick's accumulations into a snapshot, advances EWMAs, and
@@ -368,31 +420,35 @@ impl Sensors {
         uplink: &Uplink,
         max_batch: usize,
     ) -> NodeTelemetry {
-        self.tick += 1;
-        let rounds = self.rounds.max(1);
+        self.ticks.inc();
+        let rounds_cum = self.rounds.get();
+        let d_rounds = rounds_cum - self.last_rounds;
+        self.last_rounds = rounds_cum;
+        let gathered_cum = self.gathered.get();
+        let d_gathered = gathered_cum - self.last_gathered;
+        self.last_gathered = gathered_cum;
+        let rounds = d_rounds.max(1);
         let streams = self
             .streams
             .iter_mut()
             .enumerate()
             .map(|(i, st)| {
-                let rate = st.arrivals as f64 / rounds as f64;
-                let ewma = match st.ewma {
-                    None => rate,
-                    Some(prev) => self.alpha * rate + (1.0 - self.alpha) * prev,
-                };
-                st.ewma = Some(ewma);
-                let out = StreamTelemetry {
+                let arrivals_cum = st.arrivals.get();
+                let arrivals = arrivals_cum - st.last_arrivals;
+                st.last_arrivals = arrivals_cum;
+                let served_cum = st.served.get();
+                let served = served_cum - st.last_served;
+                st.last_served = served_cum;
+                let ewma = st.ewma.observe(arrivals as f64 / rounds as f64);
+                StreamTelemetry {
                     id: StreamId(i),
                     queue_depth: queue_depths.get(i).copied().unwrap_or(0),
-                    arrivals: st.arrivals,
-                    served: st.served,
+                    arrivals,
+                    served,
                     arrival_ewma: ewma,
                     rounds_since_wake: wake_ages.get(i).copied().unwrap_or(0),
                     ended: st.ended,
-                };
-                st.arrivals = 0;
-                st.served = 0;
-                out
+                }
             })
             .collect();
 
@@ -413,21 +469,37 @@ impl Sensors {
         };
 
         let wall = {
-            let fold = |sum: f64, n: u64, ewma: &mut Option<f64>| -> f64 {
+            // Difference the cumulative wall cells and feed the tick mean
+            // through the shared EWMA fold (the same `Ewma::observe`
+            // backing the arrival EWMAs above).
+            let fold = |cum_secs: f64,
+                        last_secs: &mut f64,
+                        cum_n: u64,
+                        last_n: &mut u64,
+                        ewma: &mut Ewma|
+             -> f64 {
+                let secs = cum_secs - *last_secs;
+                let n = cum_n - *last_n;
+                *last_secs = cum_secs;
+                *last_n = cum_n;
                 if n > 0 {
-                    let mean = sum / n as f64;
-                    let next = match *ewma {
-                        None => mean,
-                        Some(prev) => self.alpha * mean + (1.0 - self.alpha) * prev,
-                    };
-                    *ewma = Some(next);
+                    ewma.observe(secs / n as f64)
+                } else {
+                    ewma.get()
                 }
-                ewma.unwrap_or(0.0)
             };
-            let decode = fold(self.decode_secs, self.decode_frames, &mut self.decode_ewma);
+            let decode = fold(
+                self.decode_secs.get(),
+                &mut self.last_decode_secs,
+                self.decode_frames.get(),
+                &mut self.last_decode_frames,
+                &mut self.decode_ewma,
+            );
             let extract = fold(
-                self.extract_secs,
-                self.extract_frames,
+                self.extract_secs.get(),
+                &mut self.last_extract_secs,
+                self.extract_frames.get(),
+                &mut self.last_extract_frames,
                 &mut self.extract_ewma,
             );
             WallTelemetry {
@@ -435,21 +507,15 @@ impl Sensors {
                 extract_ewma_secs: extract,
             }
         };
-        self.decode_secs = 0.0;
-        self.decode_frames = 0;
-        self.extract_secs = 0.0;
-        self.extract_frames = 0;
 
         let gather = GatherTelemetry {
-            rounds: self.rounds,
-            gathered: self.gathered,
+            rounds: d_rounds,
+            gathered: d_gathered,
             max_batch,
         };
-        self.rounds = 0;
-        self.gathered = 0;
 
         NodeTelemetry {
-            tick: self.tick,
+            tick: self.ticks.get(),
             round,
             streams,
             gather,

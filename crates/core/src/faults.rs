@@ -63,6 +63,7 @@
 
 use std::collections::VecDeque;
 
+use ff_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -980,7 +981,15 @@ pub struct RecoveringUplink {
     pending: VecDeque<PendingSegment>,
     spill: SpillBin,
     ledger: SegmentLedger,
-    tick: UplinkFaultTick,
+    // Cumulative fault counters, registrable as `faults/*` metrics;
+    // `take_tick` differences them against `last_tick` to reproduce the
+    // per-tick view [`crate::control::FaultTelemetry`] consumes.
+    refused: Counter,
+    retry_failures: Counter,
+    delivered_late: Counter,
+    spilled: Counter,
+    dropped: Counter,
+    last_tick: UplinkFaultTick,
     last_link_up_round: Option<u64>,
     recovered_round: Option<u64>,
     saw_refusal: bool,
@@ -1010,7 +1019,12 @@ impl RecoveringUplink {
             pending: VecDeque::new(),
             spill: SpillBin::new(recovery.spill_limit_segments),
             ledger: SegmentLedger::default(),
-            tick: UplinkFaultTick::default(),
+            refused: Counter::new(),
+            retry_failures: Counter::new(),
+            delivered_late: Counter::new(),
+            spilled: Counter::new(),
+            dropped: Counter::new(),
+            last_tick: UplinkFaultTick::default(),
             last_link_up_round: None,
             recovered_round: None,
             saw_refusal: false,
@@ -1087,7 +1101,7 @@ impl RecoveringUplink {
             self.ledger.offered += 1;
             let lost = up && self.cur_loss > 0.0 && self.loss_rng.gen_bool(self.cur_loss);
             if !up || lost {
-                self.tick.refused += 1;
+                self.refused.inc();
                 self.saw_refusal = true;
                 self.recovered_round = None;
                 self.pending.push_back(PendingSegment {
@@ -1109,11 +1123,11 @@ impl RecoveringUplink {
             if up && !lost {
                 wire += p.bytes;
                 self.ledger.delivered_late += 1;
-                self.tick.delivered_late += 1;
+                self.delivered_late.inc();
             } else {
                 // The attempt burned even while the link is down — real
                 // senders time out; bounded retry must terminate.
-                self.tick.retry_failures += 1;
+                self.retry_failures.inc();
                 if p.attempt >= self.retry.max_attempts {
                     self.park(p, round, trace);
                 } else {
@@ -1134,7 +1148,7 @@ impl RecoveringUplink {
             if let Some(seg) = self.spill.pop() {
                 wire += seg.bytes;
                 self.ledger.delivered_late += 1;
-                self.tick.delivered_late += 1;
+                self.delivered_late.inc();
                 trace.push(round, FaultEventKind::Redrained { stream: seg.stream });
             }
         }
@@ -1156,11 +1170,11 @@ impl RecoveringUplink {
             refused_round: p.refused_round,
         };
         if self.spill.push(seg) {
-            self.tick.spilled += 1;
+            self.spilled.inc();
             trace.push(round, FaultEventKind::Spilled { stream: p.stream });
         } else {
             self.ledger.dropped += 1;
-            self.tick.dropped += 1;
+            self.dropped.inc();
             trace.push(round, FaultEventKind::SpillDropped { stream: p.stream });
         }
     }
@@ -1180,9 +1194,41 @@ impl RecoveringUplink {
         self.ledger
     }
 
-    /// Drains the per-tick counters (for [`crate::control::FaultTelemetry`]).
+    /// Adopts the recovery layer's cumulative fault cells (and the inner
+    /// link's accounting cells) into `registry`: `faults/refused`,
+    /// `faults/retry_failures`, `faults/delivered_late`, `faults/spilled`,
+    /// `faults/dropped`, plus everything [`Uplink::register`] adds. All
+    /// deterministic — fault schedules and seeded loss are virtual-time
+    /// driven.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("faults", "refused", &[], &self.refused, false);
+        registry.register_counter("faults", "retry_failures", &[], &self.retry_failures, false);
+        registry.register_counter("faults", "delivered_late", &[], &self.delivered_late, false);
+        registry.register_counter("faults", "spilled", &[], &self.spilled, false);
+        registry.register_counter("faults", "dropped", &[], &self.dropped, false);
+        self.link.register(registry);
+    }
+
+    /// The per-tick fault counters since the last call (for
+    /// [`crate::control::FaultTelemetry`]): the cumulative cells
+    /// differenced against the previous drain.
     pub fn take_tick(&mut self) -> UplinkFaultTick {
-        std::mem::take(&mut self.tick)
+        let cur = UplinkFaultTick {
+            refused: self.refused.get(),
+            retry_failures: self.retry_failures.get(),
+            delivered_late: self.delivered_late.get(),
+            spilled: self.spilled.get(),
+            dropped: self.dropped.get(),
+        };
+        let out = UplinkFaultTick {
+            refused: cur.refused - self.last_tick.refused,
+            retry_failures: cur.retry_failures - self.last_tick.retry_failures,
+            delivered_late: cur.delivered_late - self.last_tick.delivered_late,
+            spilled: cur.spilled - self.last_tick.spilled,
+            dropped: cur.dropped - self.last_tick.dropped,
+        };
+        self.last_tick = cur;
+        out
     }
 
     /// Ends the run at `round`: all still-parked segments become accounted

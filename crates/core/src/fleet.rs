@@ -50,6 +50,7 @@ use crate::hub::{
     RolloutPlan,
 };
 use crate::query::Query;
+use ff_obs::{Registry, Span};
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -1036,8 +1037,24 @@ impl Fleet {
         self.fetch_jobs = kept;
     }
 
+    /// Enables hub-level observability before [`Fleet::run`]: the hub's
+    /// ingest/accept/dedup counters register on `registry` (one cell per
+    /// metric — the registry snapshot and the report read the same
+    /// state), and a span ring of `trace_capacity` records each ingest
+    /// verdict. Drain spans with [`Fleet::run_traced`].
+    pub fn enable_obs(&mut self, registry: &Registry, trace_capacity: usize) {
+        self.hub.enable_obs(registry, trace_capacity);
+    }
+
     /// Runs the configured rounds and settles the ledgers.
-    pub fn run(mut self) -> FleetReport {
+    pub fn run(self) -> FleetReport {
+        self.run_traced().0
+    }
+
+    /// [`Fleet::run`], also draining the hub span ring (empty unless
+    /// [`Fleet::enable_obs`] was called). The report stays `Eq`-comparable;
+    /// spans ride alongside rather than inside it.
+    pub fn run_traced(mut self) -> (FleetReport, Vec<Span>) {
         for round in 0..self.cfg.rounds {
             self.begin_round(round);
             self.rollout_step(round);
@@ -1077,7 +1094,8 @@ impl Fleet {
             .iter()
             .map(|s| s.deliveries)
             .collect();
-        FleetReport {
+        let spans = self.hub.take_spans();
+        let report = FleetReport {
             nodes: self.cfg.nodes,
             rounds: self.cfg.rounds,
             ledger,
@@ -1096,7 +1114,8 @@ impl Fleet {
             fetch_pending: self.fetch_jobs.len() as u64,
             fetched_bytes: self.fetched_bytes,
             trace: std::mem::take(self.hub.trace_mut()),
-        }
+        };
+        (report, spans)
     }
 }
 

@@ -64,6 +64,7 @@ use std::collections::{BTreeSet, HashSet};
 use crate::archive::{EdgeArchive, FetchError};
 use crate::events::McId;
 use crate::query::Query;
+use ff_obs::{Counter, Registry, Span, SpanTracer};
 use ff_video::Frame;
 
 // ---------------------------------------------------------------------------
@@ -643,7 +644,7 @@ pub struct Subscription {
 #[derive(Debug)]
 struct HubNodeState {
     dedup: DedupWindow,
-    accepted: u64,
+    accepted: Counter,
     archive: Option<EdgeArchive>,
 }
 
@@ -658,10 +659,23 @@ pub struct CloudHub {
     /// (node, seq) pairs ever delivered to subscribers — membership only,
     /// never iterated, so determinism is untouched.
     delivered_keys: HashSet<(usize, u64)>,
-    double_deliveries: u64,
-    accepted: u64,
+    double_deliveries: Counter,
+    accepted: Counter,
+    /// Every arrival the hub saw (fresh + duplicate + out-of-window),
+    /// counted in the single-threaded merge order.
+    ingested: Counter,
+    /// Duplicate verdicts, counted at the hub level (the per-node
+    /// [`DedupWindow`]s keep their own authoritative window counts).
+    dup_verdicts: Counter,
+    /// Out-of-window verdicts, counted at the hub level.
+    oow_verdicts: Counter,
     dedup_cap: usize,
     trace: HubTrace,
+    /// When observability is enabled: the adopted registry (so nodes
+    /// registered later still get their cells) and the span ring fed by
+    /// every ingest verdict, keyed by the segment's virtual round.
+    obs_registry: Option<Registry>,
+    spans: Option<SpanTracer>,
 }
 
 impl CloudHub {
@@ -673,19 +687,78 @@ impl CloudHub {
             nodes: Vec::new(),
             subs: Vec::new(),
             delivered_keys: HashSet::new(),
-            double_deliveries: 0,
-            accepted: 0,
+            double_deliveries: Counter::new(),
+            accepted: Counter::new(),
+            ingested: Counter::new(),
+            dup_verdicts: Counter::new(),
+            oow_verdicts: Counter::new(),
             dedup_cap,
             trace: HubTrace::default(),
+            obs_registry: None,
+            spans: None,
         }
+    }
+
+    /// Adopts the hub's counters into `registry` (`hub/ingested`,
+    /// `hub/accepted`, `hub/dup_verdicts`, `hub/out_of_window`,
+    /// `hub/double_deliveries`, and per-node `hub/node_accepted{node=i}`)
+    /// and starts a span ring of `trace_capacity` recording one span per
+    /// ingest verdict, keyed by the segment's virtual round. All
+    /// deterministic: verdicts are counted in the single-threaded merge
+    /// order, which is byte-identical across hub shard widths.
+    pub fn enable_obs(&mut self, registry: &Registry, trace_capacity: usize) {
+        registry.register_counter("hub", "ingested", &[], &self.ingested, false);
+        registry.register_counter("hub", "accepted", &[], &self.accepted, false);
+        registry.register_counter("hub", "dup_verdicts", &[], &self.dup_verdicts, false);
+        registry.register_counter("hub", "out_of_window", &[], &self.oow_verdicts, false);
+        registry.register_counter(
+            "hub",
+            "double_deliveries",
+            &[],
+            &self.double_deliveries,
+            false,
+        );
+        for (i, node) in self.nodes.iter().enumerate() {
+            registry.register_counter(
+                "hub",
+                "node_accepted",
+                &[("node", &i.to_string())],
+                &node.accepted,
+                false,
+            );
+        }
+        self.obs_registry = Some(registry.clone());
+        self.spans = Some(SpanTracer::new(trace_capacity));
+    }
+
+    /// Drains the retained ingest spans (empty when observability is off).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.spans
+            .as_mut()
+            .map(|t| {
+                let v = t.to_vec();
+                *t = SpanTracer::new(t.capacity());
+                v
+            })
+            .unwrap_or_default()
     }
 
     /// Registers the next node; ids are dense from 0.
     pub fn register_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
+        let accepted = Counter::new();
+        if let Some(registry) = &self.obs_registry {
+            registry.register_counter(
+                "hub",
+                "node_accepted",
+                &[("node", &id.0.to_string())],
+                &accepted,
+                false,
+            );
+        }
         self.nodes.push(HubNodeState {
             dedup: DedupWindow::new(self.dedup_cap),
-            accepted: 0,
+            accepted,
             archive: None,
         });
         id
@@ -848,13 +921,34 @@ impl CloudHub {
     }
 
     fn apply_fresh(&mut self, seg: &EventSegment, verdict: Admit) {
+        self.ingested.inc();
+        let kind = match verdict {
+            Admit::Fresh => "fresh",
+            Admit::Duplicate => {
+                self.dup_verdicts.inc();
+                "dup"
+            }
+            Admit::OutOfWindow => {
+                self.oow_verdicts.inc();
+                "out_of_window"
+            }
+        };
+        if let Some(tracer) = &mut self.spans {
+            tracer.emit(Span::new(
+                seg.round,
+                seg.node.0 as u32,
+                "hub",
+                kind,
+                seg.seq,
+            ));
+        }
         if verdict != Admit::Fresh {
             return;
         }
-        self.accepted += 1;
-        self.nodes[seg.node.0].accepted += 1;
+        self.accepted.inc();
+        self.nodes[seg.node.0].accepted.inc();
         if !self.delivered_keys.insert((seg.node.0, seg.seq)) {
-            self.double_deliveries += 1;
+            self.double_deliveries.inc();
         }
         for sub in &mut self.subs {
             if sub.query.matches_classes(&seg.classes) {
@@ -865,12 +959,12 @@ impl CloudHub {
 
     /// Fresh segments accepted fleet-wide.
     pub fn accepted(&self) -> u64 {
-        self.accepted
+        self.accepted.get()
     }
 
     /// Fresh segments accepted from one node.
     pub fn node_accepted(&self, node: NodeId) -> u64 {
-        self.nodes[node.0].accepted
+        self.nodes[node.0].accepted.get()
     }
 
     /// Duplicate arrivals absorbed, summed over nodes.
@@ -887,7 +981,7 @@ impl CloudHub {
     /// by the dedup windows (monotone seqs never recycle, so a fresh admit
     /// happens at most once per segment).
     pub fn double_deliveries(&self) -> u64 {
-        self.double_deliveries
+        self.double_deliveries.get()
     }
 
     /// One node's dedup window (for reports and tests).

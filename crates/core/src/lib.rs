@@ -61,6 +61,12 @@
 //!   watchdog, and panic-isolated stage restarts) that keeps every segment
 //!   accounted and the fault trace bit-replayable.
 //! * [`uplink`] — the constrained link model.
+//! * [`obs`] (re-exported [`ff_obs`]) — the observability substrate: one
+//!   metrics registry (counters, gauges, log₂ histograms) backing node,
+//!   control, fault, and hub/fleet telemetry, plus a virtual-time span
+//!   tracer with a Chrome trace-event exporter. Deterministic exports are
+//!   keyed by virtual rounds; wall-clock values ride along flagged
+//!   volatile and are excluded.
 //! * [`train`] / [`evaluate`] — offline MC/DC training and event-F1
 //!   measurement.
 //! * [`baselines`] — discrete classifiers and multiple-MobileNets banks.
@@ -92,6 +98,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub use ff_obs as obs;
 
 pub mod archive;
 pub mod baselines;

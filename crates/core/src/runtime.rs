@@ -115,7 +115,8 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use ff_models::MobileNetConfig;
-use ff_tensor::{PoolShard, Tensor};
+use ff_obs::{MetricsSnapshot, Registry, Span, SpanTracer, NODE_SCOPE};
+use ff_tensor::{parallel::ShardObs, PoolShard, Tensor};
 use ff_video::{FaultySource, Frame, FrameSource, Resolution, SourcePoll};
 
 use crate::control::{
@@ -307,6 +308,31 @@ pub struct EdgeNodeConfig {
     /// Recovery knobs (retry backoff, spill capacity, restart budget) for
     /// the controlled executor; inert without faults to recover from.
     pub recovery: RecoveryConfig,
+    /// `Some` turns on deep observability in
+    /// [`EdgeNode::run_controlled`]: a virtual-time span trace of every
+    /// task/gather/uplink/control transition plus shard busy accounting,
+    /// returned as [`ControlledReport::obs`]. The metrics registry itself
+    /// is always on (sensor cells are the registry's cells either way);
+    /// this knob only adds the span ring and the per-job shard timers.
+    /// `None` (the default) skips both.
+    pub obs: Option<ObsConfig>,
+}
+
+/// Observability knobs for [`EdgeNode::run_controlled`] (see
+/// [`EdgeNodeConfig::obs`]).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Span ring capacity: the trace retains the most recent this many
+    /// spans, counting (never silently hiding) evictions.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace_capacity: 1 << 16,
+        }
+    }
 }
 
 impl EdgeNodeConfig {
@@ -326,6 +352,7 @@ impl EdgeNodeConfig {
             shared_backbone: false,
             faults: None,
             recovery: RecoveryConfig::default(),
+            obs: None,
         }
     }
 
@@ -373,6 +400,14 @@ impl EdgeNodeConfig {
     /// Overrides the recovery knobs (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Enables span tracing and shard busy accounting in
+    /// [`EdgeNode::run_controlled`] (builder style; see
+    /// [`EdgeNodeConfig::obs`]).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -473,6 +508,46 @@ pub struct ControlledReport {
     /// What the fault/recovery machinery did — `Some` exactly when
     /// [`EdgeNodeConfig::faults`] was configured (see [`crate::faults`]).
     pub faults: Option<FaultsReport>,
+    /// The observability capture — `Some` exactly when
+    /// [`EdgeNodeConfig::obs`] was configured (see [`ObsReport`]).
+    pub obs: Option<ObsReport>,
+}
+
+/// The observability capture of one controlled run: the retained span
+/// trace plus a final metrics snapshot of the node-wide registry.
+///
+/// The spans and the deterministic exports ([`Self::chrome_trace`],
+/// [`MetricsSnapshot::to_json`]) are keyed by virtual rounds only, so they
+/// are byte-identical across repeat runs, thread counts, and shard widths;
+/// wall-clock payloads ride along in [`Span::wall_nanos`] and the
+/// volatile registry entries, reachable through the `_with_wall` /
+/// `_with_volatile` variants.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// The retained spans, oldest first (the most recent
+    /// [`ObsConfig::trace_capacity`] of them).
+    pub spans: Vec<Span>,
+    /// Spans emitted over the whole run (retained + evicted).
+    pub emitted_spans: u64,
+    /// Spans evicted by the ring bound — non-zero means [`Self::spans`]
+    /// is a suffix of the run, never a silent sample.
+    pub dropped_spans: u64,
+    /// Every registry metric at end of run, in deterministic key order.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ObsReport {
+    /// Deterministic Chrome trace-event JSON of the retained spans
+    /// (`chrome://tracing` / Perfetto format; wall payloads omitted).
+    pub fn chrome_trace(&self) -> String {
+        ff_obs::chrome_trace(&self.spans, &[])
+    }
+
+    /// Chrome trace including each span's wall-clock nanoseconds (not
+    /// byte-stable across runs).
+    pub fn chrome_trace_with_wall(&self) -> String {
+        ff_obs::chrome_trace_with_wall(&self.spans, &[])
+    }
 }
 
 struct StreamEntry {
@@ -1088,7 +1163,23 @@ impl EdgeNode {
         let mut fault_trace = FaultTrace::default();
         let mut panic_sched = plan.panics.clone();
         let mut kills: Vec<usize> = Vec::new();
-        let mut restarts_tick: u64 = 0;
+
+        // One registry backs every sensor on this node: the control-plane
+        // cells (via `Sensors::with_registry` below), the uplink and
+        // recovery accounting (their own cells, adopted), the
+        // restart/quarantine census, and — when obs is on — shard busy
+        // accounting. The registry is always on; the span tracer and the
+        // per-job shard timers exist only under `cfg.obs`.
+        let registry = Registry::new();
+        rec.register(&registry);
+        let restarts_cell = registry.counter("faults", "restarts", &[]);
+        let quarantined_gauge = registry.gauge("faults", "quarantined", &[]);
+        let mut last_restarts: u64 = 0;
+        let mut tracer = cfg.obs.as_ref().map(|o| SpanTracer::new(o.trace_capacity));
+        // The fault trace is itself deterministic and round-keyed, so the
+        // span trace mirrors its events once per round from this cursor —
+        // no fault-machinery API changes needed.
+        let mut fault_cursor = 0usize;
 
         // Execution-style state: gather (one shared batched pass per
         // (config, resolution) bucket, dynamic max_batch) or sharded (one
@@ -1110,7 +1201,13 @@ impl EdgeNode {
         } else {
             widths = crate::control::split_even(budget, n);
         }
-        let shard = PoolShard::new(budget);
+        let mut shard = PoolShard::new(budget);
+        if cfg.obs.is_some() {
+            shard.bind_obs(ShardObs {
+                jobs: registry.counter("shard", "jobs", &[]),
+                busy_nanos: registry.counter_volatile("shard", "busy_nanos", &[]),
+            });
+        }
         let base_precision = streams[0].ff.precision();
         // One ladder means one weight-precision knob: with the degradation
         // policy armed, every stream must start at the same precision or
@@ -1139,7 +1236,7 @@ impl EdgeNode {
                 precision_cost: cfg.precision_cost.clone(),
             },
         );
-        let mut sensors = Sensors::new(n, ctl.arrival_alpha);
+        let mut sensors = Sensors::with_registry(n, ctl.arrival_alpha, &registry);
         let mut telemetry: Vec<NodeTelemetry> = Vec::new();
         let mut wakes: Vec<(u64, usize)> = Vec::new();
 
@@ -1199,6 +1296,10 @@ impl EdgeNode {
                             decode,
                         }) {
                             wakes.push((round, s));
+                            if let Some(t) = tracer.as_mut() {
+                                let depth = task.mailbox.len() as u64;
+                                t.emit(Span::new(round, s as u32, "task", "wake", depth));
+                            }
                         }
                     }
                     SourcePoll::Idle => {}
@@ -1256,7 +1357,7 @@ impl EdgeNode {
                                 );
                                 if tasks[s].restarts < cfg.recovery.max_restarts_per_stream {
                                     tasks[s].restarts += 1;
-                                    restarts_tick += 1;
+                                    restarts_cell.inc();
                                     fault_trace
                                         .push(round, FaultEventKind::StageRestarted { stream: s });
                                 } else {
@@ -1290,6 +1391,17 @@ impl EdgeNode {
                             let maps = bucket.ex.extract_batch(&bucket.tensors);
                             let extract = te.elapsed();
                             sensors.on_extract_wall(extract, bucket.tensors.len());
+                            if let Some(t) = tracer.as_mut() {
+                                let mut sp = Span::new(
+                                    round,
+                                    NODE_SCOPE,
+                                    "gather",
+                                    "extract",
+                                    bucket.tensors.len() as u64,
+                                );
+                                sp.wall_nanos = extract.as_nanos() as u64;
+                                t.emit(sp);
+                            }
                             let share = extract / bucket.tensors.len() as u32;
                             for (i, (s, frame, decode)) in meta.iter().enumerate() {
                                 if slot_of[i].0 != bi {
@@ -1338,11 +1450,17 @@ impl EdgeNode {
                             }
                             ff.process_decoded(&frame, &tensor)
                         });
-                        sensors.on_extract_wall(te.elapsed(), 1);
+                        let extract = te.elapsed();
+                        sensors.on_extract_wall(extract, 1);
                         match result {
                             Ok(verdicts) => {
                                 sensors.on_served(s);
                                 served += 1;
+                                if let Some(t) = tracer.as_mut() {
+                                    let mut sp = Span::new(round, s as u32, "infer", "serve", 1);
+                                    sp.wall_nanos = extract.as_nanos() as u64;
+                                    t.emit(sp);
+                                }
                                 task.pending.extend(verdicts);
                             }
                             Err(_) => {
@@ -1359,7 +1477,7 @@ impl EdgeNode {
                                 );
                                 if task.restarts < cfg.recovery.max_restarts_per_stream {
                                     task.restarts += 1;
-                                    restarts_tick += 1;
+                                    restarts_cell.inc();
                                     fault_trace
                                         .push(round, FaultEventKind::StageRestarted { stream: s });
                                 } else {
@@ -1400,6 +1518,9 @@ impl EdgeNode {
                     reports[s].stats = stats;
                     reports[s].timers = timers;
                     task.finish_closed();
+                    if let Some(t) = tracer.as_mut() {
+                        t.emit(Span::new(round, s as u32, "task", "close", 0));
+                    }
                 }
             }
 
@@ -1429,7 +1550,22 @@ impl EdgeNode {
                     reports[s].offered_bytes += v.uploaded_bytes as u64;
                     reports[s].verdicts.push(v);
                 }
+                if bytes > 0 {
+                    if let Some(t) = tracer.as_mut() {
+                        t.emit(Span::new(round, s as u32, "uplink", "offer", bytes as u64));
+                    }
+                }
                 rec.offer(round, s, bytes, &mut fault_trace);
+            }
+
+            // Mirror the round's fault/recovery events (panics, restarts,
+            // kills, link transitions, retries' spills and re-drains) into
+            // the span trace.
+            if let Some(t) = tracer.as_mut() {
+                while fault_cursor < fault_trace.events.len() {
+                    t.emit(fault_span(&fault_trace.events[fault_cursor]));
+                    fault_cursor += 1;
+                }
             }
 
             round += 1;
@@ -1444,6 +1580,11 @@ impl EdgeNode {
                 let wake_ages: Vec<u64> = tasks.iter().map(StreamTask::rounds_since_wake).collect();
                 let tick_faults = rec.take_tick();
                 let mut snap = sensors.snapshot(round, &depths, &wake_ages, rec.link(), cur_batch);
+                let restarts_cum = restarts_cell.get();
+                let restarts_tick = restarts_cum - last_restarts;
+                last_restarts = restarts_cum;
+                let quarantined = tasks.iter().filter(|t| t.suspended).count() as u64;
+                quarantined_gauge.set(quarantined as f64);
                 snap.faults = FaultTelemetry {
                     link_up: rec.link_up(),
                     refused_tick: tick_faults.refused,
@@ -1451,8 +1592,8 @@ impl EdgeNode {
                     delivered_late_tick: tick_faults.delivered_late,
                     spilled_tick: tick_faults.spilled,
                     dropped_tick: tick_faults.dropped,
-                    restarts_tick: std::mem::take(&mut restarts_tick),
-                    quarantined: tasks.iter().filter(|t| t.suspended).count() as u64,
+                    restarts_tick,
+                    quarantined,
                 };
                 let plan = controller.observe(&snap);
                 for action in &plan.actions {
@@ -1490,15 +1631,44 @@ impl EdgeNode {
                         // and no trace byte; the FaultTelemetry census
                         // counts suspended tasks. Width changes ride a
                         // Repartition in the same plan.
-                        ControlAction::Quarantine { stream } => tasks[*stream].suspend(),
-                        ControlAction::Readmit { stream } => tasks[*stream].resume(),
+                        ControlAction::Quarantine { stream } => {
+                            tasks[*stream].suspend();
+                            if let Some(t) = tracer.as_mut() {
+                                t.emit(Span::new(round, *stream as u32, "task", "suspend", 0));
+                            }
+                        }
+                        ControlAction::Readmit { stream } => {
+                            tasks[*stream].resume();
+                            if let Some(t) = tracer.as_mut() {
+                                t.emit(Span::new(round, *stream as u32, "task", "resume", 0));
+                            }
+                        }
                     }
+                }
+                if let Some(t) = tracer.as_mut() {
+                    let acted = plan.actions.len() as u64;
+                    t.emit(Span::new(round, NODE_SCOPE, "control", "tick", acted));
                 }
                 telemetry.push(snap);
             }
         }
         let (uplink, ledger, spilled, spill_overflow, recovery_rounds, parked) =
             rec.finish(round, &mut fault_trace);
+        // End-of-run fault events (parked-segment drops) still mirror.
+        if let Some(t) = tracer.as_mut() {
+            while fault_cursor < fault_trace.events.len() {
+                t.emit(fault_span(&fault_trace.events[fault_cursor]));
+                fault_cursor += 1;
+            }
+        }
+        // Snapshot after finish: the adopted cells are shared handles, so
+        // the registry still reads the final uplink/ledger values.
+        let obs = tracer.map(|t| ObsReport {
+            emitted_spans: t.emitted(),
+            dropped_spans: t.dropped(),
+            spans: t.to_vec(),
+            metrics: registry.snapshot(),
+        });
         let restarts: Vec<u32> = tasks.iter().map(|t| t.restarts).collect();
         let frames_lost: Vec<u64> = tasks.iter().map(|t| t.frames_lost).collect();
         let NodeReport { streams, node } = node_report(reports, &uplink, t0.elapsed());
@@ -1518,8 +1688,37 @@ impl EdgeNode {
                 recovery_rounds,
                 parked,
             }),
+            obs,
         }
     }
+}
+
+/// Maps one fault-trace event to its mirrored span: task-lifecycle events
+/// (`panic`/`restart`/`kill`) land on the stream's lane under the `task`
+/// stage, link-level events under `uplink` at node scope.
+fn fault_span(e: &crate::faults::FaultEvent) -> Span {
+    let (stream, stage, kind, value) = match e.kind {
+        FaultEventKind::LinkDown => (NODE_SCOPE, "uplink", "link_down", 0),
+        FaultEventKind::LinkUp => (NODE_SCOPE, "uplink", "link_up", 0),
+        FaultEventKind::CapacityDip { permille } => {
+            (NODE_SCOPE, "uplink", "capacity_dip", permille as u64)
+        }
+        FaultEventKind::CapacityRestored => (NODE_SCOPE, "uplink", "capacity_restored", 0),
+        FaultEventKind::LossStart { permille } => {
+            (NODE_SCOPE, "uplink", "loss_start", permille as u64)
+        }
+        FaultEventKind::LossEnd => (NODE_SCOPE, "uplink", "loss_end", 0),
+        FaultEventKind::StagePanic { stream, frame } => (stream as u32, "task", "panic", frame),
+        FaultEventKind::StageRestarted { stream } => (stream as u32, "task", "restart", 0),
+        FaultEventKind::StreamKilled { stream } => (stream as u32, "task", "kill", 0),
+        FaultEventKind::Spilled { stream } => (stream as u32, "uplink", "spill", 0),
+        FaultEventKind::SpillDropped { stream } => (stream as u32, "uplink", "spill_drop", 0),
+        FaultEventKind::Redrained { stream } => (stream as u32, "uplink", "redrain", 0),
+        FaultEventKind::EndOfRunDropped { segments } => {
+            (NODE_SCOPE, "uplink", "end_of_run_drop", segments)
+        }
+    };
+    Span::new(e.round, stream, stage, kind, value)
 }
 
 /// Validates the shared-pass invariants and builds the **shared batched

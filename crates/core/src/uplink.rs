@@ -51,25 +51,36 @@
 //! Both knobs are plain state transitions: calling them between offers is
 //! exactly as deterministic as the offer sequence itself.
 
+use ff_obs::{Counter, Gauge, Registry};
+
 /// A provisioned uplink.
-#[derive(Debug, Clone)]
+///
+/// Every cumulative account lives in an [`ff_obs`] cell (a [`Counter`] for
+/// integer counts, a [`Gauge`] for bit tallies carried in `f64`), so
+/// [`Uplink::register`] can adopt the link's *own storage* into a shared
+/// metrics registry — the `uplink/offered_bits` metric **is** the field
+/// `offer` increments, not a copy. Cells store exact values (gauges keep
+/// the raw `f64` bits), so the accounting arithmetic is bit-identical to
+/// plain fields. All of it is driven by the deterministic offer sequence,
+/// never the wall clock.
+#[derive(Debug)]
 pub struct Uplink {
     capacity_bps: f64,
     fps: f64,
     /// Bits queued but not yet delivered.
-    backlog_bits: f64,
+    backlog_bits: Gauge,
     /// Peak backlog observed (sampled at enqueue, before draining).
-    peak_backlog_bits: f64,
+    peak_backlog_bits: Gauge,
     /// Bits offered for upload: accepted + dropped.
-    offered_bits: u64,
+    offered_bits: Counter,
     /// Bits admitted into the send queue.
-    accepted_bits: f64,
+    accepted_bits: Gauge,
     /// Bits dropped by the queue bound (whole uploads and truncated
     /// remainders alike).
-    dropped_bits: f64,
-    frames: u64,
+    dropped_bits: Gauge,
+    frames: Counter,
     /// Uploads that lost at least one bit to the queue bound.
-    dropped_overflow: u64,
+    dropped_overflow: Counter,
     queue_limit_bits: f64,
     /// Whether the link is up (see the module docs' outage semantics).
     link_up: bool,
@@ -78,9 +89,32 @@ pub struct Uplink {
     capacity_factor: f64,
     /// Bits refused while the link was down (retryable, distinct from
     /// dropped bits, which are final).
-    refused_bits: u64,
+    refused_bits: Counter,
     /// Non-empty offers refused while the link was down.
-    refused_offers: u64,
+    refused_offers: Counter,
+}
+
+/// Cloning detaches: the clone gets fresh cells holding the current
+/// values, so a cloned link never feeds the original's registry.
+impl Clone for Uplink {
+    fn clone(&self) -> Self {
+        Uplink {
+            capacity_bps: self.capacity_bps,
+            fps: self.fps,
+            backlog_bits: self.backlog_bits.detached_copy(),
+            peak_backlog_bits: self.peak_backlog_bits.detached_copy(),
+            offered_bits: self.offered_bits.detached_copy(),
+            accepted_bits: self.accepted_bits.detached_copy(),
+            dropped_bits: self.dropped_bits.detached_copy(),
+            frames: self.frames.detached_copy(),
+            dropped_overflow: self.dropped_overflow.detached_copy(),
+            queue_limit_bits: self.queue_limit_bits,
+            link_up: self.link_up,
+            capacity_factor: self.capacity_factor,
+            refused_bits: self.refused_bits.detached_copy(),
+            refused_offers: self.refused_offers.detached_copy(),
+        }
+    }
 }
 
 impl Uplink {
@@ -94,19 +128,47 @@ impl Uplink {
         Uplink {
             capacity_bps,
             fps,
-            backlog_bits: 0.0,
-            peak_backlog_bits: 0.0,
-            offered_bits: 0,
-            accepted_bits: 0.0,
-            dropped_bits: 0.0,
-            frames: 0,
-            dropped_overflow: 0,
+            backlog_bits: Gauge::new(),
+            peak_backlog_bits: Gauge::new(),
+            offered_bits: Counter::new(),
+            accepted_bits: Gauge::new(),
+            dropped_bits: Gauge::new(),
+            frames: Counter::new(),
+            dropped_overflow: Counter::new(),
             queue_limit_bits: f64::INFINITY,
             link_up: true,
             capacity_factor: 1.0,
-            refused_bits: 0,
-            refused_offers: 0,
+            refused_bits: Counter::new(),
+            refused_offers: Counter::new(),
         }
+    }
+
+    /// Adopts the link's accounting cells into `registry` under the
+    /// `uplink` subsystem. All keys are deterministic (virtual-time
+    /// driven): the registry reads the same storage [`Self::offer`]
+    /// mutates.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("uplink", "offered_bits", &[], &self.offered_bits, false);
+        registry.register_counter("uplink", "offers", &[], &self.frames, false);
+        registry.register_counter(
+            "uplink",
+            "dropped_overflow",
+            &[],
+            &self.dropped_overflow,
+            false,
+        );
+        registry.register_counter("uplink", "refused_bits", &[], &self.refused_bits, false);
+        registry.register_counter("uplink", "refused_offers", &[], &self.refused_offers, false);
+        registry.register_gauge("uplink", "backlog_bits", &[], &self.backlog_bits, false);
+        registry.register_gauge(
+            "uplink",
+            "peak_backlog_bits",
+            &[],
+            &self.peak_backlog_bits,
+            false,
+        );
+        registry.register_gauge("uplink", "accepted_bits", &[], &self.accepted_bits, false);
+        registry.register_gauge("uplink", "dropped_bits", &[], &self.dropped_bits, false);
     }
 
     /// Bounds the send queue; upload bits beyond the remaining headroom are
@@ -125,35 +187,38 @@ impl Uplink {
     /// Returns the bits delivered during the interval.
     pub fn offer(&mut self, bytes: usize) -> f64 {
         let bits = bytes as f64 * 8.0;
-        self.frames += 1;
-        self.offered_bits += bytes as u64 * 8;
+        self.frames.inc();
+        self.offered_bits.add(bytes as u64 * 8);
         // Down link: the offer is refused whole (retryable by the caller)
         // and nothing drains — a dead link transmits nothing, so backlog
         // queued before the outage waits it out (see the module docs).
         if !self.link_up {
-            self.refused_bits += bytes as u64 * 8;
+            self.refused_bits.add(bytes as u64 * 8);
             if bytes > 0 {
-                self.refused_offers += 1;
+                self.refused_offers.inc();
             }
             return 0.0;
         }
         // Clip the admitted bits to the remaining queue headroom; the
         // truncated remainder is load the link refused, not load that never
         // existed.
-        let headroom = (self.queue_limit_bits - self.backlog_bits).max(0.0);
+        let mut backlog = self.backlog_bits.get();
+        let headroom = (self.queue_limit_bits - backlog).max(0.0);
         let admitted = bits.min(headroom);
         if admitted < bits {
-            self.dropped_overflow += 1;
-            self.dropped_bits += bits - admitted;
+            self.dropped_overflow.inc();
+            self.dropped_bits
+                .set(self.dropped_bits.get() + (bits - admitted));
         }
-        self.backlog_bits += admitted;
-        self.accepted_bits += admitted;
+        backlog += admitted;
+        self.accepted_bits.set(self.accepted_bits.get() + admitted);
         // Sample the peak at enqueue: a burst's worst-case queueing delay
         // is measured before any of it drains.
-        self.peak_backlog_bits = self.peak_backlog_bits.max(self.backlog_bits);
+        self.peak_backlog_bits
+            .set(self.peak_backlog_bits.get().max(backlog));
         let drain = self.capacity_bps * self.capacity_factor / self.fps;
-        let sent = drain.min(self.backlog_bits);
-        self.backlog_bits -= sent;
+        let sent = drain.min(backlog);
+        self.backlog_bits.set(backlog - sent);
         sent
     }
 
@@ -191,33 +256,34 @@ impl Uplink {
     /// Total bits refused while the link was down (retryable — distinct
     /// from [`Self::dropped_bits`], which are final).
     pub fn refused_bits(&self) -> u64 {
-        self.refused_bits
+        self.refused_bits.get()
     }
 
     /// Non-empty offers refused while the link was down.
     pub fn refused(&self) -> u64 {
-        self.refused_offers
+        self.refused_offers.get()
     }
 
     /// Current queue depth in bits.
     pub fn backlog_bits(&self) -> f64 {
-        self.backlog_bits
+        self.backlog_bits.get()
     }
 
     /// Worst queueing delay observed, in seconds (peak backlog at enqueue
     /// time over capacity).
     pub fn peak_delay_secs(&self) -> f64 {
-        self.peak_backlog_bits / self.capacity_bps
+        self.peak_backlog_bits.get() / self.capacity_bps
     }
 
     /// **Offered** load as a fraction of capacity: everything the pipelines
     /// tried to send — bits dropped by a bounded queue included — so a
     /// saturated link reads > 1.0 even while it is dropping.
     pub fn utilization(&self) -> f64 {
-        if self.frames == 0 {
+        let frames = self.frames.get();
+        if frames == 0 {
             return 0.0;
         }
-        let offered_bps = self.offered_bits as f64 * self.fps / self.frames as f64;
+        let offered_bps = self.offered_bits.get() as f64 * self.fps / frames as f64;
         offered_bps / self.capacity_bps
     }
 
@@ -225,32 +291,33 @@ impl Uplink {
     /// into the send queue. Compare with [`Self::utilization`] to see how
     /// much load a bounded queue is shedding.
     pub fn accepted_utilization(&self) -> f64 {
-        if self.frames == 0 {
+        let frames = self.frames.get();
+        if frames == 0 {
             return 0.0;
         }
-        let accepted_bps = self.accepted_bits * self.fps / self.frames as f64;
+        let accepted_bps = self.accepted_bits.get() * self.fps / frames as f64;
         accepted_bps / self.capacity_bps
     }
 
     /// Total bits offered for upload (accepted + dropped).
     pub fn offered_bits(&self) -> u64 {
-        self.offered_bits
+        self.offered_bits.get()
     }
 
     /// Total bits admitted into the send queue.
     pub fn accepted_bits(&self) -> f64 {
-        self.accepted_bits
+        self.accepted_bits.get()
     }
 
     /// Total bits dropped by the queue bound (including the truncated
     /// remainders of partially-admitted uploads).
     pub fn dropped_bits(&self) -> f64 {
-        self.dropped_bits
+        self.dropped_bits.get()
     }
 
     /// Uploads that lost at least one bit to the queue bound.
     pub fn dropped(&self) -> u64 {
-        self.dropped_overflow
+        self.dropped_overflow.get()
     }
 
     /// The link's provisioned capacity in bits/second.
@@ -270,7 +337,7 @@ impl Uplink {
     /// offered load, where the cumulative [`Self::utilization`] would
     /// average a burst away.
     pub fn frames(&self) -> u64 {
-        self.frames
+        self.frames.get()
     }
 }
 
@@ -340,9 +407,9 @@ mod tests {
         // The accepted view stays at or below what the queue + drain can
         // hold — both views exist and disagree exactly by the shed load.
         assert!(link.accepted_utilization() <= 1.0 + 1e-9);
-        let shed = (link.offered_bits as f64 - link.accepted_bits) / link.frames as f64;
+        let shed = (link.offered_bits() as f64 - link.accepted_bits()) / link.frames() as f64;
         assert!(
-            ((link.utilization() - link.accepted_utilization()) * link.capacity_bps / link.fps
+            ((link.utilization() - link.accepted_utilization()) * link.capacity_bps() / link.fps()
                 - shed)
                 .abs()
                 < 1e-6

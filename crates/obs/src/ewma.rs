@@ -1,0 +1,94 @@
+//! The one exponentially-weighted moving average used by every sensor.
+//!
+//! Before this type existed the arrival-rate and wall-clock stage EWMAs
+//! hand-inlined the same fold in two places; a drifted copy would have
+//! silently changed policy inputs. The semantics are pinned here (and by
+//! the control plane's recorded-telemetry tests): the **first observation
+//! primes the average exactly** — no zero-bias warmup — and every later
+//! observation folds as `alpha·new + (1 − alpha)·prev`.
+
+/// An exponentially-weighted moving average with first-sample priming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// An empty average weighting the newest observation by `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, state: None }
+    }
+
+    /// Folds one observation in and returns the updated average. The first
+    /// observation becomes the average verbatim.
+    pub fn observe(&mut self, value: f64) -> f64 {
+        let next = match self.state {
+            None => value,
+            Some(prev) => self.alpha * value + (1.0 - self.alpha) * prev,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// The current average, or `0.0` before any observation.
+    pub fn get(&self) -> f64 {
+        self.state.unwrap_or(0.0)
+    }
+
+    /// Whether at least one observation has been folded in.
+    pub fn is_primed(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The newest-observation weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_primes_exactly() {
+        let mut e = Ewma::new(0.5);
+        assert!(!e.is_primed());
+        assert_eq!(e.get(), 0.0);
+        assert_eq!(e.observe(0.5), 0.5);
+        assert!(e.is_primed());
+    }
+
+    #[test]
+    fn folds_match_the_recorded_telemetry_sequence() {
+        // The exact sequence tests/control.rs pins on the mailbox-depth
+        // telemetry: alpha 0.5 over observations [0.5, 0.0, 1.0].
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.observe(0.5), 0.5);
+        assert_eq!(e.observe(0.0), 0.25);
+        assert_eq!(e.observe(1.0), 0.625);
+    }
+
+    #[test]
+    fn alpha_one_tracks_the_newest_sample() {
+        let mut e = Ewma::new(1.0);
+        e.observe(3.0);
+        e.observe(7.0);
+        assert_eq!(e.get(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn zero_alpha_rejected() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic fixed-log-bucket histograms.
+//!
+//! Bucket boundaries are powers of two fixed at compile time — no dynamic
+//! rebucketing, no quantile sketches whose state depends on arrival order.
+//! Assignment is a pure function of the value ([`bucket_index`]) and
+//! bucket counts are additive, so per-shard histograms merge in **any
+//! order** to one identical snapshot (the property test in
+//! `tests/determinism.rs` of this crate pins both).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bucket count: one zero bucket plus one per possible `floor(log2) + 1`
+/// of a non-zero `u64` (so every value has exactly one home).
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: bucket 0 holds exactly the value 0,
+/// bucket `k ≥ 1` holds `2^(k−1) ≤ v < 2^k`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A shared-handle histogram over `u64` observations.
+///
+/// Cloning shares the cells (the registry holds one clone, the sensor
+/// another); all updates are commutative atomic adds, so concurrent
+/// observers cannot perturb the final counts' values.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (detached from any registry until registered).
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(&self.0.buckets) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets: buckets.to_vec(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable bucket counts captured by [`Histogram::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Count per bucket, indexed by [`bucket_index`] (always [`BUCKETS`]
+    /// long).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot's counts in (bucket-wise). Addition commutes,
+    /// so any merge order yields the same result — the property that makes
+    /// per-shard histograms safe to combine.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// The inclusive upper bound of bucket `k` (`0` for the zero bucket,
+    /// `2^k − 1` above it), used as the Prometheus `le` label.
+    pub fn upper_bound(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_bracket_their_bucket() {
+        for k in 1..64 {
+            let hi = HistogramSnapshot::upper_bound(k);
+            assert_eq!(bucket_index(hi), k);
+            assert_eq!(bucket_index(hi + 1), k + 1);
+        }
+    }
+
+    #[test]
+    fn observe_and_merge() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum, 1007);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[3], 1);
+        assert_eq!(snap.buckets[10], 1);
+
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count(), 10);
+        assert_eq!(merged.sum, 2014);
+    }
+}

@@ -1,0 +1,63 @@
+//! # Deterministic observability for the FilterForward runtime
+//!
+//! One substrate behind every sensor in the system: the node control
+//! plane, the fault/recovery layer, the uplink, and the cloud hub/fleet
+//! tier all account into a shared [`Registry`], and the controlled
+//! executor's scheduler emits virtual-time [`Span`]s into a ring-buffered
+//! [`SpanTracer`]. Exporters render both for operators: metrics as JSON or
+//! Prometheus-style text, spans as Chrome trace-event JSON (openable in
+//! `chrome://tracing` or Perfetto).
+//!
+//! ```text
+//!                 SENSORS                      REGISTRY              EXPORTERS
+//!  ┌────────────────────────────────┐   ┌──────────────────┐   ┌──────────────────┐
+//!  │ runtime: arrivals/served/wakes │   │ (subsystem,name, │   │ MetricsSnapshot  │
+//!  │ control: Sensors + EWMAs       │──▶│  labels) ─▶ cell │──▶│  ::to_json       │
+//!  │ uplink: offered/accepted/drops │   │  Counter │ Gauge │   │  ::to_prometheus │
+//!  │ faults: refuse/retry/spill     │   │  │ Histogram    │   └──────────────────┘
+//!  │ hub: ingest/dedup/ledgers      │   └──────────────────┘
+//!  │ shards: jobs + busy wall-nanos │   ┌──────────────────┐   ┌──────────────────┐
+//!  │                                │──▶│ SpanTracer ring  │──▶│ chrome_trace     │
+//!  │ scheduler round loop (spans)   │   │ (round-keyed)    │   │  (perfetto JSON) │
+//!  └────────────────────────────────┘   └──────────────────┘   └──────────────────┘
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Everything exported by default is a **pure function of virtual time**
+//! (round numbers) and stream content — bit-identical across repeat runs,
+//! thread counts, and shard widths:
+//!
+//! * **Keys are virtual.** A [`Span`] is keyed by `(round, stream, stage,
+//!   kind)` plus a deterministic `value` payload (a batch size, a byte
+//!   count). The scheduler emits spans from its single-threaded round
+//!   loop, so their order is the loop's order, never a thread race.
+//! * **Wall clock rides along, flagged.** Wall-clock durations
+//!   ([`Span::wall_nanos`], busy-nanos counters) are observability-only
+//!   extras: metrics carrying them are registered *volatile* and excluded
+//!   from [`MetricsSnapshot::to_json`] / `to_prometheus` (use the
+//!   `_with_volatile` variants to see them), and
+//!   [`chrome_trace`](trace::chrome_trace) omits span wall payloads unless
+//!   asked ([`trace::chrome_trace_with_wall`]). Policies never read any of
+//!   them — the same line the control plane draws for
+//!   `WallTelemetry`.
+//! * **Histograms are merge-order-invariant.** [`Histogram`] buckets are
+//!   fixed log₂ buckets — bucket assignment is a pure function of the
+//!   value — and bucket counts add, so merging per-shard histograms in any
+//!   order yields one identical snapshot.
+//!
+//! Crossing the line — a policy branching on a volatile metric, a span
+//! keyed by wall time — is what would break replay; nothing in this crate
+//! does, and the runtime's byte-identical-trace integration tests pin it.
+
+#![warn(missing_docs)]
+
+mod ewma;
+mod hist;
+mod metrics;
+mod trace;
+
+pub use ewma::Ewma;
+pub use hist::{bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{Counter, Gauge, MetricEntry, MetricKey, MetricValue, MetricsSnapshot, Registry};
+pub use trace::{chrome_trace, chrome_trace_with_wall, Span, SpanTracer, NODE_SCOPE};

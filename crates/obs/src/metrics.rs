@@ -1,0 +1,570 @@
+//! The metrics registry: one `(subsystem, name, labels)` keyspace behind
+//! every counter, gauge, and histogram in the system.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`crate::Histogram`]) are cheap
+//! `Arc`-shared cells: a sensor can create one **detached** (a plain cell,
+//! no registry) and later [`Registry::register_counter`] the *same cell*
+//! under a key — the registry then reads the live value at snapshot time.
+//! That is what "one registry backs everything" means concretely: the
+//! uplink's `offered_bits` cell *is* the `uplink/offered_bits` metric,
+//! not a copy of it.
+//!
+//! Snapshots iterate the keyspace in `BTreeMap` order, so two snapshots of
+//! equal cells render byte-identical JSON and Prometheus text. Metrics
+//! derived from the wall clock are registered **volatile** and excluded
+//! from the default exports (see the crate-level determinism contract).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotone counter cell (shared handle; clones observe the same cell).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A zeroed counter, detached until registered.
+    pub fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// A detached copy holding the current value (used by detaching
+    /// `Clone` impls of structs whose counters are registry cells).
+    pub fn detached_copy(&self) -> Self {
+        Counter(Arc::new(AtomicU64::new(self.get())))
+    }
+}
+
+/// An `f64` gauge cell (bits stored in an atomic; shared handle).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge reading `0.0`, detached until registered.
+    pub fn new() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+
+    /// Sets the gauge. The exact bits are stored, so round-tripping
+    /// through the cell never perturbs virtual-time arithmetic.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// A detached copy holding the current value.
+    pub fn detached_copy(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.get());
+        g
+    }
+}
+
+/// A metric's identity: `(subsystem, name, sorted labels)`.
+///
+/// Ordering is the export order — `BTreeMap` order over this key — so it
+/// is part of the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Owning subsystem (`node`, `uplink`, `faults`, `hub`, `shard`, …).
+    pub subsystem: String,
+    /// Metric name within the subsystem.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            subsystem: subsystem.to_string(),
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    volatile: bool,
+    cell: Cell,
+}
+
+/// The shared metrics registry. Cloning shares the keyspace (it is an
+/// `Arc` handle), so one registry can back sensors living in different
+/// structs.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<MetricKey, Slot>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, key: MetricKey, volatile: bool, make: impl FnOnce() -> Cell) -> Cell {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .entry(key)
+            .or_insert_with(|| Slot {
+                volatile,
+                cell: make(),
+            })
+            .cell
+            .clone()
+    }
+
+    /// A deterministic counter under `(subsystem, name, labels)` —
+    /// created on first use, the existing cell afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn counter(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(MetricKey::new(subsystem, name, labels), false, || {
+            Cell::Counter(Counter::new())
+        }) {
+            Cell::Counter(c) => c,
+            other => panic!("{subsystem}/{name} already registered as {other:?}"),
+        }
+    }
+
+    /// A **volatile** (wall-clock-derived) counter: excluded from the
+    /// deterministic exports.
+    pub fn counter_volatile(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.get_or_insert(MetricKey::new(subsystem, name, labels), true, || {
+            Cell::Counter(Counter::new())
+        }) {
+            Cell::Counter(c) => c,
+            other => panic!("{subsystem}/{name} already registered as {other:?}"),
+        }
+    }
+
+    /// A deterministic gauge under `(subsystem, name, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn gauge(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(MetricKey::new(subsystem, name, labels), false, || {
+            Cell::Gauge(Gauge::new())
+        }) {
+            Cell::Gauge(g) => g,
+            other => panic!("{subsystem}/{name} already registered as {other:?}"),
+        }
+    }
+
+    /// A **volatile** (wall-clock-derived) gauge: excluded from the
+    /// deterministic exports.
+    pub fn gauge_volatile(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(MetricKey::new(subsystem, name, labels), true, || {
+            Cell::Gauge(Gauge::new())
+        }) {
+            Cell::Gauge(g) => g,
+            other => panic!("{subsystem}/{name} already registered as {other:?}"),
+        }
+    }
+
+    /// A deterministic histogram under `(subsystem, name, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn histogram(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(MetricKey::new(subsystem, name, labels), false, || {
+            Cell::Histogram(Histogram::new())
+        }) {
+            Cell::Histogram(h) => h,
+            other => panic!("{subsystem}/{name} already registered as {other:?}"),
+        }
+    }
+
+    /// Adopts an existing counter **cell** under a key: the registry reads
+    /// the same storage the owner mutates — no mirroring, no second copy.
+    pub fn register_counter(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        cell: &Counter,
+        volatile: bool,
+    ) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.insert(
+            MetricKey::new(subsystem, name, labels),
+            Slot {
+                volatile,
+                cell: Cell::Counter(cell.clone()),
+            },
+        );
+    }
+
+    /// Adopts an existing gauge cell under a key (see
+    /// [`Self::register_counter`]).
+    pub fn register_gauge(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        cell: &Gauge,
+        volatile: bool,
+    ) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.insert(
+            MetricKey::new(subsystem, name, labels),
+            Slot {
+                volatile,
+                cell: Cell::Gauge(cell.clone()),
+            },
+        );
+    }
+
+    /// Registered metrics.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of every metric, in key order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = slots
+            .iter()
+            .map(|(key, slot)| MetricEntry {
+                key: key.clone(),
+                volatile: slot.volatile,
+                value: match &slot.cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.get()),
+                    Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Cell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram's bucket counts.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Whether the value is wall-clock-derived (excluded from the
+    /// deterministic exports).
+    pub volatile: bool,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// Every metric at one instant, in deterministic key order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The readings, sorted by [`MetricKey`].
+    pub entries: Vec<MetricEntry>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // JSON has no literal for non-finite floats.
+        "null".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    fn render_json(&self, include_volatile: bool) -> String {
+        let mut out = String::from("{\n  \"metrics\": [\n");
+        let mut first = true;
+        for e in &self.entries {
+            if e.volatile && !include_volatile {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let labels = e
+                .key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"subsystem\": \"{}\", \"name\": \"{}\", \"labels\": {{{labels}}}, ",
+                json_escape(&e.key.subsystem),
+                json_escape(&e.key.name),
+            ));
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "\"type\": \"gauge\", \"value\": {}}}",
+                        fmt_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(k, c)| format!("[{}, {c}]", HistogramSnapshot::upper_bound(k)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!(
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"buckets_le\": [{buckets}]}}",
+                        h.count(),
+                        h.sum,
+                    ));
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Deterministic JSON export: volatile (wall-clock-derived) metrics
+    /// are excluded, so the text is byte-identical across repeat runs,
+    /// thread counts, and shard widths.
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// JSON export including volatile metrics (not byte-stable).
+    pub fn to_json_with_volatile(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_prometheus(&self, include_volatile: bool) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            if e.volatile && !include_volatile {
+                continue;
+            }
+            let base = format!("ff_{}_{}", e.key.subsystem, e.key.name);
+            let labels = |extra: Option<(&str, String)>| -> String {
+                let mut pairs: Vec<String> = e
+                    .key
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                if let Some((k, v)) = extra {
+                    pairs.push(format!("{k}=\"{v}\""));
+                }
+                if pairs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", pairs.join(","))
+                }
+            };
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{base}{} {v}\n", labels(None)));
+                }
+                MetricValue::Gauge(v) => {
+                    let v = if v.is_finite() {
+                        format!("{v:?}")
+                    } else {
+                        "NaN".to_string()
+                    };
+                    out.push_str(&format!("{base}{} {v}\n", labels(None)));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (k, c) in h.buckets.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let le = HistogramSnapshot::upper_bound(k).to_string();
+                        out.push_str(&format!(
+                            "{base}_bucket{} {cum}\n",
+                            labels(Some(("le", le)))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{base}_bucket{} {cum}\n",
+                        labels(Some(("le", "+Inf".to_string())))
+                    ));
+                    out.push_str(&format!("{base}_sum{} {}\n", labels(None), h.sum));
+                    out.push_str(&format!("{base}_count{} {}\n", labels(None), h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic Prometheus-style text export (volatile metrics
+    /// excluded).
+    pub fn to_prometheus(&self) -> String {
+        self.render_prometheus(false)
+    }
+
+    /// Prometheus-style export including volatile metrics (not
+    /// byte-stable).
+    pub fn to_prometheus_with_volatile(&self) -> String {
+        self.render_prometheus(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_backs_handle_and_registry() {
+        let r = Registry::new();
+        let c = r.counter("node", "arrivals", &[("stream", "0")]);
+        c.add(3);
+        // Re-requesting the key yields the same cell.
+        let again = r.counter("node", "arrivals", &[("stream", "0")]);
+        again.inc();
+        assert_eq!(c.get(), 4);
+        match &r.snapshot().entries[0].value {
+            MetricValue::Counter(v) => assert_eq!(*v, 4),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adopted_cell_is_live_not_copied() {
+        let r = Registry::new();
+        let cell = Counter::new();
+        cell.add(7);
+        r.register_counter("uplink", "offered_bits", &[], &cell, false);
+        cell.add(1);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.entries[0].value,
+            MetricValue::Counter(8),
+            "registry must read the owner's storage, not a copy"
+        );
+    }
+
+    #[test]
+    fn snapshot_order_is_key_order_and_volatile_is_excluded() {
+        let r = Registry::new();
+        r.counter("uplink", "offers", &[]);
+        r.counter_volatile("wall", "decode_nanos", &[]);
+        r.counter("node", "rounds", &[]);
+        r.gauge("uplink", "backlog_bits", &[]).set(12.5);
+        let json = r.snapshot().to_json();
+        let node = json.find("\"node\"").expect("node present");
+        let uplink = json.find("\"uplink\"").expect("uplink present");
+        assert!(node < uplink, "entries must sort by subsystem");
+        assert!(!json.contains("decode_nanos"), "volatile excluded");
+        assert!(r
+            .snapshot()
+            .to_json_with_volatile()
+            .contains("decode_nanos"));
+        assert!(json.contains("\"value\": 12.5"));
+    }
+
+    #[test]
+    fn prometheus_renders_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter("hub", "accepted", &[("node", "3")]).add(2);
+        let h = r.histogram("node", "batch", &[]);
+        h.observe(1);
+        h.observe(3);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("ff_hub_accepted{node=\"3\"} 2\n"));
+        assert!(text.contains("ff_node_batch_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("ff_node_batch_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("ff_node_batch_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ff_node_batch_sum 4\n"));
+        assert!(text.contains("ff_node_batch_count 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("node", "x", &[]);
+        r.gauge("node", "x", &[]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The virtual-time span tracer and its Chrome trace-event exporter.
+//!
+//! Spans are emitted by single-threaded scheduler loops (the controlled
+//! executor's round loop, the fleet loop), so their order is the loop's
+//! deterministic order. Each span is keyed by `(round, stream, stage,
+//! kind)` plus a deterministic `value` payload; an optional wall-clock
+//! duration rides along for profiling and is **omitted from the
+//! deterministic export** (see the crate-level determinism contract).
+
+use std::collections::VecDeque;
+
+/// The `stream` value for node-scoped spans (control ticks, gather
+/// batches, link-level events) that belong to no single stream.
+pub const NODE_SCOPE: u32 = u32::MAX;
+
+/// One traced event, keyed by virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Virtual-time round (frame interval) of the event.
+    pub round: u64,
+    /// Stream index, or [`NODE_SCOPE`] for node-wide events.
+    pub stream: u32,
+    /// Pipeline stage (`task`, `gather`, `infer`, `uplink`, `control`,
+    /// `hub`, …).
+    pub stage: &'static str,
+    /// What happened within the stage (`wake`, `extract`, `offer`,
+    /// `refused`, `tick`, …).
+    pub kind: &'static str,
+    /// Deterministic payload: a batch size, byte count, action count —
+    /// whatever the emitting stage measures in virtual time.
+    pub value: u64,
+    /// Wall-clock duration in nanoseconds, **observability only** (0 when
+    /// not measured). Excluded from the deterministic export.
+    pub wall_nanos: u64,
+}
+
+impl Span {
+    /// A span with no wall-clock payload.
+    pub fn new(
+        round: u64,
+        stream: u32,
+        stage: &'static str,
+        kind: &'static str,
+        value: u64,
+    ) -> Self {
+        Span {
+            round,
+            stream,
+            stage,
+            kind,
+            value,
+            wall_nanos: 0,
+        }
+    }
+}
+
+/// A bounded ring buffer of [`Span`]s.
+///
+/// When full, the **oldest** span is evicted (a profiler wants the recent
+/// window) and the eviction is counted — truncation is never silent, so a
+/// byte-compared trace with drops still fails loudly via
+/// [`SpanTracer::dropped`].
+#[derive(Debug, Clone)]
+pub struct SpanTracer {
+    buf: VecDeque<Span>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl SpanTracer {
+    /// A tracer retaining at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs capacity");
+        SpanTracer {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a span, evicting the oldest when full.
+    pub fn emit(&mut self, span: Span) {
+        self.emitted += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.buf.iter()
+    }
+
+    /// The retained spans as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Span> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// The ring bound this tracer was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans emitted over the tracer's lifetime (retained + evicted).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Spans evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Deterministic Chrome trace export of the retained spans (see
+    /// [`chrome_trace`]).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(self.buf.as_slices().0, self.buf.as_slices().1)
+    }
+
+    /// Chrome trace export including wall-clock payloads (see
+    /// [`chrome_trace_with_wall`]).
+    pub fn chrome_trace_with_wall(&self) -> String {
+        render_chrome(self.buf.as_slices().0, self.buf.as_slices().1, true)
+    }
+}
+
+/// Renders spans to Chrome trace-event JSON (the `traceEvents` array
+/// format `chrome://tracing` and Perfetto open directly).
+///
+/// Virtual rounds map to microseconds (`ts = round`), streams map to
+/// thread lanes (`tid = stream + 1`, node scope = lane 0), and each span
+/// is a 1 µs complete event named `stage:kind`. Wall-clock payloads are
+/// **omitted**, so the text is byte-identical whenever the span sequence
+/// is — across repeat runs, thread counts, and shard widths.
+pub fn chrome_trace(front: &[Span], back: &[Span]) -> String {
+    render_chrome(front, back, false)
+}
+
+/// [`chrome_trace`] plus each span's wall-clock nanoseconds in its `args`
+/// (not byte-stable across runs).
+pub fn chrome_trace_with_wall(front: &[Span], back: &[Span]) -> String {
+    render_chrome(front, back, true)
+}
+
+fn render_chrome(front: &[Span], back: &[Span], include_wall: bool) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for s in front.iter().chain(back) {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let tid = if s.stream == NODE_SCOPE {
+            0
+        } else {
+            s.stream as u64 + 1
+        };
+        let wall = if include_wall {
+            format!(", \"wall_ns\": {}", s.wall_nanos)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}:{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \
+             \"ts\": {}, \"dur\": 1, \"args\": {{\"round\": {}, \"value\": {}{wall}}}}}",
+            s.stage, s.kind, s.round, s.round, s.value,
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut t = SpanTracer::new(2);
+        t.emit(Span::new(0, 0, "task", "wake", 0));
+        t.emit(Span::new(1, 1, "task", "wake", 0));
+        t.emit(Span::new(2, 2, "task", "wake", 0));
+        assert_eq!(t.emitted(), 3);
+        assert_eq!(t.dropped(), 1);
+        let rounds: Vec<u64> = t.spans().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_wall_free() {
+        let mut t = SpanTracer::new(8);
+        let mut with_wall = Span::new(3, 1, "gather", "extract", 4);
+        with_wall.wall_nanos = 12345;
+        t.emit(with_wall);
+        t.emit(Span::new(3, NODE_SCOPE, "control", "tick", 2));
+        let json = t.chrome_trace();
+        assert!(json.contains("\"name\": \"gather:extract\""));
+        assert!(json.contains("\"tid\": 2"), "stream 1 maps to lane 2");
+        assert!(json.contains("\"tid\": 0"), "node scope maps to lane 0");
+        assert!(!json.contains("wall_ns"), "deterministic export omits wall");
+        let mut wall_differs = Span::new(3, 1, "gather", "extract", 4);
+        wall_differs.wall_nanos = 99999;
+        let mut t2 = SpanTracer::new(8);
+        t2.emit(wall_differs);
+        t2.emit(Span::new(3, NODE_SCOPE, "control", "tick", 2));
+        assert_eq!(
+            json,
+            t2.chrome_trace(),
+            "wall payloads must not perturb the deterministic export"
+        );
+        assert!(t.chrome_trace_with_wall().contains("\"wall_ns\": 12345"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the observability substrate's determinism contract:
+//! histogram bucket assignment is a pure function of the value, and
+//! merging per-shard histograms is order-invariant.
+
+use ff_obs::{bucket_index, Histogram, HistogramSnapshot, Registry, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket assignment is deterministic and respects the log₂ bounds:
+    /// the same value always lands in the same bucket, and the bucket's
+    /// bounds bracket the value.
+    #[test]
+    fn bucket_assignment_is_deterministic(values in collection::vec(any::<u64>(), 1..64)) {
+        for &v in &values {
+            let k = bucket_index(v);
+            prop_assert_eq!(bucket_index(v), k, "same value, same bucket");
+            prop_assert!(k < BUCKETS);
+            prop_assert!(v <= HistogramSnapshot::upper_bound(k));
+            if k > 0 {
+                prop_assert!(v > HistogramSnapshot::upper_bound(k - 1));
+            }
+        }
+    }
+
+    /// Splitting an observation stream across shards and merging the
+    /// shard histograms in any order reproduces the single-histogram
+    /// snapshot bit-for-bit.
+    #[test]
+    fn histogram_merge_is_order_invariant(
+        values in collection::vec(any::<u64>(), 1..128),
+        shards in 1usize..6,
+        rotate in 0usize..6,
+    ) {
+        // Cap the sums far below u64::MAX so `sum` cannot overflow.
+        let values: Vec<u64> = values.iter().map(|v| v >> 8).collect();
+        let whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        let gold = whole.snapshot();
+
+        // Round-robin the stream over `shards` histograms.
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].observe(v);
+        }
+        // Merge in a rotated (arbitrary) order.
+        let mut merged = HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        };
+        for i in 0..shards {
+            merged.merge(&parts[(i + rotate) % shards].snapshot());
+        }
+        prop_assert_eq!(&merged, &gold);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// Two registries fed the same virtual-time updates render
+    /// byte-identical deterministic exports regardless of registration
+    /// order (key order, not insertion order, is the export order).
+    #[test]
+    fn registry_export_is_insertion_order_invariant(values in collection::vec(0u64..10_000, 1..32)) {
+        let a = Registry::new();
+        let b = Registry::new();
+        // a registers counter-then-histogram, b the reverse.
+        let ca = a.counter("node", "arrivals", &[("stream", "0")]);
+        let ha = a.histogram("node", "batch", &[]);
+        let hb = b.histogram("node", "batch", &[]);
+        let cb = b.counter("node", "arrivals", &[("stream", "0")]);
+        for &v in &values {
+            ca.add(v);
+            cb.add(v);
+            ha.observe(v);
+            hb.observe(v);
+        }
+        prop_assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+        prop_assert_eq!(a.snapshot().to_prometheus(), b.snapshot().to_prometheus());
+    }
+}

@@ -356,6 +356,39 @@ pub struct PoolShard {
     /// Serializes job submission within this shard.
     submit: Mutex<()>,
     width: usize,
+    obs: Option<ShardObs>,
+}
+
+/// Busy-accounting hooks a runtime can bind to a shard with
+/// [`PoolShard::bind_obs`].
+///
+/// `jobs` counts [`PoolShard::run`] entries — the scheduler's dispatch
+/// count, a pure function of virtual time and therefore deterministic
+/// across thread counts and shard widths. `busy_nanos` accumulates the
+/// wall-clock time spent inside those jobs and is **observability only**
+/// (register it volatile); policies must never read it.
+#[derive(Debug, Clone)]
+pub struct ShardObs {
+    /// Jobs dispatched through the shard (deterministic).
+    pub jobs: ff_obs::Counter,
+    /// Wall-clock nanoseconds spent inside shard jobs (volatile).
+    pub busy_nanos: ff_obs::Counter,
+}
+
+impl ShardObs {
+    /// Fresh, detached cells (adopt them into a registry to export).
+    pub fn new() -> Self {
+        ShardObs {
+            jobs: ff_obs::Counter::new(),
+            busy_nanos: ff_obs::Counter::new(),
+        }
+    }
+}
+
+impl Default for ShardObs {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl std::fmt::Debug for PoolShard {
@@ -389,7 +422,15 @@ impl PoolShard {
             shared,
             submit: Mutex::new(()),
             width,
+            obs: None,
         }
+    }
+
+    /// Binds busy-accounting cells to this shard: every subsequent
+    /// [`Self::run`] increments `obs.jobs` and adds its wall-clock duration
+    /// to `obs.busy_nanos`. Unbound shards pay nothing.
+    pub fn bind_obs(&mut self, obs: ShardObs) {
+        self.obs = Some(obs);
     }
 
     /// The shard's thread budget (chunk count for kernels scoped to it).
@@ -462,7 +503,19 @@ impl PoolShard {
             width: self.width,
         };
         let _restore = Restore(CURRENT_SHARD.with(|c| c.replace(Some(ctx))));
-        f()
+        match &self.obs {
+            None => f(),
+            Some(obs) => {
+                // The job count is driven by the (single-threaded)
+                // scheduler, so it is deterministic; only the wall-clock
+                // payload varies run to run.
+                obs.jobs.inc();
+                let t0 = std::time::Instant::now();
+                let r = f();
+                obs.busy_nanos.add(t0.elapsed().as_nanos() as u64);
+                r
+            }
+        }
     }
 
     /// Panic-isolating [`Self::run`]: executes `f` scoped to this shard and

@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use ff_core::control::{ControlConfig, DegradePolicy, WatchdogPolicy};
 use ff_core::faults::FaultPlan;
-use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ShardLayout};
+use ff_core::runtime::{EdgeNode, EdgeNodeConfig, GatherBatch, ObsConfig, ShardLayout};
 use ff_core::{McSpec, PipelineConfig};
 use ff_models::MobileNetConfig;
 use ff_video::scene::SceneConfig;
@@ -57,7 +57,9 @@ fn main() {
     } else {
         ShardLayout::single(budget)
     };
-    let mut cfg = EdgeNodeConfig::new(layout).with_faults(plan);
+    let mut cfg = EdgeNodeConfig::new(layout)
+        .with_faults(plan)
+        .with_obs(ObsConfig::default());
     if !sharded {
         cfg.gather_batch = Some(GatherBatch {
             max_batch: 8,
@@ -149,6 +151,24 @@ fn main() {
         );
     }
     assert!(l.conserves(), "every segment must be accounted");
+
+    // The run's observability exports: a Perfetto-openable Chrome trace of
+    // the span ring and the registry snapshot in both wire formats. All
+    // three are byte-identical across repeat runs — the trace is keyed by
+    // virtual rounds and the snapshot excludes wall-clock cells.
+    let obs = report.obs.as_ref().expect("obs was enabled");
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    std::fs::write("target/obs/chaos_trace.json", obs.chrome_trace()).expect("write trace");
+    std::fs::write("target/obs/chaos_metrics.json", obs.metrics.to_json()).expect("write json");
+    std::fs::write("target/obs/chaos_metrics.prom", obs.metrics.to_prometheus())
+        .expect("write prom");
+    println!();
+    println!(
+        "observability: {} spans emitted ({} evicted), {} metrics; exports in target/obs/",
+        obs.emitted_spans,
+        obs.dropped_spans,
+        obs.metrics.entries.len(),
+    );
     println!();
     println!("node survived the script; ledger conserves.");
 }
